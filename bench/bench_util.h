@@ -1,0 +1,70 @@
+#ifndef MUGI_BENCH_BENCH_UTIL_H_
+#define MUGI_BENCH_BENCH_UTIL_H_
+
+/**
+ * @file
+ * Shared formatting helpers for the figure/table harness binaries.
+ * Each binary prints the rows/series of one paper figure; the
+ * expected shapes are recorded in EXPERIMENTS.md.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mugi {
+namespace bench {
+
+inline void
+print_title(const std::string& title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void
+print_subtitle(const std::string& title)
+{
+    std::printf("\n-- %s --\n", title.c_str());
+}
+
+/** Print one labeled row of numeric cells. */
+inline void
+print_row(const std::string& label, const std::vector<double>& cells,
+          const char* fmt = "%9.3f")
+{
+    std::printf("%-22s", label.c_str());
+    for (const double v : cells) {
+        std::printf(" ");
+        std::printf(fmt, v);
+    }
+    std::printf("\n");
+}
+
+/** Print a header row of column labels. */
+inline void
+print_header(const std::string& corner,
+             const std::vector<std::string>& columns)
+{
+    std::printf("%-22s", corner.c_str());
+    for (const std::string& c : columns) {
+        std::printf(" %9s", c.c_str());
+    }
+    std::printf("\n");
+}
+
+/** Normalize a series to its first element. */
+inline std::vector<double>
+normalize_to(const std::vector<double>& values, double base)
+{
+    std::vector<double> out;
+    out.reserve(values.size());
+    for (const double v : values) {
+        out.push_back(base > 0.0 ? v / base : 0.0);
+    }
+    return out;
+}
+
+}  // namespace bench
+}  // namespace mugi
+
+#endif  // MUGI_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Figure 8: relative error of each approximation scheme against the
+ * software reference, for exp (softmax domain), SiLU and GELU.  The
+ * most accurate configurations from the Fig. 6 sweeps are compared:
+ * PWL, Taylor (exp only), partial approximation (SiLU only), and the
+ * VLP (Mugi) input approximation.
+ *
+ * Two views are printed per (op, scheme): the wide range (where PWL
+ * flushes to -100% outside its segment range) and the zoomed
+ * important region around zero, where VLP's value-centric grid is at
+ * its densest.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "nonlinear/partial.h"
+#include "nonlinear/pwl.h"
+#include "nonlinear/taylor.h"
+#include "vlp/vlp_approximator.h"
+
+using namespace mugi;
+
+namespace {
+
+/** Signed relative error in percent; 100% = flushed to zero. */
+double
+rel_error_pct(const nonlinear::NonlinearApproximator& approx, float x)
+{
+    const double exact = nonlinear::eval_ref(approx.op(), x);
+    const double got = approx.apply(x);
+    if (exact == 0.0) {
+        return 0.0;
+    }
+    return 100.0 * (got - exact) / std::fabs(exact);
+}
+
+void
+print_series(const nonlinear::NonlinearApproximator& approx,
+             const char* label, double lo, double hi, int points)
+{
+    std::printf("  %-14s", label);
+    double worst = 0.0;
+    for (int i = 0; i < points; ++i) {
+        const double x = lo + (hi - lo) * i / (points - 1);
+        const double err = rel_error_pct(approx,
+                                         static_cast<float>(x));
+        worst = std::max(worst, std::fabs(err));
+        std::printf(" %7.1f", err);
+    }
+    std::printf("   | worst %.1f%%\n", worst);
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::print_title("Figure 8: relative error vs software reference");
+
+    // Best configurations from the Fig. 6 sweeps.
+    nonlinear::PwlConfig pwl_exp{nonlinear::NonlinearOp::kExp, 22,
+                                 -16.0};
+    nonlinear::TaylorConfig taylor_exp{nonlinear::NonlinearOp::kExp, 9,
+                                       -4.0};
+    const auto vlp_exp =
+        vlp::make_vlp(nonlinear::NonlinearOp::kExp, 8, 4);
+
+    nonlinear::PwlConfig pwl_silu{nonlinear::NonlinearOp::kSilu, 22,
+                                  5.0};
+    const auto vlp_silu = [] {
+        vlp::VlpConfig c;
+        c.op = nonlinear::NonlinearOp::kSilu;
+        c.lut_min_exp = -6;
+        c.lut_max_exp = 2;
+        return std::make_unique<vlp::VlpApproximator>(c);
+    }();
+
+    nonlinear::PwlConfig pwl_gelu{nonlinear::NonlinearOp::kGelu, 22,
+                                  5.0};
+    const auto vlp_gelu = [] {
+        vlp::VlpConfig c;
+        c.op = nonlinear::NonlinearOp::kGelu;
+        c.lut_min_exp = -6;
+        c.lut_max_exp = 2;
+        return std::make_unique<vlp::VlpApproximator>(c);
+    }();
+
+    const int points = 17;
+
+    bench::print_subtitle("exp, wide range x in [-16, 0] (percent)");
+    print_series(nonlinear::PwlApproximator(pwl_exp), "PWL", -16, 0,
+                 points);
+    print_series(nonlinear::TaylorApproximator(taylor_exp), "Taylor",
+                 -16, 0, points);
+    print_series(*vlp_exp, "Mugi", -16, 0, points);
+
+    bench::print_subtitle("exp, important region x in [-0.5, -0.01]");
+    print_series(nonlinear::PwlApproximator(pwl_exp), "PWL", -0.5,
+                 -0.01, points);
+    print_series(nonlinear::TaylorApproximator(taylor_exp), "Taylor",
+                 -0.5, -0.01, points);
+    print_series(*vlp_exp, "Mugi", -0.5, -0.01, points);
+
+    bench::print_subtitle("SiLU, wide range x in [-5, 5]");
+    print_series(nonlinear::PwlApproximator(pwl_silu), "PWL", -5, 5,
+                 points);
+    print_series(
+        nonlinear::PartialApproximator(nonlinear::NonlinearOp::kSilu),
+        "PA", -5, 5, points);
+    print_series(*vlp_silu, "Mugi", -5, 5, points);
+
+    bench::print_subtitle("SiLU, important region x in [-0.5, 0.5]");
+    print_series(nonlinear::PwlApproximator(pwl_silu), "PWL", -0.5,
+                 0.5, points);
+    print_series(
+        nonlinear::PartialApproximator(nonlinear::NonlinearOp::kSilu),
+        "PA", -0.5, 0.5, points);
+    print_series(*vlp_silu, "Mugi", -0.5, 0.5, points);
+
+    bench::print_subtitle("GELU, wide range x in [-5, 5]");
+    print_series(nonlinear::PwlApproximator(pwl_gelu), "PWL", -5, 5,
+                 points);
+    print_series(*vlp_gelu, "Mugi", -5, 5, points);
+
+    bench::print_subtitle("GELU, important region x in [-0.5, 0.5]");
+    print_series(nonlinear::PwlApproximator(pwl_gelu), "PWL", -0.5,
+                 0.5, points);
+    print_series(*vlp_gelu, "Mugi", -0.5, 0.5, points);
+
+    std::printf(
+        "\nExpected shape (paper): VLP is not uniformly the lowest "
+        "error over the\nwide range, but in the important region "
+        "(small |x|, where the mass of the\ninputs lives) its error "
+        "stays within a few percent while PWL shows large\nsigned "
+        "ripples and PA tops 10-20%%.\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Figure 14: iso-throughput batch-size study.  Batch 1..32 across
+ * sequence lengths 128..4096, geometric mean over the Llama 2 family;
+ * normalized throughput and energy-per-token against an 8x8 systolic
+ * array at batch 1.  Designs: Mugi(64/256), Carat(64/256),
+ * SA/SA-F/SD/SD-F (8/16).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "model/workload.h"
+#include "sim/performance_model.h"
+
+using namespace mugi;
+
+namespace {
+
+struct Point {
+    double throughput = 0.0;
+    double energy_per_token = 0.0;
+};
+
+Point
+geomean(const sim::DesignConfig& d, std::size_t batch, std::size_t seq)
+{
+    double t = 1.0, e = 1.0;
+    const auto family = model::llama_family();
+    for (const model::ModelConfig& m : family) {
+        const model::Workload w =
+            model::build_decode_workload(m, batch, seq);
+        const sim::PerfReport r = sim::run_workload(d, w);
+        t *= r.throughput_tokens_per_s;
+        e *= r.energy_per_token_j;
+    }
+    const double inv = 1.0 / static_cast<double>(family.size());
+    return {std::pow(t, inv), std::pow(e, inv)};
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::print_title(
+        "Figure 14: batch-size sweep (normalized to SA(8) at batch 1)");
+
+    const std::vector<std::pair<const char*, sim::DesignConfig>>
+        designs = {
+            {"Mugi(64)", sim::make_mugi(64)},
+            {"Mugi(256)", sim::make_mugi(256)},
+            {"Carat(64)", sim::make_carat(64)},
+            {"Carat(256)", sim::make_carat(256)},
+            {"SA(8)", sim::make_systolic(8)},
+            {"SA(16)", sim::make_systolic(16)},
+            {"SA-F(8)", sim::make_systolic(8, true)},
+            {"SA-F(16)", sim::make_systolic(16, true)},
+            {"SD(8)", sim::make_simd(8)},
+            {"SD(16)", sim::make_simd(16)},
+            {"SD-F(8)", sim::make_simd(8, true)},
+            {"SD-F(16)", sim::make_simd(16, true)},
+        };
+    const std::vector<std::size_t> batches = {1, 2, 4, 8, 16, 32};
+    const std::vector<std::size_t> seqs = {128, 512, 4096};
+
+    std::vector<std::string> cols;
+    for (const std::size_t b : batches) cols.push_back(std::to_string(b));
+
+    for (const std::size_t seq : seqs) {
+        const Point base = geomean(sim::make_systolic(8), 1, seq);
+        bench::print_subtitle("seq " + std::to_string(seq) +
+                              ": normalized throughput vs batch");
+        bench::print_header("design \\ batch", cols);
+        for (const auto& [label, d] : designs) {
+            std::vector<double> row;
+            for (const std::size_t b : batches) {
+                row.push_back(geomean(d, b, seq).throughput /
+                              base.throughput);
+            }
+            bench::print_row(label, row, "%9.2f");
+        }
+        bench::print_subtitle("seq " + std::to_string(seq) +
+                              ": normalized energy/token vs batch");
+        bench::print_header("design \\ batch", cols);
+        for (const auto& [label, d] : designs) {
+            std::vector<double> row;
+            for (const std::size_t b : batches) {
+                row.push_back(geomean(d, b, seq).energy_per_token /
+                              base.energy_per_token);
+            }
+            bench::print_row(label, row, "%9.3f");
+        }
+    }
+
+    std::printf(
+        "\nExpected shape (paper): Mugi reaches its best throughput "
+        "already at\nbatch 8 (columns full; mapping the batch across "
+        "columns), while SA/SD\nneed batch >= array dim; energy/token "
+        "falls with batch for all designs\nas weight traffic "
+        "amortizes, with Mugi lowest.\n");
+    return 0;
+}

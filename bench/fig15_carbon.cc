@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Figure 15: normalized on-chip operational and embodied carbon
+ * across Llama 2 model sizes (7B, 13B, 70B, 70B-GQA), batch 8,
+ * sequence 4096.  Designs M/C/S/D/T/P: Mugi(256), Carat(256),
+ * Systolic(16), SIMD(16), and systolic arrays paired with Taylor (T)
+ * and PWL (P) nonlinear units.  Operational carbon splits per op
+ * class; embodied carbon is area-proportional (Eq. 6/7).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "carbon/carbon_model.h"
+#include "model/workload.h"
+
+using namespace mugi;
+
+namespace {
+
+sim::DesignConfig
+systolic_with(sim::NonlinearScheme scheme, const char* name)
+{
+    sim::DesignConfig d = sim::make_systolic(16);
+    d.nonlinear = scheme;
+    d.name = name;
+    return d;
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::print_title(
+        "Figure 15: normalized operational + embodied carbon");
+
+    std::vector<std::pair<const char*, model::ModelConfig>> models = {
+        {"7B", model::llama2_7b()},
+        {"13B", model::llama2_13b()},
+        {"70B-GQA", model::llama2_70b()},
+    };
+    model::ModelConfig mha70 = model::llama2_70b();
+    mha70.num_kv_heads = mha70.num_heads;
+    mha70.name = "llama2-70b-mha";
+    models.insert(models.begin() + 2, {"70B", mha70});
+
+    const std::vector<std::pair<const char*, sim::DesignConfig>>
+        designs = {
+            {"M (Mugi 256)", sim::make_mugi(256)},
+            {"C (Carat 256)", sim::make_carat(256)},
+            {"S (SA 16)", sim::make_systolic(16)},
+            {"D (SD 16)", sim::make_simd(16)},
+            {"T (SA16+Taylor)",
+             systolic_with(sim::NonlinearScheme::kTaylor,
+                           "SA16-Taylor")},
+            {"P (SA16+PWL)",
+             systolic_with(sim::NonlinearScheme::kPwl, "SA16-PWL")},
+        };
+
+    for (const auto& [mlabel, mconfig] : models) {
+        bench::print_subtitle(std::string("Llama 2 ") + mlabel +
+                              " (normalized to Mugi total)");
+        const model::Workload w =
+            model::build_decode_workload(mconfig, 8, 4096);
+
+        // Normalize to Mugi's total carbon per token.
+        const sim::PerfReport mugi_perf =
+            sim::run_workload(sim::make_mugi(256), w);
+        const carbon::CarbonReport mugi_carbon =
+            carbon::assess(sim::make_mugi(256), mugi_perf);
+        const double norm = mugi_carbon.total_g_per_token();
+
+        bench::print_header("design", {"proj", "attn", "ffn",
+                                       "nonlin", "embodied", "total"});
+        for (const auto& [dlabel, d] : designs) {
+            const sim::PerfReport perf = sim::run_workload(d, w);
+            const carbon::CarbonReport c = carbon::assess(d, perf);
+            // Split the operational share by per-class dynamic
+            // energy (leakage follows the same split).
+            double energy_total = 0.0;
+            for (const auto& [cls, e] : perf.energy_by_class) {
+                energy_total += e;
+            }
+            std::vector<double> row;
+            for (const model::OpClass cls :
+                 {model::OpClass::kProjection,
+                  model::OpClass::kAttention, model::OpClass::kFfn,
+                  model::OpClass::kNonlinear}) {
+                const double share =
+                    perf.energy_by_class.count(cls)
+                        ? perf.energy_by_class.at(cls) / energy_total
+                        : 0.0;
+                row.push_back(share * c.operational_g_per_token /
+                              norm);
+            }
+            row.push_back(c.embodied_g_per_token / norm);
+            row.push_back(c.total_g_per_token() / norm);
+            bench::print_row(dlabel, row, "%9.3f");
+        }
+    }
+
+    std::printf(
+        "\nExpected shape (paper): Mugi lowers operational carbon "
+        "~1.45x and\nembodied carbon ~1.48x vs the baselines; "
+        "operational dominates at 45 nm;\nthe nonlinear share is "
+        "negligible for Mugi but visible for T/P designs.\n");
+    return 0;
+}

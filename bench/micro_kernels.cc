@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Google-Benchmark micro-kernels (library-quality check; not a paper
+ * figure): host-side speed of the functional kernels this library
+ * ships -- the VLP approximator vs the reference nonlinearities, the
+ * temporal GEMM simulation, group quantization, and the transformer
+ * forward pass.  These guard against performance regressions in the
+ * simulation substrate itself.
+ */
+
+#include <random>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "model/accuracy.h"
+#include "model/transformer.h"
+#include "nonlinear/pwl.h"
+#include "nonlinear/taylor.h"
+#include "quant/group_quant.h"
+#include "support/rng.h"
+#include "vlp/vlp_approximator.h"
+#include "vlp/vlp_gemm.h"
+
+using namespace mugi;
+
+namespace {
+
+std::vector<float>
+random_values(std::size_t n, float lo, float hi, std::uint32_t seed)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<float> dist(lo, hi);
+    std::vector<float> v(n);
+    for (float& x : v) x = dist(rng);
+    return v;
+}
+
+void
+BM_ExactExp(benchmark::State& state)
+{
+    const auto exact = nonlinear::make_exact(nonlinear::NonlinearOp::kExp);
+    const auto in = random_values(4096, -16.0f, 0.0f, 1);
+    std::vector<float> out(in.size());
+    for (auto _ : state) {
+        exact->apply_batch(in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * in.size());
+}
+BENCHMARK(BM_ExactExp);
+
+void
+BM_VlpExp(benchmark::State& state)
+{
+    const auto vlp = vlp::make_vlp(nonlinear::NonlinearOp::kExp, 8, 4);
+    const auto in = random_values(4096, -16.0f, 0.0f, 2);
+    std::vector<float> out(in.size());
+    for (auto _ : state) {
+        vlp->apply_batch(in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * in.size());
+}
+BENCHMARK(BM_VlpExp);
+
+void
+BM_PwlExp(benchmark::State& state)
+{
+    const nonlinear::PwlApproximator pwl(
+        {nonlinear::NonlinearOp::kExp, 22, -16.0});
+    const auto in = random_values(4096, -16.0f, 0.0f, 3);
+    std::vector<float> out(in.size());
+    for (auto _ : state) {
+        pwl.apply_batch(in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * in.size());
+}
+BENCHMARK(BM_PwlExp);
+
+void
+BM_TaylorExp(benchmark::State& state)
+{
+    const nonlinear::TaylorApproximator taylor(
+        {nonlinear::NonlinearOp::kExp, 9, -4.0});
+    const auto in = random_values(4096, -16.0f, 0.0f, 4);
+    std::vector<float> out(in.size());
+    for (auto _ : state) {
+        taylor.apply_batch(in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * in.size());
+}
+BENCHMARK(BM_TaylorExp);
+
+void
+BM_TemporalGemm(benchmark::State& state)
+{
+    const std::size_t n = state.range(0);
+    std::mt19937 rng(5);
+    std::uniform_int_distribution<int> wdist(-7, 7);
+    vlp::Int4Matrix w(n, 32);
+    support::MatrixF x(32, 8);
+    for (std::size_t i = 0; i < w.rows(); ++i) {
+        for (std::size_t j = 0; j < w.cols(); ++j) {
+            w.at(i, j) = numerics::Int4::from_int(wdist(rng));
+        }
+    }
+    support::fill_gaussian(x, rng, 0.0f, 1.0f);
+    for (auto _ : state) {
+        const vlp::VlpGemmResult r = vlp::vlp_gemm_mugi(w, x, 64, 8);
+        benchmark::DoNotOptimize(r.out.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * 32 * 8);
+}
+BENCHMARK(BM_TemporalGemm)->Arg(64)->Arg(256);
+
+void
+BM_GroupQuantize(benchmark::State& state)
+{
+    std::mt19937 rng(6);
+    support::MatrixF w(128, 1024);
+    support::fill_gaussian(w, rng, 0.0f, 0.5f);
+    for (auto _ : state) {
+        const quant::QuantizedMatrix q = quant::quantize_int4(w, 128);
+        benchmark::DoNotOptimize(q.values.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * w.size());
+}
+BENCHMARK(BM_GroupQuantize);
+
+void
+BM_TransformerForward(benchmark::State& state)
+{
+    const model::ModelConfig config =
+        model::llama2_7b().scaled_for_eval(2, 64, 128);
+    const model::TransformerModel m(config, 7);
+    const auto tokens = model::synthetic_tokens(32, config.vocab, 8);
+    for (auto _ : state) {
+        const support::MatrixF logits = m.forward_tokens(tokens);
+        benchmark::DoNotOptimize(logits.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * tokens.size());
+}
+BENCHMARK(BM_TransformerForward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

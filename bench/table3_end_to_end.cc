@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Table 3: end-to-end throughput, on-chip area, energy efficiency and
+ * power efficiency on Llama 2 70B with GQA (batch 8, sequence 4096),
+ * for single nodes (SN), scaled-up single nodes (SN-S) and NoC
+ * configurations.  Energy efficiency follows the paper's metric:
+ * throughput / energy-per-token.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "model/workload.h"
+#include "sim/performance_model.h"
+
+using namespace mugi;
+
+namespace {
+
+void
+print_design(const sim::DesignConfig& d, const model::Workload& w)
+{
+    const sim::PerfReport r = sim::run_workload(d, w);
+    std::printf("%-18s %10.2f %9.2f %12.2f %12.2f\n", d.name.c_str(),
+                r.throughput_tokens_per_s, sim::total_area_mm2(d),
+                r.energy_efficiency, r.power_efficiency);
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::print_title(
+        "Table 3: LLaMA-2 70B (GQA), batch 8, seq 4096");
+    const model::Workload w =
+        model::build_decode_workload(model::llama2_70b(), 8, 4096);
+
+    std::printf("%-18s %10s %9s %12s %12s\n", "Design", "Tokens/s",
+                "Area mm2", "EnergyEff", "Tokens/s/W");
+
+    std::printf("--- single node (SN) ---\n");
+    for (const sim::DesignConfig& d :
+         {sim::make_mugi(128), sim::make_mugi(256),
+          sim::make_carat(128), sim::make_carat(256),
+          sim::make_systolic(16), sim::make_systolic(16, true),
+          sim::make_simd(16), sim::make_simd(16, true)}) {
+        print_design(d, w);
+    }
+
+    std::printf("--- scaled-up single node (SN-S) ---\n");
+    for (const sim::DesignConfig& d :
+         {sim::make_systolic(64), sim::make_systolic(64, true),
+          sim::make_simd(64), sim::make_simd(64, true),
+          sim::make_tensor()}) {
+        print_design(d, w);
+    }
+
+    std::printf("--- NoC ---\n");
+    for (const sim::DesignConfig& d :
+         {sim::make_mugi(256).with_noc(4, 4),
+          sim::make_carat(256).with_noc(4, 4),
+          sim::make_systolic(16).with_noc(4, 4),
+          sim::make_systolic(16, true).with_noc(4, 4),
+          sim::make_simd(16).with_noc(4, 4),
+          sim::make_simd(16, true).with_noc(4, 4),
+          sim::make_tensor().with_noc(2, 1)}) {
+        print_design(d, w);
+    }
+
+    // Headline ratios of Sec. 6.3.1.
+    const sim::PerfReport mugi256 =
+        sim::run_workload(sim::make_mugi(256), w);
+    const sim::PerfReport sa16 =
+        sim::run_workload(sim::make_systolic(16), w);
+    std::printf(
+        "\nHeadline Mugi(256) vs SA(16): throughput %.2fx (paper "
+        "2.07x), energy\nefficiency %.2fx (paper 3.11x), power "
+        "efficiency %.2fx (paper 1.50x)\n",
+        mugi256.throughput_tokens_per_s /
+            sa16.throughput_tokens_per_s,
+        mugi256.energy_efficiency / sa16.energy_efficiency,
+        mugi256.power_efficiency / sa16.power_efficiency);
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Design-space exploration with the Mugi architecture models: sweep
+ * array heights and NoC shapes for a deployment target (Llama-2 70B
+ * decode, batch 8, seq 4096) and print the throughput / area / power
+ * trade-off, flagging the Pareto-efficient points.
+ *
+ * Build & run:  ./build/examples/design_space
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/mugi_system.h"
+
+using namespace mugi;
+
+namespace {
+
+struct Candidate {
+    sim::DesignConfig design;
+    double throughput = 0.0;
+    double area = 0.0;
+    double power = 0.0;
+};
+
+}  // namespace
+
+int
+main()
+{
+    const model::ModelConfig target = model::llama2_70b();
+    std::printf("Target: %s decode, batch 8, context 4096\n\n",
+                target.name.c_str());
+
+    std::vector<Candidate> candidates;
+    for (const std::size_t rows : {64, 128, 256, 512}) {
+        candidates.push_back({sim::make_mugi(rows)});
+    }
+    for (const auto [r, c] :
+         std::vector<std::pair<std::size_t, std::size_t>>{
+             {2, 2}, {4, 4}, {8, 8}}) {
+        candidates.push_back({sim::make_mugi(256).with_noc(r, c)});
+    }
+    candidates.push_back({sim::make_systolic(16)});
+    candidates.push_back({sim::make_tensor()});
+
+    for (Candidate& c : candidates) {
+        const core::MugiSystem system(c.design);
+        const core::SystemReport report =
+            system.evaluate_decode(target, 8, 4096);
+        c.throughput = report.perf.throughput_tokens_per_s;
+        c.area = sim::total_area_mm2(c.design);
+        c.power = report.perf.power_w;
+    }
+
+    std::printf("%-20s %10s %10s %9s %12s %7s\n", "design", "tokens/s",
+                "area mm2", "power W", "tokens/s/mm2", "pareto");
+    for (const Candidate& c : candidates) {
+        // Pareto: no other candidate is at least as good on both
+        // throughput and area (and strictly better on one).
+        bool dominated = false;
+        for (const Candidate& other : candidates) {
+            if (&other == &c) continue;
+            if (other.throughput >= c.throughput &&
+                other.area <= c.area &&
+                (other.throughput > c.throughput ||
+                 other.area < c.area)) {
+                dominated = true;
+            }
+        }
+        std::printf("%-20s %10.2f %10.2f %9.3f %12.4f %7s\n",
+                    c.design.name.c_str(), c.throughput, c.area,
+                    c.power, c.throughput / c.area,
+                    dominated ? "" : "yes");
+    }
+
+    std::printf(
+        "\nReading: Mugi nodes scale tokens/s/mm2 ahead of the MAC "
+        "baselines;\nmeshes scale throughput near-linearly at "
+        "constant per-node efficiency.\n");
+    return 0;
+}

@@ -1,0 +1,155 @@
+#include "arch/mugi_node.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "numerics/bfloat16.h"
+#include "numerics/rounding.h"
+#include "vlp/temporal.h"
+
+namespace mugi {
+namespace arch {
+
+MugiNode::MugiNode(const vlp::VlpConfig& config, std::size_t array_rows)
+    : config_(config), array_rows_(array_rows), reference_([&] {
+          vlp::VlpConfig ref = config;
+          ref.mapping_rows = array_rows;
+          return ref;
+      }())
+{
+    assert(array_rows_ >= 1);
+}
+
+MugiNonlinearRun
+MugiNode::run_nonlinear(std::span<const float> inputs) const
+{
+    using nonlinear::NonlinearOp;
+    MugiNonlinearRun run;
+    run.outputs.resize(inputs.size());
+
+    const vlp::NonlinearLut& lut = reference_.lut();
+    const int mantissas = 1 << config_.mantissa_bits;
+    const int window = config_.window_size;
+
+    for (std::size_t start = 0; start < inputs.size();
+         start += array_rows_) {
+        const std::size_t rows =
+            std::min(array_rows_, inputs.size() - start);
+        const std::span<const float> mapping =
+            inputs.subspan(start, rows);
+
+        // E-proc chooses the sliding window for this mapping.
+        const vlp::WindowChoice win = vlp::choose_window(
+            mapping, lut.config(), window, config_.policy);
+
+        // --- Phase 1: input field split per row (M-proc / E-proc).
+        struct RowState {
+            bool special = false;   // Routed through PP directly.
+            float pp_value = 0.0f;  // PP output when special.
+            bool sign = false;
+            std::uint32_t mantissa = 0;
+            int exponent = 0;       // Clamped into the window.
+            std::vector<float> latched;  // Captured LUT row.
+            bool row_latched = false;
+        };
+        std::vector<RowState> state(rows);
+        for (std::size_t r = 0; r < rows; ++r) {
+            const float x = mapping[r];
+            RowState& row = state[r];
+            // The PP block handles specials and window clamping
+            // outcomes; reuse the functional reference for the
+            // special-value outputs so the datapath below only sees
+            // LUT-subscribing rows.
+            if (std::isnan(x) || std::isinf(x)) {
+                row.special = true;
+                row.pp_value = reference_.apply_with_window(x, win);
+                continue;
+            }
+            const numerics::RoundedValue v = numerics::round_mantissa(
+                numerics::bf16_round(x), config_.mantissa_bits);
+            if (v.is_zero ||
+                (config_.op == NonlinearOp::kExp && !v.sign) ||
+                v.exponent < win.lo ||
+                (v.exponent > win.hi &&
+                 config_.op != NonlinearOp::kExp)) {
+                row.special = true;
+                row.pp_value = reference_.apply_with_window(x, win);
+                continue;
+            }
+            row.sign = v.sign;
+            if (v.exponent > win.hi) {
+                // Softmax overflow: PP selects the deepest entry.
+                row.mantissa = static_cast<std::uint32_t>(mantissas - 1);
+                row.exponent = win.hi;
+            } else {
+                row.mantissa = v.mantissa;
+                row.exponent = v.exponent;
+            }
+        }
+
+        // --- Phase 2+3: stream LUT rows in mantissa-ascending order;
+        // each row's TC fires when the counter equals its mantissa
+        // and latches the sliding-window slice of the LUT row.
+        for (int cycle = 0; cycle < mantissas; ++cycle) {
+            // For a signed LUT both sign rows are streamed; the sign
+            // selects which broadcast lane a row listens to.
+            ++run.lut_row_reads;
+            for (std::size_t r = 0; r < rows; ++r) {
+                RowState& row = state[r];
+                if (row.special || row.row_latched) {
+                    continue;
+                }
+                const vlp::TemporalConverter tc(row.mantissa);
+                if (!tc.spikes_at(static_cast<std::uint32_t>(cycle))) {
+                    continue;
+                }
+                const std::span<const float> lut_row =
+                    lut.row(row.sign, row.mantissa);
+                row.latched.assign(window, 0.0f);
+                for (int e = win.lo; e <= win.hi; ++e) {
+                    row.latched[e - win.lo] =
+                        lut_row[e - lut.config().min_exp];
+                }
+                row.row_latched = true;
+            }
+        }
+        run.cycles += static_cast<std::uint64_t>(mantissas);
+
+        // --- Phase 4: exponent temporal subscription through PP.
+        for (int cycle = 0; cycle < window; ++cycle) {
+            for (std::size_t r = 0; r < rows; ++r) {
+                RowState& row = state[r];
+                const std::size_t out_idx = start + r;
+                if (row.special) {
+                    if (cycle == 0) {
+                        run.outputs[out_idx] = row.pp_value;
+                    }
+                    continue;
+                }
+                const vlp::TemporalConverter tc(
+                    static_cast<std::uint32_t>(row.exponent - win.lo));
+                if (tc.spikes_at(static_cast<std::uint32_t>(cycle))) {
+                    run.outputs[out_idx] = row.latched[cycle];
+                }
+            }
+        }
+        // Mappings pipeline: the exponent subscription of this load
+        // overlaps the mantissa sweep of the next, so only the final
+        // drain adds latency (accounted once below).
+        ++run.mappings;
+
+        // oAcc accumulates exp results for the softmax sum.
+        if (config_.op == NonlinearOp::kExp) {
+            for (std::size_t r = 0; r < rows; ++r) {
+                run.softmax_sum +=
+                    static_cast<double>(run.outputs[start + r]);
+            }
+        }
+    }
+    run.cycles += static_cast<std::uint64_t>(config_.window_size);
+    return run;
+}
+
+}  // namespace arch
+}  // namespace mugi

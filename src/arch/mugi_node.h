@@ -1,0 +1,64 @@
+#ifndef MUGI_ARCH_MUGI_NODE_H_
+#define MUGI_ARCH_MUGI_NODE_H_
+
+/**
+ * @file
+ * Cycle-accurate functional model of one Mugi node's nonlinear path
+ * (Fig. 9/10): M-proc/E-proc input field split, iSRAM LUT-row
+ * streaming (value reuse), per-row mantissa temporal subscription,
+ * and PP exponent temporal subscription, with the oAcc accumulating
+ * softmax sums on the fly (Sec. 4.1).
+ *
+ * The model executes the four phases cycle by cycle and must produce
+ * *bit-identical* outputs to the functional vlp::VlpApproximator --
+ * the integration tests enforce this equivalence, which is the
+ * repository's stand-in for RTL-vs-model co-simulation.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "vlp/vlp_approximator.h"
+
+namespace mugi {
+namespace arch {
+
+/** Outcome of running one batch through the node's nonlinear path. */
+struct MugiNonlinearRun {
+    std::vector<float> outputs;
+    double softmax_sum = 0.0;   ///< oAcc accumulation (exp only).
+    std::uint64_t cycles = 0;   ///< Simulated cycles.
+    std::uint64_t mappings = 0; ///< Array loads executed.
+    std::uint64_t lut_row_reads = 0;  ///< iSRAM row reads.
+};
+
+/** One Mugi node driving the VLP nonlinear path. */
+class MugiNode {
+  public:
+    /**
+     * @param config VLP configuration (op, LUT window, policy).
+     * @param array_rows Array height H; each mapping processes up to
+     *        H inputs.
+     */
+    MugiNode(const vlp::VlpConfig& config, std::size_t array_rows);
+
+    /**
+     * Run @p inputs through the nonlinear path, mapping_rows = H per
+     * array load, simulating each temporal phase cycle by cycle.
+     */
+    MugiNonlinearRun run_nonlinear(std::span<const float> inputs) const;
+
+    std::size_t array_rows() const { return array_rows_; }
+    const vlp::VlpApproximator& reference() const { return reference_; }
+
+  private:
+    vlp::VlpConfig config_;
+    std::size_t array_rows_;
+    vlp::VlpApproximator reference_;
+};
+
+}  // namespace arch
+}  // namespace mugi
+
+#endif  // MUGI_ARCH_MUGI_NODE_H_

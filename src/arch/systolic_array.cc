@@ -1,0 +1,71 @@
+#include "arch/systolic_array.h"
+
+#include <cassert>
+#include <vector>
+
+namespace mugi {
+namespace arch {
+
+SystolicResult
+systolic_gemm(const support::MatrixF& a, const support::MatrixF& b,
+              std::size_t array_dim)
+{
+    assert(a.cols() == b.rows());
+    const std::size_t m = a.rows();
+    const std::size_t k = a.cols();
+    const std::size_t n = b.cols();
+    const std::size_t A = array_dim;
+
+    SystolicResult result;
+    result.out = support::MatrixF(m, n, 0.0f);
+
+    for (std::size_t m0 = 0; m0 < m; m0 += A) {
+        const std::size_t mh = std::min(A, m - m0);
+        for (std::size_t n0 = 0; n0 < n; n0 += A) {
+            const std::size_t nw = std::min(A, n - n0);
+            // One output-stationary tile: PE (r, c) accumulates
+            // C[m0+r, n0+c].  Operands are skewed: A[m0+r, :] enters
+            // the west edge delayed by r cycles, B[:, n0+c] enters
+            // the north edge delayed by c cycles; PE (r, c) sees
+            // A[m0+r, t - r - c] meet B[t - r - c, n0+c] at cycle t.
+            const std::uint64_t tile_cycles =
+                static_cast<std::uint64_t>(k) + 2 * A - 1;
+            for (std::uint64_t t = 0; t < tile_cycles; ++t) {
+                for (std::size_t r = 0; r < mh; ++r) {
+                    for (std::size_t c = 0; c < nw; ++c) {
+                        const std::int64_t kk =
+                            static_cast<std::int64_t>(t) -
+                            static_cast<std::int64_t>(r) -
+                            static_cast<std::int64_t>(c);
+                        if (kk < 0 ||
+                            kk >= static_cast<std::int64_t>(k)) {
+                            continue;
+                        }
+                        result.out.at(m0 + r, n0 + c) +=
+                            a.at(m0 + r, static_cast<std::size_t>(kk)) *
+                            b.at(static_cast<std::size_t>(kk), n0 + c);
+                        ++result.macs;
+                    }
+                }
+            }
+            result.cycles += tile_cycles;
+        }
+    }
+    result.utilization =
+        static_cast<double>(result.macs) /
+        (static_cast<double>(result.cycles) * A * A);
+    return result;
+}
+
+std::uint64_t
+systolic_cycles(std::size_t m, std::size_t n, std::size_t k,
+                std::size_t array_dim)
+{
+    const std::uint64_t m_tiles = (m + array_dim - 1) / array_dim;
+    const std::uint64_t n_tiles = (n + array_dim - 1) / array_dim;
+    return m_tiles * n_tiles *
+           (static_cast<std::uint64_t>(k) + 2 * array_dim - 1);
+}
+
+}  // namespace arch
+}  // namespace mugi

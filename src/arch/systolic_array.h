@@ -1,0 +1,50 @@
+#ifndef MUGI_ARCH_SYSTOLIC_ARRAY_H_
+#define MUGI_ARCH_SYSTOLIC_ARRAY_H_
+
+/**
+ * @file
+ * Cycle-accurate functional model of the output-stationary systolic
+ * array baseline (Sec. 5.2.2/5.2.3).  Activations enter from the west
+ * edge, weights from the north edge, both skewed by one cycle per
+ * row/column; each PE multiply-accumulates into its stationary output
+ * register.  This is the ground truth the analytic SA cycle formula
+ * is validated against, and a functional reference for the baseline
+ * GEMM results.
+ */
+
+#include <cstdint>
+
+#include "support/matrix.h"
+
+namespace mugi {
+namespace arch {
+
+/** Result of a simulated systolic GEMM. */
+struct SystolicResult {
+    support::MatrixF out;      ///< C = A * B.
+    std::uint64_t cycles = 0;  ///< Simulated cycle count.
+    std::uint64_t macs = 0;    ///< MAC operations performed.
+    double utilization = 0.0;  ///< macs / (cycles * rows * cols).
+};
+
+/**
+ * Output-stationary systolic GEMM C[m,n] = A[m,k] * B[k,n] on an
+ * @p array_dim x @p array_dim grid.  Tiles of C map onto the PE grid;
+ * for each tile, k streams through with the standard input skew.
+ */
+SystolicResult systolic_gemm(const support::MatrixF& a,
+                             const support::MatrixF& b,
+                             std::size_t array_dim);
+
+/**
+ * Analytic cycle count of the same mapping:
+ *   ceil(m/A) * ceil(n/A) * (k + 2A - 1)
+ * (k streaming plus the skew fill/drain per tile).
+ */
+std::uint64_t systolic_cycles(std::size_t m, std::size_t n,
+                              std::size_t k, std::size_t array_dim);
+
+}  // namespace arch
+}  // namespace mugi
+
+#endif  // MUGI_ARCH_SYSTOLIC_ARRAY_H_

@@ -1,0 +1,115 @@
+#include "arch/tech_model.h"
+
+#include <cmath>
+
+namespace mugi {
+namespace arch {
+
+double
+component_area(Component c)
+{
+    // Anchors: Horowitz ISSCC'14 45 nm datapath table (FP16 add
+    // 1360 um^2 / mult 1640 um^2, INT8 add 36 um^2, INT32 add
+    // 137 um^2), composed with registers and muxing; VLP components
+    // sized so an 8x8 Mugi node totals ~0.056 mm^2 (Sec. 5.4 P&R).
+    switch (c) {
+      case Component::kVlpPe:
+        return 150.0;   // T reg + AND + OR tap + latch.
+      case Component::kTemporalConverter:
+        return 220.0;   // Equality over 3-4 bits + control.
+      case Component::kCounter:
+        return 180.0;
+      case Component::kBf16Adder:
+        return 1400.0;  // ~FP16 adder + register.
+      case Component::kFp32Adder:
+        return 3100.0;
+      case Component::kBf16Mac:
+        return 3600.0;  // FP16 mult + add + pipeline regs.
+      case Component::kFignaMac:
+        return 4100.0;  // FP-INT integer-unit PE (FIGNA).
+      case Component::kInt4Mult:
+        return 120.0;
+      case Component::kFifoByte:
+        return 55.0;    // 8 flops + mux per byte.
+      case Component::kLutByte:
+        return 70.0;    // FIFO-built programmable LUT (Mugi-L).
+      case Component::kComparator:
+        return 240.0;
+      case Component::kPostProc:
+        return 600.0;   // Special-value mux network.
+      case Component::kSignConvert:
+        return 90.0;
+      case Component::kWindowSelect:
+        return 400.0;
+      case Component::kRouter:
+        return 90000.0; // 3-channel mesh router.
+    }
+    return 0.0;
+}
+
+double
+component_energy(Component c)
+{
+    switch (c) {
+      case Component::kVlpPe:
+        return 0.055;  // Subscription: one latch + gate toggle.
+      case Component::kTemporalConverter:
+        return 0.025;
+      case Component::kCounter:
+        return 0.02;
+      case Component::kBf16Adder:
+        return 0.40;   // Horowitz FP16 add.
+      case Component::kFp32Adder:
+        return 0.90;
+      case Component::kBf16Mac:
+        return 1.50;   // FP16 mult (1.1) + add (0.4).
+      case Component::kFignaMac:
+        return 1.45;   // Integer-unit FP-INT MAC.
+      case Component::kInt4Mult:
+        return 0.10;
+      case Component::kFifoByte:
+        return 0.11;   // Shift one byte.
+      case Component::kLutByte:
+        return 0.12;
+      case Component::kComparator:
+        return 0.06;
+      case Component::kPostProc:
+        return 0.10;
+      case Component::kSignConvert:
+        return 0.02;
+      case Component::kWindowSelect:
+        return 0.08;
+      case Component::kRouter:
+        return 12.0;   // Per flit-byte switched handled separately.
+    }
+    return 0.0;
+}
+
+double
+SramMacro::area_um2() const
+{
+    // CACTI-class 45 nm density: ~4.3 um^2 per byte for small
+    // (64-256 KB) macros including periphery, with a mild size
+    // penalty for very small macros.
+    const double bytes_d = static_cast<double>(bytes);
+    const double density = 3.9 * (1.0 + 8192.0 / (bytes_d + 16384.0));
+    const double banks = double_buffered ? 2.0 : 1.0;
+    return bytes_d * density * banks;
+}
+
+double
+SramMacro::access_energy_per_byte() const
+{
+    // ~0.09 pJ/bit for 64 KB-class macros at 45 nm.
+    return 0.72;
+}
+
+double
+SramMacro::leakage_mw() const
+{
+    // SRAM leaks less per area than logic: ~6 mW per mm^2.
+    return area_um2() * 1e-6 * 6.0;
+}
+
+}  // namespace arch
+}  // namespace mugi

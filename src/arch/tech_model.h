@@ -1,0 +1,93 @@
+#ifndef MUGI_ARCH_TECH_MODEL_H_
+#define MUGI_ARCH_TECH_MODEL_H_
+
+/**
+ * @file
+ * 45 nm, 400 MHz technology component library (Sec. 5.4).
+ *
+ * The paper's area/energy numbers come from RTL synthesis at 45 nm
+ * plus CACTI 7 for SRAM.  This reproduction substitutes a component
+ * table anchored to published 45 nm datapoints (the classic Horowitz
+ * ISSCC'14 energy table for arithmetic, CACTI-class scaling for SRAM)
+ * and calibrated against the paper's absolute anchors: the 8x8 Mugi
+ * node at 0.056 mm^2 and the Table 3 / Fig. 13 breakdowns.  All
+ * designs are costed from the *same* table, so relative comparisons
+ * inherit only the well-established component ratios.
+ *
+ * Units: area um^2, energy pJ, power mW, time ns.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mugi {
+namespace arch {
+
+/** Clock frequency used throughout the evaluation (Sec. 5.2.3). */
+inline constexpr double kClockMhz = 400.0;
+
+/** ns per cycle at 400 MHz. */
+inline constexpr double kCycleNs = 1000.0 / kClockMhz;
+
+/** Datapath components with per-instance area and per-op energy. */
+enum class Component {
+    kVlpPe,        ///< Mugi PE: AND subscription + T reg + OR tap.
+    kTemporalConverter,  ///< TC: equality + counter tap.
+    kCounter,      ///< Shared per-column counter.
+    kBf16Adder,    ///< BF16 accumulator (iAcc / oAcc).
+    kFp32Adder,    ///< FP32 accumulator (tensor core / SA top).
+    kBf16Mac,      ///< BF16 multiply-accumulate PE (SA/SD/VA).
+    kFignaMac,     ///< FIGNA FP-INT PE (integer-unit based).
+    kInt4Mult,     ///< Slim INT4 multiplier.
+    kFifoByte,     ///< One byte of FIFO storage (regs + mux).
+    kLutByte,      ///< One byte of programmable LUT (Mugi-L, FIFO-built).
+    kComparator,   ///< PWL segment comparator.
+    kPostProc,     ///< PP block: special-value mux + select.
+    kSignConvert,  ///< SC: XOR sign network per row.
+    kWindowSelect, ///< SW block per column.
+    kRouter,       ///< NoC router (3 channels, Sec. 5.2.3).
+};
+
+/** Area of one component instance in um^2. */
+double component_area(Component c);
+
+/** Switching energy of one component operation in pJ. */
+double component_energy(Component c);
+
+/** CACTI-like SRAM macro model. */
+struct SramMacro {
+    std::size_t bytes = 0;
+    bool double_buffered = true;  ///< Mugi double buffers everything.
+
+    /** Total macro area in um^2. */
+    double area_um2() const;
+    /** Energy of one byte accessed, pJ. */
+    double access_energy_per_byte() const;
+    /** Leakage power in mW. */
+    double leakage_mw() const;
+};
+
+/** Off-chip memory (HBM, 256 GB/s, Sec. 5.2.3). */
+struct OffChipMemory {
+    double bandwidth_gbps = 256.0;
+
+    /** Bytes deliverable per core cycle at 400 MHz. */
+    double
+    bytes_per_cycle() const
+    {
+        return bandwidth_gbps * 1e9 / (kClockMhz * 1e6);
+    }
+    /** pJ per byte moved from DRAM (HBM core + PHY, ~7 pJ/bit). */
+    double energy_per_byte() const { return 56.0; }
+};
+
+/** Logic leakage density, mW per mm^2 (45 nm high-performance). */
+inline constexpr double kLogicLeakageMwPerMm2 = 18.0;
+
+/** NoC link energy per byte per hop, pJ. */
+inline constexpr double kNocHopEnergyPerByte = 0.8;
+
+}  // namespace arch
+}  // namespace mugi
+
+#endif  // MUGI_ARCH_TECH_MODEL_H_

@@ -1,0 +1,37 @@
+#include "carbon/carbon_model.h"
+
+namespace mugi {
+namespace carbon {
+
+double
+carbon_per_area_g_per_mm2(const CarbonParams& params)
+{
+    return params.manufacturing_kwh_per_mm2 *
+           params.carbon_intensity_g_per_kwh;
+}
+
+CarbonReport
+assess(const sim::DesignConfig& design, const sim::PerfReport& perf,
+       const CarbonParams& params)
+{
+    CarbonReport report;
+
+    // Operational: E * CI (Eq. 6), with E the energy per token.
+    const double kwh_per_token =
+        perf.energy_per_token_j / 3.6e6;  // J -> kWh.
+    report.operational_g_per_token =
+        kwh_per_token * params.carbon_intensity_g_per_kwh;
+
+    // Embodied: Area * CPA (Eq. 7), amortized over the tokens the
+    // design processes across its lifetime.
+    const double area = sim::total_area_mm2(design);
+    const double embodied_total_g =
+        area * carbon_per_area_g_per_mm2(params);
+    const double lifetime_tokens =
+        perf.throughput_tokens_per_s * params.lifetime_s;
+    report.embodied_g_per_token = embodied_total_g / lifetime_tokens;
+    return report;
+}
+
+}  // namespace carbon
+}  // namespace mugi

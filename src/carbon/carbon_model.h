@@ -1,0 +1,61 @@
+#ifndef MUGI_CARBON_CARBON_MODEL_H_
+#define MUGI_CARBON_CARBON_MODEL_H_
+
+/**
+ * @file
+ * Carbon model (Sec. 2.4, 5.3, Eq. 6/7):
+ *
+ *   Operational CO2eq = E * CI
+ *   Embodied   CO2eq = Area * CPA
+ *
+ * CI is the world-average grid carbon intensity from the ACT
+ * methodology; CPA is derived from the per-mm^2 manufacturing energy
+ * of the Dark-Silicon analysis at 45 nm, converted with the same CI.
+ * The normalized comparisons (Fig. 15) only depend on these constants
+ * as a common scale between designs.
+ */
+
+#include "sim/performance_model.h"
+
+namespace mugi {
+namespace carbon {
+
+/** Carbon accounting parameters. */
+struct CarbonParams {
+    /** World grid carbon intensity, gCO2eq per kWh (ACT). */
+    double carbon_intensity_g_per_kwh = 475.0;
+    /** Manufacturing energy per mm^2 at 45 nm, kWh/mm^2. */
+    double manufacturing_kwh_per_mm2 = 0.45;
+    /** Amortization window of the hardware, seconds (3 years). */
+    double lifetime_s = 3.0 * 365.0 * 24.0 * 3600.0;
+};
+
+/** Carbon footprint of running one workload steadily over a lifetime. */
+struct CarbonReport {
+    /** Operational gCO2eq per processed token. */
+    double operational_g_per_token = 0.0;
+    /** Embodied gCO2eq per processed token (area amortized). */
+    double embodied_g_per_token = 0.0;
+
+    double
+    total_g_per_token() const
+    {
+        return operational_g_per_token + embodied_g_per_token;
+    }
+};
+
+/** gCO2eq per mm^2 of silicon (CPA of Eq. 7). */
+double carbon_per_area_g_per_mm2(const CarbonParams& params);
+
+/**
+ * Carbon of running @p perf's workload continuously on @p design for
+ * the amortization lifetime, expressed per token.
+ */
+CarbonReport assess(const sim::DesignConfig& design,
+                    const sim::PerfReport& perf,
+                    const CarbonParams& params = {});
+
+}  // namespace carbon
+}  // namespace mugi
+
+#endif  // MUGI_CARBON_CARBON_MODEL_H_

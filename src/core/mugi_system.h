@@ -1,0 +1,101 @@
+#ifndef MUGI_CORE_MUGI_SYSTEM_H_
+#define MUGI_CORE_MUGI_SYSTEM_H_
+
+/**
+ * @file
+ * The top-level Mugi public API: configure an accelerator, run LLM
+ * workloads through the performance / cost / carbon models, and run
+ * functional BF16-INT4 GEMM and VLP nonlinear kernels.
+ *
+ * This facade is what the examples and the benchmark harness consume;
+ * it composes the subsystems the rest of the repository implements
+ * (see DESIGN.md's inventory).
+ */
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "carbon/carbon_model.h"
+#include "model/workload.h"
+#include "quant/group_quant.h"
+#include "sim/event_sim.h"
+#include "sim/performance_model.h"
+#include "vlp/vlp_approximator.h"
+#include "vlp/vlp_gemm.h"
+
+namespace mugi {
+namespace core {
+
+/** Combined evaluation of one workload on one design. */
+struct SystemReport {
+    sim::PerfReport perf;
+    sim::AreaBreakdown area;
+    carbon::CarbonReport carbon;
+    sim::EventSimResult event_sim;
+};
+
+/**
+ * A configured Mugi (or baseline) accelerator system.
+ *
+ * Functional kernels (quantized GEMM, nonlinear approximation) run
+ * through the same VLP machinery the architecture models simulate, so
+ * numerical results and modeled performance come from one place.
+ */
+class MugiSystem {
+  public:
+    /** Wrap a design configuration (see sim/design.h factories). */
+    explicit MugiSystem(const sim::DesignConfig& design);
+
+    /** Paper-default Mugi node: H=256, window 8, coverage policy. */
+    static MugiSystem default_mugi();
+
+    const sim::DesignConfig& design() const { return design_; }
+
+    /** Full model evaluation of one decode step. */
+    SystemReport evaluate_decode(const model::ModelConfig& model,
+                                 std::size_t batch,
+                                 std::size_t context) const;
+
+    /** Full model evaluation of a prefill pass. */
+    SystemReport evaluate_prefill(const model::ModelConfig& model,
+                                  std::size_t batch,
+                                  std::size_t seq_len) const;
+
+    /** Evaluate an arbitrary workload. */
+    SystemReport evaluate(const model::Workload& workload) const;
+
+    /**
+     * Functional WOQ GEMM: quantize @p weights to INT4 groups, run
+     * the temporal VLP GEMM against BF16 activations, dequantize via
+     * the vector array (per-group scales).  Returns the output and
+     * the simulated cycle count.
+     */
+    struct GemmRun {
+        support::MatrixF out;
+        std::uint64_t cycles = 0;
+    };
+    GemmRun run_woq_gemm(const support::MatrixF& weights,
+                         const support::MatrixF& activations,
+                         std::size_t group_size) const;
+
+    /** Functional VLP softmax over @p logits (one row). */
+    std::vector<float> run_softmax(std::span<const float> logits) const;
+
+    /** Functional VLP activation (SiLU or GELU) over @p values. */
+    std::vector<float> run_activation(nonlinear::NonlinearOp op,
+                                      std::span<const float> values)
+        const;
+
+  private:
+    sim::DesignConfig design_;
+    std::unique_ptr<vlp::VlpApproximator> softmax_exp_;
+    std::unique_ptr<vlp::VlpApproximator> silu_;
+    std::unique_ptr<vlp::VlpApproximator> gelu_;
+};
+
+}  // namespace core
+}  // namespace mugi
+
+#endif  // MUGI_CORE_MUGI_SYSTEM_H_

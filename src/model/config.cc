@@ -1,0 +1,187 @@
+#include "model/config.h"
+
+#include <algorithm>
+
+namespace mugi {
+namespace model {
+
+const char*
+family_name(ModelFamily family)
+{
+    switch (family) {
+      case ModelFamily::kLlama:
+        return "llama";
+      case ModelFamily::kWhisper:
+        return "whisper";
+      case ModelFamily::kSwin:
+        return "swin";
+      case ModelFamily::kVivit:
+        return "vivit";
+    }
+    return "?";
+}
+
+std::size_t
+ModelConfig::weight_params() const
+{
+    const std::size_t kv_dim = num_kv_heads * head_dim();
+    // Q + O projections, K + V projections, FFN matrices.
+    const std::size_t attn =
+        2 * d_model * d_model + 2 * d_model * kv_dim;
+    const std::size_t ffn =
+        (gated_ffn() ? 3 : 2) * d_model * d_ff;
+    return num_layers * (attn + ffn);
+}
+
+ModelConfig
+ModelConfig::scaled_for_eval(std::size_t max_layers,
+                             std::size_t d_model_eval,
+                             std::size_t vocab_eval) const
+{
+    ModelConfig eval = *this;
+    eval.name = name + "-eval";
+    eval.num_layers = std::min(num_layers, max_layers);
+    eval.d_model = d_model_eval;
+    eval.num_heads = 4;
+    eval.num_kv_heads = std::max<std::size_t>(
+        1, 4 / std::max<std::size_t>(1, gqa_group()));
+    eval.d_ff = gated_ffn() ? d_model_eval * 8 / 3 : d_model_eval * 4;
+    eval.vocab = vocab_eval;
+    eval.max_seq_len = 128;
+    return eval;
+}
+
+ModelConfig
+llama2_7b()
+{
+    ModelConfig c;
+    c.name = "llama2-7b";
+    c.family = ModelFamily::kLlama;
+    c.num_layers = 32;
+    c.num_heads = 32;
+    c.num_kv_heads = 32;
+    c.d_model = 4096;
+    c.d_ff = 11008;
+    c.vocab = 32000;
+    c.max_seq_len = 4096;
+    return c;
+}
+
+ModelConfig
+llama2_13b()
+{
+    ModelConfig c = llama2_7b();
+    c.name = "llama2-13b";
+    c.num_layers = 40;
+    c.num_heads = 40;
+    c.num_kv_heads = 40;
+    c.d_model = 5120;
+    c.d_ff = 13824;
+    return c;
+}
+
+ModelConfig
+llama2_70b()
+{
+    ModelConfig c = llama2_7b();
+    c.name = "llama2-70b";
+    c.num_layers = 80;
+    c.num_heads = 64;
+    c.num_kv_heads = 8;  // GQA group size 8.
+    c.d_model = 8192;
+    c.d_ff = 28672;
+    return c;
+}
+
+ModelConfig
+whisper_tiny()
+{
+    ModelConfig c;
+    c.name = "whisper-tiny";
+    c.family = ModelFamily::kWhisper;
+    c.num_layers = 4;
+    c.num_heads = 6;
+    c.num_kv_heads = 6;
+    c.d_model = 384;
+    c.d_ff = 1536;
+    c.vocab = 51865;
+    c.max_seq_len = 1500;
+    return c;
+}
+
+ModelConfig
+whisper_large()
+{
+    ModelConfig c = whisper_tiny();
+    c.name = "whisper-large";
+    c.num_layers = 32;
+    c.num_heads = 20;
+    c.num_kv_heads = 20;
+    c.d_model = 1280;
+    c.d_ff = 5120;
+    return c;
+}
+
+ModelConfig
+swinv2_tiny()
+{
+    ModelConfig c;
+    c.name = "swinv2-tiny";
+    c.family = ModelFamily::kSwin;
+    c.num_layers = 12;
+    // Table 1 lists stage-dependent dims (96-768); use the mid-stage
+    // geometry for the flat approximation of the pyramid.
+    c.num_heads = 12;
+    c.num_kv_heads = 12;
+    c.d_model = 384;
+    c.d_ff = 1536;
+    c.vocab = 1000;
+    c.max_seq_len = 4096;
+    return c;
+}
+
+ModelConfig
+swinv2_large()
+{
+    ModelConfig c = swinv2_tiny();
+    c.name = "swinv2-large";
+    c.num_layers = 24;
+    c.num_heads = 24;
+    c.num_kv_heads = 24;
+    c.d_model = 768;
+    c.d_ff = 3072;
+    return c;
+}
+
+ModelConfig
+vivit_base()
+{
+    ModelConfig c;
+    c.name = "vivit-base";
+    c.family = ModelFamily::kVivit;
+    c.num_layers = 12;
+    c.num_heads = 12;
+    c.num_kv_heads = 12;
+    c.d_model = 768;
+    c.d_ff = 3072;
+    c.vocab = 400;
+    c.max_seq_len = 3136;
+    return c;
+}
+
+std::vector<ModelConfig>
+all_models()
+{
+    return {llama2_7b(),     llama2_13b(),    llama2_70b(),
+            whisper_tiny(),  whisper_large(), swinv2_tiny(),
+            swinv2_large(),  vivit_base()};
+}
+
+std::vector<ModelConfig>
+llama_family()
+{
+    return {llama2_7b(), llama2_13b(), llama2_70b()};
+}
+
+}  // namespace model
+}  // namespace mugi

@@ -1,0 +1,105 @@
+#ifndef MUGI_MODEL_CONFIG_H_
+#define MUGI_MODEL_CONFIG_H_
+
+/**
+ * @file
+ * Model configurations of Table 1: the Llama-2 family (7B/13B/70B),
+ * Whisper (tiny/large), SwinV2 (tiny/large) and ViViT (base).
+ *
+ * Full-scale configs drive the performance/cost simulator (shapes
+ * only).  For the accuracy and profiling studies (Fig. 4/6/7/8) --
+ * which the paper ran on pretrained HuggingFace checkpoints -- we use
+ * structurally faithful scaled-down instances (see
+ * ModelConfig::scaled_for_eval and DESIGN.md's substitution notes).
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nonlinear/reference.h"
+
+namespace mugi {
+namespace model {
+
+/** Transformer architectural family. */
+enum class ModelFamily {
+    kLlama,    ///< Decoder-only: causal, RoPE, RMSNorm, SwiGLU (SiLU).
+    kWhisper,  ///< Encoder-style: bidirectional, LayerNorm, GELU.
+    kSwin,     ///< Vision encoder: bidirectional, LayerNorm, GELU.
+    kVivit,    ///< Video encoder: bidirectional, LayerNorm, GELU.
+};
+
+const char* family_name(ModelFamily family);
+
+/** A transformer configuration (one column of Table 1). */
+struct ModelConfig {
+    std::string name;
+    ModelFamily family = ModelFamily::kLlama;
+    std::size_t num_layers = 0;
+    std::size_t num_heads = 0;
+    std::size_t num_kv_heads = 0;  ///< < num_heads enables GQA.
+    std::size_t d_model = 0;       ///< Attention hidden dim.
+    std::size_t d_ff = 0;          ///< FFN hidden dim.
+    std::size_t vocab = 32000;     ///< Vocabulary / class count.
+    std::size_t max_seq_len = 4096;
+
+    /** GQA group size: query heads sharing one KV head. */
+    std::size_t
+    gqa_group() const
+    {
+        return num_heads / num_kv_heads;
+    }
+
+    std::size_t head_dim() const { return d_model / num_heads; }
+
+    bool causal() const { return family == ModelFamily::kLlama; }
+
+    /** SwiGLU (gated) FFN for Llama; plain 2-matrix FFN otherwise. */
+    bool gated_ffn() const { return family == ModelFamily::kLlama; }
+
+    /** FFN activation: SiLU for Llama, GELU for the rest. */
+    nonlinear::NonlinearOp
+    activation() const
+    {
+        return family == ModelFamily::kLlama
+                   ? nonlinear::NonlinearOp::kSilu
+                   : nonlinear::NonlinearOp::kGelu;
+    }
+
+    bool uses_rope() const { return family == ModelFamily::kLlama; }
+    bool uses_rmsnorm() const { return family == ModelFamily::kLlama; }
+
+    /** Total weight parameter count (embeddings excluded). */
+    std::size_t weight_params() const;
+
+    /**
+     * A structurally identical, laptop-sized instance for accuracy /
+     * profiling runs: same family, same layer count (capped), same
+     * GQA ratio, small dims.
+     */
+    ModelConfig scaled_for_eval(std::size_t max_layers = 4,
+                                std::size_t d_model_eval = 64,
+                                std::size_t vocab_eval = 256) const;
+};
+
+/** Table 1 presets. */
+ModelConfig llama2_7b();
+ModelConfig llama2_13b();
+ModelConfig llama2_70b();      ///< GQA with group size 8.
+ModelConfig whisper_tiny();
+ModelConfig whisper_large();
+ModelConfig swinv2_tiny();
+ModelConfig swinv2_large();
+ModelConfig vivit_base();
+
+/** All Table 1 models, in paper order. */
+std::vector<ModelConfig> all_models();
+
+/** The Llama family used by the architecture studies (Sec. 6). */
+std::vector<ModelConfig> llama_family();
+
+}  // namespace model
+}  // namespace mugi
+
+#endif  // MUGI_MODEL_CONFIG_H_

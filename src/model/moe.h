@@ -1,0 +1,96 @@
+#ifndef MUGI_MODEL_MOE_H_
+#define MUGI_MODEL_MOE_H_
+
+/**
+ * @file
+ * Mixture-of-Experts FFN (paper Sec. 7.1, "MoE and Multi-Modal
+ * Models"): selective FFN experts chosen by a softmax-based gating
+ * network.  The gating softmax is one more VLP consumer -- the same
+ * approximator hook used for attention softmax plugs in here -- and
+ * each selected expert is a standard (SwiGLU or plain) FFN whose
+ * GEMMs run through the same BF16-INT4 path.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "model/config.h"
+#include "model/ops.h"
+#include "nonlinear/approximator.h"
+#include "support/matrix.h"
+
+namespace mugi {
+namespace model {
+
+/** Configuration of one MoE FFN layer. */
+struct MoeConfig {
+    std::size_t d_model = 64;
+    std::size_t d_ff = 128;      ///< Hidden dim of each expert.
+    std::size_t num_experts = 8;
+    std::size_t top_k = 2;       ///< Experts activated per token.
+    nonlinear::NonlinearOp activation = nonlinear::NonlinearOp::kSilu;
+};
+
+/** A softmax-gated top-k mixture-of-experts FFN. */
+class MoeFfn {
+  public:
+    MoeFfn(const MoeConfig& config, std::uint32_t seed);
+
+    const MoeConfig& config() const { return config_; }
+
+    /**
+     * Forward pass: per token, the router computes gate logits
+     * [num_experts], softmaxes them (through @p gate_exp when
+     * non-null -- the VLP hook), keeps the top-k, renormalizes their
+     * weights, and mixes the selected experts' outputs.
+     *
+     * @param x [T, d_model] input.
+     * @param gate_exp Optional approximate exp for the gating softmax.
+     * @param activation Optional approximate FFN activation.
+     * @return [T, d_model] output.
+     */
+    support::MatrixF forward(
+        const support::MatrixF& x,
+        const nonlinear::NonlinearApproximator* gate_exp = nullptr,
+        const nonlinear::NonlinearApproximator* activation =
+            nullptr) const;
+
+    /**
+     * Expert-selection counts of the most recent forward pass, one
+     * per expert (for load-balance inspection).
+     */
+    const std::vector<std::size_t>& last_selection_counts() const
+    {
+        return selection_counts_;
+    }
+
+    /** FLOP ratio vs a dense pass over all experts: top_k / experts. */
+    double
+    active_fraction() const
+    {
+        return static_cast<double>(config_.top_k) /
+               static_cast<double>(config_.num_experts);
+    }
+
+  private:
+    struct Expert {
+        support::MatrixF w_gate;  ///< [d, ff] (SiLU/SwiGLU path).
+        support::MatrixF w_up;    ///< [d, ff]
+        support::MatrixF w_down;  ///< [ff, d]
+    };
+
+    support::MatrixF expert_forward(
+        const Expert& expert, const support::MatrixF& x_row,
+        const nonlinear::NonlinearApproximator* activation) const;
+
+    MoeConfig config_;
+    support::MatrixF router_;  ///< [d, num_experts] gate projection.
+    std::vector<Expert> experts_;
+    mutable std::vector<std::size_t> selection_counts_;
+};
+
+}  // namespace model
+}  // namespace mugi
+
+#endif  // MUGI_MODEL_MOE_H_

@@ -1,0 +1,146 @@
+#include "model/ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace mugi {
+namespace model {
+
+void
+rmsnorm(const support::MatrixF& in, std::span<const float> gain,
+        support::MatrixF& out, float eps)
+{
+    assert(gain.size() == in.cols());
+    out = support::MatrixF(in.rows(), in.cols());
+    for (std::size_t r = 0; r < in.rows(); ++r) {
+        double sum_sq = 0.0;
+        const float* row = in.row_data(r);
+        for (std::size_t c = 0; c < in.cols(); ++c) {
+            sum_sq += static_cast<double>(row[c]) * row[c];
+        }
+        const float inv_rms = 1.0f / std::sqrt(static_cast<float>(
+                                         sum_sq / in.cols()) +
+                                     eps);
+        float* dst = out.row_data(r);
+        for (std::size_t c = 0; c < in.cols(); ++c) {
+            dst[c] = row[c] * inv_rms * gain[c];
+        }
+    }
+}
+
+void
+layernorm(const support::MatrixF& in, std::span<const float> gain,
+          std::span<const float> bias, support::MatrixF& out, float eps)
+{
+    assert(gain.size() == in.cols() && bias.size() == in.cols());
+    out = support::MatrixF(in.rows(), in.cols());
+    for (std::size_t r = 0; r < in.rows(); ++r) {
+        const float* row = in.row_data(r);
+        double mean = 0.0;
+        for (std::size_t c = 0; c < in.cols(); ++c) {
+            mean += row[c];
+        }
+        mean /= in.cols();
+        double var = 0.0;
+        for (std::size_t c = 0; c < in.cols(); ++c) {
+            const double d = row[c] - mean;
+            var += d * d;
+        }
+        var /= in.cols();
+        const float inv_std =
+            1.0f / std::sqrt(static_cast<float>(var) + eps);
+        float* dst = out.row_data(r);
+        for (std::size_t c = 0; c < in.cols(); ++c) {
+            dst[c] = (row[c] - static_cast<float>(mean)) * inv_std *
+                         gain[c] +
+                     bias[c];
+        }
+    }
+}
+
+void
+apply_rope(support::MatrixF& x, std::size_t num_heads,
+           std::size_t head_dim, std::size_t start_pos)
+{
+    assert(x.cols() == num_heads * head_dim);
+    assert(head_dim % 2 == 0);
+    for (std::size_t t = 0; t < x.rows(); ++t) {
+        const double pos = static_cast<double>(start_pos + t);
+        float* row = x.row_data(t);
+        for (std::size_t h = 0; h < num_heads; ++h) {
+            float* head = row + h * head_dim;
+            for (std::size_t i = 0; i < head_dim / 2; ++i) {
+                const double theta =
+                    pos * std::pow(10000.0,
+                                   -2.0 * static_cast<double>(i) /
+                                       static_cast<double>(head_dim));
+                const float cos_t = static_cast<float>(std::cos(theta));
+                const float sin_t = static_cast<float>(std::sin(theta));
+                const float a = head[2 * i];
+                const float b = head[2 * i + 1];
+                head[2 * i] = a * cos_t - b * sin_t;
+                head[2 * i + 1] = a * sin_t + b * cos_t;
+            }
+        }
+    }
+}
+
+void
+softmax_rows(support::MatrixF& scores,
+             const nonlinear::NonlinearApproximator* exp_approx,
+             const std::function<void(std::span<const float>)>& capture)
+{
+    std::vector<float> shifted(scores.cols());
+    for (std::size_t r = 0; r < scores.rows(); ++r) {
+        float* row = scores.row_data(r);
+        const std::span<float> row_span(row, scores.cols());
+        if (!capture && !exp_approx) {
+            nonlinear::softmax_ref(row_span, row_span);
+            continue;
+        }
+        const float max =
+            *std::max_element(row, row + scores.cols());
+        for (std::size_t c = 0; c < scores.cols(); ++c) {
+            shifted[c] = row[c] - max;
+        }
+        if (capture) {
+            capture(shifted);
+        }
+        if (exp_approx) {
+            nonlinear::softmax_with(*exp_approx, row_span, row_span);
+        } else {
+            nonlinear::softmax_ref(row_span, row_span);
+        }
+    }
+}
+
+void
+apply_activation(
+    support::MatrixF& x, nonlinear::NonlinearOp op,
+    const nonlinear::NonlinearApproximator* activation,
+    const std::function<void(std::span<const float>)>& capture)
+{
+    if (capture) {
+        capture(std::span<const float>(x.data().data(), x.size()));
+    }
+    if (activation) {
+        assert(activation->op() == op);
+        const std::span<float> all(x.data().data(), x.size());
+        activation->apply_batch(all, all);
+        return;
+    }
+    for (float& v : x.data()) {
+        v = static_cast<float>(nonlinear::eval_ref(op, v));
+    }
+}
+
+support::MatrixF
+linear(const support::MatrixF& x, const support::MatrixF& w)
+{
+    return support::matmul(x, w);
+}
+
+}  // namespace model
+}  // namespace mugi

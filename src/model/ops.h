@@ -1,0 +1,65 @@
+#ifndef MUGI_MODEL_OPS_H_
+#define MUGI_MODEL_OPS_H_
+
+/**
+ * @file
+ * Tensor-level building blocks of the transformer substrate: RMSNorm,
+ * LayerNorm, rotary position embeddings (RoPE), row-wise softmax with
+ * a pluggable exp, and the pluggable FFN activation.
+ */
+
+#include <functional>
+#include <span>
+
+#include "nonlinear/approximator.h"
+#include "support/matrix.h"
+
+namespace mugi {
+namespace model {
+
+/** RMSNorm: x / rms(x) * gain, per row. */
+void rmsnorm(const support::MatrixF& in, std::span<const float> gain,
+             support::MatrixF& out, float eps = 1e-5f);
+
+/** LayerNorm: (x - mean) / std * gain + bias, per row. */
+void layernorm(const support::MatrixF& in, std::span<const float> gain,
+               std::span<const float> bias, support::MatrixF& out,
+               float eps = 1e-5f);
+
+/**
+ * Rotary position embeddings applied in place to a [T, H*hd] matrix:
+ * rotate each consecutive pair of dims in each head by position-
+ * dependent angles (theta = 10000^{-2i/hd}).
+ *
+ * @param x In/out activations, row t is position start_pos + t.
+ */
+void apply_rope(support::MatrixF& x, std::size_t num_heads,
+                std::size_t head_dim, std::size_t start_pos);
+
+/**
+ * Row-wise softmax where exp comes from @p exp_approx (nullptr =
+ * exact).  An optional @p capture receives each row's max-subtracted
+ * inputs before exponentiation (profiling hook for Fig. 4).
+ */
+void softmax_rows(
+    support::MatrixF& scores,
+    const nonlinear::NonlinearApproximator* exp_approx,
+    const std::function<void(std::span<const float>)>& capture = {});
+
+/**
+ * Apply @p activation element-wise (nullptr = exact @p op).  The
+ * optional @p capture receives the raw pre-activation values.
+ */
+void apply_activation(
+    support::MatrixF& x, nonlinear::NonlinearOp op,
+    const nonlinear::NonlinearApproximator* activation,
+    const std::function<void(std::span<const float>)>& capture = {});
+
+/** y = x * w, where w has shape [in, out]. */
+support::MatrixF linear(const support::MatrixF& x,
+                        const support::MatrixF& w);
+
+}  // namespace model
+}  // namespace mugi
+
+#endif  // MUGI_MODEL_OPS_H_

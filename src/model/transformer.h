@@ -1,0 +1,178 @@
+#ifndef MUGI_MODEL_TRANSFORMER_H_
+#define MUGI_MODEL_TRANSFORMER_H_
+
+/**
+ * @file
+ * The from-scratch transformer substrate used for the accuracy and
+ * profiling studies (Sec. 3, 5.1): a faithful pre-norm transformer
+ * with GQA, RoPE, SwiGLU/GELU FFN, causal or bidirectional attention,
+ * pluggable nonlinear implementations (global or per layer, the hook
+ * the Fig. 6/7 sweeps use), a profiling capture hook (Fig. 4), WOQ
+ * fake-quantization of the weights, and a KV-cached decode path with
+ * optional KVQ.
+ */
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "model/config.h"
+#include "model/ops.h"
+#include "nonlinear/approximator.h"
+#include "quant/kv_cache.h"
+#include "support/matrix.h"
+
+namespace mugi {
+namespace model {
+
+/** Which nonlinear implementations a forward pass should use. */
+struct NonlinearHooks {
+    /** exp used inside attention softmax; nullptr = exact. */
+    const nonlinear::NonlinearApproximator* softmax_exp = nullptr;
+    /** FFN activation (SiLU/GELU); nullptr = exact. */
+    const nonlinear::NonlinearApproximator* activation = nullptr;
+};
+
+/** Profiling callback: (op, layer, raw nonlinear inputs). */
+using CaptureFn = std::function<void(nonlinear::NonlinearOp, std::size_t,
+                                     std::span<const float>)>;
+
+/** Weights of one transformer layer. */
+struct LayerWeights {
+    support::MatrixF wq;      ///< [d, d]
+    support::MatrixF wk;      ///< [d, kv_dim]
+    support::MatrixF wv;      ///< [d, kv_dim]
+    support::MatrixF wo;      ///< [d, d]
+    support::MatrixF w_gate;  ///< [d, ff] (gated FFN only)
+    support::MatrixF w_up;    ///< [d, ff]
+    support::MatrixF w_down;  ///< [ff, d]
+    std::vector<float> norm1_gain, norm1_bias;
+    std::vector<float> norm2_gain, norm2_bias;
+};
+
+/** A complete transformer model with synthetic weights. */
+class TransformerModel {
+  public:
+    /**
+     * Build a model with seeded Gaussian weights (std 0.02, residual
+     * projections scaled by 1/sqrt(2 * layers) as in GPT-2-style
+     * init, which keeps activations in a realistic range).
+     */
+    TransformerModel(const ModelConfig& config, std::uint32_t seed);
+
+    const ModelConfig& config() const { return config_; }
+
+    /** Set the hooks used for every layer. */
+    void set_hooks(const NonlinearHooks& hooks) { global_hooks_ = hooks; }
+
+    /** Per-layer override (Fig. 7 per-layer tuning); nullopt = global. */
+    void set_layer_hooks(std::size_t layer,
+                         std::optional<NonlinearHooks> hooks);
+
+    /**
+     * Master switch: when disabled, every layer runs exact
+     * nonlinearities regardless of installed hooks.  The accuracy
+     * harness uses this for the teacher pass so per-layer tuning
+     * state cannot leak into the reference.
+     */
+    void set_hooks_enabled(bool enabled) { hooks_enabled_ = enabled; }
+    bool hooks_enabled() const { return hooks_enabled_; }
+
+    /** Install a profiling capture (Fig. 4); empty disables. */
+    void set_capture(CaptureFn capture) { capture_ = std::move(capture); }
+
+    /**
+     * Fake-quantize every weight matrix through INT4 group
+     * quantization (WOQ, Sec. 2.3.2): weights are replaced by their
+     * dequantized values, so the forward pass sees exactly the
+     * precision the INT4 datapath would.
+     */
+    void apply_woq(std::size_t group_size);
+
+    /**
+     * Full-sequence forward pass over token ids; returns next-token
+     * logits per position, shape [T, vocab].
+     */
+    support::MatrixF forward_tokens(std::span<const int> tokens) const;
+
+    /**
+     * Forward pass over raw embeddings (vision-style input), shape
+     * [T, d_model]; returns logits per position.
+     */
+    support::MatrixF forward_embeddings(
+        const support::MatrixF& embeddings) const;
+
+    /** Embedding row for a token (used by the decode path). */
+    std::span<const float> embedding(int token) const;
+
+    std::size_t num_layers() const { return layers_.size(); }
+    const LayerWeights& layer(std::size_t i) const { return layers_[i]; }
+    LayerWeights& mutable_layer(std::size_t i) { return layers_[i]; }
+
+    /**
+     * One decode layer step against a KV cache holding the context.
+     * Exposed for DecodeSession; @p x is the [1, d] layer input.
+     */
+    support::MatrixF decode_layer(std::size_t layer_idx,
+                                  const support::MatrixF& x,
+                                  quant::KvCache& cache) const;
+
+    const std::vector<float>& final_norm_gain() const
+    {
+        return final_norm_gain_;
+    }
+    const support::MatrixF& lm_head() const { return lm_head_; }
+
+    /** Hooks in effect for @p layer. */
+    const NonlinearHooks& hooks_for(std::size_t layer) const;
+
+  private:
+    support::MatrixF run_layers(support::MatrixF x) const;
+    support::MatrixF attention(std::size_t layer_idx,
+                               const support::MatrixF& x_norm) const;
+    support::MatrixF ffn(std::size_t layer_idx,
+                         const support::MatrixF& x_norm) const;
+    void norm(const support::MatrixF& in, std::span<const float> gain,
+              std::span<const float> bias, support::MatrixF& out) const;
+
+    ModelConfig config_;
+    std::vector<LayerWeights> layers_;
+    std::vector<std::optional<NonlinearHooks>> layer_hooks_;
+    NonlinearHooks global_hooks_;
+    bool hooks_enabled_ = true;
+    CaptureFn capture_;
+    support::MatrixF embedding_;       ///< [vocab, d]
+    support::MatrixF lm_head_;         ///< [d, vocab]
+    std::vector<float> final_norm_gain_, final_norm_bias_;
+};
+
+/**
+ * Autoregressive decode session: maintains one KV cache per layer
+ * (optionally KVQ-quantized) and produces logits token by token.
+ */
+class DecodeSession {
+  public:
+    DecodeSession(const TransformerModel& model,
+                  quant::KvPrecision kv_precision);
+
+    /** Consume @p token, return logits for the next token. */
+    std::vector<float> step(int token);
+
+    /** Context length so far. */
+    std::size_t position() const { return position_; }
+
+    /** Total KV-cache footprint across layers, in bytes. */
+    std::size_t kv_bytes() const;
+
+  private:
+    const TransformerModel& model_;
+    std::vector<quant::KvCache> caches_;
+    std::size_t position_ = 0;
+};
+
+}  // namespace model
+}  // namespace mugi
+
+#endif  // MUGI_MODEL_TRANSFORMER_H_

@@ -1,0 +1,150 @@
+#include "model/workload.h"
+
+namespace mugi {
+namespace model {
+
+const char*
+op_class_name(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::kProjection:
+        return "projection";
+      case OpClass::kAttention:
+        return "attention";
+      case OpClass::kFfn:
+        return "ffn";
+      case OpClass::kNonlinear:
+        return "nonlinear";
+    }
+    return "?";
+}
+
+std::uint64_t
+Workload::total_macs() const
+{
+    std::uint64_t total = 0;
+    for (const GemmOp& g : gemms) {
+        total += g.macs();
+    }
+    return total;
+}
+
+std::uint64_t
+Workload::total_weight_bytes() const
+{
+    std::uint64_t total = 0;
+    for (const GemmOp& g : gemms) {
+        if (g.weights_from_dram) {
+            total += g.weight_bytes();
+        }
+    }
+    return total;
+}
+
+std::uint64_t
+Workload::total_nonlinear_elements() const
+{
+    std::uint64_t total = 0;
+    for (const NonlinearWork& n : nonlinears) {
+        total += n.elements;
+    }
+    return total;
+}
+
+namespace {
+
+/** Emit the per-layer op stream shared by decode and prefill. */
+void
+emit_layer_ops(const ModelConfig& c, std::size_t batch,
+               std::size_t q_tokens, std::size_t kv_len,
+               Workload& w)
+{
+    const std::size_t d = c.d_model;
+    const std::size_t hd = c.head_dim();
+    const std::size_t kv_dim = c.num_kv_heads * hd;
+    const std::size_t group = c.gqa_group();
+    const std::size_t L = c.num_layers;
+    const std::size_t m = batch * q_tokens;  // Activation rows.
+
+    // --- Projections (WOQ INT4 weights). ---
+    w.gemms.push_back({"q_proj", OpClass::kProjection, m, d, d, L, 4,
+                       16, true});
+    w.gemms.push_back({"k_proj", OpClass::kProjection, m, kv_dim, d, L,
+                       4, 16, true});
+    w.gemms.push_back({"v_proj", OpClass::kProjection, m, kv_dim, d, L,
+                       4, 16, true});
+    w.gemms.push_back({"o_proj", OpClass::kProjection, m, d, d, L, 4,
+                       16, true});
+
+    // --- Attention against the (KVQ INT4) cache. ---
+    // Per KV head, the GQA group's queries batch together: the Mugi
+    // mapping places these group x batch Q tokens on the columns
+    // (Sec. 4.2).
+    const std::size_t q_rows = batch * group * q_tokens;
+    w.gemms.push_back({"attn_qk", OpClass::kAttention, q_rows, kv_len,
+                       hd, L * c.num_kv_heads, 4, 16, false});
+    w.gemms.push_back({"attn_pv", OpClass::kAttention, q_rows, hd,
+                       kv_len, L * c.num_kv_heads, 4, 16, false});
+
+    // --- FFN (WOQ INT4 weights). ---
+    if (c.gated_ffn()) {
+        w.gemms.push_back({"ffn_gate", OpClass::kFfn, m, c.d_ff, d, L,
+                           4, 16, true});
+    }
+    w.gemms.push_back({"ffn_up", OpClass::kFfn, m, c.d_ff, d, L, 4, 16,
+                       true});
+    w.gemms.push_back({"ffn_down", OpClass::kFfn, m, d, c.d_ff, L, 4,
+                       16, true});
+
+    // --- Nonlinear work. ---
+    NonlinearWork softmax;
+    softmax.name = "softmax";
+    softmax.op = nonlinear::NonlinearOp::kExp;
+    softmax.is_softmax = true;
+    softmax.row_length = kv_len;
+    softmax.elements = L * c.num_heads * batch * q_tokens * kv_len;
+    w.nonlinears.push_back(softmax);
+
+    NonlinearWork act;
+    act.name = c.activation() == nonlinear::NonlinearOp::kSilu
+                   ? "silu"
+                   : "gelu";
+    act.op = c.activation();
+    act.elements = L * m * c.d_ff;
+    w.nonlinears.push_back(act);
+}
+
+}  // namespace
+
+Workload
+build_decode_workload(const ModelConfig& config, std::size_t batch,
+                      std::size_t context)
+{
+    Workload w;
+    w.name = config.name + "-decode";
+    w.config = config;
+    w.batch = batch;
+    w.seq_len = context;
+    w.decode = true;
+    emit_layer_ops(config, batch, /*q_tokens=*/1, /*kv_len=*/context, w);
+    return w;
+}
+
+Workload
+build_prefill_workload(const ModelConfig& config, std::size_t batch,
+                       std::size_t seq_len)
+{
+    Workload w;
+    w.name = config.name + "-prefill";
+    w.config = config;
+    w.batch = batch;
+    w.seq_len = seq_len;
+    w.decode = false;
+    // Prefill attends causally; kv_len averages seq_len/2 per query.
+    emit_layer_ops(config, batch, seq_len,
+                   std::max<std::size_t>(1, seq_len / 2), w);
+    return w;
+}
+
+}  // namespace model
+}  // namespace mugi

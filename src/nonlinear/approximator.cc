@@ -1,0 +1,89 @@
+#include "nonlinear/approximator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mugi {
+namespace nonlinear {
+
+void
+NonlinearApproximator::apply_batch(std::span<const float> in,
+                                   std::span<float> out) const
+{
+    assert(in.size() == out.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        out[i] = apply(in[i]);
+    }
+}
+
+void
+softmax_with(const NonlinearApproximator& exp_approx,
+             std::span<const float> in, std::span<float> out)
+{
+    assert(exp_approx.op() == NonlinearOp::kExp);
+    assert(in.size() == out.size());
+    if (in.empty()) {
+        return;
+    }
+    const float max = *std::max_element(in.begin(), in.end());
+    std::vector<float> shifted(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        shifted[i] = in[i] - max;
+    }
+    exp_approx.apply_batch(shifted, out);
+    double sum = 0.0;
+    for (const float e : out) {
+        sum += e;
+    }
+    // A fully flushed row (all exps approximated to zero) degenerates
+    // to uniform attention rather than NaN, matching what the PP block
+    // feeding the vector array would produce for a zero sum.
+    if (sum <= 0.0) {
+        const float uniform = 1.0f / static_cast<float>(out.size());
+        std::fill(out.begin(), out.end(), uniform);
+        return;
+    }
+    const double inv = 1.0 / sum;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = static_cast<float>(out[i] * inv);
+    }
+}
+
+namespace {
+
+/** Exact implementation used as the accuracy baseline. */
+class ExactApproximator final : public NonlinearApproximator {
+  public:
+    explicit ExactApproximator(NonlinearOp op) : op_(op) {}
+
+    NonlinearOp op() const override { return op_; }
+    std::string name() const override { return "exact"; }
+
+    float
+    apply(float x) const override
+    {
+        return static_cast<float>(eval_ref(op_, x));
+    }
+
+    /**
+     * An exact software implementation on a MAC-based vector lane
+     * takes tens of cycles (Sec. 2.2.1 quotes 44 for the precise
+     * vector-array baseline).
+     */
+    double cycles_per_element() const override { return 44.0; }
+
+  private:
+    NonlinearOp op_;
+};
+
+}  // namespace
+
+std::unique_ptr<NonlinearApproximator>
+make_exact(NonlinearOp op)
+{
+    return std::make_unique<ExactApproximator>(op);
+}
+
+}  // namespace nonlinear
+}  // namespace mugi

@@ -1,0 +1,73 @@
+#ifndef MUGI_NONLINEAR_APPROXIMATOR_H_
+#define MUGI_NONLINEAR_APPROXIMATOR_H_
+
+/**
+ * @file
+ * Common interface for nonlinear-operation implementations.
+ *
+ * Every hardware scheme the paper evaluates (precise vector array, PWL,
+ * Taylor, partial approximation, and the VLP approximation of Sec. 3)
+ * implements this interface, so the accuracy harness (Fig. 6-8) and the
+ * transformer substrate can swap them freely.
+ */
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nonlinear/reference.h"
+
+namespace mugi {
+namespace nonlinear {
+
+/**
+ * An element-wise nonlinear operator plus the latency metadata the
+ * performance model needs.
+ */
+class NonlinearApproximator {
+  public:
+    virtual ~NonlinearApproximator() = default;
+
+    /** The operation being approximated. */
+    virtual NonlinearOp op() const = 0;
+
+    /** Scheme name for reports, e.g. "vlp", "pwl", "taylor". */
+    virtual std::string name() const = 0;
+
+    /** Apply the operator to one element. */
+    virtual float apply(float x) const = 0;
+
+    /**
+     * Apply the operator to a batch.  The default loops over apply();
+     * schemes with batch-level state (e.g. the VLP sliding window,
+     * which is chosen per mapping) override this.
+     */
+    virtual void apply_batch(std::span<const float> in,
+                             std::span<float> out) const;
+
+    /**
+     * Pipeline-amortized cycles consumed per element on one lane/row of
+     * the corresponding hardware (used by the iso-area studies of
+     * Sec. 6.1.2).
+     */
+    virtual double cycles_per_element() const = 0;
+};
+
+/**
+ * Numerically stable softmax where exp() is computed by @p exp_approx
+ * (Eq. 1 with an approximate exponential).  The max subtraction and
+ * the final normalization mirror the Mugi dataflow: oAcc accumulates
+ * the exp results and the vector array multiplies by the reciprocal
+ * (Sec. 4.1).
+ */
+void softmax_with(const NonlinearApproximator& exp_approx,
+                  std::span<const float> in, std::span<float> out);
+
+/** An exact (software) implementation of @p op behind the interface. */
+std::unique_ptr<NonlinearApproximator> make_exact(NonlinearOp op);
+
+}  // namespace nonlinear
+}  // namespace mugi
+
+#endif  // MUGI_NONLINEAR_APPROXIMATOR_H_

@@ -1,0 +1,29 @@
+#include "nonlinear/partial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mugi {
+namespace nonlinear {
+
+PartialApproximator::PartialApproximator(NonlinearOp op) : op_(op)
+{
+    if (op != NonlinearOp::kSilu) {
+        throw std::invalid_argument(
+            "partial approximation is defined for SiLU only");
+    }
+}
+
+float
+PartialApproximator::apply(float x) const
+{
+    if (std::isnan(x)) {
+        return x;
+    }
+    const float relu6 = std::clamp(x + 3.0f, 0.0f, 6.0f);
+    return x * relu6 / 6.0f;
+}
+
+}  // namespace nonlinear
+}  // namespace mugi

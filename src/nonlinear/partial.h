@@ -1,0 +1,43 @@
+#ifndef MUGI_NONLINEAR_PARTIAL_H_
+#define MUGI_NONLINEAR_PARTIAL_H_
+
+/**
+ * @file
+ * Partial approximation (PA) baseline, the MobileNetV3-style "hard"
+ * variant of swish/SiLU (reference [27] of the paper; compared in
+ * Fig. 8 "SiLU PA"):
+ *
+ *   h-swish(x) = x * relu6(x + 3) / 6
+ *
+ * Only part of the function (the sigmoid factor) is approximated --
+ * hence "partial" -- and the approximation is exact outside [-3, 3].
+ */
+
+#include <string>
+
+#include "nonlinear/approximator.h"
+
+namespace mugi {
+namespace nonlinear {
+
+/** Hard-swish partial approximation of SiLU. */
+class PartialApproximator final : public NonlinearApproximator {
+  public:
+    /** @param op must be kSilu; PA is defined for swish-family ops. */
+    explicit PartialApproximator(NonlinearOp op);
+
+    NonlinearOp op() const override { return op_; }
+    std::string name() const override { return "pa"; }
+    float apply(float x) const override;
+
+    /** relu6 + one multiply + one shift. */
+    double cycles_per_element() const override { return 3.0; }
+
+  private:
+    NonlinearOp op_;
+};
+
+}  // namespace nonlinear
+}  // namespace mugi
+
+#endif  // MUGI_NONLINEAR_PARTIAL_H_

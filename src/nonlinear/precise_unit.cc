@@ -1,0 +1,97 @@
+#include "nonlinear/precise_unit.h"
+
+#include <cmath>
+
+namespace mugi {
+namespace nonlinear {
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+constexpr double kInvLn2 = 1.4426950408889634;
+
+}  // namespace
+
+double
+precise_exp(double x)
+{
+    if (std::isnan(x)) {
+        return x;
+    }
+    if (x < -745.0) {
+        return 0.0;
+    }
+    if (x > 709.0) {
+        return INFINITY;
+    }
+    // Range reduction: x = k ln2 + r, |r| <= ln2 / 2.
+    const double k = std::nearbyint(x * kInvLn2);
+    const double r = x - k * kLn2;
+    // Degree-11 Taylor polynomial of exp on the reduced interval; with
+    // |r| <= 0.347 the truncation error is ~1e-15 relative.  Evaluated
+    // as a Horner MAC chain.
+    double p = 1.0 / 39916800.0;
+    p = p * r + 1.0 / 3628800.0;
+    p = p * r + 1.0 / 362880.0;
+    p = p * r + 1.0 / 40320.0;
+    p = p * r + 1.0 / 5040.0;
+    p = p * r + 1.0 / 720.0;
+    p = p * r + 1.0 / 120.0;
+    p = p * r + 1.0 / 24.0;
+    p = p * r + 1.0 / 6.0;
+    p = p * r + 0.5;
+    p = p * r + 1.0;
+    p = p * r + 1.0;
+    return std::ldexp(p, static_cast<int>(k));
+}
+
+double
+precise_reciprocal(double x)
+{
+    if (x == 0.0) {
+        return INFINITY;
+    }
+    // Seed from the exponent: y0 = 2^-e approximates 1/x within 2x.
+    int e = 0;
+    std::frexp(x, &e);
+    double y = std::ldexp(x < 0 ? -1.0 : 1.0, -e);
+    // Newton-Raphson: y <- y (2 - x y).  Each iteration squares the
+    // relative error; five iterations from a 2x seed reach ~1e-9.
+    for (int i = 0; i < 5; ++i) {
+        y = y * (2.0 - x * y);
+    }
+    return y;
+}
+
+double
+precise_sigmoid(double x)
+{
+    if (x >= 0.0) {
+        return precise_reciprocal(1.0 + precise_exp(-x));
+    }
+    const double e = precise_exp(x);
+    return e * precise_reciprocal(1.0 + e);
+}
+
+float
+PreciseUnit::apply(float x) const
+{
+    const double xd = static_cast<double>(x);
+    switch (op_) {
+      case NonlinearOp::kExp:
+        return static_cast<float>(precise_exp(xd));
+      case NonlinearOp::kSilu:
+        return static_cast<float>(xd * precise_sigmoid(xd));
+      case NonlinearOp::kGelu: {
+        // tanh form via the exp unit: tanh(u) = 1 - 2 / (e^{2u} + 1).
+        const double u =
+            std::sqrt(2.0 / M_PI) * (xd + 0.044715 * xd * xd * xd);
+        const double t =
+            1.0 - 2.0 * precise_reciprocal(precise_exp(2.0 * u) + 1.0);
+        return static_cast<float>(0.5 * xd * (1.0 + t));
+      }
+    }
+    return 0.0f;
+}
+
+}  // namespace nonlinear
+}  // namespace mugi

@@ -1,0 +1,53 @@
+#ifndef MUGI_NONLINEAR_PRECISE_UNIT_H_
+#define MUGI_NONLINEAR_PRECISE_UNIT_H_
+
+/**
+ * @file
+ * The precise vector-array baseline (VA-FP in Fig. 11): a MAC-based
+ * lane that computes exp/SiLU/GELU with real iterative kernels --
+ * range-reduced polynomial exp and Newton-Raphson reciprocal -- taking
+ * ~44 cycles per element (Sec. 5.2.2, refs [45, 68]).  Unlike
+ * make_exact(), this models the actual arithmetic a MAC lane would
+ * run, so it carries (tiny) method error of its own.
+ */
+
+#include <string>
+
+#include "nonlinear/approximator.h"
+
+namespace mugi {
+namespace nonlinear {
+
+/**
+ * Range-reduced polynomial exp:  x = k ln2 + r with r in
+ * [-ln2/2, ln2/2], exp(x) = 2^k * P(r).  This is the classic
+ * multiply-accumulate sequence a precise vector lane executes.
+ */
+double precise_exp(double x);
+
+/** Newton-Raphson reciprocal (two refinement iterations from a seed). */
+double precise_reciprocal(double x);
+
+/** Precise-lane sigmoid built from precise_exp / precise_reciprocal. */
+double precise_sigmoid(double x);
+
+/** Iterative-kernel implementation of exp / SiLU / GELU. */
+class PreciseUnit final : public NonlinearApproximator {
+  public:
+    explicit PreciseUnit(NonlinearOp op) : op_(op) {}
+
+    NonlinearOp op() const override { return op_; }
+    std::string name() const override { return "precise"; }
+    float apply(float x) const override;
+
+    /** The 44-cycle figure quoted by the paper. */
+    double cycles_per_element() const override { return 44.0; }
+
+  private:
+    NonlinearOp op_;
+};
+
+}  // namespace nonlinear
+}  // namespace mugi
+
+#endif  // MUGI_NONLINEAR_PRECISE_UNIT_H_

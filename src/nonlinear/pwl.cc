@@ -1,0 +1,63 @@
+#include "nonlinear/pwl.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mugi {
+namespace nonlinear {
+
+PwlApproximator::PwlApproximator(const PwlConfig& config) : config_(config)
+{
+    assert(config.segments >= 1);
+    if (config_.op == NonlinearOp::kExp) {
+        // Softmax inputs are max-subtracted, hence <= 0: domain [sr, 0].
+        lo_ = std::min(config_.segment_range, 0.0);
+        hi_ = 0.0;
+    } else {
+        const double r = std::fabs(config_.segment_range);
+        lo_ = -r;
+        hi_ = r;
+    }
+    step_ = (hi_ - lo_) / config_.segments;
+    slopes_.resize(config_.segments);
+    intercepts_.resize(config_.segments);
+    for (int s = 0; s < config_.segments; ++s) {
+        const double x0 = lo_ + s * step_;
+        const double x1 = x0 + step_;
+        const double y0 = eval_ref(config_.op, x0);
+        const double y1 = eval_ref(config_.op, x1);
+        slopes_[s] = (y1 - y0) / (x1 - x0);
+        intercepts_[s] = y0 - slopes_[s] * x0;
+    }
+}
+
+float
+PwlApproximator::apply(float x) const
+{
+    if (std::isnan(x)) {
+        return x;
+    }
+    if (x < lo_) {
+        // Below the covered range the hardware flushes to the
+        // asymptote: exp -> 0, SiLU/GELU -> 0 (both vanish at -inf).
+        // This is the "-100% error / flushing output to 0" behaviour
+        // visible in Fig. 8.
+        return 0.0f;
+    }
+    if (x > hi_) {
+        if (config_.op == NonlinearOp::kExp) {
+            // Cannot happen for max-subtracted softmax; clamp to
+            // exp(0) for robustness.
+            return 1.0f;
+        }
+        return x;  // SiLU/GELU upper asymptote is the identity.
+    }
+    int segment = static_cast<int>((x - lo_) / step_);
+    segment = std::clamp(segment, 0, config_.segments - 1);
+    return static_cast<float>(slopes_[segment] * x +
+                              intercepts_[segment]);
+}
+
+}  // namespace nonlinear
+}  // namespace mugi

@@ -1,0 +1,64 @@
+#ifndef MUGI_NONLINEAR_PWL_H_
+#define MUGI_NONLINEAR_PWL_H_
+
+/**
+ * @file
+ * Piecewise-linear (PWL) hardware approximation baseline (Sec. 2.2.2,
+ * Sec. 5.2.2).  The curve is split into uniform segments over an input
+ * range; each segment stores a slope/intercept pair and a comparator
+ * selects the segment for an input.  The evaluated configuration in the
+ * paper uses 22 segments.
+ */
+
+#include <string>
+#include <vector>
+
+#include "nonlinear/approximator.h"
+
+namespace mugi {
+namespace nonlinear {
+
+/** Configuration of a PWL approximator. */
+struct PwlConfig {
+    NonlinearOp op = NonlinearOp::kExp;
+    int segments = 22;  ///< Number of linear segments.
+    /**
+     * Segment range parameter "sr" as swept in Fig. 6: softmax/exp
+     * covers [sr, 0] (sr negative since softmax inputs are
+     * max-subtracted); SiLU/GELU cover [-sr, sr].
+     */
+    double segment_range = -20.0;
+};
+
+/** PWL interpolation with out-of-range asymptote handling. */
+class PwlApproximator final : public NonlinearApproximator {
+  public:
+    explicit PwlApproximator(const PwlConfig& config);
+
+    NonlinearOp op() const override { return config_.op; }
+    std::string name() const override { return "pwl"; }
+    float apply(float x) const override;
+
+    /**
+     * Segment compare + one MAC; the comparator tree over ~22 segments
+     * plus coefficient fetch costs ~5 cycles per element on the
+     * vector-array baseline.
+     */
+    double cycles_per_element() const override { return 5.0; }
+
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
+  private:
+    PwlConfig config_;
+    double lo_ = 0.0;
+    double hi_ = 0.0;
+    double step_ = 0.0;
+    std::vector<double> slopes_;
+    std::vector<double> intercepts_;
+};
+
+}  // namespace nonlinear
+}  // namespace mugi
+
+#endif  // MUGI_NONLINEAR_PWL_H_

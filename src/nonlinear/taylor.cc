@@ -1,0 +1,35 @@
+#include "nonlinear/taylor.h"
+
+#include <cmath>
+
+namespace mugi {
+namespace nonlinear {
+
+TaylorApproximator::TaylorApproximator(const TaylorConfig& config)
+    : config_(config),
+      coeffs_(taylor_coefficients(config.op, config.degree, config.center))
+{
+}
+
+float
+TaylorApproximator::apply(float x) const
+{
+    if (std::isnan(x)) {
+        return x;
+    }
+    const double t = static_cast<double>(x) - config_.center;
+    double acc = 0.0;
+    for (std::size_t i = coeffs_.size(); i-- > 0;) {
+        acc = acc * t + coeffs_[i];  // Horner MAC chain.
+    }
+    if (config_.op == NonlinearOp::kExp) {
+        // exp is positive; the truncated series can cross zero far
+        // from the center, which would corrupt the softmax sum sign.
+        // Hardware clamps the accumulator at zero.
+        acc = std::max(acc, 0.0);
+    }
+    return static_cast<float>(acc);
+}
+
+}  // namespace nonlinear
+}  // namespace mugi

@@ -1,0 +1,54 @@
+#ifndef MUGI_NONLINEAR_TAYLOR_H_
+#define MUGI_NONLINEAR_TAYLOR_H_
+
+/**
+ * @file
+ * Taylor-series hardware approximation baseline (Sec. 2.2.3,
+ * Sec. 5.2.2): the coefficients of each term are precomputed and the
+ * polynomial is evaluated with Horner's rule as a chain of MACs.  The
+ * evaluated configuration uses up to 9 degrees.  Accuracy degrades as
+ * inputs drift from the expansion point (Sec. 7.2).
+ */
+
+#include <string>
+#include <vector>
+
+#include "nonlinear/approximator.h"
+
+namespace mugi {
+namespace nonlinear {
+
+/** Configuration of a Taylor approximator. */
+struct TaylorConfig {
+    NonlinearOp op = NonlinearOp::kExp;
+    int degree = 9;        ///< Polynomial degree ("degrees" in Fig. 6).
+    double center = -5.0;  ///< Expansion point ("degree center").
+};
+
+/** Horner-evaluated Taylor expansion around a fixed center. */
+class TaylorApproximator final : public NonlinearApproximator {
+  public:
+    explicit TaylorApproximator(const TaylorConfig& config);
+
+    NonlinearOp op() const override { return config_.op; }
+    std::string name() const override { return "taylor"; }
+    float apply(float x) const override;
+
+    /** One MAC per degree with Horner's rule, plus the shift. */
+    double
+    cycles_per_element() const override
+    {
+        return static_cast<double>(config_.degree) + 1.0;
+    }
+
+    const std::vector<double>& coefficients() const { return coeffs_; }
+
+  private:
+    TaylorConfig config_;
+    std::vector<double> coeffs_;
+};
+
+}  // namespace nonlinear
+}  // namespace mugi
+
+#endif  // MUGI_NONLINEAR_TAYLOR_H_

@@ -1,0 +1,62 @@
+#include "numerics/bfloat16.h"
+
+#include <cmath>
+#include <ostream>
+
+#include "numerics/float_bits.h"
+
+namespace mugi {
+namespace numerics {
+
+std::uint16_t
+BFloat16::round_to_bits(float value)
+{
+    const std::uint32_t bits = float_to_bits(value);
+    if (std::isnan(value)) {
+        // Quiet the NaN and keep the sign; never round a NaN payload
+        // down to infinity.
+        return static_cast<std::uint16_t>((bits >> 16) | 0x0040u);
+    }
+    // Round-to-nearest-even on the low 16 bits.
+    const std::uint32_t rounding_bias = 0x7FFFu + ((bits >> 16) & 1u);
+    return static_cast<std::uint16_t>((bits + rounding_bias) >> 16);
+}
+
+float
+BFloat16::to_float() const
+{
+    return bits_to_float(static_cast<std::uint32_t>(bits_) << 16);
+}
+
+bool
+BFloat16::is_nan() const
+{
+    return ((bits_ >> 7) & 0xFF) == 0xFF && (bits_ & 0x7F) != 0;
+}
+
+bool
+BFloat16::is_inf() const
+{
+    return ((bits_ >> 7) & 0xFF) == 0xFF && (bits_ & 0x7F) == 0;
+}
+
+bool
+BFloat16::is_zero() const
+{
+    return (bits_ & 0x7FFF) == 0;
+}
+
+float
+bf16_round(float value)
+{
+    return BFloat16(value).to_float();
+}
+
+std::ostream&
+operator<<(std::ostream& os, BFloat16 value)
+{
+    return os << value.to_float();
+}
+
+}  // namespace numerics
+}  // namespace mugi

@@ -1,0 +1,73 @@
+#ifndef MUGI_NUMERICS_BFLOAT16_H_
+#define MUGI_NUMERICS_BFLOAT16_H_
+
+/**
+ * @file
+ * A software bfloat16 (BF16) implementation.
+ *
+ * BF16 is the activation / query format that Mugi's asymmetric
+ * BF16-INT4 GEMM consumes (Sec. 2.3.2, 4.2): 1 sign bit, 8 exponent
+ * bits and 7 fraction bits -- the top half of an IEEE binary32.
+ * Conversions from binary32 use round-to-nearest-even, matching the
+ * behaviour of mainstream ML frameworks.
+ */
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace mugi {
+namespace numerics {
+
+/** Storage-efficient bfloat16 value with float-backed arithmetic. */
+class BFloat16 {
+  public:
+    /** Zero-initialized BF16. */
+    constexpr BFloat16() = default;
+
+    /** Round a binary32 value to BF16 (round-to-nearest-even). */
+    explicit BFloat16(float value) : bits_(round_to_bits(value)) {}
+
+    /** Construct from a raw 16-bit pattern. */
+    static constexpr BFloat16
+    from_bits(std::uint16_t bits)
+    {
+        BFloat16 result;
+        result.bits_ = bits;
+        return result;
+    }
+
+    /** The raw 16-bit pattern. */
+    constexpr std::uint16_t bits() const { return bits_; }
+
+    /** Widen to binary32 (exact). */
+    float to_float() const;
+
+    /** Implicit widening conversion so BF16 mixes with float math. */
+    operator float() const { return to_float(); }
+
+    bool is_nan() const;
+    bool is_inf() const;
+    bool is_zero() const;
+
+    /** Round-to-nearest-even conversion of a binary32 pattern. */
+    static std::uint16_t round_to_bits(float value);
+
+    friend bool
+    operator==(BFloat16 a, BFloat16 b)
+    {
+        return a.bits_ == b.bits_;
+    }
+
+  private:
+    std::uint16_t bits_ = 0;
+};
+
+/** Round a float through BF16 precision and widen back. */
+float bf16_round(float value);
+
+std::ostream& operator<<(std::ostream& os, BFloat16 value);
+
+}  // namespace numerics
+}  // namespace mugi
+
+#endif  // MUGI_NUMERICS_BFLOAT16_H_

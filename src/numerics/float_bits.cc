@@ -1,0 +1,98 @@
+#include "numerics/float_bits.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace mugi {
+namespace numerics {
+
+std::uint32_t
+float_to_bits(float value)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+float
+bits_to_float(std::uint32_t bits)
+{
+    float value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+FloatFields
+decompose(float value)
+{
+    const std::uint32_t bits = float_to_bits(value);
+    FloatFields fields;
+    fields.sign = (bits >> 31) != 0;
+    const std::uint32_t raw_exp = (bits >> kFloat32FractionBits) & 0xFF;
+    fields.fraction = bits & ((1u << kFloat32FractionBits) - 1);
+    fields.fraction_bits = kFloat32FractionBits;
+
+    if (raw_exp == 0xFF) {
+        if (fields.fraction == 0) {
+            fields.is_inf = true;
+        } else {
+            fields.is_nan = true;
+        }
+        return fields;
+    }
+    if (raw_exp == 0) {
+        // Zero or denormal: flush to signed zero (see header).
+        fields.is_zero = true;
+        fields.fraction = 0;
+        return fields;
+    }
+    fields.exponent = static_cast<int>(raw_exp) - kFloat32ExponentBias;
+    return fields;
+}
+
+float
+compose(const FloatFields& fields)
+{
+    const std::uint32_t sign_bit = fields.sign ? (1u << 31) : 0u;
+    if (fields.is_nan) {
+        return bits_to_float(sign_bit | 0x7FC00000u);
+    }
+    if (fields.is_inf) {
+        return bits_to_float(sign_bit | 0x7F800000u);
+    }
+    if (fields.is_zero) {
+        return bits_to_float(sign_bit);
+    }
+    const int raw_exp = fields.exponent + kFloat32ExponentBias;
+    if (raw_exp <= 0) {
+        return bits_to_float(sign_bit);  // Underflow: flush to zero.
+    }
+    if (raw_exp >= 0xFF) {
+        return bits_to_float(sign_bit | 0x7F800000u);  // Overflow to inf.
+    }
+    // Renormalize the fraction to the binary32 width.
+    std::uint32_t fraction = fields.fraction;
+    int width = fields.fraction_bits;
+    if (width < kFloat32FractionBits) {
+        fraction <<= (kFloat32FractionBits - width);
+    } else if (width > kFloat32FractionBits) {
+        fraction >>= (width - kFloat32FractionBits);
+    }
+    return bits_to_float(sign_bit |
+                         (static_cast<std::uint32_t>(raw_exp)
+                          << kFloat32FractionBits) |
+                         (fraction & ((1u << kFloat32FractionBits) - 1)));
+}
+
+int
+unbiased_exponent(float value)
+{
+    const FloatFields fields = decompose(value);
+    if (fields.is_zero || fields.is_inf || fields.is_nan) {
+        return 0;
+    }
+    return fields.exponent;
+}
+
+}  // namespace numerics
+}  // namespace mugi

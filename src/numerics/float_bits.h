@@ -1,0 +1,75 @@
+#ifndef MUGI_NUMERICS_FLOAT_BITS_H_
+#define MUGI_NUMERICS_FLOAT_BITS_H_
+
+/**
+ * @file
+ * Bit-level utilities for IEEE-754 binary32 values.
+ *
+ * The VLP formulation of the paper (Sec. 3.1) splits a floating-point
+ * input into three fields: sign (S), mantissa (M) and exponent (E).
+ * Everything downstream of the input-field-split phase operates on these
+ * fields, so this header provides the canonical decomposition used by the
+ * rest of the code base.
+ */
+
+#include <cstdint>
+
+namespace mugi {
+namespace numerics {
+
+/** Bias of the IEEE-754 binary32 (and bfloat16) exponent field. */
+inline constexpr int kFloat32ExponentBias = 127;
+
+/** Number of explicit fraction bits in binary32. */
+inline constexpr int kFloat32FractionBits = 23;
+
+/** Reinterpret a float as its raw bit pattern. */
+std::uint32_t float_to_bits(float value);
+
+/** Reinterpret a 32-bit pattern as a float. */
+float bits_to_float(std::uint32_t bits);
+
+/**
+ * Decomposed view of a finite, normal floating-point value.
+ *
+ * The value represented is
+ *   (-1)^sign * (1 + fraction / 2^fraction_bits) * 2^exponent
+ * where @c exponent is the unbiased exponent.  Zeros, denormals and
+ * non-finite values are flagged through the classification fields so that
+ * the post-processing (PP) block of the architecture can special-case
+ * them, exactly as Fig. 9 does with its Zero / INF / NaN multiplexer.
+ */
+struct FloatFields {
+    bool sign = false;        ///< True for negative values.
+    int exponent = 0;         ///< Unbiased exponent of a normal value.
+    std::uint32_t fraction = 0;  ///< Fraction bits (without hidden one).
+    int fraction_bits = kFloat32FractionBits;  ///< Width of @c fraction.
+    bool is_zero = false;     ///< True for +/-0 and flushed denormals.
+    bool is_inf = false;      ///< True for +/-infinity.
+    bool is_nan = false;      ///< True for NaN payloads.
+};
+
+/**
+ * Split a binary32 value into sign / exponent / fraction fields.
+ *
+ * Denormal inputs are flushed to (signed) zero; this mirrors the
+ * flush-to-zero behaviour of the E-proc exponent clamp ("underflowing to
+ * 0", Sec. 4) and keeps the temporal-coding hardware model free of
+ * gradual-underflow corner cases.
+ */
+FloatFields decompose(float value);
+
+/** Reassemble a FloatFields view into a binary32 value. */
+float compose(const FloatFields& fields);
+
+/**
+ * The unbiased exponent of a finite non-zero value, i.e.
+ * floor(log2(|value|)).  Returns 0 for zero/non-finite inputs; check
+ * classification with decompose() when that distinction matters.
+ */
+int unbiased_exponent(float value);
+
+}  // namespace numerics
+}  // namespace mugi
+
+#endif  // MUGI_NUMERICS_FLOAT_BITS_H_

@@ -1,0 +1,164 @@
+#include "numerics/fp8.h"
+
+#include <cmath>
+
+#include "numerics/float_bits.h"
+
+namespace mugi {
+namespace numerics {
+namespace {
+
+struct Fp8Layout {
+    int exp_bits;
+    int man_bits;
+    int bias;
+    bool has_inf;
+    float max_finite;
+};
+
+Fp8Layout
+layout_of(Fp8Format format)
+{
+    if (format == Fp8Format::kE4M3) {
+        // E4M3: exponent field 1111 with mantissa 111 is NaN; the rest
+        // of the top binade is finite, so max = 1.75 * 2^8 = 448.
+        return {4, 3, 7, false, 448.0f};
+    }
+    // E5M2 follows IEEE conventions: top binade reserved for inf/NaN.
+    return {5, 2, 15, true, 57344.0f};
+}
+
+}  // namespace
+
+int
+Fp8Codec::mantissa_bits() const
+{
+    return layout_of(format_).man_bits;
+}
+
+float
+Fp8Codec::max_finite() const
+{
+    return layout_of(format_).max_finite;
+}
+
+std::uint8_t
+Fp8Codec::encode(float value) const
+{
+    const Fp8Layout layout = layout_of(format_);
+    const std::uint8_t sign = std::signbit(value) ? 0x80 : 0x00;
+
+    if (std::isnan(value)) {
+        // Canonical NaN: all-ones exponent, all-ones mantissa (E4M3) or
+        // quiet-bit mantissa (E5M2).
+        const std::uint8_t exp_all =
+            static_cast<std::uint8_t>(((1 << layout.exp_bits) - 1)
+                                      << layout.man_bits);
+        const std::uint8_t man =
+            layout.has_inf ? (1u << (layout.man_bits - 1))
+                           : ((1u << layout.man_bits) - 1);
+        return sign | exp_all | man;
+    }
+
+    float magnitude = std::fabs(value);
+    if (std::isinf(value) || magnitude > layout.max_finite) {
+        if (layout.has_inf && std::isinf(value)) {
+            return sign | static_cast<std::uint8_t>(
+                              ((1 << layout.exp_bits) - 1)
+                              << layout.man_bits);
+        }
+        // Saturate (standard ML behaviour for E4M3 overflow).
+        magnitude = layout.max_finite;
+    }
+    if (magnitude == 0.0f) {
+        return sign;
+    }
+
+    int exponent;
+    float significand = std::frexp(magnitude, &exponent);
+    // frexp returns significand in [0.5, 1); normalize to [1, 2).
+    significand *= 2.0f;
+    exponent -= 1;
+
+    const int min_normal_exp = 1 - layout.bias;
+    std::uint32_t man;
+    int biased;
+    if (exponent < min_normal_exp) {
+        // Denormal range: value = man / 2^man_bits * 2^min_normal_exp.
+        const float scaled =
+            std::ldexp(magnitude, layout.man_bits - min_normal_exp);
+        man = static_cast<std::uint32_t>(std::nearbyint(scaled));
+        biased = 0;
+        if (man >= (1u << layout.man_bits)) {
+            // Rounded up into the normal range.
+            man = 0;
+            biased = 1;
+        }
+    } else {
+        const float frac = (significand - 1.0f) *
+                           static_cast<float>(1 << layout.man_bits);
+        man = static_cast<std::uint32_t>(std::nearbyint(frac));
+        biased = exponent + layout.bias;
+        if (man >= (1u << layout.man_bits)) {
+            man = 0;
+            ++biased;
+        }
+        const int max_biased = (1 << layout.exp_bits) - 1;
+        const bool top_reserved = layout.has_inf;
+        if (biased > max_biased - (top_reserved ? 1 : 0) ||
+            (biased == max_biased && !top_reserved &&
+             man > (1u << layout.man_bits) - 2u)) {
+            // Saturate to max finite.
+            biased = max_biased - (top_reserved ? 1 : 0);
+            man = (1u << layout.man_bits) - 1u;
+            if (!top_reserved) {
+                biased = max_biased;
+                man = (1u << layout.man_bits) - 2u;
+            }
+        }
+    }
+    return sign |
+           static_cast<std::uint8_t>(biased << layout.man_bits) |
+           static_cast<std::uint8_t>(man);
+}
+
+float
+Fp8Codec::decode(std::uint8_t bits) const
+{
+    const Fp8Layout layout = layout_of(format_);
+    const bool sign = (bits & 0x80) != 0;
+    const std::uint32_t exp_mask = (1u << layout.exp_bits) - 1;
+    const std::uint32_t exp = (bits >> layout.man_bits) & exp_mask;
+    const std::uint32_t man = bits & ((1u << layout.man_bits) - 1);
+
+    float magnitude;
+    if (exp == exp_mask) {
+        if (layout.has_inf) {
+            if (man == 0) {
+                magnitude = INFINITY;
+            } else {
+                return std::nanf("");
+            }
+        } else if (man == ((1u << layout.man_bits) - 1)) {
+            return std::nanf("");  // E4M3 NaN.
+        } else {
+            magnitude =
+                std::ldexp(1.0f + static_cast<float>(man) /
+                                      static_cast<float>(1
+                                                         << layout.man_bits),
+                           static_cast<int>(exp) - layout.bias);
+        }
+    } else if (exp == 0) {
+        magnitude = std::ldexp(static_cast<float>(man),
+                               1 - layout.bias - layout.man_bits);
+    } else {
+        magnitude =
+            std::ldexp(1.0f + static_cast<float>(man) /
+                                  static_cast<float>(1 << layout.man_bits),
+                       static_cast<int>(exp) - layout.bias);
+    }
+    return sign ? -magnitude : magnitude;
+}
+
+}  // namespace numerics
+}  // namespace mugi

@@ -1,0 +1,59 @@
+#ifndef MUGI_NUMERICS_FP8_H_
+#define MUGI_NUMERICS_FP8_H_
+
+/**
+ * @file
+ * FP8 codecs (E4M3 and E5M2).
+ *
+ * FP8 is the symmetric activation/weight format prior VLP work (Carat)
+ * was designed for (Sec. 1, 2.1).  Mugi's evaluation keeps Carat as a
+ * baseline, so the reproduction carries a faithful FP8 implementation:
+ * OCP-style E4M3 (no infinities, +-448 max) and IEEE-style E5M2.
+ */
+
+#include <cstdint>
+
+namespace mugi {
+namespace numerics {
+
+/** The two standard FP8 interchange formats. */
+enum class Fp8Format {
+    kE4M3,  ///< 1-4-3, bias 7, max finite 448, NaN only (no inf).
+    kE5M2,  ///< 1-5-2, bias 15, max finite 57344, has inf and NaN.
+};
+
+/**
+ * Encoder/decoder for one FP8 format.
+ *
+ * Encoding uses round-to-nearest-even with saturation to the maximum
+ * finite value (the convention used by ML frameworks for E4M3).
+ */
+class Fp8Codec {
+  public:
+    explicit Fp8Codec(Fp8Format format) : format_(format) {}
+
+    /** Encode a binary32 value to the 8-bit pattern. */
+    std::uint8_t encode(float value) const;
+
+    /** Decode an 8-bit pattern to binary32 (exact). */
+    float decode(std::uint8_t bits) const;
+
+    /** Round a float through FP8 precision. */
+    float round_trip(float value) const { return decode(encode(value)); }
+
+    Fp8Format format() const { return format_; }
+
+    /** Number of explicit mantissa bits (3 for E4M3, 2 for E5M2). */
+    int mantissa_bits() const;
+
+    /** Largest finite representable magnitude. */
+    float max_finite() const;
+
+  private:
+    Fp8Format format_;
+};
+
+}  // namespace numerics
+}  // namespace mugi
+
+#endif  // MUGI_NUMERICS_FP8_H_

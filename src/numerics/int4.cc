@@ -1,0 +1,47 @@
+#include "numerics/int4.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mugi {
+namespace numerics {
+
+Int4
+Int4::from_int(int value)
+{
+    Int4 result;
+    result.sign = value < 0;
+    result.magnitude = static_cast<std::uint8_t>(
+        std::min(std::abs(value), kInt4MaxMagnitude));
+    return result;
+}
+
+PackedInt4::PackedInt4(std::size_t count)
+    : count_(count), bytes_((count + 1) / 2, 0)
+{
+}
+
+void
+PackedInt4::set(std::size_t index, Int4 value)
+{
+    const std::size_t byte = index / 2;
+    const std::uint8_t nibble = value.encode();
+    if (index % 2 == 0) {
+        bytes_[byte] = (bytes_[byte] & 0xF0) | nibble;
+    } else {
+        bytes_[byte] =
+            (bytes_[byte] & 0x0F) | static_cast<std::uint8_t>(nibble << 4);
+    }
+}
+
+Int4
+PackedInt4::get(std::size_t index) const
+{
+    const std::uint8_t byte = bytes_[index / 2];
+    const std::uint8_t nibble =
+        (index % 2 == 0) ? (byte & 0x0F) : (byte >> 4);
+    return Int4::decode(nibble);
+}
+
+}  // namespace numerics
+}  // namespace mugi

@@ -1,0 +1,93 @@
+#ifndef MUGI_NUMERICS_INT4_H_
+#define MUGI_NUMERICS_INT4_H_
+
+/**
+ * @file
+ * INT4 codecs and packing.
+ *
+ * INT4 is the weight / KV-cache format of Mugi's asymmetric BF16-INT4
+ * GEMM (Sec. 2.3.2, 2.3.3, 4.2).  The datapath is sign-magnitude: the
+ * 3-bit magnitude drives an 8-cycle temporal sweep (2^3 columns /
+ * cycles) and the sign is applied at subscription time by the SC block,
+ * which is why the paper fixes the array width to 8.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace mugi {
+namespace numerics {
+
+/** Number of magnitude bits in a sign-magnitude INT4. */
+inline constexpr int kInt4MagnitudeBits = 3;
+
+/** Largest magnitude representable in sign-magnitude INT4. */
+inline constexpr int kInt4MaxMagnitude = 7;
+
+/** A sign-magnitude INT4 value in [-7, 7]. */
+struct Int4 {
+    bool sign = false;       ///< True for negative values.
+    std::uint8_t magnitude = 0;  ///< In [0, 7].
+
+    /** The integer value in [-7, 7]. */
+    int value() const
+    {
+        return sign ? -static_cast<int>(magnitude)
+                    : static_cast<int>(magnitude);
+    }
+
+    /** Clamp-and-convert an integer to sign-magnitude INT4. */
+    static Int4 from_int(int value);
+
+    /** The 4-bit sign-magnitude encoding (sign in bit 3). */
+    std::uint8_t encode() const
+    {
+        return static_cast<std::uint8_t>((sign ? 0x8 : 0x0) |
+                                         (magnitude & 0x7));
+    }
+
+    /** Decode a 4-bit sign-magnitude pattern. */
+    static Int4 decode(std::uint8_t nibble)
+    {
+        Int4 result;
+        result.sign = (nibble & 0x8) != 0;
+        result.magnitude = nibble & 0x7;
+        return result;
+    }
+
+    friend bool
+    operator==(const Int4& a, const Int4& b)
+    {
+        return a.value() == b.value();
+    }
+};
+
+/**
+ * Dense nibble-packed INT4 storage (two values per byte, low nibble
+ * first), used by the WOQ / KVQ substrates to model the 4x memory
+ * footprint reduction of sub-byte quantization.
+ */
+class PackedInt4 {
+  public:
+    PackedInt4() = default;
+
+    /** Create storage for @p count INT4 values, zero-initialized. */
+    explicit PackedInt4(std::size_t count);
+
+    std::size_t size() const { return count_; }
+
+    /** Bytes of backing storage (ceil(count / 2)). */
+    std::size_t byte_size() const { return bytes_.size(); }
+
+    void set(std::size_t index, Int4 value);
+    Int4 get(std::size_t index) const;
+
+  private:
+    std::size_t count_ = 0;
+    std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace numerics
+}  // namespace mugi
+
+#endif  // MUGI_NUMERICS_INT4_H_

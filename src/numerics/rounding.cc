@@ -1,0 +1,62 @@
+#include "numerics/rounding.h"
+
+#include <cassert>
+
+namespace mugi {
+namespace numerics {
+
+float
+RoundedValue::to_float() const
+{
+    FloatFields fields;
+    fields.sign = sign;
+    fields.exponent = exponent;
+    fields.fraction = mantissa;
+    fields.fraction_bits = mantissa_bits;
+    fields.is_zero = is_zero;
+    fields.is_inf = is_inf;
+    fields.is_nan = is_nan;
+    return compose(fields);
+}
+
+RoundedValue
+round_mantissa(float value, int mantissa_bits)
+{
+    assert(mantissa_bits >= 0 && mantissa_bits <= kFloat32FractionBits);
+    const FloatFields fields = decompose(value);
+
+    RoundedValue result;
+    result.sign = fields.sign;
+    result.mantissa_bits = mantissa_bits;
+    result.is_zero = fields.is_zero;
+    result.is_inf = fields.is_inf;
+    result.is_nan = fields.is_nan;
+    if (fields.is_zero || fields.is_inf || fields.is_nan) {
+        return result;
+    }
+
+    result.exponent = fields.exponent;
+    const int shift = kFloat32FractionBits - mantissa_bits;
+    if (shift == 0) {
+        result.mantissa = fields.fraction;
+        return result;
+    }
+
+    const std::uint32_t kept = fields.fraction >> shift;
+    const std::uint32_t half = 1u << (shift - 1);
+    const std::uint32_t rem = fields.fraction & ((1u << shift) - 1);
+    std::uint32_t rounded = kept;
+    if (rem > half || (rem == half && (kept & 1u) != 0)) {
+        ++rounded;  // Round to nearest, ties to even.
+    }
+    if (rounded >= (1u << mantissa_bits)) {
+        // 1.111... rounded up to 10.000...: carry into the exponent.
+        rounded = 0;
+        ++result.exponent;
+    }
+    result.mantissa = rounded;
+    return result;
+}
+
+}  // namespace numerics
+}  // namespace mugi

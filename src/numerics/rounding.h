@@ -1,0 +1,54 @@
+#ifndef MUGI_NUMERICS_ROUNDING_H_
+#define MUGI_NUMERICS_ROUNDING_H_
+
+/**
+ * @file
+ * Mantissa rounding for VLP input approximation.
+ *
+ * Sec. 3.2: "in the input field split phase, we round the input
+ * mantissa to fewer bits".  Popular formats carry 7+ mantissa bits; the
+ * VLP array wants 3 so that the temporal sweep is 2^3 = 8 cycles.  The
+ * functions here round a value's significand to an arbitrary number of
+ * bits with round-to-nearest-even, handling the carry into the exponent
+ * when 1.111... rounds up to 10.000....
+ */
+
+#include "numerics/float_bits.h"
+
+namespace mugi {
+namespace numerics {
+
+/**
+ * A value whose significand has been rounded to @c mantissa_bits bits.
+ *
+ * Represents (-1)^sign * (1 + mantissa / 2^mantissa_bits) * 2^exponent.
+ * This is the exact domain of the VLP LUT: @c mantissa indexes the LUT
+ * row and @c exponent selects the element inside the sliding window.
+ */
+struct RoundedValue {
+    bool sign = false;
+    int exponent = 0;
+    std::uint32_t mantissa = 0;  ///< In [0, 2^mantissa_bits).
+    int mantissa_bits = 0;
+    bool is_zero = false;
+    bool is_inf = false;
+    bool is_nan = false;
+
+    /** Widen back to binary32. */
+    float to_float() const;
+};
+
+/**
+ * Round @p value 's significand to @p mantissa_bits bits
+ * (round-to-nearest-even).
+ *
+ * @param value Input value (interpreted at binary32 precision; round
+ *        through BF16 first if modelling a BF16 input path).
+ * @param mantissa_bits Target significand width; must be in [0, 23].
+ */
+RoundedValue round_mantissa(float value, int mantissa_bits);
+
+}  // namespace numerics
+}  // namespace mugi
+
+#endif  // MUGI_NUMERICS_ROUNDING_H_

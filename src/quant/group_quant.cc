@@ -1,0 +1,96 @@
+#include "quant/group_quant.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "numerics/bfloat16.h"
+
+namespace mugi {
+namespace quant {
+
+std::size_t
+QuantizedMatrix::byte_size() const
+{
+    const std::size_t nibbles = values.rows() * values.cols();
+    return (nibbles + 1) / 2 + scales.rows() * scales.cols() * 2;
+}
+
+QuantizedMatrix
+quantize_int4(const support::MatrixF& weights, std::size_t group_size)
+{
+    assert(group_size >= 1);
+    QuantizedMatrix q;
+    q.group_size = group_size;
+    const std::size_t groups =
+        (weights.cols() + group_size - 1) / group_size;
+    q.values = support::Matrix<numerics::Int4>(weights.rows(),
+                                               weights.cols());
+    q.scales = support::MatrixF(weights.rows(), groups, 0.0f);
+
+    for (std::size_t r = 0; r < weights.rows(); ++r) {
+        for (std::size_t g = 0; g < groups; ++g) {
+            const std::size_t begin = g * group_size;
+            const std::size_t end =
+                std::min(begin + group_size, weights.cols());
+            float max_abs = 0.0f;
+            for (std::size_t c = begin; c < end; ++c) {
+                max_abs = std::max(max_abs,
+                                   std::fabs(weights.at(r, c)));
+            }
+            const float scale = numerics::bf16_round(
+                max_abs / static_cast<float>(numerics::kInt4MaxMagnitude));
+            q.scales.at(r, g) = scale;
+            for (std::size_t c = begin; c < end; ++c) {
+                int code = 0;
+                if (scale > 0.0f) {
+                    code = static_cast<int>(
+                        std::nearbyint(weights.at(r, c) / scale));
+                }
+                q.values.at(r, c) = numerics::Int4::from_int(code);
+            }
+        }
+    }
+    return q;
+}
+
+support::MatrixF
+dequantize(const QuantizedMatrix& q)
+{
+    support::MatrixF out(q.rows(), q.cols());
+    for (std::size_t r = 0; r < q.rows(); ++r) {
+        for (std::size_t c = 0; c < q.cols(); ++c) {
+            out.at(r, c) = q.dequantize_at(r, c);
+        }
+    }
+    return out;
+}
+
+float
+max_abs_error_bound(const QuantizedMatrix& q)
+{
+    float bound = 0.0f;
+    for (const float s : q.scales.data()) {
+        bound = std::max(bound, s / 2.0f);
+    }
+    // BF16 rounding of the scale adds up to 2^-8 relative on top of
+    // the half-step quantization error.
+    return bound * (1.0f + 1.0f / 128.0f) * 7.0f / 6.9f;
+}
+
+double
+rms_error(const support::MatrixF& original, const QuantizedMatrix& q)
+{
+    assert(original.rows() == q.rows() && original.cols() == q.cols());
+    double sum = 0.0;
+    for (std::size_t r = 0; r < q.rows(); ++r) {
+        for (std::size_t c = 0; c < q.cols(); ++c) {
+            const double d = original.at(r, c) - q.dequantize_at(r, c);
+            sum += d * d;
+        }
+    }
+    return std::sqrt(sum / static_cast<double>(original.size()));
+}
+
+}  // namespace quant
+}  // namespace mugi

@@ -1,0 +1,74 @@
+#ifndef MUGI_QUANT_GROUP_QUANT_H_
+#define MUGI_QUANT_GROUP_QUANT_H_
+
+/**
+ * @file
+ * Weight-only quantization (WOQ) substrate (Sec. 2.3.2): BF16-INT4
+ * group quantization in the GPTQ/AWQ style.  Weights are quantized to
+ * sign-magnitude INT4 with one BF16 scale per group of consecutive
+ * elements along the reduction dimension; activations stay BF16.
+ * Dequantization after GEMM is performed by Mugi's vector array
+ * (Sec. 4.2).
+ */
+
+#include <cstddef>
+
+#include "numerics/int4.h"
+#include "support/matrix.h"
+
+namespace mugi {
+namespace quant {
+
+/** An INT4 group-quantized matrix plus its per-group scales. */
+struct QuantizedMatrix {
+    /** Sign-magnitude INT4 codes, same logical shape as the source. */
+    support::Matrix<numerics::Int4> values;
+    /**
+     * BF16 scales, one per (row, group): scales(r, g) dequantizes
+     * values(r, g*group_size .. (g+1)*group_size-1).
+     */
+    support::MatrixF scales;
+    std::size_t group_size = 0;
+
+    std::size_t rows() const { return values.rows(); }
+    std::size_t cols() const { return values.cols(); }
+
+    /** Dequantize a single element. */
+    float
+    dequantize_at(std::size_t r, std::size_t c) const
+    {
+        return static_cast<float>(values.at(r, c).value()) *
+               scales.at(r, c / group_size);
+    }
+
+    /**
+     * Storage footprint in bytes: packed nibbles plus BF16 scales.
+     * This is the 4x weight-memory compression WOQ exists for.
+     */
+    std::size_t byte_size() const;
+};
+
+/**
+ * Symmetric group quantization of @p weights to INT4.
+ *
+ * Each group's scale is max|w| / 7, so the code range [-7, 7] covers
+ * the group exactly.  @p group_size must divide nothing in particular:
+ * the final group of a row may be short.
+ */
+QuantizedMatrix quantize_int4(const support::MatrixF& weights,
+                              std::size_t group_size);
+
+/** Full dequantization back to a float matrix. */
+support::MatrixF dequantize(const QuantizedMatrix& q);
+
+/** Worst-case absolute error of the quantization: scale / 2 per group. */
+float max_abs_error_bound(const QuantizedMatrix& q);
+
+/** Root-mean-square quantization error against the original. */
+double rms_error(const support::MatrixF& original,
+                 const QuantizedMatrix& q);
+
+}  // namespace quant
+}  // namespace mugi
+
+#endif  // MUGI_QUANT_GROUP_QUANT_H_

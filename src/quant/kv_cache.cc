@@ -1,0 +1,123 @@
+#include "quant/kv_cache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "numerics/bfloat16.h"
+
+namespace mugi {
+namespace quant {
+
+KvCache::KvCache(std::size_t num_heads, std::size_t head_dim,
+                 KvPrecision precision)
+    : num_heads_(num_heads), head_dim_(head_dim), precision_(precision)
+{
+    if (precision_ == KvPrecision::kFloat) {
+        k_float_.resize(num_heads_);
+        v_float_.resize(num_heads_);
+    } else {
+        k_quant_.resize(num_heads_);
+        v_quant_.resize(num_heads_);
+    }
+}
+
+KvCache::QuantVector
+KvCache::quantize_vector(const float* data) const
+{
+    QuantVector q;
+    q.codes.resize(head_dim_);
+    float max_abs = 0.0f;
+    for (std::size_t d = 0; d < head_dim_; ++d) {
+        max_abs = std::max(max_abs, std::fabs(data[d]));
+    }
+    q.scale = numerics::bf16_round(
+        max_abs / static_cast<float>(numerics::kInt4MaxMagnitude));
+    for (std::size_t d = 0; d < head_dim_; ++d) {
+        int code = 0;
+        if (q.scale > 0.0f) {
+            code = static_cast<int>(std::nearbyint(data[d] / q.scale));
+        }
+        q.codes[d] = numerics::Int4::from_int(code);
+    }
+    return q;
+}
+
+void
+KvCache::append(const support::MatrixF& k_heads,
+                const support::MatrixF& v_heads)
+{
+    assert(k_heads.rows() == num_heads_ && k_heads.cols() == head_dim_);
+    assert(v_heads.rows() == num_heads_ && v_heads.cols() == head_dim_);
+    for (std::size_t h = 0; h < num_heads_; ++h) {
+        if (precision_ == KvPrecision::kFloat) {
+            k_float_[h].insert(k_float_[h].end(), k_heads.row_data(h),
+                               k_heads.row_data(h) + head_dim_);
+            v_float_[h].insert(v_float_[h].end(), v_heads.row_data(h),
+                               v_heads.row_data(h) + head_dim_);
+        } else {
+            k_quant_[h].push_back(quantize_vector(k_heads.row_data(h)));
+            v_quant_[h].push_back(quantize_vector(v_heads.row_data(h)));
+        }
+    }
+    ++length_;
+}
+
+void
+KvCache::read_key(std::size_t head, std::size_t pos, float* out) const
+{
+    assert(head < num_heads_ && pos < length_);
+    if (precision_ == KvPrecision::kFloat) {
+        const float* src = k_float_[head].data() + pos * head_dim_;
+        std::copy(src, src + head_dim_, out);
+        return;
+    }
+    const QuantVector& q = k_quant_[head][pos];
+    for (std::size_t d = 0; d < head_dim_; ++d) {
+        out[d] = static_cast<float>(q.codes[d].value()) * q.scale;
+    }
+}
+
+void
+KvCache::read_value(std::size_t head, std::size_t pos, float* out) const
+{
+    assert(head < num_heads_ && pos < length_);
+    if (precision_ == KvPrecision::kFloat) {
+        const float* src = v_float_[head].data() + pos * head_dim_;
+        std::copy(src, src + head_dim_, out);
+        return;
+    }
+    const QuantVector& q = v_quant_[head][pos];
+    for (std::size_t d = 0; d < head_dim_; ++d) {
+        out[d] = static_cast<float>(q.codes[d].value()) * q.scale;
+    }
+}
+
+numerics::Int4
+KvCache::key_code(std::size_t head, std::size_t pos, std::size_t d) const
+{
+    assert(precision_ == KvPrecision::kInt4);
+    return k_quant_[head][pos].codes[d];
+}
+
+float
+KvCache::key_scale(std::size_t head, std::size_t pos) const
+{
+    assert(precision_ == KvPrecision::kInt4);
+    return k_quant_[head][pos].scale;
+}
+
+std::size_t
+KvCache::byte_size() const
+{
+    if (precision_ == KvPrecision::kFloat) {
+        // BF16-equivalent storage: 2 bytes per element, K and V.
+        return 2 * num_heads_ * length_ * head_dim_ * 2;
+    }
+    // INT4 nibbles + one BF16 scale per vector.
+    const std::size_t per_vector = (head_dim_ + 1) / 2 + 2;
+    return 2 * num_heads_ * length_ * per_vector;
+}
+
+}  // namespace quant
+}  // namespace mugi

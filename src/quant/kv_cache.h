@@ -1,0 +1,91 @@
+#ifndef MUGI_QUANT_KV_CACHE_H_
+#define MUGI_QUANT_KV_CACHE_H_
+
+/**
+ * @file
+ * KV cache with optional INT4 quantization (KVQ, Sec. 2.3.3).
+ *
+ * The cache stores one K and one V vector per (kv-head, position).
+ * With KVQ enabled, vectors are quantized per token with one BF16
+ * scale per vector -- the per-token granularity KVQuant-style schemes
+ * use -- cutting the cache footprint ~4x while staying within a
+ * bounded error.  Dequantized reads feed the attention GEMMs; the INT4
+ * codes are exactly what Mugi's weight rows consume (Sec. 4.2).
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "numerics/int4.h"
+#include "support/matrix.h"
+
+namespace mugi {
+namespace quant {
+
+/** Storage precision of the cache. */
+enum class KvPrecision {
+    kFloat,  ///< BF16-equivalent float storage (baseline).
+    kInt4,   ///< KVQ: INT4 codes + per-vector BF16 scale.
+};
+
+/** A growable per-head key/value cache. */
+class KvCache {
+  public:
+    /**
+     * @param num_heads Number of KV heads (GQA: may be fewer than the
+     *        number of query heads).
+     * @param head_dim Dimension of each K/V vector.
+     * @param precision Storage precision.
+     */
+    KvCache(std::size_t num_heads, std::size_t head_dim,
+            KvPrecision precision);
+
+    /** Append one position: K and V vectors for every head. */
+    void append(const support::MatrixF& k_heads,
+                const support::MatrixF& v_heads);
+
+    /** Number of cached positions. */
+    std::size_t length() const { return length_; }
+    std::size_t num_heads() const { return num_heads_; }
+    std::size_t head_dim() const { return head_dim_; }
+    KvPrecision precision() const { return precision_; }
+
+    /** Dequantized K vector of (head, position) into @p out. */
+    void read_key(std::size_t head, std::size_t pos, float* out) const;
+    /** Dequantized V vector of (head, position) into @p out. */
+    void read_value(std::size_t head, std::size_t pos, float* out) const;
+
+    /** Raw INT4 key codes (valid only with kInt4 precision). */
+    numerics::Int4 key_code(std::size_t head, std::size_t pos,
+                            std::size_t d) const;
+    /** Per-vector key scale (valid only with kInt4 precision). */
+    float key_scale(std::size_t head, std::size_t pos) const;
+
+    /** Current storage footprint in bytes. */
+    std::size_t byte_size() const;
+
+  private:
+    struct QuantVector {
+        std::vector<numerics::Int4> codes;
+        float scale = 0.0f;
+    };
+
+    QuantVector quantize_vector(const float* data) const;
+
+    std::size_t num_heads_;
+    std::size_t head_dim_;
+    KvPrecision precision_;
+    std::size_t length_ = 0;
+
+    // Float storage: [head][pos * head_dim + d].
+    std::vector<std::vector<float>> k_float_;
+    std::vector<std::vector<float>> v_float_;
+    // Quantized storage: [head][pos].
+    std::vector<std::vector<QuantVector>> k_quant_;
+    std::vector<std::vector<QuantVector>> v_quant_;
+};
+
+}  // namespace quant
+}  // namespace mugi
+
+#endif  // MUGI_QUANT_KV_CACHE_H_

@@ -1,0 +1,266 @@
+#include "sim/cost_model.h"
+
+#include "arch/tech_model.h"
+
+namespace mugi {
+namespace sim {
+
+using arch::Component;
+using arch::component_area;
+using arch::component_energy;
+
+namespace {
+
+constexpr double kUm2ToMm2 = 1e-6;
+
+/** Area of the standalone nonlinear vector array of a baseline. */
+double
+nonlinear_unit_area_um2(const DesignConfig& d)
+{
+    const double lanes = static_cast<double>(d.vector_lanes);
+    switch (d.nonlinear) {
+      case NonlinearScheme::kVlp:
+        return 0.0;  // Shared with the GEMM array.
+      case NonlinearScheme::kLut: {
+        // Mugi-L: FIFO-built programmable LUT; 8 inputs share one
+        // LUT sized for 2 signs x 8 mantissas x 8 exponents x 2 B,
+        // replicated to match array bandwidth (H/8 copies).
+        const double luts =
+            static_cast<double>(d.array_rows) / 8.0;
+        const double lut_bytes = 2 * 8 * 8 * 2;
+        return luts * lut_bytes * component_area(Component::kLutByte) *
+               8.0;  // Programmability overhead (Sec. 6.3.1).
+      }
+      case NonlinearScheme::kPrecise:
+        // MAC lane + control per lane.
+        return lanes * (component_area(Component::kBf16Mac) + 800.0);
+      case NonlinearScheme::kTaylor:
+        // MAC lane + 10 coefficient registers.
+        return lanes * (component_area(Component::kBf16Mac) +
+                        10 * 2 * component_area(Component::kFifoByte));
+      case NonlinearScheme::kPwl:
+        // MAC lane + 22 segment registers + comparators.
+        return lanes *
+               (component_area(Component::kBf16Mac) +
+                22 * 4 * component_area(Component::kFifoByte) +
+                5 * component_area(Component::kComparator));
+    }
+    return 0.0;
+}
+
+}  // namespace
+
+AreaBreakdown
+node_area(const DesignConfig& d)
+{
+    AreaBreakdown a;
+    const double H = static_cast<double>(d.array_rows);
+    const double W = static_cast<double>(d.array_cols);
+
+    switch (d.kind) {
+      case DesignKind::kMugi:
+      case DesignKind::kMugiLut: {
+        a.pe = H * W * component_area(Component::kVlpPe) * kUm2ToMm2;
+        a.tc = (H * component_area(Component::kTemporalConverter) +
+                W * component_area(Component::kCounter)) *
+               kUm2ToMm2;
+        // iAcc per column + oAcc per row (output stationary).
+        a.acc = (W + H) * component_area(Component::kBf16Adder) *
+                kUm2ToMm2;
+        // Buffer-minimized: broadcast rows (no per-row input FIFO),
+        // one leaned output FIFO per row of W entries (Sec. 4.2).
+        const double fifo_bytes = H * W * 2 + W * 16;
+        a.fifo = fifo_bytes * component_area(Component::kFifoByte) *
+                 kUm2ToMm2;
+        a.control = (H * component_area(Component::kSignConvert) +
+                     H * component_area(Component::kPostProc) +
+                     W * component_area(Component::kWindowSelect) +
+                     2500.0) *
+                    kUm2ToMm2;
+        a.vector = d.vector_lanes *
+                   component_area(Component::kBf16Mac) * kUm2ToMm2;
+        a.nonlinear = nonlinear_unit_area_um2(d) * kUm2ToMm2;
+        break;
+      }
+      case DesignKind::kCarat: {
+        a.pe = H * W * component_area(Component::kVlpPe) * kUm2ToMm2;
+        a.tc = (H * component_area(Component::kTemporalConverter) +
+                W * component_area(Component::kCounter)) *
+               kUm2ToMm2;
+        a.acc = (W + H) * component_area(Component::kBf16Adder) *
+                kUm2ToMm2;
+        // Carat pipelines inputs across rows and double-buffers the
+        // OR-tree outputs: FIFO cost scales ~quadratically with the
+        // array (Sec. 4.2), ~4.5x the Mugi buffer area.
+        const double fifo_bytes = H * W * 2 * 2.6 + H * 16 * 2;
+        a.fifo = fifo_bytes * component_area(Component::kFifoByte) *
+                 kUm2ToMm2;
+        a.control = (H * component_area(Component::kSignConvert) +
+                     H * component_area(Component::kPostProc) +
+                     2500.0) *
+                    kUm2ToMm2;
+        a.vector = d.vector_lanes *
+                   component_area(Component::kBf16Mac) * kUm2ToMm2;
+        a.nonlinear = nonlinear_unit_area_um2(d) * kUm2ToMm2;
+        break;
+      }
+      case DesignKind::kSystolic:
+      case DesignKind::kSystolicFigna:
+      case DesignKind::kSimd:
+      case DesignKind::kSimdFigna: {
+        const bool figna = d.kind == DesignKind::kSystolicFigna ||
+                           d.kind == DesignKind::kSimdFigna;
+        const bool systolic = d.kind == DesignKind::kSystolic ||
+                              d.kind == DesignKind::kSystolicFigna;
+        const double pe_area = component_area(
+            figna ? Component::kFignaMac : Component::kBf16Mac);
+        a.pe = H * W * pe_area * kUm2ToMm2;
+        if (systolic) {
+            // Output accumulators along one edge + control column.
+            a.acc = W * component_area(Component::kFp32Adder) *
+                    kUm2ToMm2;
+            a.control = (H * 500.0 + 4000.0) * kUm2ToMm2;
+            // Skew/staging FIFOs along both edges.
+            a.fifo = (H + W) * 8 *
+                     component_area(Component::kFifoByte) * kUm2ToMm2;
+        } else {
+            // SIMD: adder trees (W-1 adders per column).
+            a.acc = (W * (H - 1) *
+                     component_area(Component::kBf16Adder) * 0.35 +
+                     W * component_area(Component::kFp32Adder)) *
+                    kUm2ToMm2;
+            a.control = 4000.0 * kUm2ToMm2;
+            a.fifo = W * 8 * component_area(Component::kFifoByte) *
+                     kUm2ToMm2;
+        }
+        a.vector = 0.0;
+        a.nonlinear = nonlinear_unit_area_um2(d) * kUm2ToMm2;
+        break;
+      }
+      case DesignKind::kTensor: {
+        const double macs = H * W * static_cast<double>(d.array_depth);
+        a.pe = macs * component_area(Component::kBf16Mac) * kUm2ToMm2;
+        a.acc = H * W * component_area(Component::kFp32Adder) *
+                kUm2ToMm2;
+        // Operand routing / crossbars dominate beyond the MACs.
+        a.control = a.pe * 0.9;
+        a.fifo = macs * 2 * component_area(Component::kFifoByte) *
+                 kUm2ToMm2;
+        a.nonlinear = nonlinear_unit_area_um2(d) * kUm2ToMm2;
+        break;
+      }
+    }
+
+    arch::SramMacro macro{d.sram_bytes, true};
+    a.sram = 3.0 * macro.area_um2() * kUm2ToMm2;  // i/w/o SRAMs.
+
+    if (d.nodes() > 1) {
+        a.noc = component_area(Component::kRouter) * kUm2ToMm2;
+    }
+    return a;
+}
+
+double
+node_leakage_mw(const DesignConfig& d)
+{
+    const AreaBreakdown a = node_area(d);
+    const double logic_mm2 = a.array_total() + a.noc;
+    arch::SramMacro macro{d.sram_bytes, true};
+    return logic_mm2 * arch::kLogicLeakageMwPerMm2 +
+           3.0 * macro.leakage_mw();
+}
+
+double
+total_area_mm2(const DesignConfig& d)
+{
+    return node_area(d).total() * static_cast<double>(d.nodes());
+}
+
+double
+gemm_energy_per_mac(const DesignConfig& d)
+{
+    switch (d.kind) {
+      case DesignKind::kMugi:
+      case DesignKind::kMugiLut: {
+        // Per 8-cycle sweep of H x 8 MACs: 8 iAcc adds per column,
+        // one subscription + one oAcc add per MAC, TC/counter toggles.
+        const double H = static_cast<double>(d.array_rows);
+        const double sweep_macs = H * 8.0;
+        const double iacc = 8.0 * 8.0 *
+                            component_energy(Component::kBf16Adder);
+        const double per_mac =
+            component_energy(Component::kVlpPe) +
+            component_energy(Component::kBf16Adder) +
+            component_energy(Component::kTemporalConverter) / 8.0;
+        return per_mac + iacc / sweep_macs;
+      }
+      case DesignKind::kCarat: {
+        // Same VLP arithmetic + per-cycle FIFO shifting across rows.
+        const DesignConfig as_mugi = [&] {
+            DesignConfig m = d;
+            m.kind = DesignKind::kMugi;
+            return m;
+        }();
+        return gemm_energy_per_mac(as_mugi) +
+               component_energy(Component::kFifoByte) * 2.0;
+      }
+      case DesignKind::kSystolic:
+        return component_energy(Component::kBf16Mac) +
+               2 * component_energy(Component::kFifoByte);  // Shifts.
+      case DesignKind::kSystolicFigna:
+        return component_energy(Component::kFignaMac) +
+               2 * component_energy(Component::kFifoByte);
+      case DesignKind::kSimd:
+        return component_energy(Component::kBf16Mac) +
+               0.35 * component_energy(Component::kBf16Adder);
+      case DesignKind::kSimdFigna:
+        return component_energy(Component::kFignaMac) +
+               0.35 * component_energy(Component::kBf16Adder);
+      case DesignKind::kTensor:
+        // Amortized control in a big pipelined core.
+        return component_energy(Component::kBf16Mac) * 0.95;
+    }
+    return 0.0;
+}
+
+double
+nonlinear_energy_per_element(const DesignConfig& d)
+{
+    arch::SramMacro macro{d.sram_bytes, true};
+    // Every scheme reads its BF16 input and writes its BF16 output
+    // through the on-chip SRAM.
+    const double io = 4.0 * macro.access_energy_per_byte();
+    switch (d.nonlinear) {
+      case NonlinearScheme::kVlp: {
+        // One LUT-row SRAM read per cycle shared by H rows; per
+        // element: the sliding-window row latch (8 x BF16 into the
+        // PE registers), one mantissa + one exponent subscription,
+        // and the PP select.
+        const double H = static_cast<double>(d.array_rows);
+        const double row_read =
+            16.0 * macro.access_energy_per_byte();  // 8 x BF16.
+        const double row_latch =
+            16.0 * component_energy(Component::kFifoByte);
+        return io + 8.0 * row_read / H + row_latch +
+               2.0 * component_energy(Component::kVlpPe) +
+               component_energy(Component::kPostProc) +
+               component_energy(Component::kTemporalConverter);
+      }
+      case NonlinearScheme::kLut:
+        // Dedicated FIFO-LUT lookup: shift-select across 128 entries.
+        return io +
+               128 * 2 * component_energy(Component::kLutByte) / 8.0 +
+               component_energy(Component::kPostProc);
+      case NonlinearScheme::kPrecise:
+        return io + 44.0 * component_energy(Component::kBf16Mac);
+      case NonlinearScheme::kTaylor:
+        return io + 10.0 * component_energy(Component::kBf16Mac);
+      case NonlinearScheme::kPwl:
+        return io + 5.0 * component_energy(Component::kBf16Mac) +
+               5.0 * component_energy(Component::kComparator);
+    }
+    return 0.0;
+}
+
+}  // namespace sim
+}  // namespace mugi

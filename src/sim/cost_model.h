@@ -1,0 +1,65 @@
+#ifndef MUGI_SIM_COST_MODEL_H_
+#define MUGI_SIM_COST_MODEL_H_
+
+/**
+ * @file
+ * Area and leakage-power composition of a design (Fig. 13, Table 3
+ * "OC Area").  Every design is costed from the same 45 nm component
+ * library (arch/tech_model.h); the breakdown categories follow the
+ * Fig. 13 legend: Acc / FIFO / PE / Nonlinear / Vector / TC (plus
+ * control) at the array level, and Array / SRAM / NoC at the node
+ * level.
+ *
+ * Mugi-specific effects modeled here:
+ *  - buffer minimization (Sec. 4.2): Carat pipelines inputs across
+ *    rows and double-buffers the OR-tree output, costing FIFO area
+ *    that scales with the array size; Mugi broadcasts and leans the
+ *    output buffers, cutting total buffer area ~4.5x;
+ *  - array sharing: Mugi has no standalone nonlinear vector array,
+ *    while every baseline pays for one.
+ */
+
+#include "sim/design.h"
+
+namespace mugi {
+namespace sim {
+
+/** Area breakdown of one node, mm^2. */
+struct AreaBreakdown {
+    double pe = 0.0;         ///< Compute PEs.
+    double acc = 0.0;        ///< Output/input accumulators.
+    double fifo = 0.0;       ///< FIFOs and staging buffers.
+    double tc = 0.0;         ///< Temporal converters + counters.
+    double nonlinear = 0.0;  ///< Standalone nonlinear hardware.
+    double vector = 0.0;     ///< Vector (scaling/division) array.
+    double control = 0.0;    ///< PP / SW / M-proc / E-proc / misc.
+    double sram = 0.0;       ///< On-chip i/w/o SRAM.
+    double noc = 0.0;        ///< Router + links share (per node).
+
+    double
+    array_total() const
+    {
+        return pe + acc + fifo + tc + nonlinear + vector + control;
+    }
+    double total() const { return array_total() + sram + noc; }
+};
+
+/** Static (leakage) power of one node in mW. */
+double node_leakage_mw(const DesignConfig& design);
+
+/** Per-node area breakdown. */
+AreaBreakdown node_area(const DesignConfig& design);
+
+/** Full-design area (all nodes + NoC), mm^2. */
+double total_area_mm2(const DesignConfig& design);
+
+/** Dynamic energy per MAC for GEMM on this design, pJ. */
+double gemm_energy_per_mac(const DesignConfig& design);
+
+/** Dynamic energy per element for nonlinear work, pJ. */
+double nonlinear_energy_per_element(const DesignConfig& design);
+
+}  // namespace sim
+}  // namespace mugi
+
+#endif  // MUGI_SIM_COST_MODEL_H_

@@ -1,0 +1,69 @@
+#ifndef MUGI_SIM_EVENT_SIM_H_
+#define MUGI_SIM_EVENT_SIM_H_
+
+/**
+ * @file
+ * Event-based simulator (Sec. 5.4: "an event-based simulator that can
+ * hierarchically solve the mapping of nonlinear operations and GEMM").
+ *
+ * The simulator schedules a workload's operation stream onto two
+ * shared resources per node -- the compute array and the HBM channel
+ * -- as a discrete-event timeline.  Weight streaming double-buffers
+ * against computation (Sec. 4: "double buffers all memory hierarchies
+ * to hide access latency"), so an op's DRAM traffic overlaps the
+ * *previous* op's compute.  The analytic model's per-op
+ * max(compute, memory) roofline is the no-dependency limit; the event
+ * simulation reproduces it within the pipeline fill error, which is
+ * what the cross-validation tests assert.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/workload.h"
+#include "sim/design.h"
+
+namespace mugi {
+namespace sim {
+
+/** One scheduled interval on a resource. */
+struct ScheduledOp {
+    std::string name;
+    model::OpClass cls = model::OpClass::kProjection;
+    double start_cycle = 0.0;
+    double end_cycle = 0.0;
+    bool on_memory = false;  ///< True for HBM transfer intervals.
+};
+
+/** Event-simulation outcome. */
+struct EventSimResult {
+    std::vector<ScheduledOp> timeline;
+    double makespan_cycles = 0.0;
+    /** Busy cycles of the compute array (utilization numerator). */
+    double compute_busy_cycles = 0.0;
+    /** Busy cycles of the HBM channel. */
+    double memory_busy_cycles = 0.0;
+
+    double
+    compute_utilization() const
+    {
+        return makespan_cycles > 0.0
+                   ? compute_busy_cycles / makespan_cycles
+                   : 0.0;
+    }
+};
+
+/**
+ * Simulate one inference step.  Ops execute in stream order on the
+ * array; each op's weight stream is prefetched on the HBM channel and
+ * must complete before the op's compute interval ends (double
+ * buffering: prefetch of op i+1 overlaps compute of op i).
+ */
+EventSimResult simulate(const DesignConfig& design,
+                        const model::Workload& workload);
+
+}  // namespace sim
+}  // namespace mugi
+
+#endif  // MUGI_SIM_EVENT_SIM_H_

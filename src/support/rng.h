@@ -1,0 +1,42 @@
+#ifndef MUGI_SUPPORT_RNG_H_
+#define MUGI_SUPPORT_RNG_H_
+
+/**
+ * @file
+ * Deterministic random helpers.  All experiments seed explicitly so
+ * the benchmark harness reproduces the same rows on every run.
+ */
+
+#include <cstdint>
+#include <random>
+
+#include "support/matrix.h"
+
+namespace mugi {
+namespace support {
+
+/** Fill @p m with N(mean, stddev) samples from @p rng. */
+inline void
+fill_gaussian(MatrixF& m, std::mt19937& rng, float mean = 0.0f,
+              float stddev = 1.0f)
+{
+    std::normal_distribution<float> dist(mean, stddev);
+    for (float& v : m.data()) {
+        v = dist(rng);
+    }
+}
+
+/** Fill @p m with U(lo, hi) samples from @p rng. */
+inline void
+fill_uniform(MatrixF& m, std::mt19937& rng, float lo, float hi)
+{
+    std::uniform_real_distribution<float> dist(lo, hi);
+    for (float& v : m.data()) {
+        v = dist(rng);
+    }
+}
+
+}  // namespace support
+}  // namespace mugi
+
+#endif  // MUGI_SUPPORT_RNG_H_

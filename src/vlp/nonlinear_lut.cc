@@ -1,0 +1,77 @@
+#include "vlp/nonlinear_lut.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "numerics/bfloat16.h"
+
+namespace mugi {
+namespace vlp {
+
+bool
+default_signed_input(nonlinear::NonlinearOp op)
+{
+    // Softmax feeds exp with max-subtracted (non-positive) inputs.
+    return op != nonlinear::NonlinearOp::kExp;
+}
+
+NonlinearLut::NonlinearLut(const LutConfig& config) : config_(config)
+{
+    assert(config.mantissa_bits >= 0 && config.mantissa_bits <= 8);
+    assert(config.max_exp >= config.min_exp);
+    const int signs = config_.signed_input ? 2 : 1;
+    const int mantissas = config_.num_mantissas();
+    const int exponents = config_.num_exponents();
+    data_.resize(static_cast<std::size_t>(signs) * mantissas * exponents);
+    for (int s = 0; s < signs; ++s) {
+        // For single-sign (exp/softmax) LUTs, the stored sign is
+        // negative; sign index 0 maps to negative in that case.
+        const bool negative = config_.signed_input ? (s == 1) : true;
+        for (int m = 0; m < mantissas; ++m) {
+            for (int e = 0; e < exponents; ++e) {
+                const double magnitude = std::ldexp(
+                    1.0 + static_cast<double>(m) / mantissas,
+                    config_.min_exp + e);
+                const double x = negative ? -magnitude : magnitude;
+                const double y = nonlinear::eval_ref(config_.op, x);
+                const std::size_t idx =
+                    (static_cast<std::size_t>(s) * mantissas + m) *
+                        exponents +
+                    e;
+                data_[idx] =
+                    numerics::bf16_round(static_cast<float>(y));
+            }
+        }
+    }
+}
+
+std::size_t
+NonlinearLut::index(bool sign, std::uint32_t mantissa) const
+{
+    assert(mantissa < static_cast<std::uint32_t>(config_.num_mantissas()));
+    std::size_t s = 0;
+    if (config_.signed_input) {
+        s = sign ? 1 : 0;
+    } else {
+        assert(sign && "single-sign LUT stores the negative half only");
+    }
+    return (s * config_.num_mantissas() + mantissa) *
+           config_.num_exponents();
+}
+
+float
+NonlinearLut::entry(bool sign, std::uint32_t mantissa, int exponent) const
+{
+    assert(exponent >= config_.min_exp && exponent <= config_.max_exp);
+    return data_[index(sign, mantissa) + (exponent - config_.min_exp)];
+}
+
+std::span<const float>
+NonlinearLut::row(bool sign, std::uint32_t mantissa) const
+{
+    return {data_.data() + index(sign, mantissa),
+            static_cast<std::size_t>(config_.num_exponents())};
+}
+
+}  // namespace vlp
+}  // namespace mugi

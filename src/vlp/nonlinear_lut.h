@@ -1,0 +1,92 @@
+#ifndef MUGI_VLP_NONLINEAR_LUT_H_
+#define MUGI_VLP_NONLINEAR_LUT_H_
+
+/**
+ * @file
+ * The precomputed nonlinear LUT held in Mugi's iSRAM (Sec. 3.1,
+ * Fig. 3(d-g)).  The LUT is organized so one *row* holds all results
+ * sharing a sign+mantissa, with one entry per exponent; the value-reuse
+ * phase streams rows in mantissa-ascending order and the exponent
+ * subscription picks the element.
+ *
+ * Entries store f((-1)^s * (1 + m / 2^mb) * 2^e) rounded to BF16 --
+ * i.e. VLP performs *input approximation*: the output is the exact
+ * function evaluated at the rounded input grid point (Sec. 3.2).
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nonlinear/reference.h"
+
+namespace mugi {
+namespace vlp {
+
+/** Static configuration of the LUT window (Sec. 3.3, Fig. 5/6). */
+struct LutConfig {
+    nonlinear::NonlinearOp op = nonlinear::NonlinearOp::kExp;
+    int mantissa_bits = 3;  ///< Rounded input mantissa width.
+    /**
+     * Full LUT exponent window [min_exp, max_exp], the "LUT window" of
+     * Fig. 5.  Fig. 6 sweeps its size ("LUT size") and its anchor
+     * ("Min/Max Exp").
+     */
+    int min_exp = -3;
+    int max_exp = 4;
+    /**
+     * Whether the LUT stores both signs.  Softmax inputs are
+     * max-subtracted and hence non-positive, so exp needs only the
+     * negative half; SiLU/GELU need both ("The LUT size will double if
+     * the nonlinear operation has both positive and negative inputs",
+     * Sec. 4.1).
+     */
+    bool signed_input = true;
+
+    /** Number of exponents stored per row. */
+    int num_exponents() const { return max_exp - min_exp + 1; }
+    /** Number of mantissa rows per sign. */
+    int num_mantissas() const { return 1 << mantissa_bits; }
+};
+
+/** Default sign coverage for @p op (see LutConfig::signed_input). */
+bool default_signed_input(nonlinear::NonlinearOp op);
+
+/** The iSRAM-resident LUT. */
+class NonlinearLut {
+  public:
+    explicit NonlinearLut(const LutConfig& config);
+
+    const LutConfig& config() const { return config_; }
+
+    /**
+     * The stored result for grid point
+     * (-1)^sign * (1 + mantissa / 2^mb) * 2^exponent.
+     * @p exponent must lie inside [min_exp, max_exp].
+     */
+    float entry(bool sign, std::uint32_t mantissa, int exponent) const;
+
+    /**
+     * One LUT row: all exponent entries sharing (sign, mantissa),
+     * ordered min_exp..max_exp.  This is the vector broadcast across
+     * the array during the value-reuse phase.
+     */
+    std::span<const float> row(bool sign, std::uint32_t mantissa) const;
+
+    /** Total number of stored entries. */
+    std::size_t size() const { return data_.size(); }
+
+    /** Storage footprint in bytes (BF16 entries). */
+    std::size_t byte_size() const { return data_.size() * 2; }
+
+  private:
+    std::size_t index(bool sign, std::uint32_t mantissa) const;
+
+    LutConfig config_;
+    std::vector<float> data_;  ///< BF16-rounded values, widened.
+};
+
+}  // namespace vlp
+}  // namespace mugi
+
+#endif  // MUGI_VLP_NONLINEAR_LUT_H_

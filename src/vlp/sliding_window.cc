@@ -1,0 +1,98 @@
+#include "vlp/sliding_window.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "numerics/float_bits.h"
+
+namespace mugi {
+namespace vlp {
+
+const char*
+window_policy_name(WindowPolicy policy)
+{
+    switch (policy) {
+      case WindowPolicy::kMaxAnchored:
+        return "max-anchored";
+      case WindowPolicy::kMinAnchored:
+        return "min-anchored";
+      case WindowPolicy::kCoverage:
+        return "coverage";
+      case WindowPolicy::kFixedTop:
+        return "fixed-top";
+    }
+    return "?";
+}
+
+WindowChoice
+choose_window(std::span<const float> inputs, const LutConfig& lut,
+              int window_size, WindowPolicy policy)
+{
+    assert(window_size >= 1);
+    const int full_lo = lut.min_exp;
+    const int full_hi = lut.max_exp;
+    if (full_hi - full_lo + 1 <= window_size) {
+        return {full_lo, full_hi};
+    }
+
+    // Histogram of input exponents clamped into the LUT range.
+    const int range = full_hi - full_lo + 1;
+    std::vector<std::size_t> histogram(range, 0);
+    int seen_min = full_hi + 1;
+    int seen_max = full_lo - 1;
+    for (const float x : inputs) {
+        const numerics::FloatFields f = numerics::decompose(x);
+        if (f.is_zero || f.is_inf || f.is_nan) {
+            continue;  // Specials bypass the LUT via the PP block.
+        }
+        const int e = std::clamp(f.exponent, full_lo, full_hi);
+        ++histogram[e - full_lo];
+        seen_min = std::min(seen_min, e);
+        seen_max = std::max(seen_max, e);
+    }
+
+    const auto clamp_window = [&](int lo) {
+        lo = std::clamp(lo, full_lo, full_hi - window_size + 1);
+        return WindowChoice{lo, lo + window_size - 1};
+    };
+
+    switch (policy) {
+      case WindowPolicy::kFixedTop:
+        return clamp_window(full_hi - window_size + 1);
+      case WindowPolicy::kMaxAnchored:
+        if (seen_max < full_lo) {
+            return clamp_window(full_hi - window_size + 1);
+        }
+        return clamp_window(seen_max - window_size + 1);
+      case WindowPolicy::kMinAnchored:
+        if (seen_min > full_hi) {
+            return clamp_window(full_lo);
+        }
+        return clamp_window(seen_min);
+      case WindowPolicy::kCoverage: {
+        // Slide and pick the position covering the most inputs; ties
+        // prefer the higher window (large-magnitude coverage degrades
+        // more gracefully through the underflow-to-f(0) rule than
+        // through overflow clamping).
+        std::size_t best_count = 0;
+        int best_lo = full_hi - window_size + 1;
+        for (int lo = full_lo; lo + window_size - 1 <= full_hi; ++lo) {
+            std::size_t count = 0;
+            for (int e = lo; e <= lo + window_size - 1; ++e) {
+                count += histogram[e - full_lo];
+            }
+            if (count >= best_count) {
+                best_count = count;
+                best_lo = lo;
+            }
+        }
+        return clamp_window(best_lo);
+      }
+    }
+    return clamp_window(full_lo);
+}
+
+}  // namespace vlp
+}  // namespace mugi

@@ -1,0 +1,74 @@
+#ifndef MUGI_VLP_SLIDING_WINDOW_H_
+#define MUGI_VLP_SLIDING_WINDOW_H_
+
+/**
+ * @file
+ * Sliding-window selection for value-centric approximation (Sec. 3.3,
+ * Fig. 5).  A single mapping can only expose window_size exponents
+ * (matching the array width), chosen from the full LUT window.  The SW
+ * block slides the window per mapping "aiming to minimize the accuracy
+ * loss".
+ */
+
+#include <span>
+
+#include "vlp/nonlinear_lut.h"
+
+namespace mugi {
+namespace vlp {
+
+/** A contiguous exponent window [lo, hi] inside the full LUT range. */
+struct WindowChoice {
+    int lo = 0;
+    int hi = 0;
+
+    int size() const { return hi - lo + 1; }
+    bool contains(int e) const { return e >= lo && e <= hi; }
+
+    friend bool
+    operator==(const WindowChoice& a, const WindowChoice& b)
+    {
+        return a.lo == b.lo && a.hi == b.hi;
+    }
+};
+
+/** How the E-proc anchors the sliding window for a mapping. */
+enum class WindowPolicy {
+    /**
+     * Anchor the window top at the largest exponent present in the
+     * mapping ("determine the maximum ... exponent", Sec. 4 step 1).
+     */
+    kMaxAnchored,
+    /** Anchor the window bottom at the smallest exponent present. */
+    kMinAnchored,
+    /**
+     * Slide to the position covering the most inputs -- the
+     * value-centric choice that minimizes the number of clamped
+     * values (default).
+     */
+    kCoverage,
+    /** Keep the window pinned at the top of the full LUT range. */
+    kFixedTop,
+};
+
+const char* window_policy_name(WindowPolicy policy);
+
+/**
+ * Choose the sliding window for one mapping.
+ *
+ * @param inputs The values mapped onto the array in this mapping.
+ * @param lut Full-LUT configuration providing [min_exp, max_exp].
+ * @param window_size Array width (8 in the paper).
+ * @param policy Anchoring policy.
+ * @return The selected window, always fully inside the LUT range.
+ *         If the LUT range is no wider than the window, the window is
+ *         the whole range regardless of policy.
+ */
+WindowChoice choose_window(std::span<const float> inputs,
+                           const LutConfig& lut, int window_size,
+                           WindowPolicy policy);
+
+}  // namespace vlp
+}  // namespace mugi
+
+#endif  // MUGI_VLP_SLIDING_WINDOW_H_

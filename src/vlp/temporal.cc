@@ -1,0 +1,98 @@
+#include "vlp/temporal.h"
+
+#include <cassert>
+
+namespace mugi {
+namespace vlp {
+
+SweepResult
+temporal_multiply(std::uint32_t i, double w, int bits)
+{
+    assert(bits > 0 && bits <= 16);
+    assert(i < (1u << bits));
+    SweepResult result;
+    result.products.assign(1, 0.0);
+    const TemporalConverter tc(i);
+    double acc = 0.0;
+    const std::uint32_t sweep = 1u << bits;
+    for (std::uint32_t c = 0; c < sweep; ++c) {
+        if (tc.spikes_at(c)) {
+            // Temporal subscription: latch the accumulator, which at
+            // cycle c holds c * w.
+            result.products[0] = acc;
+        }
+        acc += w;
+    }
+    result.cycles = sweep;
+    return result;
+}
+
+SweepResult
+temporal_scalar_vector(std::span<const std::uint32_t> values, double w,
+                       int bits)
+{
+    assert(bits > 0 && bits <= 16);
+    SweepResult result;
+    result.products.assign(values.size(), 0.0);
+    std::vector<TemporalConverter> tcs;
+    tcs.reserve(values.size());
+    for (const std::uint32_t v : values) {
+        assert(v < (1u << bits));
+        tcs.emplace_back(v);
+    }
+    double acc = 0.0;  // One accumulation, shared: value reuse.
+    const std::uint32_t sweep = 1u << bits;
+    for (std::uint32_t c = 0; c < sweep; ++c) {
+        for (std::size_t k = 0; k < tcs.size(); ++k) {
+            if (tcs[k].spikes_at(c)) {
+                result.products[k] = acc;
+            }
+        }
+        acc += w;
+    }
+    result.cycles = sweep;
+    return result;
+}
+
+SweepResult
+temporal_outer_product(std::span<const std::uint32_t> row_values,
+                       std::span<const double> col_weights, int bits)
+{
+    assert(bits > 0 && bits <= 16);
+    const std::size_t rows = row_values.size();
+    const std::size_t cols = col_weights.size();
+    SweepResult result;
+    result.products.assign(rows * cols, 0.0);
+
+    std::vector<TemporalConverter> tcs;
+    tcs.reserve(rows);
+    for (const std::uint32_t v : row_values) {
+        assert(v < (1u << bits));
+        tcs.emplace_back(v);
+    }
+
+    const std::uint32_t sweep = 1u << bits;
+    // Column c starts its sweep at global cycle c (staggered by the
+    // iFIFO); its local counter at global cycle t is t - c.
+    std::vector<double> acc(cols, 0.0);
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(sweep) + cols - 1;
+    for (std::uint64_t t = 0; t < total; ++t) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            if (t < c) continue;  // Column not started yet.
+            const std::uint64_t local = t - c;
+            if (local >= sweep) continue;  // Column finished.
+            for (std::size_t r = 0; r < rows; ++r) {
+                if (tcs[r].spikes_at(static_cast<std::uint32_t>(local))) {
+                    result.products[r * cols + c] = acc[c];
+                }
+            }
+            acc[c] += col_weights[c];
+        }
+    }
+    result.cycles = total;
+    return result;
+}
+
+}  // namespace vlp
+}  // namespace mugi

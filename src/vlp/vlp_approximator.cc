@@ -1,0 +1,158 @@
+#include "vlp/vlp_approximator.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "numerics/bfloat16.h"
+#include "numerics/rounding.h"
+
+namespace mugi {
+namespace vlp {
+
+using nonlinear::NonlinearOp;
+
+LutConfig
+VlpConfig::lut_config() const
+{
+    LutConfig lut;
+    lut.op = op;
+    lut.mantissa_bits = mantissa_bits;
+    lut.min_exp = lut_min_exp;
+    lut.max_exp = lut_max_exp;
+    lut.signed_input = default_signed_input(op);
+    return lut;
+}
+
+VlpApproximator::VlpApproximator(const VlpConfig& config)
+    : config_(config), lut_(config.lut_config())
+{
+    assert(config.window_size >= 1);
+    assert(config.lut_max_exp >= config.lut_min_exp);
+    assert(config.mapping_rows >= 1);
+}
+
+float
+VlpApproximator::apply_with_window(float x, const WindowChoice& window) const
+{
+    // --- PP block special values (Fig. 9 step 4). ---
+    if (std::isnan(x)) {
+        return x;
+    }
+    if (std::isinf(x)) {
+        switch (config_.op) {
+          case NonlinearOp::kExp:
+            return x > 0 ? x : 0.0f;
+          case NonlinearOp::kSilu:
+          case NonlinearOp::kGelu:
+            return x > 0 ? x : 0.0f;
+        }
+    }
+
+    // --- Phase 1: input field split with mantissa rounding. ---
+    const float bf16_in = numerics::bf16_round(x);
+    const numerics::RoundedValue r =
+        numerics::round_mantissa(bf16_in, config_.mantissa_bits);
+    const auto f_of_zero = [&]() {
+        // E-proc underflow: the value is treated as zero; exp(0)=1,
+        // SiLU(0)=GELU(0)=0.  Exact via the PP Zero path.
+        return config_.op == NonlinearOp::kExp ? 1.0f : 0.0f;
+    };
+    if (r.is_zero) {
+        return f_of_zero();
+    }
+    if (config_.op == NonlinearOp::kExp && !r.sign) {
+        // Softmax inputs are max-subtracted; a (non-zero) positive
+        // input can only be numerical noise.  The single-sign LUT has
+        // no positive half, so the E-proc clamps it to zero.
+        return f_of_zero();
+    }
+
+    // --- E-proc window clamp. ---
+    int e = r.exponent;
+    if (e < window.lo) {
+        return f_of_zero();
+    }
+    if (e > window.hi) {
+        if (config_.op == NonlinearOp::kExp) {
+            // Softmax overflow: "overflow values are set to the
+            // maximum value of the LUT" (Sec. 4) -- the single entry
+            // with the largest stored magnitude, i.e. the deepest exp
+            // value in the window.
+            return apply_overflow_entry(window);
+        } else {
+            // SiLU/GELU pass large-magnitude values through: the
+            // positive asymptote is the identity, the negative one is
+            // zero.
+            return r.sign ? 0.0f : bf16_in;
+        }
+    }
+
+    // --- Phases 2-4: LUT row subscription + exponent subscription. ---
+    if (!config_.round_output) {
+        // Ablation path: exact function at the grid point, skipping
+        // the BF16 rounding of the LUT entries.
+        const double magnitude = std::ldexp(
+            1.0 + static_cast<double>(r.mantissa) /
+                      (1 << config_.mantissa_bits),
+            e);
+        return static_cast<float>(nonlinear::eval_ref(
+            config_.op, r.sign ? -magnitude : magnitude));
+    }
+    return lut_.entry(r.sign, r.mantissa, e);
+}
+
+float
+VlpApproximator::apply_overflow_entry(const WindowChoice& window) const
+{
+    const std::uint32_t max_mantissa =
+        (1u << config_.mantissa_bits) - 1u;
+    if (!config_.round_output) {
+        const double magnitude = std::ldexp(
+            1.0 + static_cast<double>(max_mantissa) /
+                      (1 << config_.mantissa_bits),
+            window.hi);
+        return static_cast<float>(
+            nonlinear::eval_ref(config_.op, -magnitude));
+    }
+    return lut_.entry(true, max_mantissa, window.hi);
+}
+
+float
+VlpApproximator::apply(float x) const
+{
+    const WindowChoice window = choose_window(
+        std::span<const float>(&x, 1), lut_.config(),
+        config_.window_size, config_.policy);
+    return apply_with_window(x, window);
+}
+
+void
+VlpApproximator::apply_batch(std::span<const float> in,
+                             std::span<float> out) const
+{
+    assert(in.size() == out.size());
+    const std::size_t group = config_.mapping_rows;
+    for (std::size_t start = 0; start < in.size(); start += group) {
+        const std::size_t n = std::min(group, in.size() - start);
+        const std::span<const float> chunk = in.subspan(start, n);
+        const WindowChoice window =
+            choose_window(chunk, lut_.config(), config_.window_size,
+                          config_.policy);
+        for (std::size_t i = 0; i < n; ++i) {
+            out[start + i] = apply_with_window(chunk[i], window);
+        }
+    }
+}
+
+std::unique_ptr<VlpApproximator>
+make_vlp(nonlinear::NonlinearOp op, int lut_size, int max_exp)
+{
+    VlpConfig config;
+    config.op = op;
+    config.lut_max_exp = max_exp;
+    config.lut_min_exp = max_exp - lut_size + 1;
+    return std::make_unique<VlpApproximator>(config);
+}
+
+}  // namespace vlp
+}  // namespace mugi

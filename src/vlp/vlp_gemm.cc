@@ -1,0 +1,160 @@
+#include "vlp/vlp_gemm.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace mugi {
+namespace vlp {
+namespace {
+
+constexpr int kMagnitudeBits = numerics::kInt4MagnitudeBits;
+constexpr std::uint32_t kSweep = 1u << kMagnitudeBits;
+
+}  // namespace
+
+VlpGemmResult
+vlp_gemm_mugi(const Int4Matrix& weights,
+              const support::MatrixF& activations, int array_rows,
+              int array_cols)
+{
+    assert(weights.cols() == activations.rows());
+    assert(array_rows >= 1 && array_cols >= 1);
+    const std::size_t n_total = weights.rows();
+    const std::size_t k_total = weights.cols();
+    const std::size_t b_total = activations.cols();
+
+    VlpGemmResult result;
+    result.out = support::MatrixF(n_total, b_total, 0.0f);
+
+    // Output-stationary tiling over the H x W array.
+    for (std::size_t n0 = 0; n0 < n_total;
+         n0 += static_cast<std::size_t>(array_rows)) {
+        const std::size_t nh = std::min(
+            static_cast<std::size_t>(array_rows), n_total - n0);
+        for (std::size_t b0 = 0; b0 < b_total;
+             b0 += static_cast<std::size_t>(array_cols)) {
+            const std::size_t bw = std::min(
+                static_cast<std::size_t>(array_cols), b_total - b0);
+            // Each k-step is one temporal sweep: per-column
+            // accumulators build multiples of the BF16 activation and
+            // every weight row subscribes at its magnitude cycle.
+            for (std::size_t k = 0; k < k_total; ++k) {
+                for (std::size_t c = 0; c < bw; ++c) {
+                    const float act = activations.at(k, b0 + c);
+                    float acc = 0.0f;  // Value reuse: one accumulation.
+                    for (std::uint32_t cycle = 0; cycle < kSweep;
+                         ++cycle) {
+                        for (std::size_t r = 0; r < nh; ++r) {
+                            const numerics::Int4 w =
+                                weights.at(n0 + r, k);
+                            if (w.magnitude == cycle) {
+                                // Temporal subscription; the SC block
+                                // applies the sign.
+                                const float product =
+                                    w.sign ? -acc : acc;
+                                result.out.at(n0 + r, b0 + c) += product;
+                                ++result.subscriptions;
+                            }
+                        }
+                        acc += act;
+                    }
+                }
+                // All columns of a k-step share the 2^mb-cycle sweep
+                // (columns are staggered but fully pipelined).
+                result.cycles += kSweep;
+                ++result.sweeps;
+            }
+        }
+    }
+    return result;
+}
+
+VlpGemmResult
+vlp_gemm_carat(const Int4Matrix& activations,
+               const support::MatrixF& weights, int array_rows,
+               int array_cols)
+{
+    assert(activations.cols() == weights.rows());
+    const std::size_t m_total = activations.rows();
+    const std::size_t k_total = activations.cols();
+    const std::size_t n_total = weights.cols();
+
+    VlpGemmResult result;
+    result.out = support::MatrixF(m_total, n_total, 0.0f);
+
+    for (std::size_t m0 = 0; m0 < m_total;
+         m0 += static_cast<std::size_t>(array_rows)) {
+        const std::size_t mh = std::min(
+            static_cast<std::size_t>(array_rows), m_total - m0);
+        for (std::size_t n0 = 0; n0 < n_total;
+             n0 += static_cast<std::size_t>(array_cols)) {
+            const std::size_t nw = std::min(
+                static_cast<std::size_t>(array_cols), n_total - n0);
+            for (std::size_t k = 0; k < k_total; ++k) {
+                for (std::size_t c = 0; c < nw; ++c) {
+                    const float w = weights.at(k, n0 + c);
+                    float acc = 0.0f;
+                    for (std::uint32_t cycle = 0; cycle < kSweep;
+                         ++cycle) {
+                        for (std::size_t r = 0; r < mh; ++r) {
+                            const numerics::Int4 act =
+                                activations.at(m0 + r, k);
+                            if (act.magnitude == cycle) {
+                                result.out.at(m0 + r, n0 + c) +=
+                                    act.sign ? -acc : acc;
+                                ++result.subscriptions;
+                            }
+                        }
+                        acc += w;
+                    }
+                }
+                result.cycles += kSweep;
+                ++result.sweeps;
+            }
+        }
+    }
+    return result;
+}
+
+std::uint64_t
+vlp_gemm_mugi_cycles(std::size_t n, std::size_t b, std::size_t k,
+                     int array_rows, int array_cols, int magnitude_bits)
+{
+    const std::uint64_t n_tiles =
+        (n + array_rows - 1) / static_cast<std::size_t>(array_rows);
+    const std::uint64_t b_tiles =
+        (b + array_cols - 1) / static_cast<std::size_t>(array_cols);
+    return n_tiles * b_tiles * k * (1ull << magnitude_bits);
+}
+
+support::MatrixF
+int4_gemm_reference(const Int4Matrix& weights,
+                    const support::MatrixF& activations)
+{
+    assert(weights.cols() == activations.rows());
+    support::MatrixF out(weights.rows(), activations.cols(), 0.0f);
+    for (std::size_t n = 0; n < weights.rows(); ++n) {
+        for (std::size_t b = 0; b < activations.cols(); ++b) {
+            // Match the temporal model's accumulation order (k
+            // ascending, float accumulation) so results are
+            // bit-identical.
+            float acc = 0.0f;
+            for (std::size_t k = 0; k < weights.cols(); ++k) {
+                const int w = weights.at(n, k).value();
+                float product = 0.0f;
+                const float act = activations.at(k, b);
+                // Magnitude * act as repeated addition, exactly as the
+                // temporal accumulator computes it.
+                for (int t = 0; t < std::abs(w); ++t) {
+                    product += act;
+                }
+                acc += (w < 0) ? -product : product;
+            }
+            out.at(n, b) = acc;
+        }
+    }
+    return out;
+}
+
+}  // namespace vlp
+}  // namespace mugi

@@ -1,0 +1,83 @@
+#ifndef MUGI_VLP_VLP_GEMM_H_
+#define MUGI_VLP_VLP_GEMM_H_
+
+/**
+ * @file
+ * Multiplier-free VLP GEMM (Sec. 2.1, Sec. 4.2).
+ *
+ * Mugi's asymmetric mapping transposes Carat's: INT4 weights (or
+ * quantized KV-cache entries) are temporally coded on the *rows* with
+ * a slim sign-magnitude datapath, while BF16 activations (or Q tokens)
+ * occupy the *columns* and are value-reused by the per-column
+ * accumulators.  One outer-product (k-step) sweep takes 2^3 = 8 cycles
+ * for the 3-bit magnitude, matching the 8-column array.
+ *
+ * Carat's original symmetric mapping (batched low-precision
+ * activations on rows, weights on columns) is provided as the
+ * baseline.
+ *
+ * Both are *cycle-accurate functional* models: they simulate the
+ * temporal sweeps and return the exact cycle count, which the analytic
+ * performance model (src/sim) is validated against.
+ */
+
+#include <cstdint>
+
+#include "numerics/int4.h"
+#include "support/matrix.h"
+
+namespace mugi {
+namespace vlp {
+
+/** Matrix of sign-magnitude INT4 values. */
+using Int4Matrix = support::Matrix<numerics::Int4>;
+
+/** Result of a simulated VLP GEMM. */
+struct VlpGemmResult {
+    support::MatrixF out;          ///< Output-stationary result.
+    std::uint64_t cycles = 0;      ///< Simulated cycle count.
+    std::uint64_t sweeps = 0;      ///< Temporal sweeps executed.
+    std::uint64_t subscriptions = 0;  ///< Temporal subscriptions fired.
+};
+
+/**
+ * Mugi-mapped GEMM: out[n][b] = sum_k weights[n][k] * activations[k][b].
+ *
+ * @param weights INT4 weights (or KV entries), logical shape N x K.
+ * @param activations BF16-valued activations, logical shape K x B
+ *        (values should already be BF16-rounded; the model treats
+ *        them as exact binary32).
+ * @param array_rows Array height H (weights tile size along N).
+ * @param array_cols Array width (8 in the paper; B tile size).
+ */
+VlpGemmResult vlp_gemm_mugi(const Int4Matrix& weights,
+                            const support::MatrixF& activations,
+                            int array_rows, int array_cols);
+
+/**
+ * Carat-mapped symmetric GEMM: out[m][n] = sum_k acts[m][k] * w[k][n],
+ * with the batched INT4 activations temporally coded on rows and the
+ * weights value-reused on columns.
+ */
+VlpGemmResult vlp_gemm_carat(const Int4Matrix& activations,
+                             const support::MatrixF& weights,
+                             int array_rows, int array_cols);
+
+/**
+ * Analytic cycle count of the Mugi mapping:
+ *   ceil(N / H) * ceil(B / W) * K * 2^mag_bits
+ * (steady-state pipelined; matches the simulated count).
+ */
+std::uint64_t vlp_gemm_mugi_cycles(std::size_t n, std::size_t b,
+                                   std::size_t k, int array_rows,
+                                   int array_cols,
+                                   int magnitude_bits = 3);
+
+/** Reference: direct GEMM of INT4 weights against float activations. */
+support::MatrixF int4_gemm_reference(const Int4Matrix& weights,
+                                     const support::MatrixF& activations);
+
+}  // namespace vlp
+}  // namespace mugi
+
+#endif  // MUGI_VLP_VLP_GEMM_H_

@@ -1,0 +1,132 @@
+#include "vlp/vlp_trig.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "numerics/bfloat16.h"
+#include "numerics/rounding.h"
+
+namespace mugi {
+namespace vlp {
+
+const char*
+trig_op_name(TrigOp op)
+{
+    return op == TrigOp::kSin ? "sin" : "cos";
+}
+
+VlpTrigApproximator::VlpTrigApproximator(const VlpTrigConfig& config)
+    : config_(config),
+      num_exponents_(config.lut_max_exp - config.lut_min_exp + 1)
+{
+    assert(config.lut_max_exp >= config.lut_min_exp);
+    const int mantissas = 1 << config_.mantissa_bits;
+    table_.resize(2ull * mantissas * num_exponents_);
+    for (int s = 0; s < 2; ++s) {
+        for (int m = 0; m < mantissas; ++m) {
+            for (int e = 0; e < num_exponents_; ++e) {
+                const double magnitude = std::ldexp(
+                    1.0 + static_cast<double>(m) / mantissas,
+                    config_.lut_min_exp + e);
+                const double r = s ? -magnitude : magnitude;
+                const double y = config_.op == TrigOp::kSin
+                                     ? std::sin(r)
+                                     : std::cos(r);
+                table_[(static_cast<std::size_t>(s) * mantissas + m) *
+                           num_exponents_ +
+                       e] =
+                    numerics::bf16_round(static_cast<float>(y));
+            }
+        }
+    }
+}
+
+float
+VlpTrigApproximator::entry(bool sign, std::uint32_t mantissa,
+                           int exponent) const
+{
+    const int mantissas = 1 << config_.mantissa_bits;
+    return table_[(static_cast<std::size_t>(sign) * mantissas +
+                   mantissa) *
+                      num_exponents_ +
+                  (exponent - config_.lut_min_exp)];
+}
+
+double
+VlpTrigApproximator::reference(double x) const
+{
+    return config_.op == TrigOp::kSin ? std::sin(x) : std::cos(x);
+}
+
+std::size_t
+VlpTrigApproximator::lut_entries() const
+{
+    return table_.size();
+}
+
+float
+VlpTrigApproximator::apply(float x) const
+{
+    if (std::isnan(x) || std::isinf(x)) {
+        return std::nanf("");
+    }
+    // Range reduction to [-pi, pi] (vector-array add/multiply).
+    const double two_pi = 2.0 * M_PI;
+    double r = std::fmod(static_cast<double>(x), two_pi);
+    if (r > M_PI) {
+        r -= two_pi;
+    } else if (r < -M_PI) {
+        r += two_pi;
+    }
+
+    const numerics::RoundedValue v = numerics::round_mantissa(
+        numerics::bf16_round(static_cast<float>(r)),
+        config_.mantissa_bits);
+    if (v.is_zero || v.exponent < config_.lut_min_exp) {
+        // Underflow: angle ~ 0 -> sin 0, cos 1 (PP zero path).
+        return config_.op == TrigOp::kSin ? 0.0f : 1.0f;
+    }
+    int e = v.exponent;
+    if (e > config_.lut_max_exp) {
+        // |r| <= pi < 2^2, so with lut_max_exp >= 1 this only fires
+        // for misconfigured windows; clamp into the LUT.
+        e = config_.lut_max_exp;
+    }
+    return entry(v.sign, v.mantissa, e);
+}
+
+void
+apply_rope_vlp(support::Matrix<float>& x, std::size_t num_heads,
+               std::size_t head_dim, std::size_t start_pos,
+               const VlpTrigApproximator& sin_approx,
+               const VlpTrigApproximator& cos_approx)
+{
+    assert(sin_approx.config().op == TrigOp::kSin);
+    assert(cos_approx.config().op == TrigOp::kCos);
+    assert(x.cols() == num_heads * head_dim);
+    assert(head_dim % 2 == 0);
+    for (std::size_t t = 0; t < x.rows(); ++t) {
+        const double pos = static_cast<double>(start_pos + t);
+        float* row = x.row_data(t);
+        for (std::size_t h = 0; h < num_heads; ++h) {
+            float* head = row + h * head_dim;
+            for (std::size_t i = 0; i < head_dim / 2; ++i) {
+                const double theta =
+                    pos * std::pow(10000.0,
+                                   -2.0 * static_cast<double>(i) /
+                                       static_cast<double>(head_dim));
+                const float cos_t =
+                    cos_approx.apply(static_cast<float>(theta));
+                const float sin_t =
+                    sin_approx.apply(static_cast<float>(theta));
+                const float a = head[2 * i];
+                const float b = head[2 * i + 1];
+                head[2 * i] = a * cos_t - b * sin_t;
+                head[2 * i + 1] = a * sin_t + b * cos_t;
+            }
+        }
+    }
+}
+
+}  // namespace vlp
+}  // namespace mugi

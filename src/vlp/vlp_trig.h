@@ -1,0 +1,97 @@
+#ifndef MUGI_VLP_VLP_TRIG_H_
+#define MUGI_VLP_VLP_TRIG_H_
+
+/**
+ * @file
+ * VLP approximation of the RoPE trigonometric functions (paper
+ * Sec. 7.1, "Additional Operations"): the paper notes Mugi "can
+ * either approximate the required sine and cosine functions" or
+ * offload them.  This module implements the approximation option.
+ *
+ * sin/cos are periodic, so raw input approximation on the S-M-E grid
+ * would waste the exponent range on large angles.  Instead the angle
+ * is first range-reduced to [-pi, pi] (an add/multiply on the vector
+ * array), then pushed through the same four-phase VLP machinery as
+ * exp/SiLU/GELU: mantissa rounding, sliding exponent window, LUT
+ * subscription.  Within [-pi, pi] the exponents span only [-inf, 1],
+ * so an 8-exponent window anchored at exponent 1 covers every angle
+ * above ~0.015 rad, and the underflow rule (value ~ 0) is exact for
+ * sin and benign for cos.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "support/matrix.h"
+#include "vlp/nonlinear_lut.h"
+#include "vlp/sliding_window.h"
+
+namespace mugi {
+namespace vlp {
+
+/** Which trigonometric function to approximate. */
+enum class TrigOp {
+    kSin,
+    kCos,
+};
+
+const char* trig_op_name(TrigOp op);
+
+/** Configuration of a VLP trig approximator. */
+struct VlpTrigConfig {
+    TrigOp op = TrigOp::kSin;
+    int mantissa_bits = 3;
+    int window_size = 8;
+    /** Full LUT exponent range for the reduced angle in [-pi, pi]. */
+    int lut_min_exp = -6;
+    int lut_max_exp = 1;
+};
+
+/**
+ * VLP sine/cosine with range reduction.
+ *
+ * Functionally: reduce x to r in [-pi, pi], round r's mantissa to the
+ * grid, clamp its exponent into the window, return the exact function
+ * at the grid point (BF16-rounded) -- the same input-approximation
+ * contract as VlpApproximator.
+ */
+class VlpTrigApproximator {
+  public:
+    explicit VlpTrigApproximator(const VlpTrigConfig& config);
+
+    float apply(float x) const;
+
+    const VlpTrigConfig& config() const { return config_; }
+
+    /** Exact reference for the configured op. */
+    double reference(double x) const;
+
+    /**
+     * LUT entries for one period: 2 signs x 2^mb mantissas x window
+     * exponents (sin needs the sign row, cos is even so the sign
+     * collapses -- both stored for a uniform datapath).
+     */
+    std::size_t lut_entries() const;
+
+  private:
+    VlpTrigConfig config_;
+    /** Stored results: [sign][mantissa][exponent]. */
+    std::vector<float> table_;
+    int num_exponents_;
+
+    float entry(bool sign, std::uint32_t mantissa, int exponent) const;
+};
+
+/**
+ * Apply VLP-approximated rotary embeddings in place (the drop-in for
+ * model/ops.h apply_rope): rotate head pairs with VLP sin/cos.
+ */
+void apply_rope_vlp(support::Matrix<float>& x, std::size_t num_heads,
+                    std::size_t head_dim, std::size_t start_pos,
+                    const VlpTrigApproximator& sin_approx,
+                    const VlpTrigApproximator& cos_approx);
+
+}  // namespace vlp
+}  // namespace mugi
+
+#endif  // MUGI_VLP_VLP_TRIG_H_

@@ -1,0 +1,142 @@
+#include "arch/mugi_node.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace mugi {
+namespace arch {
+namespace {
+
+using nonlinear::NonlinearOp;
+
+vlp::VlpConfig
+exp_config()
+{
+    vlp::VlpConfig config;
+    config.op = NonlinearOp::kExp;
+    config.lut_min_exp = -3;
+    config.lut_max_exp = 4;
+    return config;
+}
+
+vlp::VlpConfig
+silu_config()
+{
+    vlp::VlpConfig config;
+    config.op = NonlinearOp::kSilu;
+    config.lut_min_exp = -6;
+    config.lut_max_exp = 1;
+    return config;
+}
+
+std::vector<float>
+random_inputs(std::size_t n, float lo, float hi, std::uint32_t seed)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<float> dist(lo, hi);
+    std::vector<float> values(n);
+    for (float& v : values) v = dist(rng);
+    return values;
+}
+
+TEST(MugiNode, CycleSimulationMatchesFunctionalModelExp)
+{
+    // The repository's RTL-vs-model stand-in: the cycle-by-cycle
+    // array walk must be bit-identical to the functional
+    // VlpApproximator.
+    const MugiNode node(exp_config(), 32);
+    const auto inputs = random_inputs(500, -20.0f, 0.0f, 421);
+    const MugiNonlinearRun run = node.run_nonlinear(inputs);
+    std::vector<float> expected(inputs.size());
+    node.reference().apply_batch(inputs, expected);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        EXPECT_EQ(run.outputs[i], expected[i]) << i << " " << inputs[i];
+    }
+}
+
+TEST(MugiNode, CycleSimulationMatchesFunctionalModelSilu)
+{
+    const MugiNode node(silu_config(), 16);
+    const auto inputs = random_inputs(300, -8.0f, 8.0f, 431);
+    const MugiNonlinearRun run = node.run_nonlinear(inputs);
+    std::vector<float> expected(inputs.size());
+    node.reference().apply_batch(inputs, expected);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        EXPECT_EQ(run.outputs[i], expected[i]) << i << " " << inputs[i];
+    }
+}
+
+TEST(MugiNode, SpecialsThroughPpBlock)
+{
+    const MugiNode node(exp_config(), 8);
+    const std::vector<float> inputs = {-1.0f, 0.0f, -INFINITY,
+                                       std::nanf(""), -0.01f};
+    const MugiNonlinearRun run = node.run_nonlinear(inputs);
+    EXPECT_EQ(run.outputs[1], 1.0f);            // exp(0).
+    EXPECT_EQ(run.outputs[2], 0.0f);            // exp(-inf).
+    EXPECT_TRUE(std::isnan(run.outputs[3]));    // NaN propagates.
+    EXPECT_EQ(run.outputs[4], 1.0f);            // Underflow -> f(0).
+}
+
+TEST(MugiNode, PipelinedCycleCount)
+{
+    // Mappings pipeline at one mantissa sweep (2^3 cycles) each,
+    // plus one exponent-subscription drain at the end (Sec. 3.1).
+    const MugiNode node(exp_config(), 16);
+    const auto inputs = random_inputs(64, -4.0f, 0.0f, 441);
+    const MugiNonlinearRun run = node.run_nonlinear(inputs);
+    EXPECT_EQ(run.mappings, 4u);  // 64 inputs / 16 rows.
+    EXPECT_EQ(run.cycles, 4u * 8u + 8u);
+}
+
+TEST(MugiNode, SoftmaxSumAccumulatesInOAcc)
+{
+    const MugiNode node(exp_config(), 32);
+    const auto inputs = random_inputs(100, -6.0f, 0.0f, 443);
+    const MugiNonlinearRun run = node.run_nonlinear(inputs);
+    double expected = 0.0;
+    for (const float y : run.outputs) {
+        expected += y;
+    }
+    EXPECT_NEAR(run.softmax_sum, expected, 1e-6);
+    EXPECT_GT(run.softmax_sum, 0.0);
+}
+
+TEST(MugiNode, LutReadsSharedAcrossRows)
+{
+    // Value reuse: one LUT-row read per cycle serves the whole array,
+    // independent of H.
+    const MugiNode small(exp_config(), 8);
+    const MugiNode large(exp_config(), 64);
+    const auto inputs = random_inputs(64, -4.0f, 0.0f, 449);
+    const MugiNonlinearRun run_small = small.run_nonlinear(inputs);
+    const MugiNonlinearRun run_large = large.run_nonlinear(inputs);
+    // 64 inputs: 8 mappings x 8 reads vs 1 mapping x 8 reads.
+    EXPECT_EQ(run_small.lut_row_reads, 8u * 8u);
+    EXPECT_EQ(run_large.lut_row_reads, 8u);
+}
+
+TEST(MugiNode, PerMappingWindowsFollowTheData)
+{
+    // Two mappings with different exponent clusters must both come
+    // out accurate (the sliding window re-anchors per mapping).
+    vlp::VlpConfig config = exp_config();
+    config.lut_min_exp = -6;
+    config.lut_max_exp = 5;
+    config.window_size = 4;
+    const MugiNode node(config, 8);
+    std::vector<float> inputs;
+    for (int i = 0; i < 8; ++i) inputs.push_back(-0.1f - 0.002f * i);
+    for (int i = 0; i < 8; ++i) inputs.push_back(-9.0f - 0.5f * i);
+    const MugiNonlinearRun run = node.run_nonlinear(inputs);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const double exact = std::exp(inputs[i]);
+        EXPECT_NEAR(run.outputs[i], exact, 0.06 * exact + 5e-3) << i;
+    }
+}
+
+}  // namespace
+}  // namespace arch
+}  // namespace mugi

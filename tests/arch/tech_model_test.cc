@@ -1,0 +1,84 @@
+#include "arch/tech_model.h"
+
+#include <gtest/gtest.h>
+
+namespace mugi {
+namespace arch {
+namespace {
+
+TEST(TechModel, VlpPeIsFarSmallerThanMacPe)
+{
+    // The premise of the iso-area studies: a subscription PE is
+    // 20x+ smaller and cheaper than a BF16 MAC.
+    EXPECT_LT(component_area(Component::kVlpPe) * 20.0,
+              component_area(Component::kBf16Mac));
+    EXPECT_LT(component_energy(Component::kVlpPe) * 20.0,
+              component_energy(Component::kBf16Mac));
+}
+
+TEST(TechModel, ComponentOrdering)
+{
+    // INT4 < BF16 adder < BF16 MAC <= FIGNA MAC (area).
+    EXPECT_LT(component_area(Component::kInt4Mult),
+              component_area(Component::kBf16Adder));
+    EXPECT_LT(component_area(Component::kBf16Adder),
+              component_area(Component::kBf16Mac));
+    EXPECT_LT(component_area(Component::kBf16Mac),
+              component_area(Component::kFignaMac));
+    // FIGNA trades area for slightly lower FP-INT energy.
+    EXPECT_LT(component_energy(Component::kFignaMac),
+              component_energy(Component::kBf16Mac));
+}
+
+TEST(TechModel, AllComponentsPositive)
+{
+    for (const Component c :
+         {Component::kVlpPe, Component::kTemporalConverter,
+          Component::kCounter, Component::kBf16Adder,
+          Component::kFp32Adder, Component::kBf16Mac,
+          Component::kFignaMac, Component::kInt4Mult,
+          Component::kFifoByte, Component::kLutByte,
+          Component::kComparator, Component::kPostProc,
+          Component::kSignConvert, Component::kWindowSelect,
+          Component::kRouter}) {
+        EXPECT_GT(component_area(c), 0.0);
+        EXPECT_GT(component_energy(c), 0.0);
+    }
+}
+
+TEST(TechModel, SramScalesWithSize)
+{
+    SramMacro small{64 * 1024, true};
+    SramMacro big{256 * 1024, true};
+    EXPECT_GT(big.area_um2(), small.area_um2() * 3.0);
+    EXPECT_LT(big.area_um2(), small.area_um2() * 4.5);
+    SramMacro single{64 * 1024, false};
+    EXPECT_NEAR(small.area_um2(), 2.0 * single.area_um2(), 1.0);
+}
+
+TEST(TechModel, SixtyFourKbMacroInPaperBallpark)
+{
+    // A double-buffered 64 KB macro should land near the ~0.55 mm^2
+    // per-SRAM share implied by Table 3 / Fig. 13.
+    SramMacro macro{64 * 1024, true};
+    const double mm2 = macro.area_um2() * 1e-6;
+    EXPECT_GT(mm2, 0.4);
+    EXPECT_LT(mm2, 0.75);
+}
+
+TEST(TechModel, OffChipBandwidthAt400Mhz)
+{
+    OffChipMemory hbm;
+    // 256 GB/s at 400 MHz = 640 bytes per cycle (Sec. 5.2.3).
+    EXPECT_NEAR(hbm.bytes_per_cycle(), 640.0, 1e-9);
+    EXPECT_GT(hbm.energy_per_byte(), 10.0);  // Off-chip >> on-chip.
+}
+
+TEST(TechModel, ClockConstants)
+{
+    EXPECT_NEAR(kCycleNs, 2.5, 1e-12);  // 400 MHz.
+}
+
+}  // namespace
+}  // namespace arch
+}  // namespace mugi

@@ -1,0 +1,86 @@
+#include "model/config.h"
+
+#include <gtest/gtest.h>
+
+namespace mugi {
+namespace model {
+namespace {
+
+TEST(Config, TableOneShapes)
+{
+    const ModelConfig m7 = llama2_7b();
+    EXPECT_EQ(m7.num_layers, 32u);
+    EXPECT_EQ(m7.num_heads, 32u);
+    EXPECT_EQ(m7.d_model, 4096u);
+    EXPECT_EQ(m7.d_ff, 11008u);
+    EXPECT_EQ(m7.gqa_group(), 1u);
+    EXPECT_EQ(m7.head_dim(), 128u);
+
+    const ModelConfig m13 = llama2_13b();
+    EXPECT_EQ(m13.num_layers, 40u);
+    EXPECT_EQ(m13.d_model, 5120u);
+
+    const ModelConfig m70 = llama2_70b();
+    EXPECT_EQ(m70.num_layers, 80u);
+    EXPECT_EQ(m70.num_heads, 64u);
+    EXPECT_EQ(m70.num_kv_heads, 8u);
+    EXPECT_EQ(m70.gqa_group(), 8u);  // Table 1: GQA group size 8.
+    EXPECT_EQ(m70.d_ff, 28672u);
+}
+
+TEST(Config, ParameterCountsMatchModelNames)
+{
+    // Weight params (no embeddings): ~6.5e9 / 13e9 / 68e9.
+    EXPECT_NEAR(static_cast<double>(llama2_7b().weight_params()), 6.5e9,
+                0.5e9);
+    EXPECT_NEAR(static_cast<double>(llama2_13b().weight_params()),
+                12.7e9, 0.8e9);
+    EXPECT_NEAR(static_cast<double>(llama2_70b().weight_params()),
+                68.0e9, 3.0e9);
+}
+
+TEST(Config, FamilyProperties)
+{
+    EXPECT_TRUE(llama2_7b().causal());
+    EXPECT_TRUE(llama2_7b().gated_ffn());
+    EXPECT_TRUE(llama2_7b().uses_rope());
+    EXPECT_TRUE(llama2_7b().uses_rmsnorm());
+    EXPECT_EQ(llama2_7b().activation(), nonlinear::NonlinearOp::kSilu);
+
+    EXPECT_FALSE(whisper_tiny().causal());
+    EXPECT_FALSE(whisper_tiny().gated_ffn());
+    EXPECT_EQ(whisper_tiny().activation(),
+              nonlinear::NonlinearOp::kGelu);
+    EXPECT_EQ(swinv2_large().activation(),
+              nonlinear::NonlinearOp::kGelu);
+    EXPECT_EQ(vivit_base().activation(), nonlinear::NonlinearOp::kGelu);
+}
+
+TEST(Config, ScaledEvalPreservesStructure)
+{
+    const ModelConfig eval = llama2_70b().scaled_for_eval(4, 64, 256);
+    EXPECT_EQ(eval.family, ModelFamily::kLlama);
+    EXPECT_EQ(eval.num_layers, 4u);
+    EXPECT_EQ(eval.d_model, 64u);
+    EXPECT_EQ(eval.vocab, 256u);
+    // GQA ratio preserved: group of 8 -> 4 heads / 1 kv head (group 4
+    // capped by head count).
+    EXPECT_GT(eval.gqa_group(), 1u);
+    EXPECT_EQ(eval.d_model % eval.num_heads, 0u);
+}
+
+TEST(Config, AllModelsEnumerated)
+{
+    const auto models = all_models();
+    EXPECT_EQ(models.size(), 8u);
+    EXPECT_EQ(llama_family().size(), 3u);
+    for (const auto& m : models) {
+        EXPECT_GT(m.num_layers, 0u);
+        EXPECT_EQ(m.d_model % m.num_heads, 0u);
+        EXPECT_EQ(m.num_heads % m.num_kv_heads, 0u);
+    }
+}
+
+}  // namespace
+}  // namespace model
+}  // namespace mugi

@@ -1,0 +1,133 @@
+#include "model/moe.h"
+
+#include <cmath>
+#include <numeric>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+#include "vlp/vlp_approximator.h"
+
+namespace mugi {
+namespace model {
+namespace {
+
+MoeConfig
+small_moe()
+{
+    MoeConfig config;
+    config.d_model = 32;
+    config.d_ff = 64;
+    config.num_experts = 8;
+    config.top_k = 2;
+    return config;
+}
+
+support::MatrixF
+random_input(std::size_t t, std::size_t d, std::uint32_t seed)
+{
+    std::mt19937 rng(seed);
+    support::MatrixF x(t, d);
+    support::fill_gaussian(x, rng, 0.0f, 1.0f);
+    return x;
+}
+
+TEST(Moe, ForwardShapeAndFiniteness)
+{
+    const MoeFfn moe(small_moe(), 701);
+    const support::MatrixF x = random_input(6, 32, 703);
+    const support::MatrixF y = moe.forward(x);
+    EXPECT_EQ(y.rows(), 6u);
+    EXPECT_EQ(y.cols(), 32u);
+    for (const float v : y.data()) {
+        EXPECT_TRUE(std::isfinite(v));
+    }
+}
+
+TEST(Moe, TopKSelectionCounts)
+{
+    const MoeFfn moe(small_moe(), 709);
+    const support::MatrixF x = random_input(16, 32, 711);
+    moe.forward(x);
+    const auto& counts = moe.last_selection_counts();
+    const std::size_t total =
+        std::accumulate(counts.begin(), counts.end(),
+                        std::size_t{0});
+    // Exactly top_k experts per token.
+    EXPECT_EQ(total, 16u * 2u);
+    EXPECT_NEAR(moe.active_fraction(), 0.25, 1e-12);
+}
+
+TEST(Moe, TopOneEqualsArgmaxExpert)
+{
+    MoeConfig config = small_moe();
+    config.top_k = 1;
+    const MoeFfn moe(config, 719);
+    const support::MatrixF x = random_input(8, 32, 721);
+    moe.forward(x);
+    const auto& counts = moe.last_selection_counts();
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(),
+                              std::size_t{0}),
+              8u);
+}
+
+TEST(Moe, AllExpertsIsDenseMixture)
+{
+    // top_k == num_experts: the gate weights renormalize to the full
+    // softmax, so the output is the dense mixture (sanity bound: no
+    // expert starved).
+    MoeConfig config = small_moe();
+    config.top_k = config.num_experts;
+    const MoeFfn moe(config, 727);
+    const support::MatrixF x = random_input(12, 32, 729);
+    moe.forward(x);
+    for (const std::size_t c : moe.last_selection_counts()) {
+        EXPECT_EQ(c, 12u);
+    }
+}
+
+TEST(Moe, VlpGatingStaysCloseToExact)
+{
+    // Sec. 7.1: the gating softmax runs through the same VLP
+    // approximator as attention softmax.  Routing decisions (argmax
+    // of a softmax) are order-preserving under monotone-ish input
+    // approximation, so outputs stay close.
+    const MoeFfn moe(small_moe(), 733);
+    const support::MatrixF x = random_input(10, 32, 739);
+    const support::MatrixF exact = moe.forward(x);
+
+    const auto vlp = vlp::make_vlp(nonlinear::NonlinearOp::kExp, 8, 4);
+    const support::MatrixF approx = moe.forward(x, vlp.get());
+    double err = 0.0, norm = 0.0;
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+        const double d = exact.data()[i] - approx.data()[i];
+        err += d * d;
+        norm += exact.data()[i] * exact.data()[i];
+    }
+    EXPECT_LT(std::sqrt(err / std::max(norm, 1e-12)), 0.35);
+}
+
+TEST(Moe, DeterministicPerSeed)
+{
+    const MoeFfn a(small_moe(), 743);
+    const MoeFfn b(small_moe(), 743);
+    const support::MatrixF x = random_input(4, 32, 751);
+    EXPECT_EQ(a.forward(x).data(), b.forward(x).data());
+}
+
+TEST(Moe, GeluExpertsSupported)
+{
+    MoeConfig config = small_moe();
+    config.activation = nonlinear::NonlinearOp::kGelu;
+    const MoeFfn moe(config, 757);
+    const support::MatrixF x = random_input(5, 32, 761);
+    const support::MatrixF y = moe.forward(x);
+    for (const float v : y.data()) {
+        EXPECT_TRUE(std::isfinite(v));
+    }
+}
+
+}  // namespace
+}  // namespace model
+}  // namespace mugi

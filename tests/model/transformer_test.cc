@@ -1,0 +1,246 @@
+#include "model/transformer.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "model/accuracy.h"
+#include "model/profiler.h"
+#include "vlp/vlp_approximator.h"
+
+namespace mugi {
+namespace model {
+namespace {
+
+ModelConfig
+tiny_llama()
+{
+    return llama2_7b().scaled_for_eval(2, 32, 64);
+}
+
+ModelConfig
+tiny_whisper()
+{
+    return whisper_tiny().scaled_for_eval(2, 32, 64);
+}
+
+TEST(Transformer, ForwardShapes)
+{
+    const ModelConfig config = tiny_llama();
+    const TransformerModel model(config, 7);
+    const std::vector<int> tokens = {1, 5, 9, 2};
+    const support::MatrixF logits = model.forward_tokens(tokens);
+    EXPECT_EQ(logits.rows(), 4u);
+    EXPECT_EQ(logits.cols(), config.vocab);
+    for (const float v : logits.data()) {
+        EXPECT_TRUE(std::isfinite(v));
+    }
+}
+
+TEST(Transformer, DeterministicForSameSeed)
+{
+    const ModelConfig config = tiny_llama();
+    const TransformerModel a(config, 42);
+    const TransformerModel b(config, 42);
+    const std::vector<int> tokens = {3, 1, 4, 1, 5};
+    EXPECT_EQ(a.forward_tokens(tokens).data(),
+              b.forward_tokens(tokens).data());
+}
+
+TEST(Transformer, DifferentSeedsDiffer)
+{
+    const ModelConfig config = tiny_llama();
+    const TransformerModel a(config, 1);
+    const TransformerModel b(config, 2);
+    const std::vector<int> tokens = {3, 1, 4};
+    EXPECT_NE(a.forward_tokens(tokens).data(),
+              b.forward_tokens(tokens).data());
+}
+
+TEST(Transformer, CausalityHolds)
+{
+    // Changing a later token must not affect earlier logits in a
+    // causal (llama) model.
+    const ModelConfig config = tiny_llama();
+    const TransformerModel model(config, 11);
+    const std::vector<int> t1 = {2, 7, 1, 9};
+    const std::vector<int> t2 = {2, 7, 1, 30};
+    const support::MatrixF l1 = model.forward_tokens(t1);
+    const support::MatrixF l2 = model.forward_tokens(t2);
+    for (std::size_t t = 0; t < 3; ++t) {
+        for (std::size_t v = 0; v < config.vocab; ++v) {
+            EXPECT_EQ(l1.at(t, v), l2.at(t, v)) << t << "," << v;
+        }
+    }
+    // The final position must differ (different input).
+    bool differs = false;
+    for (std::size_t v = 0; v < config.vocab; ++v) {
+        if (l1.at(3, v) != l2.at(3, v)) differs = true;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Transformer, BidirectionalFamilySeesFuture)
+{
+    const ModelConfig config = tiny_whisper();
+    const TransformerModel model(config, 11);
+    const std::vector<int> t1 = {2, 7, 1, 9};
+    const std::vector<int> t2 = {2, 7, 1, 30};
+    const support::MatrixF l1 = model.forward_tokens(t1);
+    const support::MatrixF l2 = model.forward_tokens(t2);
+    bool first_position_differs = false;
+    for (std::size_t v = 0; v < config.vocab; ++v) {
+        if (l1.at(0, v) != l2.at(0, v)) first_position_differs = true;
+    }
+    EXPECT_TRUE(first_position_differs);
+}
+
+TEST(Transformer, DecodeMatchesFullForward)
+{
+    // Incremental KV-cached decode must reproduce the full forward
+    // pass logits at every position (float cache).
+    const ModelConfig config = tiny_llama();
+    const TransformerModel model(config, 23);
+    const std::vector<int> tokens = {4, 8, 15, 16, 23};
+    const support::MatrixF full = model.forward_tokens(tokens);
+
+    DecodeSession session(model, quant::KvPrecision::kFloat);
+    for (std::size_t t = 0; t < tokens.size(); ++t) {
+        const std::vector<float> logits = session.step(tokens[t]);
+        ASSERT_EQ(logits.size(), config.vocab);
+        for (std::size_t v = 0; v < config.vocab; ++v) {
+            EXPECT_NEAR(logits[v], full.at(t, v), 2e-3f)
+                << "t=" << t << " v=" << v;
+        }
+    }
+}
+
+TEST(Transformer, KvqDecodeStaysClose)
+{
+    const ModelConfig config = tiny_llama();
+    const TransformerModel model(config, 29);
+    const std::vector<int> tokens = {4, 8, 15, 16, 23, 42};
+
+    DecodeSession exact(model, quant::KvPrecision::kFloat);
+    DecodeSession kvq(model, quant::KvPrecision::kInt4);
+    for (const int t : tokens) {
+        const auto le = exact.step(t);
+        const auto lq = kvq.step(t);
+        // KVQ perturbs logits but must stay in the same regime
+        // (Sec. 2.3.3: ~0.02 PPL increase at model scale).
+        double dot = 0.0, ne = 0.0, nq = 0.0;
+        for (std::size_t v = 0; v < le.size(); ++v) {
+            dot += le[v] * lq[v];
+            ne += le[v] * le[v];
+            nq += lq[v] * lq[v];
+        }
+        EXPECT_GT(dot / std::sqrt(ne * nq), 0.98);
+    }
+    // Compression: 2*hd bytes (BF16) vs (hd+1)/2 + 2 bytes (INT4 +
+    // scale) per vector; with hd = 8 that is 16 vs 6 bytes.
+    const std::size_t hd = config.head_dim();
+    const double expected_ratio =
+        static_cast<double>(2 * hd) /
+        static_cast<double>((hd + 1) / 2 + 2);
+    const double ratio = static_cast<double>(exact.kv_bytes()) /
+                         static_cast<double>(kvq.kv_bytes());
+    EXPECT_NEAR(ratio, expected_ratio, 0.01);
+}
+
+TEST(Transformer, WoqPerturbsButPreservesScale)
+{
+    const ModelConfig config = tiny_llama();
+    TransformerModel model(config, 31);
+    const std::vector<int> tokens = {1, 2, 3, 4};
+    const support::MatrixF before = model.forward_tokens(tokens);
+    model.apply_woq(32);
+    const support::MatrixF after = model.forward_tokens(tokens);
+    double dot = 0.0, nb = 0.0, na = 0.0;
+    for (std::size_t i = 0; i < before.size(); ++i) {
+        dot += before.data()[i] * after.data()[i];
+        nb += before.data()[i] * before.data()[i];
+        na += after.data()[i] * after.data()[i];
+    }
+    EXPECT_GT(dot / std::sqrt(nb * na), 0.95);
+    EXPECT_NE(before.data(), after.data());
+}
+
+TEST(Transformer, HooksChangeSoftmaxPath)
+{
+    const ModelConfig config = tiny_llama();
+    TransformerModel model(config, 37);
+    const std::vector<int> tokens = {9, 8, 7, 6, 5};
+    const support::MatrixF exact = model.forward_tokens(tokens);
+
+    const auto vlp =
+        vlp::make_vlp(nonlinear::NonlinearOp::kExp, 8, 4);
+    NonlinearHooks hooks;
+    hooks.softmax_exp = vlp.get();
+    model.set_hooks(hooks);
+    const support::MatrixF approx = model.forward_tokens(tokens);
+    EXPECT_NE(exact.data(), approx.data());
+    // Still well-behaved.
+    for (const float v : approx.data()) {
+        EXPECT_TRUE(std::isfinite(v));
+    }
+}
+
+TEST(Transformer, PerLayerHooksOverrideGlobal)
+{
+    const ModelConfig config = tiny_llama();
+    TransformerModel model(config, 41);
+    const std::vector<int> tokens = {9, 8, 7};
+
+    const auto vlp =
+        vlp::make_vlp(nonlinear::NonlinearOp::kExp, 8, 4);
+    NonlinearHooks layer_hooks;
+    layer_hooks.softmax_exp = vlp.get();
+
+    // Global exact + layer-0 approximate differs from all-exact.
+    const support::MatrixF exact = model.forward_tokens(tokens);
+    model.set_layer_hooks(0, layer_hooks);
+    const support::MatrixF mixed = model.forward_tokens(tokens);
+    EXPECT_NE(exact.data(), mixed.data());
+    model.set_layer_hooks(0, std::nullopt);
+    const support::MatrixF restored = model.forward_tokens(tokens);
+    EXPECT_EQ(exact.data(), restored.data());
+}
+
+TEST(Transformer, CaptureSeesBothOps)
+{
+    const ModelConfig config = tiny_llama();
+    TransformerModel model(config, 43);
+    NonlinearProfiler profiler;
+    model.set_capture(profiler.capture());
+    const std::vector<int> tokens = {1, 2, 3, 4, 5, 6};
+    model.forward_tokens(tokens);
+    EXPECT_TRUE(profiler.has_site(nonlinear::NonlinearOp::kExp, 0));
+    EXPECT_TRUE(profiler.has_site(nonlinear::NonlinearOp::kSilu, 0));
+    EXPECT_TRUE(profiler.has_site(nonlinear::NonlinearOp::kExp,
+                                  config.num_layers - 1));
+    // Softmax capture is max-subtracted: all values <= 0.
+    const SiteProfile& sm =
+        profiler.site(nonlinear::NonlinearOp::kExp, 0);
+    EXPECT_GT(sm.values.total(), 0u);
+    // All mass at or below zero; bins have width 0.25, so the first
+    // strictly-positive bin center is 0.375.
+    EXPECT_EQ(sm.values.fraction_in(0.3, 100.0), 0.0);
+}
+
+TEST(Transformer, GqaSharesKvHeads)
+{
+    // A GQA model (fewer KV heads) must still run and be causal.
+    ModelConfig config = llama2_70b().scaled_for_eval(2, 32, 64);
+    ASSERT_GT(config.gqa_group(), 1u);
+    const TransformerModel model(config, 47);
+    const std::vector<int> tokens = {5, 6, 7, 8};
+    const support::MatrixF logits = model.forward_tokens(tokens);
+    for (const float v : logits.data()) {
+        EXPECT_TRUE(std::isfinite(v));
+    }
+}
+
+}  // namespace
+}  // namespace model
+}  // namespace mugi

@@ -1,0 +1,136 @@
+#include "model/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace mugi {
+namespace model {
+namespace {
+
+TEST(Workload, DecodeMacCountMatchesParameterCount)
+{
+    // A decode step touches every weight once: MACs from weight GEMMs
+    // = batch * weight_params.
+    const ModelConfig config = llama2_7b();
+    const std::size_t batch = 8;
+    const Workload w = build_decode_workload(config, batch, 4096);
+    std::uint64_t weight_macs = 0;
+    for (const GemmOp& g : w.gemms) {
+        if (g.weights_from_dram) {
+            weight_macs += g.macs();
+        }
+    }
+    EXPECT_EQ(weight_macs,
+              static_cast<std::uint64_t>(batch) *
+                  config.weight_params());
+}
+
+TEST(Workload, AttentionMacsScaleWithContext)
+{
+    const ModelConfig config = llama2_7b();
+    const Workload short_ctx = build_decode_workload(config, 8, 1024);
+    const Workload long_ctx = build_decode_workload(config, 8, 4096);
+    std::uint64_t attn_short = 0, attn_long = 0;
+    for (const GemmOp& g : short_ctx.gemms) {
+        if (g.cls == OpClass::kAttention) attn_short += g.macs();
+    }
+    for (const GemmOp& g : long_ctx.gemms) {
+        if (g.cls == OpClass::kAttention) attn_long += g.macs();
+    }
+    EXPECT_EQ(attn_long, attn_short * 4);
+}
+
+TEST(Workload, GqaBatchesQueriesPerKvHead)
+{
+    const ModelConfig c70 = llama2_70b();
+    const Workload w = build_decode_workload(c70, 8, 4096);
+    for (const GemmOp& g : w.gemms) {
+        if (g.cls == OpClass::kAttention) {
+            // 8 queries per KV head * batch 8 = 64 activation rows --
+            // the small-batch GEMM (not GEMV) GQA creates (Sec. 2.3.1).
+            EXPECT_EQ(g.m, 8u * 8u);
+            EXPECT_EQ(g.count, c70.num_layers * c70.num_kv_heads);
+        }
+    }
+}
+
+TEST(Workload, WeightBytesReflectInt4)
+{
+    const ModelConfig config = llama2_70b();
+    const Workload w = build_decode_workload(config, 8, 4096);
+    // INT4 weights: params / 2 bytes.
+    EXPECT_EQ(w.total_weight_bytes(), config.weight_params() / 2);
+}
+
+TEST(Workload, SoftmaxElementsMatchAttentionShape)
+{
+    const ModelConfig config = llama2_7b();
+    const std::size_t batch = 4, ctx = 512;
+    const Workload w = build_decode_workload(config, batch, ctx);
+    bool found = false;
+    for (const NonlinearWork& n : w.nonlinears) {
+        if (n.is_softmax) {
+            found = true;
+            EXPECT_EQ(n.elements, config.num_layers * config.num_heads *
+                                      batch * ctx);
+            EXPECT_EQ(n.row_length, ctx);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Workload, LlamaUsesSiluOthersGelu)
+{
+    const Workload llama = build_decode_workload(llama2_7b(), 1, 128);
+    const Workload whisper =
+        build_prefill_workload(whisper_tiny(), 1, 128);
+    bool llama_silu = false, whisper_gelu = false;
+    for (const NonlinearWork& n : llama.nonlinears) {
+        if (n.op == nonlinear::NonlinearOp::kSilu) llama_silu = true;
+    }
+    for (const NonlinearWork& n : whisper.nonlinears) {
+        if (n.op == nonlinear::NonlinearOp::kGelu) whisper_gelu = true;
+    }
+    EXPECT_TRUE(llama_silu);
+    EXPECT_TRUE(whisper_gelu);
+}
+
+TEST(Workload, GatedFfnHasThreeMatrices)
+{
+    const Workload llama = build_decode_workload(llama2_7b(), 1, 128);
+    int ffn_gemms = 0;
+    for (const GemmOp& g : llama.gemms) {
+        if (g.cls == OpClass::kFfn) ++ffn_gemms;
+    }
+    EXPECT_EQ(ffn_gemms, 3);
+
+    const Workload whisper =
+        build_decode_workload(whisper_tiny(), 1, 128);
+    ffn_gemms = 0;
+    for (const GemmOp& g : whisper.gemms) {
+        if (g.cls == OpClass::kFfn) ++ffn_gemms;
+    }
+    EXPECT_EQ(ffn_gemms, 2);
+}
+
+TEST(Workload, PrefillTokensAndDecodeTokens)
+{
+    const Workload decode = build_decode_workload(llama2_7b(), 8, 1024);
+    EXPECT_EQ(decode.tokens(), 8u);
+    const Workload prefill =
+        build_prefill_workload(llama2_7b(), 2, 256);
+    EXPECT_EQ(prefill.tokens(), 512u);
+}
+
+TEST(Workload, SeventyBMacsPerTokenOrderOfMagnitude)
+{
+    const Workload w = build_decode_workload(llama2_70b(), 8, 4096);
+    const double macs_per_token =
+        static_cast<double>(w.total_macs()) / w.tokens();
+    // ~68G weight MACs + attention; well under 100G.
+    EXPECT_GT(macs_per_token, 6.0e10);
+    EXPECT_LT(macs_per_token, 1.2e11);
+}
+
+}  // namespace
+}  // namespace model
+}  // namespace mugi

@@ -1,0 +1,159 @@
+#include "nonlinear/reference.h"
+
+#include <cmath>
+#include <numeric>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace mugi {
+namespace nonlinear {
+namespace {
+
+TEST(Reference, SigmoidMatchesClosedForm)
+{
+    for (double x = -30.0; x <= 30.0; x += 0.37) {
+        const double expected = 1.0 / (1.0 + std::exp(-x));
+        EXPECT_NEAR(sigmoid_ref(x), expected, 1e-12) << x;
+    }
+}
+
+TEST(Reference, SigmoidStableAtExtremes)
+{
+    EXPECT_NEAR(sigmoid_ref(-1000.0), 0.0, 1e-300);
+    EXPECT_NEAR(sigmoid_ref(1000.0), 1.0, 1e-12);
+    EXPECT_FALSE(std::isnan(sigmoid_ref(-1e6)));
+}
+
+TEST(Reference, SiluProperties)
+{
+    EXPECT_DOUBLE_EQ(silu_ref(0.0), 0.0);
+    // SiLU is bounded below by about -0.2785.
+    double min = 0.0;
+    for (double x = -20.0; x <= 20.0; x += 0.01) {
+        min = std::min(min, silu_ref(x));
+    }
+    EXPECT_NEAR(min, -0.27846, 1e-3);
+    // Asymptotes: silu(x) -> x for large x, -> 0 for small x.
+    EXPECT_NEAR(silu_ref(30.0), 30.0, 1e-9);
+    EXPECT_NEAR(silu_ref(-30.0), 0.0, 1e-9);
+}
+
+TEST(Reference, GeluFormsAgree)
+{
+    // Eq. 3 (erf) vs Eq. 4 (tanh): the tanh form is a published
+    // approximation accurate to ~1e-3 absolute over moderate inputs.
+    for (double x = -5.0; x <= 5.0; x += 0.1) {
+        EXPECT_NEAR(gelu_ref(x), gelu_tanh_ref(x), 2e-3) << x;
+    }
+}
+
+TEST(Reference, GeluProperties)
+{
+    EXPECT_DOUBLE_EQ(gelu_ref(0.0), 0.0);
+    EXPECT_NEAR(gelu_ref(10.0), 10.0, 1e-9);
+    EXPECT_NEAR(gelu_ref(-10.0), 0.0, 1e-9);
+    // GELU(x) - GELU(-x) = x (from the erf antisymmetry).
+    for (double x = 0.0; x <= 6.0; x += 0.25) {
+        EXPECT_NEAR(gelu_ref(x) - gelu_ref(-x), x, 1e-12) << x;
+    }
+}
+
+TEST(Reference, SoftmaxSumsToOne)
+{
+    std::mt19937 rng(51);
+    std::uniform_real_distribution<float> dist(-50.0f, 50.0f);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::vector<float> logits(64);
+        for (float& v : logits) v = dist(rng);
+        const std::vector<float> probs = softmax_ref(logits);
+        const double sum =
+            std::accumulate(probs.begin(), probs.end(), 0.0);
+        EXPECT_NEAR(sum, 1.0, 1e-5);
+        for (const float p : probs) {
+            EXPECT_GE(p, 0.0f);
+            EXPECT_LE(p, 1.0f);
+        }
+    }
+}
+
+TEST(Reference, SoftmaxShiftInvariant)
+{
+    std::vector<float> a = {1.0f, 2.0f, 3.0f, 4.0f};
+    std::vector<float> b = {101.0f, 102.0f, 103.0f, 104.0f};
+    const auto pa = softmax_ref(a);
+    const auto pb = softmax_ref(b);
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+        EXPECT_NEAR(pa[i], pb[i], 1e-6);
+    }
+}
+
+TEST(Reference, SoftmaxStableForLargeLogits)
+{
+    std::vector<float> logits = {1e30f, 1e30f};
+    const auto probs = softmax_ref(logits);
+    EXPECT_NEAR(probs[0], 0.5f, 1e-6);
+    EXPECT_NEAR(probs[1], 0.5f, 1e-6);
+}
+
+// ---- Taylor coefficients: exact derivatives. ----
+
+double
+horner(const std::vector<double>& coeffs, double t)
+{
+    double acc = 0.0;
+    for (std::size_t i = coeffs.size(); i-- > 0;) {
+        acc = acc * t + coeffs[i];
+    }
+    return acc;
+}
+
+struct TaylorCase {
+    NonlinearOp op;
+    double center;
+};
+
+class TaylorCoefficientsTest
+    : public ::testing::TestWithParam<TaylorCase> {};
+
+TEST_P(TaylorCoefficientsTest, HighDegreeSeriesConvergesNearCenter)
+{
+    const TaylorCase c = GetParam();
+    const auto coeffs = taylor_coefficients(c.op, 12, c.center);
+    for (double dx = -0.4; dx <= 0.4; dx += 0.05) {
+        const double x = c.center + dx;
+        const double approx = horner(coeffs, dx);
+        const double exact = eval_ref(c.op, x);
+        EXPECT_NEAR(approx, exact, 1e-6 * std::max(1.0, std::fabs(exact)))
+            << op_name(c.op) << " center=" << c.center << " x=" << x;
+    }
+}
+
+TEST_P(TaylorCoefficientsTest, ZerothAndFirstDerivativeExact)
+{
+    const TaylorCase c = GetParam();
+    const auto coeffs = taylor_coefficients(c.op, 3, c.center);
+    EXPECT_NEAR(coeffs[0], eval_ref(c.op, c.center), 1e-12);
+    // Central finite-difference check of the first derivative.
+    const double h = 1e-6;
+    const double fd = (eval_ref(c.op, c.center + h) -
+                       eval_ref(c.op, c.center - h)) /
+                      (2.0 * h);
+    EXPECT_NEAR(coeffs[1], fd, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Centers, TaylorCoefficientsTest,
+    ::testing::Values(TaylorCase{NonlinearOp::kExp, 0.0},
+                      TaylorCase{NonlinearOp::kExp, -5.0},
+                      TaylorCase{NonlinearOp::kExp, -2.0},
+                      TaylorCase{NonlinearOp::kSilu, 0.0},
+                      TaylorCase{NonlinearOp::kSilu, 1.5},
+                      TaylorCase{NonlinearOp::kSilu, -2.0},
+                      TaylorCase{NonlinearOp::kGelu, 0.0},
+                      TaylorCase{NonlinearOp::kGelu, 1.0},
+                      TaylorCase{NonlinearOp::kGelu, -1.5}));
+
+}  // namespace
+}  // namespace nonlinear
+}  // namespace mugi

@@ -1,0 +1,110 @@
+#include "numerics/bfloat16.h"
+
+#include "numerics/float_bits.h"
+
+#include <cmath>
+#include <limits>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace mugi {
+namespace numerics {
+namespace {
+
+TEST(BFloat16, ExactSmallIntegersRoundTrip)
+{
+    for (int i = -256; i <= 256; ++i) {
+        const float value = static_cast<float>(i);
+        EXPECT_EQ(BFloat16(value).to_float(), value) << i;
+    }
+}
+
+TEST(BFloat16, PowersOfTwoAreExact)
+{
+    for (int e = -30; e <= 30; ++e) {
+        const float value = std::ldexp(1.0f, e);
+        EXPECT_EQ(BFloat16(value).to_float(), value) << e;
+    }
+}
+
+TEST(BFloat16, RoundToNearestEven)
+{
+    // 1 + 1/256 sits exactly between 1.0 and the next BF16 (1 + 1/128);
+    // ties go to even, i.e. down to 1.0.
+    EXPECT_EQ(BFloat16(1.0f + 1.0f / 256.0f).to_float(), 1.0f);
+    // 1 + 3/256 ties between 1+1/128 and 1+2/128; even mantissa wins.
+    EXPECT_EQ(BFloat16(1.0f + 3.0f / 256.0f).to_float(),
+              1.0f + 2.0f / 128.0f);
+    // Slightly above the tie rounds up.
+    EXPECT_EQ(BFloat16(1.0f + 1.01f / 256.0f).to_float(),
+              1.0f + 1.0f / 128.0f);
+}
+
+TEST(BFloat16, RelativeErrorBound)
+{
+    std::mt19937 rng(7);
+    std::uniform_real_distribution<float> dist(-1e6f, 1e6f);
+    for (int i = 0; i < 10000; ++i) {
+        const float value = dist(rng);
+        if (value == 0.0f) continue;
+        const float rounded = BFloat16(value).to_float();
+        // BF16 has 8 significand bits -> relative error <= 2^-9.
+        EXPECT_LE(std::fabs(rounded - value) / std::fabs(value),
+                  std::ldexp(1.0f, -8))
+            << value;
+    }
+}
+
+TEST(BFloat16, SpecialValues)
+{
+    EXPECT_TRUE(BFloat16(std::nanf("")).is_nan());
+    EXPECT_TRUE(BFloat16(INFINITY).is_inf());
+    EXPECT_TRUE(BFloat16(-INFINITY).is_inf());
+    EXPECT_TRUE(BFloat16(0.0f).is_zero());
+    EXPECT_TRUE(BFloat16(-0.0f).is_zero());
+    EXPECT_TRUE(std::isnan(BFloat16(std::nanf("")).to_float()));
+    EXPECT_EQ(BFloat16(INFINITY).to_float(), INFINITY);
+}
+
+TEST(BFloat16, NaNDoesNotBecomeInf)
+{
+    // A NaN whose payload lives entirely in the low 16 bits must stay a
+    // NaN after rounding.
+    const float sneaky_nan = bits_to_float(0x7F800001u);
+    ASSERT_TRUE(std::isnan(sneaky_nan));
+    EXPECT_TRUE(BFloat16(sneaky_nan).is_nan());
+}
+
+TEST(BFloat16, OverflowGoesToInf)
+{
+    // Values above BF16 max (~3.39e38) overflow to inf via rounding.
+    EXPECT_TRUE(BFloat16(std::numeric_limits<float>::max()).is_inf());
+}
+
+TEST(BFloat16, RoundTripThroughBits)
+{
+    std::mt19937 rng(11);
+    std::uniform_int_distribution<std::uint32_t> dist(0, 0xFFFF);
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint16_t bits = static_cast<std::uint16_t>(dist(rng));
+        const BFloat16 value = BFloat16::from_bits(bits);
+        if (value.is_nan()) continue;
+        // Decoding then re-encoding is the identity for non-NaN.
+        EXPECT_EQ(BFloat16(value.to_float()).bits(), bits);
+    }
+}
+
+TEST(BFloat16, RoundingIsIdempotent)
+{
+    std::mt19937 rng(13);
+    std::uniform_real_distribution<float> dist(-1e4f, 1e4f);
+    for (int i = 0; i < 1000; ++i) {
+        const float once = bf16_round(dist(rng));
+        EXPECT_EQ(bf16_round(once), once);
+    }
+}
+
+}  // namespace
+}  // namespace numerics
+}  // namespace mugi

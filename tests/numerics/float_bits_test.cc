@@ -1,0 +1,82 @@
+#include "numerics/float_bits.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace mugi {
+namespace numerics {
+namespace {
+
+TEST(FloatBits, DecomposeKnownValues)
+{
+    const FloatFields one = decompose(1.0f);
+    EXPECT_FALSE(one.sign);
+    EXPECT_EQ(one.exponent, 0);
+    EXPECT_EQ(one.fraction, 0u);
+
+    const FloatFields minus_three = decompose(-3.0f);
+    EXPECT_TRUE(minus_three.sign);
+    EXPECT_EQ(minus_three.exponent, 1);
+    // 3 = 1.1b * 2^1 -> fraction = 0.1b = 1 << 22.
+    EXPECT_EQ(minus_three.fraction, 1u << 22);
+
+    const FloatFields eighth = decompose(0.125f);
+    EXPECT_EQ(eighth.exponent, -3);
+    EXPECT_EQ(eighth.fraction, 0u);
+}
+
+TEST(FloatBits, DecomposeClassifiesSpecials)
+{
+    EXPECT_TRUE(decompose(0.0f).is_zero);
+    EXPECT_TRUE(decompose(-0.0f).is_zero);
+    EXPECT_TRUE(decompose(-0.0f).sign);
+    EXPECT_TRUE(decompose(INFINITY).is_inf);
+    EXPECT_TRUE(decompose(-INFINITY).is_inf);
+    EXPECT_TRUE(decompose(-INFINITY).sign);
+    EXPECT_TRUE(decompose(std::nanf("")).is_nan);
+}
+
+TEST(FloatBits, DenormalsFlushToZero)
+{
+    const float denormal = std::ldexp(1.0f, -140);
+    ASSERT_GT(denormal, 0.0f);
+    EXPECT_TRUE(decompose(denormal).is_zero);
+}
+
+TEST(FloatBits, ComposeInvertsDecompose)
+{
+    std::mt19937 rng(3);
+    std::uniform_real_distribution<float> dist(-1e20f, 1e20f);
+    for (int i = 0; i < 10000; ++i) {
+        const float value = dist(rng);
+        EXPECT_EQ(compose(decompose(value)), value);
+    }
+}
+
+TEST(FloatBits, ComposeHandlesNarrowFractions)
+{
+    // fraction 5 with 3 fraction bits = 1.101b = 1.625.
+    FloatFields fields;
+    fields.exponent = 2;
+    fields.fraction = 5;
+    fields.fraction_bits = 3;
+    EXPECT_EQ(compose(fields), 1.625f * 4.0f);
+}
+
+TEST(FloatBits, UnbiasedExponentMatchesLog2)
+{
+    std::mt19937 rng(5);
+    std::uniform_real_distribution<float> dist(1e-20f, 1e20f);
+    for (int i = 0; i < 5000; ++i) {
+        const float value = dist(rng);
+        EXPECT_EQ(unbiased_exponent(value),
+                  static_cast<int>(std::floor(std::log2(value))))
+            << value;
+    }
+}
+
+}  // namespace
+}  // namespace numerics
+}  // namespace mugi

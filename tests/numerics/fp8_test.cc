@@ -1,0 +1,121 @@
+#include "numerics/fp8.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace mugi {
+namespace numerics {
+namespace {
+
+class Fp8CodecTest : public ::testing::TestWithParam<Fp8Format> {
+  protected:
+    Fp8Codec codec() const { return Fp8Codec(GetParam()); }
+};
+
+TEST_P(Fp8CodecTest, AllPatternsRoundTrip)
+{
+    const Fp8Codec codec = this->codec();
+    for (int bits = 0; bits < 256; ++bits) {
+        const float decoded = codec.decode(static_cast<std::uint8_t>(bits));
+        if (std::isnan(decoded)) {
+            EXPECT_TRUE(std::isnan(codec.decode(codec.encode(decoded))));
+            continue;
+        }
+        // Every representable value encodes back to a pattern that
+        // decodes to the same value (sign of zero may differ pattern-
+        // wise but compares equal as float).
+        EXPECT_EQ(codec.decode(codec.encode(decoded)), decoded) << bits;
+    }
+}
+
+TEST_P(Fp8CodecTest, EncodingIsMonotonic)
+{
+    const Fp8Codec codec = this->codec();
+    float prev = -codec.max_finite();
+    for (float x = -codec.max_finite(); x <= codec.max_finite();
+         x += codec.max_finite() / 512.0f) {
+        const float rx = codec.round_trip(x);
+        const float rprev = codec.round_trip(prev);
+        EXPECT_LE(rprev, rx) << x;
+        prev = x;
+    }
+}
+
+TEST_P(Fp8CodecTest, RelativeErrorBound)
+{
+    const Fp8Codec codec = this->codec();
+    const float ulp = std::ldexp(1.0f, -codec.mantissa_bits());
+    std::mt19937 rng(17);
+    std::uniform_real_distribution<float> dist(0.1f, codec.max_finite());
+    for (int i = 0; i < 5000; ++i) {
+        const float x = dist(rng);
+        const float r = codec.round_trip(x);
+        EXPECT_LE(std::fabs(r - x) / x, ulp / 2.0f * 1.0001f) << x;
+    }
+}
+
+TEST_P(Fp8CodecTest, SaturatesAboveMaxFinite)
+{
+    const Fp8Codec codec = this->codec();
+    EXPECT_EQ(codec.round_trip(codec.max_finite() * 1.5f),
+              GetParam() == Fp8Format::kE5M2 ? codec.max_finite()
+                                             : codec.max_finite());
+}
+
+TEST_P(Fp8CodecTest, ZeroAndSignedZero)
+{
+    const Fp8Codec codec = this->codec();
+    EXPECT_EQ(codec.round_trip(0.0f), 0.0f);
+    EXPECT_EQ(codec.round_trip(-0.0f), 0.0f);
+    EXPECT_TRUE(std::signbit(codec.round_trip(-0.0f)));
+}
+
+TEST_P(Fp8CodecTest, NanEncodes)
+{
+    const Fp8Codec codec = this->codec();
+    EXPECT_TRUE(std::isnan(codec.round_trip(std::nanf(""))));
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, Fp8CodecTest,
+                         ::testing::Values(Fp8Format::kE4M3,
+                                           Fp8Format::kE5M2),
+                         [](const auto& info) {
+                             return info.param == Fp8Format::kE4M3
+                                        ? "E4M3"
+                                        : "E5M2";
+                         });
+
+TEST(Fp8E4M3, KnownEncodings)
+{
+    const Fp8Codec codec(Fp8Format::kE4M3);
+    EXPECT_EQ(codec.round_trip(448.0f), 448.0f);  // Max finite.
+    EXPECT_EQ(codec.round_trip(1.0f), 1.0f);
+    EXPECT_EQ(codec.round_trip(1.125f), 1.125f);  // 1 + 1/8 exact.
+    EXPECT_EQ(codec.round_trip(0.015625f), 0.015625f);  // 2^-6 normal min.
+    // Infinity saturates (E4M3 has no inf).
+    EXPECT_EQ(codec.round_trip(INFINITY), 448.0f);
+}
+
+TEST(Fp8E5M2, InfinityIsPreserved)
+{
+    const Fp8Codec codec(Fp8Format::kE5M2);
+    EXPECT_TRUE(std::isinf(codec.round_trip(INFINITY)));
+    EXPECT_TRUE(std::isinf(codec.round_trip(-INFINITY)));
+    EXPECT_LT(codec.round_trip(-INFINITY), 0.0f);
+}
+
+TEST(Fp8E4M3, DenormalsRepresentable)
+{
+    const Fp8Codec codec(Fp8Format::kE4M3);
+    // Smallest E4M3 denormal = 2^-9.
+    const float tiny = std::ldexp(1.0f, -9);
+    EXPECT_EQ(codec.round_trip(tiny), tiny);
+    // Half of it rounds to zero or tiny, never something larger.
+    EXPECT_LE(codec.round_trip(tiny / 2.0f), tiny);
+}
+
+}  // namespace
+}  // namespace numerics
+}  // namespace mugi

@@ -1,0 +1,86 @@
+#include "numerics/int4.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace mugi {
+namespace numerics {
+namespace {
+
+TEST(Int4, FromIntRoundTripsFullRange)
+{
+    for (int v = -7; v <= 7; ++v) {
+        EXPECT_EQ(Int4::from_int(v).value(), v);
+    }
+}
+
+TEST(Int4, FromIntClampsOutOfRange)
+{
+    EXPECT_EQ(Int4::from_int(8).value(), 7);
+    EXPECT_EQ(Int4::from_int(-8).value(), -7);
+    EXPECT_EQ(Int4::from_int(1000).value(), 7);
+    EXPECT_EQ(Int4::from_int(-1000).value(), -7);
+}
+
+TEST(Int4, EncodeDecodeAllNibbles)
+{
+    for (int nibble = 0; nibble < 16; ++nibble) {
+        const Int4 value = Int4::decode(static_cast<std::uint8_t>(nibble));
+        EXPECT_EQ(value.encode(), nibble);
+        EXPECT_LE(value.magnitude, kInt4MaxMagnitude);
+    }
+}
+
+TEST(Int4, MagnitudeFitsTemporalSweep)
+{
+    // The paper's 8-column array requires every magnitude to subscribe
+    // within a 2^3-cycle sweep.
+    for (int v = -7; v <= 7; ++v) {
+        EXPECT_LT(Int4::from_int(v).magnitude, 1 << kInt4MagnitudeBits);
+    }
+}
+
+TEST(PackedInt4, StoresTwoPerByte)
+{
+    PackedInt4 packed(10);
+    EXPECT_EQ(packed.size(), 10u);
+    EXPECT_EQ(packed.byte_size(), 5u);
+
+    PackedInt4 odd(11);
+    EXPECT_EQ(odd.byte_size(), 6u);
+}
+
+TEST(PackedInt4, SetGetRoundTrip)
+{
+    const std::size_t n = 257;
+    PackedInt4 packed(n);
+    std::mt19937 rng(23);
+    std::uniform_int_distribution<int> dist(-7, 7);
+    std::vector<int> expected(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        expected[i] = dist(rng);
+        packed.set(i, Int4::from_int(expected[i]));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(packed.get(i).value(), expected[i]) << i;
+    }
+}
+
+TEST(PackedInt4, NeighboursDoNotClobber)
+{
+    PackedInt4 packed(4);
+    packed.set(0, Int4::from_int(-7));
+    packed.set(1, Int4::from_int(5));
+    packed.set(2, Int4::from_int(3));
+    packed.set(3, Int4::from_int(-1));
+    packed.set(1, Int4::from_int(-2));  // Overwrite the high nibble.
+    EXPECT_EQ(packed.get(0).value(), -7);
+    EXPECT_EQ(packed.get(1).value(), -2);
+    EXPECT_EQ(packed.get(2).value(), 3);
+    EXPECT_EQ(packed.get(3).value(), -1);
+}
+
+}  // namespace
+}  // namespace numerics
+}  // namespace mugi

@@ -1,0 +1,126 @@
+#include "numerics/rounding.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "numerics/bfloat16.h"
+
+namespace mugi {
+namespace numerics {
+namespace {
+
+TEST(RoundMantissa, ExactValuesUnchanged)
+{
+    // Values already on the 3-bit mantissa grid stay put.
+    for (int m = 0; m < 8; ++m) {
+        for (int e = -4; e <= 4; ++e) {
+            const float value =
+                std::ldexp(1.0f + static_cast<float>(m) / 8.0f, e);
+            const RoundedValue r = round_mantissa(value, 3);
+            EXPECT_EQ(r.mantissa, static_cast<std::uint32_t>(m));
+            EXPECT_EQ(r.exponent, e);
+            EXPECT_EQ(r.to_float(), value);
+        }
+    }
+}
+
+TEST(RoundMantissa, CarryIntoExponent)
+{
+    // 1.9999 with 3 mantissa bits rounds to 2.0 (mantissa 0, exp +1).
+    const RoundedValue r = round_mantissa(1.9999f, 3);
+    EXPECT_EQ(r.mantissa, 0u);
+    EXPECT_EQ(r.exponent, 1);
+    EXPECT_EQ(r.to_float(), 2.0f);
+}
+
+TEST(RoundMantissa, TiesToEven)
+{
+    // 1.0625 = 1 + 1/16 is exactly between 1.0 (m=0) and 1.125 (m=1)
+    // on the 3-bit grid; ties-to-even selects m=0.
+    const RoundedValue tie = round_mantissa(1.0625f, 3);
+    EXPECT_EQ(tie.mantissa, 0u);
+    // 1.1875 = 1 + 3/16 ties between m=1 and m=2 -> even m=2.
+    const RoundedValue tie2 = round_mantissa(1.1875f, 3);
+    EXPECT_EQ(tie2.mantissa, 2u);
+}
+
+TEST(RoundMantissa, SignPreserved)
+{
+    const RoundedValue r = round_mantissa(-1.3f, 3);
+    EXPECT_TRUE(r.sign);
+    EXPECT_LT(r.to_float(), 0.0f);
+}
+
+TEST(RoundMantissa, SpecialsPassThrough)
+{
+    EXPECT_TRUE(round_mantissa(0.0f, 3).is_zero);
+    EXPECT_TRUE(round_mantissa(INFINITY, 3).is_inf);
+    EXPECT_TRUE(round_mantissa(std::nanf(""), 3).is_nan);
+    EXPECT_TRUE(std::isnan(round_mantissa(std::nanf(""), 3).to_float()));
+}
+
+class RoundMantissaWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundMantissaWidthTest, RelativeErrorBound)
+{
+    const int bits = GetParam();
+    std::mt19937 rng(31);
+    std::uniform_real_distribution<float> dist(-100.0f, 100.0f);
+    // Rounding the significand to n bits gives relative error at most
+    // 2^-(n+1) (half a grid step over a significand >= 1).
+    const float bound = std::ldexp(1.0f, -(bits + 1)) * 1.0001f;
+    for (int i = 0; i < 4000; ++i) {
+        const float x = dist(rng);
+        if (x == 0.0f) continue;
+        const float r = round_mantissa(x, bits).to_float();
+        EXPECT_LE(std::fabs(r - x) / std::fabs(x), bound) << x;
+    }
+}
+
+TEST_P(RoundMantissaWidthTest, Idempotent)
+{
+    const int bits = GetParam();
+    std::mt19937 rng(37);
+    std::uniform_real_distribution<float> dist(-10.0f, 10.0f);
+    for (int i = 0; i < 1000; ++i) {
+        const float once = round_mantissa(dist(rng), bits).to_float();
+        EXPECT_EQ(round_mantissa(once, bits).to_float(), once);
+    }
+}
+
+TEST_P(RoundMantissaWidthTest, Monotonic)
+{
+    const int bits = GetParam();
+    float prev = -8.0f;
+    for (float x = -8.0f; x <= 8.0f; x += 1.0f / 64.0f) {
+        EXPECT_LE(round_mantissa(prev, bits).to_float(),
+                  round_mantissa(x, bits).to_float())
+            << x;
+        prev = x;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RoundMantissaWidthTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 7, 10, 23));
+
+TEST(RoundMantissa, Bf16InputPathMatchesPaperSetting)
+{
+    // The paper rounds the 7-bit BF16 mantissa down to 3 bits (Sec. 4,
+    // walk-through of Fig. 10).  Verify the composed path.
+    std::mt19937 rng(41);
+    std::uniform_real_distribution<float> dist(-4.0f, 4.0f);
+    for (int i = 0; i < 1000; ++i) {
+        const float x = bf16_round(dist(rng));
+        const RoundedValue r = round_mantissa(x, 3);
+        if (r.is_zero) continue;
+        EXPECT_LT(r.mantissa, 8u);
+        // The 8-cycle temporal sweep covers every possible mantissa.
+        EXPECT_GE(r.mantissa, 0u);
+    }
+}
+
+}  // namespace
+}  // namespace numerics
+}  // namespace mugi

@@ -1,0 +1,116 @@
+#include "quant/group_quant.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace mugi {
+namespace quant {
+namespace {
+
+support::MatrixF
+gaussian(std::size_t rows, std::size_t cols, std::uint32_t seed,
+         float stddev = 1.0f)
+{
+    std::mt19937 rng(seed);
+    support::MatrixF m(rows, cols);
+    support::fill_gaussian(m, rng, 0.0f, stddev);
+    return m;
+}
+
+TEST(GroupQuant, RoundTripErrorWithinBound)
+{
+    const support::MatrixF w = gaussian(16, 256, 211);
+    const QuantizedMatrix q = quantize_int4(w, 64);
+    const float bound = max_abs_error_bound(q);
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+        for (std::size_t c = 0; c < w.cols(); ++c) {
+            EXPECT_LE(std::fabs(w.at(r, c) - q.dequantize_at(r, c)),
+                      bound)
+                << r << "," << c;
+        }
+    }
+}
+
+TEST(GroupQuant, GroupMaxIsRepresentedNearExactly)
+{
+    // The element with the group's max magnitude maps to code +-7, so
+    // its dequantized value is max * (7 * scale) / max ~ exact up to
+    // the BF16 rounding of the scale.
+    support::MatrixF w(1, 8, 0.1f);
+    w.at(0, 3) = -2.0f;
+    const QuantizedMatrix q = quantize_int4(w, 8);
+    EXPECT_EQ(q.values.at(0, 3).value(), -7);
+    EXPECT_NEAR(q.dequantize_at(0, 3), -2.0f, 2.0f / 128.0f);
+}
+
+TEST(GroupQuant, SmallerGroupsSmallerError)
+{
+    const support::MatrixF w = gaussian(8, 512, 223);
+    const double rms_256 = rms_error(w, quantize_int4(w, 256));
+    const double rms_32 = rms_error(w, quantize_int4(w, 32));
+    EXPECT_LT(rms_32, rms_256);
+}
+
+TEST(GroupQuant, FootprintIsRoughlyFourXSmaller)
+{
+    const support::MatrixF w = gaussian(64, 1024, 227);
+    const QuantizedMatrix q = quantize_int4(w, 128);
+    const std::size_t bf16_bytes = w.size() * 2;
+    // INT4 + scales: a bit over 4x compression vs BF16.
+    EXPECT_LT(q.byte_size(), bf16_bytes / 3);
+    EXPECT_GT(q.byte_size(), bf16_bytes / 5);
+}
+
+TEST(GroupQuant, ZeroMatrixQuantizesToZero)
+{
+    const support::MatrixF w(4, 16, 0.0f);
+    const QuantizedMatrix q = quantize_int4(w, 8);
+    for (std::size_t r = 0; r < 4; ++r) {
+        for (std::size_t c = 0; c < 16; ++c) {
+            EXPECT_EQ(q.dequantize_at(r, c), 0.0f);
+        }
+    }
+}
+
+TEST(GroupQuant, RaggedFinalGroup)
+{
+    // cols = 10, group = 4 -> groups of 4, 4, 2.
+    const support::MatrixF w = gaussian(3, 10, 229);
+    const QuantizedMatrix q = quantize_int4(w, 4);
+    EXPECT_EQ(q.scales.cols(), 3u);
+    const support::MatrixF d = dequantize(q);
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 10; ++c) {
+            EXPECT_LE(std::fabs(w.at(r, c) - d.at(r, c)),
+                      max_abs_error_bound(q));
+        }
+    }
+}
+
+class GroupSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GroupSizeTest, QuantizationIsUnbiasedOnSymmetricData)
+{
+    const support::MatrixF w = gaussian(8, 1024, 233);
+    const QuantizedMatrix q = quantize_int4(w, GetParam());
+    double bias = 0.0;
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+        for (std::size_t c = 0; c < w.cols(); ++c) {
+            bias += q.dequantize_at(r, c) - w.at(r, c);
+        }
+    }
+    bias /= static_cast<double>(w.size());
+    // Symmetric rounding on symmetric data: near-zero mean error.
+    EXPECT_LT(std::fabs(bias), 5e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GroupSizeTest,
+                         ::testing::Values(16, 32, 64, 128, 256));
+
+}  // namespace
+}  // namespace quant
+}  // namespace mugi

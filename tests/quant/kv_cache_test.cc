@@ -1,0 +1,134 @@
+#include "quant/kv_cache.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace mugi {
+namespace quant {
+namespace {
+
+support::MatrixF
+random_heads(std::size_t heads, std::size_t dim, std::mt19937& rng)
+{
+    support::MatrixF m(heads, dim);
+    support::fill_gaussian(m, rng, 0.0f, 1.0f);
+    return m;
+}
+
+TEST(KvCache, FloatStorageIsExact)
+{
+    std::mt19937 rng(241);
+    KvCache cache(4, 16, KvPrecision::kFloat);
+    std::vector<support::MatrixF> ks, vs;
+    for (int t = 0; t < 10; ++t) {
+        ks.push_back(random_heads(4, 16, rng));
+        vs.push_back(random_heads(4, 16, rng));
+        cache.append(ks.back(), vs.back());
+    }
+    EXPECT_EQ(cache.length(), 10u);
+    std::vector<float> out(16);
+    for (std::size_t h = 0; h < 4; ++h) {
+        for (std::size_t t = 0; t < 10; ++t) {
+            cache.read_key(h, t, out.data());
+            for (std::size_t d = 0; d < 16; ++d) {
+                EXPECT_EQ(out[d], ks[t].at(h, d));
+            }
+            cache.read_value(h, t, out.data());
+            for (std::size_t d = 0; d < 16; ++d) {
+                EXPECT_EQ(out[d], vs[t].at(h, d));
+            }
+        }
+    }
+}
+
+TEST(KvCache, Int4ErrorBounded)
+{
+    std::mt19937 rng(251);
+    KvCache cache(2, 32, KvPrecision::kInt4);
+    std::vector<support::MatrixF> ks;
+    for (int t = 0; t < 20; ++t) {
+        ks.push_back(random_heads(2, 32, rng));
+        cache.append(ks.back(), ks.back());
+    }
+    std::vector<float> out(32);
+    for (std::size_t h = 0; h < 2; ++h) {
+        for (std::size_t t = 0; t < 20; ++t) {
+            cache.read_key(h, t, out.data());
+            const float scale = cache.key_scale(h, t);
+            for (std::size_t d = 0; d < 32; ++d) {
+                // Half-step quantization error plus BF16 scale round.
+                EXPECT_LE(std::fabs(out[d] - ks[t].at(h, d)),
+                          scale * 0.51f + 1e-6f);
+            }
+        }
+    }
+}
+
+TEST(KvCache, Int4CompressionFactor)
+{
+    std::mt19937 rng(257);
+    KvCache fp(8, 128, KvPrecision::kFloat);
+    KvCache q4(8, 128, KvPrecision::kInt4);
+    for (int t = 0; t < 64; ++t) {
+        const auto k = random_heads(8, 128, rng);
+        const auto v = random_heads(8, 128, rng);
+        fp.append(k, v);
+        q4.append(k, v);
+    }
+    // Sec. 2.3.3: ~4x footprint reduction (minus scale overhead).
+    const double ratio = static_cast<double>(fp.byte_size()) /
+                         static_cast<double>(q4.byte_size());
+    EXPECT_GT(ratio, 3.5);
+    EXPECT_LE(ratio, 4.0);
+}
+
+TEST(KvCache, CodesAreValidInt4)
+{
+    std::mt19937 rng(263);
+    KvCache cache(1, 8, KvPrecision::kInt4);
+    cache.append(random_heads(1, 8, rng), random_heads(1, 8, rng));
+    for (std::size_t d = 0; d < 8; ++d) {
+        const numerics::Int4 code = cache.key_code(0, 0, d);
+        EXPECT_GE(code.value(), -7);
+        EXPECT_LE(code.value(), 7);
+        // Fits the 8-cycle temporal sweep of the Mugi rows.
+        EXPECT_LT(code.magnitude, 8);
+    }
+}
+
+TEST(KvCache, AttentionScoreErrorSmall)
+{
+    // End-to-end KVQ sanity: dot products against quantized keys stay
+    // close, which is what keeps KVQ perplexity deltas at ~0.02
+    // (Sec. 2.3.3).
+    std::mt19937 rng(269);
+    const std::size_t hd = 64;
+    KvCache exact(1, hd, KvPrecision::kFloat);
+    KvCache quant(1, hd, KvPrecision::kInt4);
+    for (int t = 0; t < 32; ++t) {
+        const auto k = random_heads(1, hd, rng);
+        exact.append(k, k);
+        quant.append(k, k);
+    }
+    support::MatrixF qvec = random_heads(1, hd, rng);
+    std::vector<float> ke(hd), kq(hd);
+    for (std::size_t t = 0; t < 32; ++t) {
+        exact.read_key(0, t, ke.data());
+        quant.read_key(0, t, kq.data());
+        float s_exact = 0.0f, s_quant = 0.0f;
+        for (std::size_t d = 0; d < hd; ++d) {
+            s_exact += qvec.at(0, d) * ke[d];
+            s_quant += qvec.at(0, d) * kq[d];
+        }
+        // Relative to the score scale sqrt(hd) ~ 8.
+        EXPECT_NEAR(s_quant, s_exact, 2.5f) << t;
+    }
+}
+
+}  // namespace
+}  // namespace quant
+}  // namespace mugi

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "arch/tech_model.h"
+#include "sim/cost_model.h"
+#include "sim/design.h"
+
+namespace mugi {
+namespace sim {
+namespace {
+
+TEST(Design, TableTwoFactories)
+{
+    const DesignConfig mugi = make_mugi(256);
+    EXPECT_EQ(mugi.array_rows, 256u);
+    EXPECT_EQ(mugi.array_cols, 8u);  // 2^3 columns (Sec. 2.1).
+    EXPECT_EQ(mugi.nonlinear, NonlinearScheme::kVlp);
+
+    const DesignConfig sa = make_systolic(16);
+    EXPECT_EQ(sa.array_rows, 16u);
+    EXPECT_EQ(sa.array_cols, 16u);
+
+    const DesignConfig tensor = make_tensor();
+    EXPECT_EQ(tensor.array_rows * tensor.array_cols *
+                  tensor.array_depth,
+              8u * 16u * 16u);
+    EXPECT_EQ(tensor.sram_bytes, 1024u * 1024u);
+
+    const DesignConfig carat = make_carat(128);
+    EXPECT_NE(carat.nonlinear, NonlinearScheme::kVlp);
+}
+
+TEST(Design, PeakMacsPerCycle)
+{
+    EXPECT_DOUBLE_EQ(make_mugi(256).peak_macs_per_cycle(), 256.0);
+    EXPECT_DOUBLE_EQ(make_systolic(16).peak_macs_per_cycle(), 256.0);
+    EXPECT_DOUBLE_EQ(make_tensor().peak_macs_per_cycle(), 2048.0);
+}
+
+TEST(Design, NocReplication)
+{
+    const DesignConfig mesh = make_mugi(256).with_noc(4, 4);
+    EXPECT_EQ(mesh.nodes(), 16u);
+    EXPECT_NEAR(total_area_mm2(mesh),
+                16.0 * node_area(mesh).total(), 1e-9);
+}
+
+TEST(CostModel, EightByEightNodeMatchesPaperAnchor)
+{
+    // Sec. 5.4: P&R of a single 8x8 Mugi node gives 0.056 mm^2
+    // (array logic, excluding SRAM).
+    const DesignConfig node8 = make_mugi(8);
+    const AreaBreakdown a = node_area(node8);
+    EXPECT_GT(a.array_total(), 0.056 * 0.6);
+    EXPECT_LT(a.array_total(), 0.056 * 1.6);
+}
+
+TEST(CostModel, MugiScalesLinearlyBaselinesQuadratically)
+{
+    // Sec. 6.3.1 / Fig. 13: Mugi area grows linearly with H; SA/SD
+    // grow quadratically with the dimension.
+    const double mugi_128 = node_area(make_mugi(128)).array_total();
+    const double mugi_256 = node_area(make_mugi(256)).array_total();
+    EXPECT_NEAR(mugi_256 / mugi_128, 2.0, 0.25);
+
+    const double sa_16 = node_area(make_systolic(16)).array_total();
+    const double sa_32 = node_area(make_systolic(32)).array_total();
+    EXPECT_NEAR(sa_32 / sa_16, 4.0, 0.8);
+}
+
+TEST(CostModel, CaratFifoPenalty)
+{
+    // Sec. 4.2: Mugi's broadcasting + output-buffer leaning cuts the
+    // buffer area ~4.5x vs Carat at the same array size.
+    const AreaBreakdown mugi = node_area(make_mugi(256));
+    const AreaBreakdown carat = node_area(make_carat(256));
+    EXPECT_GT(carat.fifo / mugi.fifo, 2.0);
+    EXPECT_GT(carat.array_total(), mugi.array_total());
+}
+
+TEST(CostModel, MugiSharesArrayForNonlinear)
+{
+    // Mugi: no standalone nonlinear hardware; all baselines pay one.
+    EXPECT_EQ(node_area(make_mugi(256)).nonlinear, 0.0);
+    EXPECT_GT(node_area(make_systolic(16)).nonlinear, 0.0);
+    EXPECT_GT(node_area(make_carat(256)).nonlinear, 0.0);
+    // Mugi-L pays a big programmable-LUT block (Sec. 6.3.1).
+    EXPECT_GT(node_area(make_mugi_l(256)).nonlinear,
+              node_area(make_systolic(16)).nonlinear);
+}
+
+TEST(CostModel, FignaVariantsSlightlyLarger)
+{
+    EXPECT_GT(node_area(make_systolic(16, true)).pe,
+              node_area(make_systolic(16)).pe);
+    EXPECT_GT(node_area(make_simd(16, true)).pe,
+              node_area(make_simd(16)).pe);
+}
+
+TEST(CostModel, GemmEnergyOrdering)
+{
+    // VLP is multiplier-free: far below MAC-based designs per MAC.
+    const double mugi = gemm_energy_per_mac(make_mugi(256));
+    const double carat = gemm_energy_per_mac(make_carat(256));
+    const double sa = gemm_energy_per_mac(make_systolic(16));
+    EXPECT_LT(mugi, sa / 2.0);
+    EXPECT_GT(carat, mugi);  // FIFO shifting overhead.
+    EXPECT_LT(carat, sa);
+}
+
+TEST(CostModel, NonlinearEnergyOrdering)
+{
+    // VLP < PWL < Taylor < precise per element; with the common SRAM
+    // I/O removed, the VLP datapath is multiplier-free and sits far
+    // below every MAC-based scheme.
+    const double io = 4.0 * arch::SramMacro{64 * 1024, true}
+                                .access_energy_per_byte();
+    const double vlp =
+        nonlinear_energy_per_element(make_mugi(128));
+    const double pwl = nonlinear_energy_per_element(
+        make_vector_array(16, NonlinearScheme::kPwl));
+    const double taylor = nonlinear_energy_per_element(
+        make_vector_array(16, NonlinearScheme::kTaylor));
+    const double precise = nonlinear_energy_per_element(
+        make_vector_array(16, NonlinearScheme::kPrecise));
+    EXPECT_LT(vlp, pwl);
+    EXPECT_LT(vlp - io, (pwl - io) / 2.5);
+    EXPECT_LT(pwl, taylor);
+    EXPECT_LT(taylor, precise);
+}
+
+TEST(CostModel, LeakagePositiveAndAreaProportional)
+{
+    const double small = node_leakage_mw(make_mugi(64));
+    const double large = node_leakage_mw(make_mugi(512));
+    EXPECT_GT(small, 0.0);
+    EXPECT_GT(large, small);
+}
+
+TEST(CostModel, TableThreeAreaBands)
+{
+    // Absolute single-node areas within a generous band of Table 3.
+    EXPECT_NEAR(node_area(make_mugi(128)).total(), 2.16, 0.6);
+    EXPECT_NEAR(node_area(make_mugi(256)).total(), 3.10, 0.7);
+    EXPECT_NEAR(node_area(make_carat(256)).total(), 3.84, 0.9);
+    EXPECT_NEAR(node_area(make_systolic(16)).total(), 2.58, 0.7);
+    EXPECT_NEAR(node_area(make_tensor()).total(), 38.75, 9.0);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace mugi

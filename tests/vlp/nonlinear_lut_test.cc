@@ -1,0 +1,121 @@
+#include "vlp/nonlinear_lut.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "numerics/bfloat16.h"
+
+namespace mugi {
+namespace vlp {
+namespace {
+
+using nonlinear::NonlinearOp;
+
+TEST(NonlinearLut, ExpEntriesMatchGridPoints)
+{
+    LutConfig config;
+    config.op = NonlinearOp::kExp;
+    config.mantissa_bits = 3;
+    config.min_exp = -3;
+    config.max_exp = 4;
+    config.signed_input = false;
+    const NonlinearLut lut(config);
+    for (std::uint32_t m = 0; m < 8; ++m) {
+        for (int e = -3; e <= 4; ++e) {
+            const double x = -std::ldexp(1.0 + m / 8.0, e);
+            const float expected =
+                numerics::bf16_round(static_cast<float>(std::exp(x)));
+            EXPECT_EQ(lut.entry(true, m, e), expected)
+                << "m=" << m << " e=" << e;
+        }
+    }
+}
+
+TEST(NonlinearLut, SignedLutStoresBothHalves)
+{
+    LutConfig config;
+    config.op = NonlinearOp::kSilu;
+    config.mantissa_bits = 3;
+    config.min_exp = -2;
+    config.max_exp = 3;
+    config.signed_input = true;
+    const NonlinearLut lut(config);
+    const double x = std::ldexp(1.0 + 3 / 8.0, 1);
+    EXPECT_EQ(lut.entry(false, 3, 1),
+              numerics::bf16_round(
+                  static_cast<float>(nonlinear::silu_ref(x))));
+    EXPECT_EQ(lut.entry(true, 3, 1),
+              numerics::bf16_round(
+                  static_cast<float>(nonlinear::silu_ref(-x))));
+}
+
+TEST(NonlinearLut, SizeMatchesConfig)
+{
+    LutConfig config;
+    config.op = NonlinearOp::kGelu;
+    config.mantissa_bits = 3;
+    config.min_exp = -4;
+    config.max_exp = 3;
+    config.signed_input = true;
+    const NonlinearLut lut(config);
+    // 2 signs x 8 mantissas x 8 exponents.
+    EXPECT_EQ(lut.size(), 2u * 8u * 8u);
+    EXPECT_EQ(lut.byte_size(), 2u * 8u * 8u * 2u);
+
+    config.signed_input = false;
+    config.op = NonlinearOp::kExp;
+    const NonlinearLut half(config);
+    // "The LUT size will double if the nonlinear operation has both
+    // positive and negative inputs" (Sec. 4.1) -- and halves if not.
+    EXPECT_EQ(half.size(), lut.size() / 2);
+}
+
+TEST(NonlinearLut, RowIsExponentAscending)
+{
+    LutConfig config;
+    config.op = NonlinearOp::kExp;
+    config.mantissa_bits = 3;
+    config.min_exp = -3;
+    config.max_exp = 4;
+    config.signed_input = false;
+    const NonlinearLut lut(config);
+    const auto row = lut.row(true, 5);
+    ASSERT_EQ(row.size(), 8u);
+    for (int e = -3; e <= 4; ++e) {
+        EXPECT_EQ(row[e + 3], lut.entry(true, 5, e));
+    }
+    // exp of increasingly negative inputs decreases along the row.
+    for (std::size_t i = 1; i < row.size(); ++i) {
+        EXPECT_LT(row[i], row[i - 1]);
+    }
+}
+
+TEST(NonlinearLut, DefaultSignednessPerOp)
+{
+    EXPECT_FALSE(default_signed_input(NonlinearOp::kExp));
+    EXPECT_TRUE(default_signed_input(NonlinearOp::kSilu));
+    EXPECT_TRUE(default_signed_input(NonlinearOp::kGelu));
+}
+
+class LutMantissaBitsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LutMantissaBitsTest, RowCountMatchesMantissaWidth)
+{
+    LutConfig config;
+    config.op = NonlinearOp::kSilu;
+    config.mantissa_bits = GetParam();
+    config.min_exp = -2;
+    config.max_exp = 2;
+    const NonlinearLut lut(config);
+    EXPECT_EQ(lut.size(),
+              2u * (1u << GetParam()) *
+                  static_cast<std::size_t>(config.num_exponents()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LutMantissaBitsTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace vlp
+}  // namespace mugi

@@ -1,0 +1,138 @@
+#include "vlp/sliding_window.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mugi {
+namespace vlp {
+namespace {
+
+LutConfig
+wide_lut()
+{
+    LutConfig config;
+    config.op = nonlinear::NonlinearOp::kSilu;
+    config.min_exp = -6;
+    config.max_exp = 5;  // Fig. 5's example full window.
+    return config;
+}
+
+std::vector<float>
+values_with_exponents(const std::vector<int>& exps)
+{
+    std::vector<float> values;
+    for (const int e : exps) {
+        values.push_back(std::ldexp(1.5f, e));
+    }
+    return values;
+}
+
+TEST(SlidingWindow, WholeRangeWhenLutFits)
+{
+    LutConfig config = wide_lut();
+    config.min_exp = -3;
+    config.max_exp = 4;  // Exactly 8 exponents.
+    const std::vector<float> inputs = {1.0f, 2.0f};
+    const WindowChoice w =
+        choose_window(inputs, config, 8, WindowPolicy::kCoverage);
+    EXPECT_EQ(w.lo, -3);
+    EXPECT_EQ(w.hi, 4);
+}
+
+TEST(SlidingWindow, PaperExampleCoverage)
+{
+    // Fig. 5: full window [-6, 5], inputs concentrated in [-3, 4],
+    // window size 8 -> choose [-3, 4].
+    const auto inputs = values_with_exponents(
+        {-3, -2, -1, 0, 0, 1, 2, 3, 4, 4, -1, 0});
+    const WindowChoice w =
+        choose_window(inputs, wide_lut(), 8, WindowPolicy::kCoverage);
+    EXPECT_EQ(w.lo, -3);
+    EXPECT_EQ(w.hi, 4);
+}
+
+TEST(SlidingWindow, MaxAnchoredTracksLargestExponent)
+{
+    const auto inputs = values_with_exponents({-5, -4, 2});
+    const WindowChoice w = choose_window(inputs, wide_lut(), 8,
+                                         WindowPolicy::kMaxAnchored);
+    EXPECT_EQ(w.hi, 2);
+    EXPECT_EQ(w.lo, -5);
+}
+
+TEST(SlidingWindow, MinAnchoredTracksSmallestExponent)
+{
+    const auto inputs = values_with_exponents({-5, -4, 2});
+    const WindowChoice w = choose_window(inputs, wide_lut(), 8,
+                                         WindowPolicy::kMinAnchored);
+    EXPECT_EQ(w.lo, -5);
+    EXPECT_EQ(w.hi, 2);
+}
+
+TEST(SlidingWindow, FixedTopPinsToLutTop)
+{
+    const auto inputs = values_with_exponents({-6, -6, -6});
+    const WindowChoice w = choose_window(inputs, wide_lut(), 8,
+                                         WindowPolicy::kFixedTop);
+    EXPECT_EQ(w.hi, 5);
+    EXPECT_EQ(w.lo, -2);
+}
+
+TEST(SlidingWindow, CoveragePrefersDenseCluster)
+{
+    // 10 values at exponent -5..-4, 2 at +4: the window should cover
+    // the dense low cluster even though the max-anchored policy would
+    // chase the outliers.
+    std::vector<int> exps(10, -5);
+    exps.insert(exps.end(), {4, 4});
+    const auto inputs = values_with_exponents(exps);
+    const WindowChoice cov =
+        choose_window(inputs, wide_lut(), 8, WindowPolicy::kCoverage);
+    EXPECT_TRUE(cov.contains(-5));
+    const WindowChoice max = choose_window(inputs, wide_lut(), 8,
+                                           WindowPolicy::kMaxAnchored);
+    EXPECT_FALSE(max.contains(-5));
+}
+
+TEST(SlidingWindow, WindowAlwaysInsideLutRange)
+{
+    const LutConfig lut = wide_lut();
+    for (const WindowPolicy policy :
+         {WindowPolicy::kMaxAnchored, WindowPolicy::kMinAnchored,
+          WindowPolicy::kCoverage, WindowPolicy::kFixedTop}) {
+        for (const int e : {-20, -6, 0, 5, 20}) {
+            const auto inputs = values_with_exponents({e});
+            const WindowChoice w = choose_window(inputs, lut, 8, policy);
+            EXPECT_GE(w.lo, lut.min_exp) << window_policy_name(policy);
+            EXPECT_LE(w.hi, lut.max_exp) << window_policy_name(policy);
+            EXPECT_EQ(w.size(), 8) << window_policy_name(policy);
+        }
+    }
+}
+
+TEST(SlidingWindow, IgnoresSpecials)
+{
+    std::vector<float> inputs = values_with_exponents({-5, -5, -5});
+    inputs.push_back(0.0f);
+    inputs.push_back(INFINITY);
+    inputs.push_back(std::nanf(""));
+    const WindowChoice w =
+        choose_window(inputs, wide_lut(), 8, WindowPolicy::kCoverage);
+    EXPECT_TRUE(w.contains(-5));
+}
+
+TEST(SlidingWindow, EmptyInputStillValid)
+{
+    const std::vector<float> none;
+    const WindowChoice w =
+        choose_window(none, wide_lut(), 8, WindowPolicy::kCoverage);
+    EXPECT_EQ(w.size(), 8);
+    EXPECT_GE(w.lo, wide_lut().min_exp);
+    EXPECT_LE(w.hi, wide_lut().max_exp);
+}
+
+}  // namespace
+}  // namespace vlp
+}  // namespace mugi

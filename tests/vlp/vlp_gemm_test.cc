@@ -1,0 +1,165 @@
+#include "vlp/vlp_gemm.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "numerics/bfloat16.h"
+
+namespace mugi {
+namespace vlp {
+namespace {
+
+Int4Matrix
+random_int4(std::size_t rows, std::size_t cols, std::mt19937& rng)
+{
+    Int4Matrix m(rows, cols);
+    std::uniform_int_distribution<int> dist(-7, 7);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            m.at(r, c) = numerics::Int4::from_int(dist(rng));
+        }
+    }
+    return m;
+}
+
+support::MatrixF
+random_bf16(std::size_t rows, std::size_t cols, std::mt19937& rng)
+{
+    support::MatrixF m(rows, cols);
+    std::normal_distribution<float> dist(0.0f, 1.0f);
+    for (float& v : m.data()) {
+        v = numerics::bf16_round(dist(rng));
+    }
+    return m;
+}
+
+TEST(VlpGemmMugi, MatchesReferenceExactly)
+{
+    std::mt19937 rng(141);
+    const Int4Matrix w = random_int4(24, 12, rng);
+    const support::MatrixF x = random_bf16(12, 8, rng);
+    const VlpGemmResult got = vlp_gemm_mugi(w, x, 16, 8);
+    const support::MatrixF expected = int4_gemm_reference(w, x);
+    ASSERT_EQ(got.out.rows(), expected.rows());
+    ASSERT_EQ(got.out.cols(), expected.cols());
+    for (std::size_t n = 0; n < expected.rows(); ++n) {
+        for (std::size_t b = 0; b < expected.cols(); ++b) {
+            EXPECT_EQ(got.out.at(n, b), expected.at(n, b))
+                << n << "," << b;
+        }
+    }
+}
+
+TEST(VlpGemmMugi, MatchesFloatGemmClosely)
+{
+    // Temporal accumulation of BF16 activations with magnitudes <= 7
+    // is exact in binary32, so the result also matches an fma-free
+    // float GEMM up to accumulation-order effects (none here: same
+    // k-ascending order).
+    std::mt19937 rng(151);
+    const Int4Matrix w = random_int4(9, 33, rng);
+    const support::MatrixF x = random_bf16(33, 5, rng);
+    const VlpGemmResult got = vlp_gemm_mugi(w, x, 8, 8);
+    for (std::size_t n = 0; n < w.rows(); ++n) {
+        for (std::size_t b = 0; b < x.cols(); ++b) {
+            float direct = 0.0f;
+            for (std::size_t k = 0; k < w.cols(); ++k) {
+                direct += static_cast<float>(w.at(n, k).value()) *
+                          x.at(k, b);
+            }
+            EXPECT_NEAR(got.out.at(n, b), direct, 1e-4)
+                << n << "," << b;
+        }
+    }
+}
+
+TEST(VlpGemmMugi, CycleCountMatchesAnalyticModel)
+{
+    std::mt19937 rng(161);
+    const struct {
+        std::size_t n, k, b;
+        int h, w;
+    } cases[] = {
+        {16, 8, 8, 16, 8},  {32, 8, 8, 16, 8},  {16, 8, 16, 16, 8},
+        {17, 3, 9, 16, 8},  {128, 4, 8, 32, 8}, {5, 5, 5, 8, 8},
+    };
+    for (const auto& c : cases) {
+        const Int4Matrix w = random_int4(c.n, c.k, rng);
+        const support::MatrixF x = random_bf16(c.k, c.b, rng);
+        const VlpGemmResult got = vlp_gemm_mugi(w, x, c.h, c.w);
+        EXPECT_EQ(got.cycles,
+                  vlp_gemm_mugi_cycles(c.n, c.b, c.k, c.h, c.w))
+            << c.n << "x" << c.k << "x" << c.b;
+    }
+}
+
+TEST(VlpGemmMugi, EverySubscriptionFiresExactlyOnce)
+{
+    std::mt19937 rng(171);
+    const Int4Matrix w = random_int4(16, 10, rng);
+    const support::MatrixF x = random_bf16(10, 8, rng);
+    const VlpGemmResult got = vlp_gemm_mugi(w, x, 16, 8);
+    // One subscription per (n, k, b) triple: N*K*B total.
+    EXPECT_EQ(got.subscriptions, 16u * 10u * 8u);
+}
+
+TEST(VlpGemmMugi, ZeroWeightsContributeZero)
+{
+    Int4Matrix w(4, 4);  // All zeros.
+    std::mt19937 rng(181);
+    const support::MatrixF x = random_bf16(4, 4, rng);
+    const VlpGemmResult got = vlp_gemm_mugi(w, x, 4, 4);
+    for (const float v : got.out.data()) {
+        EXPECT_EQ(v, 0.0f);
+    }
+}
+
+TEST(VlpGemmCarat, SymmetricMappingMatchesReference)
+{
+    std::mt19937 rng(191);
+    const Int4Matrix acts = random_int4(12, 20, rng);
+    const support::MatrixF w = random_bf16(20, 16, rng);
+    const VlpGemmResult got = vlp_gemm_carat(acts, w, 8, 8);
+    for (std::size_t m = 0; m < acts.rows(); ++m) {
+        for (std::size_t n = 0; n < w.cols(); ++n) {
+            float direct = 0.0f;
+            for (std::size_t k = 0; k < acts.cols(); ++k) {
+                direct += static_cast<float>(acts.at(m, k).value()) *
+                          w.at(k, n);
+            }
+            EXPECT_NEAR(got.out.at(m, n), direct, 1e-4);
+        }
+    }
+}
+
+TEST(VlpGemm, MugiMappingUtilizationAdvantageAtSmallBatch)
+{
+    // Sec. 4.2: with batch 8 on the columns, Mugi's transposed mapping
+    // fills the array; Carat's row mapping of the batch leaves rows
+    // idle.  Compare sweeps (occupancy proxy) for the same GEMM.
+    std::mt19937 rng(201);
+    const std::size_t n = 64, k = 16, b = 8;
+    const Int4Matrix w = random_int4(n, k, rng);
+    const support::MatrixF x = random_bf16(k, b, rng);
+    const VlpGemmResult mugi = vlp_gemm_mugi(w, x, 64, 8);
+
+    // Carat maps the batch (8) across its 64 rows: 56 idle rows.
+    Int4Matrix acts_t(b, k);
+    support::MatrixF w_t(k, n);
+    std::uniform_int_distribution<int> dist(-7, 7);
+    for (std::size_t i = 0; i < b; ++i)
+        for (std::size_t j = 0; j < k; ++j)
+            acts_t.at(i, j) = numerics::Int4::from_int(dist(rng));
+    for (std::size_t i = 0; i < k; ++i)
+        for (std::size_t j = 0; j < n; ++j) w_t.at(i, j) = 1.0f;
+    const VlpGemmResult carat = vlp_gemm_carat(acts_t, w_t, 64, 8);
+
+    // Same MAC count; Mugi needs strictly fewer sweeps (cycles).
+    EXPECT_LT(mugi.cycles, carat.cycles);
+    EXPECT_EQ(mugi.cycles * 8, carat.cycles);  // 64/8 ratio.
+}
+
+}  // namespace
+}  // namespace vlp
+}  // namespace mugi

@@ -1,0 +1,130 @@
+#include "vlp/vlp_trig.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "model/ops.h"
+#include "support/rng.h"
+
+namespace mugi {
+namespace vlp {
+namespace {
+
+VlpTrigConfig
+config_for(TrigOp op)
+{
+    VlpTrigConfig config;
+    config.op = op;
+    return config;
+}
+
+class VlpTrigOpTest : public ::testing::TestWithParam<TrigOp> {};
+
+TEST_P(VlpTrigOpTest, BoundedAbsoluteError)
+{
+    const VlpTrigApproximator approx(config_for(GetParam()));
+    // The 3-bit mantissa grid perturbs the reduced angle by <= 1/16
+    // relative; |d sin| <= |d theta| gives a ~0.2 absolute ceiling at
+    // |theta| ~ pi, and much tighter near zero.
+    for (float x = -20.0f; x <= 20.0f; x += 0.013f) {
+        const double exact = approx.reference(x);
+        const double got = approx.apply(x);
+        EXPECT_NEAR(got, exact, 0.23) << trig_op_name(GetParam())
+                                      << " x=" << x;
+    }
+}
+
+TEST_P(VlpTrigOpTest, OutputsStayInUnitRange)
+{
+    const VlpTrigApproximator approx(config_for(GetParam()));
+    std::mt19937 rng(601);
+    std::uniform_real_distribution<float> dist(-1000.0f, 1000.0f);
+    for (int i = 0; i < 5000; ++i) {
+        const float y = approx.apply(dist(rng));
+        EXPECT_GE(y, -1.0f);
+        EXPECT_LE(y, 1.0f);
+    }
+}
+
+TEST_P(VlpTrigOpTest, PeriodicityThroughRangeReduction)
+{
+    const VlpTrigApproximator approx(config_for(GetParam()));
+    const float two_pi = static_cast<float>(2.0 * M_PI);
+    for (float x = -3.0f; x <= 3.0f; x += 0.1f) {
+        // One period away: the reduced angle only differs by the
+        // double->float fmod rounding, so results are near-equal.
+        EXPECT_NEAR(approx.apply(x), approx.apply(x + two_pi), 0.07)
+            << x;
+    }
+}
+
+TEST_P(VlpTrigOpTest, SpecialsReturnNan)
+{
+    const VlpTrigApproximator approx(config_for(GetParam()));
+    EXPECT_TRUE(std::isnan(approx.apply(std::nanf(""))));
+    EXPECT_TRUE(std::isnan(approx.apply(INFINITY)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, VlpTrigOpTest,
+                         ::testing::Values(TrigOp::kSin, TrigOp::kCos),
+                         [](const auto& info) {
+                             return trig_op_name(info.param);
+                         });
+
+TEST(VlpTrig, ZeroAngleExact)
+{
+    const VlpTrigApproximator sine(config_for(TrigOp::kSin));
+    const VlpTrigApproximator cosine(config_for(TrigOp::kCos));
+    EXPECT_EQ(sine.apply(0.0f), 0.0f);
+    EXPECT_EQ(cosine.apply(0.0f), 1.0f);
+    // Underflowing angles follow the PP zero path.
+    EXPECT_EQ(sine.apply(1e-4f), 0.0f);
+    EXPECT_EQ(cosine.apply(1e-4f), 1.0f);
+}
+
+TEST(VlpTrig, SinIsOddCosIsEven)
+{
+    const VlpTrigApproximator sine(config_for(TrigOp::kSin));
+    const VlpTrigApproximator cosine(config_for(TrigOp::kCos));
+    for (float x = 0.05f; x <= 3.0f; x += 0.07f) {
+        EXPECT_NEAR(sine.apply(-x), -sine.apply(x), 1e-6) << x;
+        EXPECT_NEAR(cosine.apply(-x), cosine.apply(x), 1e-6) << x;
+    }
+}
+
+TEST(VlpTrig, LutFootprintMatchesGeometry)
+{
+    const VlpTrigApproximator sine(config_for(TrigOp::kSin));
+    // 2 signs x 8 mantissas x 8 exponents.
+    EXPECT_EQ(sine.lut_entries(), 2u * 8u * 8u);
+}
+
+TEST(VlpTrig, RopeWithVlpTrigTracksExactRope)
+{
+    // The Sec. 7.1 extension end-to-end: VLP-approximated RoPE stays
+    // close to the exact rotation and preserves vector norms
+    // approximately.
+    const VlpTrigApproximator sine(config_for(TrigOp::kSin));
+    const VlpTrigApproximator cosine(config_for(TrigOp::kCos));
+    std::mt19937 rng(607);
+    support::MatrixF exact(4, 32);
+    support::fill_gaussian(exact, rng, 0.0f, 1.0f);
+    support::MatrixF approx = exact;
+
+    model::apply_rope(exact, 2, 16, 3);
+    apply_rope_vlp(approx, 2, 16, 3, sine, cosine);
+
+    double err = 0.0, norm = 0.0;
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+        const double d = exact.data()[i] - approx.data()[i];
+        err += d * d;
+        norm += exact.data()[i] * exact.data()[i];
+    }
+    EXPECT_LT(std::sqrt(err / norm), 0.15);
+}
+
+}  // namespace
+}  // namespace vlp
+}  // namespace mugi
