@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "sim/cost_model.h"
+#include "serve/engine.h"
 #include "vlp/vlp_approximator.h"
 
 using namespace mugi;
@@ -105,8 +105,10 @@ main()
         "D. buffer minimization: FIFO area, Mugi vs Carat (mm^2)");
     bench::print_header("H", {"mugi-fifo", "carat-fifo", "ratio"});
     for (const std::size_t h : {64, 128, 256, 512}) {
-        const double mugi = sim::node_area(sim::make_mugi(h)).fifo;
-        const double carat = sim::node_area(sim::make_carat(h)).fifo;
+        const double mugi =
+            serve::Engine(sim::make_mugi(h)).area().fifo;
+        const double carat =
+            serve::Engine(sim::make_carat(h)).area().fifo;
         bench::print_row(std::to_string(h),
                          {mugi, carat, carat / mugi}, "%10.4f");
     }
@@ -116,9 +118,10 @@ main()
     bench::print_header("H", {"mugi-nonlin", "mugi-l-nonlin",
                               "array-total-L/array-total"});
     for (const std::size_t h : {128, 256}) {
-        const sim::AreaBreakdown m = sim::node_area(sim::make_mugi(h));
+        const sim::AreaBreakdown m =
+            serve::Engine(sim::make_mugi(h)).area();
         const sim::AreaBreakdown l =
-            sim::node_area(sim::make_mugi_l(h));
+            serve::Engine(sim::make_mugi_l(h)).area();
         bench::print_row(std::to_string(h),
                          {m.nonlinear, l.nonlinear,
                           l.array_total() / m.array_total()},

@@ -24,11 +24,20 @@
 #include "model/accuracy.h"
 #include "nonlinear/pwl.h"
 #include "nonlinear/taylor.h"
+#include "serve/kernel_registry.h"
 #include "vlp/vlp_approximator.h"
 
 using namespace mugi;
 
 namespace {
+
+/** One sweep-wide kernel cache (paper-default mapping rows). */
+const serve::KernelRegistry&
+registry()
+{
+    static const serve::KernelRegistry kRegistry(128);
+    return kRegistry;
+}
 
 model::EvalOptions
 options()
@@ -61,7 +70,11 @@ sweep_vlp(model::TransformerModel& m, nonlinear::NonlinearOp op)
     for (const int size : lut_sizes) {
         std::vector<double> row;
         for (const int max_exp : max_exps) {
-            const auto vlp = vlp::make_vlp(op, size, max_exp);
+            vlp::VlpConfig config;
+            config.op = op;
+            config.lut_max_exp = max_exp;
+            config.lut_min_exp = max_exp - size + 1;
+            const auto vlp = registry().get(config);
             model::NonlinearHooks hooks;
             if (op == nonlinear::NonlinearOp::kExp) {
                 hooks.softmax_exp = vlp.get();

@@ -13,7 +13,7 @@
 
 #include "bench_util.h"
 #include "model/workload.h"
-#include "sim/performance_model.h"
+#include "serve/engine.h"
 
 using namespace mugi;
 
@@ -32,7 +32,7 @@ geomean(const sim::DesignConfig& d, std::size_t batch, std::size_t seq)
     for (const model::ModelConfig& m : family) {
         const model::Workload w =
             model::build_decode_workload(m, batch, seq);
-        const sim::PerfReport r = sim::run_workload(d, w);
+        const sim::PerfReport r = serve::Engine(d).perf(w);
         t *= r.throughput_tokens_per_s;
         e *= r.energy_per_token_j;
     }

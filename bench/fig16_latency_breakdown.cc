@@ -12,7 +12,7 @@
 #include "bench_util.h"
 #include "model/workload.h"
 #include "sim/event_sim.h"
-#include "sim/performance_model.h"
+#include "serve/engine.h"
 
 using namespace mugi;
 
@@ -51,15 +51,17 @@ main()
         const model::Workload w =
             model::build_decode_workload(mconfig, 8, 4096);
         const double norm =
-            sim::run_workload(sim::make_mugi(256), w).total_cycles;
+            serve::Engine(sim::make_mugi(256)).perf(w).total_cycles;
 
         bench::print_subtitle(std::string("Llama 2 ") + mlabel +
                               " (cycles normalized to Mugi total)");
         bench::print_header("design", {"proj", "attn", "ffn",
                                        "nonlin", "total", "ev-sim"});
         for (const auto& [dlabel, d] : designs) {
-            const sim::PerfReport r = sim::run_workload(d, w);
-            const sim::EventSimResult ev = sim::simulate(d, w);
+            const serve::SystemReport report =
+                serve::Engine(d).evaluate(w);
+            const sim::PerfReport& r = report.perf;
+            const sim::EventSimResult& ev = report.event_sim;
             std::vector<double> row;
             for (const model::OpClass cls :
                  {model::OpClass::kProjection,

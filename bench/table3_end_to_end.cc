@@ -12,7 +12,7 @@
 
 #include "bench_util.h"
 #include "model/workload.h"
-#include "sim/performance_model.h"
+#include "serve/engine.h"
 
 using namespace mugi;
 
@@ -21,7 +21,8 @@ namespace {
 void
 print_design(const sim::DesignConfig& d, const model::Workload& w)
 {
-    const sim::PerfReport r = sim::run_workload(d, w);
+    const serve::Engine engine(d);
+    const sim::PerfReport r = engine.perf(w);
     std::printf("%-18s %10.2f %9.2f %12.2f %12.2f\n", d.name.c_str(),
                 r.throughput_tokens_per_s, sim::total_area_mm2(d),
                 r.energy_efficiency, r.power_efficiency);
@@ -71,9 +72,9 @@ main()
 
     // Headline ratios of Sec. 6.3.1.
     const sim::PerfReport mugi256 =
-        sim::run_workload(sim::make_mugi(256), w);
+        serve::Engine(sim::make_mugi(256)).perf(w);
     const sim::PerfReport sa16 =
-        sim::run_workload(sim::make_systolic(16), w);
+        serve::Engine(sim::make_systolic(16)).perf(w);
     std::printf(
         "\nHeadline Mugi(256) vs SA(16): throughput %.2fx (paper "
         "2.07x), energy\nefficiency %.2fx (paper 3.11x), power "

@@ -3,7 +3,8 @@
  * Sustainability report (Sec. 2.4, 6.3.2): operational vs embodied
  * carbon of serving Llama-2 models on Mugi and the baselines, under
  * the ACT-style model of Eq. 6/7, including a sensitivity sweep over
- * grid carbon intensity.
+ * grid carbon intensity.  Each design is evaluated through its
+ * serve::Engine.
  *
  * Build & run:  ./build/examples/carbon_report
  */
@@ -12,7 +13,7 @@
 #include <vector>
 
 #include "carbon/carbon_model.h"
-#include "core/mugi_system.h"
+#include "serve/engine.h"
 
 using namespace mugi;
 
@@ -37,9 +38,10 @@ main()
                     "vs Mugi");
         double mugi_total = 0.0;
         for (const auto& [label, d] : designs) {
-            const sim::PerfReport perf = sim::run_workload(
-                d, model::build_decode_workload(m, 8, 4096));
-            const carbon::CarbonReport c = carbon::assess(d, perf);
+            const serve::Engine engine(d);
+            const serve::SystemReport report =
+                engine.evaluate_decode(m, 8, 4096);
+            const carbon::CarbonReport& c = report.carbon;
             if (mugi_total == 0.0) {
                 mugi_total = c.total_g_per_token();
             }
@@ -58,15 +60,14 @@ main()
                 "Mugi(256)):\n");
     std::printf("%-18s %12s %12s %10s\n", "grid gCO2e/kWh",
                 "operational", "embodied", "embodied%%");
-    const sim::DesignConfig mugi = sim::make_mugi(256);
-    const sim::PerfReport perf = sim::run_workload(
-        mugi, model::build_decode_workload(model::llama2_70b(), 8,
-                                           4096));
+    const serve::Engine mugi(sim::make_mugi(256));
+    const sim::PerfReport perf = mugi.perf(
+        model::build_decode_workload(model::llama2_70b(), 8, 4096));
     for (const double ci : {700.0, 475.0, 200.0, 50.0}) {
         carbon::CarbonParams params;
         params.carbon_intensity_g_per_kwh = ci;
         const carbon::CarbonReport c =
-            carbon::assess(mugi, perf, params);
+            carbon::assess(mugi.design(), perf, params);
         std::printf("%-18.0f %12.2f %12.2f %9.1f%%\n", ci,
                     c.operational_g_per_token * 1e6,
                     c.embodied_g_per_token * 1e6,

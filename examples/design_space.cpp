@@ -3,7 +3,8 @@
  * Design-space exploration with the Mugi architecture models: sweep
  * array heights and NoC shapes for a deployment target (Llama-2 70B
  * decode, batch 8, seq 4096) and print the throughput / area / power
- * trade-off, flagging the Pareto-efficient points.
+ * trade-off, flagging the Pareto-efficient points.  One serve::Engine
+ * per candidate design.
  *
  * Build & run:  ./build/examples/design_space
  */
@@ -11,7 +12,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/mugi_system.h"
+#include "serve/engine.h"
 
 using namespace mugi;
 
@@ -37,7 +38,7 @@ main()
     for (const std::size_t rows : {64, 128, 256, 512}) {
         candidates.push_back({sim::make_mugi(rows)});
     }
-    for (const auto [r, c] :
+    for (const auto& [r, c] :
          std::vector<std::pair<std::size_t, std::size_t>>{
              {2, 2}, {4, 4}, {8, 8}}) {
         candidates.push_back({sim::make_mugi(256).with_noc(r, c)});
@@ -46,9 +47,9 @@ main()
     candidates.push_back({sim::make_tensor()});
 
     for (Candidate& c : candidates) {
-        const core::MugiSystem system(c.design);
-        const core::SystemReport report =
-            system.evaluate_decode(target, 8, 4096);
+        const serve::Engine engine(c.design);
+        const serve::SystemReport report =
+            engine.evaluate_decode(target, 8, 4096);
         c.throughput = report.perf.throughput_tokens_per_s;
         c.area = sim::total_area_mm2(c.design);
         c.power = report.perf.power_w;

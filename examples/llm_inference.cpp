@@ -1,36 +1,28 @@
 /**
  * @file
- * End-to-end LLM inference through the Mugi numerical stack: a
+ * End-to-end LLM inference through the Mugi serving stack: a
  * Llama-style transformer with
  *   - VLP-approximated softmax and SiLU (Sec. 3),
  *   - WOQ INT4 weights (Sec. 2.3.2),
  *   - KVQ INT4 KV cache on the decode path (Sec. 2.3.3),
- * compared against the exact FP32 model, with the greedy decode
- * continuation both produce and the KV-cache memory savings.
+ * compared against the exact FP32 model.  The decode runs through
+ * serve::Engine with two concurrent sessions -- one float-cache, one
+ * KVQ -- stepped as a single batch, demonstrating that batched
+ * serving reproduces the per-request numerics.
  *
  * Build & run:  ./build/examples/llm_inference
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "model/accuracy.h"
-#include "model/transformer.h"
+#include "serve/engine.h"
 #include "vlp/vlp_approximator.h"
 
 using namespace mugi;
-
-namespace {
-
-int
-argmax(const std::vector<float>& v)
-{
-    return static_cast<int>(std::distance(
-        v.begin(), std::max_element(v.begin(), v.end())));
-}
-
-}  // namespace
 
 int
 main()
@@ -42,58 +34,57 @@ main()
     std::printf("Model: %s (%zu layers, d=%zu, GQA group %zu)\n",
                 config.name.c_str(), config.num_layers, config.d_model,
                 config.gqa_group());
-    model::TransformerModel transformer(config, 2024);
+    auto transformer =
+        std::make_shared<model::TransformerModel>(config, 2024);
+    const serve::Engine engine(sim::make_mugi(256), transformer);
 
     // --- Accuracy with the full Mugi numerical stack. ---
     model::EvalOptions options;
     options.num_sequences = 3;
     options.seq_len = 24;
     const double base_ppl =
-        model::evaluate_base(transformer, options).perplexity;
+        model::evaluate_base(*transformer, options).perplexity;
 
-    const auto vlp_exp =
-        vlp::make_vlp(nonlinear::NonlinearOp::kExp, 8, 4);
-    vlp::VlpConfig silu_cfg;
-    silu_cfg.op = nonlinear::NonlinearOp::kSilu;
-    silu_cfg.lut_min_exp = -6;
-    silu_cfg.lut_max_exp = 1;
-    const vlp::VlpApproximator vlp_silu(silu_cfg);
-    model::NonlinearHooks hooks;
-    hooks.softmax_exp = vlp_exp.get();
-    hooks.activation = &vlp_silu;
+    // The same kernels every session deploys by default, shared from
+    // the engine's registry (softmax exp over [-3, 4], SiLU over
+    // [-6, 1]).
+    const model::NonlinearHooks hooks = engine.default_hooks();
     const double vlp_ppl =
-        model::evaluate_against_exact(transformer, hooks, options)
+        model::evaluate_against_exact(*transformer, hooks, options)
             .perplexity;
 
-    transformer.apply_woq(32);  // INT4 weights from here on.
+    transformer->apply_woq(32);  // INT4 weights from here on.
     const double woq_ppl =
-        model::evaluate_against_exact(transformer, hooks, options)
+        model::evaluate_against_exact(*transformer, hooks, options)
             .perplexity;
 
     std::printf("PPL vs exact teacher: base %.4f | +VLP nonlinear "
                 "%.4f | +WOQ INT4 %.4f\n",
                 base_ppl, vlp_ppl, woq_ppl);
 
-    // --- Greedy decode with FP16-class vs KVQ INT4 cache. ---
-    transformer.set_hooks(hooks);
+    // --- Greedy decode: one engine, two sessions batched per step. ---
+    serve::SessionOptions fp_opts;
+    fp_opts.kv_precision = quant::KvPrecision::kFloat;
+    serve::Session fp = engine.create_session(fp_opts);
+    serve::Session q4 = engine.create_session();  // KVQ INT4 default.
+
     const std::vector<int> prompt =
         model::synthetic_tokens(12, config.vocab, 77);
-    model::DecodeSession fp(transformer, quant::KvPrecision::kFloat);
-    model::DecodeSession q4(transformer, quant::KvPrecision::kInt4);
 
     std::printf("greedy decode   :");
     int tok_fp = prompt[0], tok_q4 = prompt[0];
     int agree = 0;
     const int steps = 24;
+    serve::Session* batch[2] = {&fp, &q4};
     for (int t = 0; t < steps; ++t) {
         const bool in_prompt =
             t + 1 < static_cast<int>(prompt.size());
-        const auto logits_fp = fp.step(tok_fp);
-        const auto logits_q4 = q4.step(tok_q4);
-        const int next_fp =
-            in_prompt ? prompt[t + 1] : argmax(logits_fp);
-        const int next_q4 =
-            in_prompt ? prompt[t + 1] : argmax(logits_q4);
+        const int tokens[2] = {tok_fp, tok_q4};
+        const serve::StepResult result = engine.step(batch, tokens);
+        const int next_fp = in_prompt ? prompt[t + 1]
+                                      : result.outputs[0].next_token;
+        const int next_q4 = in_prompt ? prompt[t + 1]
+                                      : result.outputs[1].next_token;
         if (!in_prompt) {
             std::printf(" %d%s", next_fp,
                         next_fp == next_q4 ? "" : "*");

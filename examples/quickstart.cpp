@@ -1,11 +1,11 @@
 /**
  * @file
- * Quickstart: the three things Mugi does, in ~60 lines.
+ * Quickstart: the three things Mugi does, through the serving API.
  *
  *  1. VLP nonlinear approximation: softmax through the temporal-coded
  *     LUT path, compared against the exact reference.
- *  2. Asymmetric BF16-INT4 GEMM: weight-only quantization plus the
- *     multiplier-free temporal array.
+ *  2. Asymmetric BF16-INT4 GEMM: weights prepared (quantized) once at
+ *     load time, then reused by the multiplier-free temporal array.
  *  3. Architecture evaluation: throughput / area / power / carbon of
  *     a Mugi node running Llama-2 decode.
  *
@@ -16,7 +16,7 @@
 #include <cstdio>
 #include <random>
 
-#include "core/mugi_system.h"
+#include "serve/engine.h"
 #include "support/rng.h"
 
 using namespace mugi;
@@ -24,14 +24,15 @@ using namespace mugi;
 int
 main()
 {
-    const core::MugiSystem system = core::MugiSystem::default_mugi();
+    const std::unique_ptr<serve::Engine> engine =
+        serve::Engine::default_mugi();
 
     // --- 1. VLP softmax. ---
     std::mt19937 rng(42);
     std::normal_distribution<float> dist(0.0f, 2.0f);
     std::vector<float> logits(16);
     for (float& v : logits) v = dist(rng);
-    const std::vector<float> approx = system.run_softmax(logits);
+    const std::vector<float> approx = engine->run_softmax(logits);
     const std::vector<float> exact = nonlinear::softmax_ref(logits);
     double l1 = 0.0;
     for (std::size_t i = 0; i < logits.size(); ++i) {
@@ -41,13 +42,15 @@ main()
                 "entries\n",
                 l1, logits.size());
 
-    // --- 2. BF16-INT4 WOQ GEMM on the temporal array. ---
+    // --- 2. BF16-INT4 WOQ GEMM: prepare once, run many. ---
     support::MatrixF weights(64, 128);
     support::MatrixF activations(128, 8);
     support::fill_gaussian(weights, rng, 0.0f, 0.5f);
     support::fill_gaussian(activations, rng, 0.0f, 1.0f);
-    const core::MugiSystem::GemmRun gemm =
-        system.run_woq_gemm(weights, activations, 32);
+    const serve::PreparedWeights prepared =
+        engine->prepare_weights(weights, /*group_size=*/32);
+    const serve::GemmRun gemm =
+        engine->run_woq_gemm(prepared, activations);
     const support::MatrixF reference =
         support::matmul(weights, activations);
     double err = 0.0, norm = 0.0;
@@ -57,19 +60,20 @@ main()
         norm += reference.data()[i] * reference.data()[i];
     }
     std::printf("WOQ GEMM (64x128x8, group 32): relative error %.3f, "
-                "%llu array cycles\n",
+                "%llu array cycles, %zu-byte prepared handle\n",
                 std::sqrt(err / norm),
-                static_cast<unsigned long long>(gemm.cycles));
+                static_cast<unsigned long long>(gemm.cycles),
+                prepared.byte_size());
 
     // --- 3. Accelerator evaluation. ---
-    const core::SystemReport report =
-        system.evaluate_decode(model::llama2_70b(), /*batch=*/8,
-                               /*context=*/4096);
+    const serve::SystemReport report =
+        engine->evaluate_decode(model::llama2_70b(), /*batch=*/8,
+                                /*context=*/4096);
     std::printf(
         "Llama-2 70B decode on %s: %.2f tokens/s, %.2f mm^2, %.2f "
         "tokens/s/W,\n  %.2f gCO2e/Mtoken operational + %.2f "
         "embodied\n",
-        system.design().name.c_str(),
+        engine->design().name.c_str(),
         report.perf.throughput_tokens_per_s, report.area.total(),
         report.perf.power_efficiency,
         report.carbon.operational_g_per_token * 1e6,

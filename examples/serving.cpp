@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Continuous-batch serving with the Engine / Session API: admit a
+ * pool of Llama-2 70B requests with heterogeneous context lengths,
+ * step them as one batch per iteration (requests join and leave
+ * mid-flight), and accumulate the per-step reports into a serving-
+ * horizon summary with sim::PerfAccumulator.
+ *
+ * The point: the engine is built once (kernel registry, design), and
+ * a step's cost is evaluated over the *mixed* workload -- projection
+ * and FFN weights stream from DRAM once per step regardless of how
+ * many requests share it, which is where batched decode throughput
+ * comes from.
+ *
+ * Build & run:  ./build/examples/serving
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "serve/engine.h"
+
+using namespace mugi;
+
+int
+main()
+{
+    const model::ModelConfig model = model::llama2_70b();
+    const serve::Engine engine(sim::make_mugi(256), model);
+
+    // Admit eight requests mid-conversation, contexts 256..4096.
+    std::vector<serve::Session> pool;
+    for (const std::size_t context :
+         {256u, 512u, 1024u, 1536u, 2048u, 3072u, 3584u, 4096u}) {
+        serve::SessionOptions options;
+        options.initial_context = context;
+        pool.push_back(engine.create_session(options));
+    }
+
+    std::printf("Serving %s on %s: %zu sessions, contexts 256..4096\n",
+                model.name.c_str(), engine.design().name.c_str(),
+                pool.size());
+
+    sim::PerfAccumulator horizon;
+    const int kSteps = 16;
+    for (int t = 0; t < kSteps; ++t) {
+        // Continuous batching: after step 8, the two shortest
+        // requests finish and leave the batch.
+        std::vector<serve::Session*> batch;
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+            if (t >= 8 && i < 2) continue;
+            batch.push_back(&pool[i]);
+        }
+        const serve::StepResult result = engine.step(batch);
+        horizon.add(result.report.perf);
+        if (t == 0 || t == 8) {
+            std::printf(
+                "  step %2d: %zu sessions, %.2f tokens/s, %.3f W, "
+                "event-sim util %.0f%%\n",
+                t, batch.size(),
+                result.report.perf.throughput_tokens_per_s,
+                result.report.perf.power_w,
+                100.0 * result.report.event_sim.compute_utilization());
+        }
+    }
+
+    const sim::PerfReport total = horizon.total();
+    std::printf("Horizon (%zu steps): %.0f tokens, %.2f tokens/s, "
+                "%.2f tokens/s/W, %.2e J/token\n",
+                horizon.steps(), total.tokens,
+                total.throughput_tokens_per_s, total.power_efficiency,
+                total.energy_per_token_j);
+
+    // Contrast with one-request-at-a-time decode at the mean context.
+    sim::PerfAccumulator serial;
+    for (const std::size_t context :
+         {256u, 512u, 1024u, 1536u, 2048u, 3072u, 3584u, 4096u}) {
+        serial.add(engine.evaluate_decode(model, 1, context).perf);
+    }
+    std::printf("Per-request decode of the same 8 contexts: %.2f "
+                "tokens/s (batched step: %.2fx)\n",
+                serial.total().throughput_tokens_per_s,
+                horizon.total().throughput_tokens_per_s /
+                    serial.total().throughput_tokens_per_s);
+    return 0;
+}

@@ -1,41 +1,11 @@
 #include "core/mugi_system.h"
 
-#include <cassert>
-
 namespace mugi {
 namespace core {
 
-namespace {
-
-vlp::VlpConfig
-default_vlp_config(nonlinear::NonlinearOp op, std::size_t mapping_rows)
+MugiSystem::MugiSystem(const sim::DesignConfig& design)
+    : engine_(std::make_shared<const serve::Engine>(design))
 {
-    vlp::VlpConfig config;
-    config.op = op;
-    if (op == nonlinear::NonlinearOp::kExp) {
-        // Softmax window covering the profiled [-3, 4] exponent band.
-        config.lut_min_exp = -3;
-        config.lut_max_exp = 4;
-    } else {
-        // SiLU/GELU cluster around zero (Fig. 4).
-        config.lut_min_exp = -6;
-        config.lut_max_exp = 1;
-    }
-    config.mapping_rows = mapping_rows;
-    return config;
-}
-
-}  // namespace
-
-MugiSystem::MugiSystem(const sim::DesignConfig& design) : design_(design)
-{
-    const std::size_t rows = design.array_rows;
-    softmax_exp_ = std::make_unique<vlp::VlpApproximator>(
-        default_vlp_config(nonlinear::NonlinearOp::kExp, rows));
-    silu_ = std::make_unique<vlp::VlpApproximator>(
-        default_vlp_config(nonlinear::NonlinearOp::kSilu, rows));
-    gelu_ = std::make_unique<vlp::VlpApproximator>(
-        default_vlp_config(nonlinear::NonlinearOp::kGelu, rows));
 }
 
 MugiSystem
@@ -47,12 +17,7 @@ MugiSystem::default_mugi()
 SystemReport
 MugiSystem::evaluate(const model::Workload& workload) const
 {
-    SystemReport report;
-    report.perf = sim::run_workload(design_, workload);
-    report.area = sim::node_area(design_);
-    report.carbon = carbon::assess(design_, report.perf);
-    report.event_sim = sim::simulate(design_, workload);
-    return report;
+    return engine_->evaluate(workload);
 }
 
 SystemReport
@@ -60,7 +25,7 @@ MugiSystem::evaluate_decode(const model::ModelConfig& model,
                             std::size_t batch,
                             std::size_t context) const
 {
-    return evaluate(model::build_decode_workload(model, batch, context));
+    return engine_->evaluate_decode(model, batch, context);
 }
 
 SystemReport
@@ -68,8 +33,7 @@ MugiSystem::evaluate_prefill(const model::ModelConfig& model,
                              std::size_t batch,
                              std::size_t seq_len) const
 {
-    return evaluate(
-        model::build_prefill_workload(model, batch, seq_len));
+    return engine_->evaluate_prefill(model, batch, seq_len);
 }
 
 MugiSystem::GemmRun
@@ -77,66 +41,20 @@ MugiSystem::run_woq_gemm(const support::MatrixF& weights,
                          const support::MatrixF& activations,
                          std::size_t group_size) const
 {
-    // WOQ: quantize weights to INT4 groups along the reduction dim.
-    const quant::QuantizedMatrix q =
-        quant::quantize_int4(weights, group_size);
-
-    GemmRun run;
-    run.out = support::MatrixF(weights.rows(), activations.cols(), 0.0f);
-
-    // The temporal array computes per-group partial sums in INT4 x
-    // BF16; the vector array applies the per-group scale during
-    // dequantization (Sec. 4.2).
-    const std::size_t groups =
-        (weights.cols() + group_size - 1) / group_size;
-    for (std::size_t g = 0; g < groups; ++g) {
-        const std::size_t begin = g * group_size;
-        const std::size_t end =
-            std::min(begin + group_size, weights.cols());
-        vlp::Int4Matrix wg(weights.rows(), end - begin);
-        support::MatrixF ag(end - begin, activations.cols());
-        for (std::size_t r = 0; r < weights.rows(); ++r) {
-            for (std::size_t c = begin; c < end; ++c) {
-                wg.at(r, c - begin) = q.values.at(r, c);
-            }
-        }
-        for (std::size_t c = begin; c < end; ++c) {
-            for (std::size_t b = 0; b < activations.cols(); ++b) {
-                ag.at(c - begin, b) = activations.at(c, b);
-            }
-        }
-        const vlp::VlpGemmResult partial = vlp::vlp_gemm_mugi(
-            wg, ag, static_cast<int>(design_.array_rows),
-            static_cast<int>(design_.array_cols));
-        run.cycles += partial.cycles;
-        for (std::size_t r = 0; r < run.out.rows(); ++r) {
-            const float scale = q.scales.at(r, g);
-            for (std::size_t b = 0; b < run.out.cols(); ++b) {
-                run.out.at(r, b) += partial.out.at(r, b) * scale;
-            }
-        }
-    }
-    return run;
+    return engine_->run_woq_gemm(weights, activations, group_size);
 }
 
 std::vector<float>
 MugiSystem::run_softmax(std::span<const float> logits) const
 {
-    std::vector<float> out(logits.size());
-    nonlinear::softmax_with(*softmax_exp_, logits, out);
-    return out;
+    return engine_->run_softmax(logits);
 }
 
 std::vector<float>
 MugiSystem::run_activation(nonlinear::NonlinearOp op,
                            std::span<const float> values) const
 {
-    assert(op != nonlinear::NonlinearOp::kExp);
-    const vlp::VlpApproximator& approx =
-        op == nonlinear::NonlinearOp::kSilu ? *silu_ : *gelu_;
-    std::vector<float> out(values.size());
-    approx.apply_batch(values, out);
-    return out;
+    return engine_->run_activation(op, values);
 }
 
 }  // namespace core

@@ -3,45 +3,34 @@
 
 /**
  * @file
- * The top-level Mugi public API: configure an accelerator, run LLM
- * workloads through the performance / cost / carbon models, and run
- * functional BF16-INT4 GEMM and VLP nonlinear kernels.
+ * Backwards-compatibility shim over the serving API.
  *
- * This facade is what the examples and the benchmark harness consume;
- * it composes the subsystems the rest of the repository implements
- * (see DESIGN.md's inventory).
+ * MugiSystem was the original one-shot facade: configure an
+ * accelerator, run LLM workloads through the performance / cost /
+ * carbon models, and run functional BF16-INT4 GEMM and VLP nonlinear
+ * kernels.  The public API is now the serve::Engine / serve::Session
+ * pair (src/serve/engine.h, see DESIGN.md); MugiSystem survives only
+ * as a thin delegating wrapper so existing callers keep compiling.
+ * New code should construct a serve::Engine directly -- it adds
+ * prepared weights (quantize-once), a shared kernel registry, and
+ * batched multi-session decode, none of which this shim exposes.
  */
 
 #include <memory>
 #include <span>
-#include <string>
 #include <vector>
 
-#include "carbon/carbon_model.h"
-#include "model/workload.h"
-#include "quant/group_quant.h"
-#include "sim/event_sim.h"
-#include "sim/performance_model.h"
-#include "vlp/vlp_approximator.h"
-#include "vlp/vlp_gemm.h"
+#include "serve/engine.h"
 
 namespace mugi {
 namespace core {
 
 /** Combined evaluation of one workload on one design. */
-struct SystemReport {
-    sim::PerfReport perf;
-    sim::AreaBreakdown area;
-    carbon::CarbonReport carbon;
-    sim::EventSimResult event_sim;
-};
+using SystemReport = serve::SystemReport;
 
 /**
  * A configured Mugi (or baseline) accelerator system.
- *
- * Functional kernels (quantized GEMM, nonlinear approximation) run
- * through the same VLP machinery the architecture models simulate, so
- * numerical results and modeled performance come from one place.
+ * @deprecated Thin shim over serve::Engine; use that instead.
  */
 class MugiSystem {
   public:
@@ -51,7 +40,10 @@ class MugiSystem {
     /** Paper-default Mugi node: H=256, window 8, coverage policy. */
     static MugiSystem default_mugi();
 
-    const sim::DesignConfig& design() const { return design_; }
+    const sim::DesignConfig& design() const { return engine_->design(); }
+
+    /** The engine this shim delegates to. */
+    const serve::Engine& engine() const { return *engine_; }
 
     /** Full model evaluation of one decode step. */
     SystemReport evaluate_decode(const model::ModelConfig& model,
@@ -67,15 +59,12 @@ class MugiSystem {
     SystemReport evaluate(const model::Workload& workload) const;
 
     /**
-     * Functional WOQ GEMM: quantize @p weights to INT4 groups, run
-     * the temporal VLP GEMM against BF16 activations, dequantize via
-     * the vector array (per-group scales).  Returns the output and
-     * the simulated cycle count.
+     * Functional WOQ GEMM, one-shot: quantize @p weights to INT4
+     * groups, run the temporal VLP GEMM, dequantize via the vector
+     * array.  Serving code should prepare weights once through
+     * serve::Engine::prepare_weights instead.
      */
-    struct GemmRun {
-        support::MatrixF out;
-        std::uint64_t cycles = 0;
-    };
+    using GemmRun = serve::GemmRun;
     GemmRun run_woq_gemm(const support::MatrixF& weights,
                          const support::MatrixF& activations,
                          std::size_t group_size) const;
@@ -89,10 +78,7 @@ class MugiSystem {
         const;
 
   private:
-    sim::DesignConfig design_;
-    std::unique_ptr<vlp::VlpApproximator> softmax_exp_;
-    std::unique_ptr<vlp::VlpApproximator> silu_;
-    std::unique_ptr<vlp::VlpApproximator> gelu_;
+    std::shared_ptr<const serve::Engine> engine_;
 };
 
 }  // namespace core

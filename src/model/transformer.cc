@@ -199,10 +199,10 @@ TransformerModel::attention(std::size_t layer_idx,
 
 support::MatrixF
 TransformerModel::ffn(std::size_t layer_idx,
-                      const support::MatrixF& x_norm) const
+                      const support::MatrixF& x_norm,
+                      const NonlinearHooks& hooks) const
 {
     const LayerWeights& w = layers_[layer_idx];
-    const NonlinearHooks& hooks = hooks_for(layer_idx);
     const auto capture_act = [&](std::span<const float> values) {
         if (capture_) {
             capture_(config_.activation(), layer_idx, values);
@@ -240,7 +240,7 @@ TransformerModel::run_layers(support::MatrixF x) const
             x.data()[i] += attn.data()[i];
         }
         norm(x, w.norm2_gain, w.norm2_bias, x_norm);
-        const support::MatrixF f = ffn(l, x_norm);
+        const support::MatrixF f = ffn(l, x_norm, hooks_for(l));
         for (std::size_t i = 0; i < x.size(); ++i) {
             x.data()[i] += f.data()[i];
         }
@@ -282,9 +282,17 @@ TransformerModel::decode_layer(std::size_t layer_idx,
                                const support::MatrixF& x,
                                quant::KvCache& cache) const
 {
+    return decode_layer(layer_idx, x, cache, hooks_for(layer_idx));
+}
+
+support::MatrixF
+TransformerModel::decode_layer(std::size_t layer_idx,
+                               const support::MatrixF& x,
+                               quant::KvCache& cache,
+                               const NonlinearHooks& hooks) const
+{
     assert(x.rows() == 1);
     const LayerWeights& w = layers_[layer_idx];
-    const NonlinearHooks& hooks = hooks_for(layer_idx);
     const std::size_t heads = config_.num_heads;
     const std::size_t kv_heads = config_.num_kv_heads;
     const std::size_t hd = config_.head_dim();
@@ -345,7 +353,7 @@ TransformerModel::decode_layer(std::size_t layer_idx,
     }
 
     norm(out, w.norm2_gain, w.norm2_bias, x_norm);
-    const support::MatrixF f = ffn(layer_idx, x_norm);
+    const support::MatrixF f = ffn(layer_idx, x_norm, hooks);
     for (std::size_t i = 0; i < out.size(); ++i) {
         out.data()[i] += f.data()[i];
     }

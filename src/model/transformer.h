@@ -119,6 +119,17 @@ class TransformerModel {
                                   const support::MatrixF& x,
                                   quant::KvCache& cache) const;
 
+    /**
+     * Same, with the nonlinear hooks supplied by the caller instead
+     * of the model's installed hooks.  This is the serving path
+     * (serve/session.h): each request carries its own per-layer
+     * window tuning, so the shared model stays immutable.
+     */
+    support::MatrixF decode_layer(std::size_t layer_idx,
+                                  const support::MatrixF& x,
+                                  quant::KvCache& cache,
+                                  const NonlinearHooks& hooks) const;
+
     const std::vector<float>& final_norm_gain() const
     {
         return final_norm_gain_;
@@ -133,7 +144,8 @@ class TransformerModel {
     support::MatrixF attention(std::size_t layer_idx,
                                const support::MatrixF& x_norm) const;
     support::MatrixF ffn(std::size_t layer_idx,
-                         const support::MatrixF& x_norm) const;
+                         const support::MatrixF& x_norm,
+                         const NonlinearHooks& hooks) const;
     void norm(const support::MatrixF& in, std::span<const float> gain,
               std::span<const float> bias, support::MatrixF& out) const;
 

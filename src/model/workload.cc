@@ -1,5 +1,7 @@
 #include "model/workload.h"
 
+#include <algorithm>
+
 namespace mugi {
 namespace model {
 
@@ -127,6 +129,91 @@ build_decode_workload(const ModelConfig& config, std::size_t batch,
     w.seq_len = context;
     w.decode = true;
     emit_layer_ops(config, batch, /*q_tokens=*/1, /*kv_len=*/context, w);
+    return w;
+}
+
+Workload
+build_mixed_decode_workload(const ModelConfig& c,
+                            std::span<const std::size_t> contexts)
+{
+    const std::size_t N = contexts.size();
+    Workload w;
+    w.name = c.name + "-decode-mixed" + std::to_string(N);
+    w.config = c;
+    w.batch = N;
+    w.seq_len = 0;
+    for (const std::size_t context : contexts) {
+        w.seq_len = std::max(w.seq_len, context);
+    }
+    w.decode = true;
+    if (N == 0) {
+        return w;
+    }
+
+    const std::size_t d = c.d_model;
+    const std::size_t hd = c.head_dim();
+    const std::size_t kv_dim = c.num_kv_heads * hd;
+    const std::size_t group = c.gqa_group();
+    const std::size_t L = c.num_layers;
+
+    // --- Projections: all requests' tokens batch into one GEMM, so
+    // the WOQ weights stream from DRAM once per step, not once per
+    // request. ---
+    w.gemms.push_back({"q_proj", OpClass::kProjection, N, d, d, L, 4,
+                       16, true});
+    w.gemms.push_back({"k_proj", OpClass::kProjection, N, kv_dim, d, L,
+                       4, 16, true});
+    w.gemms.push_back({"v_proj", OpClass::kProjection, N, kv_dim, d, L,
+                       4, 16, true});
+    w.gemms.push_back({"o_proj", OpClass::kProjection, N, d, d, L, 4,
+                       16, true});
+
+    // --- Attention: per request, against its own (KVQ INT4) cache
+    // length.  Identical op shapes to a batch-1 decode at the same
+    // context, so per-request MACs are preserved exactly. ---
+    for (std::size_t i = 0; i < N; ++i) {
+        const std::size_t kv_len = contexts[i];
+        std::string qk_name = "attn_qk#";
+        qk_name += std::to_string(i);
+        std::string pv_name = "attn_pv#";
+        pv_name += std::to_string(i);
+        w.gemms.push_back({std::move(qk_name), OpClass::kAttention,
+                           group, kv_len, hd, L * c.num_kv_heads, 4,
+                           16, false});
+        w.gemms.push_back({std::move(pv_name), OpClass::kAttention,
+                           group, hd, kv_len, L * c.num_kv_heads, 4,
+                           16, false});
+    }
+
+    // --- FFN: batched like the projections. ---
+    if (c.gated_ffn()) {
+        w.gemms.push_back({"ffn_gate", OpClass::kFfn, N, c.d_ff, d, L,
+                           4, 16, true});
+    }
+    w.gemms.push_back({"ffn_up", OpClass::kFfn, N, c.d_ff, d, L, 4, 16,
+                       true});
+    w.gemms.push_back({"ffn_down", OpClass::kFfn, N, d, c.d_ff, L, 4,
+                       16, true});
+
+    // --- Nonlinear work: softmax rows are per-request (row length =
+    // that request's context); the FFN activation batches. ---
+    for (std::size_t i = 0; i < N; ++i) {
+        NonlinearWork softmax;
+        softmax.name = "softmax#";
+        softmax.name += std::to_string(i);
+        softmax.op = nonlinear::NonlinearOp::kExp;
+        softmax.is_softmax = true;
+        softmax.row_length = contexts[i];
+        softmax.elements = L * c.num_heads * contexts[i];
+        w.nonlinears.push_back(softmax);
+    }
+    NonlinearWork act;
+    act.name = c.activation() == nonlinear::NonlinearOp::kSilu
+                   ? "silu"
+                   : "gelu";
+    act.op = c.activation();
+    act.elements = L * N * c.d_ff;
+    w.nonlinears.push_back(act);
     return w;
 }
 

@@ -10,6 +10,7 @@
  */
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -106,6 +107,20 @@ Workload build_decode_workload(const ModelConfig& config,
 /** A full prefill pass over @p seq_len tokens. */
 Workload build_prefill_workload(const ModelConfig& config,
                                 std::size_t batch, std::size_t seq_len);
+
+/**
+ * One continuous-batching decode step over @p contexts.size()
+ * concurrent requests, request i attending a KV cache of length
+ * contexts[i].  Projection and FFN GEMMs batch every request's token
+ * into one op (streaming the WOQ weights from DRAM once for the
+ * whole batch -- the serving win over per-request decode);
+ * per-request attention and softmax work is emitted per context
+ * length.  Total MACs and nonlinear elements equal the sum of the
+ * equivalent independent batch-1 decode workloads exactly; only the
+ * weight traffic is shared.
+ */
+Workload build_mixed_decode_workload(
+    const ModelConfig& config, std::span<const std::size_t> contexts);
 
 }  // namespace model
 }  // namespace mugi

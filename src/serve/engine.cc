@@ -1,0 +1,279 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "model/ops.h"
+#include "sim/cost_model.h"
+
+namespace mugi {
+namespace serve {
+
+Engine::Engine(const sim::DesignConfig& design)
+    : design_(design), registry_(design.array_rows)
+{
+}
+
+Engine::Engine(const sim::DesignConfig& design,
+               const model::ModelConfig& model)
+    : design_(design), model_config_(model),
+      registry_(design.array_rows)
+{
+}
+
+Engine::Engine(const sim::DesignConfig& design,
+               std::shared_ptr<const model::TransformerModel> model)
+    : design_(design), model_config_(model->config()),
+      model_(std::move(model)), registry_(design.array_rows)
+{
+}
+
+std::unique_ptr<Engine>
+Engine::default_mugi()
+{
+    return std::make_unique<Engine>(sim::make_mugi(256));
+}
+
+model::NonlinearHooks
+Engine::default_hooks() const
+{
+    model::NonlinearHooks hooks;
+    hooks.softmax_exp =
+        registry_.get_default(nonlinear::NonlinearOp::kExp).get();
+    const nonlinear::NonlinearOp act =
+        model_config_ ? model_config_->activation()
+                      : nonlinear::NonlinearOp::kSilu;
+    hooks.activation = registry_.get_default(act).get();
+    return hooks;
+}
+
+Session
+Engine::create_session(const SessionOptions& options) const
+{
+    assert(model_config_.has_value() &&
+           "session serving needs a model (config) at engine build");
+    assert((!model_ || options.initial_context == 0) &&
+           "functional sessions build context by prefilling tokens");
+    const std::size_t layers = model_config_->num_layers;
+    Session session(next_session_id_.fetch_add(1),
+                    options.kv_precision, options.initial_context,
+                    layers);
+    if (model_) {
+        session.caches_.reserve(layers);
+        for (std::size_t l = 0; l < layers; ++l) {
+            session.caches_.emplace_back(model_config_->num_kv_heads,
+                                         model_config_->head_dim(),
+                                         options.kv_precision);
+        }
+    }
+    // Retain the default kernels so the session stays valid even if
+    // it outlives this engine (sessions are movable value types).
+    const auto exp_kernel =
+        registry_.get_default(nonlinear::NonlinearOp::kExp);
+    const auto act_kernel =
+        registry_.get_default(model_config_->activation());
+    model::NonlinearHooks hooks;
+    hooks.softmax_exp = exp_kernel.get();
+    hooks.activation = act_kernel.get();
+    session.set_hooks(hooks);
+    session.retain_kernel(exp_kernel);
+    session.retain_kernel(act_kernel);
+    return session;
+}
+
+std::vector<float>
+Engine::decode_token(Session& session, int token) const
+{
+    assert(model_ && "functional decode needs a loaded model");
+    const model::ModelConfig& config = *model_config_;
+    support::MatrixF x(1, config.d_model);
+    const std::span<const float> e = model_->embedding(token);
+    std::copy(e.begin(), e.end(), x.row_data(0));
+    for (std::size_t l = 0; l < config.num_layers; ++l) {
+        x = model_->decode_layer(l, x, session.caches_[l],
+                                 session.hooks_for(l));
+    }
+    support::MatrixF x_norm;
+    if (config.uses_rmsnorm()) {
+        model::rmsnorm(x, model_->final_norm_gain(), x_norm);
+    } else {
+        std::vector<float> bias(config.d_model, 0.0f);
+        model::layernorm(x, model_->final_norm_gain(), bias, x_norm);
+    }
+    const support::MatrixF logits =
+        model::linear(x_norm, model_->lm_head());
+    return logits.data();
+}
+
+StepResult
+Engine::step(std::span<Session* const> sessions,
+             std::span<const int> tokens) const
+{
+    assert(model_config_.has_value());
+    assert(tokens.empty() || tokens.size() == sessions.size());
+    assert((tokens.empty() || model_) &&
+           "token stepping needs a functional model");
+    if (sessions.empty()) {
+        // A drained continuous batch: nothing ran, so return a zeroed
+        // report instead of evaluating a 0-token workload (whose
+        // derived rates would be NaN and poison accumulators).
+        StepResult result;
+        result.report.area = sim::node_area(design_);
+        return result;
+    }
+
+    // Context each session's new token attends: its cache after the
+    // append, i.e. position + 1 (matches build_decode_workload's
+    // kv_len semantics).
+    std::vector<std::size_t> contexts;
+    contexts.reserve(sessions.size());
+    for (const Session* s : sessions) {
+        contexts.push_back(s->position() + 1);
+    }
+    const model::Workload workload =
+        model::build_mixed_decode_workload(*model_config_, contexts);
+
+    StepResult result;
+    result.report = evaluate(workload);
+    result.outputs.reserve(sessions.size());
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+        Session& session = *sessions[i];
+        StepResult::SessionOutput out;
+        out.session_id = session.id();
+        if (!tokens.empty()) {
+            out.logits = decode_token(session, tokens[i]);
+            out.next_token = static_cast<int>(std::distance(
+                out.logits.begin(),
+                std::max_element(out.logits.begin(),
+                                 out.logits.end())));
+        }
+        session.position_ += 1;
+        session.tokens_generated_ += 1;
+        out.position = session.position_;
+        result.outputs.push_back(std::move(out));
+    }
+    return result;
+}
+
+StepResult
+Engine::step(Session& session, int token) const
+{
+    Session* batch[1] = {&session};
+    return step(std::span<Session* const>(batch),
+                std::span<const int>(&token, 1));
+}
+
+std::vector<float>
+Engine::prefill(Session& session, std::span<const int> prompt) const
+{
+    std::vector<float> logits;
+    for (const int token : prompt) {
+        logits = decode_token(session, token);
+        session.position_ += 1;
+    }
+    return logits;
+}
+
+SystemReport
+Engine::evaluate(const model::Workload& workload) const
+{
+    SystemReport report;
+    report.perf = sim::run_workload(design_, workload);
+    report.area = sim::node_area(design_);
+    report.carbon = carbon::assess(design_, report.perf);
+    report.event_sim = sim::simulate(design_, workload);
+    return report;
+}
+
+SystemReport
+Engine::evaluate_decode(const model::ModelConfig& model,
+                        std::size_t batch, std::size_t context) const
+{
+    return evaluate(model::build_decode_workload(model, batch, context));
+}
+
+SystemReport
+Engine::evaluate_prefill(const model::ModelConfig& model,
+                         std::size_t batch, std::size_t seq_len) const
+{
+    return evaluate(
+        model::build_prefill_workload(model, batch, seq_len));
+}
+
+sim::PerfReport
+Engine::perf(const model::Workload& workload) const
+{
+    return sim::run_workload(design_, workload);
+}
+
+sim::NonlinearPerf
+Engine::evaluate_nonlinear(const model::NonlinearWork& work) const
+{
+    return sim::run_nonlinear_only(design_, work);
+}
+
+sim::OpCost
+Engine::gemm_cost(const model::GemmOp& op) const
+{
+    return sim::gemm_cost(design_, op);
+}
+
+sim::OpCost
+Engine::nonlinear_cost(const model::NonlinearWork& work) const
+{
+    return sim::nonlinear_cost(design_, work);
+}
+
+sim::AreaBreakdown
+Engine::area() const
+{
+    return sim::node_area(design_);
+}
+
+PreparedWeights
+Engine::prepare_weights(const support::MatrixF& weights,
+                        std::size_t group_size) const
+{
+    return PreparedWeights(weights, group_size);
+}
+
+GemmRun
+Engine::run_woq_gemm(const PreparedWeights& weights,
+                     const support::MatrixF& activations) const
+{
+    return run_prepared_gemm(weights, activations, design_.array_rows,
+                             design_.array_cols);
+}
+
+GemmRun
+Engine::run_woq_gemm(const support::MatrixF& weights,
+                     const support::MatrixF& activations,
+                     std::size_t group_size) const
+{
+    return run_woq_gemm(prepare_weights(weights, group_size),
+                        activations);
+}
+
+std::vector<float>
+Engine::run_softmax(std::span<const float> logits) const
+{
+    const auto exp_kernel =
+        registry_.get_default(nonlinear::NonlinearOp::kExp);
+    std::vector<float> out(logits.size());
+    nonlinear::softmax_with(*exp_kernel, logits, out);
+    return out;
+}
+
+std::vector<float>
+Engine::run_activation(nonlinear::NonlinearOp op,
+                       std::span<const float> values) const
+{
+    assert(op != nonlinear::NonlinearOp::kExp);
+    const auto kernel = registry_.get_default(op);
+    std::vector<float> out(values.size());
+    kernel->apply_batch(values, out);
+    return out;
+}
+
+}  // namespace serve
+}  // namespace mugi

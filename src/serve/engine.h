@@ -1,0 +1,197 @@
+#ifndef MUGI_SERVE_ENGINE_H_
+#define MUGI_SERVE_ENGINE_H_
+
+/**
+ * @file
+ * The serving-oriented Mugi API.
+ *
+ * The Engine is the immutable half of the request/engine split
+ * production LLM servers use: it owns the accelerator design
+ * (sim/design.h), a KernelRegistry of lazily-built shared VLP
+ * kernels, optionally a functional transformer whose weights are
+ * fixed at load time, and PreparedWeights handles that run INT4
+ * group quantization exactly once.  Everything mutable belongs to a
+ * Session (serve/session.h).
+ *
+ * Engine::step is the continuous-batching primitive: one call takes
+ * a batch of heterogeneous sessions (different context lengths, KV
+ * precisions, per-layer window tunings), builds a single mixed
+ * Workload, runs the performance / cost / carbon / event-sim models
+ * once, and -- when a functional model is loaded -- produces each
+ * session's next-token logits through exactly the same numerical
+ * path a standalone decode would take, so batched serving reproduces
+ * single-request numerics bit-for-bit.
+ *
+ * Thread-safety: every member function is const and safe to call
+ * concurrently, provided no Session appears in two concurrent step()
+ * batches (sessions are single-request streams).
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "carbon/carbon_model.h"
+#include "model/transformer.h"
+#include "model/workload.h"
+#include "serve/kernel_registry.h"
+#include "serve/prepared_weights.h"
+#include "serve/session.h"
+#include "sim/event_sim.h"
+#include "sim/performance_model.h"
+
+namespace mugi {
+namespace serve {
+
+/** Combined evaluation of one workload (or batched step) on a design. */
+struct SystemReport {
+    sim::PerfReport perf;
+    sim::AreaBreakdown area;
+    carbon::CarbonReport carbon;
+    sim::EventSimResult event_sim;
+};
+
+/** What one batched Engine::step produced. */
+struct StepResult {
+    struct SessionOutput {
+        std::uint64_t session_id = 0;
+        /** Context length after the step. */
+        std::size_t position = 0;
+        /** Next-token logits (empty for analytic-only engines). */
+        std::vector<float> logits;
+        /** Greedy next token (-1 for analytic-only engines). */
+        int next_token = -1;
+    };
+    /** One entry per stepped session, in batch order. */
+    std::vector<SessionOutput> outputs;
+    /** Aggregated evaluation of the whole batched step. */
+    SystemReport report;
+};
+
+/** An immutable, shareable Mugi serving engine. */
+class Engine {
+  public:
+    /** Kernels + workload evaluation only (no sessions). */
+    explicit Engine(const sim::DesignConfig& design);
+
+    /** + analytic sessions serving @p model-shaped requests. */
+    Engine(const sim::DesignConfig& design,
+           const model::ModelConfig& model);
+
+    /** + functional sessions decoding through @p model's weights. */
+    Engine(const sim::DesignConfig& design,
+           std::shared_ptr<const model::TransformerModel> model);
+
+    /** Paper-default Mugi node: H=256, window 8, coverage policy. */
+    static std::unique_ptr<Engine> default_mugi();
+
+    Engine(const Engine&) = delete;
+    Engine& operator=(const Engine&) = delete;
+
+    const sim::DesignConfig& design() const { return design_; }
+    const KernelRegistry& kernels() const { return registry_; }
+    bool has_model() const { return model_ != nullptr; }
+    /** Set iff constructed with a model config or functional model. */
+    const std::optional<model::ModelConfig>&
+    model_config() const
+    {
+        return model_config_;
+    }
+
+    // ---- Request lifecycle. ----
+
+    /**
+     * Admit a new request.  Sessions start with the engine-default
+     * VLP kernels (registry-built, shared) and may retune per layer.
+     */
+    Session create_session(const SessionOptions& options = {}) const;
+
+    /**
+     * Run one decode step over a batch of sessions.  @p tokens[i] is
+     * the token session i consumes; pass an empty span for
+     * analytic-only stepping (positions still advance).  Sessions
+     * may have arbitrary, heterogeneous context lengths.
+     */
+    StepResult step(std::span<Session* const> sessions,
+                    std::span<const int> tokens = {}) const;
+
+    /** Single-session convenience wrapper over the batched step. */
+    StepResult step(Session& session, int token) const;
+
+    /**
+     * Feed a prompt through a functional session without per-step
+     * reports; returns the logits after the last prompt token.
+     */
+    std::vector<float> prefill(Session& session,
+                               std::span<const int> prompt) const;
+
+    // ---- Workload evaluation (the architecture-model facade). ----
+
+    SystemReport evaluate(const model::Workload& workload) const;
+    SystemReport evaluate_decode(const model::ModelConfig& model,
+                                 std::size_t batch,
+                                 std::size_t context) const;
+    SystemReport evaluate_prefill(const model::ModelConfig& model,
+                                  std::size_t batch,
+                                  std::size_t seq_len) const;
+
+    /** Performance model only (cheap; for sweeps). */
+    sim::PerfReport perf(const model::Workload& workload) const;
+
+    /** Nonlinear-only throughput study (Fig. 11). */
+    sim::NonlinearPerf
+    evaluate_nonlinear(const model::NonlinearWork& work) const;
+
+    /** Per-op costs (Fig. 12-style class breakdowns). */
+    sim::OpCost gemm_cost(const model::GemmOp& op) const;
+    sim::OpCost nonlinear_cost(const model::NonlinearWork& work) const;
+
+    sim::AreaBreakdown area() const;
+
+    // ---- Functional kernels. ----
+
+    /** Quantize @p weights once; reuse the handle across requests. */
+    PreparedWeights prepare_weights(const support::MatrixF& weights,
+                                    std::size_t group_size) const;
+
+    /** WOQ GEMM against a prepared handle (no re-quantization). */
+    GemmRun run_woq_gemm(const PreparedWeights& weights,
+                         const support::MatrixF& activations) const;
+
+    /** One-shot convenience: prepare + run.  Bit-identical to above. */
+    GemmRun run_woq_gemm(const support::MatrixF& weights,
+                         const support::MatrixF& activations,
+                         std::size_t group_size) const;
+
+    /** Functional VLP softmax over @p logits (one row). */
+    std::vector<float> run_softmax(std::span<const float> logits) const;
+
+    /** Functional VLP activation (SiLU or GELU) over @p values. */
+    std::vector<float> run_activation(nonlinear::NonlinearOp op,
+                                      std::span<const float> values)
+        const;
+
+    /**
+     * The engine-default nonlinear kernels (VLP softmax-exp plus the
+     * model's FFN activation).  Pointers remain valid for the
+     * engine's lifetime.
+     */
+    model::NonlinearHooks default_hooks() const;
+
+  private:
+    std::vector<float> decode_token(Session& session, int token) const;
+
+    sim::DesignConfig design_;
+    std::optional<model::ModelConfig> model_config_;
+    std::shared_ptr<const model::TransformerModel> model_;
+    KernelRegistry registry_;
+    mutable std::atomic<std::uint64_t> next_session_id_{1};
+};
+
+}  // namespace serve
+}  // namespace mugi
+
+#endif  // MUGI_SERVE_ENGINE_H_

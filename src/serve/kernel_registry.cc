@@ -1,0 +1,67 @@
+#include "serve/kernel_registry.h"
+
+namespace mugi {
+namespace serve {
+
+vlp::VlpConfig
+default_vlp_config(nonlinear::NonlinearOp op, std::size_t mapping_rows)
+{
+    vlp::VlpConfig config;
+    config.op = op;
+    if (op == nonlinear::NonlinearOp::kExp) {
+        // Softmax window covering the profiled [-3, 4] exponent band.
+        config.lut_min_exp = -3;
+        config.lut_max_exp = 4;
+    } else {
+        // SiLU/GELU cluster around zero (Fig. 4).
+        config.lut_min_exp = -6;
+        config.lut_max_exp = 1;
+    }
+    config.mapping_rows = mapping_rows;
+    return config;
+}
+
+KernelRegistry::KernelRegistry(std::size_t mapping_rows)
+    : mapping_rows_(mapping_rows)
+{
+}
+
+KernelRegistry::Key
+KernelRegistry::key_of(const vlp::VlpConfig& config)
+{
+    return Key(static_cast<int>(config.op), config.mantissa_bits,
+               config.window_size, config.lut_min_exp,
+               config.lut_max_exp, static_cast<int>(config.policy),
+               config.mapping_rows, config.round_output);
+}
+
+std::shared_ptr<const vlp::VlpApproximator>
+KernelRegistry::get(const vlp::VlpConfig& config) const
+{
+    const Key key = key_of(config);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+        it = cache_
+                 .emplace(key, std::make_shared<vlp::VlpApproximator>(
+                                   config))
+                 .first;
+    }
+    return it->second;
+}
+
+std::shared_ptr<const vlp::VlpApproximator>
+KernelRegistry::get_default(nonlinear::NonlinearOp op) const
+{
+    return get(default_vlp_config(op, mapping_rows_));
+}
+
+std::size_t
+KernelRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+}
+
+}  // namespace serve
+}  // namespace mugi

@@ -1,0 +1,78 @@
+#ifndef MUGI_SERVE_KERNEL_REGISTRY_H_
+#define MUGI_SERVE_KERNEL_REGISTRY_H_
+
+/**
+ * @file
+ * Shared cache of VLP nonlinear kernels.
+ *
+ * Building a VlpApproximator materializes its LUT (Sec. 3.1) and
+ * derives the window machinery of Sec. 3.3; doing that per request --
+ * as the old one-shot MugiSystem facade did per instance -- wastes
+ * both time and the point of the paper's design: the LUT is static
+ * state that every request on the node shares.  The registry builds
+ * each (op, VlpConfig) kernel lazily, exactly once, and hands out
+ * shared const references.
+ *
+ * Thread-safety: all member functions are safe to call concurrently;
+ * the returned approximators are immutable (see the guarantee
+ * documented in vlp/vlp_approximator.h) and may be used from any
+ * number of threads simultaneously.
+ */
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "vlp/vlp_approximator.h"
+
+namespace mugi {
+namespace serve {
+
+/**
+ * The per-op default VLP configuration a Mugi node deploys: the
+ * profiled softmax exponent band [-3, 4] for exp and the
+ * zero-clustered [-6, 1] band for SiLU/GELU (Fig. 4), with one
+ * mapping per @p mapping_rows inputs (one array load, Sec. 3.3).
+ */
+vlp::VlpConfig default_vlp_config(nonlinear::NonlinearOp op,
+                                  std::size_t mapping_rows);
+
+/** Lazily-built, cached, shareable VLP kernels keyed by configuration. */
+class KernelRegistry {
+  public:
+    /** @param mapping_rows Array height H, the default mapping size. */
+    explicit KernelRegistry(std::size_t mapping_rows);
+
+    /**
+     * The kernel for @p config, built on first use.  Two calls with
+     * the same configuration return the same instance.
+     */
+    std::shared_ptr<const vlp::VlpApproximator>
+    get(const vlp::VlpConfig& config) const;
+
+    /** The kernel for the node-default configuration of @p op. */
+    std::shared_ptr<const vlp::VlpApproximator>
+    get_default(nonlinear::NonlinearOp op) const;
+
+    /** Number of distinct kernels built so far. */
+    std::size_t size() const;
+
+    std::size_t mapping_rows() const { return mapping_rows_; }
+
+  private:
+    /** Strict-weak-order key over every VlpConfig field. */
+    using Key = std::tuple<int, int, int, int, int, int, std::size_t,
+                           bool>;
+    static Key key_of(const vlp::VlpConfig& config);
+
+    std::size_t mapping_rows_;
+    mutable std::mutex mu_;
+    mutable std::map<Key, std::shared_ptr<const vlp::VlpApproximator>>
+        cache_;
+};
+
+}  // namespace serve
+}  // namespace mugi
+
+#endif  // MUGI_SERVE_KERNEL_REGISTRY_H_

@@ -1,0 +1,65 @@
+#include "serve/prepared_weights.h"
+
+#include <algorithm>
+
+#include "vlp/vlp_gemm.h"
+
+namespace mugi {
+namespace serve {
+
+PreparedWeights::PreparedWeights(const support::MatrixF& weights,
+                                 std::size_t group_size)
+{
+    auto impl = std::make_shared<Impl>();
+    impl->q = quant::quantize_int4(weights, group_size);
+    impl_ = std::move(impl);
+}
+
+GemmRun
+run_prepared_gemm(const PreparedWeights& weights,
+                  const support::MatrixF& activations,
+                  std::size_t array_rows, std::size_t array_cols)
+{
+    const quant::QuantizedMatrix& q = weights.quantized();
+    const std::size_t group_size = q.group_size;
+
+    GemmRun run;
+    run.out = support::MatrixF(q.rows(), activations.cols(), 0.0f);
+
+    // The temporal array computes per-group partial sums in INT4 x
+    // BF16; the vector array applies the per-group scale during
+    // dequantization (Sec. 4.2).
+    const std::size_t groups =
+        (q.cols() + group_size - 1) / group_size;
+    for (std::size_t g = 0; g < groups; ++g) {
+        const std::size_t begin = g * group_size;
+        const std::size_t end =
+            std::min(begin + group_size, q.cols());
+        vlp::Int4Matrix wg(q.rows(), end - begin);
+        support::MatrixF ag(end - begin, activations.cols());
+        for (std::size_t r = 0; r < q.rows(); ++r) {
+            for (std::size_t c = begin; c < end; ++c) {
+                wg.at(r, c - begin) = q.values.at(r, c);
+            }
+        }
+        for (std::size_t c = begin; c < end; ++c) {
+            for (std::size_t b = 0; b < activations.cols(); ++b) {
+                ag.at(c - begin, b) = activations.at(c, b);
+            }
+        }
+        const vlp::VlpGemmResult partial = vlp::vlp_gemm_mugi(
+            wg, ag, static_cast<int>(array_rows),
+            static_cast<int>(array_cols));
+        run.cycles += partial.cycles;
+        for (std::size_t r = 0; r < run.out.rows(); ++r) {
+            const float scale = q.scales.at(r, g);
+            for (std::size_t b = 0; b < run.out.cols(); ++b) {
+                run.out.at(r, b) += partial.out.at(r, b) * scale;
+            }
+        }
+    }
+    return run;
+}
+
+}  // namespace serve
+}  // namespace mugi

@@ -1,0 +1,75 @@
+#ifndef MUGI_SERVE_PREPARED_WEIGHTS_H_
+#define MUGI_SERVE_PREPARED_WEIGHTS_H_
+
+/**
+ * @file
+ * Load-time weight preparation for the serving path.
+ *
+ * The old MugiSystem::run_woq_gemm re-ran quant::quantize_int4 on
+ * every call -- a per-request cost for state that never changes.  A
+ * PreparedWeights handle performs the INT4 group quantization
+ * (Sec. 2.3.2) exactly once at load time; every subsequent GEMM
+ * against it reuses the codes and per-group scales.  Handles are
+ * cheap to copy (shared immutable storage) and safe to use from any
+ * number of threads concurrently.
+ */
+
+#include <cstdint>
+#include <memory>
+
+#include "quant/group_quant.h"
+#include "support/matrix.h"
+
+namespace mugi {
+namespace serve {
+
+/** Output + simulated cycle count of one functional GEMM. */
+struct GemmRun {
+    support::MatrixF out;
+    std::uint64_t cycles = 0;
+};
+
+/** An immutable, shareable INT4-quantized weight matrix. */
+class PreparedWeights {
+  public:
+    PreparedWeights() = default;
+
+    /** Quantize @p weights once; the handle owns the result. */
+    PreparedWeights(const support::MatrixF& weights,
+                    std::size_t group_size);
+
+    bool valid() const { return impl_ != nullptr; }
+    std::size_t rows() const { return impl_->q.rows(); }
+    std::size_t cols() const { return impl_->q.cols(); }
+    std::size_t group_size() const { return impl_->q.group_size; }
+
+    /** The INT4 codes + scales shared by every GEMM on this handle. */
+    const quant::QuantizedMatrix& quantized() const { return impl_->q; }
+
+    /** Packed INT4 + BF16-scale storage footprint in bytes. */
+    std::size_t byte_size() const { return impl_->q.byte_size(); }
+
+  private:
+    struct Impl {
+        quant::QuantizedMatrix q;
+    };
+    std::shared_ptr<const Impl> impl_;
+};
+
+/**
+ * Functional WOQ GEMM against prepared weights: temporal VLP GEMM of
+ * the INT4 codes against BF16 activations, per-group dequantization
+ * by the vector array (Sec. 4.2).  Bit-identical to quantizing and
+ * running in one shot with the same group size.
+ *
+ * @param array_rows Array height H; @param array_cols array width.
+ */
+GemmRun run_prepared_gemm(const PreparedWeights& weights,
+                          const support::MatrixF& activations,
+                          std::size_t array_rows,
+                          std::size_t array_cols);
+
+}  // namespace serve
+}  // namespace mugi
+
+#endif  // MUGI_SERVE_PREPARED_WEIGHTS_H_

@@ -1,0 +1,50 @@
+#include "serve/session.h"
+
+#include <cassert>
+
+namespace mugi {
+namespace serve {
+
+Session::Session(std::uint64_t id, quant::KvPrecision kv_precision,
+                 std::size_t initial_context, std::size_t num_layers)
+    : id_(id), kv_precision_(kv_precision), position_(initial_context),
+      layer_hooks_(num_layers)
+{
+}
+
+std::size_t
+Session::kv_bytes() const
+{
+    std::size_t total = 0;
+    for (const quant::KvCache& cache : caches_) {
+        total += cache.byte_size();
+    }
+    return total;
+}
+
+void
+Session::set_hooks(const model::NonlinearHooks& hooks)
+{
+    hooks_ = hooks;
+}
+
+void
+Session::set_layer_hooks(std::size_t layer,
+                         std::optional<model::NonlinearHooks> hooks)
+{
+    assert(layer < layer_hooks_.size());
+    layer_hooks_[layer] = hooks;
+}
+
+const model::NonlinearHooks&
+Session::hooks_for(std::size_t layer) const
+{
+    if (layer < layer_hooks_.size() &&
+        layer_hooks_[layer].has_value()) {
+        return *layer_hooks_[layer];
+    }
+    return hooks_;
+}
+
+}  // namespace serve
+}  // namespace mugi

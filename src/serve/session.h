@@ -1,0 +1,111 @@
+#ifndef MUGI_SERVE_SESSION_H_
+#define MUGI_SERVE_SESSION_H_
+
+/**
+ * @file
+ * Per-request serving state.
+ *
+ * An Engine (serve/engine.h) is immutable and shared; everything that
+ * changes while a request is being served lives here: the (optionally
+ * KVQ-quantized, Sec. 2.3.3) per-layer KV caches, the decode
+ * position, and the per-layer nonlinear window tuning of Fig. 7 --
+ * each request may deploy its own VLP kernels from the engine's
+ * registry without affecting its neighbours in the batch.
+ *
+ * Sessions are not thread-safe individually (one request = one
+ * stream of steps), but distinct sessions never share mutable state,
+ * so disjoint session sets may be stepped concurrently through the
+ * same engine.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "model/transformer.h"
+#include "quant/kv_cache.h"
+
+namespace mugi {
+namespace serve {
+
+class Engine;
+
+/** Per-request knobs fixed at admission time. */
+struct SessionOptions {
+    /** KV-cache storage precision (KVQ INT4 by default, Sec. 2.3.3). */
+    quant::KvPrecision kv_precision = quant::KvPrecision::kInt4;
+    /**
+     * Pre-existing context length for analytic (workload-model-only)
+     * serving; must be 0 when the engine hosts a functional model,
+     * whose context is built by prefilling real tokens.
+     */
+    std::size_t initial_context = 0;
+};
+
+/** One request's mutable state; created by Engine::create_session. */
+class Session {
+  public:
+    Session(Session&&) = default;
+    Session& operator=(Session&&) = default;
+
+    std::uint64_t id() const { return id_; }
+
+    /** Tokens resident in the KV cache (the current context length). */
+    std::size_t position() const { return position_; }
+
+    /** Tokens produced by Engine::step for this session. */
+    std::uint64_t tokens_generated() const { return tokens_generated_; }
+
+    quant::KvPrecision kv_precision() const { return kv_precision_; }
+
+    /** Total KV-cache footprint across layers, in bytes. */
+    std::size_t kv_bytes() const;
+
+    /**
+     * Replace the default nonlinear kernels for every layer.  The
+     * approximators referenced by @p hooks must outlive the session;
+     * kernels obtained from the engine's registry do (retain them via
+     * retain_kernel).
+     */
+    void set_hooks(const model::NonlinearHooks& hooks);
+
+    /** Per-layer override (Fig. 7 tuning); nullopt = session default. */
+    void set_layer_hooks(std::size_t layer,
+                         std::optional<model::NonlinearHooks> hooks);
+
+    /** Hooks in effect for @p layer. */
+    const model::NonlinearHooks& hooks_for(std::size_t layer) const;
+
+    /** Keep a registry kernel alive for this session's lifetime. */
+    void
+    retain_kernel(
+        std::shared_ptr<const nonlinear::NonlinearApproximator> kernel)
+    {
+        retained_.push_back(std::move(kernel));
+    }
+
+  private:
+    friend class Engine;
+
+    Session(std::uint64_t id, quant::KvPrecision kv_precision,
+            std::size_t initial_context, std::size_t num_layers);
+
+    std::uint64_t id_ = 0;
+    quant::KvPrecision kv_precision_ = quant::KvPrecision::kInt4;
+    std::size_t position_ = 0;
+    std::uint64_t tokens_generated_ = 0;
+
+    /** Per-layer KV caches; empty for analytic-only sessions. */
+    std::vector<quant::KvCache> caches_;
+
+    model::NonlinearHooks hooks_;
+    std::vector<std::optional<model::NonlinearHooks>> layer_hooks_;
+    std::vector<std::shared_ptr<const nonlinear::NonlinearApproximator>>
+        retained_;
+};
+
+}  // namespace serve
+}  // namespace mugi
+
+#endif  // MUGI_SERVE_SESSION_H_

@@ -211,6 +211,48 @@ run_workload(const DesignConfig& design, const model::Workload& workload)
     return report;
 }
 
+void
+PerfAccumulator::add(const PerfReport& report)
+{
+    if (steps_ == 0) {
+        sum_.design_name = report.design_name;
+        sum_.workload_name = report.workload_name + " (accumulated)";
+    }
+    ++steps_;
+    sum_.total_cycles += report.total_cycles;
+    sum_.runtime_s += report.runtime_s;
+    sum_.dynamic_energy_j += report.dynamic_energy_j;
+    sum_.leakage_energy_j += report.leakage_energy_j;
+    sum_.tokens += report.tokens;
+    for (const auto& [cls, cycles] : report.cycles_by_class) {
+        sum_.cycles_by_class[cls] += cycles;
+    }
+    for (const auto& [cls, energy] : report.energy_by_class) {
+        sum_.energy_by_class[cls] += energy;
+    }
+}
+
+PerfReport
+PerfAccumulator::total() const
+{
+    PerfReport report = sum_;
+    if (report.runtime_s <= 0.0 || report.tokens <= 0.0) {
+        return report;
+    }
+    report.throughput_tokens_per_s = report.tokens / report.runtime_s;
+    report.power_w =
+        (report.dynamic_energy_j + report.leakage_energy_j) /
+        report.runtime_s;
+    report.energy_per_token_j =
+        (report.dynamic_energy_j + report.leakage_energy_j) /
+        report.tokens;
+    report.power_efficiency =
+        report.throughput_tokens_per_s / report.power_w;
+    report.energy_efficiency =
+        report.throughput_tokens_per_s * report.power_efficiency;
+    return report;
+}
+
 NonlinearPerf
 run_nonlinear_only(const DesignConfig& design,
                    const model::NonlinearWork& work)

@@ -72,6 +72,28 @@ struct PerfReport {
     std::map<model::OpClass, double> energy_by_class;
 };
 
+/**
+ * Accumulates per-step PerfReports into a serving-horizon total:
+ * cycles, energies, tokens and the per-class breakdowns add up; the
+ * derived rates (throughput, power, efficiencies) are recomputed
+ * over the aggregate, so a sequence of heterogeneous Engine::step
+ * reports folds into one steady-state serving report.
+ */
+class PerfAccumulator {
+  public:
+    /** Fold one step's report in (op lists are not retained). */
+    void add(const PerfReport& report);
+
+    std::size_t steps() const { return steps_; }
+
+    /** The aggregate with all derived metrics recomputed. */
+    PerfReport total() const;
+
+  private:
+    std::size_t steps_ = 0;
+    PerfReport sum_;
+};
+
 /** Cost of one GEMM on one node of the design. */
 OpCost gemm_cost(const DesignConfig& design, const model::GemmOp& op);
 

@@ -54,7 +54,22 @@ struct VlpConfig {
     LutConfig lut_config() const;
 };
 
-/** The VLP (Mugi) nonlinear approximator. */
+/**
+ * The VLP (Mugi) nonlinear approximator.
+ *
+ * Thread-safety guarantee: a constructed VlpApproximator is deeply
+ * immutable.  Its only state is the configuration and the
+ * precomputed LUT, both fixed at construction; apply(),
+ * apply_batch() and apply_with_window() are pure functions of that
+ * state (the per-mapping sliding window is chosen on the stack via
+ * choose_window, which is a stateless free function, and the LUT is
+ * only ever read).  One instance may therefore be shared by any
+ * number of concurrent sessions/threads without synchronization --
+ * this is what lets serve::KernelRegistry hand a single kernel to
+ * every request on a node.  Any future change that adds caching or
+ * other mutable members must preserve this guarantee (or the
+ * registry must stop sharing instances).
+ */
 class VlpApproximator final : public nonlinear::NonlinearApproximator {
   public:
     explicit VlpApproximator(const VlpConfig& config);

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * The acceptance contract of the serving API: a batched Engine::step
+ * over N heterogeneous sessions must reproduce N independent
+ * single-request decodes -- bit-identical functional numerics and
+ * exactly-preserved op counts -- while sharing the per-step weight
+ * stream.
+ */
+
+#include "serve/engine.h"
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/accuracy.h"
+
+namespace mugi {
+namespace serve {
+namespace {
+
+TEST(MixedWorkload, OpCountsMatchIndependentDecodes)
+{
+    const model::ModelConfig config = model::llama2_70b();
+    const std::vector<std::size_t> contexts = {128, 512, 2048, 4096};
+    const model::Workload mixed =
+        model::build_mixed_decode_workload(config, contexts);
+
+    std::uint64_t macs = 0, nonlinear = 0;
+    for (const std::size_t c : contexts) {
+        const model::Workload single =
+            model::build_decode_workload(config, 1, c);
+        macs += single.total_macs();
+        nonlinear += single.total_nonlinear_elements();
+    }
+    // Compute is preserved exactly across the batching.
+    EXPECT_EQ(mixed.total_macs(), macs);
+    EXPECT_EQ(mixed.total_nonlinear_elements(), nonlinear);
+    EXPECT_EQ(mixed.tokens(), contexts.size());
+
+    // Weight traffic is shared: the batch streams the WOQ weights
+    // once, an independent decode streams them per request.
+    const model::Workload one =
+        model::build_decode_workload(config, 1, contexts[0]);
+    EXPECT_EQ(mixed.total_weight_bytes(), one.total_weight_bytes());
+}
+
+TEST(MixedWorkload, DegenerateBatchMatchesSingleDecode)
+{
+    const model::ModelConfig config = model::llama2_7b();
+    const std::size_t contexts[] = {1024};
+    const model::Workload mixed =
+        model::build_mixed_decode_workload(config, contexts);
+    const model::Workload single =
+        model::build_decode_workload(config, 1, 1024);
+    EXPECT_EQ(mixed.total_macs(), single.total_macs());
+    EXPECT_EQ(mixed.total_weight_bytes(),
+              single.total_weight_bytes());
+    EXPECT_EQ(mixed.total_nonlinear_elements(),
+              single.total_nonlinear_elements());
+}
+
+TEST(EngineStep, BatchedNumericsMatchIndependentSessions)
+{
+    // N sessions with different context lengths stepped as one batch
+    // must produce bit-identical logits to N standalone
+    // model::DecodeSession streams with the same kernels.
+    const model::ModelConfig config =
+        model::llama2_70b().scaled_for_eval(2, 32, 64);
+    auto transformer =
+        std::make_shared<model::TransformerModel>(config, 1234);
+    const Engine engine(sim::make_mugi(64), transformer);
+
+    // Heterogeneous contexts: prompts of different lengths.
+    const std::vector<std::size_t> prompt_lens = {3, 7, 11};
+    std::vector<std::vector<int>> prompts;
+    for (std::size_t i = 0; i < prompt_lens.size(); ++i) {
+        prompts.push_back(model::synthetic_tokens(
+            prompt_lens[i], config.vocab,
+            static_cast<std::uint32_t>(100 + i)));
+    }
+
+    // Engine path: prefill then batched steps.
+    std::vector<Session> sessions;
+    for (std::size_t i = 0; i < prompts.size(); ++i) {
+        sessions.push_back(engine.create_session());
+        engine.prefill(sessions.back(), prompts[i]);
+    }
+    // Reference path: independent DecodeSessions over a model with
+    // the engine's default kernels installed.
+    model::TransformerModel reference(config, 1234);
+    reference.set_hooks(engine.default_hooks());
+    std::vector<model::DecodeSession> independent;
+    for (std::size_t i = 0; i < prompts.size(); ++i) {
+        independent.emplace_back(reference,
+                                 quant::KvPrecision::kInt4);
+        for (const int token : prompts[i]) {
+            independent[i].step(token);
+        }
+    }
+
+    std::vector<Session*> batch;
+    for (Session& s : sessions) batch.push_back(&s);
+    std::vector<int> tokens = {5, 17, 42};
+    for (int step = 0; step < 4; ++step) {
+        const StepResult result = engine.step(batch, tokens);
+        ASSERT_EQ(result.outputs.size(), batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            const std::vector<float> expected =
+                independent[i].step(tokens[i]);
+            ASSERT_EQ(result.outputs[i].logits.size(),
+                      expected.size());
+            for (std::size_t v = 0; v < expected.size(); ++v) {
+                // Bit-identical: same code path, same kernels.
+                EXPECT_EQ(result.outputs[i].logits[v], expected[v])
+                    << "session " << i << " step " << step
+                    << " vocab " << v;
+            }
+            EXPECT_EQ(result.outputs[i].position,
+                      prompt_lens[i] + static_cast<std::size_t>(step) +
+                          1);
+            tokens[i] = result.outputs[i].next_token;
+        }
+    }
+}
+
+TEST(EngineStep, ReportAggregatesBatchedWorkload)
+{
+    const model::ModelConfig config = model::llama2_7b();
+    const Engine engine(sim::make_mugi(256), config);
+
+    std::vector<Session> sessions;
+    std::vector<Session*> batch;
+    for (const std::size_t context : {255u, 1023u, 4095u}) {
+        SessionOptions options;
+        options.initial_context = context;
+        sessions.push_back(engine.create_session(options));
+    }
+    for (Session& s : sessions) batch.push_back(&s);
+
+    const StepResult result = engine.step(batch);
+    // One report for the whole step, all models populated.
+    EXPECT_GT(result.report.perf.throughput_tokens_per_s, 0.0);
+    EXPECT_GT(result.report.area.total(), 0.0);
+    EXPECT_GT(result.report.carbon.total_g_per_token(), 0.0);
+    EXPECT_GT(result.report.event_sim.makespan_cycles, 0.0);
+    EXPECT_DOUBLE_EQ(result.report.perf.tokens, 3.0);
+    // Positions advanced.
+    EXPECT_EQ(sessions[0].position(), 256u);
+    EXPECT_EQ(sessions[2].position(), 4096u);
+
+    // Batched decode beats stepping the three requests one by one
+    // (shared weight stream), at equal total tokens.
+    sim::PerfAccumulator serial;
+    for (const std::size_t context : {256u, 1024u, 4096u}) {
+        serial.add(engine.evaluate_decode(config, 1, context).perf);
+    }
+    EXPECT_GT(result.report.perf.throughput_tokens_per_s,
+              serial.total().throughput_tokens_per_s);
+    EXPECT_DOUBLE_EQ(serial.total().tokens, 3.0);
+}
+
+TEST(EngineStep, EmptyBatchYieldsZeroedReportNotNaN)
+{
+    // A drained continuous batch must not poison accumulators with
+    // 0/0 rates.
+    const Engine engine(sim::make_mugi(256), model::llama2_7b());
+    const StepResult result = engine.step({});
+    EXPECT_TRUE(result.outputs.empty());
+    EXPECT_EQ(result.report.perf.tokens, 0.0);
+    EXPECT_EQ(result.report.perf.throughput_tokens_per_s, 0.0);
+
+    sim::PerfAccumulator acc;
+    acc.add(result.report.perf);
+    Session session = engine.create_session();
+    Session* batch[] = {&session};
+    acc.add(engine.step(batch).report.perf);
+    const sim::PerfReport total = acc.total();
+    EXPECT_FALSE(std::isnan(total.throughput_tokens_per_s));
+    EXPECT_GT(total.throughput_tokens_per_s, 0.0);
+}
+
+TEST(EngineSession, SessionOutlivesEngine)
+{
+    // Sessions retain their default kernels: using one after its
+    // engine is gone must not touch freed registry state.
+    const model::ModelConfig config =
+        model::llama2_70b().scaled_for_eval(2, 32, 64);
+    auto transformer =
+        std::make_shared<model::TransformerModel>(config, 55);
+    auto engine = std::make_unique<Engine>(sim::make_mugi(64),
+                                           transformer);
+    Session session = engine->create_session();
+    const Engine replacement(sim::make_mugi(64), transformer);
+    engine.reset();  // Original registry destroyed.
+    const StepResult result = replacement.step(session, 9);
+    EXPECT_FALSE(result.outputs[0].logits.empty());
+}
+
+TEST(EngineStep, ConcurrentDisjointBatchesAreSafe)
+{
+    // The engine is immutable: disjoint session sets may step
+    // concurrently through one shared instance.
+    const model::ModelConfig config =
+        model::llama2_70b().scaled_for_eval(2, 32, 64);
+    auto transformer =
+        std::make_shared<model::TransformerModel>(config, 99);
+    const Engine engine(sim::make_mugi(64), transformer);
+
+    constexpr int kThreads = 4;
+    constexpr int kSteps = 8;
+    std::vector<std::vector<float>> last_logits(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            Session session = engine.create_session();
+            int token = 7;  // Same stream in every thread.
+            for (int s = 0; s < kSteps; ++s) {
+                const StepResult result = engine.step(session, token);
+                token = result.outputs[0].next_token;
+                last_logits[t] = result.outputs[0].logits;
+            }
+        });
+    }
+    for (std::thread& thread : threads) thread.join();
+    // Identical inputs through shared kernels: identical outputs.
+    for (int t = 1; t < kThreads; ++t) {
+        ASSERT_EQ(last_logits[t].size(), last_logits[0].size());
+        for (std::size_t v = 0; v < last_logits[0].size(); ++v) {
+            EXPECT_EQ(last_logits[t][v], last_logits[0][v]);
+        }
+    }
+}
+
+TEST(EngineSession, PerLayerWindowTuningIsPerSession)
+{
+    // Two concurrent sessions, one with a deliberately bad softmax
+    // window on layer 0: outputs must differ from the default
+    // session while the default matches an untuned reference.
+    const model::ModelConfig config =
+        model::llama2_70b().scaled_for_eval(2, 32, 64);
+    auto transformer =
+        std::make_shared<model::TransformerModel>(config, 4321);
+    const Engine engine(sim::make_mugi(64), transformer);
+
+    Session tuned = engine.create_session();
+    Session plain = engine.create_session();
+
+    vlp::VlpConfig bad = default_vlp_config(
+        nonlinear::NonlinearOp::kExp, engine.design().array_rows);
+    bad.lut_max_exp = -8;  // Far below the profiled band.
+    bad.lut_min_exp = -15;
+    const auto bad_kernel = engine.kernels().get(bad);
+    model::NonlinearHooks bad_hooks = engine.default_hooks();
+    bad_hooks.softmax_exp = bad_kernel.get();
+    tuned.set_layer_hooks(0, bad_hooks);
+    tuned.retain_kernel(bad_kernel);
+
+    // Build context first: the window only matters once softmax rows
+    // span multiple cached positions.
+    const std::vector<int> prompt =
+        model::synthetic_tokens(5, config.vocab, 17);
+    engine.prefill(tuned, prompt);
+    engine.prefill(plain, prompt);
+
+    Session* batch[] = {&tuned, &plain};
+    const int tokens[] = {3, 3};
+    const StepResult result = engine.step(batch, tokens);
+
+    model::TransformerModel reference(config, 4321);
+    reference.set_hooks(engine.default_hooks());
+    model::DecodeSession ref_session(reference,
+                                     quant::KvPrecision::kInt4);
+    for (const int token : prompt) {
+        ref_session.step(token);
+    }
+    const std::vector<float> expected = ref_session.step(3);
+
+    bool differs = false;
+    for (std::size_t v = 0; v < expected.size(); ++v) {
+        EXPECT_EQ(result.outputs[1].logits[v], expected[v]);
+        differs |= result.outputs[0].logits[v] != expected[v];
+    }
+    EXPECT_TRUE(differs)
+        << "bad layer-0 window must perturb the tuned session";
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace mugi

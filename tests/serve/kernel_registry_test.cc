@@ -1,0 +1,107 @@
+#include "serve/kernel_registry.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mugi {
+namespace serve {
+namespace {
+
+TEST(KernelRegistry, SameConfigReturnsSameInstance)
+{
+    const KernelRegistry registry(256);
+    const auto a = registry.get_default(nonlinear::NonlinearOp::kExp);
+    const auto b = registry.get_default(nonlinear::NonlinearOp::kExp);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(registry.size(), 1u);
+
+    const auto c = registry.get_default(nonlinear::NonlinearOp::kSilu);
+    EXPECT_NE(a.get(), c.get());
+    EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(KernelRegistry, DistinctConfigsGetDistinctKernels)
+{
+    const KernelRegistry registry(128);
+    vlp::VlpConfig config =
+        default_vlp_config(nonlinear::NonlinearOp::kExp, 128);
+    const auto base = registry.get(config);
+    config.lut_max_exp += 1;
+    const auto shifted = registry.get(config);
+    EXPECT_NE(base.get(), shifted.get());
+    EXPECT_EQ(registry.size(), 2u);
+    // The kernels really carry their configs.
+    EXPECT_EQ(base->config().lut_max_exp + 1,
+              shifted->config().lut_max_exp);
+}
+
+TEST(KernelRegistry, DefaultConfigsMatchPaperWindows)
+{
+    // Softmax exp: profiled [-3, 4] band; SiLU/GELU: [-6, 1].
+    const vlp::VlpConfig exp_cfg =
+        default_vlp_config(nonlinear::NonlinearOp::kExp, 256);
+    EXPECT_EQ(exp_cfg.lut_min_exp, -3);
+    EXPECT_EQ(exp_cfg.lut_max_exp, 4);
+    EXPECT_EQ(exp_cfg.mapping_rows, 256u);
+    const vlp::VlpConfig silu_cfg =
+        default_vlp_config(nonlinear::NonlinearOp::kSilu, 256);
+    EXPECT_EQ(silu_cfg.lut_min_exp, -6);
+    EXPECT_EQ(silu_cfg.lut_max_exp, 1);
+}
+
+TEST(KernelRegistry, ConcurrentGetBuildsOnce)
+{
+    const KernelRegistry registry(256);
+    constexpr int kThreads = 8;
+    std::vector<const vlp::VlpApproximator*> seen(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            seen[t] =
+                registry.get_default(nonlinear::NonlinearOp::kGelu)
+                    .get();
+        });
+    }
+    for (std::thread& thread : threads) thread.join();
+    for (int t = 1; t < kThreads; ++t) {
+        EXPECT_EQ(seen[t], seen[0]);
+    }
+    EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(KernelRegistry, SharedKernelIsConstThreadSafe)
+{
+    // The guarantee documented in vlp/vlp_approximator.h: one kernel,
+    // many threads, no synchronization, identical results.
+    const KernelRegistry registry(128);
+    const auto kernel =
+        registry.get_default(nonlinear::NonlinearOp::kExp);
+
+    std::vector<float> inputs;
+    for (float x = -8.0f; x <= 0.0f; x += 0.03125f) {
+        inputs.push_back(x);
+    }
+    std::vector<float> expected(inputs.size());
+    kernel->apply_batch(inputs, expected);
+
+    constexpr int kThreads = 8;
+    std::vector<std::vector<float>> outs(
+        kThreads, std::vector<float>(inputs.size()));
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back(
+            [&, t] { kernel->apply_batch(inputs, outs[t]); });
+    }
+    for (std::thread& thread : threads) thread.join();
+    for (int t = 0; t < kThreads; ++t) {
+        for (std::size_t i = 0; i < inputs.size(); ++i) {
+            EXPECT_EQ(outs[t][i], expected[i]);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace mugi

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Regression tests for the quantize-once serving path: a reused
+ * PreparedWeights handle must give bit-identical outputs to the
+ * one-shot quantize-and-run path the old facade used per call.
+ */
+
+#include "serve/prepared_weights.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/mugi_system.h"
+#include "serve/engine.h"
+#include "support/rng.h"
+
+namespace mugi {
+namespace serve {
+namespace {
+
+TEST(PreparedWeights, ReusedHandleIsBitIdenticalToOneShot)
+{
+    const Engine engine(sim::make_mugi(64));
+    std::mt19937 rng(313);
+    support::MatrixF weights(48, 96);
+    support::fill_gaussian(weights, rng, 0.0f, 0.5f);
+
+    const PreparedWeights prepared =
+        engine.prepare_weights(weights, 32);
+    for (int trial = 0; trial < 3; ++trial) {
+        support::MatrixF acts(96, 8);
+        support::fill_gaussian(acts, rng, 0.0f, 1.0f);
+        const GemmRun reused = engine.run_woq_gemm(prepared, acts);
+        const GemmRun one_shot = engine.run_woq_gemm(weights, acts, 32);
+        ASSERT_EQ(reused.out.rows(), one_shot.out.rows());
+        ASSERT_EQ(reused.out.cols(), one_shot.out.cols());
+        for (std::size_t i = 0; i < reused.out.size(); ++i) {
+            EXPECT_EQ(reused.out.data()[i], one_shot.out.data()[i])
+                << "trial " << trial << " element " << i;
+        }
+        EXPECT_EQ(reused.cycles, one_shot.cycles);
+    }
+}
+
+TEST(PreparedWeights, MatchesLegacyMugiSystemPath)
+{
+    // The shim's one-shot GEMM and the prepared path must agree bit
+    // for bit -- the shim delegates to the same kernel.
+    const core::MugiSystem system(sim::make_mugi(32));
+    const Engine engine(sim::make_mugi(32));
+    std::mt19937 rng(919);
+    support::MatrixF weights(24, 64);
+    support::MatrixF acts(64, 8);
+    support::fill_gaussian(weights, rng, 0.0f, 0.5f);
+    support::fill_gaussian(acts, rng, 0.0f, 1.0f);
+
+    const core::MugiSystem::GemmRun legacy =
+        system.run_woq_gemm(weights, acts, 16);
+    const GemmRun prepared = engine.run_woq_gemm(
+        engine.prepare_weights(weights, 16), acts);
+    for (std::size_t i = 0; i < legacy.out.size(); ++i) {
+        EXPECT_EQ(prepared.out.data()[i], legacy.out.data()[i]);
+    }
+    EXPECT_EQ(prepared.cycles, legacy.cycles);
+}
+
+TEST(PreparedWeights, QuantizesExactlyOnce)
+{
+    // The handle shares one immutable quantization: copies alias the
+    // same storage instead of re-quantizing.
+    const Engine engine(sim::make_mugi(32));
+    std::mt19937 rng(77);
+    support::MatrixF weights(16, 32);
+    support::fill_gaussian(weights, rng, 0.0f, 0.5f);
+
+    const PreparedWeights a = engine.prepare_weights(weights, 16);
+    const PreparedWeights b = a;  // Handle copy, not a re-quantize.
+    EXPECT_EQ(&a.quantized(), &b.quantized());
+    EXPECT_EQ(a.group_size(), 16u);
+    EXPECT_EQ(a.rows(), 16u);
+    EXPECT_EQ(a.cols(), 32u);
+    // INT4 + per-group BF16 scales: ~4x smaller than float storage.
+    EXPECT_LT(a.byte_size(), weights.size() * sizeof(float) / 3);
+}
+
+TEST(PreparedWeights, AgreesWithDequantizedReference)
+{
+    const Engine engine(sim::make_mugi(32));
+    std::mt19937 rng(511);
+    support::MatrixF weights(24, 64);
+    support::MatrixF acts(64, 8);
+    support::fill_gaussian(weights, rng, 0.0f, 0.5f);
+    support::fill_gaussian(acts, rng, 0.0f, 1.0f);
+
+    const PreparedWeights prepared =
+        engine.prepare_weights(weights, 16);
+    const GemmRun run = engine.run_woq_gemm(prepared, acts);
+    const support::MatrixF deq = quant::dequantize(prepared.quantized());
+    const support::MatrixF expected = support::matmul(deq, acts);
+    for (std::size_t r = 0; r < expected.rows(); ++r) {
+        for (std::size_t c = 0; c < expected.cols(); ++c) {
+            EXPECT_NEAR(run.out.at(r, c), expected.at(r, c), 2e-3);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace mugi
