@@ -7,37 +7,23 @@
  * SA/SA-F/SD/SD-F (8/16).
  */
 
-#include <cmath>
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
-#include "model/workload.h"
-#include "serve/engine.h"
+#include "serve/batch_policy.h"
 
 using namespace mugi;
 
 namespace {
 
-struct Point {
-    double throughput = 0.0;
-    double energy_per_token = 0.0;
-};
-
-Point
+// The sweep primitive lives in serve::BatchPolicy now -- the same
+// numbers this figure prints drive the Scheduler's batch target.
+serve::BatchSweepPoint
 geomean(const sim::DesignConfig& d, std::size_t batch, std::size_t seq)
 {
-    double t = 1.0, e = 1.0;
     const auto family = model::llama_family();
-    for (const model::ModelConfig& m : family) {
-        const model::Workload w =
-            model::build_decode_workload(m, batch, seq);
-        const sim::PerfReport r = serve::Engine(d).perf(w);
-        t *= r.throughput_tokens_per_s;
-        e *= r.energy_per_token_j;
-    }
-    const double inv = 1.0 / static_cast<double>(family.size());
-    return {std::pow(t, inv), std::pow(e, inv)};
+    return serve::BatchPolicy::evaluate(d, family, batch, seq);
 }
 
 }  // namespace
@@ -70,15 +56,17 @@ main()
     for (const std::size_t b : batches) cols.push_back(std::to_string(b));
 
     for (const std::size_t seq : seqs) {
-        const Point base = geomean(sim::make_systolic(8), 1, seq);
+        const serve::BatchSweepPoint base =
+            geomean(sim::make_systolic(8), 1, seq);
         bench::print_subtitle("seq " + std::to_string(seq) +
                               ": normalized throughput vs batch");
         bench::print_header("design \\ batch", cols);
         for (const auto& [label, d] : designs) {
             std::vector<double> row;
             for (const std::size_t b : batches) {
-                row.push_back(geomean(d, b, seq).throughput /
-                              base.throughput);
+                row.push_back(geomean(d, b, seq)
+                                  .throughput_tokens_per_s /
+                              base.throughput_tokens_per_s);
             }
             bench::print_row(label, row, "%9.2f");
         }
@@ -88,11 +76,20 @@ main()
         for (const auto& [label, d] : designs) {
             std::vector<double> row;
             for (const std::size_t b : batches) {
-                row.push_back(geomean(d, b, seq).energy_per_token /
-                              base.energy_per_token);
+                row.push_back(geomean(d, b, seq).energy_per_token_j /
+                              base.energy_per_token_j);
             }
             bench::print_row(label, row, "%9.3f");
         }
+    }
+
+    bench::print_subtitle(
+        "derived serving batch targets (serve::BatchPolicy knee)");
+    for (const auto& [label, d] : designs) {
+        const serve::BatchPolicy policy = serve::BatchPolicy::derive(
+            d, model::llama2_70b(), /*context=*/512, /*max_batch=*/32);
+        std::printf("  %-10s -> batch %zu\n", label,
+                    policy.target_batch());
     }
 
     std::printf(

@@ -1,16 +1,22 @@
 /**
  * @file
- * Continuous-batch serving with the Engine / Session API: admit a
- * pool of Llama-2 70B requests with heterogeneous context lengths,
- * step them as one batch per iteration (requests join and leave
- * mid-flight), and accumulate the per-step reports into a serving-
- * horizon summary with sim::PerfAccumulator.
+ * Request-lifecycle serving with serve::Scheduler: submit a trace of
+ * Llama-2 70B requests with staggered arrivals, let the scheduler
+ * admit them under a KV-memory budget, chunk their prefills into the
+ * decode batch, and continuously batch Engine::step until the trace
+ * drains -- then report per-request TTFT/TPOT and the serving-horizon
+ * ServerStats.
  *
- * The point: the engine is built once (kernel registry, design), and
- * a step's cost is evaluated over the *mixed* workload -- projection
- * and FFN weights stream from DRAM once per step regardless of how
- * many requests share it, which is where batched decode throughput
- * comes from.
+ * The points on display:
+ *  - admission control: the INT4-KV budget caps how many requests
+ *    hold cache concurrently; later arrivals queue (their queue wait
+ *    shows up in TTFT);
+ *  - chunked prefill: prompts are fed <= 256 tokens per iteration
+ *    *inside* the decode batch's weight stream, so long prompts never
+ *    stall decode latency the way a monolithic prefill would;
+ *  - continuous batching: the batch is steered toward the Fig. 14
+ *    knee (BatchPolicy), requests leave mid-flight and queued ones
+ *    take their place the same iteration.
  *
  * Build & run:  ./build/examples/serving
  */
@@ -18,7 +24,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "serve/engine.h"
+#include "serve/scheduler.h"
 
 using namespace mugi;
 
@@ -28,59 +34,89 @@ main()
     const model::ModelConfig model = model::llama2_70b();
     const serve::Engine engine(sim::make_mugi(256), model);
 
-    // Admit eight requests mid-conversation, contexts 256..4096.
-    std::vector<serve::Session> pool;
-    for (const std::size_t context :
-         {256u, 512u, 1024u, 1536u, 2048u, 3072u, 3584u, 4096u}) {
-        serve::SessionOptions options;
-        options.initial_context = context;
-        pool.push_back(engine.create_session(options));
-    }
+    serve::SchedulerConfig config;
+    // ~1 GiB of KVQ INT4 cache: enough for ~10 of the requests below
+    // to be resident at once, so the trace exercises the queue.
+    config.kv_budget_bytes = 1ull << 30;
+    config.prefill_chunk_tokens = 256;
+    serve::Scheduler scheduler(engine, config);
 
-    std::printf("Serving %s on %s: %zu sessions, contexts 256..4096\n",
+    std::printf("Serving %s on %s (Fig. 14 batch target %zu, KV "
+                "budget %.0f MiB)\n",
                 model.name.c_str(), engine.design().name.c_str(),
-                pool.size());
+                scheduler.policy().target_batch(),
+                static_cast<double>(config.kv_budget_bytes) /
+                    (1 << 20));
 
-    sim::PerfAccumulator horizon;
-    const int kSteps = 16;
-    for (int t = 0; t < kSteps; ++t) {
-        // Continuous batching: after step 8, the two shortest
-        // requests finish and leave the batch.
-        std::vector<serve::Session*> batch;
-        for (std::size_t i = 0; i < pool.size(); ++i) {
-            if (t >= 8 && i < 2) continue;
-            batch.push_back(&pool[i]);
-        }
-        const serve::StepResult result = engine.step(batch);
-        horizon.add(result.report.perf);
-        if (t == 0 || t == 8) {
-            std::printf(
-                "  step %2d: %zu sessions, %.2f tokens/s, %.3f W, "
-                "event-sim util %.0f%%\n",
-                t, batch.size(),
-                result.report.perf.throughput_tokens_per_s,
-                result.report.perf.power_w,
-                100.0 * result.report.event_sim.compute_utilization());
-        }
+    // A 12-request trace: the first 8 arrive together (>= 8
+    // concurrent in flight), four more trickle in later; prompts
+    // 256..3072 tokens, generations 24..46 tokens.
+    std::size_t streamed = 0;
+    const double stagger_s =
+        4.0 * engine.evaluate_decode(model, 8, 1024).perf.runtime_s;
+    for (int i = 0; i < 12; ++i) {
+        serve::Request request;
+        request.analytic_prompt_tokens = 256 + 256 * (i % 8) +
+                                         (i >= 8 ? 1024 : 0);
+        request.max_new_tokens = 24 + 2 * i;
+        request.arrival_time_s =
+            i < 8 ? 0.0 : static_cast<double>(i - 7) * stagger_s;
+        request.on_token = [&streamed](std::uint64_t, std::size_t,
+                                       int) { ++streamed; };
+        scheduler.submit(request);
     }
 
-    const sim::PerfReport total = horizon.total();
-    std::printf("Horizon (%zu steps): %.0f tokens, %.2f tokens/s, "
-                "%.2f tokens/s/W, %.2e J/token\n",
-                horizon.steps(), total.tokens,
-                total.throughput_tokens_per_s, total.power_efficiency,
-                total.energy_per_token_j);
+    const std::vector<serve::FinishedRequest> finished =
+        scheduler.run();
 
-    // Contrast with one-request-at-a-time decode at the mean context.
+    std::printf("\n%-4s %7s %6s %10s %10s %10s %s\n", "req",
+                "prompt", "gen", "queue(s)", "ttft(s)", "tpot(s)",
+                "reason");
+    for (const serve::FinishedRequest& f : finished) {
+        std::printf("#%-3llu %7zu %6zu %10.2f %10.2f %10.3f %s\n",
+                    static_cast<unsigned long long>(f.id),
+                    f.prompt_tokens, f.generated, f.queue_s(),
+                    f.ttft_s(), f.tpot_s(),
+                    serve::finish_reason_name(f.reason));
+    }
+
+    const serve::ServerStats stats = scheduler.stats();
+    std::printf(
+        "\nHorizon: %zu iterations, %zu prompt + %zu decode tokens "
+        "(%zu streamed to callers)\n",
+        stats.steps, stats.prefill_tokens, stats.decode_tokens,
+        streamed);
+    std::printf(
+        "  throughput %.2f tokens/s, %.2f tokens/s/W, %.3e J/token\n",
+        stats.horizon.throughput_tokens_per_s,
+        stats.horizon.power_efficiency,
+        stats.horizon.energy_per_token_j);
+    std::printf(
+        "  latency: mean queue %.2f s, mean TTFT %.2f s (max %.2f), "
+        "mean TPOT %.3f s\n",
+        stats.mean_queue_s, stats.mean_ttft_s, stats.max_ttft_s,
+        stats.mean_tpot_s);
+    std::printf("  peak KV %.1f MiB of %.0f MiB budget\n",
+                static_cast<double>(stats.peak_kv_bytes) / (1 << 20),
+                static_cast<double>(stats.kv_budget_bytes) /
+                    (1 << 20));
+
+    // Contrast with serving the same trace one request at a time:
+    // every request would pay its own WOQ weight stream per token.
     sim::PerfAccumulator serial;
-    for (const std::size_t context :
-         {256u, 512u, 1024u, 1536u, 2048u, 3072u, 3584u, 4096u}) {
-        serial.add(engine.evaluate_decode(model, 1, context).perf);
+    for (const serve::FinishedRequest& f : finished) {
+        for (std::size_t t = 0; t < f.generated; ++t) {
+            serial.add(engine
+                           .evaluate_decode(model, 1,
+                                            f.prompt_tokens + t + 1)
+                           .perf);
+        }
     }
-    std::printf("Per-request decode of the same 8 contexts: %.2f "
-                "tokens/s (batched step: %.2fx)\n",
-                serial.total().throughput_tokens_per_s,
-                horizon.total().throughput_tokens_per_s /
-                    serial.total().throughput_tokens_per_s);
+    std::printf(
+        "\nOne-request-at-a-time decode of the same trace: %.2f "
+        "tokens/s (scheduler: %.2fx)\n",
+        serial.total().throughput_tokens_per_s,
+        stats.horizon.throughput_tokens_per_s /
+            serial.total().throughput_tokens_per_s);
     return 0;
 }

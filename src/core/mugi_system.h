@@ -30,9 +30,14 @@ using SystemReport = serve::SystemReport;
 
 /**
  * A configured Mugi (or baseline) accelerator system.
- * @deprecated Thin shim over serve::Engine; use that instead.
+ * @deprecated Thin shim over serve::Engine; use that instead.  New
+ * call sites get a compiler warning; the shim's own implementation
+ * and tests suppress it with
+ * `#pragma GCC diagnostic ignored "-Wdeprecated-declarations"`.
  */
-class MugiSystem {
+class [[deprecated(
+    "use serve::Engine / serve::Session (see DESIGN.md)")]] MugiSystem
+{
   public:
     /** Wrap a design configuration (see sim/design.h factories). */
     explicit MugiSystem(const sim::DesignConfig& design);

@@ -136,17 +136,51 @@ Workload
 build_mixed_decode_workload(const ModelConfig& c,
                             std::span<const std::size_t> contexts)
 {
-    const std::size_t N = contexts.size();
+    Workload w = build_mixed_step_workload(c, contexts, {});
+    w.name = c.name + "-decode-mixed" + std::to_string(contexts.size());
+    return w;
+}
+
+Workload
+build_prefill_chunk_workload(const ModelConfig& config,
+                             const PrefillChunk& chunk)
+{
+    const PrefillChunk chunks[] = {chunk};
+    Workload w = build_mixed_step_workload(config, {}, chunks);
+    w.name = config.name + "-prefill-chunk";
+    w.decode = false;
+    w.batch = 1;
+    w.seq_len = chunk.tokens;
+    return w;
+}
+
+Workload
+build_mixed_step_workload(const ModelConfig& c,
+                          std::span<const std::size_t> decode_contexts,
+                          std::span<const PrefillChunk> prefill_chunks)
+{
+    const std::size_t D = decode_contexts.size();
+    std::size_t P = 0;  // Total prompt tokens fed this step.
+    for (const PrefillChunk& chunk : prefill_chunks) {
+        P += chunk.tokens;
+    }
+
     Workload w;
-    w.name = c.name + "-decode-mixed" + std::to_string(N);
+    w.name = c.name + "-step-mixed-d" + std::to_string(D) + "-p" +
+             std::to_string(P);
     w.config = c;
-    w.batch = N;
+    // tokens() == batch for a decode-style step: decode tokens plus
+    // prompt tokens processed, the serving notion of work done.
+    w.batch = D + P;
     w.seq_len = 0;
-    for (const std::size_t context : contexts) {
+    for (const std::size_t context : decode_contexts) {
         w.seq_len = std::max(w.seq_len, context);
     }
+    for (const PrefillChunk& chunk : prefill_chunks) {
+        w.seq_len = std::max(w.seq_len, chunk.start + chunk.tokens);
+    }
     w.decode = true;
-    if (N == 0) {
+    if (w.batch == 0) {
         return w;
     }
 
@@ -155,24 +189,28 @@ build_mixed_decode_workload(const ModelConfig& c,
     const std::size_t kv_dim = c.num_kv_heads * hd;
     const std::size_t group = c.gqa_group();
     const std::size_t L = c.num_layers;
+    const std::size_t m = D + P;  // Activation rows per projection.
 
-    // --- Projections: all requests' tokens batch into one GEMM, so
-    // the WOQ weights stream from DRAM once per step, not once per
-    // request. ---
-    w.gemms.push_back({"q_proj", OpClass::kProjection, N, d, d, L, 4,
+    // --- Projections: every decode token and every chunk token
+    // batches into one GEMM, so the WOQ weights stream from DRAM once
+    // per step, not once per request -- chunked prefill rides the
+    // decode batch's weight stream for free. ---
+    w.gemms.push_back({"q_proj", OpClass::kProjection, m, d, d, L, 4,
                        16, true});
-    w.gemms.push_back({"k_proj", OpClass::kProjection, N, kv_dim, d, L,
+    w.gemms.push_back({"k_proj", OpClass::kProjection, m, kv_dim, d, L,
                        4, 16, true});
-    w.gemms.push_back({"v_proj", OpClass::kProjection, N, kv_dim, d, L,
+    w.gemms.push_back({"v_proj", OpClass::kProjection, m, kv_dim, d, L,
                        4, 16, true});
-    w.gemms.push_back({"o_proj", OpClass::kProjection, N, d, d, L, 4,
+    w.gemms.push_back({"o_proj", OpClass::kProjection, m, d, d, L, 4,
                        16, true});
 
     // --- Attention: per request, against its own (KVQ INT4) cache
-    // length.  Identical op shapes to a batch-1 decode at the same
-    // context, so per-request MACs are preserved exactly. ---
-    for (std::size_t i = 0; i < N; ++i) {
-        const std::size_t kv_len = contexts[i];
+    // length.  Decode entries are shaped exactly like a batch-1
+    // decode at the same context; chunk entries fold the ragged
+    // causal rows into one op whose reduction volume is the exact
+    // attended() sum, so per-request MACs are preserved exactly. ---
+    for (std::size_t i = 0; i < D; ++i) {
+        const std::size_t kv_len = decode_contexts[i];
         std::string qk_name = "attn_qk#";
         qk_name += std::to_string(i);
         std::string pv_name = "attn_pv#";
@@ -184,27 +222,55 @@ build_mixed_decode_workload(const ModelConfig& c,
                            group, hd, kv_len, L * c.num_kv_heads, 4,
                            16, false});
     }
+    for (std::size_t j = 0; j < prefill_chunks.size(); ++j) {
+        const std::size_t attended =
+            static_cast<std::size_t>(prefill_chunks[j].attended());
+        std::string qk_name = "prefill_qk#";
+        qk_name += std::to_string(j);
+        std::string pv_name = "prefill_pv#";
+        pv_name += std::to_string(j);
+        w.gemms.push_back({std::move(qk_name), OpClass::kAttention,
+                           group, attended, hd, L * c.num_kv_heads, 4,
+                           16, false});
+        w.gemms.push_back({std::move(pv_name), OpClass::kAttention,
+                           group, hd, attended, L * c.num_kv_heads, 4,
+                           16, false});
+    }
 
     // --- FFN: batched like the projections. ---
     if (c.gated_ffn()) {
-        w.gemms.push_back({"ffn_gate", OpClass::kFfn, N, c.d_ff, d, L,
+        w.gemms.push_back({"ffn_gate", OpClass::kFfn, m, c.d_ff, d, L,
                            4, 16, true});
     }
-    w.gemms.push_back({"ffn_up", OpClass::kFfn, N, c.d_ff, d, L, 4, 16,
+    w.gemms.push_back({"ffn_up", OpClass::kFfn, m, c.d_ff, d, L, 4, 16,
                        true});
-    w.gemms.push_back({"ffn_down", OpClass::kFfn, N, d, c.d_ff, L, 4,
+    w.gemms.push_back({"ffn_down", OpClass::kFfn, m, d, c.d_ff, L, 4,
                        16, true});
 
-    // --- Nonlinear work: softmax rows are per-request (row length =
-    // that request's context); the FFN activation batches. ---
-    for (std::size_t i = 0; i < N; ++i) {
+    // --- Nonlinear work: softmax rows are per-request (decode rows
+    // at the request's context, chunk rows over the exact causal
+    // sum); the FFN activation batches. ---
+    for (std::size_t i = 0; i < D; ++i) {
         NonlinearWork softmax;
         softmax.name = "softmax#";
         softmax.name += std::to_string(i);
         softmax.op = nonlinear::NonlinearOp::kExp;
         softmax.is_softmax = true;
-        softmax.row_length = contexts[i];
-        softmax.elements = L * c.num_heads * contexts[i];
+        softmax.row_length = decode_contexts[i];
+        softmax.elements = L * c.num_heads * decode_contexts[i];
+        w.nonlinears.push_back(softmax);
+    }
+    for (std::size_t j = 0; j < prefill_chunks.size(); ++j) {
+        const PrefillChunk& chunk = prefill_chunks[j];
+        NonlinearWork softmax;
+        softmax.name = "prefill_softmax#";
+        softmax.name += std::to_string(j);
+        softmax.op = nonlinear::NonlinearOp::kExp;
+        softmax.is_softmax = true;
+        softmax.row_length = chunk.start + chunk.tokens;
+        softmax.elements =
+            L * c.num_heads *
+            static_cast<std::size_t>(chunk.attended());
         w.nonlinears.push_back(softmax);
     }
     NonlinearWork act;
@@ -212,7 +278,7 @@ build_mixed_decode_workload(const ModelConfig& c,
                    ? "silu"
                    : "gelu";
     act.op = c.activation();
-    act.elements = L * N * c.d_ff;
+    act.elements = L * m * c.d_ff;
     w.nonlinears.push_back(act);
     return w;
 }

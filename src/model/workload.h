@@ -122,6 +122,50 @@ Workload build_prefill_workload(const ModelConfig& config,
 Workload build_mixed_decode_workload(
     const ModelConfig& config, std::span<const std::size_t> contexts);
 
+/**
+ * One chunk of a chunked prefill: @p tokens new prompt positions
+ * appended to a context that already holds @p start positions.  The
+ * chunk's queries attend causally, so query t (1-based) sees
+ * start + t cached K/V vectors.
+ */
+struct PrefillChunk {
+    std::size_t start = 0;   ///< KV positions cached before the chunk.
+    std::size_t tokens = 0;  ///< New prompt tokens this chunk feeds.
+
+    /**
+     * Total K/V positions attended across the chunk's causal queries:
+     * sum_{t=1..tokens} (start + t).  This is the exact attention
+     * volume, so splitting a prompt into chunks never changes the
+     * summed attention MACs.
+     */
+    std::uint64_t
+    attended() const
+    {
+        return static_cast<std::uint64_t>(tokens) * start +
+               static_cast<std::uint64_t>(tokens) * (tokens + 1) / 2;
+    }
+};
+
+/** One prefill chunk as a standalone (batch-1) workload. */
+Workload build_prefill_chunk_workload(const ModelConfig& config,
+                                      const PrefillChunk& chunk);
+
+/**
+ * One continuous-batching serving step mixing decode tokens and
+ * prefill chunks (the chunked-prefill schedule of serve::Scheduler):
+ * every decode token and every chunk token shares one projection /
+ * FFN GEMM -- the WOQ weight stream is paid once for the whole mixed
+ * step -- while attention and softmax are emitted per request at its
+ * exact (causal) context.  Exact-sum invariant: total MACs and
+ * nonlinear elements equal the sum of the equivalent standalone
+ * batch-1 decode workloads (build_decode_workload) and standalone
+ * prefill-chunk workloads (build_prefill_chunk_workload).
+ */
+Workload build_mixed_step_workload(
+    const ModelConfig& config,
+    std::span<const std::size_t> decode_contexts,
+    std::span<const PrefillChunk> prefill_chunks);
+
 }  // namespace model
 }  // namespace mugi
 

@@ -108,6 +108,19 @@ KvCache::key_scale(std::size_t head, std::size_t pos) const
 }
 
 std::size_t
+KvCache::bytes_per_position(std::size_t num_heads,
+                            std::size_t head_dim,
+                            KvPrecision precision)
+{
+    if (precision == KvPrecision::kFloat) {
+        // K and V float vectors per head.
+        return 2 * num_heads * head_dim * sizeof(float);
+    }
+    // K and V per head: packed INT4 nibbles + one BF16 scale.
+    return 2 * num_heads * ((head_dim + 1) / 2 + 2);
+}
+
+std::size_t
 KvCache::byte_size() const
 {
     if (precision_ == KvPrecision::kFloat) {

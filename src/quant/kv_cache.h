@@ -61,8 +61,31 @@ class KvCache {
     /** Per-vector key scale (valid only with kInt4 precision). */
     float key_scale(std::size_t head, std::size_t pos) const;
 
-    /** Current storage footprint in bytes. */
+    /**
+     * Modeled storage footprint in bytes (kFloat counts BF16-
+     * equivalent 2-byte elements, the precision the datapath
+     * assumes).  Kept for the perf-model studies; admission budgets
+     * should use memory_bytes().
+     */
     std::size_t byte_size() const;
+
+    /**
+     * Exact per-precision device footprint in bytes: INT4 codes
+     * packed two per byte plus one BF16 scale per vector (kInt4), or
+     * full float storage (kFloat).  This is the quantity a serving
+     * scheduler's KV-memory budget accounts -- the cache grows
+     * without bound otherwise.
+     */
+    std::size_t memory_bytes() const
+    {
+        return length_ *
+               bytes_per_position(num_heads_, head_dim_, precision_);
+    }
+
+    /** Exact K+V bytes one cached position costs at @p precision. */
+    static std::size_t bytes_per_position(std::size_t num_heads,
+                                          std::size_t head_dim,
+                                          KvPrecision precision);
 
   private:
     struct QuantVector {

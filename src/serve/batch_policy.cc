@@ -1,0 +1,58 @@
+#include "serve/batch_policy.h"
+
+#include <cmath>
+
+#include "model/workload.h"
+#include "sim/performance_model.h"
+
+namespace mugi {
+namespace serve {
+
+BatchSweepPoint
+BatchPolicy::evaluate(const sim::DesignConfig& design,
+                      std::span<const model::ModelConfig> models,
+                      std::size_t batch, std::size_t context)
+{
+    BatchSweepPoint point;
+    point.batch = batch;
+    double t = 1.0, e = 1.0;
+    for (const model::ModelConfig& m : models) {
+        const sim::PerfReport r = sim::run_workload(
+            design, model::build_decode_workload(m, batch, context));
+        t *= r.throughput_tokens_per_s;
+        e *= r.energy_per_token_j;
+    }
+    const double inv = 1.0 / static_cast<double>(models.size());
+    point.throughput_tokens_per_s = std::pow(t, inv);
+    point.energy_per_token_j = std::pow(e, inv);
+    return point;
+}
+
+BatchPolicy
+BatchPolicy::derive(const sim::DesignConfig& design,
+                    const model::ModelConfig& model,
+                    std::size_t context, std::size_t max_batch,
+                    double tolerance)
+{
+    BatchPolicy policy;
+    const model::ModelConfig models[] = {model};
+    double best = 0.0;
+    for (std::size_t batch = 1; batch <= max_batch; batch *= 2) {
+        policy.sweep_.push_back(
+            evaluate(design, models, batch, context));
+        best = std::max(
+            best, policy.sweep_.back().throughput_tokens_per_s);
+        policy.max_ = batch;
+    }
+    policy.target_ = policy.max_;
+    for (const BatchSweepPoint& point : policy.sweep_) {
+        if (point.throughput_tokens_per_s >= (1.0 - tolerance) * best) {
+            policy.target_ = point.batch;
+            break;
+        }
+    }
+    return policy;
+}
+
+}  // namespace serve
+}  // namespace mugi

@@ -1,0 +1,75 @@
+#ifndef MUGI_SERVE_BATCH_POLICY_H_
+#define MUGI_SERVE_BATCH_POLICY_H_
+
+/**
+ * @file
+ * Batch-size targeting from the Fig. 14 batch sweep.
+ *
+ * Fig. 14 sweeps decode batch size per design and shows each
+ * architecture's throughput knee: Mugi saturates once the batch
+ * fills its 8 array columns, while systolic/SIMD baselines need the
+ * batch to reach their array dimension.  BatchPolicy runs exactly
+ * that sweep (bench/fig14_batch_sweep.cc calls the same primitive)
+ * and derives the batch-size target serve::Scheduler steers its
+ * continuous batch toward: the smallest batch within a tolerance of
+ * the design's best throughput -- larger batches only add latency.
+ */
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "model/config.h"
+#include "sim/design.h"
+
+namespace mugi {
+namespace serve {
+
+/** One point of a Fig. 14-style decode batch sweep. */
+struct BatchSweepPoint {
+    std::size_t batch = 0;
+    double throughput_tokens_per_s = 0.0;
+    double energy_per_token_j = 0.0;
+};
+
+/** Batch-size target derived from the Fig. 14 sweep for one design. */
+class BatchPolicy {
+  public:
+    /**
+     * The Fig. 14 sweep primitive: geometric-mean decode throughput
+     * and energy/token over @p models at (@p batch, @p context).
+     */
+    static BatchSweepPoint evaluate(
+        const sim::DesignConfig& design,
+        std::span<const model::ModelConfig> models, std::size_t batch,
+        std::size_t context);
+
+    /**
+     * Sweep powers of two up to @p max_batch at @p context and pick
+     * the smallest batch whose throughput is within @p tolerance of
+     * the best (the knee -- batch 8 for Mugi's 8 columns, the array
+     * dimension for SA/SD).
+     */
+    static BatchPolicy derive(const sim::DesignConfig& design,
+                              const model::ModelConfig& model,
+                              std::size_t context = 512,
+                              std::size_t max_batch = 32,
+                              double tolerance = 0.1);
+
+    /** The batch size the scheduler steers toward. */
+    std::size_t target_batch() const { return target_; }
+    /** Largest batch considered by the sweep. */
+    std::size_t max_batch() const { return max_; }
+    /** The sweep the target was derived from, ascending batch. */
+    const std::vector<BatchSweepPoint>& sweep() const { return sweep_; }
+
+  private:
+    std::size_t target_ = 1;
+    std::size_t max_ = 1;
+    std::vector<BatchSweepPoint> sweep_;
+};
+
+}  // namespace serve
+}  // namespace mugi
+
+#endif  // MUGI_SERVE_BATCH_POLICY_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_map>
 
 #include "model/ops.h"
 #include "sim/cost_model.h"
@@ -109,11 +110,22 @@ StepResult
 Engine::step(std::span<Session* const> sessions,
              std::span<const int> tokens) const
 {
-    assert(model_config_.has_value());
     assert(tokens.empty() || tokens.size() == sessions.size());
-    assert((tokens.empty() || model_) &&
+    StepPlan plan;
+    plan.decode_sessions.assign(sessions.begin(), sessions.end());
+    plan.decode_tokens.assign(tokens.begin(), tokens.end());
+    return step(plan);
+}
+
+StepResult
+Engine::step(const StepPlan& plan) const
+{
+    assert(model_config_.has_value());
+    assert(plan.decode_tokens.empty() ||
+           plan.decode_tokens.size() == plan.decode_sessions.size());
+    assert((plan.decode_tokens.empty() || model_) &&
            "token stepping needs a functional model");
-    if (sessions.empty()) {
+    if (plan.empty()) {
         // A drained continuous batch: nothing ran, so return a zeroed
         // report instead of evaluating a 0-token workload (whose
         // derived rates would be NaN and poison accumulators).
@@ -124,24 +136,33 @@ Engine::step(std::span<Session* const> sessions,
 
     // Context each session's new token attends: its cache after the
     // append, i.e. position + 1 (matches build_decode_workload's
-    // kv_len semantics).
+    // kv_len semantics).  A session listed twice steps twice, so its
+    // second occurrence attends one more position.
+    const std::size_t D = plan.decode_sessions.size();
     std::vector<std::size_t> contexts;
-    contexts.reserve(sessions.size());
-    for (const Session* s : sessions) {
-        contexts.push_back(s->position() + 1);
+    contexts.reserve(D);
+    std::unordered_map<const Session*, std::size_t> occurrences;
+    for (std::size_t i = 0; i < D; ++i) {
+        contexts.push_back(plan.decode_sessions[i]->position() + 1 +
+                           occurrences[plan.decode_sessions[i]]++);
     }
-    const model::Workload workload =
-        model::build_mixed_decode_workload(*model_config_, contexts);
+    std::vector<model::PrefillChunk> chunks;
+    chunks.reserve(plan.prefills.size());
+    for (const StepPlan::PrefillEntry& entry : plan.prefills) {
+        chunks.push_back({entry.session->position(), entry.size()});
+    }
+    const model::Workload workload = model::build_mixed_step_workload(
+        *model_config_, contexts, chunks);
 
     StepResult result;
     result.report = evaluate(workload);
-    result.outputs.reserve(sessions.size());
-    for (std::size_t i = 0; i < sessions.size(); ++i) {
-        Session& session = *sessions[i];
+    result.outputs.reserve(D);
+    for (std::size_t i = 0; i < D; ++i) {
+        Session& session = *plan.decode_sessions[i];
         StepResult::SessionOutput out;
         out.session_id = session.id();
-        if (!tokens.empty()) {
-            out.logits = decode_token(session, tokens[i]);
+        if (!plan.decode_tokens.empty()) {
+            out.logits = decode_token(session, plan.decode_tokens[i]);
             out.next_token = static_cast<int>(std::distance(
                 out.logits.begin(),
                 std::max_element(out.logits.begin(),
@@ -151,6 +172,23 @@ Engine::step(std::span<Session* const> sessions,
         session.tokens_generated_ += 1;
         out.position = session.position_;
         result.outputs.push_back(std::move(out));
+    }
+    result.prefill_outputs.reserve(plan.prefills.size());
+    for (const StepPlan::PrefillEntry& entry : plan.prefills) {
+        Session& session = *entry.session;
+        StepResult::SessionOutput out;
+        out.session_id = session.id();
+        if (!entry.tokens.empty()) {
+            out.logits = prefill_chunk(session, entry.tokens);
+            out.next_token = static_cast<int>(std::distance(
+                out.logits.begin(),
+                std::max_element(out.logits.begin(),
+                                 out.logits.end())));
+        } else {
+            advance_context(session, entry.analytic_tokens);
+        }
+        out.position = session.position_;
+        result.prefill_outputs.push_back(std::move(out));
     }
     return result;
 }
@@ -166,12 +204,28 @@ Engine::step(Session& session, int token) const
 std::vector<float>
 Engine::prefill(Session& session, std::span<const int> prompt) const
 {
+    return prefill_chunk(session, prompt);
+}
+
+std::vector<float>
+Engine::prefill_chunk(Session& session,
+                      std::span<const int> tokens) const
+{
+    assert(model_ && "chunked prefill needs a functional model");
     std::vector<float> logits;
-    for (const int token : prompt) {
+    for (const int token : tokens) {
         logits = decode_token(session, token);
         session.position_ += 1;
     }
     return logits;
+}
+
+void
+Engine::advance_context(Session& session, std::size_t tokens) const
+{
+    assert(!model_ &&
+           "functional sessions build context by prefilling tokens");
+    session.position_ += tokens;
 }
 
 SystemReport

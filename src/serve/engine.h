@@ -67,8 +67,54 @@ struct StepResult {
     };
     /** One entry per stepped session, in batch order. */
     std::vector<SessionOutput> outputs;
+    /**
+     * One entry per StepPlan prefill chunk, in plan order.  logits /
+     * next_token are those after the chunk's last token, so a chunk
+     * that completes a prompt already carries the request's first
+     * generated token.
+     */
+    std::vector<SessionOutput> prefill_outputs;
     /** Aggregated evaluation of the whole batched step. */
     SystemReport report;
+};
+
+/**
+ * One continuous-batching iteration's worth of work: decode steps
+ * and chunked-prefill chunks that share a single mixed workload
+ * evaluation (one WOQ weight stream for everything -- see
+ * model::build_mixed_step_workload).  This is what serve::Scheduler
+ * hands Engine::step each iteration.
+ */
+struct StepPlan {
+    /** Sessions taking one decode step. */
+    std::vector<Session*> decode_sessions;
+    /**
+     * Token each decode session consumes; empty for analytic-only
+     * stepping, otherwise one per decode session.
+     */
+    std::vector<int> decode_tokens;
+
+    struct PrefillEntry {
+        Session* session = nullptr;
+        /** Prompt chunk to feed (functional engines). */
+        std::span<const int> tokens;
+        /** Chunk length for analytic engines (tokens empty). */
+        std::size_t analytic_tokens = 0;
+
+        std::size_t
+        size() const
+        {
+            return tokens.empty() ? analytic_tokens : tokens.size();
+        }
+    };
+    /** Prefill chunks interleaved into this step. */
+    std::vector<PrefillEntry> prefills;
+
+    bool
+    empty() const
+    {
+        return decode_sessions.empty() && prefills.empty();
+    }
 };
 
 /** An immutable, shareable Mugi serving engine. */
@@ -122,11 +168,40 @@ class Engine {
     StepResult step(Session& session, int token) const;
 
     /**
+     * One mixed serving iteration: every decode step and prefill
+     * chunk in @p plan shares a single build_mixed_step_workload
+     * evaluation, and functional decode/prefill runs the exact
+     * single-request numerical path.  A session may appear more than
+     * once among the decode entries; occurrences behave as that many
+     * sequential steps (positions and modeled contexts advance per
+     * occurrence).
+     */
+    StepResult step(const StepPlan& plan) const;
+
+    /**
      * Feed a prompt through a functional session without per-step
      * reports; returns the logits after the last prompt token.
      */
     std::vector<float> prefill(Session& session,
                                std::span<const int> prompt) const;
+
+    /**
+     * Chunk-bounded prefill entry point (functional engines): feed
+     * one chunk of a prompt and return the logits after its last
+     * token.  Feeding a prompt chunk by chunk is bit-identical to one
+     * prefill() call -- both take the token-by-token decode path --
+     * which is the invariant that lets serve::Scheduler interleave
+     * prefill chunks with decode batches.
+     */
+    std::vector<float> prefill_chunk(Session& session,
+                                     std::span<const int> tokens) const;
+
+    /**
+     * Analytic counterpart of prefill_chunk: grow an analytic
+     * session's modeled context by @p tokens positions (no functional
+     * model required).
+     */
+    void advance_context(Session& session, std::size_t tokens) const;
 
     // ---- Workload evaluation (the architecture-model facade). ----
 

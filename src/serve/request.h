@@ -1,0 +1,117 @@
+#ifndef MUGI_SERVE_REQUEST_H_
+#define MUGI_SERVE_REQUEST_H_
+
+/**
+ * @file
+ * The request side of the request-lifecycle serving API.
+ *
+ * A Request is what callers submit to serve::Scheduler: the prompt
+ * (real tokens for functional engines, a token count for analytic
+ * Table-1-scale serving), generation limits, and an optional
+ * streaming callback.  A FinishedRequest is what comes back: the
+ * generated tokens plus the modeled-clock latency milestones every
+ * serving paper reports (queue wait, TTFT, TPOT).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "serve/session.h"
+
+namespace mugi {
+namespace serve {
+
+/** Why a request left the scheduler. */
+enum class FinishReason {
+    kMaxTokens,  ///< Generated max_new_tokens.
+    kStopToken,  ///< Emitted the request's stop token.
+};
+
+const char* finish_reason_name(FinishReason reason);
+
+/**
+ * Streaming callback: (request id, 0-based index of the generated
+ * token, the token; -1 on analytic engines).  Fired as each token is
+ * produced, before the request finishes.
+ */
+using TokenCallback =
+    std::function<void(std::uint64_t, std::size_t, int)>;
+
+/** One generation request submitted to a Scheduler. */
+struct Request {
+    /** Prompt tokens (functional engines). */
+    std::vector<int> prompt;
+    /**
+     * Prompt length for analytic engines (no real tokens); ignored
+     * when @p prompt is non-empty.
+     */
+    std::size_t analytic_prompt_tokens = 0;
+
+    /** Generation stops after this many new tokens. */
+    std::size_t max_new_tokens = 16;
+    /**
+     * Generation stops early when this token is emitted.  Functional
+     * engines only: analytic requests have no real tokens (every
+     * emission is -1) and always run to max_new_tokens.
+     */
+    std::optional<int> stop_token;
+
+    /**
+     * Modeled-clock arrival time: the scheduler will not admit the
+     * request before its simulated clock reaches this, which is how
+     * staggered / bursty arrival traces are replayed.
+     */
+    double arrival_time_s = 0.0;
+
+    /** Per-session knobs (KV precision); initial_context must be 0 --
+     *  context is built by the scheduler's chunked prefill. */
+    SessionOptions session;
+
+    /** Optional per-token streaming hook. */
+    TokenCallback on_token;
+
+    std::size_t
+    prompt_tokens() const
+    {
+        return prompt.empty() ? analytic_prompt_tokens : prompt.size();
+    }
+};
+
+/** A completed request with its lifecycle milestones. */
+struct FinishedRequest {
+    std::uint64_t id = 0;
+    FinishReason reason = FinishReason::kMaxTokens;
+
+    /** Generated tokens in order (empty on analytic engines). */
+    std::vector<int> tokens;
+    std::size_t prompt_tokens = 0;
+    /** Tokens generated (counts analytic generations too). */
+    std::size_t generated = 0;
+
+    // Modeled-clock milestones.
+    double arrival_s = 0.0;      ///< Request::arrival_time_s.
+    double admitted_s = 0.0;     ///< Left the queue, session created.
+    double first_token_s = 0.0;  ///< Prefill done, first token out.
+    double finished_s = 0.0;     ///< Last token out.
+
+    /** Admission-queue wait. */
+    double queue_s() const { return admitted_s - arrival_s; }
+    /** Time to first token, from arrival (queue + prefill). */
+    double ttft_s() const { return first_token_s - arrival_s; }
+    /** Mean time per output token after the first. */
+    double
+    tpot_s() const
+    {
+        return generated > 1 ? (finished_s - first_token_s) /
+                                   static_cast<double>(generated - 1)
+                             : 0.0;
+    }
+};
+
+}  // namespace serve
+}  // namespace mugi
+
+#endif  // MUGI_SERVE_REQUEST_H_

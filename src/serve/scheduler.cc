@@ -1,0 +1,321 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "quant/kv_cache.h"
+
+namespace mugi {
+namespace serve {
+
+const char*
+finish_reason_name(FinishReason reason)
+{
+    switch (reason) {
+      case FinishReason::kMaxTokens:
+        return "max_tokens";
+      case FinishReason::kStopToken:
+        return "stop_token";
+    }
+    return "?";
+}
+
+Scheduler::Scheduler(const Engine& engine,
+                     const SchedulerConfig& config)
+    : engine_(engine), config_(config),
+      functional_(engine.has_model())
+{
+    // The assert is the contract, exactly as in
+    // Engine::create_session: a model (config) is required.
+    assert(engine.model_config().has_value() &&
+           "scheduling needs a model (config) at engine build");
+    if (config_.max_batch == 0) {
+        policy_ = BatchPolicy::derive(engine.design(),
+                                      *engine.model_config(),
+                                      config_.policy_context);
+    }
+}
+
+std::uint64_t
+Scheduler::submit(Request request)
+{
+    assert((!functional_ || !request.prompt.empty()) &&
+           "functional requests need a non-empty prompt");
+    assert(request.session.initial_context == 0 &&
+           "context is built by the scheduler's chunked prefill");
+    request.session.initial_context = 0;
+    const std::uint64_t id = ++submitted_;
+    const double arrival =
+        std::max(request.arrival_time_s, now_s_);
+    if (functional_ && request.prompt.empty()) {
+        // There is nothing to decode from: retire the request
+        // immediately instead of feeding token -1 into the model
+        // (the assert above catches this in debug builds).  All
+        // milestones collapse onto the arrival instant, so queue /
+        // TTFT / TPOT are zero and the stats() means stay exact.
+        FinishedRequest f;
+        f.id = id;
+        f.reason = FinishReason::kMaxTokens;
+        f.arrival_s = arrival;
+        f.admitted_s = arrival;
+        f.first_token_s = arrival;
+        f.finished_s = arrival;
+        ++finished_count_;
+        finished_.push_back(std::move(f));
+        return id;
+    }
+    QueuedRequest queued;
+    queued.id = id;
+    queued.arrival_s = arrival;
+    queued.request = std::move(request);
+    queue_.push_back(std::move(queued));
+    return id;
+}
+
+std::size_t
+Scheduler::projected_kv_bytes(const Request& request) const
+{
+    const model::ModelConfig& c = *engine_.model_config();
+    return c.num_layers *
+           quant::KvCache::bytes_per_position(
+               c.num_kv_heads, c.head_dim(),
+               request.session.kv_precision) *
+           (request.prompt_tokens() + request.max_new_tokens);
+}
+
+std::size_t
+Scheduler::committed_kv_bytes() const
+{
+    std::size_t total = 0;
+    for (const ActiveRequest& a : active_) {
+        total += a.projected_kv_bytes;
+    }
+    return total;
+}
+
+std::size_t
+Scheduler::kv_bytes_in_use() const
+{
+    const model::ModelConfig& c = *engine_.model_config();
+    std::size_t total = 0;
+    for (const ActiveRequest& a : active_) {
+        total += a.session.kv_memory_bytes(c.num_layers,
+                                           c.num_kv_heads,
+                                           c.head_dim());
+    }
+    return total;
+}
+
+void
+Scheduler::admit_arrivals()
+{
+    // FIFO admission: the queue head blocks everything behind it, so
+    // an expensive request cannot be starved by a stream of cheap
+    // later ones.
+    while (!queue_.empty() && active_.size() < target_batch()) {
+        QueuedRequest& head = queue_.front();
+        if (head.arrival_s > now_s_) {
+            break;  // Not arrived yet on the modeled clock.
+        }
+        const std::size_t projected =
+            projected_kv_bytes(head.request);
+        if (config_.kv_budget_bytes != 0 && !active_.empty() &&
+            committed_kv_bytes() + projected >
+                config_.kv_budget_bytes) {
+            break;  // Would overcommit the KV budget.
+        }
+        const SessionOptions options = head.request.session;
+        ActiveRequest a{.id = head.id,
+                        .request = std::move(head.request),
+                        .session = engine_.create_session(options)};
+        a.projected_kv_bytes = projected;
+        a.arrival_s = head.arrival_s;
+        a.admitted_s = now_s_;
+        queue_.pop_front();
+        active_.push_back(std::move(a));
+    }
+}
+
+bool
+Scheduler::emit_token(ActiveRequest& req, int token)
+{
+    if (functional_) {
+        req.tokens.push_back(token);
+    }
+    ++req.generated;
+    ++generated_tokens_;
+    if (req.request.on_token) {
+        req.request.on_token(req.id, req.generated - 1, token);
+    }
+    req.pending_token = token;
+    if (functional_ && req.request.stop_token &&
+        token == *req.request.stop_token) {
+        finish(req, FinishReason::kStopToken);
+        return true;
+    }
+    if (req.generated >= req.request.max_new_tokens) {
+        finish(req, FinishReason::kMaxTokens);
+        return true;
+    }
+    return false;
+}
+
+void
+Scheduler::finish(ActiveRequest& req, FinishReason reason)
+{
+    FinishedRequest f;
+    f.id = req.id;
+    f.reason = reason;
+    f.tokens = std::move(req.tokens);
+    f.prompt_tokens = req.request.prompt_tokens();
+    f.generated = req.generated;
+    f.arrival_s = req.arrival_s;
+    f.admitted_s = req.admitted_s;
+    f.first_token_s = req.first_token_s;
+    f.finished_s = now_s_;
+    sum_queue_s_ += f.queue_s();
+    sum_ttft_s_ += f.ttft_s();
+    max_ttft_s_ = std::max(max_ttft_s_, f.ttft_s());
+    sum_tpot_s_ += f.tpot_s();
+    ++finished_count_;
+    finished_.push_back(std::move(f));
+    req.done = true;
+}
+
+bool
+Scheduler::step()
+{
+    if (queue_.empty() && active_.empty()) {
+        return false;
+    }
+    // Idle scheduler, all queued arrivals in the future: fast-forward
+    // the modeled clock to the next arrival.
+    if (active_.empty() && !queue_.empty() &&
+        queue_.front().arrival_s > now_s_) {
+        idle_s_ += queue_.front().arrival_s - now_s_;
+        now_s_ = queue_.front().arrival_s;
+    }
+    admit_arrivals();
+    if (active_.empty()) {
+        return !queue_.empty();
+    }
+
+    // Build the iteration's mixed plan: one prefill chunk per
+    // prompt-phase request, one decode step per generation-phase
+    // request; everything shares one weight-stream-shared workload.
+    StepPlan plan;
+    std::vector<std::size_t> prefill_owner;
+    std::vector<std::size_t> decode_owner;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+        ActiveRequest& a = active_[i];
+        if (!a.prefill_done()) {
+            const std::size_t remaining =
+                a.request.prompt_tokens() - a.prompt_fed;
+            const std::size_t chunk = std::min(
+                config_.prefill_chunk_tokens == 0
+                    ? remaining
+                    : config_.prefill_chunk_tokens,
+                remaining);
+            StepPlan::PrefillEntry entry;
+            entry.session = &a.session;
+            if (functional_) {
+                entry.tokens =
+                    std::span<const int>(a.request.prompt)
+                        .subspan(a.prompt_fed, chunk);
+            } else {
+                entry.analytic_tokens = chunk;
+            }
+            plan.prefills.push_back(entry);
+            prefill_owner.push_back(i);
+        } else {
+            plan.decode_sessions.push_back(&a.session);
+            if (functional_) {
+                plan.decode_tokens.push_back(a.pending_token);
+            }
+            decode_owner.push_back(i);
+        }
+    }
+
+    const StepResult result = engine_.step(plan);
+    horizon_.add(result.report.perf);
+    now_s_ = idle_s_ + horizon_.elapsed_s();
+    decode_tokens_ += plan.decode_sessions.size();
+    for (const StepPlan::PrefillEntry& entry : plan.prefills) {
+        prefill_tokens_ += entry.size();
+    }
+
+    for (std::size_t k = 0; k < result.outputs.size(); ++k) {
+        emit_token(active_[decode_owner[k]],
+                   result.outputs[k].next_token);
+    }
+    for (std::size_t k = 0; k < result.prefill_outputs.size(); ++k) {
+        ActiveRequest& a = active_[prefill_owner[k]];
+        a.prompt_fed += plan.prefills[k].size();
+        if (!a.prefill_done()) {
+            continue;
+        }
+        // Prefill complete: the chunk's final logits already carry
+        // the request's first generated token (TTFT is now).
+        a.first_token_s = now_s_;
+        if (a.request.max_new_tokens == 0) {
+            finish(a, FinishReason::kMaxTokens);
+        } else {
+            emit_token(a, result.prefill_outputs[k].next_token);
+        }
+    }
+
+    // Peak footprint is observed before retiring finished requests:
+    // their caches were resident through this iteration.
+    peak_kv_bytes_ = std::max(peak_kv_bytes_, kv_bytes_in_use());
+    active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                 [](const ActiveRequest& a) {
+                                     return a.done;
+                                 }),
+                  active_.end());
+    return !(queue_.empty() && active_.empty());
+}
+
+std::vector<FinishedRequest>
+Scheduler::run()
+{
+    while (step()) {
+    }
+    return take_finished();
+}
+
+std::vector<FinishedRequest>
+Scheduler::take_finished()
+{
+    std::vector<FinishedRequest> out;
+    out.swap(finished_);
+    return out;
+}
+
+ServerStats
+Scheduler::stats() const
+{
+    ServerStats s;
+    s.horizon = horizon_.total();
+    s.steps = horizon_.steps();
+    s.submitted = submitted_;
+    s.finished = finished_count_;
+    s.active = active_.size();
+    s.queued = queue_.size();
+    s.decode_tokens = decode_tokens_;
+    s.prefill_tokens = prefill_tokens_;
+    s.generated_tokens = generated_tokens_;
+    s.kv_budget_bytes = config_.kv_budget_bytes;
+    s.peak_kv_bytes = peak_kv_bytes_;
+    s.target_batch = target_batch();
+    if (finished_count_ > 0) {
+        const double n = static_cast<double>(finished_count_);
+        s.mean_queue_s = sum_queue_s_ / n;
+        s.mean_ttft_s = sum_ttft_s_ / n;
+        s.max_ttft_s = max_ttft_s_;
+        s.mean_tpot_s = sum_tpot_s_ / n;
+    }
+    return s;
+}
+
+}  // namespace serve
+}  // namespace mugi

@@ -1,0 +1,222 @@
+#ifndef MUGI_SERVE_SCHEDULER_H_
+#define MUGI_SERVE_SCHEDULER_H_
+
+/**
+ * @file
+ * The request-lifecycle serving frontend: admission control, chunked
+ * prefill and continuous batching over Engine::step.
+ *
+ * Callers submit() Requests and step() (or run()) the scheduler; it
+ * owns everything in between:
+ *
+ *  - an admission queue ordered by submission, gated on each
+ *    request's modeled arrival time and on a KV-memory budget: a
+ *    request is only admitted when its *projected* KV footprint at
+ *    full generation length (prompt + max_new_tokens, exact
+ *    KvCache::bytes_per_position accounting for its precision) fits
+ *    alongside the already-committed footprints.  Admission is FIFO
+ *    (head-of-line blocking, no starvation);
+ *  - chunked prefill: admitted prompts are fed at most
+ *    prefill_chunk_tokens per iteration, interleaved with the decode
+ *    batch in one Engine::step(StepPlan) whose mixed workload shares
+ *    a single WOQ weight stream (vLLM/Sarathi-style chunked prefill);
+ *  - continuous batching toward the BatchPolicy target derived from
+ *    the Fig. 14 sweep: finished requests leave mid-flight and
+ *    queued requests are admitted the same iteration.
+ *
+ * Chunked-prefill invariant: feeding a prompt chunk by chunk is
+ * bit-identical to one Engine::prefill call, and the mixed step's
+ * workload MACs equal the sum of the equivalent standalone chunk and
+ * decode workloads -- so scheduling changes *when* work happens,
+ * never its numerics or totals (tests/serve/scheduler_test.cc).
+ *
+ * Time is the modeled clock: each iteration advances it by the mixed
+ * step's modeled runtime, which is what the TTFT/TPOT/queue numbers
+ * in ServerStats are measured in.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "serve/batch_policy.h"
+#include "serve/engine.h"
+#include "serve/request.h"
+#include "sim/performance_model.h"
+
+namespace mugi {
+namespace serve {
+
+/** Scheduler knobs fixed at construction. */
+struct SchedulerConfig {
+    /**
+     * KV-memory budget in bytes shared by all admitted requests;
+     * 0 = unbounded.  A request whose projection alone exceeds the
+     * budget is still admitted when it can run alone (it could never
+     * run otherwise).
+     */
+    std::size_t kv_budget_bytes = 0;
+    /** Max prompt tokens fed per request per iteration. */
+    std::size_t prefill_chunk_tokens = 256;
+    /**
+     * Concurrent-request target the continuous batch is steered
+     * toward; 0 = derive via BatchPolicy from the engine's design
+     * and model config.
+     */
+    std::size_t max_batch = 0;
+    /** Context length used by the BatchPolicy derivation sweep. */
+    std::size_t policy_context = 512;
+};
+
+/** Serving-horizon report: accumulator totals + latency stats. */
+struct ServerStats {
+    /**
+     * sim::PerfAccumulator total over every mixed step: cycles,
+     * energy, tokens (prefill + decode) and recomputed rates --
+     * energy_per_token_j here is the serving energy-per-token number.
+     */
+    sim::PerfReport horizon;
+    std::size_t steps = 0;
+
+    std::size_t submitted = 0;
+    std::size_t finished = 0;
+    std::size_t active = 0;  ///< Currently admitted.
+    std::size_t queued = 0;  ///< Waiting for admission.
+
+    /**
+     * Decode-step tokens processed; with prefill_tokens this
+     * accounts the horizon exactly: horizon.tokens ==
+     * prefill_tokens + decode_tokens.
+     */
+    std::size_t decode_tokens = 0;
+    std::size_t prefill_tokens = 0;  ///< Prompt tokens processed.
+    /**
+     * Tokens emitted to callers.  Each request's first token rides
+     * its final prefill chunk, so generated_tokens exceeds
+     * decode_tokens by one per finished request.
+     */
+    std::size_t generated_tokens = 0;
+
+    std::size_t kv_budget_bytes = 0;
+    /** Largest exact KV footprint observed across any iteration. */
+    std::size_t peak_kv_bytes = 0;
+    std::size_t target_batch = 0;
+
+    // Over finished requests, on the modeled clock.
+    double mean_queue_s = 0.0;
+    double mean_ttft_s = 0.0;
+    double max_ttft_s = 0.0;
+    double mean_tpot_s = 0.0;
+};
+
+/** Request-lifecycle scheduler over one Engine. */
+class Scheduler {
+  public:
+    /** @p engine must outlive the scheduler. */
+    explicit Scheduler(const Engine& engine,
+                       const SchedulerConfig& config = {});
+
+    Scheduler(const Scheduler&) = delete;
+    Scheduler& operator=(const Scheduler&) = delete;
+
+    /** Enqueue a request; returns the id FinishedRequest reports. */
+    std::uint64_t submit(Request request);
+
+    /**
+     * One scheduling iteration: admit, build the mixed StepPlan,
+     * Engine::step it, stream tokens, retire finished requests.
+     * Returns true while any request is active or queued.
+     */
+    bool step();
+
+    /** step() until drained, then hand back every finished request. */
+    std::vector<FinishedRequest> run();
+
+    /** Finished requests since the last take (submission order). */
+    std::vector<FinishedRequest> take_finished();
+
+    ServerStats stats() const;
+
+    /** Modeled clock: PerfAccumulator::elapsed_s + idle skips. */
+    double now_s() const { return now_s_; }
+    std::size_t queued() const { return queue_.size(); }
+    std::size_t active() const { return active_.size(); }
+    /** Exact KV bytes currently cached across admitted requests. */
+    std::size_t kv_bytes_in_use() const;
+    const BatchPolicy& policy() const { return policy_; }
+
+  private:
+    struct ActiveRequest {
+        std::uint64_t id = 0;
+        Request request;
+        Session session;
+        std::size_t prompt_fed = 0;
+        std::vector<int> tokens{};
+        std::size_t generated = 0;
+        int pending_token = -1;  ///< Next decode input.
+        std::size_t projected_kv_bytes = 0;
+        double arrival_s = 0.0;
+        double admitted_s = 0.0;
+        double first_token_s = 0.0;
+        bool done = false;
+
+        bool
+        prefill_done() const
+        {
+            return prompt_fed >= request.prompt_tokens();
+        }
+    };
+
+    struct QueuedRequest {
+        std::uint64_t id = 0;
+        Request request;
+        /** max(arrival_time_s, clock at submit). */
+        double arrival_s = 0.0;
+    };
+
+    std::size_t
+    target_batch() const
+    {
+        return config_.max_batch ? config_.max_batch
+                                 : policy_.target_batch();
+    }
+
+    std::size_t projected_kv_bytes(const Request& request) const;
+    std::size_t committed_kv_bytes() const;
+    void admit_arrivals();
+    /** Emit one generated token; returns true when req is finished. */
+    bool emit_token(ActiveRequest& req, int token);
+    void finish(ActiveRequest& req, FinishReason reason);
+
+    const Engine& engine_;
+    SchedulerConfig config_;
+    BatchPolicy policy_;
+    bool functional_ = false;
+
+    std::deque<QueuedRequest> queue_;
+    std::vector<ActiveRequest> active_;
+    std::vector<FinishedRequest> finished_;
+
+    sim::PerfAccumulator horizon_;
+    /** Clock: horizon_.elapsed_s() + idle fast-forward skips. */
+    double now_s_ = 0.0;
+    double idle_s_ = 0.0;
+
+    // Cumulative counters (survive take_finished()).
+    std::size_t submitted_ = 0;
+    std::size_t finished_count_ = 0;
+    std::size_t decode_tokens_ = 0;
+    std::size_t prefill_tokens_ = 0;
+    std::size_t generated_tokens_ = 0;
+    std::size_t peak_kv_bytes_ = 0;
+    double sum_queue_s_ = 0.0;
+    double sum_ttft_s_ = 0.0;
+    double max_ttft_s_ = 0.0;
+    double sum_tpot_s_ = 0.0;
+};
+
+}  // namespace serve
+}  // namespace mugi
+
+#endif  // MUGI_SERVE_SCHEDULER_H_

@@ -59,8 +59,19 @@ class Session {
 
     quant::KvPrecision kv_precision() const { return kv_precision_; }
 
-    /** Total KV-cache footprint across layers, in bytes. */
+    /** Total modeled KV-cache footprint across layers, in bytes. */
     std::size_t kv_bytes() const;
+
+    /**
+     * Exact KV device footprint across layers (KvCache::memory_bytes
+     * semantics) -- what a scheduler's admission budget charges.
+     * Analytic sessions (no caches) report from their position and
+     * precision so both serving modes account uniformly; that needs
+     * the hosting model's layer/head geometry, hence the arguments.
+     */
+    std::size_t kv_memory_bytes(std::size_t num_layers,
+                                std::size_t num_kv_heads,
+                                std::size_t head_dim) const;
 
     /**
      * Replace the default nonlinear kernels for every layer.  The

@@ -86,6 +86,14 @@ class PerfAccumulator {
 
     std::size_t steps() const { return steps_; }
 
+    /**
+     * Modeled busy time accumulated so far, in seconds.
+     * serve::Scheduler's request-lifecycle clock (queue wait, TTFT,
+     * TPOT) is this plus any idle fast-forward skips it makes while
+     * waiting for future arrivals.
+     */
+    double elapsed_s() const { return sum_.runtime_s; }
+
     /** The aggregate with all derived metrics recomputed. */
     PerfReport total() const;
 

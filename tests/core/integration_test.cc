@@ -7,6 +7,9 @@
  * quality and the architecture models end to end.
  */
 
+// These tests deliberately exercise the deprecated MugiSystem shim.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 #include <cmath>
 
 #include <gtest/gtest.h>

@@ -1,3 +1,6 @@
+// This suite tests the deprecated MugiSystem shim on purpose.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 #include "core/mugi_system.h"
 
 #include <cmath>

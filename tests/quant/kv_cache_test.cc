@@ -129,6 +129,45 @@ TEST(KvCache, AttentionScoreErrorSmall)
     }
 }
 
+TEST(KvCache, MemoryBytesIsExactPerPrecision)
+{
+    // memory_bytes() is the admission-budget footprint: packed INT4
+    // nibbles + one BF16 scale per K/V vector, or full float storage.
+    const std::size_t heads = 8, hd = 64;
+    const std::size_t int4_per_pos = 2 * heads * (hd / 2 + 2);
+    const std::size_t float_per_pos = 2 * heads * hd * sizeof(float);
+    EXPECT_EQ(KvCache::bytes_per_position(heads, hd,
+                                          KvPrecision::kInt4),
+              int4_per_pos);
+    EXPECT_EQ(KvCache::bytes_per_position(heads, hd,
+                                          KvPrecision::kFloat),
+              float_per_pos);
+    // Odd head_dim rounds the nibble packing up.
+    EXPECT_EQ(KvCache::bytes_per_position(1, 5, KvPrecision::kInt4),
+              2 * (3 + 2));
+
+    std::mt19937 rng(31);
+    KvCache quant(heads, hd, KvPrecision::kInt4);
+    KvCache exact(heads, hd, KvPrecision::kFloat);
+    EXPECT_EQ(quant.memory_bytes(), 0u);
+    for (int t = 1; t <= 5; ++t) {
+        const auto kv = random_heads(heads, hd, rng);
+        quant.append(kv, kv);
+        exact.append(kv, kv);
+        // Growth is linear and visible -- the quantity a scheduler's
+        // KV budget bounds.
+        EXPECT_EQ(quant.memory_bytes(),
+                  static_cast<std::size_t>(t) * int4_per_pos);
+        EXPECT_EQ(exact.memory_bytes(),
+                  static_cast<std::size_t>(t) * float_per_pos);
+    }
+    // byte_size() models BF16-equivalent float storage (2 B/elem),
+    // so the exact float footprint is twice the modeled one; INT4 is
+    // identical under both accountings.
+    EXPECT_EQ(exact.memory_bytes(), 2 * exact.byte_size());
+    EXPECT_EQ(quant.memory_bytes(), quant.byte_size());
+}
+
 }  // namespace
 }  // namespace quant
 }  // namespace mugi

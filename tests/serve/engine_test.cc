@@ -167,7 +167,7 @@ TEST(EngineStep, EmptyBatchYieldsZeroedReportNotNaN)
     // A drained continuous batch must not poison accumulators with
     // 0/0 rates.
     const Engine engine(sim::make_mugi(256), model::llama2_7b());
-    const StepResult result = engine.step({});
+    const StepResult result = engine.step(StepPlan{});
     EXPECT_TRUE(result.outputs.empty());
     EXPECT_EQ(result.report.perf.tokens, 0.0);
     EXPECT_EQ(result.report.perf.throughput_tokens_per_s, 0.0);
@@ -180,6 +180,116 @@ TEST(EngineStep, EmptyBatchYieldsZeroedReportNotNaN)
     const sim::PerfReport total = acc.total();
     EXPECT_FALSE(std::isnan(total.throughput_tokens_per_s));
     EXPECT_GT(total.throughput_tokens_per_s, 0.0);
+}
+
+TEST(EngineStep, DuplicateSessionInBatchActsSequentially)
+{
+    // The scheduler never lists a session twice, but Engine::step
+    // defines the behavior anyway: each occurrence is one sequential
+    // step, so the duplicate batch must reproduce two back-to-back
+    // single steps -- bit-identical logits and the same positions.
+    const model::ModelConfig config =
+        model::llama2_70b().scaled_for_eval(2, 32, 64);
+    auto transformer =
+        std::make_shared<model::TransformerModel>(config, 2024);
+    const Engine engine(sim::make_mugi(64), transformer);
+    const std::vector<int> prompt =
+        model::synthetic_tokens(4, config.vocab, 7);
+
+    Session dup = engine.create_session();
+    engine.prefill(dup, prompt);
+    Session* batch[] = {&dup, &dup};
+    const int tokens[] = {3, 9};
+    const StepResult batched = engine.step(batch, tokens);
+
+    Session seq = engine.create_session();
+    engine.prefill(seq, prompt);
+    const StepResult first = engine.step(seq, 3);
+    const StepResult second = engine.step(seq, 9);
+
+    ASSERT_EQ(batched.outputs.size(), 2u);
+    EXPECT_EQ(batched.outputs[0].position, first.outputs[0].position);
+    EXPECT_EQ(batched.outputs[1].position,
+              second.outputs[0].position);
+    EXPECT_EQ(dup.position(), seq.position());
+    for (std::size_t v = 0; v < batched.outputs[0].logits.size();
+         ++v) {
+        EXPECT_EQ(batched.outputs[0].logits[v],
+                  first.outputs[0].logits[v]);
+        EXPECT_EQ(batched.outputs[1].logits[v],
+                  second.outputs[0].logits[v]);
+    }
+
+    // The modeled workload charges the second occurrence one more
+    // context position, exactly like the sequential pair.
+    const std::size_t base = prompt.size();
+    const std::size_t contexts[] = {base + 1, base + 2};
+    const model::Workload expected =
+        model::build_mixed_decode_workload(config, contexts);
+    EXPECT_DOUBLE_EQ(
+        batched.report.perf.tokens,
+        static_cast<double>(expected.tokens()));
+    EXPECT_DOUBLE_EQ(batched.report.perf.total_cycles,
+                     sim::run_workload(engine.design(), expected)
+                         .total_cycles);
+}
+
+TEST(EngineStep, AnalyticSessionStepsPastModelMaxSeqLen)
+{
+    // The analytic workload model has no hard context ceiling: a
+    // session stepped past the model config's max_seq_len keeps
+    // producing finite, growing-cost reports (the paged-KV roadmap
+    // item will bound this; the scheduler bounds it with its budget).
+    const model::ModelConfig config = model::llama2_7b();
+    const Engine engine(sim::make_mugi(256), config);
+    SessionOptions options;
+    options.initial_context = config.max_seq_len - 1;
+    Session session = engine.create_session(options);
+
+    Session* batch[] = {&session};
+    double last_cycles = 0.0;
+    for (int i = 0; i < 3; ++i) {
+        const StepResult result = engine.step(batch);
+        EXPECT_FALSE(
+            std::isnan(result.report.perf.throughput_tokens_per_s));
+        EXPECT_GT(result.report.perf.total_cycles, last_cycles);
+        last_cycles = result.report.perf.total_cycles;
+    }
+    EXPECT_EQ(session.position(), config.max_seq_len + 2);
+}
+
+TEST(EngineStep, PrefillChunksAreBitIdenticalToFullPrefill)
+{
+    // The chunked-prefill invariant the scheduler relies on: feeding
+    // a prompt in chunks takes the same token-by-token path as one
+    // prefill() call.
+    const model::ModelConfig config =
+        model::llama2_70b().scaled_for_eval(2, 32, 64);
+    auto transformer =
+        std::make_shared<model::TransformerModel>(config, 5150);
+    const Engine engine(sim::make_mugi(64), transformer);
+    const std::vector<int> prompt =
+        model::synthetic_tokens(11, config.vocab, 23);
+    const std::span<const int> span(prompt);
+
+    Session whole = engine.create_session();
+    const std::vector<float> full = engine.prefill(whole, prompt);
+
+    Session chunked = engine.create_session();
+    engine.prefill_chunk(chunked, span.subspan(0, 4));
+    engine.prefill_chunk(chunked, span.subspan(4, 4));
+    const std::vector<float> last =
+        engine.prefill_chunk(chunked, span.subspan(8));
+
+    EXPECT_EQ(chunked.position(), whole.position());
+    ASSERT_EQ(last.size(), full.size());
+    for (std::size_t v = 0; v < full.size(); ++v) {
+        EXPECT_EQ(last[v], full[v]);
+    }
+    // And the two sessions decode identically afterwards.
+    const StepResult a = engine.step(whole, 13);
+    const StepResult b = engine.step(chunked, 13);
+    EXPECT_EQ(a.outputs[0].next_token, b.outputs[0].next_token);
 }
 
 TEST(EngineSession, SessionOutlivesEngine)

@@ -5,6 +5,9 @@
  * one-shot quantize-and-run path the old facade used per call.
  */
 
+// Compares against the deprecated MugiSystem shim on purpose.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 #include "serve/prepared_weights.h"
 
 #include <random>

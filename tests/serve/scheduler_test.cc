@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Acceptance contract of the request-lifecycle API
+ * (serve::Scheduler): (1) a mixed prefill+decode step preserves the
+ * exact-sum workload invariant -- its MACs / nonlinear elements
+ * equal the sum of the equivalent standalone prefill-chunk and
+ * decode workloads; (2) the functional scheduler's output is
+ * bit-identical to serving the same requests one at a time; (3)
+ * admission control keeps the exact KV footprint under the budget.
+ */
+
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/accuracy.h"
+#include "model/workload.h"
+
+namespace mugi {
+namespace serve {
+namespace {
+
+// ---- (1) Mixed-step workload: the exact-sum invariant. ----
+
+TEST(MixedStepWorkload, ExactSumOfStandaloneChunkAndDecodeWorkloads)
+{
+    const model::ModelConfig config = model::llama2_70b();
+    const std::vector<std::size_t> decode_contexts = {64, 300, 4096};
+    const std::vector<model::PrefillChunk> chunks = {
+        {0, 32}, {100, 57}, {512, 256}};
+
+    const model::Workload mixed = model::build_mixed_step_workload(
+        config, decode_contexts, chunks);
+
+    std::uint64_t macs = 0, nonlinear = 0;
+    std::size_t tokens = 0;
+    for (const std::size_t c : decode_contexts) {
+        const model::Workload single =
+            model::build_decode_workload(config, 1, c);
+        macs += single.total_macs();
+        nonlinear += single.total_nonlinear_elements();
+        tokens += single.tokens();
+    }
+    for (const model::PrefillChunk& chunk : chunks) {
+        const model::Workload single =
+            model::build_prefill_chunk_workload(config, chunk);
+        macs += single.total_macs();
+        nonlinear += single.total_nonlinear_elements();
+        tokens += single.tokens();
+    }
+    EXPECT_EQ(mixed.total_macs(), macs);
+    EXPECT_EQ(mixed.total_nonlinear_elements(), nonlinear);
+    EXPECT_EQ(mixed.tokens(), tokens);
+
+    // The whole mixed step streams the WOQ weights exactly once.
+    const model::Workload one =
+        model::build_decode_workload(config, 1, decode_contexts[0]);
+    EXPECT_EQ(mixed.total_weight_bytes(), one.total_weight_bytes());
+}
+
+TEST(MixedStepWorkload, ChunkingNeverChangesTotalAttention)
+{
+    // Splitting a prompt into chunks must not change the summed
+    // causal-attention volume: attended() is exact, not an average.
+    const model::ModelConfig config = model::llama2_7b();
+    const model::PrefillChunk whole = {0, 100};
+    const std::vector<model::PrefillChunk> split = {
+        {0, 50}, {50, 30}, {80, 20}};
+
+    const model::Workload whole_w =
+        model::build_prefill_chunk_workload(config, whole);
+    std::uint64_t macs = 0, nonlinear = 0;
+    for (const model::PrefillChunk& chunk : split) {
+        const model::Workload w =
+            model::build_prefill_chunk_workload(config, chunk);
+        macs += w.total_macs();
+        nonlinear += w.total_nonlinear_elements();
+    }
+    EXPECT_EQ(whole_w.total_macs(), macs);
+    EXPECT_EQ(whole_w.total_nonlinear_elements(), nonlinear);
+
+    // attended() arithmetic: chunk of C tokens after S cached ones
+    // attends S*C + C(C+1)/2 positions.
+    EXPECT_EQ((model::PrefillChunk{0, 4}).attended(), 10u);
+    EXPECT_EQ((model::PrefillChunk{10, 3}).attended(), 36u);
+}
+
+TEST(MixedStepWorkload, EmptyChunksDegenerateToMixedDecode)
+{
+    const model::ModelConfig config = model::llama2_13b();
+    const std::vector<std::size_t> contexts = {17, 900};
+    const model::Workload decode_only =
+        model::build_mixed_decode_workload(config, contexts);
+    const model::Workload step =
+        model::build_mixed_step_workload(config, contexts, {});
+    EXPECT_EQ(step.total_macs(), decode_only.total_macs());
+    EXPECT_EQ(step.total_weight_bytes(),
+              decode_only.total_weight_bytes());
+    EXPECT_EQ(step.total_nonlinear_elements(),
+              decode_only.total_nonlinear_elements());
+    EXPECT_EQ(step.tokens(), decode_only.tokens());
+}
+
+// ---- (2) Functional scheduler == sequential serving. ----
+
+TEST(Scheduler, FunctionalOutputBitIdenticalToSequentialServing)
+{
+    const model::ModelConfig config =
+        model::llama2_70b().scaled_for_eval(2, 32, 64);
+    auto transformer =
+        std::make_shared<model::TransformerModel>(config, 777);
+    const Engine engine(sim::make_mugi(64), transformer);
+
+    const std::vector<std::size_t> prompt_lens = {5, 9, 13, 6};
+    std::vector<std::vector<int>> prompts;
+    for (std::size_t i = 0; i < prompt_lens.size(); ++i) {
+        prompts.push_back(model::synthetic_tokens(
+            prompt_lens[i], config.vocab,
+            static_cast<std::uint32_t>(40 + i)));
+    }
+    const std::size_t kMaxNew = 6;
+
+    // Reference: one request at a time, full prefill then stepping.
+    std::vector<std::vector<int>> expected;
+    for (const std::vector<int>& prompt : prompts) {
+        Session session = engine.create_session();
+        std::vector<float> logits = engine.prefill(session, prompt);
+        std::vector<int> generated;
+        int token = static_cast<int>(std::distance(
+            logits.begin(),
+            std::max_element(logits.begin(), logits.end())));
+        generated.push_back(token);
+        while (generated.size() < kMaxNew) {
+            const StepResult r = engine.step(session, token);
+            token = r.outputs[0].next_token;
+            generated.push_back(token);
+        }
+        expected.push_back(std::move(generated));
+    }
+
+    // Scheduler: tiny chunks force multi-chunk prefill, and a small
+    // batch target forces queueing -- neither may change numerics.
+    SchedulerConfig sched_config;
+    sched_config.prefill_chunk_tokens = 4;
+    sched_config.max_batch = 2;
+    Scheduler scheduler(engine, sched_config);
+    std::vector<std::uint64_t> ids;
+    for (const std::vector<int>& prompt : prompts) {
+        Request request;
+        request.prompt = prompt;
+        request.max_new_tokens = kMaxNew;
+        ids.push_back(scheduler.submit(std::move(request)));
+    }
+    std::vector<FinishedRequest> finished = scheduler.run();
+
+    ASSERT_EQ(finished.size(), prompts.size());
+    for (std::size_t i = 0; i < finished.size(); ++i) {
+        // Map back by id (finish order may differ from submission).
+        const std::size_t idx = static_cast<std::size_t>(
+            std::distance(ids.begin(),
+                          std::find(ids.begin(), ids.end(),
+                                    finished[i].id)));
+        ASSERT_LT(idx, expected.size());
+        EXPECT_EQ(finished[i].tokens, expected[idx])
+            << "request " << idx << " diverged from sequential serving";
+        EXPECT_EQ(finished[i].generated, kMaxNew);
+        EXPECT_EQ(finished[i].prompt_tokens, prompt_lens[idx]);
+        EXPECT_EQ(finished[i].reason, FinishReason::kMaxTokens);
+    }
+}
+
+TEST(Scheduler, StopTokenEndsGenerationEarly)
+{
+    const model::ModelConfig config =
+        model::llama2_70b().scaled_for_eval(2, 32, 64);
+    auto transformer =
+        std::make_shared<model::TransformerModel>(config, 321);
+    const Engine engine(sim::make_mugi(64), transformer);
+    const std::vector<int> prompt =
+        model::synthetic_tokens(7, config.vocab, 11);
+
+    // Learn the greedy continuation, then stop on its third token.
+    Request probe;
+    probe.prompt = prompt;
+    probe.max_new_tokens = 5;
+    Scheduler probe_scheduler(engine, {});
+    probe_scheduler.submit(probe);
+    const std::vector<int> continuation =
+        probe_scheduler.run()[0].tokens;
+    ASSERT_EQ(continuation.size(), 5u);
+
+    Request request;
+    request.prompt = prompt;
+    request.max_new_tokens = 5;
+    request.stop_token = continuation[2];
+    Scheduler scheduler(engine, {});
+    scheduler.submit(std::move(request));
+    const std::vector<FinishedRequest> finished = scheduler.run();
+    ASSERT_EQ(finished.size(), 1u);
+    EXPECT_EQ(finished[0].reason, FinishReason::kStopToken);
+    ASSERT_EQ(finished[0].tokens.size(), 3u);
+    EXPECT_EQ(finished[0].tokens[2], continuation[2]);
+}
+
+TEST(Scheduler, StreamsTokensInOrder)
+{
+    const model::ModelConfig config =
+        model::llama2_70b().scaled_for_eval(2, 32, 64);
+    auto transformer =
+        std::make_shared<model::TransformerModel>(config, 99);
+    const Engine engine(sim::make_mugi(64), transformer);
+
+    std::vector<std::pair<std::size_t, int>> streamed;
+    Request request;
+    request.prompt = model::synthetic_tokens(6, config.vocab, 3);
+    request.max_new_tokens = 4;
+    request.on_token = [&](std::uint64_t, std::size_t index,
+                           int token) {
+        streamed.emplace_back(index, token);
+    };
+    Scheduler scheduler(engine, {});
+    scheduler.submit(std::move(request));
+    const std::vector<FinishedRequest> finished = scheduler.run();
+
+    ASSERT_EQ(streamed.size(), 4u);
+    for (std::size_t i = 0; i < streamed.size(); ++i) {
+        EXPECT_EQ(streamed[i].first, i);
+        EXPECT_EQ(streamed[i].second, finished[0].tokens[i]);
+    }
+}
+
+// ---- (3) Admission control under the KV budget. ----
+
+TEST(Scheduler, KvBudgetCapsConcurrencyAndPeakFootprint)
+{
+    const model::ModelConfig config = model::llama2_7b();
+    const Engine engine(sim::make_mugi(256), config);
+
+    // Per-request projection: prompt 96 + 32 new tokens of INT4 KV.
+    const std::size_t per_request =
+        config.num_layers *
+        quant::KvCache::bytes_per_position(
+            config.num_kv_heads, config.head_dim(),
+            quant::KvPrecision::kInt4) *
+        (96 + 32);
+
+    SchedulerConfig sched_config;
+    sched_config.kv_budget_bytes = 2 * per_request + per_request / 2;
+    sched_config.prefill_chunk_tokens = 48;
+    sched_config.max_batch = 8;  // Budget binds before the batch cap.
+    Scheduler scheduler(engine, sched_config);
+    for (int i = 0; i < 5; ++i) {
+        Request request;
+        request.analytic_prompt_tokens = 96;
+        request.max_new_tokens = 32;
+        scheduler.submit(std::move(request));
+    }
+
+    std::size_t max_active = 0;
+    while (scheduler.step()) {
+        max_active = std::max(max_active, scheduler.active());
+        EXPECT_LE(scheduler.kv_bytes_in_use(),
+                  sched_config.kv_budget_bytes);
+    }
+    EXPECT_EQ(max_active, 2u) << "budget admits exactly two requests";
+
+    const ServerStats stats = scheduler.stats();
+    EXPECT_EQ(stats.finished, 5u);
+    EXPECT_LE(stats.peak_kv_bytes, sched_config.kv_budget_bytes);
+    EXPECT_GT(stats.peak_kv_bytes, 0u);
+    // Later requests waited in the admission queue.
+    EXPECT_GT(stats.mean_queue_s, 0.0);
+}
+
+TEST(Scheduler, OversizedRequestStillRunsAlone)
+{
+    const model::ModelConfig config = model::llama2_7b();
+    const Engine engine(sim::make_mugi(256), config);
+    SchedulerConfig sched_config;
+    sched_config.kv_budget_bytes = 1;  // Smaller than any request.
+    Scheduler scheduler(engine, sched_config);
+    Request request;
+    request.analytic_prompt_tokens = 16;
+    request.max_new_tokens = 4;
+    scheduler.submit(std::move(request));
+    const std::vector<FinishedRequest> finished = scheduler.run();
+    ASSERT_EQ(finished.size(), 1u);
+    EXPECT_EQ(finished[0].generated, 4u);
+}
+
+// ---- Arrivals, clock and stats. ----
+
+TEST(Scheduler, StaggeredArrivalsRespectTheModeledClock)
+{
+    const model::ModelConfig config = model::llama2_7b();
+    const Engine engine(sim::make_mugi(256), config);
+    Scheduler scheduler(engine, {});
+
+    Request early;
+    early.analytic_prompt_tokens = 64;
+    early.max_new_tokens = 8;
+    scheduler.submit(early);
+
+    Request late = early;
+    late.arrival_time_s = 1.0e-3;  // Far beyond the first steps.
+    scheduler.submit(late);
+
+    const std::vector<FinishedRequest> finished = scheduler.run();
+    ASSERT_EQ(finished.size(), 2u);
+    const FinishedRequest& second =
+        finished[0].id == 2 ? finished[0] : finished[1];
+    EXPECT_GE(second.admitted_s, 1.0e-3);
+    EXPECT_GE(second.arrival_s, 1.0e-3);
+    EXPECT_GE(second.ttft_s(), 0.0);
+
+    const ServerStats stats = scheduler.stats();
+    EXPECT_EQ(stats.finished, 2u);
+    EXPECT_GT(stats.mean_ttft_s, 0.0);
+    EXPECT_GE(stats.max_ttft_s, stats.mean_ttft_s);
+    EXPECT_GT(stats.mean_tpot_s, 0.0);
+    EXPECT_GT(stats.horizon.tokens, 0.0);
+    EXPECT_FALSE(std::isnan(stats.horizon.energy_per_token_j));
+    EXPECT_GT(stats.horizon.energy_per_token_j, 0.0);
+    // The horizon processed every prompt and generated token.
+    EXPECT_DOUBLE_EQ(stats.horizon.tokens,
+                     static_cast<double>(stats.prefill_tokens +
+                                         stats.decode_tokens));
+}
+
+// ---- BatchPolicy: the Fig. 14 knee. ----
+
+TEST(BatchPolicy, DerivesTheThroughputKnee)
+{
+    const BatchPolicy policy = BatchPolicy::derive(
+        sim::make_mugi(256), model::llama2_7b(), 512, 32);
+    ASSERT_FALSE(policy.sweep().empty());
+    EXPECT_GE(policy.target_batch(), 1u);
+    EXPECT_LE(policy.target_batch(), policy.max_batch());
+
+    double best = 0.0;
+    for (const BatchSweepPoint& point : policy.sweep()) {
+        best = std::max(best, point.throughput_tokens_per_s);
+    }
+    // The target is the smallest batch within 10% of the best.
+    for (const BatchSweepPoint& point : policy.sweep()) {
+        if (point.batch == policy.target_batch()) {
+            EXPECT_GE(point.throughput_tokens_per_s, 0.9 * best);
+        } else if (point.batch < policy.target_batch()) {
+            EXPECT_LT(point.throughput_tokens_per_s, 0.9 * best);
+        }
+    }
+    // Mugi maps the batch across its 8 columns (Sec. 4.2): the knee
+    // cannot sit past the first power of two to fill them.
+    EXPECT_LE(policy.target_batch(), 8u);
+}
+
+TEST(BatchPolicy, EvaluateMatchesDirectWorkloadRun)
+{
+    const sim::DesignConfig design = sim::make_mugi(64);
+    const model::ModelConfig models[] = {model::llama2_7b()};
+    const BatchSweepPoint point =
+        BatchPolicy::evaluate(design, models, 4, 256);
+    const sim::PerfReport direct = sim::run_workload(
+        design, model::build_decode_workload(models[0], 4, 256));
+    EXPECT_NEAR(point.throughput_tokens_per_s,
+                direct.throughput_tokens_per_s,
+                1e-9 * direct.throughput_tokens_per_s);
+    EXPECT_NEAR(point.energy_per_token_j, direct.energy_per_token_j,
+                1e-9 * direct.energy_per_token_j);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace mugi
