@@ -8,9 +8,12 @@
  * ServerStats.
  *
  * The points on display:
- *  - admission control: the INT4-KV budget caps how many requests
- *    hold cache concurrently; later arrivals queue (their queue wait
- *    shows up in TTFT);
+ *  - admission control: the INT4-KV block pool caps how many
+ *    requests hold cache concurrently; admission reserves only each
+ *    prompt's blocks (not the full projected generation), later
+ *    arrivals queue (their queue wait shows up in TTFT), and any
+ *    mid-decode pool pressure is resolved by preempting the
+ *    lowest-priority request;
  *  - chunked prefill: prompts are fed <= 256 tokens per iteration
  *    *inside* the decode batch's weight stream, so long prompts never
  *    stall decode latency the way a monolithic prefill would;
@@ -96,10 +99,14 @@ main()
         "mean TPOT %.3f s\n",
         stats.mean_queue_s, stats.mean_ttft_s, stats.max_ttft_s,
         stats.mean_tpot_s);
-    std::printf("  peak KV %.1f MiB of %.0f MiB budget\n",
+    std::printf("  peak KV %.1f MiB of %.0f MiB budget (%.0f%% pool "
+                "utilization, %zu preemption%s)\n",
                 static_cast<double>(stats.peak_kv_bytes) / (1 << 20),
                 static_cast<double>(stats.kv_budget_bytes) /
-                    (1 << 20));
+                    (1 << 20),
+                100.0 * stats.peak_pool_utilization,
+                stats.preemptions,
+                stats.preemptions == 1 ? "" : "s");
 
     // Contrast with serving the same trace one request at a time:
     // every request would pay its own WOQ weight stream per token.

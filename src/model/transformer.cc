@@ -399,7 +399,7 @@ DecodeSession::kv_bytes() const
 {
     std::size_t total = 0;
     for (const quant::KvCache& cache : caches_) {
-        total += cache.byte_size();
+        total += cache.memory_bytes();
     }
     return total;
 }

@@ -1,0 +1,193 @@
+#include "quant/block_allocator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mugi {
+namespace quant {
+
+BlockPool::BlockPool(std::size_t capacity_bytes,
+                     std::size_t block_tokens)
+    : capacity_bytes_(capacity_bytes), block_tokens_(block_tokens)
+{
+    assert(block_tokens_ > 0);
+}
+
+std::size_t
+BlockPool::bytes_in_use() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return block_bytes_in_use_ + reserved_bytes_;
+}
+
+std::size_t
+BlockPool::peak_bytes_in_use() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_bytes_in_use_;
+}
+
+std::size_t
+BlockPool::blocks_in_use() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return blocks_in_use_;
+}
+
+std::size_t
+BlockPool::reserved_bytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reserved_bytes_;
+}
+
+bool
+BlockPool::fits_locked(std::size_t bytes) const
+{
+    return capacity_bytes_ == 0 ||
+           block_bytes_in_use_ + reserved_bytes_ + bytes <=
+               capacity_bytes_;
+}
+
+bool
+BlockPool::fits(std::size_t bytes) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fits_locked(bytes);
+}
+
+double
+BlockPool::utilization() const
+{
+    if (capacity_bytes_ == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(bytes_in_use()) /
+           static_cast<double>(capacity_bytes_);
+}
+
+double
+BlockPool::peak_utilization() const
+{
+    if (capacity_bytes_ == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(peak_bytes_in_use()) /
+           static_cast<double>(capacity_bytes_);
+}
+
+void
+BlockPool::note_usage_locked()
+{
+    peak_bytes_in_use_ = std::max(
+        peak_bytes_in_use_, block_bytes_in_use_ + reserved_bytes_);
+}
+
+BlockId
+BlockPool::allocate_locked(std::size_t bytes)
+{
+    assert(bytes > 0);
+    BlockId id;
+    const auto it = free_lists_.find(bytes);
+    if (it != free_lists_.end() && !it->second.empty()) {
+        id = it->second.back();
+        it->second.pop_back();
+        std::fill(slots_[id].storage.begin(),
+                  slots_[id].storage.end(), std::byte{0});
+    } else {
+        id = static_cast<BlockId>(slots_.size());
+        assert(id != kInvalidBlock);
+        slots_.push_back(Slot{std::vector<std::byte>(bytes), false});
+    }
+    slots_[id].in_use = true;
+    block_bytes_in_use_ += bytes;
+    ++blocks_in_use_;
+    note_usage_locked();
+    return id;
+}
+
+BlockId
+BlockPool::allocate(std::size_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return allocate_locked(bytes);
+}
+
+BlockId
+BlockPool::try_allocate(std::size_t bytes)
+{
+    // Check and commit under one lock: two concurrent try_allocate
+    // calls must not both pass the capacity check.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!fits_locked(bytes)) {
+        return kInvalidBlock;
+    }
+    return allocate_locked(bytes);
+}
+
+void
+BlockPool::release(BlockId id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    assert(id < slots_.size() && slots_[id].in_use);
+    Slot& slot = slots_[id];
+    slot.in_use = false;
+    block_bytes_in_use_ -= slot.storage.size();
+    --blocks_in_use_;
+    free_lists_[slot.storage.size()].push_back(id);
+}
+
+std::byte*
+BlockPool::data(BlockId id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    assert(id < slots_.size() && slots_[id].in_use);
+    return slots_[id].storage.data();
+}
+
+const std::byte*
+BlockPool::data(BlockId id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    assert(id < slots_.size() && slots_[id].in_use);
+    return slots_[id].storage.data();
+}
+
+std::size_t
+BlockPool::block_bytes(BlockId id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    assert(id < slots_.size() && slots_[id].in_use);
+    return slots_[id].storage.size();
+}
+
+void
+BlockPool::reserve(std::size_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    reserved_bytes_ += bytes;
+    note_usage_locked();
+}
+
+bool
+BlockPool::try_reserve(std::size_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!fits_locked(bytes)) {
+        return false;
+    }
+    reserved_bytes_ += bytes;
+    note_usage_locked();
+    return true;
+}
+
+void
+BlockPool::unreserve(std::size_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    assert(bytes <= reserved_bytes_);
+    reserved_bytes_ -= bytes;
+}
+
+}  // namespace quant
+}  // namespace mugi

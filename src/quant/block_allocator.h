@@ -1,0 +1,140 @@
+#ifndef MUGI_QUANT_BLOCK_ALLOCATOR_H_
+#define MUGI_QUANT_BLOCK_ALLOCATOR_H_
+
+/**
+ * @file
+ * Fixed-size block pool backing the paged KV cache.
+ *
+ * Production serving stacks (vLLM / ScaleLLM block managers) replaced
+ * per-request contiguous KV storage with fixed-size blocks drawn from
+ * one shared pool, so admission can reserve at block granularity
+ * instead of projecting every request to its full generation length.
+ * This is that pool for the modeled SRAM/HBM budget: every KvCache of
+ * a serving engine draws storage-backed blocks from it, and the
+ * scheduler mirrors analytic (workload-model-only) sessions through
+ * byte reservations, so `bytes_in_use()` is the exact device
+ * footprint either way -- packed INT4 nibbles + BF16 scales for KVQ
+ * blocks, raw floats for the baseline precision.
+ *
+ * Capacity is *advisory*: `allocate`/`reserve` always succeed (a
+ * scheduler that admitted an oversized request alone must still be
+ * able to run it), while `try_allocate`/`try_reserve`/`fits` enforce
+ * the budget.  Policy -- admission watermarks, preemption under
+ * pressure -- lives in serve::Scheduler; the pool is accounting plus
+ * storage.  Released blocks go on per-size free lists and are reused
+ * (most recently freed first) before fresh slots are created.
+ *
+ * Thread-safety: all member functions are internally locked, matching
+ * serve::Engine's concurrent-const contract.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace mugi {
+namespace quant {
+
+/** Handle to one pool block (index into the pool's slot table). */
+using BlockId = std::uint32_t;
+
+/** Returned by try_allocate when the block would exceed capacity. */
+inline constexpr BlockId kInvalidBlock =
+    std::numeric_limits<BlockId>::max();
+
+/** A shared pool of fixed-token-count KV blocks. */
+class BlockPool {
+  public:
+    /** Positions per block when callers don't choose one. */
+    static constexpr std::size_t kDefaultBlockTokens = 16;
+
+    /**
+     * @param capacity_bytes Advisory budget; 0 = unbounded.
+     * @param block_tokens KV positions each block covers.  Byte sizes
+     *        still vary per (geometry, precision); the pool keys its
+     *        free lists by block byte size.
+     */
+    explicit BlockPool(std::size_t capacity_bytes = 0,
+                       std::size_t block_tokens = kDefaultBlockTokens);
+
+    BlockPool(const BlockPool&) = delete;
+    BlockPool& operator=(const BlockPool&) = delete;
+
+    std::size_t block_tokens() const { return block_tokens_; }
+    std::size_t capacity_bytes() const { return capacity_bytes_; }
+
+    /** Storage-backed block bytes + analytic reservations. */
+    std::size_t bytes_in_use() const;
+    /** Largest bytes_in_use ever observed. */
+    std::size_t peak_bytes_in_use() const;
+    /** Storage-backed blocks currently allocated. */
+    std::size_t blocks_in_use() const;
+    /** Bytes held by analytic reservations (no storage). */
+    std::size_t reserved_bytes() const;
+
+    /** Would @p bytes more stay within capacity?  Unbounded: yes. */
+    bool fits(std::size_t bytes) const;
+    /** bytes_in_use / capacity (0 when unbounded). */
+    double utilization() const;
+    /** peak_bytes_in_use / capacity (0 when unbounded). */
+    double peak_utilization() const;
+
+    /**
+     * Allocate a zeroed block of @p bytes.  Always succeeds --
+     * capacity may be overcommitted; callers wanting enforcement use
+     * try_allocate or check fits() first.
+     */
+    BlockId allocate(std::size_t bytes);
+
+    /** allocate(), or kInvalidBlock when it would exceed capacity. */
+    BlockId try_allocate(std::size_t bytes);
+
+    /** Return a block; its slot is reused for same-size allocates. */
+    void release(BlockId id);
+
+    /** Backing storage of a live block. */
+    std::byte* data(BlockId id);
+    const std::byte* data(BlockId id) const;
+    std::size_t block_bytes(BlockId id) const;
+
+    /**
+     * Account @p bytes without storage -- how the scheduler mirrors
+     * analytic sessions' modeled caches.  Always succeeds (advisory
+     * capacity, as for allocate).
+     */
+    void reserve(std::size_t bytes);
+    /** reserve(), or false when it would exceed capacity. */
+    bool try_reserve(std::size_t bytes);
+    /** Undo reserve(); @p bytes must not exceed reserved_bytes(). */
+    void unreserve(std::size_t bytes);
+
+  private:
+    struct Slot {
+        std::vector<std::byte> storage;
+        bool in_use = false;
+    };
+
+    bool fits_locked(std::size_t bytes) const;
+    BlockId allocate_locked(std::size_t bytes);
+    void note_usage_locked();
+
+    const std::size_t capacity_bytes_;
+    const std::size_t block_tokens_;
+
+    mutable std::mutex mutex_;
+    std::vector<Slot> slots_;
+    /** Released slot ids per block byte size, most recent last. */
+    std::unordered_map<std::size_t, std::vector<BlockId>> free_lists_;
+    std::size_t block_bytes_in_use_ = 0;
+    std::size_t reserved_bytes_ = 0;
+    std::size_t blocks_in_use_ = 0;
+    std::size_t peak_bytes_in_use_ = 0;
+};
+
+}  // namespace quant
+}  // namespace mugi
+
+#endif  // MUGI_QUANT_BLOCK_ALLOCATOR_H_

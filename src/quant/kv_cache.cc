@@ -3,23 +3,128 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 #include "numerics/bfloat16.h"
 
 namespace mugi {
 namespace quant {
+namespace {
+
+/** BF16 bit pattern stored little-endian in two block bytes. */
+void
+store_bf16(std::byte* dst, float value)
+{
+    const std::uint16_t bits = numerics::BFloat16::round_to_bits(value);
+    dst[0] = static_cast<std::byte>(bits & 0xFF);
+    dst[1] = static_cast<std::byte>(bits >> 8);
+}
+
+float
+load_bf16(const std::byte* src)
+{
+    const std::uint16_t bits = static_cast<std::uint16_t>(
+        static_cast<unsigned>(src[0]) |
+        (static_cast<unsigned>(src[1]) << 8));
+    return numerics::BFloat16::from_bits(bits).to_float();
+}
+
+}  // namespace
 
 KvCache::KvCache(std::size_t num_heads, std::size_t head_dim,
-                 KvPrecision precision)
+                 KvPrecision precision, BlockPool* pool)
     : num_heads_(num_heads), head_dim_(head_dim), precision_(precision)
 {
-    if (precision_ == KvPrecision::kFloat) {
-        k_float_.resize(num_heads_);
-        v_float_.resize(num_heads_);
-    } else {
-        k_quant_.resize(num_heads_);
-        v_quant_.resize(num_heads_);
+    if (pool == nullptr) {
+        owned_pool_ = std::make_unique<BlockPool>(0);
+        pool = owned_pool_.get();
     }
+    pool_ = pool;
+    block_tokens_ = pool_->block_tokens();
+    bytes_per_position_ =
+        bytes_per_position(num_heads_, head_dim_, precision_);
+    block_bytes_ = block_tokens_ * bytes_per_position_;
+}
+
+KvCache::~KvCache()
+{
+    release_blocks();
+}
+
+KvCache::KvCache(KvCache&& other) noexcept
+    : num_heads_(other.num_heads_), head_dim_(other.head_dim_),
+      precision_(other.precision_), length_(other.length_),
+      owned_pool_(std::move(other.owned_pool_)), pool_(other.pool_),
+      table_(std::move(other.table_)),
+      block_data_(std::move(other.block_data_)),
+      block_tokens_(other.block_tokens_),
+      bytes_per_position_(other.bytes_per_position_),
+      block_bytes_(other.block_bytes_)
+{
+    // Leave the source coherent (drained, not just unspecified): its
+    // destructor must release nothing and its length must agree with
+    // its empty block table.
+    other.length_ = 0;
+    other.table_.clear();
+    other.block_data_.clear();
+}
+
+KvCache&
+KvCache::operator=(KvCache&& other) noexcept
+{
+    if (this != &other) {
+        release_blocks();
+        num_heads_ = other.num_heads_;
+        head_dim_ = other.head_dim_;
+        precision_ = other.precision_;
+        length_ = other.length_;
+        owned_pool_ = std::move(other.owned_pool_);
+        pool_ = other.pool_;
+        table_ = std::move(other.table_);
+        block_data_ = std::move(other.block_data_);
+        block_tokens_ = other.block_tokens_;
+        bytes_per_position_ = other.bytes_per_position_;
+        block_bytes_ = other.block_bytes_;
+        other.length_ = 0;
+        other.table_.clear();
+        other.block_data_.clear();
+    }
+    return *this;
+}
+
+void
+KvCache::release_blocks()
+{
+    for (const BlockId id : table_) {
+        pool_->release(id);
+    }
+    table_.clear();
+    block_data_.clear();
+    length_ = 0;
+}
+
+std::size_t
+KvCache::vector_bytes() const
+{
+    if (precision_ == KvPrecision::kFloat) {
+        return head_dim_ * sizeof(float);
+    }
+    // One BF16 scale (2 bytes) + packed nibbles, two codes per byte.
+    return 2 + (head_dim_ + 1) / 2;
+}
+
+std::byte*
+KvCache::position_data(std::size_t pos)
+{
+    return block_data_[pos / block_tokens_] +
+           (pos % block_tokens_) * bytes_per_position_;
+}
+
+const std::byte*
+KvCache::position_data(std::size_t pos) const
+{
+    return block_data_[pos / block_tokens_] +
+           (pos % block_tokens_) * bytes_per_position_;
 }
 
 KvCache::QuantVector
@@ -49,15 +154,35 @@ KvCache::append(const support::MatrixF& k_heads,
 {
     assert(k_heads.rows() == num_heads_ && k_heads.cols() == head_dim_);
     assert(v_heads.rows() == num_heads_ && v_heads.cols() == head_dim_);
+    if (length_ == table_.size() * block_tokens_) {
+        const BlockId id = pool_->allocate(block_bytes_);
+        table_.push_back(id);
+        // Block storage never moves while the block is live, so the
+        // data pointer may be cached -- reads skip the pool lock.
+        block_data_.push_back(pool_->data(id));
+    }
+    std::byte* dst = position_data(length_);
+    const std::size_t vb = vector_bytes();
     for (std::size_t h = 0; h < num_heads_; ++h) {
+        std::byte* kdst = dst + h * vb;
+        std::byte* vdst = dst + (num_heads_ + h) * vb;
         if (precision_ == KvPrecision::kFloat) {
-            k_float_[h].insert(k_float_[h].end(), k_heads.row_data(h),
-                               k_heads.row_data(h) + head_dim_);
-            v_float_[h].insert(v_float_[h].end(), v_heads.row_data(h),
-                               v_heads.row_data(h) + head_dim_);
-        } else {
-            k_quant_[h].push_back(quantize_vector(k_heads.row_data(h)));
-            v_quant_[h].push_back(quantize_vector(v_heads.row_data(h)));
+            std::memcpy(kdst, k_heads.row_data(h), vb);
+            std::memcpy(vdst, v_heads.row_data(h), vb);
+            continue;
+        }
+        const QuantVector kq = quantize_vector(k_heads.row_data(h));
+        const QuantVector vq = quantize_vector(v_heads.row_data(h));
+        store_bf16(kdst, kq.scale);
+        store_bf16(vdst, vq.scale);
+        for (std::size_t d = 0; d < head_dim_; ++d) {
+            // Low nibble first, matching numerics::PackedInt4.
+            const std::size_t byte_index = 2 + d / 2;
+            const unsigned shift = (d % 2) * 4;
+            kdst[byte_index] |= static_cast<std::byte>(
+                kq.codes[d].encode() << shift);
+            vdst[byte_index] |= static_cast<std::byte>(
+                vq.codes[d].encode() << shift);
         }
     }
     ++length_;
@@ -67,14 +192,22 @@ void
 KvCache::read_key(std::size_t head, std::size_t pos, float* out) const
 {
     assert(head < num_heads_ && pos < length_);
+    const std::byte* src =
+        position_data(pos) + head * vector_bytes();
     if (precision_ == KvPrecision::kFloat) {
-        const float* src = k_float_[head].data() + pos * head_dim_;
-        std::copy(src, src + head_dim_, out);
+        std::memcpy(out, src, head_dim_ * sizeof(float));
         return;
     }
-    const QuantVector& q = k_quant_[head][pos];
+    const float scale = load_bf16(src);
     for (std::size_t d = 0; d < head_dim_; ++d) {
-        out[d] = static_cast<float>(q.codes[d].value()) * q.scale;
+        const unsigned nibble =
+            (static_cast<unsigned>(src[2 + d / 2]) >> ((d % 2) * 4)) &
+            0xF;
+        out[d] = static_cast<float>(
+                     numerics::Int4::decode(
+                         static_cast<std::uint8_t>(nibble))
+                         .value()) *
+                 scale;
     }
 }
 
@@ -82,14 +215,22 @@ void
 KvCache::read_value(std::size_t head, std::size_t pos, float* out) const
 {
     assert(head < num_heads_ && pos < length_);
+    const std::byte* src =
+        position_data(pos) + (num_heads_ + head) * vector_bytes();
     if (precision_ == KvPrecision::kFloat) {
-        const float* src = v_float_[head].data() + pos * head_dim_;
-        std::copy(src, src + head_dim_, out);
+        std::memcpy(out, src, head_dim_ * sizeof(float));
         return;
     }
-    const QuantVector& q = v_quant_[head][pos];
+    const float scale = load_bf16(src);
     for (std::size_t d = 0; d < head_dim_; ++d) {
-        out[d] = static_cast<float>(q.codes[d].value()) * q.scale;
+        const unsigned nibble =
+            (static_cast<unsigned>(src[2 + d / 2]) >> ((d % 2) * 4)) &
+            0xF;
+        out[d] = static_cast<float>(
+                     numerics::Int4::decode(
+                         static_cast<std::uint8_t>(nibble))
+                         .value()) *
+                 scale;
     }
 }
 
@@ -97,14 +238,20 @@ numerics::Int4
 KvCache::key_code(std::size_t head, std::size_t pos, std::size_t d) const
 {
     assert(precision_ == KvPrecision::kInt4);
-    return k_quant_[head][pos].codes[d];
+    assert(head < num_heads_ && pos < length_ && d < head_dim_);
+    const std::byte* src =
+        position_data(pos) + head * vector_bytes();
+    const unsigned nibble =
+        (static_cast<unsigned>(src[2 + d / 2]) >> ((d % 2) * 4)) & 0xF;
+    return numerics::Int4::decode(static_cast<std::uint8_t>(nibble));
 }
 
 float
 KvCache::key_scale(std::size_t head, std::size_t pos) const
 {
     assert(precision_ == KvPrecision::kInt4);
-    return k_quant_[head][pos].scale;
+    assert(head < num_heads_ && pos < length_);
+    return load_bf16(position_data(pos) + head * vector_bytes());
 }
 
 std::size_t
@@ -118,18 +265,6 @@ KvCache::bytes_per_position(std::size_t num_heads,
     }
     // K and V per head: packed INT4 nibbles + one BF16 scale.
     return 2 * num_heads * ((head_dim + 1) / 2 + 2);
-}
-
-std::size_t
-KvCache::byte_size() const
-{
-    if (precision_ == KvPrecision::kFloat) {
-        // BF16-equivalent storage: 2 bytes per element, K and V.
-        return 2 * num_heads_ * length_ * head_dim_ * 2;
-    }
-    // INT4 nibbles + one BF16 scale per vector.
-    const std::size_t per_vector = (head_dim_ + 1) / 2 + 2;
-    return 2 * num_heads_ * length_ * per_vector;
 }
 
 }  // namespace quant

@@ -3,7 +3,7 @@
 
 /**
  * @file
- * KV cache with optional INT4 quantization (KVQ, Sec. 2.3.3).
+ * Paged KV cache with optional INT4 quantization (KVQ, Sec. 2.3.3).
  *
  * The cache stores one K and one V vector per (kv-head, position).
  * With KVQ enabled, vectors are quantized per token with one BF16
@@ -11,12 +11,27 @@
  * use -- cutting the cache footprint ~4x while staying within a
  * bounded error.  Dequantized reads feed the attention GEMMs; the INT4
  * codes are exactly what Mugi's weight rows consume (Sec. 4.2).
+ *
+ * Storage is *paged*: positions live in fixed-token-count blocks drawn
+ * on demand from a quant::BlockPool (block_allocator.h) and released
+ * when the cache is destroyed or release_blocks()-ed, so a serving
+ * scheduler can reserve, account and reclaim KV memory at block
+ * granularity instead of projecting each request to its full
+ * generation length.  Blocks hold the exact device layout -- packed
+ * INT4 nibbles + raw BF16 scale bits for kInt4, raw floats for
+ * kFloat -- so block accounting equals physical bytes, and reads are
+ * byte-identical to the former contiguous storage (the INT4
+ * sign-magnitude nibble and the BF16 bit pattern both round-trip
+ * losslessly).  Callers that don't pass a pool get a private
+ * unbounded one; either way the read/append API is unchanged.
  */
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "numerics/int4.h"
+#include "quant/block_allocator.h"
 #include "support/matrix.h"
 
 namespace mugi {
@@ -24,11 +39,11 @@ namespace quant {
 
 /** Storage precision of the cache. */
 enum class KvPrecision {
-    kFloat,  ///< BF16-equivalent float storage (baseline).
+    kFloat,  ///< Float storage (baseline).
     kInt4,   ///< KVQ: INT4 codes + per-vector BF16 scale.
 };
 
-/** A growable per-head key/value cache. */
+/** A growable per-head key/value cache over pooled blocks. */
 class KvCache {
   public:
     /**
@@ -36,9 +51,20 @@ class KvCache {
      *        number of query heads).
      * @param head_dim Dimension of each K/V vector.
      * @param precision Storage precision.
+     * @param pool Shared block pool; must outlive the cache.  nullptr
+     *        allocates a private unbounded pool.
      */
     KvCache(std::size_t num_heads, std::size_t head_dim,
-            KvPrecision precision);
+            KvPrecision precision, BlockPool* pool = nullptr);
+
+    /** The source is left drained: length 0, no blocks. */
+    KvCache(KvCache&&) noexcept;
+    /** Releases the target's blocks before adopting the source's. */
+    KvCache& operator=(KvCache&&) noexcept;
+    KvCache(const KvCache&) = delete;
+    KvCache& operator=(const KvCache&) = delete;
+
+    ~KvCache();
 
     /** Append one position: K and V vectors for every head. */
     void append(const support::MatrixF& k_heads,
@@ -62,30 +88,45 @@ class KvCache {
     float key_scale(std::size_t head, std::size_t pos) const;
 
     /**
-     * Modeled storage footprint in bytes (kFloat counts BF16-
-     * equivalent 2-byte elements, the precision the datapath
-     * assumes).  Kept for the perf-model studies; admission budgets
-     * should use memory_bytes().
+     * @deprecated Use memory_bytes() -- the two accountings are now
+     * unified on the exact per-precision device footprint.
      */
-    std::size_t byte_size() const;
+    [[deprecated("use memory_bytes()")]] std::size_t
+    byte_size() const
+    {
+        return memory_bytes();
+    }
 
     /**
-     * Exact per-precision device footprint in bytes: INT4 codes
-     * packed two per byte plus one BF16 scale per vector (kInt4), or
-     * full float storage (kFloat).  This is the quantity a serving
-     * scheduler's KV-memory budget accounts -- the cache grows
-     * without bound otherwise.
+     * Exact device footprint in bytes of the blocks currently
+     * allocated: packed INT4 nibbles + one BF16 scale per vector
+     * (kInt4) or full float storage (kFloat), rounded up to whole
+     * blocks -- a serving scheduler's KV budget accounts exactly
+     * this quantity.
      */
     std::size_t memory_bytes() const
     {
-        return length_ *
-               bytes_per_position(num_heads_, head_dim_, precision_);
+        return table_.size() * block_bytes_;
     }
 
     /** Exact K+V bytes one cached position costs at @p precision. */
     static std::size_t bytes_per_position(std::size_t num_heads,
                                           std::size_t head_dim,
                                           KvPrecision precision);
+
+    /** Positions each block of this cache covers. */
+    std::size_t block_tokens() const { return block_tokens_; }
+    /** Blocks currently allocated from the pool. */
+    std::size_t blocks_in_use() const { return table_.size(); }
+    /** Bytes of one of this cache's blocks. */
+    std::size_t block_bytes() const { return block_bytes_; }
+
+    /**
+     * Release every block back to the pool and reset to length 0 --
+     * the preemption path: an evicted request's KV memory is reclaimed
+     * immediately and rebuilt later by recompute-style re-prefill.
+     */
+    void release_blocks();
 
   private:
     struct QuantVector {
@@ -95,17 +136,29 @@ class KvCache {
 
     QuantVector quantize_vector(const float* data) const;
 
+    /** Writable storage of position @p pos (block-table lookup). */
+    std::byte* position_data(std::size_t pos);
+    const std::byte* position_data(std::size_t pos) const;
+    /** One K or V vector's bytes within a position's storage. */
+    std::size_t vector_bytes() const;
+
     std::size_t num_heads_;
     std::size_t head_dim_;
     KvPrecision precision_;
     std::size_t length_ = 0;
 
-    // Float storage: [head][pos * head_dim + d].
-    std::vector<std::vector<float>> k_float_;
-    std::vector<std::vector<float>> v_float_;
-    // Quantized storage: [head][pos].
-    std::vector<std::vector<QuantVector>> k_quant_;
-    std::vector<std::vector<QuantVector>> v_quant_;
+    /** Set iff constructed without a shared pool. */
+    std::unique_ptr<BlockPool> owned_pool_;
+    BlockPool* pool_ = nullptr;  ///< The pool blocks come from.
+    std::vector<BlockId> table_;  ///< Block per block_tokens_ positions.
+    /**
+     * Cached storage pointer per table_ entry: block storage never
+     * moves while the block is live, so reads skip the pool lock.
+     */
+    std::vector<std::byte*> block_data_;
+    std::size_t block_tokens_ = 0;
+    std::size_t bytes_per_position_ = 0;
+    std::size_t block_bytes_ = 0;
 };
 
 }  // namespace quant

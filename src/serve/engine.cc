@@ -64,7 +64,8 @@ Engine::create_session(const SessionOptions& options) const
         for (std::size_t l = 0; l < layers; ++l) {
             session.caches_.emplace_back(model_config_->num_kv_heads,
                                          model_config_->head_dim(),
-                                         options.kv_precision);
+                                         options.kv_precision,
+                                         options.kv_pool);
         }
     }
     // Retain the default kernels so the session stays valid even if

@@ -7,9 +7,10 @@
  *
  * Building a VlpApproximator materializes its LUT (Sec. 3.1) and
  * derives the window machinery of Sec. 3.3; doing that per request --
- * as the old one-shot MugiSystem facade did per instance -- wastes
- * both time and the point of the paper's design: the LUT is static
- * state that every request on the node shares.  The registry builds
+ * as the removed one-shot MugiSystem facade did per instance --
+ * wastes both time and the point of the paper's design: the LUT is
+ * static state that every request on the node shares.  The registry
+ * builds
  * each (op, VlpConfig) kernel lazily, exactly once, and hands out
  * shared const references.
  *

@@ -5,7 +5,7 @@
  * @file
  * Load-time weight preparation for the serving path.
  *
- * The old MugiSystem::run_woq_gemm re-ran quant::quantize_int4 on
+ * The removed MugiSystem facade re-ran quant::quantize_int4 on
  * every call -- a per-request cost for state that never changes.  A
  * PreparedWeights handle performs the INT4 group quantization
  * (Sec. 2.3.2) exactly once at load time; every subsequent GEMM

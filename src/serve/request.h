@@ -66,6 +66,15 @@ struct Request {
      */
     double arrival_time_s = 0.0;
 
+    /**
+     * Preemption priority: when the KV block pool runs dry
+     * mid-decode, the scheduler evicts the running request with the
+     * *lowest* priority (ties: the latest-admitted goes first) and
+     * re-queues it for recompute-style re-prefill.  Higher values
+     * survive longer.
+     */
+    int priority = 0;
+
     /** Per-session knobs (KV precision); initial_context must be 0 --
      *  context is built by the scheduler's chunked prefill. */
     SessionOptions session;
@@ -90,6 +99,12 @@ struct FinishedRequest {
     std::size_t prompt_tokens = 0;
     /** Tokens generated (counts analytic generations too). */
     std::size_t generated = 0;
+    /**
+     * Times this request was evicted under KV-memory pressure and
+     * re-prefilled.  Preemption changes *when* its tokens were
+     * computed, never which tokens came out.
+     */
+    std::size_t preemptions = 0;
 
     // Modeled-clock milestones.
     double arrival_s = 0.0;      ///< Request::arrival_time_s.

@@ -23,7 +23,8 @@ finish_reason_name(FinishReason reason)
 Scheduler::Scheduler(const Engine& engine,
                      const SchedulerConfig& config)
     : engine_(engine), config_(config),
-      functional_(engine.has_model())
+      functional_(engine.has_model()),
+      pool_(config.kv_budget_bytes, config.kv_block_tokens)
 {
     // The assert is the contract, exactly as in
     // Engine::create_session: a model (config) is required.
@@ -73,22 +74,57 @@ Scheduler::submit(Request request)
 }
 
 std::size_t
-Scheduler::projected_kv_bytes(const Request& request) const
+Scheduler::block_group_bytes(quant::KvPrecision precision) const
 {
     const model::ModelConfig& c = *engine_.model_config();
-    return c.num_layers *
-           quant::KvCache::bytes_per_position(
-               c.num_kv_heads, c.head_dim(),
-               request.session.kv_precision) *
-           (request.prompt_tokens() + request.max_new_tokens);
+    return c.num_layers * config_.kv_block_tokens *
+           quant::KvCache::bytes_per_position(c.num_kv_heads,
+                                              c.head_dim(), precision);
 }
 
 std::size_t
-Scheduler::committed_kv_bytes() const
+Scheduler::blocks_for(std::size_t positions) const
+{
+    return (positions + config_.kv_block_tokens - 1) /
+           config_.kv_block_tokens;
+}
+
+std::size_t
+Scheduler::admission_bytes(const QueuedRequest& queued) const
+{
+    const quant::KvPrecision precision =
+        queued.request.session.kv_precision;
+    if (config_.admission == AdmissionMode::kFullProjection) {
+        return block_group_bytes(precision) *
+               blocks_for(queued.request.prompt_tokens() +
+                          queued.request.max_new_tokens);
+    }
+    // Paged reservation: the blocks covering the (possibly resumed)
+    // prompt plus the first decode append -- growth beyond that is
+    // allocated on demand and defended by preemption.
+    const std::size_t feed =
+        queued.request.prompt_tokens() + queued.resume_generated;
+    return block_group_bytes(precision) * blocks_for(feed + 1);
+}
+
+std::size_t
+Scheduler::committed_bytes(const ActiveRequest& req) const
+{
+    if (config_.admission == AdmissionMode::kFullProjection) {
+        return req.projected_bytes;
+    }
+    const std::size_t positions =
+        std::max(req.feed_tokens, req.session.position()) + 1;
+    return block_group_bytes(req.session.kv_precision()) *
+           blocks_for(positions);
+}
+
+std::size_t
+Scheduler::committed_total() const
 {
     std::size_t total = 0;
     for (const ActiveRequest& a : active_) {
-        total += a.projected_kv_bytes;
+        total += committed_bytes(a);
     }
     return total;
 }
@@ -96,14 +132,100 @@ Scheduler::committed_kv_bytes() const
 std::size_t
 Scheduler::kv_bytes_in_use() const
 {
-    const model::ModelConfig& c = *engine_.model_config();
-    std::size_t total = 0;
-    for (const ActiveRequest& a : active_) {
-        total += a.session.kv_memory_bytes(c.num_layers,
-                                           c.num_kv_heads,
-                                           c.head_dim());
+    return pool_.bytes_in_use();
+}
+
+std::size_t
+Scheduler::step_append_tokens(const ActiveRequest& req) const
+{
+    if (req.prefill_done()) {
+        return 1;  // One decode append per layer cache.
     }
-    return total;
+    const std::size_t remaining = req.feed_tokens - req.prompt_fed;
+    return std::min(config_.prefill_chunk_tokens == 0
+                        ? remaining
+                        : config_.prefill_chunk_tokens,
+                    remaining);
+}
+
+void
+Scheduler::preempt(std::size_t index)
+{
+    ActiveRequest victim = std::move(active_[index]);
+    active_.erase(active_.begin() +
+                  static_cast<std::ptrdiff_t>(index));
+    ++preemptions_;
+    if (!functional_) {
+        pool_.unreserve(victim.analytic_reserved_bytes);
+    }
+    QueuedRequest q;
+    q.id = victim.id;
+    q.request = std::move(victim.request);
+    q.arrival_s = victim.arrival_s;
+    q.resumed = true;
+    q.original_admitted_s = victim.admitted_s;
+    q.resume_tokens = std::move(victim.tokens);
+    q.resume_generated = victim.generated;
+    q.first_token_s = victim.first_token_s;
+    q.preempt_count = victim.preempt_count + 1;
+    // Front of the queue: the victim was admitted before anything
+    // still waiting, and FIFO admission keeps it first in line.
+    queue_.push_front(std::move(q));
+    // victim.session dies here: its caches release every block back
+    // to the pool, which is the point of preemption.
+}
+
+void
+Scheduler::preempt_for_pressure()
+{
+    if (config_.kv_budget_bytes == 0) {
+        return;
+    }
+    // Evict until the blocks this iteration's appends need fit the
+    // budget; a single resident request may overcommit (it could
+    // never run otherwise).
+    while (active_.size() > 1) {
+        std::size_t needed = 0;
+        for (const ActiveRequest& a : active_) {
+            needed +=
+                block_group_bytes(a.session.kv_precision()) *
+                blocks_for(a.session.position() +
+                           step_append_tokens(a));
+        }
+        if (needed <= config_.kv_budget_bytes) {
+            return;
+        }
+        // Victim: lowest priority; ties evict the latest admitted.
+        std::size_t victim = 0;
+        for (std::size_t i = 1; i < active_.size(); ++i) {
+            const bool lower =
+                active_[i].request.priority <
+                    active_[victim].request.priority ||
+                (active_[i].request.priority ==
+                     active_[victim].request.priority &&
+                 active_[i].admission_seq >
+                     active_[victim].admission_seq);
+            if (lower) {
+                victim = i;
+            }
+        }
+        preempt(victim);
+    }
+}
+
+void
+Scheduler::sync_analytic_reservation(ActiveRequest& req)
+{
+    if (functional_) {
+        return;  // Functional caches allocate their own blocks.
+    }
+    const std::size_t target =
+        block_group_bytes(req.session.kv_precision()) *
+        blocks_for(req.session.position());
+    if (target > req.analytic_reserved_bytes) {
+        pool_.reserve(target - req.analytic_reserved_bytes);
+        req.analytic_reserved_bytes = target;
+    }
 }
 
 void
@@ -111,26 +233,49 @@ Scheduler::admit_arrivals()
 {
     // FIFO admission: the queue head blocks everything behind it, so
     // an expensive request cannot be starved by a stream of cheap
-    // later ones.
+    // later ones.  A preempted request re-enters at the head.
     while (!queue_.empty() && active_.size() < target_batch()) {
         QueuedRequest& head = queue_.front();
         if (head.arrival_s > now_s_) {
             break;  // Not arrived yet on the modeled clock.
         }
-        const std::size_t projected =
-            projected_kv_bytes(head.request);
+        const std::size_t needed = admission_bytes(head);
+        std::size_t watermark = 0;
+        if (config_.admission == AdmissionMode::kPagedReservation) {
+            watermark =
+                config_.watermark_blocks *
+                block_group_bytes(head.request.session.kv_precision);
+        }
         if (config_.kv_budget_bytes != 0 && !active_.empty() &&
-            committed_kv_bytes() + projected >
+            committed_total() + needed + watermark >
                 config_.kv_budget_bytes) {
             break;  // Would overcommit the KV budget.
         }
-        const SessionOptions options = head.request.session;
+        SessionOptions options = head.request.session;
+        options.kv_pool = &pool_;
         ActiveRequest a{.id = head.id,
                         .request = std::move(head.request),
                         .session = engine_.create_session(options)};
-        a.projected_kv_bytes = projected;
+        a.tokens = std::move(head.resume_tokens);
+        a.generated = head.resume_generated;
+        if (functional_) {
+            a.feed = a.request.prompt;
+            a.feed.insert(a.feed.end(), a.tokens.begin(),
+                          a.tokens.end());
+            a.feed_tokens = a.feed.size();
+        } else {
+            a.feed_tokens =
+                a.request.prompt_tokens() + a.generated;
+        }
+        if (config_.admission == AdmissionMode::kFullProjection) {
+            a.projected_bytes = needed;
+        }
+        a.admission_seq = ++admission_seq_;
+        a.preempt_count = head.preempt_count;
         a.arrival_s = head.arrival_s;
-        a.admitted_s = now_s_;
+        a.admitted_s =
+            head.resumed ? head.original_admitted_s : now_s_;
+        a.first_token_s = head.first_token_s;
         queue_.pop_front();
         active_.push_back(std::move(a));
     }
@@ -169,6 +314,7 @@ Scheduler::finish(ActiveRequest& req, FinishReason reason)
     f.tokens = std::move(req.tokens);
     f.prompt_tokens = req.request.prompt_tokens();
     f.generated = req.generated;
+    f.preemptions = req.preempt_count;
     f.arrival_s = req.arrival_s;
     f.admitted_s = req.admitted_s;
     f.first_token_s = req.first_token_s;
@@ -199,6 +345,10 @@ Scheduler::step()
     if (active_.empty()) {
         return !queue_.empty();
     }
+    // Guarantee this iteration's appends have blocks before any work
+    // is planned: evicting mid-layer is not an option, so pressure is
+    // resolved up front (vLLM-style recompute preemption).
+    preempt_for_pressure();
 
     // Build the iteration's mixed plan: one prefill chunk per
     // prompt-phase request, one decode step per generation-phase
@@ -209,19 +359,12 @@ Scheduler::step()
     for (std::size_t i = 0; i < active_.size(); ++i) {
         ActiveRequest& a = active_[i];
         if (!a.prefill_done()) {
-            const std::size_t remaining =
-                a.request.prompt_tokens() - a.prompt_fed;
-            const std::size_t chunk = std::min(
-                config_.prefill_chunk_tokens == 0
-                    ? remaining
-                    : config_.prefill_chunk_tokens,
-                remaining);
+            const std::size_t chunk = step_append_tokens(a);
             StepPlan::PrefillEntry entry;
             entry.session = &a.session;
             if (functional_) {
-                entry.tokens =
-                    std::span<const int>(a.request.prompt)
-                        .subspan(a.prompt_fed, chunk);
+                entry.tokens = std::span<const int>(a.feed).subspan(
+                    a.prompt_fed, chunk);
             } else {
                 entry.analytic_tokens = chunk;
             }
@@ -255,18 +398,30 @@ Scheduler::step()
             continue;
         }
         // Prefill complete: the chunk's final logits already carry
-        // the request's first generated token (TTFT is now).
-        a.first_token_s = now_s_;
-        if (a.request.max_new_tokens == 0) {
-            finish(a, FinishReason::kMaxTokens);
-        } else {
-            emit_token(a, result.prefill_outputs[k].next_token);
+        // the next generated token.  A resumed request (generated >
+        // 0) just replayed its history -- its TTFT stands and its
+        // next emission continues where eviction cut it off.
+        if (a.generated == 0) {
+            a.first_token_s = now_s_;
+            if (a.request.max_new_tokens == 0) {
+                finish(a, FinishReason::kMaxTokens);
+                continue;
+            }
         }
+        emit_token(a, result.prefill_outputs[k].next_token);
     }
 
-    // Peak footprint is observed before retiring finished requests:
-    // their caches were resident through this iteration.
-    peak_kv_bytes_ = std::max(peak_kv_bytes_, kv_bytes_in_use());
+    // Mirror analytic cache growth into the pool before retiring:
+    // finished requests' memory was resident through this iteration,
+    // so the pool's peak sees it.
+    for (ActiveRequest& a : active_) {
+        sync_analytic_reservation(a);
+    }
+    for (ActiveRequest& a : active_) {
+        if (a.done && !functional_) {
+            pool_.unreserve(a.analytic_reserved_bytes);
+        }
+    }
     active_.erase(std::remove_if(active_.begin(), active_.end(),
                                  [](const ActiveRequest& a) {
                                      return a.done;
@@ -305,7 +460,9 @@ Scheduler::stats() const
     s.prefill_tokens = prefill_tokens_;
     s.generated_tokens = generated_tokens_;
     s.kv_budget_bytes = config_.kv_budget_bytes;
-    s.peak_kv_bytes = peak_kv_bytes_;
+    s.peak_kv_bytes = pool_.peak_bytes_in_use();
+    s.peak_pool_utilization = pool_.peak_utilization();
+    s.preemptions = preemptions_;
     s.target_batch = target_batch();
     if (finished_count_ > 0) {
         const double n = static_cast<double>(finished_count_);

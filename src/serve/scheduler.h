@@ -4,18 +4,34 @@
 /**
  * @file
  * The request-lifecycle serving frontend: admission control, chunked
- * prefill and continuous batching over Engine::step.
+ * prefill, continuous batching and KV-memory management over
+ * Engine::step.
  *
  * Callers submit() Requests and step() (or run()) the scheduler; it
  * owns everything in between:
  *
+ *  - a quant::BlockPool sized to the KV budget: every admitted
+ *    request's caches draw fixed-size blocks from it (functional
+ *    serving), or the scheduler mirrors the modeled cache through
+ *    byte reservations (analytic serving), so the pool's
+ *    bytes_in_use is the exact device footprint either way;
  *  - an admission queue ordered by submission, gated on each
- *    request's modeled arrival time and on a KV-memory budget: a
- *    request is only admitted when its *projected* KV footprint at
- *    full generation length (prompt + max_new_tokens, exact
- *    KvCache::bytes_per_position accounting for its precision) fits
- *    alongside the already-committed footprints.  Admission is FIFO
- *    (head-of-line blocking, no starvation);
+ *    request's modeled arrival time and on **block-level
+ *    reservation**: a request is admitted when the blocks covering
+ *    its prompt (plus a watermark of free blocks that keeps decode
+ *    headroom) fit beside the blocks committed to resident requests
+ *    -- not its full projected generation length, which is what lets
+ *    a paged pool admit strictly more concurrent sessions than the
+ *    old full-length projection (kept as
+ *    AdmissionMode::kFullProjection for comparison).  Admission is
+ *    FIFO (head-of-line blocking, no starvation);
+ *  - **preemption**: when decode growth would run the pool dry, the
+ *    lowest-priority running request (ties: latest admitted) is
+ *    evicted -- its blocks freed immediately -- and re-queued at the
+ *    front for recompute-style re-prefill through the existing
+ *    chunked-prefill path (its prompt plus the tokens it had already
+ *    generated are replayed, so its remaining output is bit-identical
+ *    to an uncontended run);
  *  - chunked prefill: admitted prompts are fed at most
  *    prefill_chunk_tokens per iteration, interleaved with the decode
  *    batch in one Engine::step(StepPlan) whose mixed workload shares
@@ -27,8 +43,9 @@
  * Chunked-prefill invariant: feeding a prompt chunk by chunk is
  * bit-identical to one Engine::prefill call, and the mixed step's
  * workload MACs equal the sum of the equivalent standalone chunk and
- * decode workloads -- so scheduling changes *when* work happens,
- * never its numerics or totals (tests/serve/scheduler_test.cc).
+ * decode workloads -- so scheduling (including preemption) changes
+ * *when* work happens, never its numerics or totals
+ * (tests/serve/scheduler_test.cc).
  *
  * Time is the modeled clock: each iteration advances it by the mixed
  * step's modeled runtime, which is what the TTFT/TPOT/queue numbers
@@ -40,6 +57,7 @@
 #include <deque>
 #include <vector>
 
+#include "quant/block_allocator.h"
 #include "serve/batch_policy.h"
 #include "serve/engine.h"
 #include "serve/request.h"
@@ -48,13 +66,31 @@
 namespace mugi {
 namespace serve {
 
+/** How admission charges a request against the KV budget. */
+enum class AdmissionMode {
+    /**
+     * Block-level reservation: charge the blocks covering the prompt
+     * (plus the next decode append) and keep watermark_blocks free;
+     * decode growth is handled by allocation on demand plus
+     * preemption under pressure.
+     */
+    kPagedReservation,
+    /**
+     * Legacy conservative policy: charge the full projected
+     * generation length (prompt + max_new_tokens, block-rounded) up
+     * front.  Never preempts; admits fewer concurrent sessions.
+     */
+    kFullProjection,
+};
+
 /** Scheduler knobs fixed at construction. */
 struct SchedulerConfig {
     /**
-     * KV-memory budget in bytes shared by all admitted requests;
-     * 0 = unbounded.  A request whose projection alone exceeds the
-     * budget is still admitted when it can run alone (it could never
-     * run otherwise).
+     * KV-memory budget in bytes shared by all admitted requests (the
+     * block pool's capacity); 0 = unbounded.  A request whose
+     * reservation alone exceeds the budget is still admitted when it
+     * can run alone (it could never run otherwise) -- the pool
+     * overcommits for it.
      */
     std::size_t kv_budget_bytes = 0;
     /** Max prompt tokens fed per request per iteration. */
@@ -67,6 +103,17 @@ struct SchedulerConfig {
     std::size_t max_batch = 0;
     /** Context length used by the BatchPolicy derivation sweep. */
     std::size_t policy_context = 512;
+
+    /** Admission policy against the KV budget. */
+    AdmissionMode admission = AdmissionMode::kPagedReservation;
+    /** KV positions per block of the shared pool. */
+    std::size_t kv_block_tokens = quant::BlockPool::kDefaultBlockTokens;
+    /**
+     * Blocks (per layer, at the admitted request's precision) that
+     * must remain free after a paged admission -- decode headroom
+     * that damps admit/preempt thrash, vLLM's watermark.
+     */
+    std::size_t watermark_blocks = 1;
 };
 
 /** Serving-horizon report: accumulator totals + latency stats. */
@@ -87,20 +134,30 @@ struct ServerStats {
     /**
      * Decode-step tokens processed; with prefill_tokens this
      * accounts the horizon exactly: horizon.tokens ==
-     * prefill_tokens + decode_tokens.
+     * prefill_tokens + decode_tokens.  Re-prefill after a preemption
+     * counts toward prefill_tokens (recompute is real work).
      */
     std::size_t decode_tokens = 0;
     std::size_t prefill_tokens = 0;  ///< Prompt tokens processed.
     /**
-     * Tokens emitted to callers.  Each request's first token rides
-     * its final prefill chunk, so generated_tokens exceeds
-     * decode_tokens by one per finished request.
+     * Tokens emitted to callers.  One token rides each completed
+     * prefill (the chunk's final logits), so generated_tokens
+     * exceeds decode_tokens by one per prefill completion -- once
+     * per request plus once per re-prefill after a preemption
+     * (replayed history itself is never re-emitted).
      */
     std::size_t generated_tokens = 0;
 
     std::size_t kv_budget_bytes = 0;
-    /** Largest exact KV footprint observed across any iteration. */
+    /**
+     * Largest exact block-pool footprint observed (allocated blocks
+     * plus analytic reservations).
+     */
     std::size_t peak_kv_bytes = 0;
+    /** peak_kv_bytes / kv_budget_bytes (0 when unbounded). */
+    double peak_pool_utilization = 0.0;
+    /** Requests evicted under KV pressure and re-queued. */
+    std::size_t preemptions = 0;
     std::size_t target_batch = 0;
 
     // Over finished requests, on the modeled clock.
@@ -124,9 +181,10 @@ class Scheduler {
     std::uint64_t submit(Request request);
 
     /**
-     * One scheduling iteration: admit, build the mixed StepPlan,
-     * Engine::step it, stream tokens, retire finished requests.
-     * Returns true while any request is active or queued.
+     * One scheduling iteration: admit, preempt if the pool would run
+     * dry, build the mixed StepPlan, Engine::step it, stream tokens,
+     * retire finished requests.  Returns true while any request is
+     * active or queued.
      */
     bool step();
 
@@ -142,8 +200,12 @@ class Scheduler {
     double now_s() const { return now_s_; }
     std::size_t queued() const { return queue_.size(); }
     std::size_t active() const { return active_.size(); }
-    /** Exact KV bytes currently cached across admitted requests. */
+    /** Exact KV block-pool bytes held by admitted requests. */
     std::size_t kv_bytes_in_use() const;
+    /** Requests evicted under KV pressure so far. */
+    std::size_t preemptions() const { return preemptions_; }
+    /** The shared block pool (admission + caches account here). */
+    const quant::BlockPool& pool() const { return pool_; }
     const BatchPolicy& policy() const { return policy_; }
 
   private:
@@ -151,11 +213,24 @@ class Scheduler {
         std::uint64_t id = 0;
         Request request;
         Session session;
+        /**
+         * Tokens chunked prefill feeds (functional): the prompt,
+         * plus -- after a preemption -- the tokens generated before
+         * eviction, replayed to rebuild the KV cache bit-identically.
+         */
+        std::vector<int> feed;
+        /** Effective prompt length (analytic: prompt + replayed). */
+        std::size_t feed_tokens = 0;
         std::size_t prompt_fed = 0;
         std::vector<int> tokens{};
         std::size_t generated = 0;
         int pending_token = -1;  ///< Next decode input.
-        std::size_t projected_kv_bytes = 0;
+        /** Pool bytes reserved for this analytic session's cache. */
+        std::size_t analytic_reserved_bytes = 0;
+        /** Full projection charge (kFullProjection mode only). */
+        std::size_t projected_bytes = 0;
+        std::uint64_t admission_seq = 0;
+        std::size_t preempt_count = 0;
         double arrival_s = 0.0;
         double admitted_s = 0.0;
         double first_token_s = 0.0;
@@ -164,7 +239,7 @@ class Scheduler {
         bool
         prefill_done() const
         {
-            return prompt_fed >= request.prompt_tokens();
+            return prompt_fed >= feed_tokens;
         }
     };
 
@@ -173,6 +248,14 @@ class Scheduler {
         Request request;
         /** max(arrival_time_s, clock at submit). */
         double arrival_s = 0.0;
+
+        // Resume state carried across a preemption.
+        bool resumed = false;
+        std::vector<int> resume_tokens;
+        std::size_t resume_generated = 0;
+        double original_admitted_s = 0.0;
+        double first_token_s = 0.0;
+        std::size_t preempt_count = 0;
     };
 
     std::size_t
@@ -182,8 +265,22 @@ class Scheduler {
                                  : policy_.target_batch();
     }
 
-    std::size_t projected_kv_bytes(const Request& request) const;
-    std::size_t committed_kv_bytes() const;
+    /** Bytes of one all-layer block group at @p precision. */
+    std::size_t block_group_bytes(quant::KvPrecision precision) const;
+    std::size_t blocks_for(std::size_t positions) const;
+    /** Bytes admission must charge for @p queued (mode-dependent). */
+    std::size_t admission_bytes(const QueuedRequest& queued) const;
+    /** Bytes currently committed to @p req against the budget. */
+    std::size_t committed_bytes(const ActiveRequest& req) const;
+    std::size_t committed_total() const;
+    /** KV positions @p req will append this iteration. */
+    std::size_t step_append_tokens(const ActiveRequest& req) const;
+    /** Evict active requests until this iteration's appends fit. */
+    void preempt_for_pressure();
+    /** Evict active_[index]: free its blocks, re-queue at the front. */
+    void preempt(std::size_t index);
+    /** Grow the pool reservation mirroring an analytic cache. */
+    void sync_analytic_reservation(ActiveRequest& req);
     void admit_arrivals();
     /** Emit one generated token; returns true when req is finished. */
     bool emit_token(ActiveRequest& req, int token);
@@ -194,6 +291,7 @@ class Scheduler {
     BatchPolicy policy_;
     bool functional_ = false;
 
+    quant::BlockPool pool_;
     std::deque<QueuedRequest> queue_;
     std::vector<ActiveRequest> active_;
     std::vector<FinishedRequest> finished_;
@@ -209,7 +307,8 @@ class Scheduler {
     std::size_t decode_tokens_ = 0;
     std::size_t prefill_tokens_ = 0;
     std::size_t generated_tokens_ = 0;
-    std::size_t peak_kv_bytes_ = 0;
+    std::size_t preemptions_ = 0;
+    std::uint64_t admission_seq_ = 0;
     double sum_queue_s_ = 0.0;
     double sum_ttft_s_ = 0.0;
     double max_ttft_s_ = 0.0;

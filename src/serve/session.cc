@@ -17,28 +17,9 @@ Session::kv_bytes() const
 {
     std::size_t total = 0;
     for (const quant::KvCache& cache : caches_) {
-        total += cache.byte_size();
+        total += cache.memory_bytes();
     }
     return total;
-}
-
-std::size_t
-Session::kv_memory_bytes(std::size_t num_layers,
-                         std::size_t num_kv_heads,
-                         std::size_t head_dim) const
-{
-    if (!caches_.empty()) {
-        std::size_t total = 0;
-        for (const quant::KvCache& cache : caches_) {
-            total += cache.memory_bytes();
-        }
-        return total;
-    }
-    // Analytic session: the modeled cache holds position_ tokens per
-    // layer at this session's precision.
-    return num_layers * position_ *
-           quant::KvCache::bytes_per_position(num_kv_heads, head_dim,
-                                              kv_precision_);
 }
 
 void

@@ -41,6 +41,14 @@ struct SessionOptions {
      * whose context is built by prefilling real tokens.
      */
     std::size_t initial_context = 0;
+    /**
+     * Shared block pool the session's KV caches draw from (must
+     * outlive the session) -- serve::Scheduler points every admitted
+     * request at its pool so admission, preemption and the caches all
+     * account the same bytes.  nullptr: each cache uses a private
+     * unbounded pool.
+     */
+    quant::BlockPool* kv_pool = nullptr;
 };
 
 /** One request's mutable state; created by Engine::create_session. */
@@ -59,19 +67,13 @@ class Session {
 
     quant::KvPrecision kv_precision() const { return kv_precision_; }
 
-    /** Total modeled KV-cache footprint across layers, in bytes. */
-    std::size_t kv_bytes() const;
-
     /**
-     * Exact KV device footprint across layers (KvCache::memory_bytes
-     * semantics) -- what a scheduler's admission budget charges.
-     * Analytic sessions (no caches) report from their position and
-     * precision so both serving modes account uniformly; that needs
-     * the hosting model's layer/head geometry, hence the arguments.
+     * Exact KV block footprint across layers (KvCache::memory_bytes
+     * semantics), in bytes.  0 for analytic sessions (no caches) --
+     * serve::Scheduler mirrors those into its BlockPool instead, so
+     * pool accounting is the footprint source of truth either way.
      */
-    std::size_t kv_memory_bytes(std::size_t num_layers,
-                                std::size_t num_kv_heads,
-                                std::size_t head_dim) const;
+    std::size_t kv_bytes() const;
 
     /**
      * Replace the default nonlinear kernels for every layer.  The

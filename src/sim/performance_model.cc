@@ -274,5 +274,20 @@ run_nonlinear_only(const DesignConfig& design,
     return perf;
 }
 
+KvFootprint
+kv_footprint(const model::ModelConfig& config, std::size_t positions,
+             quant::KvPrecision precision, std::size_t block_tokens)
+{
+    assert(block_tokens > 0);
+    KvFootprint fp;
+    const std::size_t per_position = quant::KvCache::bytes_per_position(
+        config.num_kv_heads, config.head_dim(), precision);
+    fp.contiguous_bytes = config.num_layers * positions * per_position;
+    fp.blocks = (positions + block_tokens - 1) / block_tokens;
+    fp.paged_bytes =
+        config.num_layers * fp.blocks * block_tokens * per_position;
+    return fp;
+}
+
 }  // namespace sim
 }  // namespace mugi

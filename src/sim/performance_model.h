@@ -28,11 +28,32 @@
 #include <vector>
 
 #include "model/workload.h"
+#include "quant/kv_cache.h"
 #include "sim/cost_model.h"
 #include "sim/design.h"
 
 namespace mugi {
 namespace sim {
+
+/**
+ * Modeled KV-cache footprint of one request at a context length,
+ * under both storage disciplines the serving stack supports.  This
+ * is the quantity serve::Scheduler admits against and
+ * bench/kv_paging.cc sweeps: contiguous_bytes is the token-exact
+ * accounting a full-length projection charges, paged_bytes rounds up
+ * to the fixed-size blocks a quant::BlockPool actually allocates.
+ */
+struct KvFootprint {
+    std::size_t contiguous_bytes = 0;  ///< positions * exact B/pos.
+    std::size_t paged_bytes = 0;       ///< Whole blocks, all layers.
+    std::size_t blocks = 0;            ///< Per-layer block count.
+};
+
+KvFootprint kv_footprint(const model::ModelConfig& config,
+                         std::size_t positions,
+                         quant::KvPrecision precision,
+                         std::size_t block_tokens =
+                             quant::BlockPool::kDefaultBlockTokens);
 
 /** Latency + energy of one op on one design. */
 struct OpCost {

@@ -7,18 +7,15 @@
  * quality and the architecture models end to end.
  */
 
-// These tests deliberately exercise the deprecated MugiSystem shim.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 #include <cmath>
 
 #include <gtest/gtest.h>
 
 #include "arch/mugi_node.h"
-#include "core/mugi_system.h"
 #include "model/accuracy.h"
 #include "model/profiler.h"
 #include "model/transformer.h"
+#include "serve/engine.h"
 #include "sim/event_sim.h"
 #include "sim/performance_model.h"
 #include "vlp/vlp_approximator.h"
@@ -98,12 +95,13 @@ TEST(Integration, NodeModelAndPerfModelAgreeOnNonlinearThroughput)
 
 TEST(Integration, FullSystemEvaluationEndToEnd)
 {
-    // MugiSystem over every Table 1 Llama model and mesh shape:
-    // reports must be internally consistent and ordered sensibly.
+    // serve::Engine over every Table 1 Llama model: reports must be
+    // internally consistent and ordered sensibly.
     double prev_runtime = 0.0;
     for (const model::ModelConfig& m : model::llama_family()) {
-        const MugiSystem system(sim::make_mugi(256));
-        const SystemReport report = system.evaluate_decode(m, 8, 2048);
+        const serve::Engine engine(sim::make_mugi(256));
+        const serve::SystemReport report =
+            engine.evaluate_decode(m, 8, 2048);
         // Bigger models take longer per step.
         EXPECT_GT(report.perf.runtime_s, prev_runtime) << m.name;
         prev_runtime = report.perf.runtime_s;

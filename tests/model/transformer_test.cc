@@ -137,11 +137,13 @@ TEST(Transformer, KvqDecodeStaysClose)
         }
         EXPECT_GT(dot / std::sqrt(ne * nq), 0.98);
     }
-    // Compression: 2*hd bytes (BF16) vs (hd+1)/2 + 2 bytes (INT4 +
-    // scale) per vector; with hd = 8 that is 16 vs 6 bytes.
+    // Compression under the exact device accounting: 4*hd bytes
+    // (float) vs (hd+1)/2 + 2 bytes (INT4 + scale) per vector; with
+    // hd = 8 that is 32 vs 6 bytes.  Both caches page identically
+    // (same length, same block count), so the ratio is exact.
     const std::size_t hd = config.head_dim();
     const double expected_ratio =
-        static_cast<double>(2 * hd) /
+        static_cast<double>(sizeof(float) * hd) /
         static_cast<double>((hd + 1) / 2 + 2);
     const double ratio = static_cast<double>(exact.kv_bytes()) /
                          static_cast<double>(kvq.kv_bytes());

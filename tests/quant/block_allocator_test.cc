@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Contract of quant::BlockPool, the shared allocator under the paged
+ * KV cache: exact byte accounting, free-list block reuse, advisory
+ * capacity (try_* enforce, plain calls may overcommit), analytic
+ * byte reservations, and peak tracking.
+ */
+
+#include "quant/block_allocator.h"
+
+#include <gtest/gtest.h>
+
+namespace mugi {
+namespace quant {
+namespace {
+
+TEST(BlockPool, ExactAccountingAndPeak)
+{
+    BlockPool pool(1000, 8);
+    EXPECT_EQ(pool.block_tokens(), 8u);
+    EXPECT_EQ(pool.capacity_bytes(), 1000u);
+    EXPECT_EQ(pool.bytes_in_use(), 0u);
+    EXPECT_EQ(pool.blocks_in_use(), 0u);
+    EXPECT_DOUBLE_EQ(pool.utilization(), 0.0);
+
+    const BlockId a = pool.allocate(300);
+    const BlockId b = pool.allocate(200);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(pool.bytes_in_use(), 500u);
+    EXPECT_EQ(pool.blocks_in_use(), 2u);
+    EXPECT_EQ(pool.block_bytes(a), 300u);
+    EXPECT_DOUBLE_EQ(pool.utilization(), 0.5);
+
+    pool.release(a);
+    EXPECT_EQ(pool.bytes_in_use(), 200u);
+    EXPECT_EQ(pool.blocks_in_use(), 1u);
+    // Peak is monotone: it remembers the high-water mark.
+    EXPECT_EQ(pool.peak_bytes_in_use(), 500u);
+    EXPECT_DOUBLE_EQ(pool.peak_utilization(), 0.5);
+    pool.release(b);
+    EXPECT_EQ(pool.bytes_in_use(), 0u);
+    EXPECT_EQ(pool.peak_bytes_in_use(), 500u);
+}
+
+TEST(BlockPool, ReleasedBlocksAreReused)
+{
+    BlockPool pool(0, 16);
+    const BlockId a = pool.allocate(64);
+    const BlockId b = pool.allocate(64);
+    const BlockId c = pool.allocate(128);
+    pool.release(b);
+    pool.release(a);
+    // Same-size allocation reuses the most recently freed slot
+    // instead of growing the slot table.
+    EXPECT_EQ(pool.allocate(64), a);
+    EXPECT_EQ(pool.allocate(64), b);
+    // A different size cannot reuse those slots.
+    pool.release(c);
+    const BlockId d = pool.allocate(256);
+    EXPECT_NE(d, c);
+    // ... but the same size can.
+    EXPECT_EQ(pool.allocate(128), c);
+}
+
+TEST(BlockPool, ReusedBlocksComeBackZeroed)
+{
+    BlockPool pool(0, 4);
+    const BlockId a = pool.allocate(16);
+    std::byte* data = pool.data(a);
+    for (std::size_t i = 0; i < 16; ++i) {
+        EXPECT_EQ(data[i], std::byte{0}) << "fresh block byte " << i;
+        data[i] = std::byte{0xAB};
+    }
+    pool.release(a);
+    const BlockId b = pool.allocate(16);
+    ASSERT_EQ(b, a);
+    const std::byte* reused = pool.data(b);
+    for (std::size_t i = 0; i < 16; ++i) {
+        EXPECT_EQ(reused[i], std::byte{0}) << "reused block byte " << i;
+    }
+}
+
+TEST(BlockPool, CapacityIsAdvisoryButTryEnforces)
+{
+    BlockPool pool(100, 4);
+    EXPECT_TRUE(pool.fits(100));
+    EXPECT_FALSE(pool.fits(101));
+
+    const BlockId a = pool.try_allocate(60);
+    ASSERT_NE(a, kInvalidBlock);
+    // Exhausted: try_allocate refuses, exactly-fitting succeeds.
+    EXPECT_EQ(pool.try_allocate(41), kInvalidBlock);
+    const BlockId b = pool.try_allocate(40);
+    ASSERT_NE(b, kInvalidBlock);
+    EXPECT_EQ(pool.try_allocate(1), kInvalidBlock);
+    EXPECT_FALSE(pool.fits(1));
+
+    // Plain allocate may overcommit -- the scheduler's
+    // oversized-request-runs-alone escape hatch.
+    const BlockId c = pool.allocate(50);
+    ASSERT_NE(c, kInvalidBlock);
+    EXPECT_EQ(pool.bytes_in_use(), 150u);
+    EXPECT_GT(pool.utilization(), 1.0);
+    pool.release(c);
+    pool.release(b);
+    pool.release(a);
+    EXPECT_EQ(pool.bytes_in_use(), 0u);
+}
+
+TEST(BlockPool, ReservationsShareTheBudgetWithBlocks)
+{
+    // Byte reservations are how the scheduler mirrors analytic
+    // sessions' modeled caches into the same budget real blocks use.
+    BlockPool pool(100, 4);
+    EXPECT_TRUE(pool.try_reserve(70));
+    EXPECT_EQ(pool.reserved_bytes(), 70u);
+    EXPECT_EQ(pool.bytes_in_use(), 70u);
+    EXPECT_FALSE(pool.try_reserve(31));
+    EXPECT_EQ(pool.try_allocate(31), kInvalidBlock);
+    const BlockId a = pool.try_allocate(30);
+    ASSERT_NE(a, kInvalidBlock);
+    EXPECT_EQ(pool.bytes_in_use(), 100u);
+    pool.unreserve(20);
+    EXPECT_EQ(pool.bytes_in_use(), 80u);
+    EXPECT_TRUE(pool.try_reserve(20));
+    pool.release(a);
+    pool.unreserve(70);
+    EXPECT_EQ(pool.bytes_in_use(), 0u);
+    EXPECT_EQ(pool.peak_bytes_in_use(), 100u);
+}
+
+TEST(BlockPool, UnboundedPoolNeverRefuses)
+{
+    BlockPool pool;  // capacity 0 = unbounded.
+    EXPECT_EQ(pool.block_tokens(), BlockPool::kDefaultBlockTokens);
+    EXPECT_TRUE(pool.fits(std::size_t{1} << 40));
+    EXPECT_NE(pool.try_allocate(1 << 20), kInvalidBlock);
+    EXPECT_TRUE(pool.try_reserve(1 << 20));
+    EXPECT_DOUBLE_EQ(pool.utilization(), 0.0);
+    EXPECT_DOUBLE_EQ(pool.peak_utilization(), 0.0);
+}
+
+}  // namespace
+}  // namespace quant
+}  // namespace mugi

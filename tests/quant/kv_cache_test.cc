@@ -79,11 +79,15 @@ TEST(KvCache, Int4CompressionFactor)
         fp.append(k, v);
         q4.append(k, v);
     }
-    // Sec. 2.3.3: ~4x footprint reduction (minus scale overhead).
-    const double ratio = static_cast<double>(fp.byte_size()) /
-                         static_cast<double>(q4.byte_size());
-    EXPECT_GT(ratio, 3.5);
-    EXPECT_LE(ratio, 4.0);
+    // Sec. 2.3.3's ~4x reduction is against the BF16 storage the
+    // datapath assumes; against the exact float storage the device
+    // accounting reports it is ~8x (minus scale overhead).  Equal
+    // lengths page into equally many blocks, so block rounding
+    // cancels out of the ratio.
+    const double ratio = static_cast<double>(fp.memory_bytes()) /
+                         static_cast<double>(q4.memory_bytes());
+    EXPECT_GT(ratio, 7.0);
+    EXPECT_LE(ratio, 8.0);
 }
 
 TEST(KvCache, CodesAreValidInt4)
@@ -129,10 +133,11 @@ TEST(KvCache, AttentionScoreErrorSmall)
     }
 }
 
-TEST(KvCache, MemoryBytesIsExactPerPrecision)
+TEST(KvCache, MemoryBytesIsBlockExactPerPrecision)
 {
     // memory_bytes() is the admission-budget footprint: packed INT4
-    // nibbles + one BF16 scale per K/V vector, or full float storage.
+    // nibbles + one BF16 scale per K/V vector, or full float storage,
+    // rounded up to the blocks actually allocated from the pool.
     const std::size_t heads = 8, hd = 64;
     const std::size_t int4_per_pos = 2 * heads * (hd / 2 + 2);
     const std::size_t float_per_pos = 2 * heads * hd * sizeof(float);
@@ -147,25 +152,167 @@ TEST(KvCache, MemoryBytesIsExactPerPrecision)
               2 * (3 + 2));
 
     std::mt19937 rng(31);
-    KvCache quant(heads, hd, KvPrecision::kInt4);
-    KvCache exact(heads, hd, KvPrecision::kFloat);
+    const std::size_t B = 2;  // Tokens per block.
+    BlockPool pool(0, B);
+    KvCache quant(heads, hd, KvPrecision::kInt4, &pool);
+    KvCache exact(heads, hd, KvPrecision::kFloat, &pool);
     EXPECT_EQ(quant.memory_bytes(), 0u);
-    for (int t = 1; t <= 5; ++t) {
+    EXPECT_EQ(quant.block_bytes(), B * int4_per_pos);
+    EXPECT_EQ(exact.block_bytes(), B * float_per_pos);
+    for (std::size_t t = 1; t <= 5; ++t) {
         const auto kv = random_heads(heads, hd, rng);
         quant.append(kv, kv);
         exact.append(kv, kv);
-        // Growth is linear and visible -- the quantity a scheduler's
-        // KV budget bounds.
-        EXPECT_EQ(quant.memory_bytes(),
-                  static_cast<std::size_t>(t) * int4_per_pos);
-        EXPECT_EQ(exact.memory_bytes(),
-                  static_cast<std::size_t>(t) * float_per_pos);
+        // Growth is block-granular and visible -- the quantity a
+        // scheduler's KV budget bounds.
+        const std::size_t blocks = (t + B - 1) / B;
+        EXPECT_EQ(quant.blocks_in_use(), blocks);
+        EXPECT_EQ(quant.memory_bytes(), blocks * B * int4_per_pos);
+        EXPECT_EQ(exact.memory_bytes(), blocks * B * float_per_pos);
     }
-    // byte_size() models BF16-equivalent float storage (2 B/elem),
-    // so the exact float footprint is twice the modeled one; INT4 is
-    // identical under both accountings.
-    EXPECT_EQ(exact.memory_bytes(), 2 * exact.byte_size());
-    EXPECT_EQ(quant.memory_bytes(), quant.byte_size());
+    // The shared pool accounts both caches' physical bytes exactly.
+    EXPECT_EQ(pool.bytes_in_use(),
+              quant.memory_bytes() + exact.memory_bytes());
+    // An append within the last block costs nothing new; crossing a
+    // block boundary allocates exactly one more block.
+    const std::size_t before = pool.bytes_in_use();
+    const auto kv6 = random_heads(heads, hd, rng);
+    quant.append(kv6, kv6);  // Fills block 3 (positions 5-6).
+    EXPECT_EQ(pool.bytes_in_use(), before);
+    quant.append(kv6, kv6);  // Opens block 4.
+    EXPECT_EQ(pool.bytes_in_use(), before + quant.block_bytes());
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    // The deprecated name delegates to the exact accounting.
+    EXPECT_EQ(exact.byte_size(), exact.memory_bytes());
+    EXPECT_EQ(quant.byte_size(), quant.memory_bytes());
+#pragma GCC diagnostic pop
+}
+
+TEST(KvCache, PagedReadsAreByteIdenticalAcrossBlockSizes)
+{
+    // The paged-cache acceptance bar: block layout must never touch
+    // numerics.  A block size >= length is the former contiguous
+    // storage, so agreement across block sizes (including the
+    // private-pool default) proves paged reads are byte-identical to
+    // the contiguous cache for both precisions.
+    const std::size_t heads = 3, hd = 7, T = 33;
+    std::mt19937 rng(101);
+    std::vector<support::MatrixF> ks, vs;
+    for (std::size_t t = 0; t < T; ++t) {
+        ks.push_back(random_heads(heads, hd, rng));
+        vs.push_back(random_heads(heads, hd, rng));
+    }
+    for (const KvPrecision precision :
+         {KvPrecision::kFloat, KvPrecision::kInt4}) {
+        BlockPool contiguous(0, T);  // One block holds everything.
+        BlockPool tiny(0, 1);
+        BlockPool odd(0, 5);
+        KvCache reference(heads, hd, precision, &contiguous);
+        std::vector<KvCache> paged;
+        paged.emplace_back(heads, hd, precision, &tiny);
+        paged.emplace_back(heads, hd, precision, &odd);
+        paged.emplace_back(heads, hd, precision);  // Private pool.
+        for (std::size_t t = 0; t < T; ++t) {
+            reference.append(ks[t], vs[t]);
+            for (KvCache& cache : paged) {
+                cache.append(ks[t], vs[t]);
+            }
+        }
+        std::vector<float> want(hd), got(hd);
+        for (std::size_t h = 0; h < heads; ++h) {
+            for (std::size_t t = 0; t < T; ++t) {
+                reference.read_key(h, t, want.data());
+                for (const KvCache& cache : paged) {
+                    cache.read_key(h, t, got.data());
+                    for (std::size_t d = 0; d < hd; ++d) {
+                        EXPECT_EQ(got[d], want[d])
+                            << "key h=" << h << " t=" << t;
+                    }
+                }
+                reference.read_value(h, t, want.data());
+                for (const KvCache& cache : paged) {
+                    cache.read_value(h, t, got.data());
+                    for (std::size_t d = 0; d < hd; ++d) {
+                        EXPECT_EQ(got[d], want[d])
+                            << "value h=" << h << " t=" << t;
+                    }
+                }
+                if (precision == KvPrecision::kInt4) {
+                    for (const KvCache& cache : paged) {
+                        EXPECT_EQ(cache.key_scale(h, t),
+                                  reference.key_scale(h, t));
+                        for (std::size_t d = 0; d < hd; ++d) {
+                            EXPECT_EQ(cache.key_code(h, t, d),
+                                      reference.key_code(h, t, d));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(KvCache, MoveLeavesTheSourceDrainedAndReusable)
+{
+    std::mt19937 rng(601);
+    BlockPool pool(0, 2);
+    KvCache source(2, 8, KvPrecision::kFloat, &pool);
+    for (int t = 0; t < 3; ++t) {
+        const auto kv = random_heads(2, 8, rng);
+        source.append(kv, kv);
+    }
+    const std::size_t moved_bytes = source.memory_bytes();
+
+    KvCache target = std::move(source);
+    EXPECT_EQ(target.length(), 3u);
+    EXPECT_EQ(target.memory_bytes(), moved_bytes);
+    // The source is drained, not left with a stale length: its
+    // accounting agrees with its (empty) block table and appending
+    // restarts cleanly from position 0.
+    EXPECT_EQ(source.length(), 0u);
+    EXPECT_EQ(source.memory_bytes(), 0u);
+    const auto kv = random_heads(2, 8, rng);
+    source.append(kv, kv);
+    EXPECT_EQ(source.length(), 1u);
+    EXPECT_EQ(pool.bytes_in_use(),
+              moved_bytes + source.block_bytes());
+
+    // Move assignment releases the target's old blocks first.
+    target = std::move(source);
+    EXPECT_EQ(target.length(), 1u);
+    EXPECT_EQ(pool.bytes_in_use(), target.memory_bytes());
+}
+
+TEST(KvCache, ReleaseReturnsBlocksToThePool)
+{
+    std::mt19937 rng(401);
+    BlockPool pool(0, 4);
+    KvCache outer(2, 8, KvPrecision::kInt4, &pool);
+    for (int t = 0; t < 6; ++t) {
+        const auto kv = random_heads(2, 8, rng);
+        outer.append(kv, kv);
+    }
+    const std::size_t outer_bytes = outer.memory_bytes();
+    EXPECT_EQ(pool.bytes_in_use(), outer_bytes);
+    {
+        KvCache inner(2, 8, KvPrecision::kInt4, &pool);
+        const auto kv = random_heads(2, 8, rng);
+        inner.append(kv, kv);
+        EXPECT_EQ(pool.bytes_in_use(),
+                  outer_bytes + inner.memory_bytes());
+    }  // Destructor frees the inner cache's block.
+    EXPECT_EQ(pool.bytes_in_use(), outer_bytes);
+    // release_blocks() is the preemption path: everything returns at
+    // once and the cache restarts from length 0.
+    outer.release_blocks();
+    EXPECT_EQ(pool.bytes_in_use(), 0u);
+    EXPECT_EQ(outer.length(), 0u);
+    EXPECT_EQ(outer.memory_bytes(), 0u);
+    const auto kv = random_heads(2, 8, rng);
+    outer.append(kv, kv);
+    EXPECT_EQ(outer.length(), 1u);
+    EXPECT_EQ(pool.bytes_in_use(), outer.block_bytes());
 }
 
 }  // namespace

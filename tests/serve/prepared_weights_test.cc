@@ -5,16 +5,12 @@
  * one-shot quantize-and-run path the old facade used per call.
  */
 
-// Compares against the deprecated MugiSystem shim on purpose.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 #include "serve/prepared_weights.h"
 
 #include <random>
 
 #include <gtest/gtest.h>
 
-#include "core/mugi_system.h"
 #include "serve/engine.h"
 #include "support/rng.h"
 
@@ -44,28 +40,6 @@ TEST(PreparedWeights, ReusedHandleIsBitIdenticalToOneShot)
         }
         EXPECT_EQ(reused.cycles, one_shot.cycles);
     }
-}
-
-TEST(PreparedWeights, MatchesLegacyMugiSystemPath)
-{
-    // The shim's one-shot GEMM and the prepared path must agree bit
-    // for bit -- the shim delegates to the same kernel.
-    const core::MugiSystem system(sim::make_mugi(32));
-    const Engine engine(sim::make_mugi(32));
-    std::mt19937 rng(919);
-    support::MatrixF weights(24, 64);
-    support::MatrixF acts(64, 8);
-    support::fill_gaussian(weights, rng, 0.0f, 0.5f);
-    support::fill_gaussian(acts, rng, 0.0f, 1.0f);
-
-    const core::MugiSystem::GemmRun legacy =
-        system.run_woq_gemm(weights, acts, 16);
-    const GemmRun prepared = engine.run_woq_gemm(
-        engine.prepare_weights(weights, 16), acts);
-    for (std::size_t i = 0; i < legacy.out.size(); ++i) {
-        EXPECT_EQ(prepared.out.data()[i], legacy.out.data()[i]);
-    }
-    EXPECT_EQ(prepared.cycles, legacy.cycles);
 }
 
 TEST(PreparedWeights, QuantizesExactlyOnce)
