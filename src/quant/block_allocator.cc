@@ -35,6 +35,13 @@ BlockPool::blocks_in_use() const
 }
 
 std::size_t
+BlockPool::shared_blocks() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shared_blocks_;
+}
+
+std::size_t
 BlockPool::reserved_bytes() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -92,14 +99,19 @@ BlockPool::allocate_locked(std::size_t bytes)
     if (it != free_lists_.end() && !it->second.empty()) {
         id = it->second.back();
         it->second.pop_back();
+        // Zero-fill the reused slot: the INT4 KV append path ORs
+        // nibbles into block bytes and relies on a fresh block
+        // reading as all zeros (pinned by block_allocator_test).
         std::fill(slots_[id].storage.begin(),
                   slots_[id].storage.end(), std::byte{0});
     } else {
         id = static_cast<BlockId>(slots_.size());
         assert(id != kInvalidBlock);
-        slots_.push_back(Slot{std::vector<std::byte>(bytes), false});
+        slots_.push_back(
+            Slot{std::vector<std::byte>(bytes), false, 0});
     }
     slots_[id].in_use = true;
+    slots_[id].refs = 1;
     block_bytes_in_use_ += bytes;
     ++blocks_in_use_;
     note_usage_locked();
@@ -126,11 +138,39 @@ BlockPool::try_allocate(std::size_t bytes)
 }
 
 void
+BlockPool::retain(BlockId id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    assert(id < slots_.size() && slots_[id].in_use);
+    Slot& slot = slots_[id];
+    ++slot.refs;
+    if (slot.refs == 2) {
+        ++shared_blocks_;
+    }
+}
+
+std::size_t
+BlockPool::ref_count(BlockId id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    assert(id < slots_.size() && slots_[id].in_use);
+    return slots_[id].refs;
+}
+
+void
 BlockPool::release(BlockId id)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     assert(id < slots_.size() && slots_[id].in_use);
     Slot& slot = slots_[id];
+    assert(slot.refs > 0);
+    --slot.refs;
+    if (slot.refs == 1) {
+        --shared_blocks_;
+    }
+    if (slot.refs > 0) {
+        return;  // Other holders keep the block alive.
+    }
     slot.in_use = false;
     block_bytes_in_use_ -= slot.storage.size();
     --blocks_in_use_;

@@ -22,7 +22,17 @@
  * the budget.  Policy -- admission watermarks, preemption under
  * pressure -- lives in serve::Scheduler; the pool is accounting plus
  * storage.  Released blocks go on per-size free lists and are reused
- * (most recently freed first) before fresh slots are created.
+ * (most recently freed first) before fresh slots are created; a
+ * reused block's storage is zero-filled on allocation, a contract the
+ * INT4 KV append path (which ORs nibbles into block bytes) depends
+ * on.
+ *
+ * Blocks are *refcounted* for cross-request prefix sharing
+ * (quant::KvCache::share_prefix_from): allocate() hands out a block
+ * with one reference, retain() adds one per additional sharer, and
+ * release() only frees the slot when the last reference drops.  A
+ * shared block's bytes are physical and therefore counted exactly
+ * once in bytes_in_use() no matter how many caches reference it.
  *
  * Thread-safety: all member functions are internally locked, matching
  * serve::Engine's concurrent-const contract.
@@ -72,6 +82,8 @@ class BlockPool {
     std::size_t peak_bytes_in_use() const;
     /** Storage-backed blocks currently allocated. */
     std::size_t blocks_in_use() const;
+    /** Live blocks currently referenced by more than one holder. */
+    std::size_t shared_blocks() const;
     /** Bytes held by analytic reservations (no storage). */
     std::size_t reserved_bytes() const;
 
@@ -92,7 +104,20 @@ class BlockPool {
     /** allocate(), or kInvalidBlock when it would exceed capacity. */
     BlockId try_allocate(std::size_t bytes);
 
-    /** Return a block; its slot is reused for same-size allocates. */
+    /**
+     * Add one reference to a live block -- prefix sharing: a second
+     * cache mapping the block into its table retains it so neither
+     * owner's release frees the storage under the other.
+     */
+    void retain(BlockId id);
+
+    /** References currently held on a live block (>= 1). */
+    std::size_t ref_count(BlockId id) const;
+
+    /**
+     * Drop one reference; the slot is freed (and reused for same-size
+     * allocates) only when the last reference drops.
+     */
     void release(BlockId id);
 
     /** Backing storage of a live block. */
@@ -115,6 +140,8 @@ class BlockPool {
     struct Slot {
         std::vector<std::byte> storage;
         bool in_use = false;
+        /** References held on the block; meaningful while in_use. */
+        std::uint32_t refs = 0;
     };
 
     bool fits_locked(std::size_t bytes) const;
@@ -131,6 +158,7 @@ class BlockPool {
     std::size_t block_bytes_in_use_ = 0;
     std::size_t reserved_bytes_ = 0;
     std::size_t blocks_in_use_ = 0;
+    std::size_t shared_blocks_ = 0;
     std::size_t peak_bytes_in_use_ = 0;
 };
 

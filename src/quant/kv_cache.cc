@@ -63,10 +63,19 @@ KvCache::KvCache(KvCache&& other) noexcept
 {
     // Leave the source coherent (drained, not just unspecified): its
     // destructor must release nothing and its length must agree with
-    // its empty block table.
+    // its empty block table.  Null the pool and cached geometry too:
+    // after owned_pool_ moved away, the source's pool_ would point at
+    // storage owned by the destination (or dangle once the
+    // destination dies), and an append on the moved-from object would
+    // silently allocate from it -- a use-after-move landmine.  append
+    // asserts on the null pool instead.
     other.length_ = 0;
     other.table_.clear();
     other.block_data_.clear();
+    other.pool_ = nullptr;
+    other.block_tokens_ = 0;
+    other.bytes_per_position_ = 0;
+    other.block_bytes_ = 0;
 }
 
 KvCache&
@@ -88,6 +97,10 @@ KvCache::operator=(KvCache&& other) noexcept
         other.length_ = 0;
         other.table_.clear();
         other.block_data_.clear();
+        other.pool_ = nullptr;
+        other.block_tokens_ = 0;
+        other.bytes_per_position_ = 0;
+        other.block_bytes_ = 0;
     }
     return *this;
 }
@@ -95,12 +108,57 @@ KvCache::operator=(KvCache&& other) noexcept
 void
 KvCache::release_blocks()
 {
+    if (pool_ == nullptr) {
+        // Moved-from: the blocks (and possibly the pool itself) went
+        // with the move; there is nothing to release.
+        assert(table_.empty());
+        return;
+    }
     for (const BlockId id : table_) {
         pool_->release(id);
     }
     table_.clear();
     block_data_.clear();
     length_ = 0;
+}
+
+void
+KvCache::share_prefix_from(const KvCache& src, std::size_t positions)
+{
+    assert(pool_ != nullptr && "moved-from cache cannot share");
+    assert(pool_ == src.pool_ &&
+           "prefix sharing requires one shared pool");
+    assert(length_ == 0 && table_.empty() &&
+           "share_prefix_from needs an empty destination");
+    assert(num_heads_ == src.num_heads_ &&
+           head_dim_ == src.head_dim_ &&
+           precision_ == src.precision_ &&
+           "prefix sharing requires identical geometry and precision");
+    assert(positions <= src.length_);
+    if (positions == 0) {
+        return;
+    }
+    const std::size_t blocks =
+        (positions + block_tokens_ - 1) / block_tokens_;
+    table_.reserve(blocks);
+    block_data_.reserve(blocks);
+    for (std::size_t b = 0; b < blocks; ++b) {
+        const BlockId id = src.table_[b];
+        pool_->retain(id);
+        table_.push_back(id);
+        block_data_.push_back(src.block_data_[b]);
+    }
+    length_ = positions;
+}
+
+std::size_t
+KvCache::shared_blocks() const
+{
+    std::size_t shared = 0;
+    for (const BlockId id : table_) {
+        shared += pool_->ref_count(id) > 1 ? 1 : 0;
+    }
+    return shared;
 }
 
 std::size_t
@@ -152,6 +210,7 @@ void
 KvCache::append(const support::MatrixF& k_heads,
                 const support::MatrixF& v_heads)
 {
+    assert(pool_ != nullptr && "append on a moved-from KvCache");
     assert(k_heads.rows() == num_heads_ && k_heads.cols() == head_dim_);
     assert(v_heads.rows() == num_heads_ && v_heads.cols() == head_dim_);
     if (length_ == table_.size() * block_tokens_) {
@@ -160,6 +219,22 @@ KvCache::append(const support::MatrixF& k_heads,
         // Block storage never moves while the block is live, so the
         // data pointer may be cached -- reads skip the pool lock.
         block_data_.push_back(pool_->data(id));
+    } else {
+        // Copy-on-write: never append into a block another cache can
+        // read.  Clone only this cache's live prefix of the block;
+        // the rest of the fresh block stays zeroed, which the INT4
+        // nibble-OR path below depends on.
+        const std::size_t tail = length_ / block_tokens_;
+        if (pool_->ref_count(table_[tail]) > 1) {
+            const BlockId fresh = pool_->allocate(block_bytes_);
+            std::byte* fresh_data = pool_->data(fresh);
+            const std::size_t live_bytes =
+                (length_ % block_tokens_) * bytes_per_position_;
+            std::memcpy(fresh_data, block_data_[tail], live_bytes);
+            pool_->release(table_[tail]);
+            table_[tail] = fresh;
+            block_data_[tail] = fresh_data;
+        }
     }
     std::byte* dst = position_data(length_);
     const std::size_t vb = vector_bytes();

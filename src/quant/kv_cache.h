@@ -24,6 +24,15 @@
  * sign-magnitude nibble and the BF16 bit pattern both round-trip
  * losslessly).  Callers that don't pass a pool get a private
  * unbounded one; either way the read/append API is unchanged.
+ *
+ * Blocks can be *shared* across caches drawing from the same pool
+ * (prefix caching): share_prefix_from() maps another cache's leading
+ * blocks into this one's table under a pool refcount, so two requests
+ * with a common prompt prefix read the same physical bytes.  Appends
+ * are copy-on-write: writing into a block referenced by another cache
+ * first clones the writer's live prefix of that block into a fresh
+ * zeroed block, so a sharer's reads are byte-identical forever no
+ * matter what its neighbours append.
  */
 
 #include <cstddef>
@@ -57,7 +66,14 @@ class KvCache {
     KvCache(std::size_t num_heads, std::size_t head_dim,
             KvPrecision precision, BlockPool* pool = nullptr);
 
-    /** The source is left drained: length 0, no blocks. */
+    /**
+     * The source is left drained *and inert*: length 0, no blocks,
+     * and no pool -- its owned pool (if any) moved with the blocks,
+     * so the moved-from object must not silently allocate from
+     * storage it no longer owns.  Using append() or
+     * share_prefix_from() on a moved-from cache asserts; destroying
+     * it is safe.
+     */
     KvCache(KvCache&&) noexcept;
     /** Releases the target's blocks before adopting the source's. */
     KvCache& operator=(KvCache&&) noexcept;
@@ -120,6 +136,24 @@ class KvCache {
     std::size_t blocks_in_use() const { return table_.size(); }
     /** Bytes of one of this cache's blocks. */
     std::size_t block_bytes() const { return block_bytes_; }
+
+    /**
+     * Map the first @p positions of @p src into this (empty) cache
+     * under pool refcounts -- the prefix-caching primitive.  Both
+     * caches must draw from the same pool and have identical
+     * geometry and precision; @p positions must not exceed
+     * src.length().  Shared blocks are read-only in effect: an append
+     * that would write into one (by either cache) copy-on-writes it
+     * first, so reads of the shared prefix stay byte-identical in
+     * both caches for both precisions.  A non-block-aligned
+     * @p positions shares the containing (partial) block too; the
+     * pool frees a shared block only when the last referencing cache
+     * releases it.
+     */
+    void share_prefix_from(const KvCache& src, std::size_t positions);
+
+    /** Blocks of this cache currently shared with another cache. */
+    std::size_t shared_blocks() const;
 
     /**
      * Release every block back to the pool and reset to length 0 --

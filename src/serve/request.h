@@ -75,6 +75,21 @@ struct Request {
      */
     int priority = 0;
 
+    /**
+     * Analytic prefix caching: requests carrying the same nonzero
+     * prefix_group share their first prefix_tokens prompt tokens (a
+     * common system prompt in a modeled trace).  The scheduler's
+     * prefix index treats those blocks as content-equal, mirrors
+     * their KV bytes through *refcounted* pool reservations (charged
+     * once however many sharers are resident) and skips their
+     * prefill chunks once a resident request has computed them.
+     * Functional engines ignore both fields -- sharing is discovered
+     * from the real prompt tokens.
+     */
+    std::uint64_t prefix_group = 0;
+    /** Shared-prefix length in tokens (with prefix_group). */
+    std::size_t prefix_tokens = 0;
+
     /** Per-session knobs (KV precision); initial_context must be 0 --
      *  context is built by the scheduler's chunked prefill. */
     SessionOptions session;
@@ -109,13 +124,26 @@ struct FinishedRequest {
     // Modeled-clock milestones.
     double arrival_s = 0.0;      ///< Request::arrival_time_s.
     double admitted_s = 0.0;     ///< Left the queue, session created.
-    double first_token_s = 0.0;  ///< Prefill done, first token out.
+    /**
+     * Prefill done, first token out.  Stays 0 when the request never
+     * emitted a token (max_new_tokens == 0): there is no first token
+     * to stamp, and such requests are excluded from the scheduler's
+     * TTFT aggregates (they still count toward queue stats).
+     */
+    double first_token_s = 0.0;
     double finished_s = 0.0;     ///< Last token out.
 
     /** Admission-queue wait. */
     double queue_s() const { return admitted_s - arrival_s; }
-    /** Time to first token, from arrival (queue + prefill). */
-    double ttft_s() const { return first_token_s - arrival_s; }
+    /**
+     * Time to first token, from arrival (queue + prefill); 0 when no
+     * token was ever emitted.
+     */
+    double
+    ttft_s() const
+    {
+        return generated > 0 ? first_token_s - arrival_s : 0.0;
+    }
     /** Mean time per output token after the first. */
     double
     tpot_s() const

@@ -7,6 +7,22 @@
 
 namespace mugi {
 namespace serve {
+namespace {
+
+/** FNV-1a over one 64-bit value, little-endian byte order. */
+std::uint64_t
+fnv1a64(std::uint64_t h, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (value >> (8 * i)) & 0xFF;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+
+}  // namespace
 
 const char*
 finish_reason_name(FinishReason reason)
@@ -59,7 +75,9 @@ Scheduler::submit(Request request)
         f.reason = FinishReason::kMaxTokens;
         f.arrival_s = arrival;
         f.admitted_s = arrival;
-        f.first_token_s = arrival;
+        // No token was ever emitted, so there is no first-token
+        // milestone; ttft_s() reports 0 and the stats() TTFT
+        // aggregates exclude the request.
         f.finished_s = arrival;
         ++finished_count_;
         finished_.push_back(std::move(f));
@@ -69,6 +87,12 @@ Scheduler::submit(Request request)
     queued.id = id;
     queued.arrival_s = arrival;
     queued.request = std::move(request);
+    if (prefix_caching_on()) {
+        // Hash the shareable prompt blocks exactly once; admission
+        // attempts (there may be many while the head waits on the
+        // budget) only walk the cached chain.
+        queued.prefix_keys = prefix_keys_for(queued.request);
+    }
     queue_.push_back(std::move(queued));
     return id;
 }
@@ -89,8 +113,188 @@ Scheduler::blocks_for(std::size_t positions) const
            config_.kv_block_tokens;
 }
 
+bool
+Scheduler::prefix_caching_on() const
+{
+    return config_.prefix_caching &&
+           config_.admission == AdmissionMode::kPagedReservation;
+}
+
+std::vector<std::uint64_t>
+Scheduler::prefix_keys_for(const Request& request) const
+{
+    const std::size_t bt = config_.kv_block_tokens;
+    std::size_t region = request.prompt_tokens();
+    if (!functional_) {
+        if (request.prefix_group == 0) {
+            return {};  // Nothing declared shareable.
+        }
+        region = std::min(region, request.prefix_tokens);
+    }
+    const std::size_t depth = region / bt;
+    std::vector<std::uint64_t> keys;
+    keys.reserve(depth);
+    // Seed with the precision (and, analytically, the group id):
+    // blocks only match between caches of identical layout.
+    std::uint64_t h = fnv1a64(
+        kFnvOffset,
+        static_cast<std::uint64_t>(request.session.kv_precision));
+    if (!functional_) {
+        h = fnv1a64(h, request.prefix_group);
+    }
+    for (std::size_t b = 0; b < depth; ++b) {
+        if (functional_) {
+            for (std::size_t t = b * bt; t < (b + 1) * bt; ++t) {
+                h = fnv1a64(h, static_cast<std::uint64_t>(
+                                   static_cast<std::int64_t>(
+                                       request.prompt[t])));
+            }
+        } else {
+            h = fnv1a64(h, b);
+        }
+        keys.push_back(h);
+    }
+    return keys;
+}
+
+Scheduler::PrefixMatch
+Scheduler::find_prefix_match(const QueuedRequest& queued) const
+{
+    PrefixMatch match;
+    if (!prefix_caching_on()) {
+        return match;
+    }
+    const std::size_t bt = config_.kv_block_tokens;
+    const quant::KvPrecision precision =
+        queued.request.session.kv_precision;
+    const std::size_t prompt_len = queued.request.prompt_tokens();
+    const std::size_t feed = prompt_len + queued.resume_generated;
+    if (feed == 0) {
+        return match;
+    }
+    const std::vector<std::uint64_t>& keys = queued.prefix_keys;
+    // Never share the whole feed: the chunk completing prefill must
+    // feed >= 1 real token so its logits emit the first token.
+    const std::size_t cap =
+        std::min(keys.size(), std::min(prompt_len, feed - 1) / bt);
+    for (std::size_t b = 1; b <= cap; ++b) {
+        const auto it = prefix_index_.find(keys[b - 1]);
+        if (it == prefix_index_.end()) {
+            break;  // Chain property: deeper runs cannot match.
+        }
+        bool found = false;
+        for (const std::uint64_t owner_id : it->second) {
+            for (std::size_t i = 0; i < active_.size(); ++i) {
+                const ActiveRequest& donor = active_[i];
+                if (donor.id != owner_id ||
+                    donor.session.kv_precision() != precision) {
+                    continue;
+                }
+                // The donor must have those positions resident --
+                // fed (or itself adopted), not merely promised.
+                if (donor.prompt_fed < b * bt) {
+                    continue;
+                }
+                if (functional_ &&
+                    (donor.request.prompt.size() < b * bt ||
+                     !std::equal(queued.request.prompt.begin(),
+                                 queued.request.prompt.begin() +
+                                     static_cast<std::ptrdiff_t>(b *
+                                                                 bt),
+                                 donor.request.prompt.begin()))) {
+                    continue;  // Hash collision: verify content.
+                }
+                match.tokens = b * bt;
+                match.blocks = b;
+                match.donor = i;
+                found = true;
+                break;
+            }
+            if (found) {
+                break;
+            }
+        }
+        if (!found) {
+            break;  // No deeper donor can exist (prefix property).
+        }
+    }
+    return match;
+}
+
+void
+Scheduler::register_prefix_owner(ActiveRequest& req)
+{
+    // req.prefix_keys were moved over from the queue entry (hashed
+    // once at submit).
+    for (const std::uint64_t key : req.prefix_keys) {
+        prefix_index_[key].push_back(req.id);
+    }
+}
+
+void
+Scheduler::deregister_prefix_owner(const ActiveRequest& req)
+{
+    for (const std::uint64_t key : req.prefix_keys) {
+        const auto it = prefix_index_.find(key);
+        if (it == prefix_index_.end()) {
+            continue;
+        }
+        auto& owners = it->second;
+        owners.erase(
+            std::remove(owners.begin(), owners.end(), req.id),
+            owners.end());
+        if (owners.empty()) {
+            prefix_index_.erase(it);
+        }
+    }
+}
+
+void
+Scheduler::acquire_analytic_prefix_refs(ActiveRequest& req,
+                                        std::size_t blocks)
+{
+    assert(blocks <= req.prefix_keys.size());
+    const std::size_t group =
+        block_group_bytes(req.session.kv_precision());
+    while (req.analytic_refs_held < blocks) {
+        std::size_t& refs =
+            analytic_prefix_refs_[req.prefix_keys
+                                      [req.analytic_refs_held]];
+        if (refs == 0) {
+            // First sharer to cover the block reserves its bytes;
+            // later sharers just take a reference.
+            pool_.reserve(group);
+        }
+        ++refs;
+        ++req.analytic_refs_held;
+    }
+}
+
+void
+Scheduler::release_analytic_prefix_refs(ActiveRequest& req)
+{
+    const std::size_t group =
+        block_group_bytes(req.session.kv_precision());
+    for (std::size_t i = 0; i < req.analytic_refs_held; ++i) {
+        const auto it =
+            analytic_prefix_refs_.find(req.prefix_keys[i]);
+        assert(it != analytic_prefix_refs_.end() && it->second > 0);
+        if (it == analytic_prefix_refs_.end()) {
+            continue;  // Unreachable; keeps NDEBUG builds safe.
+        }
+        if (--it->second == 0) {
+            // Last sharer out: the mirrored block leaves the pool
+            // exactly once, like a physical refcount reaching zero.
+            analytic_prefix_refs_.erase(it);
+            pool_.unreserve(group);
+        }
+    }
+    req.analytic_refs_held = 0;
+}
+
 std::size_t
-Scheduler::admission_bytes(const QueuedRequest& queued) const
+Scheduler::admission_bytes(const QueuedRequest& queued,
+                           std::size_t shared_blocks) const
 {
     const quant::KvPrecision precision =
         queued.request.session.kv_precision;
@@ -101,30 +305,76 @@ Scheduler::admission_bytes(const QueuedRequest& queued) const
     }
     // Paged reservation: the blocks covering the (possibly resumed)
     // prompt plus the first decode append -- growth beyond that is
-    // allocated on demand and defended by preemption.
+    // allocated on demand and defended by preemption.  Blocks a
+    // prefix-cache hit maps onto resident storage are already
+    // charged there; admission pays only the unshared tail.
     const std::size_t feed =
         queued.request.prompt_tokens() + queued.resume_generated;
-    return block_group_bytes(precision) * blocks_for(feed + 1);
+    const std::size_t blocks = blocks_for(feed + 1);
+    assert(shared_blocks <= blocks);
+    return block_group_bytes(precision) * (blocks - shared_blocks);
 }
 
 std::size_t
-Scheduler::committed_bytes(const ActiveRequest& req) const
+Scheduler::watermark_bytes(quant::KvPrecision head_precision) const
 {
-    if (config_.admission == AdmissionMode::kFullProjection) {
-        return req.projected_bytes;
+    if (config_.admission != AdmissionMode::kPagedReservation) {
+        return 0;
     }
-    const std::size_t positions =
-        std::max(req.feed_tokens, req.session.position()) + 1;
-    return block_group_bytes(req.session.kv_precision()) *
-           blocks_for(positions);
+    // Headroom at the *largest* resident block group: decode growth
+    // of a float-precision resident is not covered by an INT4-sized
+    // watermark.
+    std::size_t group = block_group_bytes(head_precision);
+    for (const ActiveRequest& a : active_) {
+        group = std::max(group,
+                         block_group_bytes(a.session.kv_precision()));
+    }
+    return config_.watermark_blocks * group;
+}
+
+std::size_t
+Scheduler::resident_bytes(const ActiveRequest& req) const
+{
+    if (functional_) {
+        // Exact block bytes the session's caches hold -- including
+        // blocks shared with other sessions (the pool counts each
+        // physical block once; growth_slack_bytes subtracts this
+        // same quantity, so the two views stay consistent).
+        return req.session.kv_bytes();
+    }
+    return req.analytic_reserved_bytes +
+           req.analytic_refs_held *
+               block_group_bytes(req.session.kv_precision());
+}
+
+std::size_t
+Scheduler::growth_slack_bytes(const ActiveRequest& req,
+                              std::size_t positions) const
+{
+    const std::size_t target =
+        block_group_bytes(req.session.kv_precision()) *
+        blocks_for(positions);
+    const std::size_t resident = resident_bytes(req);
+    return target > resident ? target - resident : 0;
 }
 
 std::size_t
 Scheduler::committed_total() const
 {
-    std::size_t total = 0;
+    if (config_.admission == AdmissionMode::kFullProjection) {
+        std::size_t total = 0;
+        for (const ActiveRequest& a : active_) {
+            total += a.projected_bytes;
+        }
+        return total;
+    }
+    // Paged: the pool's exact footprint (physical blocks + analytic
+    // reservations, shared blocks counted once) plus each request's
+    // growth to cover its feed and next decode append.
+    std::size_t total = pool_.bytes_in_use();
     for (const ActiveRequest& a : active_) {
-        total += committed_bytes(a);
+        total += growth_slack_bytes(
+            a, std::max(a.feed_tokens, a.session.position()) + 1);
     }
     return total;
 }
@@ -155,7 +405,9 @@ Scheduler::preempt(std::size_t index)
     active_.erase(active_.begin() +
                   static_cast<std::ptrdiff_t>(index));
     ++preemptions_;
+    deregister_prefix_owner(victim);
     if (!functional_) {
+        release_analytic_prefix_refs(victim);
         pool_.unreserve(victim.analytic_reserved_bytes);
     }
     QueuedRequest q;
@@ -168,11 +420,16 @@ Scheduler::preempt(std::size_t index)
     q.resume_generated = victim.generated;
     q.first_token_s = victim.first_token_s;
     q.preempt_count = victim.preempt_count + 1;
+    // The chain keys depend only on the prompt / prefix declaration
+    // and precision: carry them back instead of re-hashing.
+    q.prefix_keys = std::move(victim.prefix_keys);
     // Front of the queue: the victim was admitted before anything
     // still waiting, and FIFO admission keeps it first in line.
     queue_.push_front(std::move(q));
-    // victim.session dies here: its caches release every block back
-    // to the pool, which is the point of preemption.
+    // victim.session dies here: its caches drop their block
+    // references, which is the point of preemption.  A block another
+    // request shares survives (its refcount stays > 0) -- one
+    // owner's eviction never frees a sharer's storage.
 }
 
 void
@@ -183,14 +440,15 @@ Scheduler::preempt_for_pressure()
     }
     // Evict until the blocks this iteration's appends need fit the
     // budget; a single resident request may overcommit (it could
-    // never run otherwise).
+    // never run otherwise).  The need is pool-exact: current bytes
+    // (shared blocks counted once) plus each request's growth to
+    // cover its appends, so sharing defers preemption exactly as
+    // far as the physical savings allow.
     while (active_.size() > 1) {
-        std::size_t needed = 0;
+        std::size_t needed = pool_.bytes_in_use();
         for (const ActiveRequest& a : active_) {
-            needed +=
-                block_group_bytes(a.session.kv_precision()) *
-                blocks_for(a.session.position() +
-                           step_append_tokens(a));
+            needed += growth_slack_bytes(
+                a, a.session.position() + step_append_tokens(a));
         }
         if (needed <= config_.kv_budget_bytes) {
             return;
@@ -219,9 +477,17 @@ Scheduler::sync_analytic_reservation(ActiveRequest& req)
     if (functional_) {
         return;  // Functional caches allocate their own blocks.
     }
+    // Shared-prefix blocks the position now covers go through the
+    // refcount map (charged once across sharers).
+    acquire_analytic_prefix_refs(
+        req,
+        std::min(req.prefix_keys.size(),
+                 req.session.position() / config_.kv_block_tokens));
+    // The private tail (everything past the refcounted prefix).
     const std::size_t target =
         block_group_bytes(req.session.kv_precision()) *
-        blocks_for(req.session.position());
+        (blocks_for(req.session.position()) -
+         req.analytic_refs_held);
     if (target > req.analytic_reserved_bytes) {
         pool_.reserve(target - req.analytic_reserved_bytes);
         req.analytic_reserved_bytes = target;
@@ -239,17 +505,28 @@ Scheduler::admit_arrivals()
         if (head.arrival_s > now_s_) {
             break;  // Not arrived yet on the modeled clock.
         }
-        const std::size_t needed = admission_bytes(head);
-        std::size_t watermark = 0;
-        if (config_.admission == AdmissionMode::kPagedReservation) {
-            watermark =
-                config_.watermark_blocks *
-                block_group_bytes(head.request.session.kv_precision);
-        }
-        if (config_.kv_budget_bytes != 0 && !active_.empty() &&
-            committed_total() + needed + watermark >
+        // Prefix-cache lookup first: a hit shrinks the admission
+        // charge to the unshared tail.
+        const PrefixMatch match = find_prefix_match(head);
+        const std::size_t needed = admission_bytes(head, match.blocks);
+        if (config_.kv_budget_bytes != 0) {
+            const std::size_t watermark =
+                watermark_bytes(head.request.session.kv_precision);
+            if (committed_total() + needed + watermark >
                 config_.kv_budget_bytes) {
-            break;  // Would overcommit the KV budget.
+                // Would overcommit the KV budget.  The only
+                // exception: a request whose reservation alone (plus
+                // the headroom it would need) exceeds the budget can
+                // never pass this check, so it is admitted when the
+                // scheduler is otherwise empty -- it could never run
+                // at all otherwise, and a single resident request is
+                // allowed to overcommit the advisory pool.
+                const bool oversized_alone =
+                    needed + watermark > config_.kv_budget_bytes;
+                if (!(active_.empty() && oversized_alone)) {
+                    break;
+                }
+            }
         }
         SessionOptions options = head.request.session;
         options.kv_pool = &pool_;
@@ -267,6 +544,29 @@ Scheduler::admit_arrivals()
             a.feed_tokens =
                 a.request.prompt_tokens() + a.generated;
         }
+        a.prefix_keys = std::move(head.prefix_keys);
+        if (match.tokens > 0) {
+            // Map the shared prompt prefix onto the donor's resident
+            // blocks and skip its prefill chunks: the tokens are
+            // already computed (and, under KVQ, already quantized).
+            if (functional_) {
+                a.session.adopt_kv_prefix(
+                    active_[match.donor].session, match.tokens);
+            } else {
+                engine_.advance_context(a.session, match.tokens);
+                // Take the shared references *now*: the adopted
+                // blocks must count as resident before this step's
+                // pressure check, or the sharer's full growth slack
+                // would preempt-thrash it straight back out.
+                acquire_analytic_prefix_refs(a, match.blocks);
+            }
+            a.prompt_fed = match.tokens;
+            a.shared_prefix_tokens = match.tokens;
+            a.shared_prefix_blocks = match.blocks;
+            ++prefix_hits_;
+            shared_blocks_ += match.blocks;
+            saved_prefill_tokens_ += match.tokens;
+        }
         if (config_.admission == AdmissionMode::kFullProjection) {
             a.projected_bytes = needed;
         }
@@ -277,6 +577,7 @@ Scheduler::admit_arrivals()
             head.resumed ? head.original_admitted_s : now_s_;
         a.first_token_s = head.first_token_s;
         queue_.pop_front();
+        register_prefix_owner(a);
         active_.push_back(std::move(a));
     }
 }
@@ -320,9 +621,18 @@ Scheduler::finish(ActiveRequest& req, FinishReason reason)
     f.first_token_s = req.first_token_s;
     f.finished_s = now_s_;
     sum_queue_s_ += f.queue_s();
-    sum_ttft_s_ += f.ttft_s();
-    max_ttft_s_ = std::max(max_ttft_s_, f.ttft_s());
-    sum_tpot_s_ += f.tpot_s();
+    // TTFT is defined over requests that emitted a first token and
+    // TPOT over those with an inter-token gap; anything else would
+    // dilute the means with structural zeros.
+    if (f.generated > 0) {
+        sum_ttft_s_ += f.ttft_s();
+        max_ttft_s_ = std::max(max_ttft_s_, f.ttft_s());
+        ++ttft_count_;
+    }
+    if (f.generated > 1) {
+        sum_tpot_s_ += f.tpot_s();
+        ++tpot_count_;
+    }
     ++finished_count_;
     finished_.push_back(std::move(f));
     req.done = true;
@@ -402,11 +712,14 @@ Scheduler::step()
         // 0) just replayed its history -- its TTFT stands and its
         // next emission continues where eviction cut it off.
         if (a.generated == 0) {
-            a.first_token_s = now_s_;
             if (a.request.max_new_tokens == 0) {
+                // No token will ever be emitted: retire without a
+                // first-token stamp so the request cannot contribute
+                // a fake TTFT to the aggregates.
                 finish(a, FinishReason::kMaxTokens);
                 continue;
             }
+            a.first_token_s = now_s_;
         }
         emit_token(a, result.prefill_outputs[k].next_token);
     }
@@ -418,7 +731,12 @@ Scheduler::step()
         sync_analytic_reservation(a);
     }
     for (ActiveRequest& a : active_) {
-        if (a.done && !functional_) {
+        if (!a.done) {
+            continue;
+        }
+        deregister_prefix_owner(a);
+        if (!functional_) {
+            release_analytic_prefix_refs(a);
             pool_.unreserve(a.analytic_reserved_bytes);
         }
     }
@@ -463,13 +781,24 @@ Scheduler::stats() const
     s.peak_kv_bytes = pool_.peak_bytes_in_use();
     s.peak_pool_utilization = pool_.peak_utilization();
     s.preemptions = preemptions_;
+    s.prefix_hits = prefix_hits_;
+    s.shared_blocks = shared_blocks_;
+    s.saved_prefill_tokens = saved_prefill_tokens_;
     s.target_batch = target_batch();
     if (finished_count_ > 0) {
-        const double n = static_cast<double>(finished_count_);
-        s.mean_queue_s = sum_queue_s_ / n;
-        s.mean_ttft_s = sum_ttft_s_ / n;
+        s.mean_queue_s =
+            sum_queue_s_ / static_cast<double>(finished_count_);
+    }
+    // Each latency mean divides by the count of requests it is
+    // defined over, not by every finished request.
+    if (ttft_count_ > 0) {
+        s.mean_ttft_s =
+            sum_ttft_s_ / static_cast<double>(ttft_count_);
         s.max_ttft_s = max_ttft_s_;
-        s.mean_tpot_s = sum_tpot_s_ / n;
+    }
+    if (tpot_count_ > 0) {
+        s.mean_tpot_s =
+            sum_tpot_s_ / static_cast<double>(tpot_count_);
     }
     return s;
 }

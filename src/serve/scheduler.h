@@ -32,6 +32,20 @@
  *    chunked-prefill path (its prompt plus the tokens it had already
  *    generated are replayed, so its remaining output is bit-identical
  *    to an uncontended run);
+ *  - **prefix caching**: a content-addressed index of the resident
+ *    requests' prompt-block runs (chained hashes at block
+ *    granularity, per KV precision).  When a new request's prompt
+ *    prefix matches blocks a resident request has already computed,
+ *    admission maps its session onto those physical blocks under
+ *    pool refcounts (copy-on-write protected), charges only the
+ *    unshared tail against the budget, and skips the shared blocks'
+ *    prefill chunks entirely -- under Mugi's INT4-KVQ layout a hit
+ *    saves both the recompute and the quantization pass.  Analytic
+ *    serving mirrors this: requests declaring a common
+ *    Request::prefix_group share refcounted reservations and skip
+ *    the shared chunks the same way.  Preemption interacts through
+ *    the refcounts: evicting one sharer never frees a block another
+ *    sharer still reads;
  *  - chunked prefill: admitted prompts are fed at most
  *    prefill_chunk_tokens per iteration, interleaved with the decode
  *    batch in one Engine::step(StepPlan) whose mixed workload shares
@@ -55,6 +69,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <unordered_map>
 #include <vector>
 
 #include "quant/block_allocator.h"
@@ -109,11 +124,22 @@ struct SchedulerConfig {
     /** KV positions per block of the shared pool. */
     std::size_t kv_block_tokens = quant::BlockPool::kDefaultBlockTokens;
     /**
-     * Blocks (per layer, at the admitted request's precision) that
-     * must remain free after a paged admission -- decode headroom
-     * that damps admit/preempt thrash, vLLM's watermark.
+     * Blocks that must remain free after a paged admission -- decode
+     * headroom that damps admit/preempt thrash, vLLM's watermark.
+     * Sized at the *largest* block-group resident (or being
+     * admitted), so a small-precision admission cannot eat the
+     * headroom a float-precision resident needs to grow.
      */
     std::size_t watermark_blocks = 1;
+    /**
+     * Cross-request KV prefix caching (paged admission only): map a
+     * new request's prompt onto blocks a resident request already
+     * computed, charge admission only for the unshared tail, and
+     * skip the shared blocks' prefill chunks.  Off reverts to
+     * recompute-everything admission (the A/B baseline
+     * bench/prefix_cache.cc measures against).
+     */
+    bool prefix_caching = true;
 };
 
 /** Serving-horizon report: accumulator totals + latency stats. */
@@ -158,9 +184,24 @@ struct ServerStats {
     double peak_pool_utilization = 0.0;
     /** Requests evicted under KV pressure and re-queued. */
     std::size_t preemptions = 0;
+    /** Admissions whose prompt mapped onto resident prefix blocks. */
+    std::size_t prefix_hits = 0;
+    /**
+     * Cumulative all-layer block groups adopted from a resident
+     * request at admission (each counted once in the pool no matter
+     * how many sharers hold it).
+     */
+    std::size_t shared_blocks = 0;
+    /** Prompt tokens whose prefill was skipped by prefix sharing. */
+    std::size_t saved_prefill_tokens = 0;
     std::size_t target_batch = 0;
 
-    // Over finished requests, on the modeled clock.
+    // Over finished requests, on the modeled clock.  TTFT aggregates
+    // are over requests that emitted >= 1 token and TPOT over those
+    // that emitted >= 2 -- a max_new_tokens == 0 request has no first
+    // token and a single-token request has no inter-token gap, so
+    // neither may dilute the means (they still count toward queue
+    // stats and finished).
     double mean_queue_s = 0.0;
     double mean_ttft_s = 0.0;
     double max_ttft_s = 0.0;
@@ -225,10 +266,30 @@ class Scheduler {
         std::vector<int> tokens{};
         std::size_t generated = 0;
         int pending_token = -1;  ///< Next decode input.
-        /** Pool bytes reserved for this analytic session's cache. */
+        /** Pool bytes reserved for this analytic session's cache
+         *  beyond any refcounted shared-prefix blocks. */
         std::size_t analytic_reserved_bytes = 0;
         /** Full projection charge (kFullProjection mode only). */
         std::size_t projected_bytes = 0;
+        /**
+         * Positions adopted from a resident request's KV blocks at
+         * admission (prefix-cache hit); their prefill chunks were
+         * skipped.
+         */
+        std::size_t shared_prefix_tokens = 0;
+        /** Block groups those positions cover. */
+        std::size_t shared_prefix_blocks = 0;
+        /**
+         * Chain keys of this request's shareable prompt-block runs
+         * -- the prefix-index entries it owns while resident.
+         */
+        std::vector<std::uint64_t> prefix_keys;
+        /**
+         * Leading prefix_keys this *analytic* request holds
+         * refcounted reservations for (each key's block-group bytes
+         * are charged to the pool exactly once across all sharers).
+         */
+        std::size_t analytic_refs_held = 0;
         std::uint64_t admission_seq = 0;
         std::size_t preempt_count = 0;
         double arrival_s = 0.0;
@@ -249,6 +310,15 @@ class Scheduler {
         /** max(arrival_time_s, clock at submit). */
         double arrival_s = 0.0;
 
+        /**
+         * Chain keys of the request's shareable prompt blocks,
+         * computed once at submit (they depend only on the prompt /
+         * prefix declaration and precision) and moved into the
+         * ActiveRequest at admission; find_prefix_match walks them
+         * on every admission attempt without re-hashing the prompt.
+         */
+        std::vector<std::uint64_t> prefix_keys;
+
         // Resume state carried across a preemption.
         bool resumed = false;
         std::vector<int> resume_tokens;
@@ -265,13 +335,63 @@ class Scheduler {
                                  : policy_.target_batch();
     }
 
+    /** What a prefix-index lookup found for a queued request. */
+    struct PrefixMatch {
+        std::size_t tokens = 0;  ///< Block-aligned shared positions.
+        std::size_t blocks = 0;  ///< Block groups those cover.
+        /** active_ index of the resident donor (tokens > 0 only). */
+        std::size_t donor = 0;
+    };
+
     /** Bytes of one all-layer block group at @p precision. */
     std::size_t block_group_bytes(quant::KvPrecision precision) const;
     std::size_t blocks_for(std::size_t positions) const;
-    /** Bytes admission must charge for @p queued (mode-dependent). */
-    std::size_t admission_bytes(const QueuedRequest& queued) const;
-    /** Bytes currently committed to @p req against the budget. */
-    std::size_t committed_bytes(const ActiveRequest& req) const;
+    /** Prefix caching needs paged refcounts and the config knob. */
+    bool prefix_caching_on() const;
+    /**
+     * Chain keys over @p request's shareable prompt-block runs, one
+     * per depth (functional: hashes of the real token runs; analytic:
+     * synthesized from prefix_group within prefix_tokens).  Empty
+     * when the request has nothing shareable.
+     */
+    std::vector<std::uint64_t> prefix_keys_for(const Request& request)
+        const;
+    /**
+     * Longest block-aligned prompt prefix of @p queued already
+     * computed by a resident request at the same precision (always
+     * leaving >= 1 token to feed, so the completing chunk's logits
+     * still emit the first token).
+     */
+    PrefixMatch find_prefix_match(const QueuedRequest& queued) const;
+    /** Publish @p req's prompt blocks in the prefix index. */
+    void register_prefix_owner(ActiveRequest& req);
+    /** Remove @p req's prefix-index entries (retire / preempt). */
+    void deregister_prefix_owner(const ActiveRequest& req);
+    /**
+     * Take refcounted reservations on the first @p blocks of an
+     * analytic request's prefix keys (reserve-once semantics); both
+     * admission (adopted blocks must be resident *before* the next
+     * pressure check) and the per-step reservation sync call this.
+     */
+    void acquire_analytic_prefix_refs(ActiveRequest& req,
+                                      std::size_t blocks);
+    /** Drop an analytic request's refcounted prefix reservations. */
+    void release_analytic_prefix_refs(ActiveRequest& req);
+    /**
+     * Bytes admission must charge for @p queued (mode-dependent);
+     * a prefix-cache hit charges only the unshared tail.
+     */
+    std::size_t admission_bytes(const QueuedRequest& queued,
+                                std::size_t shared_blocks) const;
+    /** Watermark headroom at the largest resident block group. */
+    std::size_t watermark_bytes(quant::KvPrecision head_precision)
+        const;
+    /** Pool bytes @p req's blocks / reservations occupy today. */
+    std::size_t resident_bytes(const ActiveRequest& req) const;
+    /** Bytes @p req still needs to reach @p positions, beyond
+     *  resident_bytes (shared blocks therefore counted once). */
+    std::size_t growth_slack_bytes(const ActiveRequest& req,
+                                   std::size_t positions) const;
     std::size_t committed_total() const;
     /** KV positions @p req will append this iteration. */
     std::size_t step_append_tokens(const ActiveRequest& req) const;
@@ -296,6 +416,22 @@ class Scheduler {
     std::vector<ActiveRequest> active_;
     std::vector<FinishedRequest> finished_;
 
+    /**
+     * Prefix index: chain key of a prompt-block run -> ids of the
+     * resident requests whose prompts contain that run (entries live
+     * exactly as long as their owner is resident).
+     */
+    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>
+        prefix_index_;
+    /**
+     * Analytic mirror of block refcounts: chain key -> number of
+     * resident analytic sharers; the block-group bytes behind a key
+     * are reserved when the count rises from 0 and unreserved when
+     * it returns to 0, so shared reservations are counted once.
+     */
+    std::unordered_map<std::uint64_t, std::size_t>
+        analytic_prefix_refs_;
+
     sim::PerfAccumulator horizon_;
     /** Clock: horizon_.elapsed_s() + idle fast-forward skips. */
     double now_s_ = 0.0;
@@ -308,11 +444,18 @@ class Scheduler {
     std::size_t prefill_tokens_ = 0;
     std::size_t generated_tokens_ = 0;
     std::size_t preemptions_ = 0;
+    std::size_t prefix_hits_ = 0;
+    std::size_t shared_blocks_ = 0;
+    std::size_t saved_prefill_tokens_ = 0;
     std::uint64_t admission_seq_ = 0;
     double sum_queue_s_ = 0.0;
     double sum_ttft_s_ = 0.0;
     double max_ttft_s_ = 0.0;
     double sum_tpot_s_ = 0.0;
+    /** Finished requests that emitted >= 1 token (TTFT divisor). */
+    std::size_t ttft_count_ = 0;
+    /** Finished requests that emitted >= 2 tokens (TPOT divisor). */
+    std::size_t tpot_count_ = 0;
 };
 
 }  // namespace serve

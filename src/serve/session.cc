@@ -23,6 +23,35 @@ Session::kv_bytes() const
 }
 
 void
+Session::adopt_kv_prefix(const Session& donor, std::size_t positions)
+{
+    assert(position_ == 0 && tokens_generated_ == 0 &&
+           "prefix adoption needs an untouched session");
+    assert(!caches_.empty() &&
+           "prefix adoption is for functional sessions with KV caches");
+    assert(caches_.size() == donor.caches_.size());
+    assert(kv_precision_ == donor.kv_precision_);
+    assert(positions <= donor.position_);
+    if (positions == 0) {
+        return;
+    }
+    for (std::size_t l = 0; l < caches_.size(); ++l) {
+        caches_[l].share_prefix_from(donor.caches_[l], positions);
+    }
+    position_ = positions;
+}
+
+std::size_t
+Session::shared_kv_blocks() const
+{
+    std::size_t shared = 0;
+    for (const quant::KvCache& cache : caches_) {
+        shared += cache.shared_blocks();
+    }
+    return shared;
+}
+
+void
 Session::set_hooks(const model::NonlinearHooks& hooks)
 {
     hooks_ = hooks;

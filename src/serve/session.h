@@ -76,6 +76,24 @@ class Session {
     std::size_t kv_bytes() const;
 
     /**
+     * Prefix caching (functional sessions): map the first
+     * @p positions of @p donor's per-layer KV blocks into this
+     * freshly-created session's caches under pool refcounts
+     * (quant::KvCache::share_prefix_from) and advance the position to
+     * match, so chunked prefill resumes after the shared prefix.
+     * Requires an untouched session (position 0), a donor from the
+     * same engine whose caches share this session's pool, identical
+     * KV precision, and donor position >= @p positions.  Appends by
+     * either session copy-on-write shared blocks, so both keep
+     * byte-identical reads; serve::Scheduler calls this when its
+     * prefix index maps a new prompt onto resident blocks.
+     */
+    void adopt_kv_prefix(const Session& donor, std::size_t positions);
+
+    /** KV blocks (summed over layers) shared with another session. */
+    std::size_t shared_kv_blocks() const;
+
+    /**
      * Replace the default nonlinear kernels for every layer.  The
      * approximators referenced by @p hooks must outlive the session;
      * kernels obtained from the engine's registry do (retain them via

@@ -49,11 +49,22 @@ struct KvFootprint {
     std::size_t blocks = 0;            ///< Per-layer block count.
 };
 
+/**
+ * @param shared_positions Leading positions resident as another
+ *        request's prefix-cached blocks (block-aligned by the
+ *        scheduler's sharing rule).  Only the *fully*-shared leading
+ *        blocks are discounted from the paged accounting -- those
+ *        blocks' storage (and, with INT4 KVQ, their quantization
+ *        pass) is charged to the donor -- so the result is the
+ *        request's own admission charge and the prefill work it must
+ *        still run covers exactly positions - shared tokens.
+ */
 KvFootprint kv_footprint(const model::ModelConfig& config,
                          std::size_t positions,
                          quant::KvPrecision precision,
                          std::size_t block_tokens =
-                             quant::BlockPool::kDefaultBlockTokens);
+                             quant::BlockPool::kDefaultBlockTokens,
+                         std::size_t shared_positions = 0);
 
 /** Latency + energy of one op on one design. */
 struct OpCost {

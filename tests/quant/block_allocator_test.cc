@@ -129,6 +129,59 @@ TEST(BlockPool, ReservationsShareTheBudgetWithBlocks)
     EXPECT_EQ(pool.peak_bytes_in_use(), 100u);
 }
 
+TEST(BlockPool, RefcountsFreeTheBlockExactlyOnce)
+{
+    BlockPool pool(0, 8);
+    const BlockId a = pool.allocate(64);
+    EXPECT_EQ(pool.ref_count(a), 1u);
+    EXPECT_EQ(pool.shared_blocks(), 0u);
+
+    pool.retain(a);
+    pool.retain(a);
+    EXPECT_EQ(pool.ref_count(a), 3u);
+    EXPECT_EQ(pool.shared_blocks(), 1u);
+    // Shared or not, the physical bytes are counted exactly once.
+    EXPECT_EQ(pool.bytes_in_use(), 64u);
+    EXPECT_EQ(pool.blocks_in_use(), 1u);
+
+    // Two of the three holders release: storage survives and the
+    // accounting never moves.
+    pool.release(a);
+    pool.release(a);
+    EXPECT_EQ(pool.ref_count(a), 1u);
+    EXPECT_EQ(pool.shared_blocks(), 0u);
+    EXPECT_EQ(pool.bytes_in_use(), 64u);
+    // The block's data pointer stays valid until the last release.
+    EXPECT_NE(pool.data(a), nullptr);
+
+    pool.release(a);  // Last holder: now the slot frees.
+    EXPECT_EQ(pool.bytes_in_use(), 0u);
+    EXPECT_EQ(pool.blocks_in_use(), 0u);
+    // And the slot is reusable for same-size allocations again.
+    EXPECT_EQ(pool.allocate(64), a);
+    EXPECT_EQ(pool.ref_count(a), 1u);
+}
+
+TEST(BlockPool, ReusedBlocksAreZeroFilled)
+{
+    // The INT4 KV append path ORs nibbles into block bytes, so it
+    // depends on free-list reuse handing back all-zero storage; pin
+    // that contract at the pool level.
+    BlockPool pool(0, 4);
+    const BlockId a = pool.allocate(32);
+    std::byte* data = pool.data(a);
+    for (std::size_t i = 0; i < 32; ++i) {
+        data[i] = std::byte{0xAB};
+    }
+    pool.release(a);
+    const BlockId b = pool.allocate(32);
+    EXPECT_EQ(b, a) << "same-size allocation reuses the freed slot";
+    const std::byte* reused = pool.data(b);
+    for (std::size_t i = 0; i < 32; ++i) {
+        EXPECT_EQ(reused[i], std::byte{0}) << "byte " << i;
+    }
+}
+
 TEST(BlockPool, UnboundedPoolNeverRefuses)
 {
     BlockPool pool;  // capacity 0 = unbounded.

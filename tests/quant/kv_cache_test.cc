@@ -253,7 +253,7 @@ TEST(KvCache, PagedReadsAreByteIdenticalAcrossBlockSizes)
     }
 }
 
-TEST(KvCache, MoveLeavesTheSourceDrainedAndReusable)
+TEST(KvCache, MoveLeavesTheSourceDrainedAndInert)
 {
     std::mt19937 rng(601);
     BlockPool pool(0, 2);
@@ -267,21 +267,276 @@ TEST(KvCache, MoveLeavesTheSourceDrainedAndReusable)
     KvCache target = std::move(source);
     EXPECT_EQ(target.length(), 3u);
     EXPECT_EQ(target.memory_bytes(), moved_bytes);
-    // The source is drained, not left with a stale length: its
-    // accounting agrees with its (empty) block table and appending
-    // restarts cleanly from position 0.
+    // The source is drained AND inert: no stale length, no blocks,
+    // and -- the regression this pins -- no pool pointer either, so
+    // a use-after-move cannot silently allocate from storage that
+    // moved away with the destination.  Destroying it stays safe.
     EXPECT_EQ(source.length(), 0u);
     EXPECT_EQ(source.memory_bytes(), 0u);
-    const auto kv = random_heads(2, 8, rng);
-    source.append(kv, kv);
-    EXPECT_EQ(source.length(), 1u);
-    EXPECT_EQ(pool.bytes_in_use(),
-              moved_bytes + source.block_bytes());
+    EXPECT_EQ(source.blocks_in_use(), 0u);
+    EXPECT_EQ(pool.bytes_in_use(), moved_bytes);
 
-    // Move assignment releases the target's old blocks first.
-    target = std::move(source);
+    // Move assignment releases the target's old blocks first and
+    // drains its source the same way.
+    KvCache replacement(2, 8, KvPrecision::kFloat, &pool);
+    const auto kv = random_heads(2, 8, rng);
+    replacement.append(kv, kv);
+    target = std::move(replacement);
     EXPECT_EQ(target.length(), 1u);
     EXPECT_EQ(pool.bytes_in_use(), target.memory_bytes());
+    EXPECT_EQ(replacement.length(), 0u);
+    EXPECT_EQ(replacement.memory_bytes(), 0u);
+}
+
+TEST(KvCache, MovedFromOwnedPoolCacheOutlivesTheDestination)
+{
+    // The PR-3 landmine: a cache built without a shared pool owns its
+    // pool; moving the cache moves the pool, and the moved-from
+    // object used to keep a raw pointer into it.  Destroying the
+    // destination first must leave the (nulled) source harmless.
+    std::mt19937 rng(607);
+    KvCache source(2, 8, KvPrecision::kInt4);  // Private owned pool.
+    const auto kv = random_heads(2, 8, rng);
+    source.append(kv, kv);
+    {
+        const KvCache target = std::move(source);
+        EXPECT_EQ(target.length(), 1u);
+    }  // Destination (and the owned pool) die here.
+    // Source destructor runs at end of scope against no pool; under
+    // the old code its pool_ would dangle into freed storage.
+    EXPECT_EQ(source.length(), 0u);
+    EXPECT_EQ(source.memory_bytes(), 0u);
+#ifndef NDEBUG
+    EXPECT_DEATH(source.append(kv, kv), "moved-from");
+#endif
+}
+
+TEST(KvCache, ReusedBlocksComeBackZeroedForTheNibbleOrPath)
+{
+    // The INT4 append path ORs nibbles into block bytes, so it
+    // silently depends on allocate() zero-filling free-list blocks.
+    // Pin the end-to-end consequence: appending through a reused
+    // dirty block reads back exactly what a fresh cache stores.
+    std::mt19937 rng(613);
+    BlockPool pool(0, 4);
+    KvCache cache(2, 8, KvPrecision::kInt4, &pool);
+    for (int t = 0; t < 6; ++t) {
+        const auto kv = random_heads(2, 8, rng);
+        cache.append(kv, kv);
+    }
+    // Freeing returns the (now thoroughly dirty) blocks to the
+    // per-size free lists.
+    cache.release_blocks();
+
+    std::vector<support::MatrixF> ks;
+    KvCache fresh(2, 8, KvPrecision::kInt4);  // Never-reused blocks.
+    for (int t = 0; t < 6; ++t) {
+        ks.push_back(random_heads(2, 8, rng));
+        cache.append(ks.back(), ks.back());  // Reuses freed blocks.
+        fresh.append(ks.back(), ks.back());
+    }
+    std::vector<float> got(8), want(8);
+    for (std::size_t h = 0; h < 2; ++h) {
+        for (std::size_t t = 0; t < 6; ++t) {
+            cache.read_key(h, t, got.data());
+            fresh.read_key(h, t, want.data());
+            for (std::size_t d = 0; d < 8; ++d) {
+                EXPECT_EQ(got[d], want[d]) << "h=" << h << " t=" << t;
+            }
+            EXPECT_EQ(cache.key_scale(h, t), fresh.key_scale(h, t));
+        }
+    }
+}
+
+// ---- Prefix sharing and copy-on-write. ----
+
+TEST(KvCache, SharedPrefixReadsAreByteIdenticalForBothPrecisions)
+{
+    std::mt19937 rng(701);
+    for (const KvPrecision precision :
+         {KvPrecision::kFloat, KvPrecision::kInt4}) {
+        BlockPool pool(0, 4);
+        KvCache donor(2, 8, precision, &pool);
+        std::vector<support::MatrixF> ks, vs;
+        for (int t = 0; t < 10; ++t) {
+            ks.push_back(random_heads(2, 8, rng));
+            vs.push_back(random_heads(2, 8, rng));
+            donor.append(ks[static_cast<std::size_t>(t)],
+                         vs[static_cast<std::size_t>(t)]);
+        }
+        const std::size_t donor_bytes = donor.memory_bytes();
+
+        KvCache sharer(2, 8, precision, &pool);
+        sharer.share_prefix_from(donor, 8);  // Two full blocks.
+        EXPECT_EQ(sharer.length(), 8u);
+        EXPECT_EQ(sharer.blocks_in_use(), 2u);
+        EXPECT_EQ(sharer.shared_blocks(), 2u);
+        EXPECT_EQ(donor.shared_blocks(), 2u);
+        // The pool accounts the shared blocks exactly once.
+        EXPECT_EQ(pool.bytes_in_use(), donor_bytes);
+        EXPECT_EQ(pool.shared_blocks(), 2u);
+
+        std::vector<float> got(8), want(8);
+        for (std::size_t h = 0; h < 2; ++h) {
+            for (std::size_t t = 0; t < 8; ++t) {
+                donor.read_key(h, t, want.data());
+                sharer.read_key(h, t, got.data());
+                for (std::size_t d = 0; d < 8; ++d) {
+                    EXPECT_EQ(got[d], want[d]);
+                }
+                donor.read_value(h, t, want.data());
+                sharer.read_value(h, t, got.data());
+                for (std::size_t d = 0; d < 8; ++d) {
+                    EXPECT_EQ(got[d], want[d]);
+                }
+            }
+        }
+    }
+}
+
+TEST(KvCache, AppendAfterSharedPrefixNeverTouchesTheDonor)
+{
+    // Block-aligned sharing: the sharer's appends land in fresh
+    // private blocks; the donor's reads (and its own appends) are
+    // unaffected, for both precisions.
+    std::mt19937 rng(703);
+    for (const KvPrecision precision :
+         {KvPrecision::kFloat, KvPrecision::kInt4}) {
+        BlockPool pool(0, 4);
+        KvCache donor(2, 8, precision, &pool);
+        std::vector<support::MatrixF> ks;
+        for (int t = 0; t < 8; ++t) {
+            ks.push_back(random_heads(2, 8, rng));
+            donor.append(ks.back(), ks.back());
+        }
+        KvCache sharer(2, 8, precision, &pool);
+        sharer.share_prefix_from(donor, 8);
+
+        // Diverge: both append different continuations.
+        const auto donor_tail = random_heads(2, 8, rng);
+        const auto sharer_tail = random_heads(2, 8, rng);
+        donor.append(donor_tail, donor_tail);
+        sharer.append(sharer_tail, sharer_tail);
+        EXPECT_EQ(donor.length(), 9u);
+        EXPECT_EQ(sharer.length(), 9u);
+
+        // The shared prefix still reads identically in both...
+        std::vector<float> got(8), want(8);
+        for (std::size_t t = 0; t < 8; ++t) {
+            donor.read_key(0, t, want.data());
+            sharer.read_key(0, t, got.data());
+            for (std::size_t d = 0; d < 8; ++d) {
+                EXPECT_EQ(got[d], want[d]);
+            }
+        }
+        // ...and the tails stayed private.
+        donor.read_key(0, 8, want.data());
+        sharer.read_key(0, 8, got.data());
+        bool same = true;
+        for (std::size_t d = 0; d < 8; ++d) {
+            same &= got[d] == want[d];
+        }
+        EXPECT_FALSE(same) << "tails must diverge";
+    }
+}
+
+TEST(KvCache, CopyOnWriteClonesAPartiallySharedBlock)
+{
+    // Non-block-aligned sharing shares the containing partial block;
+    // the first append into it (by either cache) must clone it, and
+    // the clone's unwritten region must read as zero so the INT4
+    // nibble-OR path stays correct.
+    std::mt19937 rng(709);
+    for (const KvPrecision precision :
+         {KvPrecision::kFloat, KvPrecision::kInt4}) {
+        BlockPool pool(0, 4);
+        KvCache donor(2, 8, precision, &pool);
+        std::vector<support::MatrixF> ks;
+        for (int t = 0; t < 6; ++t) {  // Blocks: [0-3], [4-5].
+            ks.push_back(random_heads(2, 8, rng));
+            donor.append(ks.back(), ks.back());
+        }
+        KvCache sharer(2, 8, precision, &pool);
+        sharer.share_prefix_from(donor, 6);  // Includes partial block.
+        EXPECT_EQ(pool.shared_blocks(), 2u);
+        const std::size_t before = pool.bytes_in_use();
+
+        // Sharer appends into the shared partial block: CoW.
+        const auto sharer_tail = random_heads(2, 8, rng);
+        sharer.append(sharer_tail, sharer_tail);
+        EXPECT_EQ(pool.bytes_in_use(),
+                  before + donor.block_bytes());
+        EXPECT_EQ(pool.shared_blocks(), 1u);  // Tail block unshared.
+
+        // Donor's view of position 6's slot never changed: appending
+        // its own continuation there still reads back cleanly.
+        const auto donor_tail = random_heads(2, 8, rng);
+        donor.append(donor_tail, donor_tail);
+
+        std::vector<float> got(8), want(8);
+        // Shared full block + the cloned prefix read identically.
+        for (std::size_t t = 0; t < 6; ++t) {
+            donor.read_key(1, t, want.data());
+            sharer.read_key(1, t, got.data());
+            for (std::size_t d = 0; d < 8; ++d) {
+                EXPECT_EQ(got[d], want[d]) << "t=" << t;
+            }
+        }
+        // Each cache's position 6 is its own append, bit-exact
+        // against a fresh single-owner cache fed the same data.
+        KvCache reference(2, 8, precision, &pool);
+        for (int t = 0; t < 6; ++t) {
+            reference.append(ks[static_cast<std::size_t>(t)],
+                             ks[static_cast<std::size_t>(t)]);
+        }
+        reference.append(sharer_tail, sharer_tail);
+        reference.read_key(0, 6, want.data());
+        sharer.read_key(0, 6, got.data());
+        for (std::size_t d = 0; d < 8; ++d) {
+            EXPECT_EQ(got[d], want[d]);
+        }
+    }
+}
+
+TEST(KvCache, SharedBlocksFreeExactlyOnceWhenTheLastOwnerReleases)
+{
+    std::mt19937 rng(719);
+    BlockPool pool(0, 4);
+    auto donor = std::make_unique<KvCache>(2, 8, KvPrecision::kInt4,
+                                           &pool);
+    std::vector<support::MatrixF> ks;
+    for (int t = 0; t < 8; ++t) {
+        ks.push_back(random_heads(2, 8, rng));
+        donor->append(ks.back(), ks.back());
+    }
+    const std::size_t shared_bytes = donor->memory_bytes();
+    KvCache sharer(2, 8, KvPrecision::kInt4, &pool);
+    sharer.share_prefix_from(*donor, 8);
+    EXPECT_EQ(pool.bytes_in_use(), shared_bytes);
+
+    // Donor dies first (its request finished / was preempted): the
+    // sharer's blocks survive, and its reads stay intact.
+    donor.reset();
+    EXPECT_EQ(pool.bytes_in_use(), shared_bytes);
+    EXPECT_EQ(pool.shared_blocks(), 0u);
+    std::vector<float> got(8);
+    KvCache reference(2, 8, KvPrecision::kInt4, &pool);
+    for (const auto& k : ks) {
+        reference.append(k, k);
+    }
+    std::vector<float> want(8);
+    for (std::size_t t = 0; t < 8; ++t) {
+        sharer.read_key(0, t, got.data());
+        reference.read_key(0, t, want.data());
+        for (std::size_t d = 0; d < 8; ++d) {
+            EXPECT_EQ(got[d], want[d]);
+        }
+    }
+    reference.release_blocks();
+    // Only when the last owner releases does the storage return.
+    sharer.release_blocks();
+    EXPECT_EQ(pool.bytes_in_use(), 0u);
+    EXPECT_EQ(pool.blocks_in_use(), 0u);
 }
 
 TEST(KvCache, ReleaseReturnsBlocksToThePool)

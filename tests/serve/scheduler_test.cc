@@ -508,6 +508,401 @@ TEST(Scheduler, PoolExhaustionRefusesAdmissionUntilBlocksFree)
     EXPECT_EQ(stats.preemptions, 0u);
 }
 
+// ---- Prefix caching: refcounted block reuse across requests. ----
+
+TEST(Scheduler, PrefixCachingSharesBlocksAndKeepsTokensBitIdentical)
+{
+    // The tentpole acceptance bar: requests sharing a long system
+    // prompt reuse the donor's resident KV blocks -- prefill work
+    // drops, TTFT improves, and the generated tokens stay
+    // bit-identical to a run with sharing disabled.
+    const model::ModelConfig config =
+        model::llama2_70b().scaled_for_eval(2, 32, 64);
+    auto transformer =
+        std::make_shared<model::TransformerModel>(config, 808);
+    const Engine engine(sim::make_mugi(64), transformer);
+
+    // 12 shared tokens (3 blocks at B=4) + 3 distinct suffix tokens.
+    const std::vector<int> system_prompt =
+        model::synthetic_tokens(12, config.vocab, 900);
+    std::vector<std::vector<int>> prompts;
+    for (std::size_t i = 0; i < 4; ++i) {
+        std::vector<int> prompt = system_prompt;
+        const std::vector<int> suffix = model::synthetic_tokens(
+            3, config.vocab, static_cast<std::uint32_t>(910 + i));
+        prompt.insert(prompt.end(), suffix.begin(), suffix.end());
+        prompts.push_back(std::move(prompt));
+    }
+
+    const auto serve_trace = [&](bool sharing) {
+        SchedulerConfig sched_config;
+        sched_config.kv_block_tokens = 4;
+        sched_config.prefill_chunk_tokens = 64;
+        sched_config.max_batch = 4;
+        sched_config.prefix_caching = sharing;
+        Scheduler scheduler(engine, sched_config);
+        std::vector<std::uint64_t> ids;
+        for (std::size_t i = 0; i < prompts.size(); ++i) {
+            Request request;
+            request.prompt = prompts[i];
+            // The donor finishes early so its blocks outlive it via
+            // the sharers' refcounts.
+            request.max_new_tokens = i == 0 ? 2 : 6;
+            // Sharers arrive one modeled instant later, after the
+            // donor's prefill made the prefix resident.
+            request.arrival_time_s = i == 0 ? 0.0 : 1e-12;
+            ids.push_back(scheduler.submit(std::move(request)));
+        }
+        std::vector<FinishedRequest> finished = scheduler.run();
+        // Everything released: the pool must drain to exactly zero.
+        EXPECT_EQ(scheduler.kv_bytes_in_use(), 0u);
+        std::vector<std::vector<int>> tokens(prompts.size());
+        for (FinishedRequest& f : finished) {
+            const std::size_t idx = static_cast<std::size_t>(
+                std::distance(ids.begin(),
+                              std::find(ids.begin(), ids.end(),
+                                        f.id)));
+            tokens[idx] = std::move(f.tokens);
+        }
+        return std::make_pair(std::move(tokens), scheduler.stats());
+    };
+
+    const auto [tokens_off, stats_off] = serve_trace(false);
+    const auto [tokens_on, stats_on] = serve_trace(true);
+
+    // Bit-identical generations, request by request.
+    ASSERT_EQ(tokens_on.size(), tokens_off.size());
+    for (std::size_t i = 0; i < tokens_on.size(); ++i) {
+        EXPECT_EQ(tokens_on[i], tokens_off[i])
+            << "request " << i << " diverged under prefix sharing";
+    }
+
+    // Three sharers each mapped 3 blocks / 12 tokens of prompt.
+    EXPECT_EQ(stats_off.prefix_hits, 0u);
+    EXPECT_EQ(stats_off.saved_prefill_tokens, 0u);
+    EXPECT_EQ(stats_on.prefix_hits, 3u);
+    EXPECT_EQ(stats_on.shared_blocks, 9u);
+    EXPECT_EQ(stats_on.saved_prefill_tokens, 36u);
+    EXPECT_EQ(stats_on.prefill_tokens + 36u, stats_off.prefill_tokens);
+    // Skipping prefill work makes the mean TTFT strictly better, and
+    // physical sharing makes the peak footprint strictly smaller.
+    EXPECT_LT(stats_on.mean_ttft_s, stats_off.mean_ttft_s);
+    EXPECT_LT(stats_on.peak_kv_bytes, stats_off.peak_kv_bytes);
+}
+
+TEST(Scheduler, PreemptionNeverFreesASharedBlockUnderTheSharer)
+{
+    // A sharer evicted under pressure must not take the donor's
+    // blocks with it, and (re-)admission plus recompute must keep
+    // its output bit-identical to an uncontended run.
+    const model::ModelConfig config =
+        model::llama2_70b().scaled_for_eval(2, 32, 64);
+    auto transformer =
+        std::make_shared<model::TransformerModel>(config, 809);
+    const Engine engine(sim::make_mugi(64), transformer);
+
+    const std::vector<int> system_prompt =
+        model::synthetic_tokens(8, config.vocab, 930);
+    std::vector<std::vector<int>> prompts;
+    for (std::size_t i = 0; i < 2; ++i) {
+        std::vector<int> prompt = system_prompt;
+        const std::vector<int> suffix = model::synthetic_tokens(
+            2, config.vocab, static_cast<std::uint32_t>(940 + i));
+        prompt.insert(prompt.end(), suffix.begin(), suffix.end());
+        prompts.push_back(std::move(prompt));
+    }
+    const std::size_t kMaxNew = 8;
+
+    // Reference: uncontended sequential serving.
+    std::vector<std::vector<int>> expected;
+    for (const std::vector<int>& prompt : prompts) {
+        Session session = engine.create_session();
+        std::vector<float> logits = engine.prefill(session, prompt);
+        std::vector<int> generated;
+        int token = static_cast<int>(std::distance(
+            logits.begin(),
+            std::max_element(logits.begin(), logits.end())));
+        generated.push_back(token);
+        while (generated.size() < kMaxNew) {
+            const StepResult r = engine.step(session, token);
+            token = r.outputs[0].next_token;
+            generated.push_back(token);
+        }
+        expected.push_back(std::move(generated));
+    }
+
+    // Each request ends at 17 positions = 5 groups (B=4); 2 groups
+    // are shared, so the pair peaks at 8 distinct groups -- a
+    // 6-group budget admits both (sharing discounts the sharer to 1
+    // group up front) but must evict the sharer mid-decode.
+    const std::size_t group = sim::kv_footprint(
+        config, 1, quant::KvPrecision::kInt4, 4).paged_bytes;
+    SchedulerConfig sched_config;
+    sched_config.kv_block_tokens = 4;
+    sched_config.kv_budget_bytes = 6 * group;
+    sched_config.max_batch = 2;
+    sched_config.prefill_chunk_tokens = 64;
+    Scheduler scheduler(engine, sched_config);
+    std::vector<std::uint64_t> ids;
+    for (std::size_t i = 0; i < prompts.size(); ++i) {
+        Request request;
+        request.prompt = prompts[i];
+        request.max_new_tokens = kMaxNew;
+        request.arrival_time_s = i == 0 ? 0.0 : 1e-12;
+        ids.push_back(scheduler.submit(std::move(request)));
+    }
+    const std::vector<FinishedRequest> finished = scheduler.run();
+
+    EXPECT_GE(scheduler.preemptions(), 1u)
+        << "the budget must actually evict the sharer";
+    const ServerStats stats = scheduler.stats();
+    EXPECT_GE(stats.prefix_hits, 1u) << "sharing must happen first";
+    ASSERT_EQ(finished.size(), prompts.size());
+    for (const FinishedRequest& f : finished) {
+        const std::size_t idx = static_cast<std::size_t>(
+            std::distance(ids.begin(),
+                          std::find(ids.begin(), ids.end(), f.id)));
+        ASSERT_LT(idx, expected.size());
+        EXPECT_EQ(f.tokens, expected[idx])
+            << "request " << idx
+            << " diverged after sharing + preemption";
+    }
+    EXPECT_EQ(scheduler.kv_bytes_in_use(), 0u);
+}
+
+TEST(Scheduler, AnalyticPrefixGroupsShareRefcountedReservations)
+{
+    // Analytic serving mirrors the tentpole: requests declaring a
+    // common prefix_group skip the shared chunks and charge the
+    // shared reservation once across sharers.
+    const model::ModelConfig config = model::llama2_7b();
+    const Engine engine(sim::make_mugi(256), config);
+
+    const auto serve_trace = [&](bool sharing) {
+        SchedulerConfig sched_config;
+        sched_config.kv_block_tokens = 16;
+        sched_config.prefill_chunk_tokens = 128;
+        sched_config.max_batch = 4;
+        sched_config.prefix_caching = sharing;
+        Scheduler scheduler(engine, sched_config);
+        for (std::size_t i = 0; i < 3; ++i) {
+            Request request;
+            request.analytic_prompt_tokens = 80;
+            request.max_new_tokens = 8;
+            request.prefix_group = 77;
+            request.prefix_tokens = 64;
+            request.arrival_time_s = i == 0 ? 0.0 : 1e-12;
+            scheduler.submit(std::move(request));
+        }
+        scheduler.run();
+        EXPECT_EQ(scheduler.kv_bytes_in_use(), 0u)
+            << "refcounted reservations must unwind to exactly zero";
+        return scheduler.stats();
+    };
+
+    const ServerStats off = serve_trace(false);
+    const ServerStats on = serve_trace(true);
+    EXPECT_EQ(off.finished, 3u);
+    EXPECT_EQ(on.finished, 3u);
+    EXPECT_EQ(off.prefix_hits, 0u);
+    // Two sharers x 4 blocks x 16 tokens of skipped prefill.
+    EXPECT_EQ(on.prefix_hits, 2u);
+    EXPECT_EQ(on.shared_blocks, 8u);
+    EXPECT_EQ(on.saved_prefill_tokens, 128u);
+    EXPECT_EQ(on.prefill_tokens + 128u, off.prefill_tokens);
+    EXPECT_LT(on.mean_ttft_s, off.mean_ttft_s);
+    // The shared reservation is charged once, not per sharer.
+    EXPECT_LT(on.peak_kv_bytes, off.peak_kv_bytes);
+}
+
+TEST(Scheduler, AnalyticSharerIsResidentBeforeThePressureCheck)
+{
+    // Regression: the sharer's adopted prefix must count as resident
+    // the moment it is admitted.  It used to be credited only by the
+    // post-step reservation sync, so the pre-step pressure check saw
+    // the full un-discounted growth slack and preempt-thrashed the
+    // sharer on a budget it actually fits.
+    const model::ModelConfig config = model::llama2_7b();
+    const Engine engine(sim::make_mugi(256), config);
+    const std::size_t group = sim::kv_footprint(
+        config, 1, quant::KvPrecision::kInt4, 16).paged_bytes;
+
+    // Donor + sharer peak at 8 distinct groups (6 each, 4 shared);
+    // with the watermark, 9 groups fit both for the whole run.
+    SchedulerConfig sched_config;
+    sched_config.kv_block_tokens = 16;
+    sched_config.kv_budget_bytes = 9 * group;
+    sched_config.prefill_chunk_tokens = 128;
+    sched_config.max_batch = 4;
+    Scheduler scheduler(engine, sched_config);
+    for (std::size_t i = 0; i < 2; ++i) {
+        Request request;
+        request.analytic_prompt_tokens = 80;
+        request.max_new_tokens = 8;
+        request.prefix_group = 5;
+        request.prefix_tokens = 64;
+        request.arrival_time_s = i == 0 ? 0.0 : 1e-12;
+        scheduler.submit(std::move(request));
+    }
+    std::size_t max_active = 0;
+    while (scheduler.step()) {
+        max_active = std::max(max_active, scheduler.active());
+        EXPECT_LE(scheduler.kv_bytes_in_use(),
+                  sched_config.kv_budget_bytes);
+    }
+    const ServerStats stats = scheduler.stats();
+    EXPECT_EQ(stats.finished, 2u);
+    EXPECT_EQ(stats.prefix_hits, 1u);
+    EXPECT_EQ(max_active, 2u) << "sharing must let both be resident";
+    EXPECT_EQ(stats.preemptions, 0u)
+        << "a sharer that fits the budget must not be thrashed";
+    EXPECT_EQ(scheduler.kv_bytes_in_use(), 0u);
+}
+
+// ---- Stats bugfix sweep (regressions). ----
+
+TEST(Scheduler, MeanTpotExcludesSingleTokenRequests)
+{
+    // tpot_s() is structurally 0 for generated <= 1; such requests
+    // used to dilute mean_tpot_s toward zero.
+    const model::ModelConfig config = model::llama2_7b();
+    const Engine engine(sim::make_mugi(256), config);
+    Scheduler scheduler(engine, {});
+
+    Request single;
+    single.analytic_prompt_tokens = 16;
+    single.max_new_tokens = 1;
+    const std::uint64_t single_id = scheduler.submit(single);
+    Request multi = single;
+    multi.max_new_tokens = 6;
+    scheduler.submit(multi);
+
+    const std::vector<FinishedRequest> finished = scheduler.run();
+    ASSERT_EQ(finished.size(), 2u);
+    const FinishedRequest& m =
+        finished[0].id == single_id ? finished[1] : finished[0];
+    ASSERT_GT(m.generated, 1u);
+    EXPECT_GT(m.tpot_s(), 0.0);
+    const ServerStats stats = scheduler.stats();
+    // The mean is exactly the multi-token request's TPOT: the
+    // single-token request contributes neither sum nor divisor.
+    EXPECT_DOUBLE_EQ(stats.mean_tpot_s, m.tpot_s());
+}
+
+TEST(Scheduler, ZeroGenerationRequestsAreExcludedFromTtft)
+{
+    // A max_new_tokens == 0 request emits no token; it used to stamp
+    // a fake first-token time at prefill completion and pollute the
+    // TTFT aggregates.
+    const model::ModelConfig config = model::llama2_7b();
+    const Engine engine(sim::make_mugi(256), config);
+    Scheduler scheduler(engine, {});
+
+    Request normal;
+    normal.analytic_prompt_tokens = 32;
+    normal.max_new_tokens = 4;
+    const std::uint64_t normal_id = scheduler.submit(normal);
+    Request empty = normal;
+    empty.max_new_tokens = 0;
+    scheduler.submit(empty);
+
+    const std::vector<FinishedRequest> finished = scheduler.run();
+    ASSERT_EQ(finished.size(), 2u);
+    const FinishedRequest& n =
+        finished[0].id == normal_id ? finished[0] : finished[1];
+    const FinishedRequest& z =
+        finished[0].id == normal_id ? finished[1] : finished[0];
+    EXPECT_EQ(z.generated, 0u);
+    EXPECT_EQ(z.first_token_s, 0.0) << "no token, no milestone";
+    EXPECT_EQ(z.ttft_s(), 0.0);
+    EXPECT_GT(z.finished_s, 0.0) << "its prefill was real work";
+
+    const ServerStats stats = scheduler.stats();
+    EXPECT_EQ(stats.finished, 2u);  // Still counts as finished...
+    EXPECT_DOUBLE_EQ(stats.mean_ttft_s, n.ttft_s());  // ...not TTFT.
+    EXPECT_DOUBLE_EQ(stats.max_ttft_s, n.ttft_s());
+}
+
+TEST(Scheduler, WatermarkSizedToTheLargestResidentPrecision)
+{
+    // An INT4 admission beside a float resident must leave a
+    // float-sized watermark free: the headroom exists to absorb the
+    // *residents'* decode growth, and the largest resident grows in
+    // float-sized blocks.
+    const model::ModelConfig config = model::llama2_7b();
+    const Engine engine(sim::make_mugi(256), config);
+    const std::size_t group_f = sim::kv_footprint(
+        config, 1, quant::KvPrecision::kFloat, 16).paged_bytes;
+    const std::size_t group_i = sim::kv_footprint(
+        config, 1, quant::KvPrecision::kInt4, 16).paged_bytes;
+    ASSERT_GT(group_f, group_i);
+
+    // Both requests reserve 2 groups (17 positions).  The budget
+    // fits float-A + int4-B + an int4 watermark but NOT a float
+    // watermark, so the fixed admission must hold B back while A is
+    // resident.
+    SchedulerConfig sched_config;
+    sched_config.kv_block_tokens = 16;
+    sched_config.kv_budget_bytes = 2 * group_f + 3 * group_i;
+    sched_config.max_batch = 4;
+    Scheduler scheduler(engine, sched_config);
+    Request a;
+    a.analytic_prompt_tokens = 16;
+    a.max_new_tokens = 4;
+    a.session.kv_precision = quant::KvPrecision::kFloat;
+    scheduler.submit(std::move(a));
+    Request b;
+    b.analytic_prompt_tokens = 16;
+    b.max_new_tokens = 4;
+    b.session.kv_precision = quant::KvPrecision::kInt4;
+    scheduler.submit(std::move(b));
+
+    std::size_t max_active = 0;
+    while (scheduler.step()) {
+        max_active = std::max(max_active, scheduler.active());
+    }
+    EXPECT_EQ(max_active, 1u)
+        << "B admitted beside A would eat A's float-sized headroom";
+    EXPECT_EQ(scheduler.stats().finished, 2u);
+}
+
+TEST(Scheduler, EmptyPromptRetiresImmediatelyWithoutAsserts)
+{
+    // The assert-guarded branch in submit(): with asserts compiled
+    // out (Release CI job), an empty functional prompt must retire
+    // immediately instead of feeding token -1 into the model.
+#ifndef NDEBUG
+    GTEST_SKIP() << "assert-guarded path; exercised by the Release "
+                    "CI job";
+#else
+    const model::ModelConfig config =
+        model::llama2_70b().scaled_for_eval(2, 32, 64);
+    auto transformer =
+        std::make_shared<model::TransformerModel>(config, 810);
+    const Engine engine(sim::make_mugi(64), transformer);
+    Scheduler scheduler(engine, {});
+
+    Request empty;
+    empty.max_new_tokens = 4;  // No prompt tokens at all.
+    const std::uint64_t empty_id = scheduler.submit(std::move(empty));
+    Request normal;
+    normal.prompt = model::synthetic_tokens(5, config.vocab, 42);
+    normal.max_new_tokens = 2;
+    scheduler.submit(std::move(normal));
+
+    const std::vector<FinishedRequest> finished = scheduler.run();
+    ASSERT_EQ(finished.size(), 2u);
+    const FinishedRequest& e =
+        finished[0].id == empty_id ? finished[0] : finished[1];
+    EXPECT_EQ(e.generated, 0u);
+    EXPECT_TRUE(e.tokens.empty());
+    EXPECT_EQ(e.ttft_s(), 0.0);
+    const FinishedRequest& n =
+        finished[0].id == empty_id ? finished[1] : finished[0];
+    EXPECT_EQ(n.generated, 2u);
+#endif
+}
+
 // ---- Arrivals, clock and stats. ----
 
 TEST(Scheduler, StaggeredArrivalsRespectTheModeledClock)
