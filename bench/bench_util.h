@@ -8,8 +8,12 @@
  * expected shapes are recorded in EXPERIMENTS.md.
  */
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace mugi {
@@ -63,6 +67,146 @@ normalize_to(const std::vector<double>& values, double base)
     }
     return out;
 }
+
+/**
+ * Minimal machine-readable output for CI: an insertion-ordered JSON
+ * value builder covering exactly what the bench binaries emit
+ * (numbers, strings, bools, nested objects/arrays).  Not a parser;
+ * keys and string values must not need escaping beyond quotes and
+ * backslashes.
+ */
+class Json {
+  public:
+    static Json
+    object()
+    {
+        Json j;
+        j.kind_ = Kind::kObject;
+        return j;
+    }
+
+    static Json
+    array()
+    {
+        Json j;
+        j.kind_ = Kind::kArray;
+        return j;
+    }
+
+    static Json
+    number(double v)
+    {
+        Json j;
+        std::ostringstream os;
+        os.precision(12);
+        os << v;
+        j.scalar_ = os.str();
+        return j;
+    }
+
+    static Json
+    number(std::uint64_t v)
+    {
+        Json j;
+        j.scalar_ = std::to_string(v);
+        return j;
+    }
+
+    static Json
+    string(const std::string& v)
+    {
+        Json j;
+        std::string escaped;
+        for (const char c : v) {
+            if (c == '"' || c == '\\') escaped.push_back('\\');
+            escaped.push_back(c);
+        }
+        j.scalar_ = "\"" + escaped + "\"";
+        return j;
+    }
+
+    static Json
+    boolean(bool v)
+    {
+        Json j;
+        j.scalar_ = v ? "true" : "false";
+        return j;
+    }
+
+    /** Add a key to an object (returns *this for chaining). */
+    Json&
+    set(const std::string& key, Json value)
+    {
+        keys_.push_back(key);
+        children_.push_back(std::move(value));
+        return *this;
+    }
+
+    Json& set(const std::string& key, double v) { return set(key, number(v)); }
+    Json& set(const std::string& key, const std::string& v) { return set(key, string(v)); }
+    Json& set(const std::string& key, const char* v) { return set(key, string(v)); }
+    Json& set(const std::string& key, bool v) { return set(key, boolean(v)); }
+
+    /**
+     * One overload for every integer type: size_t vs uint64_t vs int
+     * would otherwise be ambiguous on platforms where they are
+     * distinct types (e.g. macOS: size_t is unsigned long, uint64_t
+     * is unsigned long long).
+     */
+    template <typename T>
+        requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+    Json&
+    set(const std::string& key, T v)
+    {
+        Json j;
+        j.scalar_ = std::to_string(v);
+        return set(key, std::move(j));
+    }
+
+    /** Append an element to an array. */
+    Json&
+    push(Json value)
+    {
+        children_.push_back(std::move(value));
+        return *this;
+    }
+
+    std::string
+    str() const
+    {
+        if (kind_ == Kind::kScalar) {
+            return scalar_;
+        }
+        std::string out(kind_ == Kind::kObject ? "{" : "[");
+        for (std::size_t i = 0; i < children_.size(); ++i) {
+            if (i > 0) out += ",";
+            if (kind_ == Kind::kObject) {
+                out += string(keys_[i]).str() + ":";
+            }
+            out += children_[i].str();
+        }
+        out += kind_ == Kind::kObject ? "}" : "]";
+        return out;
+    }
+
+    /** Write the JSON (plus trailing newline) to @p path. */
+    bool
+    write_file(const std::string& path) const
+    {
+        std::ofstream out(path);
+        if (!out) return false;
+        out << str() << "\n";
+        return static_cast<bool>(out);
+    }
+
+  private:
+    enum class Kind { kScalar, kObject, kArray };
+
+    Kind kind_ = Kind::kScalar;
+    std::string scalar_;
+    std::vector<std::string> keys_;
+    std::vector<Json> children_;
+};
 
 }  // namespace bench
 }  // namespace mugi

@@ -18,6 +18,7 @@
 #include "nonlinear/pwl.h"
 #include "nonlinear/taylor.h"
 #include "quant/group_quant.h"
+#include "serve/prepared_weights.h"
 #include "support/rng.h"
 #include "vlp/vlp_approximator.h"
 #include "vlp/vlp_gemm.h"
@@ -115,6 +116,60 @@ BM_TemporalGemm(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * n * 32 * 8);
 }
 BENCHMARK(BM_TemporalGemm)->Arg(64)->Arg(256);
+
+void
+BM_TemporalGemmBaseline(benchmark::State& state)
+{
+    // The literal cycle-by-row simulation the sweep-accumulator
+    // kernel replaced; the gap between this and BM_TemporalGemm is
+    // the kernel win bench/gemm_throughput gates on.
+    const std::size_t n = state.range(0);
+    std::mt19937 rng(5);
+    std::uniform_int_distribution<int> wdist(-7, 7);
+    vlp::Int4Matrix w(n, 32);
+    support::MatrixF x(32, 8);
+    for (std::size_t i = 0; i < w.rows(); ++i) {
+        for (std::size_t j = 0; j < w.cols(); ++j) {
+            w.at(i, j) = numerics::Int4::from_int(wdist(rng));
+        }
+    }
+    support::fill_gaussian(x, rng, 0.0f, 1.0f);
+    for (auto _ : state) {
+        const vlp::VlpGemmResult r =
+            vlp::vlp_gemm_mugi_baseline(w, x, 64, 8);
+        benchmark::DoNotOptimize(r.out.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * 32 * 8);
+}
+BENCHMARK(BM_TemporalGemmBaseline)->Arg(64)->Arg(256);
+
+void
+BM_PreparedGemm(benchmark::State& state)
+{
+    // The serving WOQ path: quantize once, GEMM many times over the
+    // cached subscription schedule.  Counters surface the simulated
+    // work a single run charges (GemmRun carries all three).
+    std::mt19937 rng(9);
+    support::MatrixF weights(256, 256);
+    support::MatrixF acts(256, 8);
+    support::fill_gaussian(weights, rng, 0.0f, 0.5f);
+    support::fill_gaussian(acts, rng, 0.0f, 1.0f);
+    const serve::PreparedWeights prepared(weights, 128);
+    serve::GemmRun last;
+    for (auto _ : state) {
+        last = serve::run_prepared_gemm(prepared, acts, 256, 8);
+        benchmark::DoNotOptimize(last.out.data().data());
+    }
+    state.counters["sim_cycles"] =
+        static_cast<double>(last.cycles);
+    state.counters["sim_sweeps"] =
+        static_cast<double>(last.sweeps);
+    state.counters["sim_subscriptions"] =
+        static_cast<double>(last.subscriptions);
+    state.SetItemsProcessed(state.iterations() * weights.size() *
+                            acts.cols());
+}
+BENCHMARK(BM_PreparedGemm);
 
 void
 BM_GroupQuantize(benchmark::State& state)

@@ -61,29 +61,36 @@ layernorm(const support::MatrixF& in, std::span<const float> gain,
 }
 
 void
+rope_rotate_row(float* row, std::size_t num_heads,
+                std::size_t head_dim, std::size_t pos)
+{
+    assert(head_dim % 2 == 0);
+    const double p = static_cast<double>(pos);
+    for (std::size_t h = 0; h < num_heads; ++h) {
+        float* head = row + h * head_dim;
+        for (std::size_t i = 0; i < head_dim / 2; ++i) {
+            const double theta =
+                p * std::pow(10000.0,
+                             -2.0 * static_cast<double>(i) /
+                                 static_cast<double>(head_dim));
+            const float cos_t = static_cast<float>(std::cos(theta));
+            const float sin_t = static_cast<float>(std::sin(theta));
+            const float a = head[2 * i];
+            const float b = head[2 * i + 1];
+            head[2 * i] = a * cos_t - b * sin_t;
+            head[2 * i + 1] = a * sin_t + b * cos_t;
+        }
+    }
+}
+
+void
 apply_rope(support::MatrixF& x, std::size_t num_heads,
            std::size_t head_dim, std::size_t start_pos)
 {
     assert(x.cols() == num_heads * head_dim);
-    assert(head_dim % 2 == 0);
     for (std::size_t t = 0; t < x.rows(); ++t) {
-        const double pos = static_cast<double>(start_pos + t);
-        float* row = x.row_data(t);
-        for (std::size_t h = 0; h < num_heads; ++h) {
-            float* head = row + h * head_dim;
-            for (std::size_t i = 0; i < head_dim / 2; ++i) {
-                const double theta =
-                    pos * std::pow(10000.0,
-                                   -2.0 * static_cast<double>(i) /
-                                       static_cast<double>(head_dim));
-                const float cos_t = static_cast<float>(std::cos(theta));
-                const float sin_t = static_cast<float>(std::sin(theta));
-                const float a = head[2 * i];
-                const float b = head[2 * i + 1];
-                head[2 * i] = a * cos_t - b * sin_t;
-                head[2 * i + 1] = a * sin_t + b * cos_t;
-            }
-        }
+        rope_rotate_row(x.row_data(t), num_heads, head_dim,
+                        start_pos + t);
     }
 }
 
@@ -117,29 +124,57 @@ softmax_rows(support::MatrixF& scores,
 }
 
 void
+apply_activation_span(
+    std::span<float> values, nonlinear::NonlinearOp op,
+    const nonlinear::NonlinearApproximator* activation,
+    const std::function<void(std::span<const float>)>& capture)
+{
+    if (capture) {
+        capture(std::span<const float>(values.data(), values.size()));
+    }
+    if (activation) {
+        assert(activation->op() == op);
+        activation->apply_batch(values, values);
+        return;
+    }
+    for (float& v : values) {
+        v = static_cast<float>(nonlinear::eval_ref(op, v));
+    }
+}
+
+void
 apply_activation(
     support::MatrixF& x, nonlinear::NonlinearOp op,
     const nonlinear::NonlinearApproximator* activation,
     const std::function<void(std::span<const float>)>& capture)
 {
-    if (capture) {
-        capture(std::span<const float>(x.data().data(), x.size()));
-    }
-    if (activation) {
-        assert(activation->op() == op);
-        const std::span<float> all(x.data().data(), x.size());
-        activation->apply_batch(all, all);
-        return;
-    }
-    for (float& v : x.data()) {
-        v = static_cast<float>(nonlinear::eval_ref(op, v));
-    }
+    apply_activation_span(std::span<float>(x.data().data(), x.size()),
+                          op, activation, capture);
 }
 
 support::MatrixF
 linear(const support::MatrixF& x, const support::MatrixF& w)
 {
     return support::matmul(x, w);
+}
+
+support::MatrixF
+linear_batched(const support::MatrixF& x, const support::MatrixF& w)
+{
+    assert(x.cols() == w.rows());
+    support::MatrixF c(x.rows(), w.cols(), 0.0f);
+    for (std::size_t k = 0; k < x.cols(); ++k) {
+        const float* brow = w.row_data(k);
+        for (std::size_t i = 0; i < x.rows(); ++i) {
+            const float aik = x.at(i, k);
+            if (aik == 0.0f) continue;
+            float* crow = c.row_data(i);
+            for (std::size_t j = 0; j < w.cols(); ++j) {
+                crow[j] += aik * brow[j];
+            }
+        }
+    }
+    return c;
 }
 
 }  // namespace model

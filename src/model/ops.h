@@ -37,6 +37,15 @@ void apply_rope(support::MatrixF& x, std::size_t num_heads,
                 std::size_t head_dim, std::size_t start_pos);
 
 /**
+ * RoPE rotation of a single [H*hd] row at position @p pos -- the
+ * per-row body of apply_rope, exposed so the fused batched decode
+ * path can rotate each batch row at its own session's position with
+ * the exact float-op sequence of the sequential path.
+ */
+void rope_rotate_row(float* row, std::size_t num_heads,
+                     std::size_t head_dim, std::size_t pos);
+
+/**
  * Row-wise softmax where exp comes from @p exp_approx (nullptr =
  * exact).  An optional @p capture receives each row's max-subtracted
  * inputs before exponentiation (profiling hook for Fig. 4).
@@ -55,9 +64,31 @@ void apply_activation(
     const nonlinear::NonlinearApproximator* activation,
     const std::function<void(std::span<const float>)>& capture = {});
 
+/**
+ * Span form of apply_activation: one capture + one apply_batch over
+ * @p values.  The batched decode path calls this per batch row so a
+ * windowed approximator (whose sliding window is re-chosen per group
+ * of mapping_rows inputs) sees exactly the per-request input stream
+ * the sequential path feeds it.
+ */
+void apply_activation_span(
+    std::span<float> values, nonlinear::NonlinearOp op,
+    const nonlinear::NonlinearApproximator* activation,
+    const std::function<void(std::span<const float>)>& capture = {});
+
 /** y = x * w, where w has shape [in, out]. */
 support::MatrixF linear(const support::MatrixF& x,
                         const support::MatrixF& w);
+
+/**
+ * y = x * w like linear(), but with the reduction loop outermost, so
+ * each weight row streams through the cache once per call instead of
+ * once per batch row -- the batched-decode projection kernel.
+ * Bit-identical to linear(): every output cell still accumulates its
+ * k-products in ascending-k order (enforced by tests/model/ops_test).
+ */
+support::MatrixF linear_batched(const support::MatrixF& x,
+                                const support::MatrixF& w);
 
 }  // namespace model
 }  // namespace mugi

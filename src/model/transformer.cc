@@ -197,20 +197,24 @@ TransformerModel::attention(std::size_t layer_idx,
     return linear(out, w.wo);
 }
 
+std::function<void(std::span<const float>)>
+TransformerModel::activation_capture(std::size_t layer_idx) const
+{
+    if (!capture_) {
+        return {};
+    }
+    return [this, layer_idx](std::span<const float> values) {
+        capture_(config_.activation(), layer_idx, values);
+    };
+}
+
 support::MatrixF
 TransformerModel::ffn(std::size_t layer_idx,
                       const support::MatrixF& x_norm,
                       const NonlinearHooks& hooks) const
 {
     const LayerWeights& w = layers_[layer_idx];
-    const auto capture_act = [&](std::span<const float> values) {
-        if (capture_) {
-            capture_(config_.activation(), layer_idx, values);
-        }
-    };
-    const auto capture =
-        capture_ ? capture_act
-                 : std::function<void(std::span<const float>)>{};
+    const auto capture = activation_capture(layer_idx);
 
     if (config_.gated_ffn()) {
         support::MatrixF gate = linear(x_norm, w.w_gate);
@@ -285,6 +289,56 @@ TransformerModel::decode_layer(std::size_t layer_idx,
     return decode_layer(layer_idx, x, cache, hooks_for(layer_idx));
 }
 
+void
+TransformerModel::attend_one(const float* q_row, const float* k_row,
+                             const float* v_row, quant::KvCache& cache,
+                             const NonlinearHooks& hooks,
+                             float* out_row) const
+{
+    const std::size_t heads = config_.num_heads;
+    const std::size_t kv_heads = config_.num_kv_heads;
+    const std::size_t hd = config_.head_dim();
+    const std::size_t group = config_.gqa_group();
+
+    // Reshape the new K/V row into per-head matrices and append.
+    support::MatrixF k_heads(kv_heads, hd);
+    support::MatrixF v_heads(kv_heads, hd);
+    for (std::size_t h = 0; h < kv_heads; ++h) {
+        for (std::size_t i = 0; i < hd; ++i) {
+            k_heads.at(h, i) = k_row[h * hd + i];
+            v_heads.at(h, i) = v_row[h * hd + i];
+        }
+    }
+    cache.append(k_heads, v_heads);
+    const std::size_t S = cache.length();
+
+    const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+    std::vector<float> kvec(hd);
+    for (std::size_t h = 0; h < heads; ++h) {
+        const std::size_t kv_h = h / group;
+        support::MatrixF scores(1, S, 0.0f);
+        const float* qrow = q_row + h * hd;
+        for (std::size_t s = 0; s < S; ++s) {
+            cache.read_key(kv_h, s, kvec.data());
+            float dot = 0.0f;
+            for (std::size_t i = 0; i < hd; ++i) {
+                dot += qrow[i] * kvec[i];
+            }
+            scores.at(0, s) = dot * scale;
+        }
+        softmax_rows(scores, hooks.softmax_exp);
+        float* orow = out_row + h * hd;
+        for (std::size_t s = 0; s < S; ++s) {
+            const float p = scores.at(0, s);
+            if (p == 0.0f) continue;
+            cache.read_value(kv_h, s, kvec.data());
+            for (std::size_t i = 0; i < hd; ++i) {
+                orow[i] += p * kvec[i];
+            }
+        }
+    }
+}
+
 support::MatrixF
 TransformerModel::decode_layer(std::size_t layer_idx,
                                const support::MatrixF& x,
@@ -296,7 +350,6 @@ TransformerModel::decode_layer(std::size_t layer_idx,
     const std::size_t heads = config_.num_heads;
     const std::size_t kv_heads = config_.num_kv_heads;
     const std::size_t hd = config_.head_dim();
-    const std::size_t group = config_.gqa_group();
     const std::size_t pos = cache.length();
 
     support::MatrixF x_norm;
@@ -309,44 +362,10 @@ TransformerModel::decode_layer(std::size_t layer_idx,
         apply_rope(q, heads, hd, pos);
         apply_rope(k, kv_heads, hd, pos);
     }
-    // Reshape the new K/V row into per-head matrices and append.
-    support::MatrixF k_heads(kv_heads, hd);
-    support::MatrixF v_heads(kv_heads, hd);
-    for (std::size_t h = 0; h < kv_heads; ++h) {
-        for (std::size_t i = 0; i < hd; ++i) {
-            k_heads.at(h, i) = k.at(0, h * hd + i);
-            v_heads.at(h, i) = v.at(0, h * hd + i);
-        }
-    }
-    cache.append(k_heads, v_heads);
-    const std::size_t S = cache.length();
-
-    const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
     support::MatrixF attn_out(1, config_.d_model, 0.0f);
-    std::vector<float> kvec(hd);
-    for (std::size_t h = 0; h < heads; ++h) {
-        const std::size_t kv_h = h / group;
-        support::MatrixF scores(1, S, 0.0f);
-        const float* qrow = q.row_data(0) + h * hd;
-        for (std::size_t s = 0; s < S; ++s) {
-            cache.read_key(kv_h, s, kvec.data());
-            float dot = 0.0f;
-            for (std::size_t i = 0; i < hd; ++i) {
-                dot += qrow[i] * kvec[i];
-            }
-            scores.at(0, s) = dot * scale;
-        }
-        softmax_rows(scores, hooks.softmax_exp);
-        float* orow = attn_out.row_data(0) + h * hd;
-        for (std::size_t s = 0; s < S; ++s) {
-            const float p = scores.at(0, s);
-            if (p == 0.0f) continue;
-            cache.read_value(kv_h, s, kvec.data());
-            for (std::size_t i = 0; i < hd; ++i) {
-                orow[i] += p * kvec[i];
-            }
-        }
-    }
+    attend_one(q.row_data(0), k.row_data(0), v.row_data(0), cache,
+               hooks, attn_out.row_data(0));
+
     support::MatrixF out = linear(attn_out, w.wo);
     for (std::size_t i = 0; i < out.size(); ++i) {
         out.data()[i] += x.data()[i];
@@ -354,6 +373,79 @@ TransformerModel::decode_layer(std::size_t layer_idx,
 
     norm(out, w.norm2_gain, w.norm2_bias, x_norm);
     const support::MatrixF f = ffn(layer_idx, x_norm, hooks);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out.data()[i] += f.data()[i];
+    }
+    return out;
+}
+
+support::MatrixF
+TransformerModel::decode_layer_batch(
+    std::size_t layer_idx, const support::MatrixF& x,
+    std::span<quant::KvCache* const> caches,
+    std::span<const NonlinearHooks* const> hooks) const
+{
+    const std::size_t batch = x.rows();
+    assert(caches.size() == batch && hooks.size() == batch);
+    const LayerWeights& w = layers_[layer_idx];
+    const std::size_t d = config_.d_model;
+    const std::size_t heads = config_.num_heads;
+    const std::size_t kv_heads = config_.num_kv_heads;
+    const std::size_t hd = config_.head_dim();
+
+    support::MatrixF x_norm;
+    norm(x, w.norm1_gain, w.norm1_bias, x_norm);
+
+    // One batched [B, d] x [d, out] GEMM per projection covers the
+    // whole stack; row r keeps its own q / k / v.
+    support::MatrixF q = linear_batched(x_norm, w.wq);
+    support::MatrixF k = linear_batched(x_norm, w.wk);
+    support::MatrixF v = linear_batched(x_norm, w.wv);
+    support::MatrixF attn_out(batch, d, 0.0f);
+    for (std::size_t r = 0; r < batch; ++r) {
+        if (config_.uses_rope()) {
+            const std::size_t pos = caches[r]->length();
+            rope_rotate_row(q.row_data(r), heads, hd, pos);
+            rope_rotate_row(k.row_data(r), kv_heads, hd, pos);
+        }
+        attend_one(q.row_data(r), k.row_data(r), v.row_data(r),
+                   *caches[r], *hooks[r], attn_out.row_data(r));
+    }
+    support::MatrixF out = linear_batched(attn_out, w.wo);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out.data()[i] += x.data()[i];
+    }
+
+    norm(out, w.norm2_gain, w.norm2_bias, x_norm);
+    // FFN: fused batched projections, per-row activation (each row
+    // must feed its own hooks exactly the per-request input stream
+    // the sequential path would -- see apply_activation_span).
+    const auto capture = activation_capture(layer_idx);
+    const std::size_t ff = config_.d_ff;
+    support::MatrixF f;
+    if (config_.gated_ffn()) {
+        support::MatrixF gate = linear_batched(x_norm, w.w_gate);
+        const support::MatrixF up = linear_batched(x_norm, w.w_up);
+        for (std::size_t r = 0; r < batch; ++r) {
+            float* grow = gate.row_data(r);
+            apply_activation_span(std::span<float>(grow, ff),
+                                  config_.activation(),
+                                  hooks[r]->activation, capture);
+            const float* urow = up.row_data(r);
+            for (std::size_t i = 0; i < ff; ++i) {
+                grow[i] *= urow[i];
+            }
+        }
+        f = linear_batched(gate, w.w_down);
+    } else {
+        support::MatrixF hidden = linear_batched(x_norm, w.w_up);
+        for (std::size_t r = 0; r < batch; ++r) {
+            apply_activation_span(
+                std::span<float>(hidden.row_data(r), ff),
+                config_.activation(), hooks[r]->activation, capture);
+        }
+        f = linear_batched(hidden, w.w_down);
+    }
     for (std::size_t i = 0; i < out.size(); ++i) {
         out.data()[i] += f.data()[i];
     }

@@ -130,6 +130,28 @@ class TransformerModel {
                                   quant::KvCache& cache,
                                   const NonlinearHooks& hooks) const;
 
+    /**
+     * Fused batched decode layer: @p x stacks one token per batch
+     * row ([B, d]); each projection (Q/K/V, output, FFN) runs as one
+     * batched GEMM over the whole stack (linear_batched streams each
+     * weight row once per step instead of once per session), while
+     * RoPE, KV append, attention, softmax and the FFN activation run
+     * per row against row i's own cache (@p caches[i]) and nonlinear
+     * hooks (@p hooks[i]).  Weights are read live from the layer, so
+     * mutation between steps (apply_woq, mutable_layer) behaves
+     * exactly as in the sequential path.  Row i's output is
+     * bit-identical to decode_layer(layer_idx, x.row(i), *caches[i],
+     * *hooks[i]) -- the fused-step contract serve::Engine::step
+     * relies on (enforced by tests/serve/engine_test.cc).  Distinct
+     * sessions only: a session stepped twice in one batch must go
+     * through the sequential path so its second token sees the
+     * first.
+     */
+    support::MatrixF decode_layer_batch(
+        std::size_t layer_idx, const support::MatrixF& x,
+        std::span<quant::KvCache* const> caches,
+        std::span<const NonlinearHooks* const> hooks) const;
+
     const std::vector<float>& final_norm_gain() const
     {
         return final_norm_gain_;
@@ -148,6 +170,22 @@ class TransformerModel {
                          const NonlinearHooks& hooks) const;
     void norm(const support::MatrixF& in, std::span<const float> gain,
               std::span<const float> bias, support::MatrixF& out) const;
+    /** Profiling capture for layer @p layer_idx's FFN activation
+        (empty when no capture is installed); shared by ffn() and
+        decode_layer_batch so both paths report identically. */
+    std::function<void(std::span<const float>)>
+    activation_capture(std::size_t layer_idx) const;
+    /**
+     * One token's cached attention: reshape-and-append the new K/V
+     * row, score the query against the cache, softmax with
+     * @p hooks.softmax_exp, and accumulate the weighted values into
+     * @p out_row (zero-initialized, [d_model]).  Shared by
+     * decode_layer and decode_layer_batch so both paths execute the
+     * identical float-op sequence.
+     */
+    void attend_one(const float* q_row, const float* k_row,
+                    const float* v_row, quant::KvCache& cache,
+                    const NonlinearHooks& hooks, float* out_row) const;
 
     ModelConfig config_;
     std::vector<LayerWeights> layers_;

@@ -6,9 +6,71 @@
 
 #include "model/ops.h"
 #include "sim/cost_model.h"
+#include "vlp/vlp_gemm.h"
 
 namespace mugi {
 namespace serve {
+namespace {
+
+/** VLP cycle-model charge of one N x K GEMM against B columns. */
+vlp::GemmStats
+gemm_charge(std::size_t n, std::size_t k, std::size_t b,
+            const sim::DesignConfig& design)
+{
+    vlp::GemmStats stats;
+    stats.cycles = vlp::vlp_gemm_mugi_cycles(
+        n, b, k, static_cast<int>(design.array_rows),
+        static_cast<int>(design.array_cols));
+    stats.sweeps =
+        stats.cycles >> numerics::kInt4MagnitudeBits;
+    stats.subscriptions =
+        static_cast<std::uint64_t>(n) * k * b;
+    return stats;
+}
+
+/**
+ * Charge of decoding @p batch tokens' projections (all layers + LM
+ * head).  @p fused runs each projection as one GEMM over the whole
+ * batch -- the activations share the array's column tiles, so
+ * cycles/sweeps amortize to ceil(batch / W) -- while the sequential
+ * path pays each token's single-column GEMMs separately.
+ * Subscriptions (the MAC-equivalent count) are identical either way.
+ */
+vlp::GemmStats
+projection_charge(const model::ModelConfig& config,
+                  const sim::DesignConfig& design, std::size_t batch,
+                  bool fused)
+{
+    const std::size_t d = config.d_model;
+    const std::size_t kv = config.num_kv_heads * config.head_dim();
+    const std::size_t ff = config.d_ff;
+    const std::size_t per_gemm_b = fused ? batch : 1;
+    const std::size_t repeats = fused ? 1 : batch;
+
+    vlp::GemmStats layer;
+    layer += gemm_charge(d, d, per_gemm_b, design);   // wq
+    layer += gemm_charge(kv, d, per_gemm_b, design);  // wk
+    layer += gemm_charge(kv, d, per_gemm_b, design);  // wv
+    layer += gemm_charge(d, d, per_gemm_b, design);   // wo
+    if (config.gated_ffn()) {
+        layer += gemm_charge(ff, d, per_gemm_b, design);  // gate
+    }
+    layer += gemm_charge(ff, d, per_gemm_b, design);  // up
+    layer += gemm_charge(d, ff, per_gemm_b, design);  // down
+
+    vlp::GemmStats step;
+    for (std::size_t l = 0; l < config.num_layers; ++l) {
+        step += layer;
+    }
+    step += gemm_charge(config.vocab, d, per_gemm_b, design);
+    vlp::GemmStats total;
+    for (std::size_t r = 0; r < repeats; ++r) {
+        total += step;
+    }
+    return total;
+}
+
+}  // namespace
 
 Engine::Engine(const sim::DesignConfig& design)
     : design_(design), registry_(design.array_rows)
@@ -83,6 +145,22 @@ Engine::create_session(const SessionOptions& options) const
     return session;
 }
 
+support::MatrixF
+Engine::final_norm_logits(const support::MatrixF& x) const
+{
+    const model::ModelConfig& config = *model_config_;
+    support::MatrixF x_norm;
+    if (config.uses_rmsnorm()) {
+        model::rmsnorm(x, model_->final_norm_gain(), x_norm);
+    } else {
+        std::vector<float> bias(config.d_model, 0.0f);
+        model::layernorm(x, model_->final_norm_gain(), bias, x_norm);
+    }
+    // linear and linear_batched are bit-identical; the batched form
+    // streams the LM head once for the whole stack.
+    return model::linear_batched(x_norm, model_->lm_head());
+}
+
 std::vector<float>
 Engine::decode_token(Session& session, int token) const
 {
@@ -95,16 +173,49 @@ Engine::decode_token(Session& session, int token) const
         x = model_->decode_layer(l, x, session.caches_[l],
                                  session.hooks_for(l));
     }
-    support::MatrixF x_norm;
-    if (config.uses_rmsnorm()) {
-        model::rmsnorm(x, model_->final_norm_gain(), x_norm);
-    } else {
-        std::vector<float> bias(config.d_model, 0.0f);
-        model::layernorm(x, model_->final_norm_gain(), bias, x_norm);
+    return final_norm_logits(x).data();
+}
+
+void
+Engine::step_decode_fused(const StepPlan& plan, StepResult& result) const
+{
+    assert(model_);
+    const model::ModelConfig& config = *model_config_;
+    const std::size_t batch = plan.decode_sessions.size();
+
+    // Stack the batch's token embeddings into one activation matrix.
+    support::MatrixF x(batch, config.d_model);
+    for (std::size_t i = 0; i < batch; ++i) {
+        const std::span<const float> e =
+            model_->embedding(plan.decode_tokens[i]);
+        std::copy(e.begin(), e.end(), x.row_data(i));
     }
-    const support::MatrixF logits =
-        model::linear(x_norm, model_->lm_head());
-    return logits.data();
+    std::vector<quant::KvCache*> caches(batch);
+    std::vector<const model::NonlinearHooks*> hooks(batch);
+    for (std::size_t l = 0; l < config.num_layers; ++l) {
+        for (std::size_t i = 0; i < batch; ++i) {
+            Session& session = *plan.decode_sessions[i];
+            caches[i] = &session.caches_[l];
+            hooks[i] = &session.hooks_for(l);
+        }
+        x = model_->decode_layer_batch(l, x, caches, hooks);
+    }
+    const support::MatrixF logits = final_norm_logits(x);
+
+    for (std::size_t i = 0; i < batch; ++i) {
+        Session& session = *plan.decode_sessions[i];
+        StepResult::SessionOutput out;
+        out.session_id = session.id();
+        const float* row = logits.row_data(i);
+        out.logits.assign(row, row + logits.cols());
+        out.next_token = static_cast<int>(std::distance(
+            out.logits.begin(),
+            std::max_element(out.logits.begin(), out.logits.end())));
+        session.position_ += 1;
+        session.tokens_generated_ += 1;
+        out.position = session.position_;
+        result.outputs.push_back(std::move(out));
+    }
 }
 
 StepResult
@@ -143,9 +254,12 @@ Engine::step(const StepPlan& plan) const
     std::vector<std::size_t> contexts;
     contexts.reserve(D);
     std::unordered_map<const Session*, std::size_t> occurrences;
+    bool duplicate_sessions = false;
     for (std::size_t i = 0; i < D; ++i) {
+        const std::size_t seen = occurrences[plan.decode_sessions[i]]++;
+        duplicate_sessions |= seen > 0;
         contexts.push_back(plan.decode_sessions[i]->position() + 1 +
-                           occurrences[plan.decode_sessions[i]]++);
+                           seen);
     }
     std::vector<model::PrefillChunk> chunks;
     chunks.reserve(plan.prefills.size());
@@ -158,21 +272,40 @@ Engine::step(const StepPlan& plan) const
     StepResult result;
     result.report = evaluate(workload);
     result.outputs.reserve(D);
-    for (std::size_t i = 0; i < D; ++i) {
-        Session& session = *plan.decode_sessions[i];
-        StepResult::SessionOutput out;
-        out.session_id = session.id();
-        if (!plan.decode_tokens.empty()) {
-            out.logits = decode_token(session, plan.decode_tokens[i]);
-            out.next_token = static_cast<int>(std::distance(
-                out.logits.begin(),
-                std::max_element(out.logits.begin(),
-                                 out.logits.end())));
+    const bool functional_decode = !plan.decode_tokens.empty();
+    // Fused batched decode: one projection GEMM per layer over the
+    // stacked batch, bit-identical to per-session stepping.  A
+    // duplicated session is a data dependency (its second token must
+    // attend the first), so such batches take the sequential path --
+    // as does a batch of one, which has nothing to fuse (the charges
+    // agree exactly there, so the paths are indistinguishable).
+    if (functional_decode && plan.fused_decode && !duplicate_sessions &&
+        D > 1) {
+        step_decode_fused(plan, result);
+        result.gemm +=
+            projection_charge(*model_config_, design_, D, true);
+    } else {
+        for (std::size_t i = 0; i < D; ++i) {
+            Session& session = *plan.decode_sessions[i];
+            StepResult::SessionOutput out;
+            out.session_id = session.id();
+            if (functional_decode) {
+                out.logits =
+                    decode_token(session, plan.decode_tokens[i]);
+                out.next_token = static_cast<int>(std::distance(
+                    out.logits.begin(),
+                    std::max_element(out.logits.begin(),
+                                     out.logits.end())));
+            }
+            session.position_ += 1;
+            session.tokens_generated_ += 1;
+            out.position = session.position_;
+            result.outputs.push_back(std::move(out));
         }
-        session.position_ += 1;
-        session.tokens_generated_ += 1;
-        out.position = session.position_;
-        result.outputs.push_back(std::move(out));
+        if (functional_decode) {
+            result.gemm +=
+                projection_charge(*model_config_, design_, D, false);
+        }
     }
     result.prefill_outputs.reserve(plan.prefills.size());
     for (const StepPlan::PrefillEntry& entry : plan.prefills) {
@@ -185,6 +318,10 @@ Engine::step(const StepPlan& plan) const
                 out.logits.begin(),
                 std::max_element(out.logits.begin(),
                                  out.logits.end())));
+            // Prefill decodes token by token: sequential charges.
+            result.gemm += projection_charge(*model_config_, design_,
+                                             entry.tokens.size(),
+                                             false);
         } else {
             advance_context(session, entry.analytic_tokens);
         }

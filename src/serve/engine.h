@@ -76,6 +76,18 @@ struct StepResult {
     std::vector<SessionOutput> prefill_outputs;
     /** Aggregated evaluation of the whole batched step. */
     SystemReport report;
+    /**
+     * Simulated Mugi-array charge of this step's *functional*
+     * projection GEMMs (QKV / output / FFN / LM head for every
+     * decoded or prefilled token), per the VLP cycle model
+     * (vlp::vlp_gemm_mugi_cycles).  The fused batched decode path
+     * runs each projection as one GEMM over the whole batch, so its
+     * column tiles -- and therefore cycles and sweeps -- amortize
+     * across the batch (ceil(B/W) instead of B tiles), while
+     * subscriptions (the MAC-equivalent count) are identical to the
+     * sequential charge.  Zero for analytic-only steps.
+     */
+    vlp::GemmStats gemm;
 };
 
 /**
@@ -109,6 +121,20 @@ struct StepPlan {
     };
     /** Prefill chunks interleaved into this step. */
     std::vector<PrefillEntry> prefills;
+
+    /**
+     * Run the batch's functional decode through the fused path: the
+     * batch's embeddings stack into one [batch, d_model] activation
+     * matrix and each layer's QKV / output / FFN projections run as
+     * one batched GEMM (model::TransformerModel::decode_layer_batch),
+     * with per-session attention over each session's own KV cache.
+     * Bit-identical to the sequential path; StepResult::gemm charges
+     * the amortized fused cycle counts.  A batch listing the same
+     * session twice falls back to the sequential path (occurrence
+     * ordering is a data dependency the fused stack cannot honor),
+     * as does a batch of one (nothing to fuse; identical charge).
+     */
+    bool fused_decode = true;
 
     bool
     empty() const
@@ -258,6 +284,10 @@ class Engine {
 
   private:
     std::vector<float> decode_token(Session& session, int token) const;
+    /** Fused batched decode of @p plan's distinct decode sessions. */
+    void step_decode_fused(const StepPlan& plan,
+                           StepResult& result) const;
+    support::MatrixF final_norm_logits(const support::MatrixF& x) const;
 
     sim::DesignConfig design_;
     std::optional<model::ModelConfig> model_config_;

@@ -1,8 +1,7 @@
 #include "serve/prepared_weights.h"
 
 #include <algorithm>
-
-#include "vlp/vlp_gemm.h"
+#include <cassert>
 
 namespace mugi {
 namespace serve {
@@ -12,6 +11,7 @@ PreparedWeights::PreparedWeights(const support::MatrixF& weights,
 {
     auto impl = std::make_shared<Impl>();
     impl->q = quant::quantize_int4(weights, group_size);
+    impl->subs = vlp::SubscriptionLists(impl->q.values);
     impl_ = std::move(impl);
 }
 
@@ -21,43 +21,48 @@ run_prepared_gemm(const PreparedWeights& weights,
                   std::size_t array_rows, std::size_t array_cols)
 {
     const quant::QuantizedMatrix& q = weights.quantized();
+    const vlp::SubscriptionLists& subs = weights.subscriptions();
     const std::size_t group_size = q.group_size;
+    const std::size_t rows = q.rows();
+    const std::size_t b_total = activations.cols();
+    assert(q.cols() == activations.rows());
 
     GemmRun run;
-    run.out = support::MatrixF(q.rows(), activations.cols(), 0.0f);
+    run.out = support::MatrixF(rows, b_total, 0.0f);
 
     // The temporal array computes per-group partial sums in INT4 x
     // BF16; the vector array applies the per-group scale during
-    // dequantization (Sec. 4.2).
+    // dequantization (Sec. 4.2).  The sweep-accumulator kernel runs
+    // straight over the handle's cached schedule -- each group is a
+    // consecutive k-run, so no weight or activation submatrices are
+    // materialized -- and the partial buffer is folded into the
+    // output with the group's scale in one pass.
+    const std::uint64_t tiles =
+        ((rows + array_rows - 1) / array_rows) *
+        ((b_total + array_cols - 1) / array_cols);
+    support::MatrixF partial(rows, b_total);
     const std::size_t groups =
-        (q.cols() + group_size - 1) / group_size;
+        group_size == 0 ? 0 : (q.cols() + group_size - 1) / group_size;
     for (std::size_t g = 0; g < groups; ++g) {
         const std::size_t begin = g * group_size;
         const std::size_t end =
             std::min(begin + group_size, q.cols());
-        vlp::Int4Matrix wg(q.rows(), end - begin);
-        support::MatrixF ag(end - begin, activations.cols());
-        for (std::size_t r = 0; r < q.rows(); ++r) {
-            for (std::size_t c = begin; c < end; ++c) {
-                wg.at(r, c - begin) = q.values.at(r, c);
-            }
-        }
-        for (std::size_t c = begin; c < end; ++c) {
-            for (std::size_t b = 0; b < activations.cols(); ++b) {
-                ag.at(c - begin, b) = activations.at(c, b);
-            }
-        }
-        const vlp::VlpGemmResult partial = vlp::vlp_gemm_mugi(
-            wg, ag, static_cast<int>(array_rows),
-            static_cast<int>(array_cols));
-        run.cycles += partial.cycles;
-        for (std::size_t r = 0; r < run.out.rows(); ++r) {
+        std::fill(partial.data().begin(), partial.data().end(), 0.0f);
+        vlp::vlp_gemm_subscribed(subs, activations, begin, end,
+                                 partial);
+        for (std::size_t r = 0; r < rows; ++r) {
             const float scale = q.scales.at(r, g);
-            for (std::size_t b = 0; b < run.out.cols(); ++b) {
-                run.out.at(r, b) += partial.out.at(r, b) * scale;
+            const float* prow = partial.row_data(r);
+            float* orow = run.out.row_data(r);
+            for (std::size_t b = 0; b < b_total; ++b) {
+                orow[b] += prow[b] * scale;
             }
         }
+        run.sweeps += tiles * (end - begin);
+        run.subscriptions += static_cast<std::uint64_t>(rows) *
+                             (end - begin) * b_total;
     }
+    run.cycles = run.sweeps * (1ull << numerics::kInt4MagnitudeBits);
     return run;
 }
 

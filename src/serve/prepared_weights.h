@@ -8,10 +8,16 @@
  * The removed MugiSystem facade re-ran quant::quantize_int4 on
  * every call -- a per-request cost for state that never changes.  A
  * PreparedWeights handle performs the INT4 group quantization
- * (Sec. 2.3.2) exactly once at load time; every subsequent GEMM
- * against it reuses the codes and per-group scales.  Handles are
- * cheap to copy (shared immutable storage) and safe to use from any
- * number of threads concurrently.
+ * (Sec. 2.3.2) exactly once at load time, and additionally builds the
+ * temporal-subscription schedule (vlp::SubscriptionLists) of the
+ * codes: per reduction column k, the rows bucketed by their magnitude
+ * firing cycle, laid out contiguously with quantization groups as
+ * consecutive k-runs (the group-major packed layout).  Every
+ * subsequent GEMM against the handle runs the sweep-accumulator
+ * kernel directly over that schedule -- no per-group weight or
+ * activation copies -- and folds each group's scale into the output
+ * in one pass.  Handles are cheap to copy (shared immutable storage)
+ * and safe to use from any number of threads concurrently.
  */
 
 #include <cstdint>
@@ -19,14 +25,23 @@
 
 #include "quant/group_quant.h"
 #include "support/matrix.h"
+#include "vlp/vlp_gemm.h"
 
 namespace mugi {
 namespace serve {
 
-/** Output + simulated cycle count of one functional GEMM. */
+/** Output + simulated work counters of one functional GEMM. */
 struct GemmRun {
     support::MatrixF out;
-    std::uint64_t cycles = 0;
+    std::uint64_t cycles = 0;      ///< Simulated cycle count.
+    std::uint64_t sweeps = 0;      ///< Temporal sweeps executed.
+    std::uint64_t subscriptions = 0;  ///< Temporal subscriptions fired.
+
+    vlp::GemmStats
+    stats() const
+    {
+        return {cycles, sweeps, subscriptions};
+    }
 };
 
 /** An immutable, shareable INT4-quantized weight matrix. */
@@ -46,12 +61,30 @@ class PreparedWeights {
     /** The INT4 codes + scales shared by every GEMM on this handle. */
     const quant::QuantizedMatrix& quantized() const { return impl_->q; }
 
-    /** Packed INT4 + BF16-scale storage footprint in bytes. */
+    /**
+     * The precomputed sweep schedule of the codes (built once at
+     * construction, shared by every GEMM on this handle).
+     */
+    const vlp::SubscriptionLists&
+    subscriptions() const
+    {
+        return impl_->subs;
+    }
+
+    /**
+     * Packed INT4 + BF16-scale storage footprint in bytes -- the
+     * device-resident weight bytes WOQ's 4x compression is about.
+     * Deliberately excludes the host-side SubscriptionLists (about
+     * 4 bytes per weight): that schedule only exists to accelerate
+     * the *simulation*; the temporal array subscribes natively and
+     * stores nothing beyond the codes.
+     */
     std::size_t byte_size() const { return impl_->q.byte_size(); }
 
   private:
     struct Impl {
         quant::QuantizedMatrix q;
+        vlp::SubscriptionLists subs;
     };
     std::shared_ptr<const Impl> impl_;
 };
@@ -60,7 +93,9 @@ class PreparedWeights {
  * Functional WOQ GEMM against prepared weights: temporal VLP GEMM of
  * the INT4 codes against BF16 activations, per-group dequantization
  * by the vector array (Sec. 4.2).  Bit-identical to quantizing and
- * running in one shot with the same group size.
+ * running in one shot with the same group size, and to the pre-cached
+ * execution that copied per-group weight/activation submatrices
+ * (tests/serve/prepared_weights_test.cc pins both).
  *
  * @param array_rows Array height H; @param array_cols array width.
  */

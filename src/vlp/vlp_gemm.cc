@@ -10,12 +10,154 @@ namespace {
 constexpr int kMagnitudeBits = numerics::kInt4MagnitudeBits;
 constexpr std::uint32_t kSweep = 1u << kMagnitudeBits;
 
+std::uint64_t
+tile_count(std::size_t total, int tile)
+{
+    return (total + static_cast<std::size_t>(tile) - 1) /
+           static_cast<std::size_t>(tile);
+}
+
+/**
+ * Shared sweep-accumulator executor: @p temporal is the
+ * temporally-coded INT4 operand (rows subscribe), @p values the
+ * value-reused float operand (columns accumulate).  Outputs are
+ * bit-identical to the literal cycle-by-row scan; the counters are
+ * the analytic tile formulas, which the literal scan provably
+ * produces (one 2^mb-cycle sweep per (row tile, column tile, k)).
+ */
+VlpGemmResult
+sweep_gemm(const Int4Matrix& temporal, const support::MatrixF& values,
+           int array_rows, int array_cols)
+{
+    assert(temporal.cols() == values.rows());
+    assert(array_rows >= 1 && array_cols >= 1);
+    const std::size_t r_total = temporal.rows();
+    const std::size_t k_total = temporal.cols();
+    const std::size_t c_total = values.cols();
+
+    VlpGemmResult result;
+    result.out = support::MatrixF(r_total, c_total, 0.0f);
+
+    const SubscriptionLists subs(temporal);
+    vlp_gemm_subscribed(subs, values, 0, k_total, result.out);
+
+    const std::uint64_t tiles = tile_count(r_total, array_rows) *
+                                tile_count(c_total, array_cols);
+    result.sweeps = tiles * k_total;
+    result.cycles = result.sweeps * kSweep;
+    result.subscriptions =
+        static_cast<std::uint64_t>(r_total) * k_total * c_total;
+    return result;
+}
+
 }  // namespace
+
+SubscriptionLists::SubscriptionLists(const Int4Matrix& weights)
+    : rows_(weights.rows()), cols_(weights.cols())
+{
+    entries_.resize(rows_ * cols_);
+    offsets_.assign(cols_ * (static_cast<std::size_t>(kBuckets) + 1),
+                    0);
+    std::size_t counts[kBuckets];
+    for (std::size_t k = 0; k < cols_; ++k) {
+        for (std::uint32_t m = 0; m < kBuckets; ++m) {
+            counts[m] = 0;
+        }
+        for (std::size_t r = 0; r < rows_; ++r) {
+            ++counts[weights.at(r, k).magnitude];
+        }
+        const std::size_t base =
+            k * (static_cast<std::size_t>(kBuckets) + 1);
+        offsets_[base] = k * rows_;
+        for (std::uint32_t m = 0; m < kBuckets; ++m) {
+            offsets_[base + m + 1] = offsets_[base + m] + counts[m];
+            counts[m] = offsets_[base + m];
+        }
+        for (std::size_t r = 0; r < rows_; ++r) {
+            const numerics::Int4 w = weights.at(r, k);
+            entries_[counts[w.magnitude]++] =
+                (static_cast<std::uint32_t>(r) << 4) | w.encode();
+        }
+    }
+}
+
+void
+vlp_gemm_subscribed(const SubscriptionLists& subs,
+                    const support::MatrixF& values, std::size_t k_begin,
+                    std::size_t k_end, support::MatrixF& out)
+{
+    assert(k_end <= subs.cols() && k_begin <= k_end);
+    assert(k_end <= values.rows());
+    assert(out.rows() == subs.rows() && out.cols() == values.cols());
+    const std::size_t c_total = values.cols();
+    if (c_total == 0 || subs.rows() == 0) {
+        return;
+    }
+
+    // The 2^mb accumulator states of one sweep, for every column at
+    // once: accs[m][c] = m * values[k][c], built by the same
+    // incremental additions the per-column temporal accumulator
+    // performs cycle by cycle.  Rows kSweep..2*kSweep-1 hold the
+    // sign-applied states (-accs[m][c]; IEEE negation is exact), so
+    // each subscription is one branchless table lookup + add.
+    support::MatrixF accs(2 * kSweep, c_total, 0.0f);
+    const float* state[2 * kSweep];
+    for (std::uint32_t m = 0; m < kSweep; ++m) {
+        state[m] = accs.row_data(m);
+        state[kSweep + m] = accs.row_data(kSweep + m);
+    }
+    for (std::size_t k = k_begin; k < k_end; ++k) {
+        const float* act = values.row_data(k);
+        for (std::uint32_t m = 1; m < kSweep; ++m) {
+            const float* prev = accs.row_data(m - 1);
+            float* cur = accs.row_data(m);
+            float* neg = accs.row_data(kSweep + m);
+            for (std::size_t c = 0; c < c_total; ++c) {
+                cur[c] = prev[c] + act[c];
+                neg[c] = -cur[c];
+            }
+        }
+        // Visit each row at its firing cycle, exactly once, in the
+        // cycle-major order the sweep fires them.  Rows accumulate
+        // disjoint output cells, so any visit order matches the
+        // cycle-by-row scan bit for bit -- which also lets the
+        // magnitude-0 bucket (the column head) be skipped outright:
+        // its subscriptions add sign(0.0f), and no accumulated cell
+        // can hold -0.0f (x + y == -0 requires x == y == -0, and
+        // every cell starts at +0), so those adds never change bits.
+        const std::span<const std::uint32_t> column = subs.column(k);
+        const std::size_t zero_rows = subs.bucket(k, 0).size();
+        for (std::size_t e = zero_rows; e < column.size(); ++e) {
+            const std::uint32_t entry = column[e];
+            const float* av = state[entry & 0xFu];
+            float* orow = out.row_data(entry >> 4);
+            for (std::size_t c = 0; c < c_total; ++c) {
+                orow[c] += av[c];
+            }
+        }
+    }
+}
 
 VlpGemmResult
 vlp_gemm_mugi(const Int4Matrix& weights,
               const support::MatrixF& activations, int array_rows,
               int array_cols)
+{
+    return sweep_gemm(weights, activations, array_rows, array_cols);
+}
+
+VlpGemmResult
+vlp_gemm_carat(const Int4Matrix& activations,
+               const support::MatrixF& weights, int array_rows,
+               int array_cols)
+{
+    return sweep_gemm(activations, weights, array_rows, array_cols);
+}
+
+VlpGemmResult
+vlp_gemm_mugi_baseline(const Int4Matrix& weights,
+                       const support::MatrixF& activations,
+                       int array_rows, int array_cols)
 {
     assert(weights.cols() == activations.rows());
     assert(array_rows >= 1 && array_cols >= 1);
@@ -70,9 +212,9 @@ vlp_gemm_mugi(const Int4Matrix& weights,
 }
 
 VlpGemmResult
-vlp_gemm_carat(const Int4Matrix& activations,
-               const support::MatrixF& weights, int array_rows,
-               int array_cols)
+vlp_gemm_carat_baseline(const Int4Matrix& activations,
+                        const support::MatrixF& weights, int array_rows,
+                        int array_cols)
 {
     assert(activations.cols() == weights.rows());
     const std::size_t m_total = activations.rows();

@@ -19,9 +19,23 @@
  * Both are *cycle-accurate functional* models: they simulate the
  * temporal sweeps and return the exact cycle count, which the analytic
  * performance model (src/sim) is validated against.
+ *
+ * Execution strategy: the shipped kernels use a *sweep-accumulator
+ * table* instead of literally replaying every cycle.  Per (k, column)
+ * the 2^mb accumulator states of a sweep are materialized once by
+ * incremental addition (the identical float-op sequence the temporal
+ * accumulator produces), and a precomputed per-k magnitude
+ * subscription list (SubscriptionLists) visits each row exactly once
+ * at its firing cycle -- O(nh + 2^mb) work per sweep instead of the
+ * O(nh * 2^mb) cycle-by-row scan.  Outputs and all counters are
+ * bit-identical to the literal simulation, which is retained as
+ * vlp_gemm_mugi_baseline / vlp_gemm_carat_baseline and pinned by
+ * tests (tests/vlp/vlp_gemm_test.cc).
  */
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "numerics/int4.h"
 #include "support/matrix.h"
@@ -32,13 +46,136 @@ namespace vlp {
 /** Matrix of sign-magnitude INT4 values. */
 using Int4Matrix = support::Matrix<numerics::Int4>;
 
+/** Simulated-work counters of one or more VLP GEMMs. */
+struct GemmStats {
+    std::uint64_t cycles = 0;         ///< Simulated cycle count.
+    std::uint64_t sweeps = 0;         ///< Temporal sweeps executed.
+    std::uint64_t subscriptions = 0;  ///< Temporal subscriptions fired.
+
+    GemmStats&
+    operator+=(const GemmStats& other)
+    {
+        cycles += other.cycles;
+        sweeps += other.sweeps;
+        subscriptions += other.subscriptions;
+        return *this;
+    }
+};
+
 /** Result of a simulated VLP GEMM. */
 struct VlpGemmResult {
     support::MatrixF out;          ///< Output-stationary result.
     std::uint64_t cycles = 0;      ///< Simulated cycle count.
     std::uint64_t sweeps = 0;      ///< Temporal sweeps executed.
     std::uint64_t subscriptions = 0;  ///< Temporal subscriptions fired.
+
+    GemmStats
+    stats() const
+    {
+        return {cycles, sweeps, subscriptions};
+    }
 };
+
+/**
+ * Precomputed temporal-subscription schedule of an INT4 matrix.
+ *
+ * For every reduction column k, the matrix rows are bucketed by their
+ * 3-bit magnitude -- the cycle of the sweep at which the row's
+ * subscription fires -- in row order within a bucket.  Each row
+ * appears exactly once per k, so a sweep executor visits
+ * O(rows + 2^mb) entries instead of scanning every row on every
+ * cycle, and reads the codes from a contiguous per-k layout instead
+ * of striding through the row-major matrix once per cycle.
+ *
+ * The schedule is immutable and independent of the activations, so
+ * serving-path holders (serve::PreparedWeights) build it once at load
+ * time and reuse it for every GEMM against the same codes.
+ */
+class SubscriptionLists {
+  public:
+    SubscriptionLists() = default;
+
+    /** Build the per-k magnitude buckets of @p weights. */
+    explicit SubscriptionLists(const Int4Matrix& weights);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    /** Row index of a packed entry. */
+    static std::uint32_t
+    entry_row(std::uint32_t entry)
+    {
+        return entry >> 4;
+    }
+
+    /** Sign bit of a packed entry (true = negative weight). */
+    static bool
+    entry_sign(std::uint32_t entry)
+    {
+        return (entry & 0x8u) != 0;
+    }
+
+    /** Magnitude (firing cycle) of a packed entry. */
+    static std::uint32_t
+    entry_magnitude(std::uint32_t entry)
+    {
+        return entry & 0x7u;
+    }
+
+    /**
+     * Rows subscribing at cycle @p magnitude of column @p k, each
+     * packed as (row << 4) | sign-magnitude nibble (Int4::encode)
+     * and ordered by row within the bucket.
+     */
+    std::span<const std::uint32_t>
+    bucket(std::size_t k, std::uint32_t magnitude) const
+    {
+        const std::size_t base =
+            k * (static_cast<std::size_t>(kBuckets) + 1) + magnitude;
+        return {entries_.data() + offsets_[base],
+                offsets_[base + 1] - offsets_[base]};
+    }
+
+    /** All of column @p k's entries, in firing-cycle-major order. */
+    std::span<const std::uint32_t>
+    column(std::size_t k) const
+    {
+        return {entries_.data() + k * rows_, rows_};
+    }
+
+  private:
+    static constexpr std::uint32_t kBuckets =
+        1u << numerics::kInt4MagnitudeBits;
+
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    /**
+     * rows_ entries per k, bucketed by magnitude (cycle-major, the
+     * order the temporal sweep fires them): (row << 4) | nibble.
+     */
+    std::vector<std::uint32_t> entries_;
+    /** Per k: kBuckets + 1 bucket boundaries into entries_. */
+    std::vector<std::size_t> offsets_;
+};
+
+/**
+ * Sweep-accumulator GEMM core over a precomputed schedule, restricted
+ * to reduction columns [k_begin, k_end):
+ *
+ *   out[r][c] += sum_{k in [k_begin, k_end)}
+ *                  sign(r, k) * accs_k_c[magnitude(r, k)]
+ *
+ * where accs_k_c[m] = m * values[k][c] built by repeated addition --
+ * the exact accumulator states of the temporal sweep.  @p out must be
+ * shaped subs.rows() x values.cols(); partial results accumulate into
+ * it (callers zero it per quantization group to fold per-group
+ * scales).  Pure compute: cycle/sweep counters are analytic
+ * (vlp_gemm_mugi_cycles) and owned by the callers.
+ */
+void vlp_gemm_subscribed(const SubscriptionLists& subs,
+                         const support::MatrixF& values,
+                         std::size_t k_begin, std::size_t k_end,
+                         support::MatrixF& out);
 
 /**
  * Mugi-mapped GEMM: out[n][b] = sum_k weights[n][k] * activations[k][b].
@@ -62,6 +199,22 @@ VlpGemmResult vlp_gemm_mugi(const Int4Matrix& weights,
 VlpGemmResult vlp_gemm_carat(const Int4Matrix& activations,
                              const support::MatrixF& weights,
                              int array_rows, int array_cols);
+
+/**
+ * The literal cycle-by-row simulation of the Mugi mapping (the
+ * pre-optimization kernel): every sweep scans all nh tile rows on
+ * each of the 2^mb cycles.  Kept as the golden reference for the
+ * sweep-accumulator kernel's bit-identity tests and as the baseline
+ * of bench/gemm_throughput.
+ */
+VlpGemmResult vlp_gemm_mugi_baseline(const Int4Matrix& weights,
+                                     const support::MatrixF& activations,
+                                     int array_rows, int array_cols);
+
+/** Literal cycle-by-row simulation of the Carat mapping (baseline). */
+VlpGemmResult vlp_gemm_carat_baseline(const Int4Matrix& activations,
+                                      const support::MatrixF& weights,
+                                      int array_rows, int array_cols);
 
 /**
  * Analytic cycle count of the Mugi mapping:

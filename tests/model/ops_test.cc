@@ -161,6 +161,57 @@ TEST(Ops, ApplyActivationExactMatchesReference)
     }
 }
 
+TEST(Ops, LinearBatchedBitIdenticalToLinear)
+{
+    // The fused decode projections ride on this: the k-outer loop
+    // order must not change a single bit, zero-skips included.
+    std::mt19937 rng(321);
+    for (const std::size_t rows : {1u, 3u, 16u}) {
+        support::MatrixF x(rows, 24);
+        support::MatrixF w(24, 40);
+        support::fill_gaussian(x, rng, 0.0f, 1.0f);
+        support::fill_gaussian(w, rng, 0.0f, 0.5f);
+        // Plant exact zeros to exercise the skip path.
+        x.at(0, 3) = 0.0f;
+        x.at(rows - 1, 20) = 0.0f;
+        const support::MatrixF batched = linear_batched(x, w);
+        const support::MatrixF reference = linear(x, w);
+        EXPECT_TRUE(batched == reference) << rows << " rows";
+    }
+}
+
+TEST(Ops, RopeRotateRowMatchesApplyRopeAtEveryPosition)
+{
+    // decode_layer_batch rotates each batch row at its own session's
+    // position via rope_rotate_row; it must equal apply_rope on a
+    // one-row matrix at the same start position.
+    std::mt19937 rng(331);
+    for (const std::size_t pos : {0u, 1u, 17u, 100u}) {
+        support::MatrixF row(1, 2 * 8);
+        support::fill_gaussian(row, rng, 0.0f, 1.0f);
+        support::MatrixF expected = row;
+        apply_rope(expected, 2, 8, pos);
+        rope_rotate_row(row.row_data(0), 2, 8, pos);
+        EXPECT_TRUE(row == expected) << "pos " << pos;
+    }
+}
+
+TEST(Ops, ApplyActivationSpanMatchesMatrixForm)
+{
+    std::mt19937 rng(341);
+    support::MatrixF x(1, 32);
+    support::fill_gaussian(x, rng, 0.0f, 2.0f);
+    support::MatrixF as_matrix = x;
+    std::vector<float> as_span(x.data());
+    apply_activation(as_matrix, nonlinear::NonlinearOp::kGelu,
+                     nullptr);
+    apply_activation_span(as_span, nonlinear::NonlinearOp::kGelu,
+                          nullptr);
+    for (std::size_t i = 0; i < as_span.size(); ++i) {
+        EXPECT_EQ(as_span[i], as_matrix.data()[i]) << i;
+    }
+}
+
 }  // namespace
 }  // namespace model
 }  // namespace mugi

@@ -2,11 +2,13 @@
 
 #include <cmath>
 #include <numeric>
+#include <random>
 
 #include <gtest/gtest.h>
 
 #include "model/accuracy.h"
 #include "model/profiler.h"
+#include "support/rng.h"
 #include "vlp/vlp_approximator.h"
 
 namespace mugi {
@@ -114,6 +116,95 @@ TEST(Transformer, DecodeMatchesFullForward)
                 << "t=" << t << " v=" << v;
         }
     }
+}
+
+TEST(Transformer, BatchedDecodeLayerMatchesSequentialPerRow)
+{
+    // decode_layer_batch must reproduce decode_layer row by row for
+    // both families: gated/RoPE/RMSNorm (llama) and plain
+    // FFN/LayerNorm without RoPE (whisper), at heterogeneous
+    // positions and mixed KV precisions.
+    for (const ModelConfig& config : {tiny_llama(), tiny_whisper()}) {
+        const TransformerModel model(config, 99);
+        const std::size_t batch = 3;
+        const quant::KvPrecision precisions[] = {
+            quant::KvPrecision::kFloat, quant::KvPrecision::kInt4,
+            quant::KvPrecision::kFloat};
+
+        // Warm each lane's layer-0 cache to a different depth.
+        std::vector<quant::KvCache> batched_caches;
+        std::vector<quant::KvCache> seq_caches;
+        for (std::size_t i = 0; i < batch; ++i) {
+            batched_caches.emplace_back(config.num_kv_heads,
+                                        config.head_dim(),
+                                        precisions[i]);
+            seq_caches.emplace_back(config.num_kv_heads,
+                                    config.head_dim(), precisions[i]);
+        }
+        support::MatrixF x(batch, config.d_model);
+        std::mt19937 rng(1234);
+        support::fill_gaussian(x, rng, 0.0f, 1.0f);
+        for (std::size_t i = 0; i < batch; ++i) {
+            for (std::size_t warm = 0; warm < i + 1; ++warm) {
+                support::MatrixF one(1, config.d_model);
+                support::fill_gaussian(one, rng, 0.0f, 1.0f);
+                // Same warm stream into both twins' caches.
+                model.decode_layer(0, one, batched_caches[i]);
+                model.decode_layer(0, one, seq_caches[i]);
+            }
+        }
+
+        const NonlinearHooks hooks{};
+        std::vector<quant::KvCache*> cache_ptrs;
+        std::vector<const NonlinearHooks*> hook_ptrs;
+        for (std::size_t i = 0; i < batch; ++i) {
+            cache_ptrs.push_back(&batched_caches[i]);
+            hook_ptrs.push_back(&hooks);
+        }
+        const support::MatrixF batched =
+            model.decode_layer_batch(0, x, cache_ptrs, hook_ptrs);
+
+        for (std::size_t i = 0; i < batch; ++i) {
+            support::MatrixF row(1, config.d_model);
+            for (std::size_t c = 0; c < config.d_model; ++c) {
+                row.at(0, c) = x.at(i, c);
+            }
+            const support::MatrixF expected =
+                model.decode_layer(0, row, seq_caches[i], hooks);
+            for (std::size_t c = 0; c < config.d_model; ++c) {
+                EXPECT_EQ(batched.at(i, c), expected.at(0, c))
+                    << config.name << " row " << i << " col " << c;
+            }
+        }
+    }
+}
+
+TEST(Transformer, BatchedDecodeSeesLiveWeightMutations)
+{
+    // The batched path reads the layer's weights at call time, so a
+    // post-construction apply_woq (as examples/llm_inference does
+    // after building its Engine) affects fused and sequential decode
+    // identically.
+    const ModelConfig config = tiny_llama();
+    TransformerModel model(config, 7);
+    quant::KvCache batched_cache(config.num_kv_heads,
+                                 config.head_dim(),
+                                 quant::KvPrecision::kFloat);
+    quant::KvCache seq_cache(config.num_kv_heads, config.head_dim(),
+                             quant::KvPrecision::kFloat);
+    model.apply_woq(16);
+
+    support::MatrixF x(1, config.d_model);
+    std::mt19937 rng(55);
+    support::fill_gaussian(x, rng, 0.0f, 1.0f);
+    const NonlinearHooks hooks{};
+    quant::KvCache* caches[] = {&batched_cache};
+    const NonlinearHooks* hook_ptrs[] = {&hooks};
+    const support::MatrixF batched =
+        model.decode_layer_batch(0, x, caches, hook_ptrs);
+    const support::MatrixF expected =
+        model.decode_layer(0, x, seq_cache, hooks);
+    EXPECT_TRUE(batched == expected);
 }
 
 TEST(Transformer, KvqDecodeStaysClose)

@@ -292,6 +292,172 @@ TEST(EngineStep, PrefillChunksAreBitIdenticalToFullPrefill)
     EXPECT_EQ(a.outputs[0].next_token, b.outputs[0].next_token);
 }
 
+TEST(EngineStep, FusedDecodeBitIdenticalToSequentialWithMixedKv)
+{
+    // The fused-step contract: stacking the batch's embeddings and
+    // running one projection GEMM per layer must reproduce the
+    // sequential per-session path bit for bit, across sessions with
+    // different KV precisions, context lengths and per-layer window
+    // tunings.
+    const model::ModelConfig config =
+        model::llama2_70b().scaled_for_eval(2, 32, 64);
+    auto transformer =
+        std::make_shared<model::TransformerModel>(config, 555);
+    const Engine engine(sim::make_mugi(64), transformer);
+
+    const quant::KvPrecision precisions[] = {
+        quant::KvPrecision::kFloat, quant::KvPrecision::kInt4,
+        quant::KvPrecision::kFloat, quant::KvPrecision::kInt4};
+    const std::size_t prompt_lens[] = {2, 5, 9, 3};
+
+    const auto make_batch = [&] {
+        std::vector<Session> sessions;
+        for (std::size_t i = 0; i < 4; ++i) {
+            SessionOptions options;
+            options.kv_precision = precisions[i];
+            sessions.push_back(engine.create_session(options));
+            engine.prefill(sessions.back(),
+                           model::synthetic_tokens(
+                               prompt_lens[i], config.vocab,
+                               static_cast<std::uint32_t>(70 + i)));
+        }
+        // A per-layer retune on one session must stay per-row.
+        vlp::VlpConfig narrow = default_vlp_config(
+            nonlinear::NonlinearOp::kExp,
+            engine.design().array_rows);
+        narrow.window_size = 4;
+        const auto window = engine.kernels().get(narrow);
+        model::NonlinearHooks hooks = engine.default_hooks();
+        hooks.softmax_exp = window.get();
+        sessions[1].set_layer_hooks(0, hooks);
+        sessions[1].retain_kernel(window);
+        return sessions;
+    };
+
+    std::vector<Session> fused_sessions = make_batch();
+    std::vector<Session> seq_sessions = make_batch();
+    std::vector<int> fused_tokens = {3, 11, 25, 40};
+    std::vector<int> seq_tokens = fused_tokens;
+    for (int step = 0; step < 3; ++step) {
+        StepPlan fused_plan;
+        fused_plan.fused_decode = true;
+        StepPlan seq_plan;
+        seq_plan.fused_decode = false;
+        for (std::size_t i = 0; i < 4; ++i) {
+            fused_plan.decode_sessions.push_back(&fused_sessions[i]);
+            seq_plan.decode_sessions.push_back(&seq_sessions[i]);
+        }
+        fused_plan.decode_tokens = fused_tokens;
+        seq_plan.decode_tokens = seq_tokens;
+        const StepResult fused = engine.step(fused_plan);
+        const StepResult seq = engine.step(seq_plan);
+        ASSERT_EQ(fused.outputs.size(), seq.outputs.size());
+        for (std::size_t i = 0; i < 4; ++i) {
+            EXPECT_EQ(fused.outputs[i].position,
+                      seq.outputs[i].position);
+            ASSERT_EQ(fused.outputs[i].logits.size(),
+                      seq.outputs[i].logits.size());
+            for (std::size_t v = 0; v < seq.outputs[i].logits.size();
+                 ++v) {
+                EXPECT_EQ(fused.outputs[i].logits[v],
+                          seq.outputs[i].logits[v])
+                    << "session " << i << " step " << step
+                    << " vocab " << v;
+            }
+            fused_tokens[i] = fused.outputs[i].next_token;
+            seq_tokens[i] = seq.outputs[i].next_token;
+        }
+        EXPECT_EQ(fused_tokens, seq_tokens) << "step " << step;
+        // The fused charge amortizes column tiles across the batch:
+        // strictly fewer cycles/sweeps for batch > array width
+        // fraction, identical subscriptions (same MAC count).
+        EXPECT_LT(fused.gemm.cycles, seq.gemm.cycles);
+        EXPECT_LT(fused.gemm.sweeps, seq.gemm.sweeps);
+        EXPECT_EQ(fused.gemm.subscriptions, seq.gemm.subscriptions);
+        EXPECT_GT(fused.gemm.cycles, 0u);
+    }
+}
+
+TEST(EngineStep, FusedBatchOfOneChargesLikeSequential)
+{
+    // A single-session batch has nothing to amortize: the fused and
+    // sequential charges must agree exactly.
+    const model::ModelConfig config =
+        model::llama2_70b().scaled_for_eval(2, 32, 64);
+    auto transformer =
+        std::make_shared<model::TransformerModel>(config, 77);
+    const Engine engine(sim::make_mugi(64), transformer);
+    Session a = engine.create_session();
+    Session b = engine.create_session();
+    engine.prefill(a, std::vector<int>{1, 2});
+    engine.prefill(b, std::vector<int>{1, 2});
+
+    StepPlan fused_plan;
+    fused_plan.decode_sessions = {&a};
+    fused_plan.decode_tokens = {5};
+    StepPlan seq_plan = fused_plan;
+    seq_plan.decode_sessions = {&b};
+    seq_plan.fused_decode = false;
+    const StepResult fused = engine.step(fused_plan);
+    const StepResult seq = engine.step(seq_plan);
+    ASSERT_EQ(fused.outputs[0].logits.size(),
+              seq.outputs[0].logits.size());
+    for (std::size_t v = 0; v < seq.outputs[0].logits.size(); ++v) {
+        EXPECT_EQ(fused.outputs[0].logits[v],
+                  seq.outputs[0].logits[v]);
+    }
+    EXPECT_EQ(fused.gemm.cycles, seq.gemm.cycles);
+    EXPECT_EQ(fused.gemm.sweeps, seq.gemm.sweeps);
+    EXPECT_EQ(fused.gemm.subscriptions, seq.gemm.subscriptions);
+}
+
+TEST(EngineStep, FusedDecodeTracksPostConstructionWeightMutation)
+{
+    // examples/llm_inference applies WOQ to the transformer *after*
+    // constructing the Engine.  The fused path must read the live
+    // weights (no load-time snapshot), so both paths see the
+    // mutation and stay bit-identical.
+    const model::ModelConfig config =
+        model::llama2_70b().scaled_for_eval(2, 32, 64);
+    auto transformer =
+        std::make_shared<model::TransformerModel>(config, 2024);
+    const Engine engine(sim::make_mugi(64), transformer);
+    Session fused_s = engine.create_session();
+    Session seq_s = engine.create_session();
+    const std::vector<int> prompt =
+        model::synthetic_tokens(4, config.vocab, 7);
+    engine.prefill(fused_s, prompt);
+    engine.prefill(seq_s, prompt);
+
+    transformer->apply_woq(32);  // INT4 weights from here on.
+
+    StepPlan fused_plan;
+    fused_plan.decode_sessions = {&fused_s};
+    fused_plan.decode_tokens = {9};
+    StepPlan seq_plan = fused_plan;
+    seq_plan.decode_sessions = {&seq_s};
+    seq_plan.fused_decode = false;
+    const StepResult fused = engine.step(fused_plan);
+    const StepResult seq = engine.step(seq_plan);
+    ASSERT_EQ(fused.outputs[0].logits.size(),
+              seq.outputs[0].logits.size());
+    for (std::size_t v = 0; v < seq.outputs[0].logits.size(); ++v) {
+        EXPECT_EQ(fused.outputs[0].logits[v],
+                  seq.outputs[0].logits[v])
+            << v;
+    }
+}
+
+TEST(EngineStep, AnalyticStepsChargeNoFunctionalGemm)
+{
+    const Engine engine(sim::make_mugi(256), model::llama2_7b());
+    Session session = engine.create_session();
+    Session* batch[] = {&session};
+    const StepResult result = engine.step(batch);
+    EXPECT_EQ(result.gemm.cycles, 0u);
+    EXPECT_EQ(result.gemm.subscriptions, 0u);
+}
+
 TEST(EngineSession, SessionOutlivesEngine)
 {
     // Sessions retain their default kernels: using one after its

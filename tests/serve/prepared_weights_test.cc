@@ -7,6 +7,7 @@
 
 #include "serve/prepared_weights.h"
 
+#include <algorithm>
 #include <random>
 
 #include <gtest/gtest.h>
@@ -59,6 +60,84 @@ TEST(PreparedWeights, QuantizesExactlyOnce)
     EXPECT_EQ(a.cols(), 32u);
     // INT4 + per-group BF16 scales: ~4x smaller than float storage.
     EXPECT_LT(a.byte_size(), weights.size() * sizeof(float) / 3);
+}
+
+TEST(PreparedWeights, ZeroCopyExecutionMatchesLegacyGroupCopies)
+{
+    // The pre-optimization run_prepared_gemm materialized per-group
+    // weight/activation submatrices and ran the kernel over the
+    // copies.  Replicate that execution here (against the baseline
+    // kernel) and require the cached-schedule path to match bit for
+    // bit -- including a group-size tail (cols % group_size != 0).
+    std::mt19937 rng(909);
+    for (const std::size_t group_size : {16u, 24u, 96u}) {
+        support::MatrixF weights(37, 80);  // 80 % 24 != 0: tail group.
+        support::MatrixF acts(80, 11);
+        support::fill_gaussian(weights, rng, 0.0f, 0.5f);
+        support::fill_gaussian(acts, rng, 0.0f, 1.0f);
+        const PreparedWeights prepared(weights, group_size);
+        const GemmRun run =
+            run_prepared_gemm(prepared, acts, 16, 8);
+
+        const quant::QuantizedMatrix& q = prepared.quantized();
+        support::MatrixF expected(q.rows(), acts.cols(), 0.0f);
+        std::uint64_t cycles = 0, sweeps = 0, subscriptions = 0;
+        const std::size_t groups =
+            (q.cols() + group_size - 1) / group_size;
+        for (std::size_t g = 0; g < groups; ++g) {
+            const std::size_t begin = g * group_size;
+            const std::size_t end =
+                std::min(begin + group_size, q.cols());
+            vlp::Int4Matrix wg(q.rows(), end - begin);
+            support::MatrixF ag(end - begin, acts.cols());
+            for (std::size_t r = 0; r < q.rows(); ++r) {
+                for (std::size_t c = begin; c < end; ++c) {
+                    wg.at(r, c - begin) = q.values.at(r, c);
+                }
+            }
+            for (std::size_t c = begin; c < end; ++c) {
+                for (std::size_t b = 0; b < acts.cols(); ++b) {
+                    ag.at(c - begin, b) = acts.at(c, b);
+                }
+            }
+            const vlp::VlpGemmResult partial =
+                vlp::vlp_gemm_mugi_baseline(wg, ag, 16, 8);
+            cycles += partial.cycles;
+            sweeps += partial.sweeps;
+            subscriptions += partial.subscriptions;
+            for (std::size_t r = 0; r < expected.rows(); ++r) {
+                const float scale = q.scales.at(r, g);
+                for (std::size_t b = 0; b < expected.cols(); ++b) {
+                    expected.at(r, b) += partial.out.at(r, b) * scale;
+                }
+            }
+        }
+        EXPECT_TRUE(run.out == expected)
+            << "group size " << group_size;
+        EXPECT_EQ(run.cycles, cycles);
+        EXPECT_EQ(run.sweeps, sweeps);
+        EXPECT_EQ(run.subscriptions, subscriptions);
+    }
+}
+
+TEST(PreparedWeights, GemmRunCarriesAllCounters)
+{
+    // run_prepared_gemm used to aggregate only cycles; sweeps and
+    // subscriptions must now survive the per-group partials too, and
+    // agree with the analytic whole-GEMM formulas.
+    const Engine engine(sim::make_mugi(64));
+    std::mt19937 rng(811);
+    support::MatrixF weights(48, 96);
+    support::MatrixF acts(96, 8);
+    support::fill_gaussian(weights, rng, 0.0f, 0.5f);
+    support::fill_gaussian(acts, rng, 0.0f, 1.0f);
+    const GemmRun run =
+        engine.run_woq_gemm(engine.prepare_weights(weights, 32), acts);
+    EXPECT_EQ(run.cycles,
+              vlp::vlp_gemm_mugi_cycles(48, 8, 96, 64, 8));
+    EXPECT_EQ(run.sweeps, run.cycles / 8);
+    EXPECT_EQ(run.subscriptions, 48u * 96u * 8u);
+    EXPECT_EQ(run.stats().cycles, run.cycles);
 }
 
 TEST(PreparedWeights, AgreesWithDequantizedReference)

@@ -133,6 +133,115 @@ TEST(VlpGemmCarat, SymmetricMappingMatchesReference)
     }
 }
 
+TEST(VlpGemmSweepAccumulator, BitIdenticalToBaselineAcrossRaggedShapes)
+{
+    // The sweep-accumulator kernel must reproduce the literal
+    // cycle-by-row scan bit for bit -- outputs and all three
+    // counters -- including tile remainders, single rows/columns and
+    // an empty batch.
+    std::mt19937 rng(401);
+    const struct {
+        std::size_t n, k, b;
+        int h, w;
+    } cases[] = {
+        {24, 12, 8, 16, 8},   // tile remainder on rows
+        {17, 3, 9, 16, 8},    // remainders on rows and columns
+        {1, 1, 1, 8, 8},      // single everything
+        {1, 16, 8, 64, 8},    // single row
+        {64, 16, 1, 64, 8},   // single column (decode shape)
+        {64, 16, 0, 64, 8},   // empty batch
+        {5, 5, 5, 3, 2},      // tiny array, ragged everywhere
+        {256, 32, 24, 256, 8},  // serving shape
+        {33, 0, 7, 16, 8},    // empty reduction
+    };
+    for (const auto& c : cases) {
+        const Int4Matrix w = random_int4(c.n, c.k, rng);
+        const support::MatrixF x = random_bf16(c.k, c.b, rng);
+        const VlpGemmResult fast = vlp_gemm_mugi(w, x, c.h, c.w);
+        const VlpGemmResult golden =
+            vlp_gemm_mugi_baseline(w, x, c.h, c.w);
+        EXPECT_TRUE(fast.out == golden.out)
+            << c.n << "x" << c.k << "x" << c.b;
+        EXPECT_EQ(fast.cycles, golden.cycles);
+        EXPECT_EQ(fast.sweeps, golden.sweeps);
+        EXPECT_EQ(fast.subscriptions, golden.subscriptions);
+    }
+}
+
+TEST(VlpGemmSweepAccumulator, CaratBitIdenticalToBaseline)
+{
+    std::mt19937 rng(411);
+    const struct {
+        std::size_t m, k, n;
+        int h, w;
+    } cases[] = {
+        {12, 20, 16, 8, 8},
+        {7, 5, 3, 4, 2},
+        {1, 9, 1, 64, 8},
+        {30, 6, 0, 8, 8},
+        {64, 16, 33, 64, 8},
+    };
+    for (const auto& c : cases) {
+        const Int4Matrix acts = random_int4(c.m, c.k, rng);
+        const support::MatrixF w = random_bf16(c.k, c.n, rng);
+        const VlpGemmResult fast = vlp_gemm_carat(acts, w, c.h, c.w);
+        const VlpGemmResult golden =
+            vlp_gemm_carat_baseline(acts, w, c.h, c.w);
+        EXPECT_TRUE(fast.out == golden.out)
+            << c.m << "x" << c.k << "x" << c.n;
+        EXPECT_EQ(fast.cycles, golden.cycles);
+        EXPECT_EQ(fast.sweeps, golden.sweeps);
+        EXPECT_EQ(fast.subscriptions, golden.subscriptions);
+    }
+}
+
+TEST(SubscriptionLists, EveryRowAppearsOncePerColumnAtItsMagnitude)
+{
+    std::mt19937 rng(421);
+    const Int4Matrix w = random_int4(19, 7, rng);
+    const SubscriptionLists subs(w);
+    ASSERT_EQ(subs.rows(), w.rows());
+    ASSERT_EQ(subs.cols(), w.cols());
+    for (std::size_t k = 0; k < w.cols(); ++k) {
+        std::vector<int> seen(w.rows(), 0);
+        std::size_t total = 0;
+        for (std::uint32_t m = 0; m < 8; ++m) {
+            for (const std::uint32_t entry : subs.bucket(k, m)) {
+                const std::size_t row =
+                    SubscriptionLists::entry_row(entry);
+                ASSERT_LT(row, w.rows());
+                EXPECT_EQ(SubscriptionLists::entry_magnitude(entry),
+                          w.at(row, k).magnitude);
+                EXPECT_EQ(SubscriptionLists::entry_sign(entry),
+                          w.at(row, k).sign);
+                ++seen[row];
+                ++total;
+            }
+        }
+        EXPECT_EQ(total, w.rows());
+        for (const int count : seen) {
+            EXPECT_EQ(count, 1) << "column " << k;
+        }
+        EXPECT_EQ(subs.column(k).size(), w.rows());
+    }
+}
+
+TEST(VlpGemmSubscribed, PartialKRangesComposeToTheFullGemm)
+{
+    // Running [0, k0) then [k0, K) over the same output accumulates
+    // the full GEMM -- the property the grouped serving path relies
+    // on (one k-run per quantization group, no weight copies).
+    std::mt19937 rng(431);
+    const Int4Matrix w = random_int4(21, 13, rng);
+    const support::MatrixF x = random_bf16(13, 5, rng);
+    const SubscriptionLists subs(w);
+    support::MatrixF split(21, 5, 0.0f);
+    vlp_gemm_subscribed(subs, x, 0, 6, split);
+    vlp_gemm_subscribed(subs, x, 6, 13, split);
+    const VlpGemmResult whole = vlp_gemm_mugi(w, x, 64, 8);
+    EXPECT_TRUE(split == whole.out);
+}
+
 TEST(VlpGemm, MugiMappingUtilizationAdvantageAtSmallBatch)
 {
     // Sec. 4.2: with batch 8 on the columns, Mugi's transposed mapping
