@@ -9,7 +9,7 @@ namespace numerics {
 std::uint32_t
 float_to_bits(float value)
 {
-    std::uint32_t bits;
+    std::uint32_t bits = 0;
     std::memcpy(&bits, &value, sizeof(bits));
     return bits;
 }
@@ -17,7 +17,7 @@ float_to_bits(float value)
 float
 bits_to_float(std::uint32_t bits)
 {
-    float value;
+    float value = 0.0f;
     std::memcpy(&value, &bits, sizeof(value));
     return value;
 }

@@ -9,11 +9,11 @@ namespace numerics {
 namespace {
 
 struct Fp8Layout {
-    int exp_bits;
-    int man_bits;
-    int bias;
-    bool has_inf;
-    float max_finite;
+    int exp_bits = 0;
+    int man_bits = 0;
+    int bias = 0;
+    bool has_inf = false;
+    float max_finite = 0.0f;
 };
 
 Fp8Layout
@@ -74,15 +74,15 @@ Fp8Codec::encode(float value) const
         return sign;
     }
 
-    int exponent;
+    int exponent = 0;
     float significand = std::frexp(magnitude, &exponent);
     // frexp returns significand in [0.5, 1); normalize to [1, 2).
     significand *= 2.0f;
     exponent -= 1;
 
     const int min_normal_exp = 1 - layout.bias;
-    std::uint32_t man;
-    int biased;
+    std::uint32_t man = 0;
+    int biased = 0;
     if (exponent < min_normal_exp) {
         // Denormal range: value = man / 2^man_bits * 2^min_normal_exp.
         const float scaled =
@@ -131,7 +131,7 @@ Fp8Codec::decode(std::uint8_t bits) const
     const std::uint32_t exp = (bits >> layout.man_bits) & exp_mask;
     const std::uint32_t man = bits & ((1u << layout.man_bits) - 1);
 
-    float magnitude;
+    float magnitude = 0.0f;
     if (exp == exp_mask) {
         if (layout.has_inf) {
             if (man == 0) {

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <sstream>
+#include <unordered_set>
+
+#include "support/audit.h"
 
 namespace mugi {
 namespace quant {
@@ -16,35 +20,35 @@ BlockPool::BlockPool(std::size_t capacity_bytes,
 std::size_t
 BlockPool::bytes_in_use() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     return block_bytes_in_use_ + reserved_bytes_;
 }
 
 std::size_t
 BlockPool::peak_bytes_in_use() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     return peak_bytes_in_use_;
 }
 
 std::size_t
 BlockPool::blocks_in_use() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     return blocks_in_use_;
 }
 
 std::size_t
 BlockPool::shared_blocks() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     return shared_blocks_;
 }
 
 std::size_t
 BlockPool::reserved_bytes() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     return reserved_bytes_;
 }
 
@@ -59,7 +63,7 @@ BlockPool::fits_locked(std::size_t bytes) const
 bool
 BlockPool::fits(std::size_t bytes) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     return fits_locked(bytes);
 }
 
@@ -94,7 +98,7 @@ BlockId
 BlockPool::allocate_locked(std::size_t bytes)
 {
     assert(bytes > 0);
-    BlockId id;
+    BlockId id = kInvalidBlock;
     const auto it = free_lists_.find(bytes);
     if (it != free_lists_.end() && !it->second.empty()) {
         id = it->second.back();
@@ -121,7 +125,7 @@ BlockPool::allocate_locked(std::size_t bytes)
 BlockId
 BlockPool::allocate(std::size_t bytes)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     return allocate_locked(bytes);
 }
 
@@ -130,7 +134,7 @@ BlockPool::try_allocate(std::size_t bytes)
 {
     // Check and commit under one lock: two concurrent try_allocate
     // calls must not both pass the capacity check.
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     if (!fits_locked(bytes)) {
         return kInvalidBlock;
     }
@@ -140,7 +144,7 @@ BlockPool::try_allocate(std::size_t bytes)
 void
 BlockPool::retain(BlockId id)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     assert(id < slots_.size() && slots_[id].in_use);
     Slot& slot = slots_[id];
     ++slot.refs;
@@ -152,7 +156,7 @@ BlockPool::retain(BlockId id)
 std::size_t
 BlockPool::ref_count(BlockId id) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     assert(id < slots_.size() && slots_[id].in_use);
     return slots_[id].refs;
 }
@@ -160,7 +164,7 @@ BlockPool::ref_count(BlockId id) const
 void
 BlockPool::release(BlockId id)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     assert(id < slots_.size() && slots_[id].in_use);
     Slot& slot = slots_[id];
     assert(slot.refs > 0);
@@ -180,7 +184,7 @@ BlockPool::release(BlockId id)
 std::byte*
 BlockPool::data(BlockId id)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     assert(id < slots_.size() && slots_[id].in_use);
     return slots_[id].storage.data();
 }
@@ -188,7 +192,7 @@ BlockPool::data(BlockId id)
 const std::byte*
 BlockPool::data(BlockId id) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     assert(id < slots_.size() && slots_[id].in_use);
     return slots_[id].storage.data();
 }
@@ -196,7 +200,7 @@ BlockPool::data(BlockId id) const
 std::size_t
 BlockPool::block_bytes(BlockId id) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     assert(id < slots_.size() && slots_[id].in_use);
     return slots_[id].storage.size();
 }
@@ -204,7 +208,7 @@ BlockPool::block_bytes(BlockId id) const
 void
 BlockPool::reserve(std::size_t bytes)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     reserved_bytes_ += bytes;
     note_usage_locked();
 }
@@ -212,7 +216,7 @@ BlockPool::reserve(std::size_t bytes)
 bool
 BlockPool::try_reserve(std::size_t bytes)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     if (!fits_locked(bytes)) {
         return false;
     }
@@ -224,9 +228,120 @@ BlockPool::try_reserve(std::size_t bytes)
 void
 BlockPool::unreserve(std::size_t bytes)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     assert(bytes <= reserved_bytes_);
     reserved_bytes_ -= bytes;
+}
+
+std::size_t
+BlockPool::ref_total() const
+{
+    support::MutexLock lock(mutex_);
+    std::size_t total = 0;
+    for (const Slot& slot : slots_) {
+        if (slot.in_use) {
+            total += slot.refs;
+        }
+    }
+    return total;
+}
+
+std::string
+BlockPool::check_invariants() const
+{
+    support::MutexLock lock(mutex_);
+    std::ostringstream out;
+    // Recompute every counter from the slot table alone; any drift
+    // between the two views is the refcount/accounting corruption
+    // this auditor exists to catch.
+    std::size_t live = 0, live_bytes = 0, shared = 0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        const Slot& slot = slots_[i];
+        if (!slot.in_use) {
+            continue;
+        }
+        ++live;
+        live_bytes += slot.storage.size();
+        if (slot.refs == 0) {
+            out << "live block " << i << " has zero refs";
+            return out.str();
+        }
+        if (slot.refs >= 2) {
+            ++shared;
+        }
+    }
+    if (live != blocks_in_use_) {
+        out << "blocks_in_use " << blocks_in_use_ << " != " << live
+            << " live slots";
+        return out.str();
+    }
+    if (live_bytes != block_bytes_in_use_) {
+        out << "block_bytes_in_use " << block_bytes_in_use_
+            << " != " << live_bytes << " recomputed live bytes";
+        return out.str();
+    }
+    if (shared != shared_blocks_) {
+        out << "shared_blocks " << shared_blocks_ << " != " << shared
+            << " slots with refs >= 2";
+        return out.str();
+    }
+    // Free lists partition exactly the non-live slots: every entry
+    // names a released slot of the list's byte size, no slot appears
+    // twice, and nothing released is missing.
+    std::unordered_set<BlockId> seen;
+    for (const auto& [bytes, ids] : free_lists_) {
+        for (const BlockId id : ids) {
+            if (id >= slots_.size()) {
+                out << "free list " << bytes
+                    << " holds out-of-range id " << id;
+                return out.str();
+            }
+            if (slots_[id].in_use) {
+                out << "free list " << bytes << " holds live block "
+                    << id;
+                return out.str();
+            }
+            if (slots_[id].storage.size() != bytes) {
+                out << "free list " << bytes << " holds block " << id
+                    << " of " << slots_[id].storage.size()
+                    << " bytes";
+                return out.str();
+            }
+            if (!seen.insert(id).second) {
+                out << "block " << id
+                    << " appears twice across free lists";
+                return out.str();
+            }
+        }
+    }
+    if (seen.size() != slots_.size() - live) {
+        out << "free lists hold " << seen.size() << " blocks, but "
+            << (slots_.size() - live) << " slots are released";
+        return out.str();
+    }
+    if (peak_bytes_in_use_ < block_bytes_in_use_ + reserved_bytes_) {
+        out << "peak_bytes_in_use " << peak_bytes_in_use_
+            << " below current footprint "
+            << (block_bytes_in_use_ + reserved_bytes_);
+        return out.str();
+    }
+    return {};
+}
+
+void
+BlockPool::audit(const char* where) const
+{
+    support::audit_or_abort(where, check_invariants());
+}
+
+void
+BlockPool::corrupt_refs_for_test(BlockId id, std::uint32_t refs)
+{
+    support::MutexLock lock(mutex_);
+    assert(id < slots_.size() && slots_[id].in_use);
+    // Deliberately skip the shared_blocks_ bookkeeping: the point is
+    // to manufacture drift check_invariants() must report.
+    slots_[id].refs = refs;
 }
 
 }  // namespace quant

@@ -34,16 +34,25 @@
  * shared block's bytes are physical and therefore counted exactly
  * once in bytes_in_use() no matter how many caches reference it.
  *
- * Thread-safety: all member functions are internally locked, matching
- * serve::Engine's concurrent-const contract.
+ * Thread-safety: internally synchronized -- all member functions are
+ * locked on one support::Mutex, matching serve::Engine's
+ * concurrent-const contract.  The lock discipline is
+ * capability-checked: every mutable field is MUGI_GUARDED_BY(mutex_)
+ * and the _locked helpers MUGI_REQUIRES(mutex_), so a Clang build
+ * with -DMUGI_THREAD_SAFETY_ANALYSIS=ON proves no unlocked access
+ * compiles (tests/concurrency/block_pool_stress_test.cc exercises
+ * the same contract under TSan).
  */
 
 #include <cstddef>
 #include <cstdint>
 #include <limits>
-#include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "support/mutex.h"
+#include "support/thread_annotations.h"
 
 namespace mugi {
 namespace quant {
@@ -136,6 +145,34 @@ class BlockPool {
     /** Undo reserve(); @p bytes must not exceed reserved_bytes(). */
     void unreserve(std::size_t bytes);
 
+    /** Sum of refs over every live block (one per referencing cache). */
+    std::size_t ref_total() const;
+
+    // ---- Invariant auditing (support/audit.h). ----
+
+    /**
+     * Recompute the pool's accounting from scratch -- live-slot bytes
+     * vs block_bytes_in_use, live-slot count vs blocks_in_use,
+     * refs >= 2 count vs shared_blocks, free-list entries exactly
+     * covering the non-live slots with matching byte-size keys and no
+     * duplicates, peak >= current -- and return a description of the
+     * first violation found.  Empty string: consistent.  Available in
+     * every build type (error-return form of the auditor).
+     */
+    std::string check_invariants() const;
+
+    /** audit_failure() iff check_invariants() reports a violation. */
+    void audit(const char* where) const;
+
+    /**
+     * Test-only hook: overwrite a live block's refcount *without*
+     * touching the shared/accounting counters, manufacturing exactly
+     * the drift check_invariants() exists to catch
+     * (tests/concurrency/invariant_auditor_test.cc).  Never call
+     * outside tests.
+     */
+    void corrupt_refs_for_test(BlockId id, std::uint32_t refs);
+
   private:
     struct Slot {
         std::vector<std::byte> storage;
@@ -144,22 +181,23 @@ class BlockPool {
         std::uint32_t refs = 0;
     };
 
-    bool fits_locked(std::size_t bytes) const;
-    BlockId allocate_locked(std::size_t bytes);
-    void note_usage_locked();
+    bool fits_locked(std::size_t bytes) const MUGI_REQUIRES(mutex_);
+    BlockId allocate_locked(std::size_t bytes) MUGI_REQUIRES(mutex_);
+    void note_usage_locked() MUGI_REQUIRES(mutex_);
 
     const std::size_t capacity_bytes_;
     const std::size_t block_tokens_;
 
-    mutable std::mutex mutex_;
-    std::vector<Slot> slots_;
+    mutable support::Mutex mutex_;
+    std::vector<Slot> slots_ MUGI_GUARDED_BY(mutex_);
     /** Released slot ids per block byte size, most recent last. */
-    std::unordered_map<std::size_t, std::vector<BlockId>> free_lists_;
-    std::size_t block_bytes_in_use_ = 0;
-    std::size_t reserved_bytes_ = 0;
-    std::size_t blocks_in_use_ = 0;
-    std::size_t shared_blocks_ = 0;
-    std::size_t peak_bytes_in_use_ = 0;
+    std::unordered_map<std::size_t, std::vector<BlockId>> free_lists_
+        MUGI_GUARDED_BY(mutex_);
+    std::size_t block_bytes_in_use_ MUGI_GUARDED_BY(mutex_) = 0;
+    std::size_t reserved_bytes_ MUGI_GUARDED_BY(mutex_) = 0;
+    std::size_t blocks_in_use_ MUGI_GUARDED_BY(mutex_) = 0;
+    std::size_t shared_blocks_ MUGI_GUARDED_BY(mutex_) = 0;
+    std::size_t peak_bytes_in_use_ MUGI_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace quant

@@ -9,6 +9,11 @@
  * elements along the reduction dimension; activations stay BF16.
  * Dequantization after GEMM is performed by Mugi's vector array
  * (Sec. 4.2).
+ *
+ * Thread-safety: immutable after construction -- quantize_int4
+ * returns a value type nothing mutates afterwards, so a
+ * QuantizedMatrix (e.g. inside a shared serve::PreparedWeights) may
+ * be read from any number of threads concurrently.
  */
 
 #include <cstddef>

@@ -33,6 +33,14 @@
  * first clones the writer's live prefix of that block into a fresh
  * zeroed block, so a sharer's reads are byte-identical forever no
  * matter what its neighbours append.
+ *
+ * Thread-safety: externally serialized -- one cache belongs to one
+ * session's stream of appends/reads at a time.  The BlockPool it
+ * draws from is internally synchronized, and blocks shared across
+ * caches are never written in place (copy-on-write), so *distinct*
+ * caches -- even ones sharing prefix blocks -- may be used from
+ * different threads concurrently; cached block-storage pointers stay
+ * valid because a live block's storage never moves.
  */
 
 #include <cstddef>

@@ -13,6 +13,10 @@
  * and derives the batch-size target serve::Scheduler steers its
  * continuous batch toward: the smallest batch within a tolerance of
  * the design's best throughput -- larger batches only add latency.
+ *
+ * Thread-safety: immutable after derive() -- a BatchPolicy is a
+ * value type whose fields never change once built, so it may be read
+ * from any number of threads concurrently.
  */
 
 #include <cstddef>

@@ -118,9 +118,13 @@ Engine::create_session(const SessionOptions& options) const
     assert((!model_ || options.initial_context == 0) &&
            "functional sessions build context by prefilling tokens");
     const std::size_t layers = model_config_->num_layers;
-    Session session(next_session_id_.fetch_add(1),
-                    options.kv_precision, options.initial_context,
-                    layers);
+    // Relaxed is sufficient (and deliberate): the counter only has to
+    // hand every concurrent create_session a distinct id, which the
+    // RMW's atomicity alone guarantees.  No other memory is published
+    // through it, so no acquire/release ordering is required.
+    Session session(
+        next_session_id_.fetch_add(1, std::memory_order_relaxed),
+        options.kv_precision, options.initial_context, layers);
     if (model_) {
         session.caches_.reserve(layers);
         for (std::size_t l = 0; l < layers; ++l) {

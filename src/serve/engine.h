@@ -24,7 +24,14 @@
  *
  * Thread-safety: every member function is const and safe to call
  * concurrently, provided no Session appears in two concurrent step()
- * batches (sessions are single-request streams).
+ * batches (sessions are single-request streams).  The engine's only
+ * mutable state is the relaxed-atomic session-id counter and the
+ * internally-synchronized KernelRegistry; everything else is
+ * immutable after construction.
+ * tests/concurrency/engine_step_stress_test.cc drives N threads of
+ * step() over disjoint sessions through one engine under TSan, and
+ * the registry/pool lock discipline is capability-checked by
+ * -Wthread-safety (support/thread_annotations.h).
  */
 
 #include <atomic>
@@ -293,6 +300,12 @@ class Engine {
     std::optional<model::ModelConfig> model_config_;
     std::shared_ptr<const model::TransformerModel> model_;
     KernelRegistry registry_;
+    /**
+     * Session-id source; the engine's only mutable state.  Bumped
+     * with a relaxed fetch_add: uniqueness needs only RMW atomicity,
+     * and nothing is published through the counter (see
+     * create_session).
+     */
     mutable std::atomic<std::uint64_t> next_session_id_{1};
 };
 

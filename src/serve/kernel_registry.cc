@@ -39,7 +39,7 @@ std::shared_ptr<const vlp::VlpApproximator>
 KernelRegistry::get(const vlp::VlpConfig& config) const
 {
     const Key key = key_of(config);
-    std::lock_guard<std::mutex> lock(mu_);
+    support::MutexLock lock(mu_);
     auto it = cache_.find(key);
     if (it == cache_.end()) {
         it = cache_
@@ -59,7 +59,7 @@ KernelRegistry::get_default(nonlinear::NonlinearOp op) const
 std::size_t
 KernelRegistry::size() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    support::MutexLock lock(mu_);
     return cache_.size();
 }
 

@@ -14,17 +14,22 @@
  * each (op, VlpConfig) kernel lazily, exactly once, and hands out
  * shared const references.
  *
- * Thread-safety: all member functions are safe to call concurrently;
- * the returned approximators are immutable (see the guarantee
- * documented in vlp/vlp_approximator.h) and may be used from any
- * number of threads simultaneously.
+ * Thread-safety: internally synchronized -- all member functions are
+ * safe to call concurrently (the cache is MUGI_GUARDED_BY the
+ * registry mutex, checked by -Wthread-safety; two concurrent get()
+ * calls with the same key return the same instance, exercised by
+ * tests/concurrency/kernel_registry_stress_test.cc under TSan).  The
+ * returned approximators are immutable (see the guarantee documented
+ * in vlp/vlp_approximator.h) and may be used from any number of
+ * threads simultaneously.
  */
 
 #include <cstddef>
 #include <map>
 #include <memory>
-#include <mutex>
 
+#include "support/mutex.h"
+#include "support/thread_annotations.h"
 #include "vlp/vlp_approximator.h"
 
 namespace mugi {
@@ -68,9 +73,9 @@ class KernelRegistry {
     static Key key_of(const vlp::VlpConfig& config);
 
     std::size_t mapping_rows_;
-    mutable std::mutex mu_;
+    mutable support::Mutex mu_;
     mutable std::map<Key, std::shared_ptr<const vlp::VlpApproximator>>
-        cache_;
+        cache_ MUGI_GUARDED_BY(mu_);
 };
 
 }  // namespace serve

@@ -16,8 +16,14 @@
  * subsequent GEMM against the handle runs the sweep-accumulator
  * kernel directly over that schedule -- no per-group weight or
  * activation copies -- and folds each group's scale into the output
- * in one pass.  Handles are cheap to copy (shared immutable storage)
- * and safe to use from any number of threads concurrently.
+ * in one pass.  Handles are cheap to copy (shared immutable storage).
+ *
+ * Thread-safety: immutable after construction -- the codes, scales
+ * and subscription schedule behind a handle are built once and never
+ * mutated, so one PreparedWeights may back GEMMs on any number of
+ * threads concurrently
+ * (tests/concurrency/engine_step_stress_test.cc races exactly that
+ * under TSan).
  */
 
 #include <cstdint>

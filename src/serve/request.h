@@ -11,6 +11,12 @@
  * streaming callback.  A FinishedRequest is what comes back: the
  * generated tokens plus the modeled-clock latency milestones every
  * serving paper reports (queue wait, TTFT, TPOT).
+ *
+ * Thread-safety: externally serialized -- Request and
+ * FinishedRequest are plain value types owned by one submitter /
+ * one scheduler at a time; the on_token callback is invoked from
+ * whichever thread runs Scheduler::step and must synchronize its own
+ * captures.
  */
 
 #include <cstddef>

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <sstream>
 
 #include "quant/kv_cache.h"
+#include "support/audit.h"
 
 namespace mugi {
 namespace serve {
@@ -745,7 +747,132 @@ Scheduler::step()
                                      return a.done;
                                  }),
                   active_.end());
+#if MUGI_AUDIT_INVARIANTS
+    // Every scheduler iteration ends structurally consistent:
+    // refcount or reservation drift is corruption, caught here at
+    // the step that introduced it instead of steps later.
+    support::audit_or_abort("Scheduler::step", check_invariants());
+#endif
     return !(queue_.empty() && active_.empty());
+}
+
+std::string
+Scheduler::check_invariants() const
+{
+    std::ostringstream out;
+    // Rung 1: the pool's own slot/refcount/free-list accounting.
+    const std::string pool_violation = pool_.check_invariants();
+    if (!pool_violation.empty()) {
+        return "pool: " + pool_violation;
+    }
+    // Rung 2: every prefix-index entry names resident owners that
+    // actually hold the key (entries live exactly as long as their
+    // owner is resident).
+    for (const auto& [key, owners] : prefix_index_) {
+        if (owners.empty()) {
+            out << "prefix index key " << key << " has no owners";
+            return out.str();
+        }
+        for (const std::uint64_t owner : owners) {
+            const auto holder = std::find_if(
+                active_.begin(), active_.end(),
+                [owner](const ActiveRequest& a) {
+                    return a.id == owner;
+                });
+            if (holder == active_.end()) {
+                out << "prefix index key " << key
+                    << " owned by non-resident request " << owner;
+                return out.str();
+            }
+            if (std::find(holder->prefix_keys.begin(),
+                          holder->prefix_keys.end(),
+                          key) == holder->prefix_keys.end()) {
+                out << "prefix index key " << key << " not among "
+                    << "request " << owner << "'s prefix keys";
+                return out.str();
+            }
+            if (std::count(owners.begin(), owners.end(), owner) !=
+                1) {
+                out << "request " << owner
+                    << " listed twice for prefix key " << key;
+                return out.str();
+            }
+        }
+    }
+    if (functional_) {
+        // Functional serving reserves nothing analytically, and
+        // every pool reference is a resident session's block-table
+        // entry: the per-slot refcount total must equal the sum of
+        // the sessions' tables, or a cache leaked / double-freed a
+        // reference.
+        if (pool_.reserved_bytes() != 0) {
+            out << "functional scheduler holds "
+                << pool_.reserved_bytes()
+                << " analytic reserved bytes";
+            return out.str();
+        }
+        std::size_t table_blocks = 0;
+        for (const ActiveRequest& a : active_) {
+            table_blocks += a.session.kv_block_count();
+        }
+        if (table_blocks != pool_.ref_total()) {
+            out << "resident sessions hold " << table_blocks
+                << " block-table entries but the pool counts "
+                << pool_.ref_total() << " references";
+            return out.str();
+        }
+        return {};
+    }
+    // Analytic serving: recount the prefix refcounts from scratch
+    // and recompute the exact reservation the pool must carry --
+    // each refcounted shared group once (at its holders' precision)
+    // plus every resident's private tail.
+    std::unordered_map<std::uint64_t, std::size_t> refs;
+    std::size_t expected_reserved = 0;
+    for (const ActiveRequest& a : active_) {
+        if (a.analytic_refs_held > a.prefix_keys.size()) {
+            out << "request " << a.id << " holds "
+                << a.analytic_refs_held << " refs over "
+                << a.prefix_keys.size() << " prefix keys";
+            return out.str();
+        }
+        for (std::size_t i = 0; i < a.analytic_refs_held; ++i) {
+            if (refs[a.prefix_keys[i]]++ == 0) {
+                expected_reserved +=
+                    block_group_bytes(a.session.kv_precision());
+            }
+        }
+        expected_reserved += a.analytic_reserved_bytes;
+    }
+    if (refs.size() != analytic_prefix_refs_.size()) {
+        out << "analytic prefix refs track "
+            << analytic_prefix_refs_.size() << " keys, recount finds "
+            << refs.size();
+        return out.str();
+    }
+    for (const auto& [key, count] : refs) {
+        const auto it = analytic_prefix_refs_.find(key);
+        if (it == analytic_prefix_refs_.end() ||
+            it->second != count) {
+            out << "analytic prefix key " << key << " recounts to "
+                << count << " sharers, tracked as "
+                << (it == analytic_prefix_refs_.end() ? 0
+                                                      : it->second);
+            return out.str();
+        }
+    }
+    if (pool_.blocks_in_use() != 0) {
+        out << "analytic scheduler pool holds "
+            << pool_.blocks_in_use() << " physical blocks";
+        return out.str();
+    }
+    if (expected_reserved != pool_.reserved_bytes()) {
+        out << "pool reserves " << pool_.reserved_bytes()
+            << " bytes, recomputed reservations total "
+            << expected_reserved;
+        return out.str();
+    }
+    return {};
 }
 
 std::vector<FinishedRequest>

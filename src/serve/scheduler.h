@@ -64,11 +64,22 @@
  * Time is the modeled clock: each iteration advances it by the mixed
  * step's modeled runtime, which is what the TTFT/TPOT/queue numbers
  * in ServerStats are measured in.
+ *
+ * Thread-safety: externally serialized -- the scheduler is a
+ * single-threaded control loop (submit/step/run from one thread at a
+ * time).  A threaded server runs the loop on its own thread and
+ * feeds it through a synchronized queue; the engine it drives and
+ * the block pool it owns are the internally-synchronized pieces.
+ * Every step ends with an invariant audit under
+ * MUGI_AUDIT_INVARIANTS (support/audit.h): check_invariants()
+ * recomputes reservation and prefix-refcount accounting from scratch
+ * and any drift aborts.
  */
 
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -248,6 +259,20 @@ class Scheduler {
     /** The shared block pool (admission + caches account here). */
     const quant::BlockPool& pool() const { return pool_; }
     const BatchPolicy& policy() const { return policy_; }
+
+    /**
+     * Recompute the scheduler's cross-structure accounting from
+     * scratch and return a description of the first violation (empty
+     * string: consistent).  Checks the pool's own invariants, that
+     * every prefix-index entry names a resident owner holding that
+     * key, that analytic prefix refcounts match a from-scratch
+     * recount with pool reservations equal to the refcounted groups
+     * plus every resident's private tail, and that functional
+     * sessions' block tables account for every pool reference.
+     * Available in every build type; step() runs it automatically
+     * under MUGI_AUDIT_INVARIANTS.
+     */
+    std::string check_invariants() const;
 
   private:
     struct ActiveRequest {

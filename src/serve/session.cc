@@ -42,6 +42,16 @@ Session::adopt_kv_prefix(const Session& donor, std::size_t positions)
 }
 
 std::size_t
+Session::kv_block_count() const
+{
+    std::size_t blocks = 0;
+    for (const quant::KvCache& cache : caches_) {
+        blocks += cache.blocks_in_use();
+    }
+    return blocks;
+}
+
+std::size_t
 Session::shared_kv_blocks() const
 {
     std::size_t shared = 0;

@@ -12,10 +12,13 @@
  * each request may deploy its own VLP kernels from the engine's
  * registry without affecting its neighbours in the batch.
  *
- * Sessions are not thread-safe individually (one request = one
- * stream of steps), but distinct sessions never share mutable state,
- * so disjoint session sets may be stepped concurrently through the
- * same engine.
+ * Thread-safety: externally serialized -- a session is not
+ * individually thread-safe (one request = one stream of steps), but
+ * distinct sessions never share mutable state (shared KV blocks are
+ * copy-on-write), so disjoint session sets may be stepped
+ * concurrently through the same engine
+ * (tests/concurrency/engine_step_stress_test.cc exercises exactly
+ * this under TSan).
  */
 
 #include <cstdint>
@@ -92,6 +95,14 @@ class Session {
 
     /** KV blocks (summed over layers) shared with another session. */
     std::size_t shared_kv_blocks() const;
+
+    /**
+     * KV blocks this session's caches hold across layers -- each
+     * cache's table entries, shared or not.  The scheduler's
+     * invariant auditor compares the sum over resident sessions
+     * against the pool's per-block refcount total.
+     */
+    std::size_t kv_block_count() const;
 
     /**
      * Replace the default nonlinear kernels for every layer.  The

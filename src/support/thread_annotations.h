@@ -1,0 +1,81 @@
+#ifndef MUGI_SUPPORT_THREAD_ANNOTATIONS_H_
+#define MUGI_SUPPORT_THREAD_ANNOTATIONS_H_
+
+/**
+ * @file
+ * Clang thread-safety-analysis capability annotations.
+ *
+ * These macros expand to Clang's `-Wthread-safety` attributes so the
+ * compiler can prove, at build time, that every access to a
+ * `MUGI_GUARDED_BY(mu)` field happens with `mu` held and that every
+ * `MUGI_REQUIRES(mu)` function is only called under the lock.  On
+ * compilers without the analysis (GCC) they expand to nothing, so
+ * annotated headers stay portable.
+ *
+ * The analysis only understands capability-annotated lock types, so
+ * annotated classes hold a support::Mutex / support::MutexLock
+ * (support/mutex.h) instead of a bare std::mutex / std::lock_guard --
+ * libstdc++'s std::mutex carries no annotations and would make every
+ * acquire invisible to the checker.
+ *
+ * Enforced by the MUGI_THREAD_SAFETY_ANALYSIS CMake option, which
+ * turns on `-Wthread-safety -Werror=thread-safety` (Clang builds
+ * only); CI runs it as the clang-thread-safety matrix entry, and
+ * tests/concurrency/compile_fail/ holds a deliberately mis-locked
+ * access that must FAIL that build.
+ *
+ * Thread-safety: macro-only header; nothing here is runtime state.
+ */
+
+#if defined(__clang__)
+#define MUGI_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define MUGI_THREAD_ANNOTATION_ATTRIBUTE(x)
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define MUGI_CAPABILITY(x) \
+    MUGI_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/** Marks an RAII type that acquires in its ctor / releases in dtor. */
+#define MUGI_SCOPED_CAPABILITY \
+    MUGI_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/** Field may only be read or written with the capability held. */
+#define MUGI_GUARDED_BY(x) \
+    MUGI_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/** Pointed-to data may only be touched with the capability held. */
+#define MUGI_PT_GUARDED_BY(x) \
+    MUGI_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/** Caller must already hold the capability (private _locked helpers). */
+#define MUGI_REQUIRES(...) \
+    MUGI_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the capability (public locking entry points). */
+#define MUGI_EXCLUDES(...) \
+    MUGI_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/** Function acquires the capability and holds it on return. */
+#define MUGI_ACQUIRE(...) \
+    MUGI_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/** Function releases a held capability. */
+#define MUGI_RELEASE(...) \
+    MUGI_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/** Function acquires the capability iff it returns @p result. */
+#define MUGI_TRY_ACQUIRE(result, ...)            \
+    MUGI_THREAD_ANNOTATION_ATTRIBUTE(            \
+        try_acquire_capability(result, __VA_ARGS__))
+
+/** Function returns a reference to the given capability. */
+#define MUGI_RETURN_CAPABILITY(x) \
+    MUGI_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/** Opt a function out of the analysis (use sparingly, justify why). */
+#define MUGI_NO_THREAD_SAFETY_ANALYSIS \
+    MUGI_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // MUGI_SUPPORT_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Deliberately mis-locked code: MUST FAIL to compile under Clang
+ * with -DMUGI_THREAD_SAFETY_ANALYSIS=ON (-Werror=thread-safety).
+ *
+ * This file is NOT part of any test binary (tests/CMakeLists.txt
+ * globs only tests/<dir>/*.cc, not subdirectories).  The
+ * clang-thread-safety CI job builds the mugi_thread_safety_misuse
+ * target and asserts the build fails -- proving the capability
+ * annotations on support::Mutex actually reject unguarded access,
+ * not just decorate it.  If this file ever compiles under the
+ * analysis, the annotations have rotted.
+ */
+
+#include <cstddef>
+
+#include "support/mutex.h"
+#include "support/thread_annotations.h"
+
+namespace {
+
+class Counter {
+  public:
+    void
+    increment()
+    {
+        mugi::support::MutexLock lock(mu_);
+        ++value_;
+    }
+
+    std::size_t
+    unguarded_read() const
+    {
+        // BAD: reads a GUARDED_BY field without acquiring mu_.
+        // -Wthread-safety: "reading variable 'value_' requires
+        // holding mutex 'mu_'".
+        return value_;
+    }
+
+  private:
+    mutable mugi::support::Mutex mu_;
+    std::size_t value_ MUGI_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int
+main()
+{
+    Counter counter;
+    counter.increment();
+    return static_cast<int>(counter.unguarded_read());
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Multithreaded stress over serve::KernelRegistry's lazy get():
+ * N threads hammering the same key must all receive the *same*
+ * kernel instance with the LUT built exactly once -- the
+ * "built lazily, exactly once, shared const references" contract of
+ * kernel_registry.h, exercised for the first time with real threads.
+ * Run under TSan in CI (gcc-tsan matrix entry).
+ */
+
+#include "serve/kernel_registry.h"
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mugi {
+namespace serve {
+namespace {
+
+void
+run_threads(std::size_t n, const std::function<void(std::size_t)>& body)
+{
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (std::size_t t = 0; t < n; ++t) {
+        threads.emplace_back(body, t);
+    }
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+}
+
+TEST(KernelRegistryStress, ConcurrentGetSameKeyBuildsOnce)
+{
+    const KernelRegistry registry(64);
+    const vlp::VlpConfig config =
+        default_vlp_config(nonlinear::NonlinearOp::kExp, 64);
+
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kIters = 50;
+    std::vector<std::shared_ptr<const vlp::VlpApproximator>> first(
+        kThreads);
+
+    run_threads(kThreads, [&](std::size_t t) {
+        for (std::size_t i = 0; i < kIters; ++i) {
+            auto kernel = registry.get(config);
+            ASSERT_NE(kernel, nullptr);
+            if (i == 0) {
+                first[t] = kernel;
+            } else {
+                // Same key -> same instance, every call, every
+                // thread.
+                ASSERT_EQ(kernel.get(), first[t].get());
+            }
+        }
+    });
+
+    for (std::size_t t = 1; t < kThreads; ++t) {
+        EXPECT_EQ(first[t].get(), first[0].get());
+    }
+    // The racing builders collapsed to exactly one cached kernel.
+    EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(KernelRegistryStress, ConcurrentDistinctKeysBuildEachOnce)
+{
+    const KernelRegistry registry(64);
+    const nonlinear::NonlinearOp ops[] = {
+        nonlinear::NonlinearOp::kExp, nonlinear::NonlinearOp::kSilu,
+        nonlinear::NonlinearOp::kGelu};
+
+    constexpr std::size_t kThreads = 6;
+    run_threads(kThreads, [&](std::size_t t) {
+        for (std::size_t i = 0; i < 30; ++i) {
+            // Each thread walks the ops in a different phase so every
+            // key sees first-build races from several threads.
+            const auto kernel =
+                registry.get_default(ops[(t + i) % 3]);
+            ASSERT_NE(kernel, nullptr);
+        }
+    });
+
+    EXPECT_EQ(registry.size(), 3u);
+    // Sequential re-gets return the instances the race built.
+    for (const nonlinear::NonlinearOp op : ops) {
+        EXPECT_EQ(registry.get_default(op).get(),
+                  registry.get_default(op).get());
+    }
+    EXPECT_EQ(registry.size(), 3u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace mugi

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Repo-local lint gate (run in CI; no third-party deps).
+
+Checks, each motivated by a concurrency-correctness contract:
+
+1. No ``std::rand`` / ``rand(`` / ``time(`` in ``src/``: the serving
+   stack promises bit-identical replays (engine.h, ISSUE PR 6), and
+   hidden global-state entropy sources break that silently -- and
+   ``std::rand`` is allowed to be non-thread-safe besides.  Tests
+   derive churn from loop counters instead.
+
+2. Every public header under ``src/serve/`` and ``src/quant/`` must
+   carry an explicit ``Thread-safety:`` contract block, so the
+   capability annotations (support/thread_annotations.h) are always
+   paired with prose stating *which* of the three repo contracts the
+   class follows: immutable, internally synchronized, or externally
+   serialized.
+
+Exit status 0 when clean; 1 with one ``file:line: message`` per
+violation otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+# Global-state entropy/time calls banned from src/ (deterministic
+# replay + thread-safety).  Word-boundary so e.g. `runtime(` or
+# `strand(` never match.
+BANNED_CALLS = [
+    (re.compile(r"\bstd::rand\b"), "std::rand is banned in src/"),
+    (re.compile(r"(?<![\w:])rand\s*\("), "rand( is banned in src/"),
+    (re.compile(r"(?<![\w:_])time\s*\("), "time( is banned in src/"),
+]
+
+THREAD_SAFETY_DIRS = ("serve", "quant")
+THREAD_SAFETY_RE = re.compile(r"Thread-safety\s*:")
+
+
+def check_banned_calls(path: Path) -> list[str]:
+    problems = []
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for pattern, message in BANNED_CALLS:
+            if pattern.search(line):
+                rel = path.relative_to(REPO)
+                problems.append(f"{rel}:{lineno}: {message}")
+    return problems
+
+
+def check_thread_safety_contract(path: Path) -> list[str]:
+    text = path.read_text(encoding="utf-8")
+    if THREAD_SAFETY_RE.search(text):
+        return []
+    rel = path.relative_to(REPO)
+    return [
+        f"{rel}:1: public header lacks a 'Thread-safety:' contract "
+        "block (state whether the class is immutable, internally "
+        "synchronized, or externally serialized)"
+    ]
+
+
+def main() -> int:
+    problems: list[str] = []
+
+    for path in sorted(SRC.rglob("*")):
+        if path.suffix not in {".h", ".cc"}:
+            continue
+        problems += check_banned_calls(path)
+
+    for subdir in THREAD_SAFETY_DIRS:
+        for header in sorted((SRC / subdir).glob("*.h")):
+            problems += check_thread_safety_contract(header)
+
+    if problems:
+        print(f"tools/lint.py: {len(problems)} problem(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("tools/lint.py: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
