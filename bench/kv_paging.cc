@@ -34,18 +34,18 @@ struct TraceResult {
 
 TraceResult
 serve_trace(const serve::Engine& engine, quant::KvPrecision precision,
-            serve::AdmissionMode mode, std::size_t budget_bytes)
+            serve::AdmissionMode mode, units::Bytes budget_bytes)
 {
     serve::SchedulerConfig config;
     config.admission = mode;
     config.kv_budget_bytes = budget_bytes;
-    config.prefill_chunk_tokens = 64;
+    config.prefill_chunk_tokens = units::Tokens(64);
     config.max_batch = 24;
     serve::Scheduler scheduler(engine, config);
     for (int i = 0; i < 24; ++i) {
         serve::Request request;
-        request.analytic_prompt_tokens = 32;
-        request.max_new_tokens = 160;
+        request.analytic_prompt_tokens = units::Tokens(32);
+        request.max_new_tokens = units::Tokens(160);
         request.session.kv_precision = precision;
         scheduler.submit(std::move(request));
     }
@@ -71,14 +71,15 @@ main()
 
     // Two float requests at full projected length (prompt 32 + 160
     // new tokens), in whole default-size blocks.
-    const std::size_t budget =
-        2 * sim::kv_footprint(model, 32 + 160,
-                              quant::KvPrecision::kFloat)
-                .paged_bytes;
+    const units::Bytes budget =
+        sim::kv_footprint(model, units::Positions(32 + 160),
+                          quant::KvPrecision::kFloat)
+            .paged_bytes *
+        2;
     std::printf("model %s, 24 requests (prompt 32, gen 160), budget "
                 "%.1f MiB\n",
                 model.name.c_str(),
-                static_cast<double>(budget) / (1 << 20));
+                static_cast<double>(budget.value()) / (1 << 20));
 
     const std::vector<
         std::pair<const char*, quant::KvPrecision>>

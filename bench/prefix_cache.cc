@@ -51,8 +51,8 @@ serve_trace(const serve::Engine& engine,
             quant::KvPrecision precision, bool sharing)
 {
     serve::SchedulerConfig config;
-    config.kv_block_tokens = kBlockTokens;
-    config.prefill_chunk_tokens = 64;
+    config.kv_block_tokens = units::Tokens(kBlockTokens);
+    config.prefill_chunk_tokens = units::Tokens(64);
     config.max_batch = kRequests;
     config.prefix_caching = sharing;
     serve::Scheduler scheduler(engine, config);
@@ -60,7 +60,7 @@ serve_trace(const serve::Engine& engine,
     for (std::size_t i = 0; i < prompts.size(); ++i) {
         serve::Request request;
         request.prompt = prompts[i];
-        request.max_new_tokens = kMaxNew;
+        request.max_new_tokens = units::Tokens(kMaxNew);
         request.session.kv_precision = precision;
         // The donor arrives first; everyone else one modeled instant
         // later, once its prefill has made the system prompt
@@ -122,15 +122,20 @@ main()
          {std::pair{"float", quant::KvPrecision::kFloat},
           std::pair{"int4-kvq", quant::KvPrecision::kInt4}}) {
         const sim::KvFootprint full = sim::kv_footprint(
-            config, prompt_len + 1, precision, kBlockTokens);
+            config, units::Positions(prompt_len + 1), precision,
+            units::Tokens(kBlockTokens));
         const sim::KvFootprint tail = sim::kv_footprint(
-            config, prompt_len + 1, precision, kBlockTokens,
-            kSystemPromptTokens);
+            config, units::Positions(prompt_len + 1), precision,
+            units::Tokens(kBlockTokens),
+            units::Positions(kSystemPromptTokens));
         std::printf("  %-9s admission: %zu -> %zu blocks/layer "
                     "(%.1f -> %.1f KiB)\n",
-                    name, full.blocks, tail.blocks,
-                    static_cast<double>(full.paged_bytes) / 1024.0,
-                    static_cast<double>(tail.paged_bytes) / 1024.0);
+                    name, full.blocks.value(),
+                    tail.blocks.value(),
+                    static_cast<double>(full.paged_bytes.value()) /
+                        1024.0,
+                    static_cast<double>(tail.paged_bytes.value()) /
+                        1024.0);
     }
 
     bench::print_header("precision/sharing",
@@ -149,11 +154,13 @@ main()
             bench::print_row(
                 std::string(pname) + "/" + mname,
                 {static_cast<double>(r->stats.prefix_hits),
-                 static_cast<double>(r->stats.shared_blocks),
-                 static_cast<double>(r->stats.saved_prefill_tokens),
-                 static_cast<double>(r->stats.prefill_tokens),
+                 static_cast<double>(r->stats.shared_blocks.value()),
+                 static_cast<double>(
+                     r->stats.saved_prefill_tokens.value()),
+                 static_cast<double>(
+                     r->stats.prefill_tokens.value()),
                  r->stats.mean_ttft_s * 1e3,
-                 static_cast<double>(r->stats.peak_kv_bytes) /
+                 static_cast<double>(r->stats.peak_kv_bytes.value()) /
                      1024.0},
                 "%9.4g");
         }

@@ -99,8 +99,8 @@ main()
                 agree, generated);
     std::printf("KV cache bytes: float %zu vs KVQ INT4 %zu (%.2fx "
                 "smaller)\n",
-                fp.kv_bytes(), q4.kv_bytes(),
-                static_cast<double>(fp.kv_bytes()) /
-                    static_cast<double>(q4.kv_bytes()));
+                fp.kv_bytes().value(), q4.kv_bytes().value(),
+                static_cast<double>(fp.kv_bytes().value()) /
+                    static_cast<double>(q4.kv_bytes().value()));
     return 0;
 }

@@ -44,15 +44,15 @@ main()
     serve::SchedulerConfig config;
     // ~1 GiB of KVQ INT4 cache: enough for ~10 of the requests below
     // to be resident at once, so the trace exercises the queue.
-    config.kv_budget_bytes = 1ull << 30;
-    config.prefill_chunk_tokens = 256;
+    config.kv_budget_bytes = units::Bytes(1ull << 30);
+    config.prefill_chunk_tokens = units::Tokens(256);
     serve::Scheduler scheduler(engine, config);
 
     std::printf("Serving %s on %s (Fig. 14 batch target %zu, KV "
                 "budget %.0f MiB)\n",
                 model.name.c_str(), engine.design().name.c_str(),
                 scheduler.policy().target_batch(),
-                static_cast<double>(config.kv_budget_bytes) /
+                static_cast<double>(config.kv_budget_bytes.value()) /
                     (1 << 20));
 
     // A 12-request trace: the first 8 arrive together (>= 8
@@ -63,13 +63,13 @@ main()
         4.0 * engine.evaluate_decode(model, 8, 1024).perf.runtime_s;
     for (int i = 0; i < 12; ++i) {
         serve::Request request;
-        request.analytic_prompt_tokens = 256 + 256 * (i % 8) +
-                                         (i >= 8 ? 1024 : 0);
+        request.analytic_prompt_tokens = units::Tokens(
+            256 + 256 * (i % 8) + (i >= 8 ? 1024 : 0));
         // Common 256-token system prompt: arrivals that find it
         // resident adopt its blocks instead of re-prefilling.
         request.prefix_group = 1;
-        request.prefix_tokens = 256;
-        request.max_new_tokens = 24 + 2 * i;
+        request.prefix_tokens = units::Tokens(256);
+        request.max_new_tokens = units::Tokens(24 + 2 * i);
         request.arrival_time_s =
             i < 8 ? 0.0 : static_cast<double>(i - 7) * stagger_s;
         request.on_token = [&streamed](std::uint64_t, std::size_t,
@@ -86,7 +86,7 @@ main()
     for (const serve::FinishedRequest& f : finished) {
         std::printf("#%-3llu %7zu %6zu %10.2f %10.2f %10.3f %s\n",
                     static_cast<unsigned long long>(f.id),
-                    f.prompt_tokens, f.generated, f.queue_s(),
+                    f.prompt_tokens.value(), f.generated.value(), f.queue_s(),
                     f.ttft_s(), f.tpot_s(),
                     serve::finish_reason_name(f.reason));
     }
@@ -95,7 +95,8 @@ main()
     std::printf(
         "\nHorizon: %zu iterations, %zu prompt + %zu decode tokens "
         "(%zu streamed to callers)\n",
-        stats.steps, stats.prefill_tokens, stats.decode_tokens,
+        stats.steps, stats.prefill_tokens.value(),
+        stats.decode_tokens.value(),
         streamed);
     std::printf(
         "  throughput %.2f tokens/s, %.2f tokens/s/W, %.3e J/token\n",
@@ -109,8 +110,9 @@ main()
         stats.mean_tpot_s);
     std::printf("  peak KV %.1f MiB of %.0f MiB budget (%.0f%% pool "
                 "utilization, %zu preemption%s)\n",
-                static_cast<double>(stats.peak_kv_bytes) / (1 << 20),
-                static_cast<double>(stats.kv_budget_bytes) /
+                static_cast<double>(stats.peak_kv_bytes.value()) /
+                    (1 << 20),
+                static_cast<double>(stats.kv_budget_bytes.value()) /
                     (1 << 20),
                 100.0 * stats.peak_pool_utilization,
                 stats.preemptions,
@@ -118,18 +120,18 @@ main()
     std::printf("  prefix cache: %zu hit%s, %zu shared block "
                 "group%s, %zu prefill tokens saved\n",
                 stats.prefix_hits, stats.prefix_hits == 1 ? "" : "s",
-                stats.shared_blocks,
-                stats.shared_blocks == 1 ? "" : "s",
-                stats.saved_prefill_tokens);
+                stats.shared_blocks.value(),
+                stats.shared_blocks == units::Blocks(1) ? "" : "s",
+                stats.saved_prefill_tokens.value());
 
     // Contrast with serving the same trace one request at a time:
     // every request would pay its own WOQ weight stream per token.
     sim::PerfAccumulator serial;
     for (const serve::FinishedRequest& f : finished) {
-        for (std::size_t t = 0; t < f.generated; ++t) {
+        for (std::size_t t = 0; t < f.generated.value(); ++t) {
             serial.add(engine
                            .evaluate_decode(model, 1,
-                                            f.prompt_tokens + t + 1)
+                                            f.prompt_tokens.value() + t + 1)
                            .perf);
         }
     }

@@ -310,7 +310,7 @@ TransformerModel::attend_one(const float* q_row, const float* k_row,
         }
     }
     cache.append(k_heads, v_heads);
-    const std::size_t S = cache.length();
+    const std::size_t S = cache.length().value();
 
     const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
     std::vector<float> kvec(hd);
@@ -319,7 +319,7 @@ TransformerModel::attend_one(const float* q_row, const float* k_row,
         support::MatrixF scores(1, S, 0.0f);
         const float* qrow = q_row + h * hd;
         for (std::size_t s = 0; s < S; ++s) {
-            cache.read_key(kv_h, s, kvec.data());
+            cache.read_key(kv_h, units::Positions(s), kvec.data());
             float dot = 0.0f;
             for (std::size_t i = 0; i < hd; ++i) {
                 dot += qrow[i] * kvec[i];
@@ -331,7 +331,7 @@ TransformerModel::attend_one(const float* q_row, const float* k_row,
         for (std::size_t s = 0; s < S; ++s) {
             const float p = scores.at(0, s);
             if (p == 0.0f) continue;
-            cache.read_value(kv_h, s, kvec.data());
+            cache.read_value(kv_h, units::Positions(s), kvec.data());
             for (std::size_t i = 0; i < hd; ++i) {
                 orow[i] += p * kvec[i];
             }
@@ -350,7 +350,7 @@ TransformerModel::decode_layer(std::size_t layer_idx,
     const std::size_t heads = config_.num_heads;
     const std::size_t kv_heads = config_.num_kv_heads;
     const std::size_t hd = config_.head_dim();
-    const std::size_t pos = cache.length();
+    const std::size_t pos = cache.length().value();
 
     support::MatrixF x_norm;
     norm(x, w.norm1_gain, w.norm1_bias, x_norm);
@@ -404,7 +404,7 @@ TransformerModel::decode_layer_batch(
     support::MatrixF attn_out(batch, d, 0.0f);
     for (std::size_t r = 0; r < batch; ++r) {
         if (config_.uses_rope()) {
-            const std::size_t pos = caches[r]->length();
+            const std::size_t pos = caches[r]->length().value();
             rope_rotate_row(q.row_data(r), heads, hd, pos);
             rope_rotate_row(k.row_data(r), kv_heads, hd, pos);
         }
@@ -491,7 +491,7 @@ DecodeSession::kv_bytes() const
 {
     std::size_t total = 0;
     for (const quant::KvCache& cache : caches_) {
-        total += cache.memory_bytes();
+        total += cache.memory_bytes().value();
     }
     return total;
 }

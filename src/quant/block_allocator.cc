@@ -10,81 +10,81 @@
 namespace mugi {
 namespace quant {
 
-BlockPool::BlockPool(std::size_t capacity_bytes,
-                     std::size_t block_tokens)
+BlockPool::BlockPool(units::Bytes capacity_bytes,
+                     units::Tokens block_tokens)
     : capacity_bytes_(capacity_bytes), block_tokens_(block_tokens)
 {
-    assert(block_tokens_ > 0);
+    assert(block_tokens_.value() > 0);
 }
 
-std::size_t
+units::Bytes
 BlockPool::bytes_in_use() const
 {
     support::MutexLock lock(mutex_);
-    return block_bytes_in_use_ + reserved_bytes_;
+    return units::Bytes(block_bytes_in_use_ + reserved_bytes_);
 }
 
-std::size_t
+units::Bytes
 BlockPool::peak_bytes_in_use() const
 {
     support::MutexLock lock(mutex_);
-    return peak_bytes_in_use_;
+    return units::Bytes(peak_bytes_in_use_);
 }
 
-std::size_t
+units::Blocks
 BlockPool::blocks_in_use() const
 {
     support::MutexLock lock(mutex_);
-    return blocks_in_use_;
+    return units::Blocks(blocks_in_use_);
 }
 
-std::size_t
+units::Blocks
 BlockPool::shared_blocks() const
 {
     support::MutexLock lock(mutex_);
-    return shared_blocks_;
+    return units::Blocks(shared_blocks_);
 }
 
-std::size_t
+units::Bytes
 BlockPool::reserved_bytes() const
 {
     support::MutexLock lock(mutex_);
-    return reserved_bytes_;
+    return units::Bytes(reserved_bytes_);
 }
 
 bool
 BlockPool::fits_locked(std::size_t bytes) const
 {
-    return capacity_bytes_ == 0 ||
+    return capacity_bytes_.value() == 0 ||
            block_bytes_in_use_ + reserved_bytes_ + bytes <=
-               capacity_bytes_;
+               capacity_bytes_.value();
 }
 
 bool
-BlockPool::fits(std::size_t bytes) const
+BlockPool::fits(units::Bytes bytes) const
 {
     support::MutexLock lock(mutex_);
-    return fits_locked(bytes);
+    return fits_locked(bytes.value());
 }
 
 double
 BlockPool::utilization() const
 {
-    if (capacity_bytes_ == 0) {
+    if (capacity_bytes_.value() == 0) {
         return 0.0;
     }
-    return static_cast<double>(bytes_in_use()) /
-           static_cast<double>(capacity_bytes_);
+    return static_cast<double>(bytes_in_use().value()) /
+           static_cast<double>(capacity_bytes_.value());
 }
 
 double
 BlockPool::peak_utilization() const
 {
-    if (capacity_bytes_ == 0) {
+    if (capacity_bytes_.value() == 0) {
         return 0.0;
     }
-    return static_cast<double>(peak_bytes_in_use()) /
-           static_cast<double>(capacity_bytes_);
+    return static_cast<double>(peak_bytes_in_use().value()) /
+           static_cast<double>(capacity_bytes_.value());
 }
 
 void
@@ -106,16 +106,16 @@ BlockPool::allocate_locked(std::size_t bytes)
         // Zero-fill the reused slot: the INT4 KV append path ORs
         // nibbles into block bytes and relies on a fresh block
         // reading as all zeros (pinned by block_allocator_test).
-        std::fill(slots_[id].storage.begin(),
-                  slots_[id].storage.end(), std::byte{0});
+        std::fill(slots_[id.value()].storage.begin(),
+                  slots_[id.value()].storage.end(), std::byte{0});
     } else {
-        id = static_cast<BlockId>(slots_.size());
+        id = BlockId(static_cast<BlockId::Rep>(slots_.size()));
         assert(id != kInvalidBlock);
         slots_.push_back(
             Slot{std::vector<std::byte>(bytes), false, 0});
     }
-    slots_[id].in_use = true;
-    slots_[id].refs = 1;
+    slots_[id.value()].in_use = true;
+    slots_[id.value()].refs = 1;
     block_bytes_in_use_ += bytes;
     ++blocks_in_use_;
     note_usage_locked();
@@ -123,30 +123,30 @@ BlockPool::allocate_locked(std::size_t bytes)
 }
 
 BlockId
-BlockPool::allocate(std::size_t bytes)
+BlockPool::allocate(units::Bytes bytes)
 {
     support::MutexLock lock(mutex_);
-    return allocate_locked(bytes);
+    return allocate_locked(bytes.value());
 }
 
 BlockId
-BlockPool::try_allocate(std::size_t bytes)
+BlockPool::try_allocate(units::Bytes bytes)
 {
     // Check and commit under one lock: two concurrent try_allocate
     // calls must not both pass the capacity check.
     support::MutexLock lock(mutex_);
-    if (!fits_locked(bytes)) {
+    if (!fits_locked(bytes.value())) {
         return kInvalidBlock;
     }
-    return allocate_locked(bytes);
+    return allocate_locked(bytes.value());
 }
 
 void
 BlockPool::retain(BlockId id)
 {
     support::MutexLock lock(mutex_);
-    assert(id < slots_.size() && slots_[id].in_use);
-    Slot& slot = slots_[id];
+    assert(id.value() < slots_.size() && slots_[id.value()].in_use);
+    Slot& slot = slots_[id.value()];
     ++slot.refs;
     if (slot.refs == 2) {
         ++shared_blocks_;
@@ -157,16 +157,16 @@ std::size_t
 BlockPool::ref_count(BlockId id) const
 {
     support::MutexLock lock(mutex_);
-    assert(id < slots_.size() && slots_[id].in_use);
-    return slots_[id].refs;
+    assert(id.value() < slots_.size() && slots_[id.value()].in_use);
+    return slots_[id.value()].refs;
 }
 
 void
 BlockPool::release(BlockId id)
 {
     support::MutexLock lock(mutex_);
-    assert(id < slots_.size() && slots_[id].in_use);
-    Slot& slot = slots_[id];
+    assert(id.value() < slots_.size() && slots_[id.value()].in_use);
+    Slot& slot = slots_[id.value()];
     assert(slot.refs > 0);
     --slot.refs;
     if (slot.refs == 1) {
@@ -185,52 +185,52 @@ std::byte*
 BlockPool::data(BlockId id)
 {
     support::MutexLock lock(mutex_);
-    assert(id < slots_.size() && slots_[id].in_use);
-    return slots_[id].storage.data();
+    assert(id.value() < slots_.size() && slots_[id.value()].in_use);
+    return slots_[id.value()].storage.data();
 }
 
 const std::byte*
 BlockPool::data(BlockId id) const
 {
     support::MutexLock lock(mutex_);
-    assert(id < slots_.size() && slots_[id].in_use);
-    return slots_[id].storage.data();
+    assert(id.value() < slots_.size() && slots_[id.value()].in_use);
+    return slots_[id.value()].storage.data();
 }
 
-std::size_t
+units::Bytes
 BlockPool::block_bytes(BlockId id) const
 {
     support::MutexLock lock(mutex_);
-    assert(id < slots_.size() && slots_[id].in_use);
-    return slots_[id].storage.size();
+    assert(id.value() < slots_.size() && slots_[id.value()].in_use);
+    return units::Bytes(slots_[id.value()].storage.size());
 }
 
 void
-BlockPool::reserve(std::size_t bytes)
+BlockPool::reserve(units::Bytes bytes)
 {
     support::MutexLock lock(mutex_);
-    reserved_bytes_ += bytes;
+    reserved_bytes_ += bytes.value();
     note_usage_locked();
 }
 
 bool
-BlockPool::try_reserve(std::size_t bytes)
+BlockPool::try_reserve(units::Bytes bytes)
 {
     support::MutexLock lock(mutex_);
-    if (!fits_locked(bytes)) {
+    if (!fits_locked(bytes.value())) {
         return false;
     }
-    reserved_bytes_ += bytes;
+    reserved_bytes_ += bytes.value();
     note_usage_locked();
     return true;
 }
 
 void
-BlockPool::unreserve(std::size_t bytes)
+BlockPool::unreserve(units::Bytes bytes)
 {
     support::MutexLock lock(mutex_);
-    assert(bytes <= reserved_bytes_);
-    reserved_bytes_ -= bytes;
+    assert(bytes.value() <= reserved_bytes_);
+    reserved_bytes_ -= bytes.value();
 }
 
 std::size_t
@@ -291,19 +291,19 @@ BlockPool::check_invariants() const
     std::unordered_set<BlockId> seen;
     for (const auto& [bytes, ids] : free_lists_) {
         for (const BlockId id : ids) {
-            if (id >= slots_.size()) {
+            if (id.value() >= slots_.size()) {
                 out << "free list " << bytes
                     << " holds out-of-range id " << id;
                 return out.str();
             }
-            if (slots_[id].in_use) {
+            if (slots_[id.value()].in_use) {
                 out << "free list " << bytes << " holds live block "
                     << id;
                 return out.str();
             }
-            if (slots_[id].storage.size() != bytes) {
+            if (slots_[id.value()].storage.size() != bytes) {
                 out << "free list " << bytes << " holds block " << id
-                    << " of " << slots_[id].storage.size()
+                    << " of " << slots_[id.value()].storage.size()
                     << " bytes";
                 return out.str();
             }
@@ -338,10 +338,10 @@ void
 BlockPool::corrupt_refs_for_test(BlockId id, std::uint32_t refs)
 {
     support::MutexLock lock(mutex_);
-    assert(id < slots_.size() && slots_[id].in_use);
+    assert(id.value() < slots_.size() && slots_[id.value()].in_use);
     // Deliberately skip the shared_blocks_ bookkeeping: the point is
     // to manufacture drift check_invariants() must report.
-    slots_[id].refs = refs;
+    slots_[id.value()].refs = refs;
 }
 
 }  // namespace quant

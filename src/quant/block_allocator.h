@@ -16,6 +16,13 @@
  * footprint either way -- packed INT4 nibbles + BF16 scales for KVQ
  * blocks, raw floats for the baseline precision.
  *
+ * Quantities are unit-typed (support/units.h): capacities and
+ * footprints are units::Bytes, block geometry is units::Tokens,
+ * block counts are units::Blocks and handles are the opaque
+ * units::BlockId -- so a caller cannot pass a token count where the
+ * byte budget goes (the PR 4 watermark bug class) without a compile
+ * error.  Internals unwrap with .value() at the arithmetic leaves.
+ *
  * Capacity is *advisory*: `allocate`/`reserve` always succeed (a
  * scheduler that admitted an oversized request alone must still be
  * able to run it), while `try_allocate`/`try_reserve`/`fits` enforce
@@ -53,22 +60,23 @@
 
 #include "support/mutex.h"
 #include "support/thread_annotations.h"
+#include "support/units.h"
 
 namespace mugi {
 namespace quant {
 
 /** Handle to one pool block (index into the pool's slot table). */
-using BlockId = std::uint32_t;
+using BlockId = units::BlockId;
 
 /** Returned by try_allocate when the block would exceed capacity. */
 inline constexpr BlockId kInvalidBlock =
-    std::numeric_limits<BlockId>::max();
+    BlockId(std::numeric_limits<BlockId::Rep>::max());
 
 /** A shared pool of fixed-token-count KV blocks. */
 class BlockPool {
   public:
     /** Positions per block when callers don't choose one. */
-    static constexpr std::size_t kDefaultBlockTokens = 16;
+    static constexpr units::Tokens kDefaultBlockTokens{16};
 
     /**
      * @param capacity_bytes Advisory budget; 0 = unbounded.
@@ -76,28 +84,28 @@ class BlockPool {
      *        still vary per (geometry, precision); the pool keys its
      *        free lists by block byte size.
      */
-    explicit BlockPool(std::size_t capacity_bytes = 0,
-                       std::size_t block_tokens = kDefaultBlockTokens);
+    explicit BlockPool(units::Bytes capacity_bytes = units::Bytes(0),
+                       units::Tokens block_tokens = kDefaultBlockTokens);
 
     BlockPool(const BlockPool&) = delete;
     BlockPool& operator=(const BlockPool&) = delete;
 
-    std::size_t block_tokens() const { return block_tokens_; }
-    std::size_t capacity_bytes() const { return capacity_bytes_; }
+    units::Tokens block_tokens() const { return block_tokens_; }
+    units::Bytes capacity_bytes() const { return capacity_bytes_; }
 
     /** Storage-backed block bytes + analytic reservations. */
-    std::size_t bytes_in_use() const;
+    units::Bytes bytes_in_use() const;
     /** Largest bytes_in_use ever observed. */
-    std::size_t peak_bytes_in_use() const;
+    units::Bytes peak_bytes_in_use() const;
     /** Storage-backed blocks currently allocated. */
-    std::size_t blocks_in_use() const;
+    units::Blocks blocks_in_use() const;
     /** Live blocks currently referenced by more than one holder. */
-    std::size_t shared_blocks() const;
+    units::Blocks shared_blocks() const;
     /** Bytes held by analytic reservations (no storage). */
-    std::size_t reserved_bytes() const;
+    units::Bytes reserved_bytes() const;
 
     /** Would @p bytes more stay within capacity?  Unbounded: yes. */
-    bool fits(std::size_t bytes) const;
+    [[nodiscard]] bool fits(units::Bytes bytes) const;
     /** bytes_in_use / capacity (0 when unbounded). */
     double utilization() const;
     /** peak_bytes_in_use / capacity (0 when unbounded). */
@@ -106,12 +114,13 @@ class BlockPool {
     /**
      * Allocate a zeroed block of @p bytes.  Always succeeds --
      * capacity may be overcommitted; callers wanting enforcement use
-     * try_allocate or check fits() first.
+     * try_allocate or check fits() first.  Discarding the id leaks
+     * the block until pool destruction, hence [[nodiscard]].
      */
-    BlockId allocate(std::size_t bytes);
+    [[nodiscard]] BlockId allocate(units::Bytes bytes);
 
     /** allocate(), or kInvalidBlock when it would exceed capacity. */
-    BlockId try_allocate(std::size_t bytes);
+    [[nodiscard]] BlockId try_allocate(units::Bytes bytes);
 
     /**
      * Add one reference to a live block -- prefix sharing: a second
@@ -132,18 +141,18 @@ class BlockPool {
     /** Backing storage of a live block. */
     std::byte* data(BlockId id);
     const std::byte* data(BlockId id) const;
-    std::size_t block_bytes(BlockId id) const;
+    units::Bytes block_bytes(BlockId id) const;
 
     /**
      * Account @p bytes without storage -- how the scheduler mirrors
      * analytic sessions' modeled caches.  Always succeeds (advisory
      * capacity, as for allocate).
      */
-    void reserve(std::size_t bytes);
+    void reserve(units::Bytes bytes);
     /** reserve(), or false when it would exceed capacity. */
-    bool try_reserve(std::size_t bytes);
+    [[nodiscard]] bool try_reserve(units::Bytes bytes);
     /** Undo reserve(); @p bytes must not exceed reserved_bytes(). */
-    void unreserve(std::size_t bytes);
+    void unreserve(units::Bytes bytes);
 
     /** Sum of refs over every live block (one per referencing cache). */
     std::size_t ref_total() const;
@@ -159,7 +168,7 @@ class BlockPool {
      * first violation found.  Empty string: consistent.  Available in
      * every build type (error-return form of the auditor).
      */
-    std::string check_invariants() const;
+    [[nodiscard]] std::string check_invariants() const;
 
     /** audit_failure() iff check_invariants() reports a violation. */
     void audit(const char* where) const;
@@ -185,8 +194,8 @@ class BlockPool {
     BlockId allocate_locked(std::size_t bytes) MUGI_REQUIRES(mutex_);
     void note_usage_locked() MUGI_REQUIRES(mutex_);
 
-    const std::size_t capacity_bytes_;
-    const std::size_t block_tokens_;
+    const units::Bytes capacity_bytes_;
+    const units::Tokens block_tokens_;
 
     mutable support::Mutex mutex_;
     std::vector<Slot> slots_ MUGI_GUARDED_BY(mutex_);

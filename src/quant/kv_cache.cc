@@ -36,13 +36,13 @@ KvCache::KvCache(std::size_t num_heads, std::size_t head_dim,
     : num_heads_(num_heads), head_dim_(head_dim), precision_(precision)
 {
     if (pool == nullptr) {
-        owned_pool_ = std::make_unique<BlockPool>(0);
+        owned_pool_ = std::make_unique<BlockPool>(units::Bytes(0));
         pool = owned_pool_.get();
     }
     pool_ = pool;
-    block_tokens_ = pool_->block_tokens();
+    block_tokens_ = pool_->block_tokens().value();
     bytes_per_position_ =
-        bytes_per_position(num_heads_, head_dim_, precision_);
+        bytes_per_position(num_heads_, head_dim_, precision_).value();
     block_bytes_ = block_tokens_ * bytes_per_position_;
 }
 
@@ -123,8 +123,10 @@ KvCache::release_blocks()
 }
 
 void
-KvCache::share_prefix_from(const KvCache& src, std::size_t positions)
+KvCache::share_prefix_from(const KvCache& src,
+                           units::Positions positions_in)
 {
+    const std::size_t positions = positions_in.value();
     assert(pool_ != nullptr && "moved-from cache cannot share");
     assert(pool_ == src.pool_ &&
            "prefix sharing requires one shared pool");
@@ -151,14 +153,14 @@ KvCache::share_prefix_from(const KvCache& src, std::size_t positions)
     length_ = positions;
 }
 
-std::size_t
+units::Blocks
 KvCache::shared_blocks() const
 {
     std::size_t shared = 0;
     for (const BlockId id : table_) {
         shared += pool_->ref_count(id) > 1 ? 1 : 0;
     }
-    return shared;
+    return units::Blocks(shared);
 }
 
 std::size_t
@@ -214,7 +216,7 @@ KvCache::append(const support::MatrixF& k_heads,
     assert(k_heads.rows() == num_heads_ && k_heads.cols() == head_dim_);
     assert(v_heads.rows() == num_heads_ && v_heads.cols() == head_dim_);
     if (length_ == table_.size() * block_tokens_) {
-        const BlockId id = pool_->allocate(block_bytes_);
+        const BlockId id = pool_->allocate(units::Bytes(block_bytes_));
         table_.push_back(id);
         // Block storage never moves while the block is live, so the
         // data pointer may be cached -- reads skip the pool lock.
@@ -226,7 +228,8 @@ KvCache::append(const support::MatrixF& k_heads,
         // nibble-OR path below depends on.
         const std::size_t tail = length_ / block_tokens_;
         if (pool_->ref_count(table_[tail]) > 1) {
-            const BlockId fresh = pool_->allocate(block_bytes_);
+            const BlockId fresh =
+                pool_->allocate(units::Bytes(block_bytes_));
             std::byte* fresh_data = pool_->data(fresh);
             const std::size_t live_bytes =
                 (length_ % block_tokens_) * bytes_per_position_;
@@ -264,8 +267,10 @@ KvCache::append(const support::MatrixF& k_heads,
 }
 
 void
-KvCache::read_key(std::size_t head, std::size_t pos, float* out) const
+KvCache::read_key(std::size_t head, units::Positions pos_in,
+                  float* out) const
 {
+    const std::size_t pos = pos_in.value();
     assert(head < num_heads_ && pos < length_);
     const std::byte* src =
         position_data(pos) + head * vector_bytes();
@@ -287,8 +292,10 @@ KvCache::read_key(std::size_t head, std::size_t pos, float* out) const
 }
 
 void
-KvCache::read_value(std::size_t head, std::size_t pos, float* out) const
+KvCache::read_value(std::size_t head, units::Positions pos_in,
+                    float* out) const
 {
+    const std::size_t pos = pos_in.value();
     assert(head < num_heads_ && pos < length_);
     const std::byte* src =
         position_data(pos) + (num_heads_ + head) * vector_bytes();
@@ -310,8 +317,10 @@ KvCache::read_value(std::size_t head, std::size_t pos, float* out) const
 }
 
 numerics::Int4
-KvCache::key_code(std::size_t head, std::size_t pos, std::size_t d) const
+KvCache::key_code(std::size_t head, units::Positions pos_in,
+                  std::size_t d) const
 {
+    const std::size_t pos = pos_in.value();
     assert(precision_ == KvPrecision::kInt4);
     assert(head < num_heads_ && pos < length_ && d < head_dim_);
     const std::byte* src =
@@ -322,24 +331,25 @@ KvCache::key_code(std::size_t head, std::size_t pos, std::size_t d) const
 }
 
 float
-KvCache::key_scale(std::size_t head, std::size_t pos) const
+KvCache::key_scale(std::size_t head, units::Positions pos_in) const
 {
+    const std::size_t pos = pos_in.value();
     assert(precision_ == KvPrecision::kInt4);
     assert(head < num_heads_ && pos < length_);
     return load_bf16(position_data(pos) + head * vector_bytes());
 }
 
-std::size_t
+units::Bytes
 KvCache::bytes_per_position(std::size_t num_heads,
                             std::size_t head_dim,
                             KvPrecision precision)
 {
     if (precision == KvPrecision::kFloat) {
         // K and V float vectors per head.
-        return 2 * num_heads * head_dim * sizeof(float);
+        return units::Bytes(2 * num_heads * head_dim * sizeof(float));
     }
     // K and V per head: packed INT4 nibbles + one BF16 scale.
-    return 2 * num_heads * ((head_dim + 1) / 2 + 2);
+    return units::Bytes(2 * num_heads * ((head_dim + 1) / 2 + 2));
 }
 
 }  // namespace quant

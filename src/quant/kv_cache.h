@@ -34,6 +34,12 @@
  * zeroed block, so a sharer's reads are byte-identical forever no
  * matter what its neighbours append.
  *
+ * Quantities are unit-typed (support/units.h): cache lengths and read
+ * indices are units::Positions, footprints units::Bytes, block
+ * geometry units::Tokens/units::Blocks -- so position indices cannot
+ * leak into byte accounting without a named conversion.  Internals
+ * unwrap at the arithmetic leaves.
+ *
  * Thread-safety: externally serialized -- one cache belongs to one
  * session's stream of appends/reads at a time.  The BlockPool it
  * draws from is internally synchronized, and blocks shared across
@@ -95,27 +101,32 @@ class KvCache {
                 const support::MatrixF& v_heads);
 
     /** Number of cached positions. */
-    std::size_t length() const { return length_; }
+    units::Positions length() const
+    {
+        return units::Positions(length_);
+    }
     std::size_t num_heads() const { return num_heads_; }
     std::size_t head_dim() const { return head_dim_; }
     KvPrecision precision() const { return precision_; }
 
     /** Dequantized K vector of (head, position) into @p out. */
-    void read_key(std::size_t head, std::size_t pos, float* out) const;
+    void read_key(std::size_t head, units::Positions pos,
+                  float* out) const;
     /** Dequantized V vector of (head, position) into @p out. */
-    void read_value(std::size_t head, std::size_t pos, float* out) const;
+    void read_value(std::size_t head, units::Positions pos,
+                    float* out) const;
 
     /** Raw INT4 key codes (valid only with kInt4 precision). */
-    numerics::Int4 key_code(std::size_t head, std::size_t pos,
+    numerics::Int4 key_code(std::size_t head, units::Positions pos,
                             std::size_t d) const;
     /** Per-vector key scale (valid only with kInt4 precision). */
-    float key_scale(std::size_t head, std::size_t pos) const;
+    float key_scale(std::size_t head, units::Positions pos) const;
 
     /**
      * @deprecated Use memory_bytes() -- the two accountings are now
      * unified on the exact per-precision device footprint.
      */
-    [[deprecated("use memory_bytes()")]] std::size_t
+    [[deprecated("use memory_bytes()")]] units::Bytes
     byte_size() const
     {
         return memory_bytes();
@@ -128,22 +139,31 @@ class KvCache {
      * blocks -- a serving scheduler's KV budget accounts exactly
      * this quantity.
      */
-    std::size_t memory_bytes() const
+    units::Bytes memory_bytes() const
     {
-        return table_.size() * block_bytes_;
+        return units::Bytes(table_.size() * block_bytes_);
     }
 
     /** Exact K+V bytes one cached position costs at @p precision. */
-    static std::size_t bytes_per_position(std::size_t num_heads,
-                                          std::size_t head_dim,
-                                          KvPrecision precision);
+    static units::Bytes bytes_per_position(std::size_t num_heads,
+                                           std::size_t head_dim,
+                                           KvPrecision precision);
 
     /** Positions each block of this cache covers. */
-    std::size_t block_tokens() const { return block_tokens_; }
+    units::Tokens block_tokens() const
+    {
+        return units::Tokens(block_tokens_);
+    }
     /** Blocks currently allocated from the pool. */
-    std::size_t blocks_in_use() const { return table_.size(); }
+    units::Blocks blocks_in_use() const
+    {
+        return units::Blocks(table_.size());
+    }
     /** Bytes of one of this cache's blocks. */
-    std::size_t block_bytes() const { return block_bytes_; }
+    units::Bytes block_bytes() const
+    {
+        return units::Bytes(block_bytes_);
+    }
 
     /**
      * Map the first @p positions of @p src into this (empty) cache
@@ -158,10 +178,11 @@ class KvCache {
      * pool frees a shared block only when the last referencing cache
      * releases it.
      */
-    void share_prefix_from(const KvCache& src, std::size_t positions);
+    void share_prefix_from(const KvCache& src,
+                           units::Positions positions);
 
     /** Blocks of this cache currently shared with another cache. */
-    std::size_t shared_blocks() const;
+    units::Blocks shared_blocks() const;
 
     /**
      * Release every block back to the pool and reset to length 0 --

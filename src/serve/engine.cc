@@ -115,7 +115,7 @@ Engine::create_session(const SessionOptions& options) const
 {
     assert(model_config_.has_value() &&
            "session serving needs a model (config) at engine build");
-    assert((!model_ || options.initial_context == 0) &&
+    assert((!model_ || options.initial_context.value() == 0) &&
            "functional sessions build context by prefilling tokens");
     const std::size_t layers = model_config_->num_layers;
     // Relaxed is sufficient (and deliberate): the counter only has to
@@ -124,7 +124,7 @@ Engine::create_session(const SessionOptions& options) const
     // through it, so no acquire/release ordering is required.
     Session session(
         next_session_id_.fetch_add(1, std::memory_order_relaxed),
-        options.kv_precision, options.initial_context, layers);
+        options.kv_precision, options.initial_context.value(), layers);
     if (model_) {
         session.caches_.reserve(layers);
         for (std::size_t l = 0; l < layers; ++l) {
@@ -217,7 +217,7 @@ Engine::step_decode_fused(const StepPlan& plan, StepResult& result) const
             std::max_element(out.logits.begin(), out.logits.end())));
         session.position_ += 1;
         session.tokens_generated_ += 1;
-        out.position = session.position_;
+        out.position = units::Positions(session.position_);
         result.outputs.push_back(std::move(out));
     }
 }
@@ -262,13 +262,14 @@ Engine::step(const StepPlan& plan) const
     for (std::size_t i = 0; i < D; ++i) {
         const std::size_t seen = occurrences[plan.decode_sessions[i]]++;
         duplicate_sessions |= seen > 0;
-        contexts.push_back(plan.decode_sessions[i]->position() + 1 +
-                           seen);
+        contexts.push_back(
+            plan.decode_sessions[i]->position().value() + 1 + seen);
     }
     std::vector<model::PrefillChunk> chunks;
     chunks.reserve(plan.prefills.size());
     for (const StepPlan::PrefillEntry& entry : plan.prefills) {
-        chunks.push_back({entry.session->position(), entry.size()});
+        chunks.push_back(
+            {entry.session->position().value(), entry.size().value()});
     }
     const model::Workload workload = model::build_mixed_step_workload(
         *model_config_, contexts, chunks);
@@ -303,7 +304,7 @@ Engine::step(const StepPlan& plan) const
             }
             session.position_ += 1;
             session.tokens_generated_ += 1;
-            out.position = session.position_;
+            out.position = units::Positions(session.position_);
             result.outputs.push_back(std::move(out));
         }
         if (functional_decode) {
@@ -329,7 +330,7 @@ Engine::step(const StepPlan& plan) const
         } else {
             advance_context(session, entry.analytic_tokens);
         }
-        out.position = session.position_;
+        out.position = units::Positions(session.position_);
         result.prefill_outputs.push_back(std::move(out));
     }
     return result;
@@ -363,11 +364,11 @@ Engine::prefill_chunk(Session& session,
 }
 
 void
-Engine::advance_context(Session& session, std::size_t tokens) const
+Engine::advance_context(Session& session, units::Tokens tokens) const
 {
     assert(!model_ &&
            "functional sessions build context by prefilling tokens");
-    session.position_ += tokens;
+    session.position_ += tokens.value();
 }
 
 SystemReport

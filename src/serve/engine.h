@@ -64,9 +64,9 @@ struct SystemReport {
 /** What one batched Engine::step produced. */
 struct StepResult {
     struct SessionOutput {
-        std::uint64_t session_id = 0;
+        units::SessionId session_id{0};
         /** Context length after the step. */
-        std::size_t position = 0;
+        units::Positions position{0};
         /** Next-token logits (empty for analytic-only engines). */
         std::vector<float> logits;
         /** Greedy next token (-1 for analytic-only engines). */
@@ -118,12 +118,13 @@ struct StepPlan {
         /** Prompt chunk to feed (functional engines). */
         std::span<const int> tokens;
         /** Chunk length for analytic engines (tokens empty). */
-        std::size_t analytic_tokens = 0;
+        units::Tokens analytic_tokens{0};
 
-        std::size_t
+        units::Tokens
         size() const
         {
-            return tokens.empty() ? analytic_tokens : tokens.size();
+            return tokens.empty() ? analytic_tokens
+                                  : units::Tokens(tokens.size());
         }
     };
     /** Prefill chunks interleaved into this step. */
@@ -234,7 +235,7 @@ class Engine {
      * session's modeled context by @p tokens positions (no functional
      * model required).
      */
-    void advance_context(Session& session, std::size_t tokens) const;
+    void advance_context(Session& session, units::Tokens tokens) const;
 
     // ---- Workload evaluation (the architecture-model facade). ----
 

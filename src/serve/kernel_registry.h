@@ -54,11 +54,11 @@ class KernelRegistry {
      * The kernel for @p config, built on first use.  Two calls with
      * the same configuration return the same instance.
      */
-    std::shared_ptr<const vlp::VlpApproximator>
+    [[nodiscard]] std::shared_ptr<const vlp::VlpApproximator>
     get(const vlp::VlpConfig& config) const;
 
     /** The kernel for the node-default configuration of @p op. */
-    std::shared_ptr<const vlp::VlpApproximator>
+    [[nodiscard]] std::shared_ptr<const vlp::VlpApproximator>
     get_default(nonlinear::NonlinearOp op) const;
 
     /** Number of distinct kernels built so far. */

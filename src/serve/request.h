@@ -54,10 +54,10 @@ struct Request {
      * Prompt length for analytic engines (no real tokens); ignored
      * when @p prompt is non-empty.
      */
-    std::size_t analytic_prompt_tokens = 0;
+    units::Tokens analytic_prompt_tokens{0};
 
     /** Generation stops after this many new tokens. */
-    std::size_t max_new_tokens = 16;
+    units::Tokens max_new_tokens{16};
     /**
      * Generation stops early when this token is emitted.  Functional
      * engines only: analytic requests have no real tokens (every
@@ -94,7 +94,7 @@ struct Request {
      */
     std::uint64_t prefix_group = 0;
     /** Shared-prefix length in tokens (with prefix_group). */
-    std::size_t prefix_tokens = 0;
+    units::Tokens prefix_tokens{0};
 
     /** Per-session knobs (KV precision); initial_context must be 0 --
      *  context is built by the scheduler's chunked prefill. */
@@ -103,10 +103,11 @@ struct Request {
     /** Optional per-token streaming hook. */
     TokenCallback on_token;
 
-    std::size_t
+    units::Tokens
     prompt_tokens() const
     {
-        return prompt.empty() ? analytic_prompt_tokens : prompt.size();
+        return prompt.empty() ? analytic_prompt_tokens
+                              : units::Tokens(prompt.size());
     }
 };
 
@@ -117,9 +118,9 @@ struct FinishedRequest {
 
     /** Generated tokens in order (empty on analytic engines). */
     std::vector<int> tokens;
-    std::size_t prompt_tokens = 0;
+    units::Tokens prompt_tokens{0};
     /** Tokens generated (counts analytic generations too). */
-    std::size_t generated = 0;
+    units::Tokens generated{0};
     /**
      * Times this request was evicted under KV-memory pressure and
      * re-prefilled.  Preemption changes *when* its tokens were
@@ -148,15 +149,18 @@ struct FinishedRequest {
     double
     ttft_s() const
     {
-        return generated > 0 ? first_token_s - arrival_s : 0.0;
+        return generated > units::Tokens(0)
+                   ? first_token_s - arrival_s
+                   : 0.0;
     }
     /** Mean time per output token after the first. */
     double
     tpot_s() const
     {
-        return generated > 1 ? (finished_s - first_token_s) /
-                                   static_cast<double>(generated - 1)
-                             : 0.0;
+        return generated > units::Tokens(1)
+                   ? (finished_s - first_token_s) /
+                         static_cast<double>(generated.value() - 1)
+                   : 0.0;
     }
 };
 

@@ -60,9 +60,9 @@ Scheduler::submit(Request request)
 {
     assert((!functional_ || !request.prompt.empty()) &&
            "functional requests need a non-empty prompt");
-    assert(request.session.initial_context == 0 &&
+    assert(request.session.initial_context == units::Tokens(0) &&
            "context is built by the scheduler's chunked prefill");
-    request.session.initial_context = 0;
+    request.session.initial_context = units::Tokens(0);
     const std::uint64_t id = ++submitted_;
     const double arrival =
         std::max(request.arrival_time_s, now_s_);
@@ -99,20 +99,23 @@ Scheduler::submit(Request request)
     return id;
 }
 
-std::size_t
+units::Bytes
 Scheduler::block_group_bytes(quant::KvPrecision precision) const
 {
     const model::ModelConfig& c = *engine_.model_config();
-    return c.num_layers * config_.kv_block_tokens *
-           quant::KvCache::bytes_per_position(c.num_kv_heads,
-                                              c.head_dim(), precision);
+    // One block's bytes (block_tokens x per-position cost), across
+    // every layer's cache.
+    return units::bytes_for(config_.kv_block_tokens,
+                            quant::KvCache::bytes_per_position(
+                                c.num_kv_heads, c.head_dim(),
+                                precision)) *
+           c.num_layers;
 }
 
-std::size_t
-Scheduler::blocks_for(std::size_t positions) const
+units::Blocks
+Scheduler::blocks_for(units::Tokens tokens) const
 {
-    return (positions + config_.kv_block_tokens - 1) /
-           config_.kv_block_tokens;
+    return units::blocks_for(tokens, config_.kv_block_tokens);
 }
 
 bool
@@ -125,13 +128,13 @@ Scheduler::prefix_caching_on() const
 std::vector<std::uint64_t>
 Scheduler::prefix_keys_for(const Request& request) const
 {
-    const std::size_t bt = config_.kv_block_tokens;
-    std::size_t region = request.prompt_tokens();
+    const std::size_t bt = config_.kv_block_tokens.value();
+    std::size_t region = request.prompt_tokens().value();
     if (!functional_) {
         if (request.prefix_group == 0) {
             return {};  // Nothing declared shareable.
         }
-        region = std::min(region, request.prefix_tokens);
+        region = std::min(region, request.prefix_tokens.value());
     }
     const std::size_t depth = region / bt;
     std::vector<std::uint64_t> keys;
@@ -166,11 +169,13 @@ Scheduler::find_prefix_match(const QueuedRequest& queued) const
     if (!prefix_caching_on()) {
         return match;
     }
-    const std::size_t bt = config_.kv_block_tokens;
+    const std::size_t bt = config_.kv_block_tokens.value();
     const quant::KvPrecision precision =
         queued.request.session.kv_precision;
-    const std::size_t prompt_len = queued.request.prompt_tokens();
-    const std::size_t feed = prompt_len + queued.resume_generated;
+    const std::size_t prompt_len =
+        queued.request.prompt_tokens().value();
+    const std::size_t feed =
+        prompt_len + queued.resume_generated.value();
     if (feed == 0) {
         return match;
     }
@@ -194,7 +199,7 @@ Scheduler::find_prefix_match(const QueuedRequest& queued) const
                 }
                 // The donor must have those positions resident --
                 // fed (or itself adopted), not merely promised.
-                if (donor.prompt_fed < b * bt) {
+                if (donor.prompt_fed.value() < b * bt) {
                     continue;
                 }
                 if (functional_ &&
@@ -206,8 +211,8 @@ Scheduler::find_prefix_match(const QueuedRequest& queued) const
                                  donor.request.prompt.begin()))) {
                     continue;  // Hash collision: verify content.
                 }
-                match.tokens = b * bt;
-                match.blocks = b;
+                match.tokens = units::Tokens(b * bt);
+                match.blocks = units::Blocks(b);
                 match.donor = i;
                 found = true;
                 break;
@@ -253,12 +258,12 @@ Scheduler::deregister_prefix_owner(const ActiveRequest& req)
 
 void
 Scheduler::acquire_analytic_prefix_refs(ActiveRequest& req,
-                                        std::size_t blocks)
+                                        units::Blocks blocks)
 {
-    assert(blocks <= req.prefix_keys.size());
-    const std::size_t group =
+    assert(blocks.value() <= req.prefix_keys.size());
+    const units::Bytes group =
         block_group_bytes(req.session.kv_precision());
-    while (req.analytic_refs_held < blocks) {
+    while (req.analytic_refs_held < blocks.value()) {
         std::size_t& refs =
             analytic_prefix_refs_[req.prefix_keys
                                       [req.analytic_refs_held]];
@@ -275,7 +280,7 @@ Scheduler::acquire_analytic_prefix_refs(ActiveRequest& req,
 void
 Scheduler::release_analytic_prefix_refs(ActiveRequest& req)
 {
-    const std::size_t group =
+    const units::Bytes group =
         block_group_bytes(req.session.kv_precision());
     for (std::size_t i = 0; i < req.analytic_refs_held; ++i) {
         const auto it =
@@ -294,47 +299,49 @@ Scheduler::release_analytic_prefix_refs(ActiveRequest& req)
     req.analytic_refs_held = 0;
 }
 
-std::size_t
+units::Bytes
 Scheduler::admission_bytes(const QueuedRequest& queued,
-                           std::size_t shared_blocks) const
+                           units::Blocks shared_blocks) const
 {
     const quant::KvPrecision precision =
         queued.request.session.kv_precision;
     if (config_.admission == AdmissionMode::kFullProjection) {
-        return block_group_bytes(precision) *
-               blocks_for(queued.request.prompt_tokens() +
-                          queued.request.max_new_tokens);
+        return units::bytes_for(
+            blocks_for(queued.request.prompt_tokens() +
+                       queued.request.max_new_tokens),
+            block_group_bytes(precision));
     }
     // Paged reservation: the blocks covering the (possibly resumed)
     // prompt plus the first decode append -- growth beyond that is
     // allocated on demand and defended by preemption.  Blocks a
     // prefix-cache hit maps onto resident storage are already
     // charged there; admission pays only the unshared tail.
-    const std::size_t feed =
+    const units::Tokens feed =
         queued.request.prompt_tokens() + queued.resume_generated;
-    const std::size_t blocks = blocks_for(feed + 1);
+    const units::Blocks blocks = blocks_for(feed + units::Tokens(1));
     assert(shared_blocks <= blocks);
-    return block_group_bytes(precision) * (blocks - shared_blocks);
+    return units::bytes_for(blocks - shared_blocks,
+                            block_group_bytes(precision));
 }
 
-std::size_t
+units::Bytes
 Scheduler::watermark_bytes(quant::KvPrecision head_precision) const
 {
     if (config_.admission != AdmissionMode::kPagedReservation) {
-        return 0;
+        return units::Bytes(0);
     }
     // Headroom at the *largest* resident block group: decode growth
     // of a float-precision resident is not covered by an INT4-sized
     // watermark.
-    std::size_t group = block_group_bytes(head_precision);
+    units::Bytes group = block_group_bytes(head_precision);
     for (const ActiveRequest& a : active_) {
         group = std::max(group,
                          block_group_bytes(a.session.kv_precision()));
     }
-    return config_.watermark_blocks * group;
+    return units::bytes_for(config_.watermark_blocks, group);
 }
 
-std::size_t
+units::Bytes
 Scheduler::resident_bytes(const ActiveRequest& req) const
 {
     if (functional_) {
@@ -345,26 +352,27 @@ Scheduler::resident_bytes(const ActiveRequest& req) const
         return req.session.kv_bytes();
     }
     return req.analytic_reserved_bytes +
-           req.analytic_refs_held *
-               block_group_bytes(req.session.kv_precision());
+           units::bytes_for(
+               units::Blocks(req.analytic_refs_held),
+               block_group_bytes(req.session.kv_precision()));
 }
 
-std::size_t
+units::Bytes
 Scheduler::growth_slack_bytes(const ActiveRequest& req,
-                              std::size_t positions) const
+                              units::Tokens tokens) const
 {
-    const std::size_t target =
-        block_group_bytes(req.session.kv_precision()) *
-        blocks_for(positions);
-    const std::size_t resident = resident_bytes(req);
-    return target > resident ? target - resident : 0;
+    const units::Bytes target = units::bytes_for(
+        blocks_for(tokens),
+        block_group_bytes(req.session.kv_precision()));
+    const units::Bytes resident = resident_bytes(req);
+    return target > resident ? target - resident : units::Bytes(0);
 }
 
-std::size_t
+units::Bytes
 Scheduler::committed_total() const
 {
     if (config_.admission == AdmissionMode::kFullProjection) {
-        std::size_t total = 0;
+        units::Bytes total{0};
         for (const ActiveRequest& a : active_) {
             total += a.projected_bytes;
         }
@@ -373,28 +381,30 @@ Scheduler::committed_total() const
     // Paged: the pool's exact footprint (physical blocks + analytic
     // reservations, shared blocks counted once) plus each request's
     // growth to cover its feed and next decode append.
-    std::size_t total = pool_.bytes_in_use();
+    units::Bytes total = pool_.bytes_in_use();
     for (const ActiveRequest& a : active_) {
         total += growth_slack_bytes(
-            a, std::max(a.feed_tokens, a.session.position()) + 1);
+            a, std::max(a.feed_tokens,
+                        units::tokens_for(a.session.position())) +
+                   units::Tokens(1));
     }
     return total;
 }
 
-std::size_t
+units::Bytes
 Scheduler::kv_bytes_in_use() const
 {
     return pool_.bytes_in_use();
 }
 
-std::size_t
+units::Tokens
 Scheduler::step_append_tokens(const ActiveRequest& req) const
 {
     if (req.prefill_done()) {
-        return 1;  // One decode append per layer cache.
+        return units::Tokens(1);  // One decode append per layer cache.
     }
-    const std::size_t remaining = req.feed_tokens - req.prompt_fed;
-    return std::min(config_.prefill_chunk_tokens == 0
+    const units::Tokens remaining = req.feed_tokens - req.prompt_fed;
+    return std::min(config_.prefill_chunk_tokens == units::Tokens(0)
                         ? remaining
                         : config_.prefill_chunk_tokens,
                     remaining);
@@ -437,7 +447,7 @@ Scheduler::preempt(std::size_t index)
 void
 Scheduler::preempt_for_pressure()
 {
-    if (config_.kv_budget_bytes == 0) {
+    if (config_.kv_budget_bytes == units::Bytes(0)) {
         return;
     }
     // Evict until the blocks this iteration's appends need fit the
@@ -447,10 +457,11 @@ Scheduler::preempt_for_pressure()
     // cover its appends, so sharing defers preemption exactly as
     // far as the physical savings allow.
     while (active_.size() > 1) {
-        std::size_t needed = pool_.bytes_in_use();
+        units::Bytes needed = pool_.bytes_in_use();
         for (const ActiveRequest& a : active_) {
             needed += growth_slack_bytes(
-                a, a.session.position() + step_append_tokens(a));
+                a, units::tokens_for(a.session.position()) +
+                       step_append_tokens(a));
         }
         if (needed <= config_.kv_budget_bytes) {
             return;
@@ -482,14 +493,15 @@ Scheduler::sync_analytic_reservation(ActiveRequest& req)
     // Shared-prefix blocks the position now covers go through the
     // refcount map (charged once across sharers).
     acquire_analytic_prefix_refs(
-        req,
-        std::min(req.prefix_keys.size(),
-                 req.session.position() / config_.kv_block_tokens));
+        req, std::min(units::Blocks(req.prefix_keys.size()),
+                      units::full_blocks_for(
+                          units::tokens_for(req.session.position()),
+                          config_.kv_block_tokens)));
     // The private tail (everything past the refcounted prefix).
-    const std::size_t target =
-        block_group_bytes(req.session.kv_precision()) *
-        (blocks_for(req.session.position()) -
-         req.analytic_refs_held);
+    const units::Bytes target = units::bytes_for(
+        blocks_for(units::tokens_for(req.session.position())) -
+            units::Blocks(req.analytic_refs_held),
+        block_group_bytes(req.session.kv_precision()));
     if (target > req.analytic_reserved_bytes) {
         pool_.reserve(target - req.analytic_reserved_bytes);
         req.analytic_reserved_bytes = target;
@@ -510,9 +522,9 @@ Scheduler::admit_arrivals()
         // Prefix-cache lookup first: a hit shrinks the admission
         // charge to the unshared tail.
         const PrefixMatch match = find_prefix_match(head);
-        const std::size_t needed = admission_bytes(head, match.blocks);
-        if (config_.kv_budget_bytes != 0) {
-            const std::size_t watermark =
+        const units::Bytes needed = admission_bytes(head, match.blocks);
+        if (config_.kv_budget_bytes != units::Bytes(0)) {
+            const units::Bytes watermark =
                 watermark_bytes(head.request.session.kv_precision);
             if (committed_total() + needed + watermark >
                 config_.kv_budget_bytes) {
@@ -541,19 +553,20 @@ Scheduler::admit_arrivals()
             a.feed = a.request.prompt;
             a.feed.insert(a.feed.end(), a.tokens.begin(),
                           a.tokens.end());
-            a.feed_tokens = a.feed.size();
+            a.feed_tokens = units::Tokens(a.feed.size());
         } else {
             a.feed_tokens =
                 a.request.prompt_tokens() + a.generated;
         }
         a.prefix_keys = std::move(head.prefix_keys);
-        if (match.tokens > 0) {
+        if (match.tokens > units::Tokens(0)) {
             // Map the shared prompt prefix onto the donor's resident
             // blocks and skip its prefill chunks: the tokens are
             // already computed (and, under KVQ, already quantized).
             if (functional_) {
                 a.session.adopt_kv_prefix(
-                    active_[match.donor].session, match.tokens);
+                    active_[match.donor].session,
+                    units::positions_for(match.tokens));
             } else {
                 engine_.advance_context(a.session, match.tokens);
                 // Take the shared references *now*: the adopted
@@ -593,7 +606,7 @@ Scheduler::emit_token(ActiveRequest& req, int token)
     ++req.generated;
     ++generated_tokens_;
     if (req.request.on_token) {
-        req.request.on_token(req.id, req.generated - 1, token);
+        req.request.on_token(req.id, req.generated.value() - 1, token);
     }
     req.pending_token = token;
     if (functional_ && req.request.stop_token &&
@@ -626,12 +639,12 @@ Scheduler::finish(ActiveRequest& req, FinishReason reason)
     // TTFT is defined over requests that emitted a first token and
     // TPOT over those with an inter-token gap; anything else would
     // dilute the means with structural zeros.
-    if (f.generated > 0) {
+    if (f.generated > units::Tokens(0)) {
         sum_ttft_s_ += f.ttft_s();
         max_ttft_s_ = std::max(max_ttft_s_, f.ttft_s());
         ++ttft_count_;
     }
-    if (f.generated > 1) {
+    if (f.generated > units::Tokens(1)) {
         sum_tpot_s_ += f.tpot_s();
         ++tpot_count_;
     }
@@ -671,12 +684,12 @@ Scheduler::step()
     for (std::size_t i = 0; i < active_.size(); ++i) {
         ActiveRequest& a = active_[i];
         if (!a.prefill_done()) {
-            const std::size_t chunk = step_append_tokens(a);
+            const units::Tokens chunk = step_append_tokens(a);
             StepPlan::PrefillEntry entry;
             entry.session = &a.session;
             if (functional_) {
                 entry.tokens = std::span<const int>(a.feed).subspan(
-                    a.prompt_fed, chunk);
+                    a.prompt_fed.value(), chunk.value());
             } else {
                 entry.analytic_tokens = chunk;
             }
@@ -694,7 +707,7 @@ Scheduler::step()
     const StepResult result = engine_.step(plan);
     horizon_.add(result.report.perf);
     now_s_ = idle_s_ + horizon_.elapsed_s();
-    decode_tokens_ += plan.decode_sessions.size();
+    decode_tokens_ += units::Tokens(plan.decode_sessions.size());
     for (const StepPlan::PrefillEntry& entry : plan.prefills) {
         prefill_tokens_ += entry.size();
     }
@@ -713,8 +726,8 @@ Scheduler::step()
         // the next generated token.  A resumed request (generated >
         // 0) just replayed its history -- its TTFT stands and its
         // next emission continues where eviction cut it off.
-        if (a.generated == 0) {
-            if (a.request.max_new_tokens == 0) {
+        if (a.generated == units::Tokens(0)) {
+            if (a.request.max_new_tokens == units::Tokens(0)) {
                 // No token will ever be emitted: retire without a
                 // first-token stamp so the request cannot contribute
                 // a fake TTFT to the aggregates.
@@ -805,17 +818,17 @@ Scheduler::check_invariants() const
         // entry: the per-slot refcount total must equal the sum of
         // the sessions' tables, or a cache leaked / double-freed a
         // reference.
-        if (pool_.reserved_bytes() != 0) {
+        if (pool_.reserved_bytes() != units::Bytes(0)) {
             out << "functional scheduler holds "
                 << pool_.reserved_bytes()
                 << " analytic reserved bytes";
             return out.str();
         }
-        std::size_t table_blocks = 0;
+        units::Blocks table_blocks{0};
         for (const ActiveRequest& a : active_) {
             table_blocks += a.session.kv_block_count();
         }
-        if (table_blocks != pool_.ref_total()) {
+        if (table_blocks.value() != pool_.ref_total()) {
             out << "resident sessions hold " << table_blocks
                 << " block-table entries but the pool counts "
                 << pool_.ref_total() << " references";
@@ -828,7 +841,7 @@ Scheduler::check_invariants() const
     // each refcounted shared group once (at its holders' precision)
     // plus every resident's private tail.
     std::unordered_map<std::uint64_t, std::size_t> refs;
-    std::size_t expected_reserved = 0;
+    units::Bytes expected_reserved{0};
     for (const ActiveRequest& a : active_) {
         if (a.analytic_refs_held > a.prefix_keys.size()) {
             out << "request " << a.id << " holds "
@@ -861,7 +874,7 @@ Scheduler::check_invariants() const
             return out.str();
         }
     }
-    if (pool_.blocks_in_use() != 0) {
+    if (pool_.blocks_in_use() != units::Blocks(0)) {
         out << "analytic scheduler pool holds "
             << pool_.blocks_in_use() << " physical blocks";
         return out.str();

@@ -65,6 +65,13 @@
  * step's modeled runtime, which is what the TTFT/TPOT/queue numbers
  * in ServerStats are measured in.
  *
+ * Admission accounting is *unit-typed* (support/units.h): budgets and
+ * reservations are units::Bytes, chunk sizes and prompt lengths
+ * units::Tokens, block counts units::Blocks, and every
+ * tokens-to-bytes crossing goes through the named conversion helpers
+ * (blocks_for / bytes_for) -- the admission-path functions contain no
+ * raw .value() unwraps, which tools/mugi_check.py rule R4 enforces.
+ *
  * Thread-safety: externally serialized -- the scheduler is a
  * single-threaded control loop (submit/step/run from one thread at a
  * time).  A threaded server runs the loop on its own thread and
@@ -118,9 +125,9 @@ struct SchedulerConfig {
      * can run alone (it could never run otherwise) -- the pool
      * overcommits for it.
      */
-    std::size_t kv_budget_bytes = 0;
+    units::Bytes kv_budget_bytes{0};
     /** Max prompt tokens fed per request per iteration. */
-    std::size_t prefill_chunk_tokens = 256;
+    units::Tokens prefill_chunk_tokens{256};
     /**
      * Concurrent-request target the continuous batch is steered
      * toward; 0 = derive via BatchPolicy from the engine's design
@@ -133,7 +140,7 @@ struct SchedulerConfig {
     /** Admission policy against the KV budget. */
     AdmissionMode admission = AdmissionMode::kPagedReservation;
     /** KV positions per block of the shared pool. */
-    std::size_t kv_block_tokens = quant::BlockPool::kDefaultBlockTokens;
+    units::Tokens kv_block_tokens = quant::BlockPool::kDefaultBlockTokens;
     /**
      * Blocks that must remain free after a paged admission -- decode
      * headroom that damps admit/preempt thrash, vLLM's watermark.
@@ -141,7 +148,7 @@ struct SchedulerConfig {
      * admitted), so a small-precision admission cannot eat the
      * headroom a float-precision resident needs to grow.
      */
-    std::size_t watermark_blocks = 1;
+    units::Blocks watermark_blocks{1};
     /**
      * Cross-request KV prefix caching (paged admission only): map a
      * new request's prompt onto blocks a resident request already
@@ -174,8 +181,8 @@ struct ServerStats {
      * prefill_tokens + decode_tokens.  Re-prefill after a preemption
      * counts toward prefill_tokens (recompute is real work).
      */
-    std::size_t decode_tokens = 0;
-    std::size_t prefill_tokens = 0;  ///< Prompt tokens processed.
+    units::Tokens decode_tokens{0};
+    units::Tokens prefill_tokens{0};  ///< Prompt tokens processed.
     /**
      * Tokens emitted to callers.  One token rides each completed
      * prefill (the chunk's final logits), so generated_tokens
@@ -183,14 +190,14 @@ struct ServerStats {
      * per request plus once per re-prefill after a preemption
      * (replayed history itself is never re-emitted).
      */
-    std::size_t generated_tokens = 0;
+    units::Tokens generated_tokens{0};
 
-    std::size_t kv_budget_bytes = 0;
+    units::Bytes kv_budget_bytes{0};
     /**
      * Largest exact block-pool footprint observed (allocated blocks
      * plus analytic reservations).
      */
-    std::size_t peak_kv_bytes = 0;
+    units::Bytes peak_kv_bytes{0};
     /** peak_kv_bytes / kv_budget_bytes (0 when unbounded). */
     double peak_pool_utilization = 0.0;
     /** Requests evicted under KV pressure and re-queued. */
@@ -202,9 +209,9 @@ struct ServerStats {
      * request at admission (each counted once in the pool no matter
      * how many sharers hold it).
      */
-    std::size_t shared_blocks = 0;
+    units::Blocks shared_blocks{0};
     /** Prompt tokens whose prefill was skipped by prefix sharing. */
-    std::size_t saved_prefill_tokens = 0;
+    units::Tokens saved_prefill_tokens{0};
     std::size_t target_batch = 0;
 
     // Over finished requests, on the modeled clock.  TTFT aggregates
@@ -253,7 +260,7 @@ class Scheduler {
     std::size_t queued() const { return queue_.size(); }
     std::size_t active() const { return active_.size(); }
     /** Exact KV block-pool bytes held by admitted requests. */
-    std::size_t kv_bytes_in_use() const;
+    units::Bytes kv_bytes_in_use() const;
     /** Requests evicted under KV pressure so far. */
     std::size_t preemptions() const { return preemptions_; }
     /** The shared block pool (admission + caches account here). */
@@ -272,7 +279,7 @@ class Scheduler {
      * Available in every build type; step() runs it automatically
      * under MUGI_AUDIT_INVARIANTS.
      */
-    std::string check_invariants() const;
+    [[nodiscard]] std::string check_invariants() const;
 
   private:
     struct ActiveRequest {
@@ -286,24 +293,24 @@ class Scheduler {
          */
         std::vector<int> feed;
         /** Effective prompt length (analytic: prompt + replayed). */
-        std::size_t feed_tokens = 0;
-        std::size_t prompt_fed = 0;
+        units::Tokens feed_tokens{0};
+        units::Tokens prompt_fed{0};
         std::vector<int> tokens{};
-        std::size_t generated = 0;
+        units::Tokens generated{0};
         int pending_token = -1;  ///< Next decode input.
         /** Pool bytes reserved for this analytic session's cache
          *  beyond any refcounted shared-prefix blocks. */
-        std::size_t analytic_reserved_bytes = 0;
+        units::Bytes analytic_reserved_bytes{0};
         /** Full projection charge (kFullProjection mode only). */
-        std::size_t projected_bytes = 0;
+        units::Bytes projected_bytes{0};
         /**
          * Positions adopted from a resident request's KV blocks at
          * admission (prefix-cache hit); their prefill chunks were
          * skipped.
          */
-        std::size_t shared_prefix_tokens = 0;
+        units::Tokens shared_prefix_tokens{0};
         /** Block groups those positions cover. */
-        std::size_t shared_prefix_blocks = 0;
+        units::Blocks shared_prefix_blocks{0};
         /**
          * Chain keys of this request's shareable prompt-block runs
          * -- the prefix-index entries it owns while resident.
@@ -347,7 +354,7 @@ class Scheduler {
         // Resume state carried across a preemption.
         bool resumed = false;
         std::vector<int> resume_tokens;
-        std::size_t resume_generated = 0;
+        units::Tokens resume_generated{0};
         double original_admitted_s = 0.0;
         double first_token_s = 0.0;
         std::size_t preempt_count = 0;
@@ -362,15 +369,16 @@ class Scheduler {
 
     /** What a prefix-index lookup found for a queued request. */
     struct PrefixMatch {
-        std::size_t tokens = 0;  ///< Block-aligned shared positions.
-        std::size_t blocks = 0;  ///< Block groups those cover.
+        units::Tokens tokens{0};  ///< Block-aligned shared positions.
+        units::Blocks blocks{0};  ///< Block groups those cover.
         /** active_ index of the resident donor (tokens > 0 only). */
         std::size_t donor = 0;
     };
 
     /** Bytes of one all-layer block group at @p precision. */
-    std::size_t block_group_bytes(quant::KvPrecision precision) const;
-    std::size_t blocks_for(std::size_t positions) const;
+    units::Bytes block_group_bytes(quant::KvPrecision precision) const;
+    /** Blocks covering @p tokens at the pool's block geometry. */
+    units::Blocks blocks_for(units::Tokens tokens) const;
     /** Prefix caching needs paged refcounts and the config knob. */
     bool prefix_caching_on() const;
     /**
@@ -399,27 +407,27 @@ class Scheduler {
      * pressure check) and the per-step reservation sync call this.
      */
     void acquire_analytic_prefix_refs(ActiveRequest& req,
-                                      std::size_t blocks);
+                                      units::Blocks blocks);
     /** Drop an analytic request's refcounted prefix reservations. */
     void release_analytic_prefix_refs(ActiveRequest& req);
     /**
      * Bytes admission must charge for @p queued (mode-dependent);
      * a prefix-cache hit charges only the unshared tail.
      */
-    std::size_t admission_bytes(const QueuedRequest& queued,
-                                std::size_t shared_blocks) const;
+    units::Bytes admission_bytes(const QueuedRequest& queued,
+                                 units::Blocks shared_blocks) const;
     /** Watermark headroom at the largest resident block group. */
-    std::size_t watermark_bytes(quant::KvPrecision head_precision)
+    units::Bytes watermark_bytes(quant::KvPrecision head_precision)
         const;
     /** Pool bytes @p req's blocks / reservations occupy today. */
-    std::size_t resident_bytes(const ActiveRequest& req) const;
-    /** Bytes @p req still needs to reach @p positions, beyond
+    units::Bytes resident_bytes(const ActiveRequest& req) const;
+    /** Bytes @p req still needs to cover @p tokens positions, beyond
      *  resident_bytes (shared blocks therefore counted once). */
-    std::size_t growth_slack_bytes(const ActiveRequest& req,
-                                   std::size_t positions) const;
-    std::size_t committed_total() const;
+    units::Bytes growth_slack_bytes(const ActiveRequest& req,
+                                    units::Tokens tokens) const;
+    units::Bytes committed_total() const;
     /** KV positions @p req will append this iteration. */
-    std::size_t step_append_tokens(const ActiveRequest& req) const;
+    units::Tokens step_append_tokens(const ActiveRequest& req) const;
     /** Evict active requests until this iteration's appends fit. */
     void preempt_for_pressure();
     /** Evict active_[index]: free its blocks, re-queue at the front. */
@@ -465,13 +473,13 @@ class Scheduler {
     // Cumulative counters (survive take_finished()).
     std::size_t submitted_ = 0;
     std::size_t finished_count_ = 0;
-    std::size_t decode_tokens_ = 0;
-    std::size_t prefill_tokens_ = 0;
-    std::size_t generated_tokens_ = 0;
+    units::Tokens decode_tokens_{0};
+    units::Tokens prefill_tokens_{0};
+    units::Tokens generated_tokens_{0};
     std::size_t preemptions_ = 0;
     std::size_t prefix_hits_ = 0;
-    std::size_t shared_blocks_ = 0;
-    std::size_t saved_prefill_tokens_ = 0;
+    units::Blocks shared_blocks_{0};
+    units::Tokens saved_prefill_tokens_{0};
     std::uint64_t admission_seq_ = 0;
     double sum_queue_s_ = 0.0;
     double sum_ttft_s_ = 0.0;

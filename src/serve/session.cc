@@ -12,10 +12,10 @@ Session::Session(std::uint64_t id, quant::KvPrecision kv_precision,
 {
 }
 
-std::size_t
+units::Bytes
 Session::kv_bytes() const
 {
-    std::size_t total = 0;
+    units::Bytes total{0};
     for (const quant::KvCache& cache : caches_) {
         total += cache.memory_bytes();
     }
@@ -23,7 +23,8 @@ Session::kv_bytes() const
 }
 
 void
-Session::adopt_kv_prefix(const Session& donor, std::size_t positions)
+Session::adopt_kv_prefix(const Session& donor,
+                         units::Positions positions)
 {
     assert(position_ == 0 && tokens_generated_ == 0 &&
            "prefix adoption needs an untouched session");
@@ -31,30 +32,30 @@ Session::adopt_kv_prefix(const Session& donor, std::size_t positions)
            "prefix adoption is for functional sessions with KV caches");
     assert(caches_.size() == donor.caches_.size());
     assert(kv_precision_ == donor.kv_precision_);
-    assert(positions <= donor.position_);
-    if (positions == 0) {
+    assert(positions.value() <= donor.position_);
+    if (positions.value() == 0) {
         return;
     }
     for (std::size_t l = 0; l < caches_.size(); ++l) {
         caches_[l].share_prefix_from(donor.caches_[l], positions);
     }
-    position_ = positions;
+    position_ = positions.value();
 }
 
-std::size_t
+units::Blocks
 Session::kv_block_count() const
 {
-    std::size_t blocks = 0;
+    units::Blocks blocks{0};
     for (const quant::KvCache& cache : caches_) {
         blocks += cache.blocks_in_use();
     }
     return blocks;
 }
 
-std::size_t
+units::Blocks
 Session::shared_kv_blocks() const
 {
-    std::size_t shared = 0;
+    units::Blocks shared{0};
     for (const quant::KvCache& cache : caches_) {
         shared += cache.shared_blocks();
     }

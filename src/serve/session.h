@@ -43,7 +43,7 @@ struct SessionOptions {
      * serving; must be 0 when the engine hosts a functional model,
      * whose context is built by prefilling real tokens.
      */
-    std::size_t initial_context = 0;
+    units::Tokens initial_context{0};
     /**
      * Shared block pool the session's KV caches draw from (must
      * outlive the session) -- serve::Scheduler points every admitted
@@ -60,10 +60,13 @@ class Session {
     Session(Session&&) = default;
     Session& operator=(Session&&) = default;
 
-    std::uint64_t id() const { return id_; }
+    units::SessionId id() const { return units::SessionId(id_); }
 
     /** Tokens resident in the KV cache (the current context length). */
-    std::size_t position() const { return position_; }
+    units::Positions position() const
+    {
+        return units::Positions(position_);
+    }
 
     /** Tokens produced by Engine::step for this session. */
     std::uint64_t tokens_generated() const { return tokens_generated_; }
@@ -76,7 +79,7 @@ class Session {
      * serve::Scheduler mirrors those into its BlockPool instead, so
      * pool accounting is the footprint source of truth either way.
      */
-    std::size_t kv_bytes() const;
+    units::Bytes kv_bytes() const;
 
     /**
      * Prefix caching (functional sessions): map the first
@@ -91,10 +94,11 @@ class Session {
      * byte-identical reads; serve::Scheduler calls this when its
      * prefix index maps a new prompt onto resident blocks.
      */
-    void adopt_kv_prefix(const Session& donor, std::size_t positions);
+    void adopt_kv_prefix(const Session& donor,
+                         units::Positions positions);
 
     /** KV blocks (summed over layers) shared with another session. */
-    std::size_t shared_kv_blocks() const;
+    units::Blocks shared_kv_blocks() const;
 
     /**
      * KV blocks this session's caches hold across layers -- each
@@ -102,7 +106,7 @@ class Session {
      * invariant auditor compares the sum over resident sessions
      * against the pool's per-block refcount total.
      */
-    std::size_t kv_block_count() const;
+    units::Blocks kv_block_count() const;
 
     /**
      * Replace the default nonlinear kernels for every layer.  The

@@ -275,26 +275,35 @@ run_nonlinear_only(const DesignConfig& design,
 }
 
 KvFootprint
-kv_footprint(const model::ModelConfig& config, std::size_t positions,
-             quant::KvPrecision precision, std::size_t block_tokens,
-             std::size_t shared_positions)
+kv_footprint(const model::ModelConfig& config,
+             units::Positions positions, quant::KvPrecision precision,
+             units::Tokens block_tokens,
+             units::Positions shared_positions)
 {
-    assert(block_tokens > 0);
+    assert(block_tokens.value() > 0);
     assert(shared_positions <= positions);
     KvFootprint fp;
-    const std::size_t per_position = quant::KvCache::bytes_per_position(
-        config.num_kv_heads, config.head_dim(), precision);
+    const units::Bytes per_position =
+        quant::KvCache::bytes_per_position(config.num_kv_heads,
+                                           config.head_dim(),
+                                           precision);
     // Fully-shared leading blocks live in the donor's accounting;
     // only the unshared tail (plus any partially-shared block, which
     // the writer will copy-on-write anyway) is this request's own.
-    const std::size_t shared_blocks = shared_positions / block_tokens;
-    fp.contiguous_bytes = config.num_layers *
-                          (positions - shared_positions) *
-                          per_position;
-    fp.blocks = (positions + block_tokens - 1) / block_tokens -
+    const units::Blocks shared_blocks = units::full_blocks_for(
+        units::tokens_for(shared_positions), block_tokens);
+    fp.contiguous_bytes =
+        units::bytes_for(
+            units::tokens_for(positions - shared_positions),
+            per_position) *
+        config.num_layers;
+    fp.blocks = units::blocks_for(units::tokens_for(positions),
+                                  block_tokens) -
                 shared_blocks;
     fp.paged_bytes =
-        config.num_layers * fp.blocks * block_tokens * per_position;
+        units::bytes_for(units::tokens_for(fp.blocks, block_tokens),
+                         per_position) *
+        config.num_layers;
     return fp;
 }
 

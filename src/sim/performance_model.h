@@ -44,9 +44,9 @@ namespace sim {
  * to the fixed-size blocks a quant::BlockPool actually allocates.
  */
 struct KvFootprint {
-    std::size_t contiguous_bytes = 0;  ///< positions * exact B/pos.
-    std::size_t paged_bytes = 0;       ///< Whole blocks, all layers.
-    std::size_t blocks = 0;            ///< Per-layer block count.
+    units::Bytes contiguous_bytes{0};  ///< positions * exact B/pos.
+    units::Bytes paged_bytes{0};       ///< Whole blocks, all layers.
+    units::Blocks blocks{0};           ///< Per-layer block count.
 };
 
 /**
@@ -60,11 +60,12 @@ struct KvFootprint {
  *        still run covers exactly positions - shared tokens.
  */
 KvFootprint kv_footprint(const model::ModelConfig& config,
-                         std::size_t positions,
+                         units::Positions positions,
                          quant::KvPrecision precision,
-                         std::size_t block_tokens =
+                         units::Tokens block_tokens =
                              quant::BlockPool::kDefaultBlockTokens,
-                         std::size_t shared_positions = 0);
+                         units::Positions shared_positions =
+                             units::Positions(0));
 
 /** Latency + energy of one op on one design. */
 struct OpCost {

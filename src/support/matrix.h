@@ -7,6 +7,11 @@
  * quantization substrate and the transformer model.  Deliberately
  * simple: shape + flat storage + bounds-checked element access in
  * debug builds.
+ *
+ * Thread-safety: externally serialized.  A Matrix is a plain value
+ * with no internal locking; concurrent const access is safe, and any
+ * writer requires exclusive access (the kernels hand each worker a
+ * disjoint row range or a private output tile).
  */
 
 #include <cassert>

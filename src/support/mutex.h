@@ -44,7 +44,7 @@ class MUGI_CAPABILITY("mutex") Mutex {
         mu_.unlock();
     }
 
-    bool
+    [[nodiscard]] bool
     try_lock() MUGI_TRY_ACQUIRE(true)
     {
         return mu_.try_lock();

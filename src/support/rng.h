@@ -5,6 +5,11 @@
  * @file
  * Deterministic random helpers.  All experiments seed explicitly so
  * the benchmark harness reproduces the same rows on every run.
+ *
+ * Thread-safety: externally serialized.  The helpers mutate both the
+ * caller's std::mt19937 and the target matrix; callers own the
+ * engine, and deterministic replay requires a fixed draw order, so
+ * each engine must be confined to one thread at a time.
  */
 
 #include <cstdint>

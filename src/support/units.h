@@ -1,0 +1,349 @@
+#ifndef MUGI_SUPPORT_UNITS_H_
+#define MUGI_SUPPORT_UNITS_H_
+
+/**
+ * @file
+ * Unit-safe quantities for the serving stack's exact accounting.
+ *
+ * Admission, watermarks, preemption and prefix-cache charging all
+ * compare byte budgets derived from token counts through block
+ * geometry.  With every one of those quantities a bare std::size_t,
+ * tokens and bytes mix silently -- PR 4's bugfix sweep caught exactly
+ * one such bug (an admission watermark sized in the wrong precision).
+ * This header makes unit confusion a *compile* error:
+ *
+ *  - Tokens     token counts (prompt lengths, chunk sizes, budgets);
+ *  - Positions  KV-cache slots / context positions (tokens occupy
+ *               positions one-to-one, but a position index is not a
+ *               token budget -- conversions are named, see below);
+ *  - Blocks     fixed-token KV block counts (pool granularity);
+ *  - Bytes      device memory (what the KV budget is denominated in);
+ *  - SessionId / BlockId  opaque identifiers that cannot be compared
+ *               or mixed across kinds (or with quantities).
+ *
+ * Each type wraps one integer, constructs only explicitly, and
+ * supports arithmetic/comparison against its own kind alone.  The
+ * .value() escape hatch unwraps for leaf arithmetic and printing; the
+ * repo-specific analyzer (tools/mugi_check.py, rule R3/R4) polices
+ * that unwraps never re-mix units outside the named conversion
+ * helpers below -- `bytes_for`, `blocks_for`, `tokens_for`,
+ * `positions_for` are the ONLY places tokens become bytes or blocks,
+ * so every unit crossing in the accounting path is a named, audited
+ * function instead of an inline multiply.
+ *
+ * Multiplications that cross into Bytes are overflow-guarded: a
+ * product that would wrap std::size_t aborts (in every build type)
+ * instead of silently admitting a request against a tiny wrapped
+ * budget.  Same-unit addition/subtraction keeps raw size_t semantics
+ * (the accounting code relies on the `a > b ? a - b : 0` idiom).
+ *
+ * Zero-cost: every type is a trivially-copyable standard-layout
+ * wrapper of exactly one integer (static_asserts below pin this), so
+ * Release codegen is identical to the raw integers it replaced --
+ * the deterministic examples/benches are byte-identical across the
+ * refactor.
+ *
+ * Thread-safety: immutable value types -- no shared state, every
+ * operation is a pure function of its operands; freely usable from
+ * any thread.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+#include <ostream>
+#include <type_traits>
+
+namespace mugi {
+namespace support {
+namespace units {
+
+/** Report a wrapped unit conversion and abort (never recoverable:
+ *  a wrapped byte budget admits unbounded requests). */
+[[noreturn]] inline void
+overflow_failure(const char* what)
+{
+    std::fprintf(stderr, "mugi units overflow in %s\n", what);
+    std::fflush(stderr);
+    std::abort();
+}
+
+namespace detail {
+
+/** size_t multiply that aborts on wraparound (constexpr-friendly:
+ *  a compile-time overflow is a compile error). */
+constexpr std::size_t
+checked_mul(std::size_t a, std::size_t b, const char* what)
+{
+    if (b != 0 &&
+        a > std::numeric_limits<std::size_t>::max() / b) {
+        overflow_failure(what);
+    }
+    return a * b;
+}
+
+}  // namespace detail
+
+/**
+ * One strongly-typed integer quantity.  Distinct Tag types
+ * instantiate unrelated classes, so Tokens + Bytes, Tokens < Blocks,
+ * or passing Bytes where Tokens is expected all fail to compile
+ * (tests/units/compile_fail/).
+ */
+template <typename Tag, typename RepT = std::size_t>
+class Quantity {
+  public:
+    using Rep = RepT;
+
+    constexpr Quantity() = default;
+    constexpr explicit Quantity(Rep value) : value_(value) {}
+
+    /** The raw count -- the audited escape hatch (mugi_check R3/R4
+     *  police what expressions it may feed). */
+    [[nodiscard]] constexpr Rep value() const { return value_; }
+
+    // Same-unit arithmetic only.  Unsigned wrap semantics are kept
+    // deliberately: the accounting code guards subtraction with
+    // `a > b ? a - b : zero` exactly as the raw size_t code did.
+    friend constexpr Quantity
+    operator+(Quantity a, Quantity b)
+    {
+        return Quantity(a.value_ + b.value_);
+    }
+    friend constexpr Quantity
+    operator-(Quantity a, Quantity b)
+    {
+        return Quantity(a.value_ - b.value_);
+    }
+    constexpr Quantity&
+    operator+=(Quantity other)
+    {
+        value_ += other.value_;
+        return *this;
+    }
+    constexpr Quantity&
+    operator-=(Quantity other)
+    {
+        value_ -= other.value_;
+        return *this;
+    }
+    constexpr Quantity&
+    operator++()
+    {
+        ++value_;
+        return *this;
+    }
+    constexpr Quantity&
+    operator--()
+    {
+        --value_;
+        return *this;
+    }
+
+    /** Scale by a dimensionless count (e.g. bytes-per-block x
+     *  layers); overflow-guarded. */
+    friend constexpr Quantity
+    operator*(Quantity q, Rep count)
+    {
+        return Quantity(
+            detail::checked_mul(q.value_, count, "Quantity*count"));
+    }
+    friend constexpr Quantity
+    operator*(Rep count, Quantity q)
+    {
+        return q * count;
+    }
+    friend constexpr Quantity
+    operator/(Quantity q, Rep count)
+    {
+        return Quantity(q.value_ / count);
+    }
+    /** Ratio of two same-unit quantities is dimensionless. */
+    friend constexpr Rep
+    operator/(Quantity a, Quantity b)
+    {
+        return a.value_ / b.value_;
+    }
+    friend constexpr Quantity
+    operator%(Quantity a, Quantity b)
+    {
+        return Quantity(a.value_ % b.value_);
+    }
+
+    friend constexpr bool
+    operator==(Quantity a, Quantity b) = default;
+    friend constexpr auto
+    operator<=>(Quantity a, Quantity b) = default;
+
+    /** Streams print the raw count, so `os << stats.prefill_tokens`
+     *  is byte-identical to the pre-units output. */
+    friend std::ostream&
+    operator<<(std::ostream& os, Quantity q)
+    {
+        return os << q.value_;
+    }
+
+  private:
+    Rep value_ = 0;
+};
+
+/** Token counts: prompt lengths, chunk sizes, generation budgets. */
+using Tokens = Quantity<struct TokensTag>;
+/** KV-cache slots / context positions. */
+using Positions = Quantity<struct PositionsTag>;
+/** Fixed-token KV block counts (quant::BlockPool granularity). */
+using Blocks = Quantity<struct BlocksTag>;
+/** Device memory (the unit KV budgets are denominated in). */
+using Bytes = Quantity<struct BytesTag>;
+
+/**
+ * An opaque identifier: comparable for identity within its own kind
+ * only -- no arithmetic, no cross-kind comparison (a SessionId is not
+ * a BlockId, and neither is an index).  .value() unwraps for table
+ * indexing and printing.
+ */
+template <typename Tag, typename RepT>
+class OpaqueId {
+  public:
+    using Rep = RepT;
+
+    constexpr OpaqueId() = default;
+    constexpr explicit OpaqueId(Rep raw) : raw_(raw) {}
+
+    [[nodiscard]] constexpr Rep value() const { return raw_; }
+
+    friend constexpr bool
+    operator==(OpaqueId a, OpaqueId b) = default;
+    friend constexpr auto
+    operator<=>(OpaqueId a, OpaqueId b) = default;
+
+    friend std::ostream&
+    operator<<(std::ostream& os, OpaqueId id)
+    {
+        return os << +id.raw_;
+    }
+
+  private:
+    Rep raw_ = 0;
+};
+
+/** Identity of one serve::Session (engine-issued, process-unique). */
+using SessionId = OpaqueId<struct SessionIdTag, std::uint64_t>;
+/** Handle to one quant::BlockPool block (slot-table index). */
+using BlockId = OpaqueId<struct BlockIdTag, std::uint32_t>;
+
+// ---- Named unit conversions ----------------------------------------
+//
+// The ONLY sanctioned crossings between units.  Each one encodes a
+// piece of block geometry (positions per block, bytes per position)
+// so the conversion is named and auditable; tools/mugi_check.py rule
+// R3 rejects ad-hoc `.value()` cross-multiplication elsewhere.
+
+/** Blocks covering @p tokens at @p block_tokens per block (ceil). */
+constexpr Blocks
+blocks_for(Tokens tokens, Tokens block_tokens)
+{
+    return Blocks((tokens.value() + block_tokens.value() - 1) /
+                  block_tokens.value());
+}
+
+/** Blocks *completely* covered by @p tokens (floor) -- the prefix-
+ *  sharing rule: only whole blocks are shareable. */
+constexpr Blocks
+full_blocks_for(Tokens tokens, Tokens block_tokens)
+{
+    return Blocks(tokens.value() / block_tokens.value());
+}
+
+/** Token capacity of @p blocks whole blocks. */
+constexpr Tokens
+tokens_for(Blocks blocks, Tokens block_tokens)
+{
+    return Tokens(detail::checked_mul(
+        static_cast<std::size_t>(blocks.value()),
+        block_tokens.value(), "tokens_for(Blocks)"));
+}
+
+/** Bytes of @p tokens at @p per_token bytes each (overflow-guarded). */
+constexpr Bytes
+bytes_for(Tokens tokens, Bytes per_token)
+{
+    return Bytes(detail::checked_mul(tokens.value(), per_token.value(),
+                                     "bytes_for(Tokens)"));
+}
+
+/** Bytes of @p blocks at @p per_block bytes each (overflow-guarded). */
+constexpr Bytes
+bytes_for(Blocks blocks, Bytes per_block)
+{
+    return Bytes(detail::checked_mul(
+        static_cast<std::size_t>(blocks.value()), per_block.value(),
+        "bytes_for(Blocks)"));
+}
+
+/** Tokens occupy KV positions one-to-one: a fed/generated token
+ *  lands in exactly one cache slot. */
+constexpr Positions
+positions_for(Tokens tokens)
+{
+    return Positions(tokens.value());
+}
+
+/** The context positions a request covers, as a token budget. */
+constexpr Tokens
+tokens_for(Positions positions)
+{
+    return Tokens(positions.value());
+}
+
+// ---- Zero-overhead proofs ------------------------------------------
+//
+// The whole point of the refactor is type-level: the strong types
+// must be free in Release.  Pin triviality, size and layout so a
+// future member (a debug tag, a virtual) cannot silently change the
+// ABI of every accounting structure.
+
+static_assert(std::is_trivially_copyable_v<Tokens> &&
+              std::is_trivially_destructible_v<Tokens> &&
+              std::is_standard_layout_v<Tokens>);
+static_assert(std::is_trivially_copyable_v<Positions> &&
+              std::is_standard_layout_v<Positions>);
+static_assert(std::is_trivially_copyable_v<Blocks> &&
+              std::is_standard_layout_v<Blocks>);
+static_assert(std::is_trivially_copyable_v<Bytes> &&
+              std::is_standard_layout_v<Bytes>);
+static_assert(std::is_trivially_copyable_v<SessionId> &&
+              std::is_standard_layout_v<SessionId>);
+static_assert(std::is_trivially_copyable_v<BlockId> &&
+              std::is_standard_layout_v<BlockId>);
+
+static_assert(sizeof(Tokens) == sizeof(std::size_t) &&
+              alignof(Tokens) == alignof(std::size_t));
+static_assert(sizeof(Positions) == sizeof(std::size_t));
+static_assert(sizeof(Blocks) == sizeof(std::size_t));
+static_assert(sizeof(Bytes) == sizeof(std::size_t));
+static_assert(sizeof(SessionId) == sizeof(std::uint64_t));
+static_assert(sizeof(BlockId) == sizeof(std::uint32_t));
+
+}  // namespace units
+}  // namespace support
+
+/** Short spelling for the accounting layers: units::Tokens etc. */
+namespace units = support::units;
+
+}  // namespace mugi
+
+// Opaque ids key hash tables (the pool's free lists, audit sets).
+template <typename Tag, typename Rep>
+struct std::hash<mugi::support::units::OpaqueId<Tag, Rep>> {
+    std::size_t
+    operator()(mugi::support::units::OpaqueId<Tag, Rep> id) const
+    {
+        return std::hash<Rep>{}(id.value());
+    }
+};
+
+#endif  // MUGI_SUPPORT_UNITS_H_

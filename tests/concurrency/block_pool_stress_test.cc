@@ -50,7 +50,7 @@ TEST(BlockPoolStress, ConcurrentAllocateReleaseChurnBalances)
         std::vector<BlockId> held;
         for (std::size_t i = 0; i < kIters; ++i) {
             const std::size_t bytes = kSizes[(t + i) % 2];
-            held.push_back(pool.allocate(bytes));
+            held.push_back(pool.allocate(units::Bytes(bytes)));
             // Deterministic churn (no std::rand -- tools/lint.py
             // bans it): release every other iteration's block early,
             // keep the rest until the end.
@@ -69,9 +69,9 @@ TEST(BlockPoolStress, ConcurrentAllocateReleaseChurnBalances)
 
     // Everything released: the pool must balance back to zero, and a
     // from-scratch recount must agree with every counter.
-    EXPECT_EQ(pool.blocks_in_use(), 0u);
-    EXPECT_EQ(pool.bytes_in_use(), 0u);
-    EXPECT_EQ(pool.shared_blocks(), 0u);
+    EXPECT_EQ(pool.blocks_in_use(), units::Blocks(0));
+    EXPECT_EQ(pool.bytes_in_use(), units::Bytes(0));
+    EXPECT_EQ(pool.shared_blocks(), units::Blocks(0));
     EXPECT_EQ(pool.ref_total(), 0u);
     EXPECT_EQ(pool.check_invariants(), "");
 }
@@ -79,7 +79,7 @@ TEST(BlockPoolStress, ConcurrentAllocateReleaseChurnBalances)
 TEST(BlockPoolStress, ConcurrentRetainReleaseKeepsRefcountExact)
 {
     BlockPool pool;
-    const BlockId block = pool.allocate(128);
+    const BlockId block = pool.allocate(units::Bytes(128));
     constexpr std::size_t kThreads = 8;
     constexpr std::size_t kIters = 1000;
 
@@ -94,24 +94,25 @@ TEST(BlockPoolStress, ConcurrentRetainReleaseKeepsRefcountExact)
     // All transient sharers drained: exactly the allocation's own
     // reference remains and the block is no longer "shared".
     EXPECT_EQ(pool.ref_count(block), 1u);
-    EXPECT_EQ(pool.shared_blocks(), 0u);
+    EXPECT_EQ(pool.shared_blocks(), units::Blocks(0));
     EXPECT_EQ(pool.check_invariants(), "");
     pool.release(block);
-    EXPECT_EQ(pool.blocks_in_use(), 0u);
+    EXPECT_EQ(pool.blocks_in_use(), units::Blocks(0));
 }
 
 TEST(BlockPoolStress, ConcurrentTryAllocateNeverOvercommits)
 {
     constexpr std::size_t kBytes = 256;
     constexpr std::size_t kCapacityBlocks = 13;
-    BlockPool pool(kCapacityBlocks * kBytes);
+    BlockPool pool(units::Bytes(kCapacityBlocks * kBytes));
     constexpr std::size_t kThreads = 8;
     constexpr std::size_t kPerThread = 8;
 
     std::atomic<std::size_t> admitted{0};
     run_threads(kThreads, [&](std::size_t) {
         for (std::size_t i = 0; i < kPerThread; ++i) {
-            if (pool.try_allocate(kBytes) != kInvalidBlock) {
+            if (pool.try_allocate(units::Bytes(kBytes)) !=
+                kInvalidBlock) {
                 // Counts successes only; relaxed is fine, the join
                 // below orders the final read.
                 admitted.fetch_add(1, std::memory_order_relaxed);
@@ -122,8 +123,10 @@ TEST(BlockPoolStress, ConcurrentTryAllocateNeverOvercommits)
     // The check-and-commit is one critical section: with 64 racing
     // attempts against capacity for 13, exactly 13 must win.
     EXPECT_EQ(admitted.load(), kCapacityBlocks);
-    EXPECT_EQ(pool.blocks_in_use(), kCapacityBlocks);
-    EXPECT_EQ(pool.bytes_in_use(), kCapacityBlocks * kBytes);
+    EXPECT_EQ(pool.blocks_in_use(),
+              units::Blocks(kCapacityBlocks));
+    EXPECT_EQ(pool.bytes_in_use(),
+              units::Bytes(kCapacityBlocks * kBytes));
     EXPECT_EQ(pool.check_invariants(), "");
 }
 
@@ -136,14 +139,14 @@ TEST(BlockPoolStress, ConcurrentReserveUnreserveBalances)
 
     run_threads(kThreads, [&](std::size_t) {
         for (std::size_t i = 0; i < kIters; ++i) {
-            pool.reserve(kBytes);
-            (void)pool.fits(kBytes);
-            pool.unreserve(kBytes);
+            pool.reserve(units::Bytes(kBytes));
+            (void)pool.fits(units::Bytes(kBytes));
+            pool.unreserve(units::Bytes(kBytes));
         }
     });
 
-    EXPECT_EQ(pool.reserved_bytes(), 0u);
-    EXPECT_EQ(pool.bytes_in_use(), 0u);
+    EXPECT_EQ(pool.reserved_bytes(), units::Bytes(0));
+    EXPECT_EQ(pool.bytes_in_use(), units::Bytes(0));
     EXPECT_EQ(pool.check_invariants(), "");
 }
 

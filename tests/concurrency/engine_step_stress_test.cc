@@ -113,7 +113,7 @@ TEST(EngineStepStress, DisjointSessionsAcrossThreadsMatchReference)
     }
     // Every session destroyed: the shared pool must drain to zero,
     // and its from-scratch recount must hold after the race.
-    EXPECT_EQ(pool.blocks_in_use(), 0u);
+    EXPECT_EQ(pool.blocks_in_use(), units::Blocks(0));
     EXPECT_EQ(pool.check_invariants(), "");
     // The racing threads' lazy kernel builds collapsed per key.
     EXPECT_EQ(engine.kernels().size(), 2u);

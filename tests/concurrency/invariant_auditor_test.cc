@@ -30,8 +30,8 @@ TEST(InvariantAuditor, CleanPoolAuditsClean)
 {
     quant::BlockPool pool;
     EXPECT_EQ(pool.check_invariants(), "");
-    const quant::BlockId a = pool.allocate(64);
-    const quant::BlockId b = pool.allocate(128);
+    const quant::BlockId a = pool.allocate(units::Bytes(64));
+    const quant::BlockId b = pool.allocate(units::Bytes(128));
     pool.retain(a);
     EXPECT_EQ(pool.check_invariants(), "");
     pool.release(a);
@@ -39,7 +39,7 @@ TEST(InvariantAuditor, CleanPoolAuditsClean)
     pool.release(b);
     EXPECT_EQ(pool.check_invariants(), "");
     // Free-list reuse keeps the recount exact too.
-    const quant::BlockId c = pool.allocate(64);
+    const quant::BlockId c = pool.allocate(units::Bytes(64));
     EXPECT_EQ(pool.check_invariants(), "");
     pool.release(c);
 }
@@ -47,7 +47,7 @@ TEST(InvariantAuditor, CleanPoolAuditsClean)
 TEST(InvariantAuditor, CorruptedRefcountIsReported)
 {
     quant::BlockPool pool;
-    const quant::BlockId block = pool.allocate(64);
+    const quant::BlockId block = pool.allocate(units::Bytes(64));
 
     // Forge a second reference without the shared-block accounting:
     // exactly the drift a retain/release imbalance would leave.
@@ -72,7 +72,7 @@ TEST(InvariantAuditorDeathTest, CorruptedPoolAuditAborts)
     // Debug builds: the abort-on-drift entry point (the one the
     // scheduler's automatic per-step audit uses) must die loudly.
     quant::BlockPool pool;
-    const quant::BlockId block = pool.allocate(64);
+    const quant::BlockId block = pool.allocate(units::Bytes(64));
     pool.corrupt_refs_for_test(block, 5);
     EXPECT_DEATH_IF_SUPPORTED(pool.audit("test"),
                               "invariant audit failed");
@@ -89,16 +89,16 @@ TEST(InvariantAuditor, AnalyticSchedulerStepsAuditClean)
         model::llama2_7b().scaled_for_eval(2, 64, 128);
     const serve::Engine engine(sim::make_mugi(64), model);
     serve::SchedulerConfig config;
-    config.kv_budget_bytes = 1u << 20;
+    config.kv_budget_bytes = units::Bytes(1u << 20);
     config.max_batch = 4;
     serve::Scheduler scheduler(engine, config);
 
     for (std::size_t i = 0; i < 6; ++i) {
         serve::Request request;
-        request.analytic_prompt_tokens = 40 + 8 * i;
-        request.max_new_tokens = 6;
+        request.analytic_prompt_tokens = units::Tokens(40 + 8 * i);
+        request.max_new_tokens = units::Tokens(6);
         request.prefix_group = 1;  // All share a system prompt.
-        request.prefix_tokens = 32;
+        request.prefix_tokens = units::Tokens(32);
         scheduler.submit(std::move(request));
         EXPECT_EQ(scheduler.check_invariants(), "");
     }
@@ -106,7 +106,7 @@ TEST(InvariantAuditor, AnalyticSchedulerStepsAuditClean)
         EXPECT_EQ(scheduler.check_invariants(), "");
     }
     EXPECT_EQ(scheduler.check_invariants(), "");
-    EXPECT_EQ(scheduler.pool().bytes_in_use(), 0u);
+    EXPECT_EQ(scheduler.pool().bytes_in_use(), units::Bytes(0));
 }
 
 TEST(InvariantAuditor, FunctionalSchedulerStepsAuditClean)
@@ -124,7 +124,7 @@ TEST(InvariantAuditor, FunctionalSchedulerStepsAuditClean)
         serve::Request request;
         request.prompt = model::synthetic_tokens(
             24, config.vocab, static_cast<std::uint32_t>(7 + i));
-        request.max_new_tokens = 4;
+        request.max_new_tokens = units::Tokens(4);
         scheduler.submit(std::move(request));
     }
     while (scheduler.step()) {
@@ -132,7 +132,7 @@ TEST(InvariantAuditor, FunctionalSchedulerStepsAuditClean)
     }
     EXPECT_EQ(scheduler.check_invariants(), "");
     // All sessions retired: no block-table references remain.
-    EXPECT_EQ(scheduler.pool().blocks_in_use(), 0u);
+    EXPECT_EQ(scheduler.pool().blocks_in_use(), units::Blocks(0));
     EXPECT_EQ(scheduler.pool().ref_total(), 0u);
 }
 

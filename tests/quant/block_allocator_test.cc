@@ -16,63 +16,63 @@ namespace {
 
 TEST(BlockPool, ExactAccountingAndPeak)
 {
-    BlockPool pool(1000, 8);
-    EXPECT_EQ(pool.block_tokens(), 8u);
-    EXPECT_EQ(pool.capacity_bytes(), 1000u);
-    EXPECT_EQ(pool.bytes_in_use(), 0u);
-    EXPECT_EQ(pool.blocks_in_use(), 0u);
+    BlockPool pool(units::Bytes(1000), units::Tokens(8));
+    EXPECT_EQ(pool.block_tokens(), units::Tokens(8));
+    EXPECT_EQ(pool.capacity_bytes(), units::Bytes(1000));
+    EXPECT_EQ(pool.bytes_in_use(), units::Bytes(0));
+    EXPECT_EQ(pool.blocks_in_use(), units::Blocks(0));
     EXPECT_DOUBLE_EQ(pool.utilization(), 0.0);
 
-    const BlockId a = pool.allocate(300);
-    const BlockId b = pool.allocate(200);
+    const BlockId a = pool.allocate(units::Bytes(300));
+    const BlockId b = pool.allocate(units::Bytes(200));
     EXPECT_NE(a, b);
-    EXPECT_EQ(pool.bytes_in_use(), 500u);
-    EXPECT_EQ(pool.blocks_in_use(), 2u);
-    EXPECT_EQ(pool.block_bytes(a), 300u);
+    EXPECT_EQ(pool.bytes_in_use(), units::Bytes(500));
+    EXPECT_EQ(pool.blocks_in_use(), units::Blocks(2));
+    EXPECT_EQ(pool.block_bytes(a), units::Bytes(300));
     EXPECT_DOUBLE_EQ(pool.utilization(), 0.5);
 
     pool.release(a);
-    EXPECT_EQ(pool.bytes_in_use(), 200u);
-    EXPECT_EQ(pool.blocks_in_use(), 1u);
+    EXPECT_EQ(pool.bytes_in_use(), units::Bytes(200));
+    EXPECT_EQ(pool.blocks_in_use(), units::Blocks(1));
     // Peak is monotone: it remembers the high-water mark.
-    EXPECT_EQ(pool.peak_bytes_in_use(), 500u);
+    EXPECT_EQ(pool.peak_bytes_in_use(), units::Bytes(500));
     EXPECT_DOUBLE_EQ(pool.peak_utilization(), 0.5);
     pool.release(b);
-    EXPECT_EQ(pool.bytes_in_use(), 0u);
-    EXPECT_EQ(pool.peak_bytes_in_use(), 500u);
+    EXPECT_EQ(pool.bytes_in_use(), units::Bytes(0));
+    EXPECT_EQ(pool.peak_bytes_in_use(), units::Bytes(500));
 }
 
 TEST(BlockPool, ReleasedBlocksAreReused)
 {
-    BlockPool pool(0, 16);
-    const BlockId a = pool.allocate(64);
-    const BlockId b = pool.allocate(64);
-    const BlockId c = pool.allocate(128);
+    BlockPool pool(units::Bytes(0), units::Tokens(16));
+    const BlockId a = pool.allocate(units::Bytes(64));
+    const BlockId b = pool.allocate(units::Bytes(64));
+    const BlockId c = pool.allocate(units::Bytes(128));
     pool.release(b);
     pool.release(a);
     // Same-size allocation reuses the most recently freed slot
     // instead of growing the slot table.
-    EXPECT_EQ(pool.allocate(64), a);
-    EXPECT_EQ(pool.allocate(64), b);
+    EXPECT_EQ(pool.allocate(units::Bytes(64)), a);
+    EXPECT_EQ(pool.allocate(units::Bytes(64)), b);
     // A different size cannot reuse those slots.
     pool.release(c);
-    const BlockId d = pool.allocate(256);
+    const BlockId d = pool.allocate(units::Bytes(256));
     EXPECT_NE(d, c);
     // ... but the same size can.
-    EXPECT_EQ(pool.allocate(128), c);
+    EXPECT_EQ(pool.allocate(units::Bytes(128)), c);
 }
 
 TEST(BlockPool, ReusedBlocksComeBackZeroed)
 {
-    BlockPool pool(0, 4);
-    const BlockId a = pool.allocate(16);
+    BlockPool pool(units::Bytes(0), units::Tokens(4));
+    const BlockId a = pool.allocate(units::Bytes(16));
     std::byte* data = pool.data(a);
     for (std::size_t i = 0; i < 16; ++i) {
         EXPECT_EQ(data[i], std::byte{0}) << "fresh block byte " << i;
         data[i] = std::byte{0xAB};
     }
     pool.release(a);
-    const BlockId b = pool.allocate(16);
+    const BlockId b = pool.allocate(units::Bytes(16));
     ASSERT_EQ(b, a);
     const std::byte* reused = pool.data(b);
     for (std::size_t i = 0; i < 16; ++i) {
@@ -82,83 +82,83 @@ TEST(BlockPool, ReusedBlocksComeBackZeroed)
 
 TEST(BlockPool, CapacityIsAdvisoryButTryEnforces)
 {
-    BlockPool pool(100, 4);
-    EXPECT_TRUE(pool.fits(100));
-    EXPECT_FALSE(pool.fits(101));
+    BlockPool pool(units::Bytes(100), units::Tokens(4));
+    EXPECT_TRUE(pool.fits(units::Bytes(100)));
+    EXPECT_FALSE(pool.fits(units::Bytes(101)));
 
-    const BlockId a = pool.try_allocate(60);
+    const BlockId a = pool.try_allocate(units::Bytes(60));
     ASSERT_NE(a, kInvalidBlock);
     // Exhausted: try_allocate refuses, exactly-fitting succeeds.
-    EXPECT_EQ(pool.try_allocate(41), kInvalidBlock);
-    const BlockId b = pool.try_allocate(40);
+    EXPECT_EQ(pool.try_allocate(units::Bytes(41)), kInvalidBlock);
+    const BlockId b = pool.try_allocate(units::Bytes(40));
     ASSERT_NE(b, kInvalidBlock);
-    EXPECT_EQ(pool.try_allocate(1), kInvalidBlock);
-    EXPECT_FALSE(pool.fits(1));
+    EXPECT_EQ(pool.try_allocate(units::Bytes(1)), kInvalidBlock);
+    EXPECT_FALSE(pool.fits(units::Bytes(1)));
 
     // Plain allocate may overcommit -- the scheduler's
     // oversized-request-runs-alone escape hatch.
-    const BlockId c = pool.allocate(50);
+    const BlockId c = pool.allocate(units::Bytes(50));
     ASSERT_NE(c, kInvalidBlock);
-    EXPECT_EQ(pool.bytes_in_use(), 150u);
+    EXPECT_EQ(pool.bytes_in_use(), units::Bytes(150));
     EXPECT_GT(pool.utilization(), 1.0);
     pool.release(c);
     pool.release(b);
     pool.release(a);
-    EXPECT_EQ(pool.bytes_in_use(), 0u);
+    EXPECT_EQ(pool.bytes_in_use(), units::Bytes(0));
 }
 
 TEST(BlockPool, ReservationsShareTheBudgetWithBlocks)
 {
     // Byte reservations are how the scheduler mirrors analytic
     // sessions' modeled caches into the same budget real blocks use.
-    BlockPool pool(100, 4);
-    EXPECT_TRUE(pool.try_reserve(70));
-    EXPECT_EQ(pool.reserved_bytes(), 70u);
-    EXPECT_EQ(pool.bytes_in_use(), 70u);
-    EXPECT_FALSE(pool.try_reserve(31));
-    EXPECT_EQ(pool.try_allocate(31), kInvalidBlock);
-    const BlockId a = pool.try_allocate(30);
+    BlockPool pool(units::Bytes(100), units::Tokens(4));
+    EXPECT_TRUE(pool.try_reserve(units::Bytes(70)));
+    EXPECT_EQ(pool.reserved_bytes(), units::Bytes(70));
+    EXPECT_EQ(pool.bytes_in_use(), units::Bytes(70));
+    EXPECT_FALSE(pool.try_reserve(units::Bytes(31)));
+    EXPECT_EQ(pool.try_allocate(units::Bytes(31)), kInvalidBlock);
+    const BlockId a = pool.try_allocate(units::Bytes(30));
     ASSERT_NE(a, kInvalidBlock);
-    EXPECT_EQ(pool.bytes_in_use(), 100u);
-    pool.unreserve(20);
-    EXPECT_EQ(pool.bytes_in_use(), 80u);
-    EXPECT_TRUE(pool.try_reserve(20));
+    EXPECT_EQ(pool.bytes_in_use(), units::Bytes(100));
+    pool.unreserve(units::Bytes(20));
+    EXPECT_EQ(pool.bytes_in_use(), units::Bytes(80));
+    EXPECT_TRUE(pool.try_reserve(units::Bytes(20)));
     pool.release(a);
-    pool.unreserve(70);
-    EXPECT_EQ(pool.bytes_in_use(), 0u);
-    EXPECT_EQ(pool.peak_bytes_in_use(), 100u);
+    pool.unreserve(units::Bytes(70));
+    EXPECT_EQ(pool.bytes_in_use(), units::Bytes(0));
+    EXPECT_EQ(pool.peak_bytes_in_use(), units::Bytes(100));
 }
 
 TEST(BlockPool, RefcountsFreeTheBlockExactlyOnce)
 {
-    BlockPool pool(0, 8);
-    const BlockId a = pool.allocate(64);
+    BlockPool pool(units::Bytes(0), units::Tokens(8));
+    const BlockId a = pool.allocate(units::Bytes(64));
     EXPECT_EQ(pool.ref_count(a), 1u);
-    EXPECT_EQ(pool.shared_blocks(), 0u);
+    EXPECT_EQ(pool.shared_blocks(), units::Blocks(0));
 
     pool.retain(a);
     pool.retain(a);
     EXPECT_EQ(pool.ref_count(a), 3u);
-    EXPECT_EQ(pool.shared_blocks(), 1u);
+    EXPECT_EQ(pool.shared_blocks(), units::Blocks(1));
     // Shared or not, the physical bytes are counted exactly once.
-    EXPECT_EQ(pool.bytes_in_use(), 64u);
-    EXPECT_EQ(pool.blocks_in_use(), 1u);
+    EXPECT_EQ(pool.bytes_in_use(), units::Bytes(64));
+    EXPECT_EQ(pool.blocks_in_use(), units::Blocks(1));
 
     // Two of the three holders release: storage survives and the
     // accounting never moves.
     pool.release(a);
     pool.release(a);
     EXPECT_EQ(pool.ref_count(a), 1u);
-    EXPECT_EQ(pool.shared_blocks(), 0u);
-    EXPECT_EQ(pool.bytes_in_use(), 64u);
+    EXPECT_EQ(pool.shared_blocks(), units::Blocks(0));
+    EXPECT_EQ(pool.bytes_in_use(), units::Bytes(64));
     // The block's data pointer stays valid until the last release.
     EXPECT_NE(pool.data(a), nullptr);
 
     pool.release(a);  // Last holder: now the slot frees.
-    EXPECT_EQ(pool.bytes_in_use(), 0u);
-    EXPECT_EQ(pool.blocks_in_use(), 0u);
+    EXPECT_EQ(pool.bytes_in_use(), units::Bytes(0));
+    EXPECT_EQ(pool.blocks_in_use(), units::Blocks(0));
     // And the slot is reusable for same-size allocations again.
-    EXPECT_EQ(pool.allocate(64), a);
+    EXPECT_EQ(pool.allocate(units::Bytes(64)), a);
     EXPECT_EQ(pool.ref_count(a), 1u);
 }
 
@@ -167,14 +167,14 @@ TEST(BlockPool, ReusedBlocksAreZeroFilled)
     // The INT4 KV append path ORs nibbles into block bytes, so it
     // depends on free-list reuse handing back all-zero storage; pin
     // that contract at the pool level.
-    BlockPool pool(0, 4);
-    const BlockId a = pool.allocate(32);
+    BlockPool pool(units::Bytes(0), units::Tokens(4));
+    const BlockId a = pool.allocate(units::Bytes(32));
     std::byte* data = pool.data(a);
     for (std::size_t i = 0; i < 32; ++i) {
         data[i] = std::byte{0xAB};
     }
     pool.release(a);
-    const BlockId b = pool.allocate(32);
+    const BlockId b = pool.allocate(units::Bytes(32));
     EXPECT_EQ(b, a) << "same-size allocation reuses the freed slot";
     const std::byte* reused = pool.data(b);
     for (std::size_t i = 0; i < 32; ++i) {
@@ -186,9 +186,9 @@ TEST(BlockPool, UnboundedPoolNeverRefuses)
 {
     BlockPool pool;  // capacity 0 = unbounded.
     EXPECT_EQ(pool.block_tokens(), BlockPool::kDefaultBlockTokens);
-    EXPECT_TRUE(pool.fits(std::size_t{1} << 40));
-    EXPECT_NE(pool.try_allocate(1 << 20), kInvalidBlock);
-    EXPECT_TRUE(pool.try_reserve(1 << 20));
+    EXPECT_TRUE(pool.fits(units::Bytes(std::size_t{1} << 40)));
+    EXPECT_NE(pool.try_allocate(units::Bytes(1 << 20)), kInvalidBlock);
+    EXPECT_TRUE(pool.try_reserve(units::Bytes(1 << 20)));
     EXPECT_DOUBLE_EQ(pool.utilization(), 0.0);
     EXPECT_DOUBLE_EQ(pool.peak_utilization(), 0.0);
 }

@@ -29,15 +29,15 @@ TEST(KvCache, FloatStorageIsExact)
         vs.push_back(random_heads(4, 16, rng));
         cache.append(ks.back(), vs.back());
     }
-    EXPECT_EQ(cache.length(), 10u);
+    EXPECT_EQ(cache.length(), units::Positions(10));
     std::vector<float> out(16);
     for (std::size_t h = 0; h < 4; ++h) {
         for (std::size_t t = 0; t < 10; ++t) {
-            cache.read_key(h, t, out.data());
+            cache.read_key(h, units::Positions(t), out.data());
             for (std::size_t d = 0; d < 16; ++d) {
                 EXPECT_EQ(out[d], ks[t].at(h, d));
             }
-            cache.read_value(h, t, out.data());
+            cache.read_value(h, units::Positions(t), out.data());
             for (std::size_t d = 0; d < 16; ++d) {
                 EXPECT_EQ(out[d], vs[t].at(h, d));
             }
@@ -57,8 +57,8 @@ TEST(KvCache, Int4ErrorBounded)
     std::vector<float> out(32);
     for (std::size_t h = 0; h < 2; ++h) {
         for (std::size_t t = 0; t < 20; ++t) {
-            cache.read_key(h, t, out.data());
-            const float scale = cache.key_scale(h, t);
+            cache.read_key(h, units::Positions(t), out.data());
+            const float scale = cache.key_scale(h, units::Positions(t));
             for (std::size_t d = 0; d < 32; ++d) {
                 // Half-step quantization error plus BF16 scale round.
                 EXPECT_LE(std::fabs(out[d] - ks[t].at(h, d)),
@@ -84,8 +84,8 @@ TEST(KvCache, Int4CompressionFactor)
     // accounting reports it is ~8x (minus scale overhead).  Equal
     // lengths page into equally many blocks, so block rounding
     // cancels out of the ratio.
-    const double ratio = static_cast<double>(fp.memory_bytes()) /
-                         static_cast<double>(q4.memory_bytes());
+    const double ratio = static_cast<double>(fp.memory_bytes().value()) /
+                         static_cast<double>(q4.memory_bytes().value());
     EXPECT_GT(ratio, 7.0);
     EXPECT_LE(ratio, 8.0);
 }
@@ -96,7 +96,7 @@ TEST(KvCache, CodesAreValidInt4)
     KvCache cache(1, 8, KvPrecision::kInt4);
     cache.append(random_heads(1, 8, rng), random_heads(1, 8, rng));
     for (std::size_t d = 0; d < 8; ++d) {
-        const numerics::Int4 code = cache.key_code(0, 0, d);
+        const numerics::Int4 code = cache.key_code(0, units::Positions(0), d);
         EXPECT_GE(code.value(), -7);
         EXPECT_LE(code.value(), 7);
         // Fits the 8-cycle temporal sweep of the Mugi rows.
@@ -121,8 +121,8 @@ TEST(KvCache, AttentionScoreErrorSmall)
     support::MatrixF qvec = random_heads(1, hd, rng);
     std::vector<float> ke(hd), kq(hd);
     for (std::size_t t = 0; t < 32; ++t) {
-        exact.read_key(0, t, ke.data());
-        quant.read_key(0, t, kq.data());
+        exact.read_key(0, units::Positions(t), ke.data());
+        quant.read_key(0, units::Positions(t), kq.data());
         float s_exact = 0.0f, s_quant = 0.0f;
         for (std::size_t d = 0; d < hd; ++d) {
             s_exact += qvec.at(0, d) * ke[d];
@@ -143,22 +143,22 @@ TEST(KvCache, MemoryBytesIsBlockExactPerPrecision)
     const std::size_t float_per_pos = 2 * heads * hd * sizeof(float);
     EXPECT_EQ(KvCache::bytes_per_position(heads, hd,
                                           KvPrecision::kInt4),
-              int4_per_pos);
+              units::Bytes(int4_per_pos));
     EXPECT_EQ(KvCache::bytes_per_position(heads, hd,
                                           KvPrecision::kFloat),
-              float_per_pos);
+              units::Bytes(float_per_pos));
     // Odd head_dim rounds the nibble packing up.
     EXPECT_EQ(KvCache::bytes_per_position(1, 5, KvPrecision::kInt4),
-              2 * (3 + 2));
+              units::Bytes(2 * (3 + 2)));
 
     std::mt19937 rng(31);
     const std::size_t B = 2;  // Tokens per block.
-    BlockPool pool(0, B);
+    BlockPool pool(units::Bytes(0), units::Tokens(B));
     KvCache quant(heads, hd, KvPrecision::kInt4, &pool);
     KvCache exact(heads, hd, KvPrecision::kFloat, &pool);
-    EXPECT_EQ(quant.memory_bytes(), 0u);
-    EXPECT_EQ(quant.block_bytes(), B * int4_per_pos);
-    EXPECT_EQ(exact.block_bytes(), B * float_per_pos);
+    EXPECT_EQ(quant.memory_bytes(), units::Bytes(0));
+    EXPECT_EQ(quant.block_bytes(), units::Bytes(B * int4_per_pos));
+    EXPECT_EQ(exact.block_bytes(), units::Bytes(B * float_per_pos));
     for (std::size_t t = 1; t <= 5; ++t) {
         const auto kv = random_heads(heads, hd, rng);
         quant.append(kv, kv);
@@ -166,16 +166,18 @@ TEST(KvCache, MemoryBytesIsBlockExactPerPrecision)
         // Growth is block-granular and visible -- the quantity a
         // scheduler's KV budget bounds.
         const std::size_t blocks = (t + B - 1) / B;
-        EXPECT_EQ(quant.blocks_in_use(), blocks);
-        EXPECT_EQ(quant.memory_bytes(), blocks * B * int4_per_pos);
-        EXPECT_EQ(exact.memory_bytes(), blocks * B * float_per_pos);
+        EXPECT_EQ(quant.blocks_in_use(), units::Blocks(blocks));
+        EXPECT_EQ(quant.memory_bytes(),
+                  units::Bytes(blocks * B * int4_per_pos));
+        EXPECT_EQ(exact.memory_bytes(),
+                  units::Bytes(blocks * B * float_per_pos));
     }
     // The shared pool accounts both caches' physical bytes exactly.
     EXPECT_EQ(pool.bytes_in_use(),
               quant.memory_bytes() + exact.memory_bytes());
     // An append within the last block costs nothing new; crossing a
     // block boundary allocates exactly one more block.
-    const std::size_t before = pool.bytes_in_use();
+    const units::Bytes before = pool.bytes_in_use();
     const auto kv6 = random_heads(heads, hd, rng);
     quant.append(kv6, kv6);  // Fills block 3 (positions 5-6).
     EXPECT_EQ(pool.bytes_in_use(), before);
@@ -205,9 +207,9 @@ TEST(KvCache, PagedReadsAreByteIdenticalAcrossBlockSizes)
     }
     for (const KvPrecision precision :
          {KvPrecision::kFloat, KvPrecision::kInt4}) {
-        BlockPool contiguous(0, T);  // One block holds everything.
-        BlockPool tiny(0, 1);
-        BlockPool odd(0, 5);
+        BlockPool contiguous(units::Bytes(0), units::Tokens(T));  // One block holds everything.
+        BlockPool tiny(units::Bytes(0), units::Tokens(1));
+        BlockPool odd(units::Bytes(0), units::Tokens(5));
         KvCache reference(heads, hd, precision, &contiguous);
         std::vector<KvCache> paged;
         paged.emplace_back(heads, hd, precision, &tiny);
@@ -222,17 +224,17 @@ TEST(KvCache, PagedReadsAreByteIdenticalAcrossBlockSizes)
         std::vector<float> want(hd), got(hd);
         for (std::size_t h = 0; h < heads; ++h) {
             for (std::size_t t = 0; t < T; ++t) {
-                reference.read_key(h, t, want.data());
+                reference.read_key(h, units::Positions(t), want.data());
                 for (const KvCache& cache : paged) {
-                    cache.read_key(h, t, got.data());
+                    cache.read_key(h, units::Positions(t), got.data());
                     for (std::size_t d = 0; d < hd; ++d) {
                         EXPECT_EQ(got[d], want[d])
                             << "key h=" << h << " t=" << t;
                     }
                 }
-                reference.read_value(h, t, want.data());
+                reference.read_value(h, units::Positions(t), want.data());
                 for (const KvCache& cache : paged) {
-                    cache.read_value(h, t, got.data());
+                    cache.read_value(h, units::Positions(t), got.data());
                     for (std::size_t d = 0; d < hd; ++d) {
                         EXPECT_EQ(got[d], want[d])
                             << "value h=" << h << " t=" << t;
@@ -240,11 +242,11 @@ TEST(KvCache, PagedReadsAreByteIdenticalAcrossBlockSizes)
                 }
                 if (precision == KvPrecision::kInt4) {
                     for (const KvCache& cache : paged) {
-                        EXPECT_EQ(cache.key_scale(h, t),
-                                  reference.key_scale(h, t));
+                        EXPECT_EQ(cache.key_scale(h, units::Positions(t)),
+                                  reference.key_scale(h, units::Positions(t)));
                         for (std::size_t d = 0; d < hd; ++d) {
-                            EXPECT_EQ(cache.key_code(h, t, d),
-                                      reference.key_code(h, t, d));
+                            EXPECT_EQ(cache.key_code(h, units::Positions(t), d),
+                                      reference.key_code(h, units::Positions(t), d));
                         }
                     }
                 }
@@ -256,24 +258,24 @@ TEST(KvCache, PagedReadsAreByteIdenticalAcrossBlockSizes)
 TEST(KvCache, MoveLeavesTheSourceDrainedAndInert)
 {
     std::mt19937 rng(601);
-    BlockPool pool(0, 2);
+    BlockPool pool(units::Bytes(0), units::Tokens(2));
     KvCache source(2, 8, KvPrecision::kFloat, &pool);
     for (int t = 0; t < 3; ++t) {
         const auto kv = random_heads(2, 8, rng);
         source.append(kv, kv);
     }
-    const std::size_t moved_bytes = source.memory_bytes();
+    const units::Bytes moved_bytes = source.memory_bytes();
 
     KvCache target = std::move(source);
-    EXPECT_EQ(target.length(), 3u);
+    EXPECT_EQ(target.length(), units::Positions(3));
     EXPECT_EQ(target.memory_bytes(), moved_bytes);
     // The source is drained AND inert: no stale length, no blocks,
     // and -- the regression this pins -- no pool pointer either, so
     // a use-after-move cannot silently allocate from storage that
     // moved away with the destination.  Destroying it stays safe.
-    EXPECT_EQ(source.length(), 0u);
-    EXPECT_EQ(source.memory_bytes(), 0u);
-    EXPECT_EQ(source.blocks_in_use(), 0u);
+    EXPECT_EQ(source.length(), units::Positions(0));
+    EXPECT_EQ(source.memory_bytes(), units::Bytes(0));
+    EXPECT_EQ(source.blocks_in_use(), units::Blocks(0));
     EXPECT_EQ(pool.bytes_in_use(), moved_bytes);
 
     // Move assignment releases the target's old blocks first and
@@ -282,10 +284,10 @@ TEST(KvCache, MoveLeavesTheSourceDrainedAndInert)
     const auto kv = random_heads(2, 8, rng);
     replacement.append(kv, kv);
     target = std::move(replacement);
-    EXPECT_EQ(target.length(), 1u);
+    EXPECT_EQ(target.length(), units::Positions(1));
     EXPECT_EQ(pool.bytes_in_use(), target.memory_bytes());
-    EXPECT_EQ(replacement.length(), 0u);
-    EXPECT_EQ(replacement.memory_bytes(), 0u);
+    EXPECT_EQ(replacement.length(), units::Positions(0));
+    EXPECT_EQ(replacement.memory_bytes(), units::Bytes(0));
 }
 
 TEST(KvCache, MovedFromOwnedPoolCacheOutlivesTheDestination)
@@ -300,12 +302,12 @@ TEST(KvCache, MovedFromOwnedPoolCacheOutlivesTheDestination)
     source.append(kv, kv);
     {
         const KvCache target = std::move(source);
-        EXPECT_EQ(target.length(), 1u);
+        EXPECT_EQ(target.length(), units::Positions(1));
     }  // Destination (and the owned pool) die here.
     // Source destructor runs at end of scope against no pool; under
     // the old code its pool_ would dangle into freed storage.
-    EXPECT_EQ(source.length(), 0u);
-    EXPECT_EQ(source.memory_bytes(), 0u);
+    EXPECT_EQ(source.length(), units::Positions(0));
+    EXPECT_EQ(source.memory_bytes(), units::Bytes(0));
 #ifndef NDEBUG
     EXPECT_DEATH(source.append(kv, kv), "moved-from");
 #endif
@@ -318,7 +320,7 @@ TEST(KvCache, ReusedBlocksComeBackZeroedForTheNibbleOrPath)
     // Pin the end-to-end consequence: appending through a reused
     // dirty block reads back exactly what a fresh cache stores.
     std::mt19937 rng(613);
-    BlockPool pool(0, 4);
+    BlockPool pool(units::Bytes(0), units::Tokens(4));
     KvCache cache(2, 8, KvPrecision::kInt4, &pool);
     for (int t = 0; t < 6; ++t) {
         const auto kv = random_heads(2, 8, rng);
@@ -338,12 +340,12 @@ TEST(KvCache, ReusedBlocksComeBackZeroedForTheNibbleOrPath)
     std::vector<float> got(8), want(8);
     for (std::size_t h = 0; h < 2; ++h) {
         for (std::size_t t = 0; t < 6; ++t) {
-            cache.read_key(h, t, got.data());
-            fresh.read_key(h, t, want.data());
+            cache.read_key(h, units::Positions(t), got.data());
+            fresh.read_key(h, units::Positions(t), want.data());
             for (std::size_t d = 0; d < 8; ++d) {
                 EXPECT_EQ(got[d], want[d]) << "h=" << h << " t=" << t;
             }
-            EXPECT_EQ(cache.key_scale(h, t), fresh.key_scale(h, t));
+            EXPECT_EQ(cache.key_scale(h, units::Positions(t)), fresh.key_scale(h, units::Positions(t)));
         }
     }
 }
@@ -355,7 +357,7 @@ TEST(KvCache, SharedPrefixReadsAreByteIdenticalForBothPrecisions)
     std::mt19937 rng(701);
     for (const KvPrecision precision :
          {KvPrecision::kFloat, KvPrecision::kInt4}) {
-        BlockPool pool(0, 4);
+        BlockPool pool(units::Bytes(0), units::Tokens(4));
         KvCache donor(2, 8, precision, &pool);
         std::vector<support::MatrixF> ks, vs;
         for (int t = 0; t < 10; ++t) {
@@ -364,28 +366,28 @@ TEST(KvCache, SharedPrefixReadsAreByteIdenticalForBothPrecisions)
             donor.append(ks[static_cast<std::size_t>(t)],
                          vs[static_cast<std::size_t>(t)]);
         }
-        const std::size_t donor_bytes = donor.memory_bytes();
+        const units::Bytes donor_bytes = donor.memory_bytes();
 
         KvCache sharer(2, 8, precision, &pool);
-        sharer.share_prefix_from(donor, 8);  // Two full blocks.
-        EXPECT_EQ(sharer.length(), 8u);
-        EXPECT_EQ(sharer.blocks_in_use(), 2u);
-        EXPECT_EQ(sharer.shared_blocks(), 2u);
-        EXPECT_EQ(donor.shared_blocks(), 2u);
+        sharer.share_prefix_from(donor, units::Positions(8));  // Two full blocks.
+        EXPECT_EQ(sharer.length(), units::Positions(8));
+        EXPECT_EQ(sharer.blocks_in_use(), units::Blocks(2));
+        EXPECT_EQ(sharer.shared_blocks(), units::Blocks(2));
+        EXPECT_EQ(donor.shared_blocks(), units::Blocks(2));
         // The pool accounts the shared blocks exactly once.
         EXPECT_EQ(pool.bytes_in_use(), donor_bytes);
-        EXPECT_EQ(pool.shared_blocks(), 2u);
+        EXPECT_EQ(pool.shared_blocks(), units::Blocks(2));
 
         std::vector<float> got(8), want(8);
         for (std::size_t h = 0; h < 2; ++h) {
             for (std::size_t t = 0; t < 8; ++t) {
-                donor.read_key(h, t, want.data());
-                sharer.read_key(h, t, got.data());
+                donor.read_key(h, units::Positions(t), want.data());
+                sharer.read_key(h, units::Positions(t), got.data());
                 for (std::size_t d = 0; d < 8; ++d) {
                     EXPECT_EQ(got[d], want[d]);
                 }
-                donor.read_value(h, t, want.data());
-                sharer.read_value(h, t, got.data());
+                donor.read_value(h, units::Positions(t), want.data());
+                sharer.read_value(h, units::Positions(t), got.data());
                 for (std::size_t d = 0; d < 8; ++d) {
                     EXPECT_EQ(got[d], want[d]);
                 }
@@ -402,7 +404,7 @@ TEST(KvCache, AppendAfterSharedPrefixNeverTouchesTheDonor)
     std::mt19937 rng(703);
     for (const KvPrecision precision :
          {KvPrecision::kFloat, KvPrecision::kInt4}) {
-        BlockPool pool(0, 4);
+        BlockPool pool(units::Bytes(0), units::Tokens(4));
         KvCache donor(2, 8, precision, &pool);
         std::vector<support::MatrixF> ks;
         for (int t = 0; t < 8; ++t) {
@@ -410,28 +412,28 @@ TEST(KvCache, AppendAfterSharedPrefixNeverTouchesTheDonor)
             donor.append(ks.back(), ks.back());
         }
         KvCache sharer(2, 8, precision, &pool);
-        sharer.share_prefix_from(donor, 8);
+        sharer.share_prefix_from(donor, units::Positions(8));
 
         // Diverge: both append different continuations.
         const auto donor_tail = random_heads(2, 8, rng);
         const auto sharer_tail = random_heads(2, 8, rng);
         donor.append(donor_tail, donor_tail);
         sharer.append(sharer_tail, sharer_tail);
-        EXPECT_EQ(donor.length(), 9u);
-        EXPECT_EQ(sharer.length(), 9u);
+        EXPECT_EQ(donor.length(), units::Positions(9));
+        EXPECT_EQ(sharer.length(), units::Positions(9));
 
         // The shared prefix still reads identically in both...
         std::vector<float> got(8), want(8);
         for (std::size_t t = 0; t < 8; ++t) {
-            donor.read_key(0, t, want.data());
-            sharer.read_key(0, t, got.data());
+            donor.read_key(0, units::Positions(t), want.data());
+            sharer.read_key(0, units::Positions(t), got.data());
             for (std::size_t d = 0; d < 8; ++d) {
                 EXPECT_EQ(got[d], want[d]);
             }
         }
         // ...and the tails stayed private.
-        donor.read_key(0, 8, want.data());
-        sharer.read_key(0, 8, got.data());
+        donor.read_key(0, units::Positions(8), want.data());
+        sharer.read_key(0, units::Positions(8), got.data());
         bool same = true;
         for (std::size_t d = 0; d < 8; ++d) {
             same &= got[d] == want[d];
@@ -449,7 +451,7 @@ TEST(KvCache, CopyOnWriteClonesAPartiallySharedBlock)
     std::mt19937 rng(709);
     for (const KvPrecision precision :
          {KvPrecision::kFloat, KvPrecision::kInt4}) {
-        BlockPool pool(0, 4);
+        BlockPool pool(units::Bytes(0), units::Tokens(4));
         KvCache donor(2, 8, precision, &pool);
         std::vector<support::MatrixF> ks;
         for (int t = 0; t < 6; ++t) {  // Blocks: [0-3], [4-5].
@@ -457,16 +459,16 @@ TEST(KvCache, CopyOnWriteClonesAPartiallySharedBlock)
             donor.append(ks.back(), ks.back());
         }
         KvCache sharer(2, 8, precision, &pool);
-        sharer.share_prefix_from(donor, 6);  // Includes partial block.
-        EXPECT_EQ(pool.shared_blocks(), 2u);
-        const std::size_t before = pool.bytes_in_use();
+        sharer.share_prefix_from(donor, units::Positions(6));  // Includes partial block.
+        EXPECT_EQ(pool.shared_blocks(), units::Blocks(2));
+        const units::Bytes before = pool.bytes_in_use();
 
         // Sharer appends into the shared partial block: CoW.
         const auto sharer_tail = random_heads(2, 8, rng);
         sharer.append(sharer_tail, sharer_tail);
         EXPECT_EQ(pool.bytes_in_use(),
                   before + donor.block_bytes());
-        EXPECT_EQ(pool.shared_blocks(), 1u);  // Tail block unshared.
+        EXPECT_EQ(pool.shared_blocks(), units::Blocks(1));  // Tail block unshared.
 
         // Donor's view of position 6's slot never changed: appending
         // its own continuation there still reads back cleanly.
@@ -476,8 +478,8 @@ TEST(KvCache, CopyOnWriteClonesAPartiallySharedBlock)
         std::vector<float> got(8), want(8);
         // Shared full block + the cloned prefix read identically.
         for (std::size_t t = 0; t < 6; ++t) {
-            donor.read_key(1, t, want.data());
-            sharer.read_key(1, t, got.data());
+            donor.read_key(1, units::Positions(t), want.data());
+            sharer.read_key(1, units::Positions(t), got.data());
             for (std::size_t d = 0; d < 8; ++d) {
                 EXPECT_EQ(got[d], want[d]) << "t=" << t;
             }
@@ -490,8 +492,8 @@ TEST(KvCache, CopyOnWriteClonesAPartiallySharedBlock)
                              ks[static_cast<std::size_t>(t)]);
         }
         reference.append(sharer_tail, sharer_tail);
-        reference.read_key(0, 6, want.data());
-        sharer.read_key(0, 6, got.data());
+        reference.read_key(0, units::Positions(6), want.data());
+        sharer.read_key(0, units::Positions(6), got.data());
         for (std::size_t d = 0; d < 8; ++d) {
             EXPECT_EQ(got[d], want[d]);
         }
@@ -501,7 +503,7 @@ TEST(KvCache, CopyOnWriteClonesAPartiallySharedBlock)
 TEST(KvCache, SharedBlocksFreeExactlyOnceWhenTheLastOwnerReleases)
 {
     std::mt19937 rng(719);
-    BlockPool pool(0, 4);
+    BlockPool pool(units::Bytes(0), units::Tokens(4));
     auto donor = std::make_unique<KvCache>(2, 8, KvPrecision::kInt4,
                                            &pool);
     std::vector<support::MatrixF> ks;
@@ -509,16 +511,16 @@ TEST(KvCache, SharedBlocksFreeExactlyOnceWhenTheLastOwnerReleases)
         ks.push_back(random_heads(2, 8, rng));
         donor->append(ks.back(), ks.back());
     }
-    const std::size_t shared_bytes = donor->memory_bytes();
+    const units::Bytes shared_bytes = donor->memory_bytes();
     KvCache sharer(2, 8, KvPrecision::kInt4, &pool);
-    sharer.share_prefix_from(*donor, 8);
+    sharer.share_prefix_from(*donor, units::Positions(8));
     EXPECT_EQ(pool.bytes_in_use(), shared_bytes);
 
     // Donor dies first (its request finished / was preempted): the
     // sharer's blocks survive, and its reads stay intact.
     donor.reset();
     EXPECT_EQ(pool.bytes_in_use(), shared_bytes);
-    EXPECT_EQ(pool.shared_blocks(), 0u);
+    EXPECT_EQ(pool.shared_blocks(), units::Blocks(0));
     std::vector<float> got(8);
     KvCache reference(2, 8, KvPrecision::kInt4, &pool);
     for (const auto& k : ks) {
@@ -526,8 +528,8 @@ TEST(KvCache, SharedBlocksFreeExactlyOnceWhenTheLastOwnerReleases)
     }
     std::vector<float> want(8);
     for (std::size_t t = 0; t < 8; ++t) {
-        sharer.read_key(0, t, got.data());
-        reference.read_key(0, t, want.data());
+        sharer.read_key(0, units::Positions(t), got.data());
+        reference.read_key(0, units::Positions(t), want.data());
         for (std::size_t d = 0; d < 8; ++d) {
             EXPECT_EQ(got[d], want[d]);
         }
@@ -535,20 +537,20 @@ TEST(KvCache, SharedBlocksFreeExactlyOnceWhenTheLastOwnerReleases)
     reference.release_blocks();
     // Only when the last owner releases does the storage return.
     sharer.release_blocks();
-    EXPECT_EQ(pool.bytes_in_use(), 0u);
-    EXPECT_EQ(pool.blocks_in_use(), 0u);
+    EXPECT_EQ(pool.bytes_in_use(), units::Bytes(0));
+    EXPECT_EQ(pool.blocks_in_use(), units::Blocks(0));
 }
 
 TEST(KvCache, ReleaseReturnsBlocksToThePool)
 {
     std::mt19937 rng(401);
-    BlockPool pool(0, 4);
+    BlockPool pool(units::Bytes(0), units::Tokens(4));
     KvCache outer(2, 8, KvPrecision::kInt4, &pool);
     for (int t = 0; t < 6; ++t) {
         const auto kv = random_heads(2, 8, rng);
         outer.append(kv, kv);
     }
-    const std::size_t outer_bytes = outer.memory_bytes();
+    const units::Bytes outer_bytes = outer.memory_bytes();
     EXPECT_EQ(pool.bytes_in_use(), outer_bytes);
     {
         KvCache inner(2, 8, KvPrecision::kInt4, &pool);
@@ -561,12 +563,12 @@ TEST(KvCache, ReleaseReturnsBlocksToThePool)
     // release_blocks() is the preemption path: everything returns at
     // once and the cache restarts from length 0.
     outer.release_blocks();
-    EXPECT_EQ(pool.bytes_in_use(), 0u);
-    EXPECT_EQ(outer.length(), 0u);
-    EXPECT_EQ(outer.memory_bytes(), 0u);
+    EXPECT_EQ(pool.bytes_in_use(), units::Bytes(0));
+    EXPECT_EQ(outer.length(), units::Positions(0));
+    EXPECT_EQ(outer.memory_bytes(), units::Bytes(0));
     const auto kv = random_heads(2, 8, rng);
     outer.append(kv, kv);
-    EXPECT_EQ(outer.length(), 1u);
+    EXPECT_EQ(outer.length(), units::Positions(1));
     EXPECT_EQ(pool.bytes_in_use(), outer.block_bytes());
 }
 

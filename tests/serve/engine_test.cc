@@ -119,8 +119,9 @@ TEST(EngineStep, BatchedNumericsMatchIndependentSessions)
                     << " vocab " << v;
             }
             EXPECT_EQ(result.outputs[i].position,
-                      prompt_lens[i] + static_cast<std::size_t>(step) +
-                          1);
+                      units::Positions(
+                          prompt_lens[i] +
+                          static_cast<std::size_t>(step) + 1));
             tokens[i] = result.outputs[i].next_token;
         }
     }
@@ -135,7 +136,7 @@ TEST(EngineStep, ReportAggregatesBatchedWorkload)
     std::vector<Session*> batch;
     for (const std::size_t context : {255u, 1023u, 4095u}) {
         SessionOptions options;
-        options.initial_context = context;
+        options.initial_context = units::Tokens(context);
         sessions.push_back(engine.create_session(options));
     }
     for (Session& s : sessions) batch.push_back(&s);
@@ -148,8 +149,8 @@ TEST(EngineStep, ReportAggregatesBatchedWorkload)
     EXPECT_GT(result.report.event_sim.makespan_cycles, 0.0);
     EXPECT_DOUBLE_EQ(result.report.perf.tokens, 3.0);
     // Positions advanced.
-    EXPECT_EQ(sessions[0].position(), 256u);
-    EXPECT_EQ(sessions[2].position(), 4096u);
+    EXPECT_EQ(sessions[0].position(), units::Positions(256));
+    EXPECT_EQ(sessions[2].position(), units::Positions(4096));
 
     // Batched decode beats stepping the three requests one by one
     // (shared weight stream), at equal total tokens.
@@ -243,7 +244,7 @@ TEST(EngineStep, AnalyticSessionStepsPastModelMaxSeqLen)
     const model::ModelConfig config = model::llama2_7b();
     const Engine engine(sim::make_mugi(256), config);
     SessionOptions options;
-    options.initial_context = config.max_seq_len - 1;
+    options.initial_context = units::Tokens(config.max_seq_len - 1);
     Session session = engine.create_session(options);
 
     Session* batch[] = {&session};
@@ -255,7 +256,8 @@ TEST(EngineStep, AnalyticSessionStepsPastModelMaxSeqLen)
         EXPECT_GT(result.report.perf.total_cycles, last_cycles);
         last_cycles = result.report.perf.total_cycles;
     }
-    EXPECT_EQ(session.position(), config.max_seq_len + 2);
+    EXPECT_EQ(session.position(),
+              units::Positions(config.max_seq_len + 2));
 }
 
 TEST(EngineStep, PrefillChunksAreBitIdenticalToFullPrefill)

@@ -145,14 +145,14 @@ TEST(Scheduler, FunctionalOutputBitIdenticalToSequentialServing)
     // Scheduler: tiny chunks force multi-chunk prefill, and a small
     // batch target forces queueing -- neither may change numerics.
     SchedulerConfig sched_config;
-    sched_config.prefill_chunk_tokens = 4;
+    sched_config.prefill_chunk_tokens = units::Tokens(4);
     sched_config.max_batch = 2;
     Scheduler scheduler(engine, sched_config);
     std::vector<std::uint64_t> ids;
     for (const std::vector<int>& prompt : prompts) {
         Request request;
         request.prompt = prompt;
-        request.max_new_tokens = kMaxNew;
+        request.max_new_tokens = units::Tokens(kMaxNew);
         ids.push_back(scheduler.submit(std::move(request)));
     }
     std::vector<FinishedRequest> finished = scheduler.run();
@@ -167,8 +167,9 @@ TEST(Scheduler, FunctionalOutputBitIdenticalToSequentialServing)
         ASSERT_LT(idx, expected.size());
         EXPECT_EQ(finished[i].tokens, expected[idx])
             << "request " << idx << " diverged from sequential serving";
-        EXPECT_EQ(finished[i].generated, kMaxNew);
-        EXPECT_EQ(finished[i].prompt_tokens, prompt_lens[idx]);
+        EXPECT_EQ(finished[i].generated, units::Tokens(kMaxNew));
+        EXPECT_EQ(finished[i].prompt_tokens,
+                  units::Tokens(prompt_lens[idx]));
         EXPECT_EQ(finished[i].reason, FinishReason::kMaxTokens);
     }
 }
@@ -186,7 +187,7 @@ TEST(Scheduler, StopTokenEndsGenerationEarly)
     // Learn the greedy continuation, then stop on its third token.
     Request probe;
     probe.prompt = prompt;
-    probe.max_new_tokens = 5;
+    probe.max_new_tokens = units::Tokens(5);
     Scheduler probe_scheduler(engine, {});
     probe_scheduler.submit(probe);
     const std::vector<int> continuation =
@@ -195,7 +196,7 @@ TEST(Scheduler, StopTokenEndsGenerationEarly)
 
     Request request;
     request.prompt = prompt;
-    request.max_new_tokens = 5;
+    request.max_new_tokens = units::Tokens(5);
     request.stop_token = continuation[2];
     Scheduler scheduler(engine, {});
     scheduler.submit(std::move(request));
@@ -217,7 +218,7 @@ TEST(Scheduler, StreamsTokensInOrder)
     std::vector<std::pair<std::size_t, int>> streamed;
     Request request;
     request.prompt = model::synthetic_tokens(6, config.vocab, 3);
-    request.max_new_tokens = 4;
+    request.max_new_tokens = units::Tokens(4);
     request.on_token = [&](std::uint64_t, std::size_t index,
                            int token) {
         streamed.emplace_back(index, token);
@@ -241,22 +242,22 @@ TEST(Scheduler, KvBudgetCapsConcurrencyAndPeakFootprint)
     const Engine engine(sim::make_mugi(256), config);
 
     // Per-request projection: prompt 96 + 32 new tokens of INT4 KV.
-    const std::size_t per_request =
-        config.num_layers *
+    const units::Bytes per_request =
         quant::KvCache::bytes_per_position(
             config.num_kv_heads, config.head_dim(),
             quant::KvPrecision::kInt4) *
-        (96 + 32);
+        config.num_layers * (96 + 32);
 
     SchedulerConfig sched_config;
-    sched_config.kv_budget_bytes = 2 * per_request + per_request / 2;
-    sched_config.prefill_chunk_tokens = 48;
+    sched_config.kv_budget_bytes =
+        per_request * 2 + per_request / 2;
+    sched_config.prefill_chunk_tokens = units::Tokens(48);
     sched_config.max_batch = 8;  // Budget binds before the batch cap.
     Scheduler scheduler(engine, sched_config);
     for (int i = 0; i < 5; ++i) {
         Request request;
-        request.analytic_prompt_tokens = 96;
-        request.max_new_tokens = 32;
+        request.analytic_prompt_tokens = units::Tokens(96);
+        request.max_new_tokens = units::Tokens(32);
         scheduler.submit(std::move(request));
     }
 
@@ -271,7 +272,7 @@ TEST(Scheduler, KvBudgetCapsConcurrencyAndPeakFootprint)
     const ServerStats stats = scheduler.stats();
     EXPECT_EQ(stats.finished, 5u);
     EXPECT_LE(stats.peak_kv_bytes, sched_config.kv_budget_bytes);
-    EXPECT_GT(stats.peak_kv_bytes, 0u);
+    EXPECT_GT(stats.peak_kv_bytes, units::Bytes(0));
     // Later requests waited in the admission queue.
     EXPECT_GT(stats.mean_queue_s, 0.0);
 }
@@ -281,15 +282,15 @@ TEST(Scheduler, OversizedRequestStillRunsAlone)
     const model::ModelConfig config = model::llama2_7b();
     const Engine engine(sim::make_mugi(256), config);
     SchedulerConfig sched_config;
-    sched_config.kv_budget_bytes = 1;  // Smaller than any request.
+    sched_config.kv_budget_bytes = units::Bytes(1);  // Smaller than any request.
     Scheduler scheduler(engine, sched_config);
     Request request;
-    request.analytic_prompt_tokens = 16;
-    request.max_new_tokens = 4;
+    request.analytic_prompt_tokens = units::Tokens(16);
+    request.max_new_tokens = units::Tokens(4);
     scheduler.submit(std::move(request));
     const std::vector<FinishedRequest> finished = scheduler.run();
     ASSERT_EQ(finished.size(), 1u);
-    EXPECT_EQ(finished[0].generated, 4u);
+    EXPECT_EQ(finished[0].generated, units::Tokens(4));
 }
 
 // ---- Paged KV: block reservation and preemption. ----
@@ -332,18 +333,19 @@ TEST(Scheduler, PreemptionKeepsOutputBitIdentical)
     // 4-token blocks, each request needs 2 block-groups at admission
     // (7 positions) and 4 by the end (16 positions), so a 5-group
     // budget forces the later-admitted request out mid-decode.
-    const std::size_t group = sim::kv_footprint(
-        config, 1, quant::KvPrecision::kInt4, 4).paged_bytes;
+    const units::Bytes group = sim::kv_footprint(
+        config, units::Positions(1), quant::KvPrecision::kInt4,
+        units::Tokens(4)).paged_bytes;
     SchedulerConfig sched_config;
-    sched_config.kv_block_tokens = 4;
-    sched_config.kv_budget_bytes = 5 * group;
+    sched_config.kv_block_tokens = units::Tokens(4);
+    sched_config.kv_budget_bytes = group * 5;
     sched_config.max_batch = 2;
     Scheduler scheduler(engine, sched_config);
     std::vector<std::uint64_t> ids;
     for (const std::vector<int>& prompt : prompts) {
         Request request;
         request.prompt = prompt;
-        request.max_new_tokens = kMaxNew;
+        request.max_new_tokens = units::Tokens(kMaxNew);
         ids.push_back(scheduler.submit(std::move(request)));
     }
     const std::vector<FinishedRequest> finished = scheduler.run();
@@ -360,7 +362,7 @@ TEST(Scheduler, PreemptionKeepsOutputBitIdentical)
         EXPECT_EQ(f.tokens, expected[idx])
             << "request " << idx
             << " diverged after preempt + re-prefill";
-        EXPECT_EQ(f.generated, kMaxNew);
+        EXPECT_EQ(f.generated, units::Tokens(kMaxNew));
         preempted_requests += f.preemptions > 0 ? 1 : 0;
     }
     EXPECT_GE(preempted_requests, 1u);
@@ -368,7 +370,8 @@ TEST(Scheduler, PreemptionKeepsOutputBitIdentical)
     EXPECT_EQ(stats.preemptions, scheduler.preemptions());
     // Recompute work shows up as extra prefill tokens: both prompts
     // plus at least the victim's replayed history.
-    EXPECT_GT(stats.prefill_tokens, 2 * prompts[0].size());
+    EXPECT_GT(stats.prefill_tokens,
+              units::Tokens(2 * prompts[0].size()));
 }
 
 TEST(Scheduler, PriorityChoosesThePreemptionVictim)
@@ -379,11 +382,12 @@ TEST(Scheduler, PriorityChoosesThePreemptionVictim)
         std::make_shared<model::TransformerModel>(config, 556);
     const Engine engine(sim::make_mugi(64), transformer);
 
-    const std::size_t group = sim::kv_footprint(
-        config, 1, quant::KvPrecision::kInt4, 4).paged_bytes;
+    const units::Bytes group = sim::kv_footprint(
+        config, units::Positions(1), quant::KvPrecision::kInt4,
+        units::Tokens(4)).paged_bytes;
     SchedulerConfig sched_config;
-    sched_config.kv_block_tokens = 4;
-    sched_config.kv_budget_bytes = 5 * group;
+    sched_config.kv_block_tokens = units::Tokens(4);
+    sched_config.kv_budget_bytes = group * 5;
     sched_config.max_batch = 2;
     Scheduler scheduler(engine, sched_config);
 
@@ -391,12 +395,12 @@ TEST(Scheduler, PriorityChoosesThePreemptionVictim)
     // not the default tie-break victim -- must be evicted.
     Request low;
     low.prompt = model::synthetic_tokens(6, config.vocab, 81);
-    low.max_new_tokens = 10;
+    low.max_new_tokens = units::Tokens(10);
     low.priority = -1;
     const std::uint64_t low_id = scheduler.submit(std::move(low));
     Request high;
     high.prompt = model::synthetic_tokens(6, config.vocab, 82);
-    high.max_new_tokens = 10;
+    high.max_new_tokens = units::Tokens(10);
     const std::uint64_t high_id = scheduler.submit(std::move(high));
 
     const std::vector<FinishedRequest> finished = scheduler.run();
@@ -420,23 +424,24 @@ TEST(Scheduler, PagedReservationAdmitsMoreThanFullProjection)
     const model::ModelConfig config = model::llama2_7b();
     const Engine engine(sim::make_mugi(256), config);
     const std::size_t B = 8;
-    const std::size_t group = sim::kv_footprint(
-        config, 1, quant::KvPrecision::kInt4, B).paged_bytes;
+    const units::Bytes group = sim::kv_footprint(
+        config, units::Positions(1), quant::KvPrecision::kInt4,
+        units::Tokens(B)).paged_bytes;
 
     const auto serve_trace = [&](AdmissionMode mode,
                                  std::size_t* max_active,
                                  ServerStats* stats_out) {
         SchedulerConfig sched_config;
         sched_config.admission = mode;
-        sched_config.kv_block_tokens = B;
-        sched_config.kv_budget_bytes = 12 * group;
-        sched_config.prefill_chunk_tokens = 24;
+        sched_config.kv_block_tokens = units::Tokens(B);
+        sched_config.kv_budget_bytes = group * 12;
+        sched_config.prefill_chunk_tokens = units::Tokens(24);
         sched_config.max_batch = 8;
         Scheduler scheduler(engine, sched_config);
         for (int i = 0; i < 4; ++i) {
             Request request;
-            request.analytic_prompt_tokens = 24;
-            request.max_new_tokens = 60;
+            request.analytic_prompt_tokens = units::Tokens(24);
+            request.max_new_tokens = units::Tokens(60);
             scheduler.submit(std::move(request));
         }
         *max_active = 0;
@@ -475,21 +480,22 @@ TEST(Scheduler, PoolExhaustionRefusesAdmissionUntilBlocksFree)
     const model::ModelConfig config = model::llama2_7b();
     const Engine engine(sim::make_mugi(256), config);
     const std::size_t B = 8;
-    const std::size_t group = sim::kv_footprint(
-        config, 1, quant::KvPrecision::kInt4, B).paged_bytes;
+    const units::Bytes group = sim::kv_footprint(
+        config, units::Positions(1), quant::KvPrecision::kInt4,
+        units::Tokens(B)).paged_bytes;
 
     // Each request needs 4 block-groups (25 positions at B=8); a
     // 5-group budget cannot hold two plus the watermark, so the
     // second waits for the first to release its blocks.
     SchedulerConfig sched_config;
-    sched_config.kv_block_tokens = B;
-    sched_config.kv_budget_bytes = 5 * group;
+    sched_config.kv_block_tokens = units::Tokens(B);
+    sched_config.kv_budget_bytes = group * 5;
     sched_config.max_batch = 4;
     Scheduler scheduler(engine, sched_config);
     for (int i = 0; i < 2; ++i) {
         Request request;
-        request.analytic_prompt_tokens = 24;
-        request.max_new_tokens = 4;
+        request.analytic_prompt_tokens = units::Tokens(24);
+        request.max_new_tokens = units::Tokens(4);
         scheduler.submit(std::move(request));
     }
     std::size_t max_active = 0;
@@ -536,8 +542,8 @@ TEST(Scheduler, PrefixCachingSharesBlocksAndKeepsTokensBitIdentical)
 
     const auto serve_trace = [&](bool sharing) {
         SchedulerConfig sched_config;
-        sched_config.kv_block_tokens = 4;
-        sched_config.prefill_chunk_tokens = 64;
+        sched_config.kv_block_tokens = units::Tokens(4);
+        sched_config.prefill_chunk_tokens = units::Tokens(64);
         sched_config.max_batch = 4;
         sched_config.prefix_caching = sharing;
         Scheduler scheduler(engine, sched_config);
@@ -547,7 +553,7 @@ TEST(Scheduler, PrefixCachingSharesBlocksAndKeepsTokensBitIdentical)
             request.prompt = prompts[i];
             // The donor finishes early so its blocks outlive it via
             // the sharers' refcounts.
-            request.max_new_tokens = i == 0 ? 2 : 6;
+            request.max_new_tokens = units::Tokens(i == 0 ? 2 : 6);
             // Sharers arrive one modeled instant later, after the
             // donor's prefill made the prefix resident.
             request.arrival_time_s = i == 0 ? 0.0 : 1e-12;
@@ -555,7 +561,7 @@ TEST(Scheduler, PrefixCachingSharesBlocksAndKeepsTokensBitIdentical)
         }
         std::vector<FinishedRequest> finished = scheduler.run();
         // Everything released: the pool must drain to exactly zero.
-        EXPECT_EQ(scheduler.kv_bytes_in_use(), 0u);
+        EXPECT_EQ(scheduler.kv_bytes_in_use(), units::Bytes(0));
         std::vector<std::vector<int>> tokens(prompts.size());
         for (FinishedRequest& f : finished) {
             const std::size_t idx = static_cast<std::size_t>(
@@ -579,11 +585,11 @@ TEST(Scheduler, PrefixCachingSharesBlocksAndKeepsTokensBitIdentical)
 
     // Three sharers each mapped 3 blocks / 12 tokens of prompt.
     EXPECT_EQ(stats_off.prefix_hits, 0u);
-    EXPECT_EQ(stats_off.saved_prefill_tokens, 0u);
+    EXPECT_EQ(stats_off.saved_prefill_tokens, units::Tokens(0));
     EXPECT_EQ(stats_on.prefix_hits, 3u);
-    EXPECT_EQ(stats_on.shared_blocks, 9u);
-    EXPECT_EQ(stats_on.saved_prefill_tokens, 36u);
-    EXPECT_EQ(stats_on.prefill_tokens + 36u, stats_off.prefill_tokens);
+    EXPECT_EQ(stats_on.shared_blocks, units::Blocks(9));
+    EXPECT_EQ(stats_on.saved_prefill_tokens, units::Tokens(36));
+    EXPECT_EQ(stats_on.prefill_tokens + units::Tokens(36), stats_off.prefill_tokens);
     // Skipping prefill work makes the mean TTFT strictly better, and
     // physical sharing makes the peak footprint strictly smaller.
     EXPECT_LT(stats_on.mean_ttft_s, stats_off.mean_ttft_s);
@@ -635,19 +641,20 @@ TEST(Scheduler, PreemptionNeverFreesASharedBlockUnderTheSharer)
     // are shared, so the pair peaks at 8 distinct groups -- a
     // 6-group budget admits both (sharing discounts the sharer to 1
     // group up front) but must evict the sharer mid-decode.
-    const std::size_t group = sim::kv_footprint(
-        config, 1, quant::KvPrecision::kInt4, 4).paged_bytes;
+    const units::Bytes group = sim::kv_footprint(
+        config, units::Positions(1), quant::KvPrecision::kInt4,
+        units::Tokens(4)).paged_bytes;
     SchedulerConfig sched_config;
-    sched_config.kv_block_tokens = 4;
-    sched_config.kv_budget_bytes = 6 * group;
+    sched_config.kv_block_tokens = units::Tokens(4);
+    sched_config.kv_budget_bytes = group * 6;
     sched_config.max_batch = 2;
-    sched_config.prefill_chunk_tokens = 64;
+    sched_config.prefill_chunk_tokens = units::Tokens(64);
     Scheduler scheduler(engine, sched_config);
     std::vector<std::uint64_t> ids;
     for (std::size_t i = 0; i < prompts.size(); ++i) {
         Request request;
         request.prompt = prompts[i];
-        request.max_new_tokens = kMaxNew;
+        request.max_new_tokens = units::Tokens(kMaxNew);
         request.arrival_time_s = i == 0 ? 0.0 : 1e-12;
         ids.push_back(scheduler.submit(std::move(request)));
     }
@@ -667,7 +674,7 @@ TEST(Scheduler, PreemptionNeverFreesASharedBlockUnderTheSharer)
             << "request " << idx
             << " diverged after sharing + preemption";
     }
-    EXPECT_EQ(scheduler.kv_bytes_in_use(), 0u);
+    EXPECT_EQ(scheduler.kv_bytes_in_use(), units::Bytes(0));
 }
 
 TEST(Scheduler, AnalyticPrefixGroupsShareRefcountedReservations)
@@ -680,22 +687,22 @@ TEST(Scheduler, AnalyticPrefixGroupsShareRefcountedReservations)
 
     const auto serve_trace = [&](bool sharing) {
         SchedulerConfig sched_config;
-        sched_config.kv_block_tokens = 16;
-        sched_config.prefill_chunk_tokens = 128;
+        sched_config.kv_block_tokens = units::Tokens(16);
+        sched_config.prefill_chunk_tokens = units::Tokens(128);
         sched_config.max_batch = 4;
         sched_config.prefix_caching = sharing;
         Scheduler scheduler(engine, sched_config);
         for (std::size_t i = 0; i < 3; ++i) {
             Request request;
-            request.analytic_prompt_tokens = 80;
-            request.max_new_tokens = 8;
+            request.analytic_prompt_tokens = units::Tokens(80);
+            request.max_new_tokens = units::Tokens(8);
             request.prefix_group = 77;
-            request.prefix_tokens = 64;
+            request.prefix_tokens = units::Tokens(64);
             request.arrival_time_s = i == 0 ? 0.0 : 1e-12;
             scheduler.submit(std::move(request));
         }
         scheduler.run();
-        EXPECT_EQ(scheduler.kv_bytes_in_use(), 0u)
+        EXPECT_EQ(scheduler.kv_bytes_in_use(), units::Bytes(0))
             << "refcounted reservations must unwind to exactly zero";
         return scheduler.stats();
     };
@@ -707,9 +714,9 @@ TEST(Scheduler, AnalyticPrefixGroupsShareRefcountedReservations)
     EXPECT_EQ(off.prefix_hits, 0u);
     // Two sharers x 4 blocks x 16 tokens of skipped prefill.
     EXPECT_EQ(on.prefix_hits, 2u);
-    EXPECT_EQ(on.shared_blocks, 8u);
-    EXPECT_EQ(on.saved_prefill_tokens, 128u);
-    EXPECT_EQ(on.prefill_tokens + 128u, off.prefill_tokens);
+    EXPECT_EQ(on.shared_blocks, units::Blocks(8));
+    EXPECT_EQ(on.saved_prefill_tokens, units::Tokens(128));
+    EXPECT_EQ(on.prefill_tokens + units::Tokens(128), off.prefill_tokens);
     EXPECT_LT(on.mean_ttft_s, off.mean_ttft_s);
     // The shared reservation is charged once, not per sharer.
     EXPECT_LT(on.peak_kv_bytes, off.peak_kv_bytes);
@@ -724,23 +731,24 @@ TEST(Scheduler, AnalyticSharerIsResidentBeforeThePressureCheck)
     // sharer on a budget it actually fits.
     const model::ModelConfig config = model::llama2_7b();
     const Engine engine(sim::make_mugi(256), config);
-    const std::size_t group = sim::kv_footprint(
-        config, 1, quant::KvPrecision::kInt4, 16).paged_bytes;
+    const units::Bytes group = sim::kv_footprint(
+        config, units::Positions(1), quant::KvPrecision::kInt4,
+        units::Tokens(16)).paged_bytes;
 
     // Donor + sharer peak at 8 distinct groups (6 each, 4 shared);
     // with the watermark, 9 groups fit both for the whole run.
     SchedulerConfig sched_config;
-    sched_config.kv_block_tokens = 16;
-    sched_config.kv_budget_bytes = 9 * group;
-    sched_config.prefill_chunk_tokens = 128;
+    sched_config.kv_block_tokens = units::Tokens(16);
+    sched_config.kv_budget_bytes = group * 9;
+    sched_config.prefill_chunk_tokens = units::Tokens(128);
     sched_config.max_batch = 4;
     Scheduler scheduler(engine, sched_config);
     for (std::size_t i = 0; i < 2; ++i) {
         Request request;
-        request.analytic_prompt_tokens = 80;
-        request.max_new_tokens = 8;
+        request.analytic_prompt_tokens = units::Tokens(80);
+        request.max_new_tokens = units::Tokens(8);
         request.prefix_group = 5;
-        request.prefix_tokens = 64;
+        request.prefix_tokens = units::Tokens(64);
         request.arrival_time_s = i == 0 ? 0.0 : 1e-12;
         scheduler.submit(std::move(request));
     }
@@ -756,7 +764,7 @@ TEST(Scheduler, AnalyticSharerIsResidentBeforeThePressureCheck)
     EXPECT_EQ(max_active, 2u) << "sharing must let both be resident";
     EXPECT_EQ(stats.preemptions, 0u)
         << "a sharer that fits the budget must not be thrashed";
-    EXPECT_EQ(scheduler.kv_bytes_in_use(), 0u);
+    EXPECT_EQ(scheduler.kv_bytes_in_use(), units::Bytes(0));
 }
 
 // ---- Stats bugfix sweep (regressions). ----
@@ -770,18 +778,18 @@ TEST(Scheduler, MeanTpotExcludesSingleTokenRequests)
     Scheduler scheduler(engine, {});
 
     Request single;
-    single.analytic_prompt_tokens = 16;
-    single.max_new_tokens = 1;
+    single.analytic_prompt_tokens = units::Tokens(16);
+    single.max_new_tokens = units::Tokens(1);
     const std::uint64_t single_id = scheduler.submit(single);
     Request multi = single;
-    multi.max_new_tokens = 6;
+    multi.max_new_tokens = units::Tokens(6);
     scheduler.submit(multi);
 
     const std::vector<FinishedRequest> finished = scheduler.run();
     ASSERT_EQ(finished.size(), 2u);
     const FinishedRequest& m =
         finished[0].id == single_id ? finished[1] : finished[0];
-    ASSERT_GT(m.generated, 1u);
+    ASSERT_GT(m.generated, units::Tokens(1));
     EXPECT_GT(m.tpot_s(), 0.0);
     const ServerStats stats = scheduler.stats();
     // The mean is exactly the multi-token request's TPOT: the
@@ -799,11 +807,11 @@ TEST(Scheduler, ZeroGenerationRequestsAreExcludedFromTtft)
     Scheduler scheduler(engine, {});
 
     Request normal;
-    normal.analytic_prompt_tokens = 32;
-    normal.max_new_tokens = 4;
+    normal.analytic_prompt_tokens = units::Tokens(32);
+    normal.max_new_tokens = units::Tokens(4);
     const std::uint64_t normal_id = scheduler.submit(normal);
     Request empty = normal;
-    empty.max_new_tokens = 0;
+    empty.max_new_tokens = units::Tokens(0);
     scheduler.submit(empty);
 
     const std::vector<FinishedRequest> finished = scheduler.run();
@@ -812,7 +820,7 @@ TEST(Scheduler, ZeroGenerationRequestsAreExcludedFromTtft)
         finished[0].id == normal_id ? finished[0] : finished[1];
     const FinishedRequest& z =
         finished[0].id == normal_id ? finished[1] : finished[0];
-    EXPECT_EQ(z.generated, 0u);
+    EXPECT_EQ(z.generated, units::Tokens(0));
     EXPECT_EQ(z.first_token_s, 0.0) << "no token, no milestone";
     EXPECT_EQ(z.ttft_s(), 0.0);
     EXPECT_GT(z.finished_s, 0.0) << "its prefill was real work";
@@ -831,10 +839,12 @@ TEST(Scheduler, WatermarkSizedToTheLargestResidentPrecision)
     // float-sized blocks.
     const model::ModelConfig config = model::llama2_7b();
     const Engine engine(sim::make_mugi(256), config);
-    const std::size_t group_f = sim::kv_footprint(
-        config, 1, quant::KvPrecision::kFloat, 16).paged_bytes;
-    const std::size_t group_i = sim::kv_footprint(
-        config, 1, quant::KvPrecision::kInt4, 16).paged_bytes;
+    const units::Bytes group_f = sim::kv_footprint(
+        config, units::Positions(1), quant::KvPrecision::kFloat,
+        units::Tokens(16)).paged_bytes;
+    const units::Bytes group_i = sim::kv_footprint(
+        config, units::Positions(1), quant::KvPrecision::kInt4,
+        units::Tokens(16)).paged_bytes;
     ASSERT_GT(group_f, group_i);
 
     // Both requests reserve 2 groups (17 positions).  The budget
@@ -842,18 +852,18 @@ TEST(Scheduler, WatermarkSizedToTheLargestResidentPrecision)
     // watermark, so the fixed admission must hold B back while A is
     // resident.
     SchedulerConfig sched_config;
-    sched_config.kv_block_tokens = 16;
-    sched_config.kv_budget_bytes = 2 * group_f + 3 * group_i;
+    sched_config.kv_block_tokens = units::Tokens(16);
+    sched_config.kv_budget_bytes = units::Bytes(2 * group_f + 3 * group_i);
     sched_config.max_batch = 4;
     Scheduler scheduler(engine, sched_config);
     Request a;
-    a.analytic_prompt_tokens = 16;
-    a.max_new_tokens = 4;
+    a.analytic_prompt_tokens = units::Tokens(16);
+    a.max_new_tokens = units::Tokens(4);
     a.session.kv_precision = quant::KvPrecision::kFloat;
     scheduler.submit(std::move(a));
     Request b;
-    b.analytic_prompt_tokens = 16;
-    b.max_new_tokens = 4;
+    b.analytic_prompt_tokens = units::Tokens(16);
+    b.max_new_tokens = units::Tokens(4);
     b.session.kv_precision = quant::KvPrecision::kInt4;
     scheduler.submit(std::move(b));
 
@@ -883,11 +893,11 @@ TEST(Scheduler, EmptyPromptRetiresImmediatelyWithoutAsserts)
     Scheduler scheduler(engine, {});
 
     Request empty;
-    empty.max_new_tokens = 4;  // No prompt tokens at all.
+    empty.max_new_tokens = units::Tokens(4);  // No prompt tokens at all.
     const std::uint64_t empty_id = scheduler.submit(std::move(empty));
     Request normal;
     normal.prompt = model::synthetic_tokens(5, config.vocab, 42);
-    normal.max_new_tokens = 2;
+    normal.max_new_tokens = units::Tokens(2);
     scheduler.submit(std::move(normal));
 
     const std::vector<FinishedRequest> finished = scheduler.run();
@@ -912,8 +922,8 @@ TEST(Scheduler, StaggeredArrivalsRespectTheModeledClock)
     Scheduler scheduler(engine, {});
 
     Request early;
-    early.analytic_prompt_tokens = 64;
-    early.max_new_tokens = 8;
+    early.analytic_prompt_tokens = units::Tokens(64);
+    early.max_new_tokens = units::Tokens(8);
     scheduler.submit(early);
 
     Request late = early;
@@ -938,8 +948,9 @@ TEST(Scheduler, StaggeredArrivalsRespectTheModeledClock)
     EXPECT_GT(stats.horizon.energy_per_token_j, 0.0);
     // The horizon processed every prompt and generated token.
     EXPECT_DOUBLE_EQ(stats.horizon.tokens,
-                     static_cast<double>(stats.prefill_tokens +
-                                         stats.decode_tokens));
+                     static_cast<double>((stats.prefill_tokens +
+                                          stats.decode_tokens)
+                                             .value()));
 }
 
 // ---- BatchPolicy: the Fig. 14 knee. ----

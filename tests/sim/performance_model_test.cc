@@ -199,21 +199,25 @@ TEST(PerfModel, KvFootprintDiscountsASharedPrefix)
     const model::ModelConfig config = model::llama2_7b();
     const std::size_t B = 16;
     const KvFootprint full = kv_footprint(
-        config, 47, quant::KvPrecision::kInt4, B);
+        config, units::Positions(47), quant::KvPrecision::kInt4,
+        units::Tokens(B));
     const KvFootprint tail = kv_footprint(
-        config, 47, quant::KvPrecision::kInt4, B, 32);
-    EXPECT_EQ(full.blocks, 3u);
-    EXPECT_EQ(tail.blocks, 1u);  // Two of three blocks shared.
-    EXPECT_EQ(full.paged_bytes, 3 * tail.paged_bytes);
-    const std::size_t per_position =
+        config, units::Positions(47), quant::KvPrecision::kInt4,
+        units::Tokens(B), units::Positions(32));
+    EXPECT_EQ(full.blocks, units::Blocks(3));
+    // Two of three blocks shared.
+    EXPECT_EQ(tail.blocks, units::Blocks(1));
+    EXPECT_EQ(full.paged_bytes, tail.paged_bytes * 3);
+    const units::Bytes per_position =
         quant::KvCache::bytes_per_position(
             config.num_kv_heads, config.head_dim(),
             quant::KvPrecision::kInt4);
     EXPECT_EQ(tail.contiguous_bytes,
-              config.num_layers * (47 - 32) * per_position);
+              per_position * (config.num_layers * (47 - 32)));
     // shared_positions == 0 is exactly the old accounting.
     const KvFootprint same = kv_footprint(
-        config, 47, quant::KvPrecision::kInt4, B, 0);
+        config, units::Positions(47), quant::KvPrecision::kInt4,
+        units::Tokens(B), units::Positions(0));
     EXPECT_EQ(same.paged_bytes, full.paged_bytes);
     EXPECT_EQ(same.contiguous_bytes, full.contiguous_bytes);
 }

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Contract of support/units.h, the strong quantity types under the
+ * serving stack's accounting: named conversion helpers at block
+ * boundaries, INT4 nibble rounding through KvCache's per-position
+ * geometry, overflow-guarded multiplication, opaque-id identity and
+ * hashing, and the stream formatting the deterministic examples
+ * depend on.  The negative half of the contract (cross-unit
+ * arithmetic must not compile) lives in tests/units/compile_fail/.
+ */
+
+#include "support/units.h"
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "quant/kv_cache.h"
+
+namespace mugi {
+namespace {
+
+// The conversion helpers are constexpr: block geometry resolved at
+// compile time stays resolved at compile time.
+static_assert(units::blocks_for(units::Tokens(17), units::Tokens(16)) ==
+              units::Blocks(2));
+static_assert(units::full_blocks_for(units::Tokens(17),
+                                     units::Tokens(16)) ==
+              units::Blocks(1));
+static_assert(units::bytes_for(units::Tokens(3), units::Bytes(8)) ==
+              units::Bytes(24));
+
+TEST(Units, BlocksForCeilsAtBlockBoundaries)
+{
+    const units::Tokens block(16);
+
+    // Zero tokens need zero blocks.
+    EXPECT_EQ(units::blocks_for(units::Tokens(0), block),
+              units::Blocks(0));
+    // One token already opens a block.
+    EXPECT_EQ(units::blocks_for(units::Tokens(1), block),
+              units::Blocks(1));
+    // Exactly one block's worth fills exactly one block...
+    EXPECT_EQ(units::blocks_for(units::Tokens(16), block),
+              units::Blocks(1));
+    // ...and one past the boundary opens the next.
+    EXPECT_EQ(units::blocks_for(units::Tokens(17), block),
+              units::Blocks(2));
+    EXPECT_EQ(units::blocks_for(units::Tokens(32), block),
+              units::Blocks(2));
+}
+
+TEST(Units, FullBlocksForFloorsAtBlockBoundaries)
+{
+    const units::Tokens block(16);
+
+    // The prefix-sharing rule: only *whole* blocks are shareable, so
+    // a partial block contributes nothing.
+    EXPECT_EQ(units::full_blocks_for(units::Tokens(0), block),
+              units::Blocks(0));
+    EXPECT_EQ(units::full_blocks_for(units::Tokens(15), block),
+              units::Blocks(0));
+    EXPECT_EQ(units::full_blocks_for(units::Tokens(16), block),
+              units::Blocks(1));
+    EXPECT_EQ(units::full_blocks_for(units::Tokens(17), block),
+              units::Blocks(1));
+}
+
+TEST(Units, TokensForInvertsBlockCoverage)
+{
+    const units::Tokens block(16);
+
+    EXPECT_EQ(units::tokens_for(units::Blocks(0), block),
+              units::Tokens(0));
+    EXPECT_EQ(units::tokens_for(units::Blocks(3), block),
+              units::Tokens(48));
+    // Ceil coverage always spans the demand it was computed from.
+    for (std::size_t t : {std::size_t{0}, std::size_t{1},
+                          std::size_t{15}, std::size_t{16},
+                          std::size_t{17}, std::size_t{1000}}) {
+        const units::Tokens tokens(t);
+        EXPECT_GE(units::tokens_for(units::blocks_for(tokens, block),
+                                    block),
+                  tokens);
+    }
+}
+
+TEST(Units, BytesForScalesTokensAndBlocks)
+{
+    EXPECT_EQ(units::bytes_for(units::Tokens(0), units::Bytes(128)),
+              units::Bytes(0));
+    EXPECT_EQ(units::bytes_for(units::Tokens(1), units::Bytes(128)),
+              units::Bytes(128));
+    EXPECT_EQ(units::bytes_for(units::Blocks(4), units::Bytes(256)),
+              units::Bytes(1024));
+}
+
+TEST(Units, PositionsAndTokensConvertOneToOne)
+{
+    EXPECT_EQ(units::positions_for(units::Tokens(37)),
+              units::Positions(37));
+    EXPECT_EQ(units::tokens_for(units::Positions(37)),
+              units::Tokens(37));
+}
+
+TEST(Units, Int4NibblePackingRoundsOddHeadDimsUp)
+{
+    using quant::KvCache;
+    using quant::KvPrecision;
+
+    // Even head_dim: K+V per head is head_dim/2 packed nibble bytes
+    // plus a 2-byte BF16 scale.
+    EXPECT_EQ(KvCache::bytes_per_position(2, 4, KvPrecision::kInt4),
+              units::Bytes(2 * 2 * (4 / 2 + 2)));
+    // Odd head_dim: the trailing nibble still costs a whole byte, so
+    // head_dim 5 packs like head_dim 6.
+    EXPECT_EQ(KvCache::bytes_per_position(2, 5, KvPrecision::kInt4),
+              KvCache::bytes_per_position(2, 6, KvPrecision::kInt4));
+    EXPECT_EQ(KvCache::bytes_per_position(2, 5, KvPrecision::kInt4),
+              units::Bytes(2 * 2 * (3 + 2)));
+
+    // Float pays full fp32 vectors and beats INT4 by ~8x at large
+    // head_dim (4 bytes vs half a byte per element).
+    const units::Bytes fp =
+        KvCache::bytes_per_position(8, 64, KvPrecision::kFloat);
+    const units::Bytes q4 =
+        KvCache::bytes_per_position(8, 64, KvPrecision::kInt4);
+    EXPECT_EQ(fp, units::Bytes(2 * 8 * 64 * sizeof(float)));
+    EXPECT_EQ(q4, units::Bytes(2 * 8 * (64 / 2 + 2)));
+    EXPECT_GT(fp, q4);
+}
+
+TEST(UnitsDeathTest, OverflowingConversionsAbortInsteadOfWrapping)
+{
+    constexpr std::size_t kHuge =
+        std::numeric_limits<std::size_t>::max() / 2;
+
+    // A wrapped byte budget would admit unbounded requests; the
+    // conversion helpers abort in every build type instead.
+    EXPECT_DEATH(
+        units::bytes_for(units::Tokens(kHuge), units::Bytes(3)),
+        "overflow");
+    EXPECT_DEATH(units::Bytes(kHuge) * 3, "overflow");
+    EXPECT_DEATH(
+        units::tokens_for(units::Blocks(kHuge), units::Tokens(4)),
+        "overflow");
+}
+
+TEST(Units, SameUnitArithmeticKeepsRawSemantics)
+{
+    units::Bytes a(300);
+    const units::Bytes b(200);
+
+    EXPECT_EQ(a + b, units::Bytes(500));
+    EXPECT_EQ(a - b, units::Bytes(100));
+    a += b;
+    EXPECT_EQ(a, units::Bytes(500));
+    a -= units::Bytes(100);
+    EXPECT_EQ(a, units::Bytes(400));
+
+    // Scalar scale/divide stay in-unit; a same-unit ratio is
+    // dimensionless; remainder stays in-unit.
+    EXPECT_EQ(a * 2, units::Bytes(800));
+    EXPECT_EQ(a / 4, units::Bytes(100));
+    EXPECT_EQ(a / b, std::size_t{2});
+    EXPECT_EQ(units::Bytes(450) % b, units::Bytes(50));
+
+    // Comparison is ordinary integer order within the unit.
+    EXPECT_LT(b, a);
+    EXPECT_GE(a, units::Bytes(400));
+}
+
+TEST(Units, OpaqueIdsCompareAndHashWithinTheirKind)
+{
+    const units::SessionId s1(7);
+    const units::SessionId s2(7);
+    const units::SessionId s3(8);
+    EXPECT_EQ(s1, s2);
+    EXPECT_NE(s1, s3);
+    EXPECT_LT(s1, s3);
+
+    EXPECT_EQ(std::hash<units::SessionId>{}(s1),
+              std::hash<units::SessionId>{}(s2));
+
+    std::unordered_set<units::BlockId> live;
+    live.insert(units::BlockId(1));
+    live.insert(units::BlockId(2));
+    live.insert(units::BlockId(1));
+    EXPECT_EQ(live.size(), 2u);
+    EXPECT_TRUE(live.count(units::BlockId(2)));
+    EXPECT_FALSE(live.count(units::BlockId(3)));
+}
+
+TEST(Units, StreamOutputMatchesRawIntegers)
+{
+    // The deterministic examples print stats fields directly; the
+    // strong types must format exactly as the size_t they replaced.
+    std::ostringstream os;
+    os << units::Tokens(42) << " " << units::Bytes(0) << " "
+       << units::SessionId(9) << " " << units::BlockId(3);
+    EXPECT_EQ(os.str(), "42 0 9 3");
+}
+
+}  // namespace
+}  // namespace mugi

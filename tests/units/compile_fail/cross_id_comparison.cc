@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Negative compile test: opaque ids of different kinds must not be
+ * comparable.  A SessionId and a BlockId are both small integers
+ * underneath, and comparing them is always a logic bug (it once
+ * would have been an unnoticed `uint64_t == uint32_t`).  CI builds
+ * this target and asserts a non-zero exit.
+ */
+
+#include "support/units.h"
+
+int
+main()
+{
+    mugi::units::SessionId session(7);
+    mugi::units::BlockId block(7);
+    // Different id kinds: equality must not compile.
+    return session == block ? 0 : 1;
+}

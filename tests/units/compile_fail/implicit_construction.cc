@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Negative compile test: Quantity construction is explicit, so a raw
+ * integer must never silently become a unit-typed value.  The whole
+ * point of units.h is that the call site names the unit; implicit
+ * conversion would let a bytes count flow into a tokens parameter
+ * unnoticed.  CI builds this target and asserts a non-zero exit.
+ */
+
+#include "support/units.h"
+
+namespace {
+
+std::size_t
+charge(mugi::units::Tokens tokens)
+{
+    return tokens.value();
+}
+
+}  // namespace
+
+int
+main()
+{
+    // Raw integer where Tokens is required: must not compile.
+    return static_cast<int>(charge(42));
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Negative compile test: adding Tokens to Bytes must not compile.
+ * Quantity's arithmetic is same-tag only; the only way across units
+ * is a named conversion helper (units::bytes_for etc.) that carries
+ * the block geometry explicitly.  CI builds this target and asserts
+ * a non-zero exit (see mugi_units_misuse_* in CMakeLists.txt).
+ */
+
+#include "support/units.h"
+
+int
+main()
+{
+    mugi::units::Tokens tokens(8);
+    mugi::units::Bytes bytes(64);
+    // Dimensional nonsense: tokens + bytes has no meaning.
+    auto mixed = tokens + bytes;
+    return static_cast<int>(mixed.value());
+}
