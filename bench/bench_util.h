@@ -8,6 +8,7 @@
  * expected shapes are recorded in EXPERIMENTS.md.
  */
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -18,6 +19,44 @@
 
 namespace mugi {
 namespace bench {
+
+/**
+ * Steady-clock stopwatch shared by every bench binary, so no harness
+ * grows its own subtly-different wall-clock helper.  Starts at
+ * construction; seconds() reads without stopping.
+ */
+class Timer {
+  public:
+    Timer() : start_(std::chrono::steady_clock::now()) {}
+
+    void restart() { start_ = std::chrono::steady_clock::now(); }
+
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Best-of-@p repeats wall time of @p fn, in seconds. */
+template <typename Fn>
+double
+best_of(int repeats, const Fn& fn)
+{
+    double best = 1e300;
+    for (int r = 0; r < repeats; ++r) {
+        Timer timer;
+        fn();
+        const double elapsed = timer.seconds();
+        if (elapsed < best) best = elapsed;
+    }
+    return best;
+}
 
 inline void
 print_title(const std::string& title)

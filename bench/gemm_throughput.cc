@@ -14,7 +14,6 @@
  * below the 10x floor -- the CI regression gate for this path.
  */
 
-#include <chrono>
 #include <cstring>
 #include <random>
 #include <string>
@@ -30,28 +29,6 @@
 using namespace mugi;
 
 namespace {
-
-double
-seconds_since(std::chrono::steady_clock::time_point start)
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - start)
-        .count();
-}
-
-/** Best-of-@p repeats wall time of @p fn, in seconds. */
-template <typename Fn>
-double
-best_of(int repeats, const Fn& fn)
-{
-    double best = 1e300;
-    for (int r = 0; r < repeats; ++r) {
-        const auto start = std::chrono::steady_clock::now();
-        fn();
-        best = std::min(best, seconds_since(start));
-    }
-    return best;
-}
 
 struct KernelResult {
     double baseline_s = 0.0;
@@ -93,16 +70,19 @@ run_kernel_microbench()
     result.baseline_s = 1e300;
     result.sweep_s = 1e300;
     for (int rep = 0; rep < 7; ++rep) {
-        result.baseline_s = std::min(result.baseline_s, best_of(1, [&] {
-            const vlp::VlpGemmResult r = vlp::vlp_gemm_mugi_baseline(
-                w, x, array_rows, array_cols);
-            if (r.out.size() == 0) std::abort();
-        }));
-        result.sweep_s = std::min(result.sweep_s, best_of(1, [&] {
-            const vlp::VlpGemmResult r =
-                vlp::vlp_gemm_mugi(w, x, array_rows, array_cols);
-            if (r.out.size() == 0) std::abort();
-        }));
+        result.baseline_s =
+            std::min(result.baseline_s, bench::best_of(1, [&] {
+                const vlp::VlpGemmResult r =
+                    vlp::vlp_gemm_mugi_baseline(w, x, array_rows,
+                                                array_cols);
+                if (r.out.size() == 0) std::abort();
+            }));
+        result.sweep_s =
+            std::min(result.sweep_s, bench::best_of(1, [&] {
+                const vlp::VlpGemmResult r = vlp::vlp_gemm_mugi(
+                    w, x, array_rows, array_cols);
+                if (r.out.size() == 0) std::abort();
+            }));
     }
     result.speedup = result.baseline_s / result.sweep_s;
     return result;
@@ -165,7 +145,7 @@ run_decode_bench(const serve::Engine& engine,
             }
             produced.clear();
             cycles = 0;
-            const auto start = std::chrono::steady_clock::now();
+            const bench::Timer timer;
             for (int step = 0; step < decode_steps; ++step) {
                 const serve::StepResult r = engine.step(plan);
                 cycles += r.gemm.cycles;
@@ -174,7 +154,7 @@ run_decode_bench(const serve::Engine& engine,
                     plan.decode_tokens[i] = r.outputs[i].next_token;
                 }
             }
-            wall_s = std::min(wall_s, seconds_since(start));
+            wall_s = std::min(wall_s, timer.seconds());
         }
         return produced;
     };

@@ -8,6 +8,7 @@
  * simulation substrate itself.
  */
 
+#include <algorithm>
 #include <random>
 #include <vector>
 
@@ -142,6 +143,65 @@ BM_TemporalGemmBaseline(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * n * 32 * 8);
 }
 BENCHMARK(BM_TemporalGemmBaseline)->Arg(64)->Arg(256);
+
+/** Shared setup for the subscription-sweep executor A/B pair. */
+struct SubscribedSetup {
+    vlp::SubscriptionLists subs;
+    support::MatrixF acts;
+    support::MatrixF out;
+
+    explicit SubscribedSetup(std::size_t n)
+    {
+        std::mt19937 rng(5);
+        std::uniform_int_distribution<int> wdist(-7, 7);
+        vlp::Int4Matrix w(n, 32);
+        for (std::size_t i = 0; i < w.rows(); ++i) {
+            for (std::size_t j = 0; j < w.cols(); ++j) {
+                w.at(i, j) = numerics::Int4::from_int(wdist(rng));
+            }
+        }
+        subs = vlp::SubscriptionLists(w);
+        acts = support::MatrixF(32, 8);
+        support::fill_gaussian(acts, rng, 0.0f, 1.0f);
+        out = support::MatrixF(n, 8, 0.0f);
+    }
+};
+
+void
+BM_SubscribedSweep(benchmark::State& state)
+{
+    // The u32 cycle-major executor the packed form replaced; the gap
+    // to BM_SubscribedSweepPacked is the u16 tile-packing win.
+    SubscribedSetup setup(state.range(0));
+    for (auto _ : state) {
+        std::fill(setup.out.data().begin(), setup.out.data().end(),
+                  0.0f);
+        vlp::vlp_gemm_subscribed(setup.subs, setup.acts, 0,
+                                 setup.subs.cols(), setup.out);
+        benchmark::DoNotOptimize(setup.out.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0) * 32 *
+                            8);
+}
+BENCHMARK(BM_SubscribedSweep)->Arg(64)->Arg(256)->Arg(4096);
+
+void
+BM_SubscribedSweepPacked(benchmark::State& state)
+{
+    // The shipped tile-local u16 executor: half-width entries, zero
+    // bucket pre-dropped, bit-identical output to BM_SubscribedSweep.
+    SubscribedSetup setup(state.range(0));
+    for (auto _ : state) {
+        std::fill(setup.out.data().begin(), setup.out.data().end(),
+                  0.0f);
+        vlp::vlp_gemm_subscribed_packed(setup.subs, setup.acts, 0,
+                                        setup.subs.cols(), setup.out);
+        benchmark::DoNotOptimize(setup.out.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0) * 32 *
+                            8);
+}
+BENCHMARK(BM_SubscribedSweepPacked)->Arg(64)->Arg(256)->Arg(4096);
 
 void
 BM_PreparedGemm(benchmark::State& state)

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Pooled Engine::step throughput (library-quality check; not a paper
+ * figure): end-to-end decode tokens/s of the fused batched step run
+ * serially (StepPlan::threads == 0) vs fanned across a worker pool
+ * with 1/2/4 threads, at batch 4 and 16, plus a mixed
+ * prefill-and-decode iteration at each thread count.
+ *
+ * With --json PATH the same numbers are written machine-readable
+ * (BENCH_step.json in CI, uploaded as an artifact).  With --check the
+ * binary exits nonzero if any pooled run's token stream differs from
+ * the serial stream (the bit-identity contract pooled partitioning is
+ * built on) -- that gate is machine-independent and always enforced.
+ * The throughput comparison (best pooled >= 0.9x serial at every
+ * batch, a regression tripwire with noise headroom) is enforced only
+ * when the host exposes at least four hardware threads: on a one- or
+ * two-core box pooled execution has no parallel hardware to win on,
+ * so the comparison is recorded in the JSON but cannot gate.  The
+ * headline >= 1.3x at 4 threads / batch 16 is likewise JSON-only.
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "model/accuracy.h"
+#include "model/transformer.h"
+#include "serve/engine.h"
+
+using namespace mugi;
+
+namespace {
+
+constexpr int kDecodeSteps = 8;
+
+struct ThreadResult {
+    std::size_t threads = 0;  ///< 0 = serial.
+    double tok_s = 0.0;
+    double speedup = 0.0;       ///< vs the serial row.
+    double worker_busy = 0.0;   ///< Mean pooled busy fraction.
+    bool tokens_identical = true;  ///< vs the serial stream.
+};
+
+struct BatchResult {
+    std::size_t batch = 0;
+    std::string kv;
+    std::vector<ThreadResult> rows;  ///< Serial first.
+};
+
+std::vector<serve::Session>
+make_sessions(const serve::Engine& engine,
+              const model::ModelConfig& config, std::size_t batch,
+              quant::KvPrecision precision)
+{
+    std::vector<serve::Session> sessions;
+    sessions.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+        serve::SessionOptions options;
+        options.kv_precision = precision;
+        sessions.push_back(engine.create_session(options));
+        engine.prefill(sessions.back(),
+                       model::synthetic_tokens(
+                           4 + i % 3, config.vocab,
+                           static_cast<std::uint32_t>(1000 + i)));
+    }
+    return sessions;
+}
+
+/** Best-of-3 decode run at @p threads; fills tokens + busy mean. */
+double
+run_decode(const serve::Engine& engine,
+           const model::ModelConfig& config, std::size_t batch,
+           quant::KvPrecision precision, std::size_t threads,
+           std::vector<int>& tokens, double& worker_busy)
+{
+    double wall_s = 1e300;
+    for (int repeat = 0; repeat < 3; ++repeat) {
+        std::vector<serve::Session> sessions =
+            make_sessions(engine, config, batch, precision);
+        serve::StepPlan plan;
+        plan.fused_decode = true;
+        plan.threads = threads;
+        for (serve::Session& s : sessions) {
+            plan.decode_sessions.push_back(&s);
+        }
+        plan.decode_tokens.assign(batch, 0);
+        for (std::size_t i = 0; i < batch; ++i) {
+            plan.decode_tokens[i] =
+                static_cast<int>((7 * i + 3) % config.vocab);
+        }
+        tokens.clear();
+        double busy_sum = 0.0;
+        const bench::Timer timer;
+        for (int step = 0; step < kDecodeSteps; ++step) {
+            const serve::StepResult r = engine.step(plan);
+            busy_sum += r.workers.busy_fraction;
+            for (std::size_t i = 0; i < batch; ++i) {
+                tokens.push_back(r.outputs[i].next_token);
+                plan.decode_tokens[i] = r.outputs[i].next_token;
+            }
+        }
+        wall_s = std::min(wall_s, timer.seconds());
+        worker_busy = busy_sum / kDecodeSteps;
+    }
+    return wall_s;
+}
+
+BatchResult
+run_batch(const serve::Engine& engine,
+          const model::ModelConfig& config, std::size_t batch,
+          quant::KvPrecision precision)
+{
+    BatchResult result;
+    result.batch = batch;
+    result.kv = precision == quant::KvPrecision::kInt4 ? "int4"
+                                                       : "float";
+
+    std::vector<int> serial_tokens;
+    double serial_busy = 0.0;
+    const double serial_s =
+        run_decode(engine, config, batch, precision, 0,
+                   serial_tokens, serial_busy);
+    const double total_tokens =
+        static_cast<double>(batch) * kDecodeSteps;
+
+    ThreadResult serial_row;
+    serial_row.threads = 0;
+    serial_row.tok_s = total_tokens / serial_s;
+    serial_row.speedup = 1.0;
+    result.rows.push_back(serial_row);
+
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+        std::vector<int> pooled_tokens;
+        ThreadResult row;
+        row.threads = threads;
+        const double pooled_s =
+            run_decode(engine, config, batch, precision, threads,
+                       pooled_tokens, row.worker_busy);
+        row.tok_s = total_tokens / pooled_s;
+        row.speedup = row.tok_s / serial_row.tok_s;
+        row.tokens_identical = pooled_tokens == serial_tokens;
+        result.rows.push_back(row);
+    }
+    return result;
+}
+
+/**
+ * One mixed prefill + decode iteration per thread count: the pooled
+ * prefill fan-out (per-session chunks) must reproduce the serial
+ * plan's logits-derived tokens exactly.
+ */
+bool
+mixed_step_identical(const serve::Engine& engine,
+                     const model::ModelConfig& config,
+                     std::size_t threads)
+{
+    const auto run = [&](std::size_t t) {
+        std::vector<serve::Session> decoders = make_sessions(
+            engine, config, 4, quant::KvPrecision::kInt4);
+        std::vector<serve::Session> prefillers;
+        std::vector<std::vector<int>> prompts;
+        for (std::size_t i = 0; i < 3; ++i) {
+            serve::SessionOptions options;
+            options.kv_precision = i % 2 == 0
+                                       ? quant::KvPrecision::kFloat
+                                       : quant::KvPrecision::kInt4;
+            prefillers.push_back(engine.create_session(options));
+            prompts.push_back(model::synthetic_tokens(
+                5 + 2 * i, config.vocab,
+                static_cast<std::uint32_t>(2000 + i)));
+        }
+        serve::StepPlan plan;
+        plan.fused_decode = true;
+        plan.threads = t;
+        for (serve::Session& s : decoders) {
+            plan.decode_sessions.push_back(&s);
+            plan.decode_tokens.push_back(static_cast<int>(
+                plan.decode_tokens.size() + 1));
+        }
+        for (std::size_t i = 0; i < prefillers.size(); ++i) {
+            serve::StepPlan::PrefillEntry entry;
+            entry.session = &prefillers[i];
+            entry.tokens = prompts[i];
+            plan.prefills.push_back(entry);
+        }
+        const serve::StepResult r = engine.step(plan);
+        std::vector<int> out;
+        for (const serve::StepResult::SessionOutput& o : r.outputs) {
+            out.push_back(o.next_token);
+        }
+        for (const serve::StepResult::SessionOutput& o :
+             r.prefill_outputs) {
+            out.push_back(o.next_token);
+        }
+        return out;
+    };
+    return run(threads) == run(0);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string json_path;
+    bool check = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--check") == 0) {
+            check = true;
+        }
+    }
+
+    bench::print_title("Pooled Engine::step throughput");
+
+    // Large enough that the projection GEMMs dominate the step, same
+    // eval scale as gemm_throughput so the serial rows line up.
+    const model::ModelConfig config =
+        model::llama2_7b().scaled_for_eval(4, 256, 1024);
+    auto transformer =
+        std::make_shared<model::TransformerModel>(config, 7);
+    const serve::Engine engine(sim::make_mugi(256), transformer);
+
+    std::vector<BatchResult> batches;
+    bench::print_header("batch/kv/threads",
+                        {"tok/s", "speedup", "busy"});
+    for (const quant::KvPrecision precision :
+         {quant::KvPrecision::kFloat, quant::KvPrecision::kInt4}) {
+        for (const std::size_t batch : {4u, 16u}) {
+            const BatchResult result =
+                run_batch(engine, config, batch, precision);
+            for (const ThreadResult& row : result.rows) {
+                bench::print_row(
+                    std::to_string(batch) + "/" + result.kv + "/" +
+                        (row.threads == 0
+                             ? std::string("serial")
+                             : std::to_string(row.threads)),
+                    {row.tok_s, row.speedup, row.worker_busy},
+                    "%9.2f");
+            }
+            batches.push_back(result);
+        }
+    }
+
+    bool tokens_all_identical = true;
+    bool pooled_competitive = true;
+    for (const BatchResult& batch : batches) {
+        double best_pooled = 0.0;
+        for (const ThreadResult& row : batch.rows) {
+            tokens_all_identical &= row.tokens_identical;
+            if (row.threads > 0) {
+                best_pooled = std::max(best_pooled, row.tok_s);
+            }
+        }
+        // 0.9x: a regression tripwire, not a marketing claim -- the
+        // headroom absorbs shared-runner noise without letting a
+        // genuinely serialized pool through.
+        pooled_competitive &= best_pooled >= 0.9 * batch.rows[0].tok_s;
+    }
+    const unsigned hw_threads = std::thread::hardware_concurrency();
+    const bool perf_gated = hw_threads >= 4;
+
+    bool mixed_identical = true;
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+        mixed_identical &=
+            mixed_step_identical(engine, config, threads);
+    }
+
+    std::printf("\npooled tokens bit-identical: %s\n",
+                tokens_all_identical ? "yes" : "NO");
+    std::printf("mixed prefill+decode bit-identical: %s\n",
+                mixed_identical ? "yes" : "NO");
+    std::printf("best pooled >= 0.9x serial at every batch: %s%s\n",
+                pooled_competitive ? "yes" : "NO",
+                perf_gated ? "" : " (not gated: too few cores)");
+
+    if (!json_path.empty()) {
+        bench::Json rows = bench::Json::array();
+        for (const BatchResult& batch : batches) {
+            for (const ThreadResult& row : batch.rows) {
+                rows.push(
+                    bench::Json::object()
+                        .set("batch", batch.batch)
+                        .set("kv", batch.kv)
+                        .set("threads", row.threads)
+                        .set("tokens_per_s", row.tok_s)
+                        .set("speedup_vs_serial", row.speedup)
+                        .set("worker_busy", row.worker_busy)
+                        .set("tokens_identical",
+                             row.tokens_identical));
+            }
+        }
+        const bench::Json doc =
+            bench::Json::object()
+                .set("model", config.name)
+                .set("decode_steps",
+                     static_cast<std::size_t>(kDecodeSteps))
+                .set("hardware_threads",
+                     static_cast<std::size_t>(hw_threads))
+                .set("perf_gate",
+                     !perf_gated ? std::string("skipped")
+                     : pooled_competitive ? std::string("pass")
+                                          : std::string("fail"))
+                .set("rows", std::move(rows))
+                .set("mixed_step_identical", mixed_identical);
+        if (!doc.write_file(json_path)) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    if (check) {
+        if (!tokens_all_identical || !mixed_identical) {
+            std::fprintf(stderr,
+                         "CHECK FAILED: pooled step not "
+                         "bit-identical to serial\n");
+            return 1;
+        }
+        if (perf_gated && !pooled_competitive) {
+            std::fprintf(stderr,
+                         "CHECK FAILED: best pooled config slower "
+                         "than 0.9x serial\n");
+            return 1;
+        }
+        if (!perf_gated) {
+            std::printf("throughput gate skipped: %u hardware "
+                        "thread(s)\n",
+                        hw_threads);
+        }
+    }
+    return 0;
+}

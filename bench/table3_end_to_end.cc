@@ -5,12 +5,21 @@
  * for single nodes (SN), scaled-up single nodes (SN-S) and NoC
  * configurations.  Energy efficiency follows the paper's metric:
  * throughput / energy-per-token.
+ *
+ * --threads N appends a functional footer: wall-clock tokens/s of an
+ * eval-scale batch-8 decode with Engine::step serial vs fanned across
+ * an N-worker pool (the table itself is analytic and unaffected).
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <vector>
 
 #include "bench_util.h"
+#include "model/accuracy.h"
+#include "model/transformer.h"
 #include "model/workload.h"
 #include "serve/engine.h"
 
@@ -28,11 +37,53 @@ print_design(const sim::DesignConfig& d, const model::Workload& w)
                 r.energy_efficiency, r.power_efficiency);
 }
 
+/** Wall-clock tokens/s of @p steps fused decode steps at batch 8. */
+double
+functional_decode_tok_s(const serve::Engine& engine,
+                        const model::ModelConfig& config,
+                        std::size_t threads, int steps)
+{
+    const std::size_t batch = 8;
+    std::vector<serve::Session> sessions;
+    sessions.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+        sessions.push_back(engine.create_session());
+        engine.prefill(sessions.back(),
+                       model::synthetic_tokens(
+                           4 + i % 3, config.vocab,
+                           static_cast<std::uint32_t>(400 + i)));
+    }
+    serve::StepPlan plan;
+    plan.threads = threads;
+    for (serve::Session& s : sessions) {
+        plan.decode_sessions.push_back(&s);
+    }
+    plan.decode_tokens.assign(batch, 0);
+    for (std::size_t i = 0; i < batch; ++i) {
+        plan.decode_tokens[i] =
+            static_cast<int>((5 * i + 2) % config.vocab);
+    }
+    const bench::Timer timer;
+    for (int step = 0; step < steps; ++step) {
+        const serve::StepResult r = engine.step(plan);
+        for (std::size_t i = 0; i < batch; ++i) {
+            plan.decode_tokens[i] = r.outputs[i].next_token;
+        }
+    }
+    return static_cast<double>(batch) * steps / timer.seconds();
+}
+
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    std::size_t threads = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+        }
+    }
     bench::print_title(
         "Table 3: LLaMA-2 70B (GQA), batch 8, seq 4096");
     const model::Workload w =
@@ -83,5 +134,22 @@ main()
             sa16.throughput_tokens_per_s,
         mugi256.energy_efficiency / sa16.energy_efficiency,
         mugi256.power_efficiency / sa16.power_efficiency);
+
+    if (threads > 0) {
+        const model::ModelConfig config =
+            model::llama2_7b().scaled_for_eval(4, 256, 1024);
+        auto transformer =
+            std::make_shared<model::TransformerModel>(config, 7);
+        const serve::Engine engine(sim::make_mugi(256), transformer);
+        const double serial_tok_s =
+            functional_decode_tok_s(engine, config, 0, 8);
+        const double pooled_tok_s =
+            functional_decode_tok_s(engine, config, threads, 8);
+        std::printf(
+            "\nFunctional batch-8 decode (%s): %.2f tokens/s serial, "
+            "%.2f tokens/s on %zu threads (%.2fx)\n",
+            config.name.c_str(), serial_tok_s, pooled_tok_s, threads,
+            pooled_tok_s / serial_tok_s);
+    }
     return 0;
 }

@@ -25,19 +25,89 @@
  *    analytic trace), so arrivals that find it resident skip those
  *    prefill chunks and share one refcounted KV reservation.
  *
- * Build & run:  ./build/examples/serving
+ * Build & run:  ./build/examples/serving [--threads N]
+ *
+ * --threads N additionally runs a small *functional* trace (real
+ * tokens through the eval-scale transformer) with every mixed step
+ * fanned across an N-worker pool, and reports the pool's measured
+ * busy/idle fractions from ServerStats -- the pooled step is
+ * bit-identical to serial, so N changes wall-clock only.
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <vector>
 
+#include "model/accuracy.h"
+#include "model/transformer.h"
 #include "serve/scheduler.h"
 
 using namespace mugi;
 
-int
-main()
+namespace {
+
+/**
+ * Functional serving on the worker pool: a 6-request eval-scale
+ * trace, real tokens, INT4 KV, step_threads workers per mixed step.
+ */
+void
+run_functional_pooled(std::size_t threads)
 {
+    const model::ModelConfig config =
+        model::llama2_7b().scaled_for_eval(4, 128, 512);
+    auto transformer =
+        std::make_shared<model::TransformerModel>(config, 11);
+    const serve::Engine engine(sim::make_mugi(256), transformer);
+
+    serve::SchedulerConfig sched_config;
+    sched_config.prefill_chunk_tokens = units::Tokens(16);
+    sched_config.step_threads = threads;
+    serve::Scheduler scheduler(engine, sched_config);
+
+    for (int i = 0; i < 6; ++i) {
+        serve::Request request;
+        request.prompt = model::synthetic_tokens(
+            12 + 5 * (i % 3), config.vocab,
+            static_cast<std::uint32_t>(900 + i));
+        request.max_new_tokens = units::Tokens(8 + i);
+        scheduler.submit(request);
+    }
+    const std::vector<serve::FinishedRequest> finished =
+        scheduler.run();
+
+    std::size_t tokens = 0;
+    for (const serve::FinishedRequest& f : finished) {
+        tokens += f.generated.value();
+    }
+    const serve::ServerStats stats = scheduler.stats();
+    std::printf(
+        "\nFunctional pooled serving (%s, %zu worker thread%s): %zu "
+        "requests, %zu tokens\n",
+        config.name.c_str(), threads, threads == 1 ? "" : "s",
+        finished.size(), tokens);
+    std::printf(
+        "  %zu of %zu steps pooled, mean worker busy %.0f%% / idle "
+        "%.0f%%\n",
+        stats.pooled_steps, stats.steps,
+        100.0 * stats.mean_worker_busy,
+        100.0 * stats.mean_worker_idle);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::size_t threads = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            threads = static_cast<std::size_t>(
+                std::atoi(argv[++i]));
+        }
+    }
+
     const model::ModelConfig model = model::llama2_70b();
     const serve::Engine engine(sim::make_mugi(256), model);
 
@@ -141,5 +211,9 @@ main()
         serial.total().throughput_tokens_per_s,
         stats.horizon.throughput_tokens_per_s /
             serial.total().throughput_tokens_per_s);
+
+    if (threads > 0) {
+        run_functional_pooled(threads);
+    }
     return 0;
 }

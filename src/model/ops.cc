@@ -163,18 +163,29 @@ linear_batched(const support::MatrixF& x, const support::MatrixF& w)
 {
     assert(x.cols() == w.rows());
     support::MatrixF c(x.rows(), w.cols(), 0.0f);
+    linear_batched_range(x, w, 0, x.rows(), c);
+    return c;
+}
+
+void
+linear_batched_range(const support::MatrixF& x,
+                     const support::MatrixF& w, std::size_t row_begin,
+                     std::size_t row_end, support::MatrixF& out)
+{
+    assert(x.cols() == w.rows());
+    assert(out.rows() == x.rows() && out.cols() == w.cols());
+    assert(row_begin <= row_end && row_end <= x.rows());
     for (std::size_t k = 0; k < x.cols(); ++k) {
         const float* brow = w.row_data(k);
-        for (std::size_t i = 0; i < x.rows(); ++i) {
+        for (std::size_t i = row_begin; i < row_end; ++i) {
             const float aik = x.at(i, k);
             if (aik == 0.0f) continue;
-            float* crow = c.row_data(i);
+            float* crow = out.row_data(i);
             for (std::size_t j = 0; j < w.cols(); ++j) {
                 crow[j] += aik * brow[j];
             }
         }
     }
-    return c;
 }
 
 }  // namespace model

@@ -90,6 +90,20 @@ support::MatrixF linear(const support::MatrixF& x,
 support::MatrixF linear_batched(const support::MatrixF& x,
                                 const support::MatrixF& w);
 
+/**
+ * Row-range slice of linear_batched: accumulate x[row_begin, row_end)
+ * times w into the same rows of @p out (which must be pre-sized
+ * [x.rows(), w.cols()] and zeroed in that range).  Each output cell
+ * runs the identical ascending-k accumulation as linear_batched, so
+ * partitioning the batch rows across threads and joining reproduces
+ * linear_batched's result bit for bit -- the decode-projection task
+ * body of the pooled step path.
+ */
+void linear_batched_range(const support::MatrixF& x,
+                          const support::MatrixF& w,
+                          std::size_t row_begin, std::size_t row_end,
+                          support::MatrixF& out);
+
 }  // namespace model
 }  // namespace mugi
 

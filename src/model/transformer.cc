@@ -1,11 +1,14 @@
 #include "model/transformer.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <random>
+#include <utility>
 
 #include "quant/group_quant.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
 
 namespace mugi {
 namespace model {
@@ -295,7 +298,6 @@ TransformerModel::attend_one(const float* q_row, const float* k_row,
                              const NonlinearHooks& hooks,
                              float* out_row) const
 {
-    const std::size_t heads = config_.num_heads;
     const std::size_t kv_heads = config_.num_kv_heads;
     const std::size_t hd = config_.head_dim();
     const std::size_t group = config_.gqa_group();
@@ -313,27 +315,43 @@ TransformerModel::attend_one(const float* q_row, const float* k_row,
     const std::size_t S = cache.length().value();
 
     const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
-    std::vector<float> kvec(hd);
-    for (std::size_t h = 0; h < heads; ++h) {
-        const std::size_t kv_h = h / group;
-        support::MatrixF scores(1, S, 0.0f);
-        const float* qrow = q_row + h * hd;
-        for (std::size_t s = 0; s < S; ++s) {
-            cache.read_key(kv_h, units::Positions(s), kvec.data());
-            float dot = 0.0f;
-            for (std::size_t i = 0; i < hd; ++i) {
-                dot += qrow[i] * kvec[i];
+    // Batched KV gather: decode kv head kv_h's whole resident
+    // sequence into contiguous [S, hd] scratch once, and let every
+    // query head of its GQA group read it -- one block-table walk per
+    // kv head instead of one cache read per (head, position).  The
+    // per-vector decode is the arithmetic read_key/read_value ran, and
+    // a GQA group's query heads are consecutive, so the kv_h-outer
+    // order visits heads in the same ascending order as before and
+    // every score and output byte matches the per-position walk.
+    assert(config_.num_heads == kv_heads * group);
+    support::MatrixF k_scratch(S, hd);
+    support::MatrixF v_scratch(S, hd);
+    for (std::size_t kv_h = 0; kv_h < kv_heads; ++kv_h) {
+        cache.read_keys(kv_h, units::Positions(0), units::Positions(S),
+                        k_scratch.row_data(0));
+        cache.read_values(kv_h, units::Positions(0),
+                          units::Positions(S), v_scratch.row_data(0));
+        for (std::size_t g = 0; g < group; ++g) {
+            const std::size_t h = kv_h * group + g;
+            support::MatrixF scores(1, S, 0.0f);
+            const float* qrow = q_row + h * hd;
+            for (std::size_t s = 0; s < S; ++s) {
+                const float* krow = k_scratch.row_data(s);
+                float dot = 0.0f;
+                for (std::size_t i = 0; i < hd; ++i) {
+                    dot += qrow[i] * krow[i];
+                }
+                scores.at(0, s) = dot * scale;
             }
-            scores.at(0, s) = dot * scale;
-        }
-        softmax_rows(scores, hooks.softmax_exp);
-        float* orow = out_row + h * hd;
-        for (std::size_t s = 0; s < S; ++s) {
-            const float p = scores.at(0, s);
-            if (p == 0.0f) continue;
-            cache.read_value(kv_h, units::Positions(s), kvec.data());
-            for (std::size_t i = 0; i < hd; ++i) {
-                orow[i] += p * kvec[i];
+            softmax_rows(scores, hooks.softmax_exp);
+            float* orow = out_row + h * hd;
+            for (std::size_t s = 0; s < S; ++s) {
+                const float p = scores.at(0, s);
+                if (p == 0.0f) continue;
+                const float* vrow = v_scratch.row_data(s);
+                for (std::size_t i = 0; i < hd; ++i) {
+                    orow[i] += p * vrow[i];
+                }
             }
         }
     }
@@ -383,7 +401,8 @@ support::MatrixF
 TransformerModel::decode_layer_batch(
     std::size_t layer_idx, const support::MatrixF& x,
     std::span<quant::KvCache* const> caches,
-    std::span<const NonlinearHooks* const> hooks) const
+    std::span<const NonlinearHooks* const> hooks,
+    support::ThreadPool* pool) const
 {
     const std::size_t batch = x.rows();
     assert(caches.size() == batch && hooks.size() == batch);
@@ -392,26 +411,86 @@ TransformerModel::decode_layer_batch(
     const std::size_t heads = config_.num_heads;
     const std::size_t kv_heads = config_.num_kv_heads;
     const std::size_t hd = config_.head_dim();
+    // The profiling capture appends every row's nonlinear-input
+    // stream to caller state in batch-row order; keep that ordering
+    // by running captured layers serially.
+    if (capture_) {
+        pool = nullptr;
+    }
+    // Pooled stage helpers.  Every task writes a disjoint row range
+    // of a pre-zeroed output and runs the identical per-cell float-op
+    // sequence as the serial loop, so the parallel_for join (the
+    // stage barrier) reproduces the serial bytes exactly.
+    const auto for_row_ranges =
+        [&](const std::function<void(std::size_t, std::size_t)>& body) {
+            if (pool != nullptr && batch > 1) {
+                const auto ranges =
+                    support::split_ranges(batch, pool->num_threads());
+                pool->parallel_for(ranges.size(), [&](std::size_t t) {
+                    body(ranges[t].first, ranges[t].second);
+                });
+            } else {
+                body(0, batch);
+            }
+        };
+    const auto gemm = [&](const support::MatrixF& a,
+                          const support::MatrixF& b) {
+        support::MatrixF c(a.rows(), b.cols(), 0.0f);
+        if (pool != nullptr && a.rows() > 1) {
+            const auto ranges =
+                support::split_ranges(a.rows(), pool->num_threads());
+            pool->parallel_for(ranges.size(), [&](std::size_t t) {
+                linear_batched_range(a, b, ranges[t].first,
+                                     ranges[t].second, c);
+            });
+        } else {
+            linear_batched_range(a, b, 0, a.rows(), c);
+        }
+        return c;
+    };
 
     support::MatrixF x_norm;
     norm(x, w.norm1_gain, w.norm1_bias, x_norm);
 
     // One batched [B, d] x [d, out] GEMM per projection covers the
-    // whole stack; row r keeps its own q / k / v.
-    support::MatrixF q = linear_batched(x_norm, w.wq);
-    support::MatrixF k = linear_batched(x_norm, w.wk);
-    support::MatrixF v = linear_batched(x_norm, w.wv);
-    support::MatrixF attn_out(batch, d, 0.0f);
-    for (std::size_t r = 0; r < batch; ++r) {
-        if (config_.uses_rope()) {
-            const std::size_t pos = caches[r]->length().value();
-            rope_rotate_row(q.row_data(r), heads, hd, pos);
-            rope_rotate_row(k.row_data(r), kv_heads, hd, pos);
+    // whole stack; row r keeps its own q / k / v.  Pooled, the three
+    // projections fan out together as (projection x row-range) tasks.
+    support::MatrixF q(batch, w.wq.cols(), 0.0f);
+    support::MatrixF k(batch, w.wk.cols(), 0.0f);
+    support::MatrixF v(batch, w.wv.cols(), 0.0f);
+    {
+        support::MatrixF* const outs[3] = {&q, &k, &v};
+        const support::MatrixF* const weights[3] = {&w.wq, &w.wk,
+                                                    &w.wv};
+        if (pool != nullptr && batch > 1) {
+            const auto ranges = support::split_ranges(batch, pool->num_threads());
+            pool->parallel_for(3 * ranges.size(), [&](std::size_t t) {
+                const auto& range = ranges[t % ranges.size()];
+                const std::size_t proj = t / ranges.size();
+                linear_batched_range(x_norm, *weights[proj],
+                                     range.first, range.second,
+                                     *outs[proj]);
+            });
+        } else {
+            for (std::size_t proj = 0; proj < 3; ++proj) {
+                linear_batched_range(x_norm, *weights[proj], 0, batch,
+                                     *outs[proj]);
+            }
         }
-        attend_one(q.row_data(r), k.row_data(r), v.row_data(r),
-                   *caches[r], *hooks[r], attn_out.row_data(r));
     }
-    support::MatrixF out = linear_batched(attn_out, w.wo);
+    support::MatrixF attn_out(batch, d, 0.0f);
+    for_row_ranges([&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+            if (config_.uses_rope()) {
+                const std::size_t pos = caches[r]->length().value();
+                rope_rotate_row(q.row_data(r), heads, hd, pos);
+                rope_rotate_row(k.row_data(r), kv_heads, hd, pos);
+            }
+            attend_one(q.row_data(r), k.row_data(r), v.row_data(r),
+                       *caches[r], *hooks[r], attn_out.row_data(r));
+        }
+    });
+    support::MatrixF out = gemm(attn_out, w.wo);
     for (std::size_t i = 0; i < out.size(); ++i) {
         out.data()[i] += x.data()[i];
     }
@@ -424,27 +503,32 @@ TransformerModel::decode_layer_batch(
     const std::size_t ff = config_.d_ff;
     support::MatrixF f;
     if (config_.gated_ffn()) {
-        support::MatrixF gate = linear_batched(x_norm, w.w_gate);
-        const support::MatrixF up = linear_batched(x_norm, w.w_up);
-        for (std::size_t r = 0; r < batch; ++r) {
-            float* grow = gate.row_data(r);
-            apply_activation_span(std::span<float>(grow, ff),
-                                  config_.activation(),
-                                  hooks[r]->activation, capture);
-            const float* urow = up.row_data(r);
-            for (std::size_t i = 0; i < ff; ++i) {
-                grow[i] *= urow[i];
+        support::MatrixF gate = gemm(x_norm, w.w_gate);
+        const support::MatrixF up = gemm(x_norm, w.w_up);
+        for_row_ranges([&](std::size_t begin, std::size_t end) {
+            for (std::size_t r = begin; r < end; ++r) {
+                float* grow = gate.row_data(r);
+                apply_activation_span(std::span<float>(grow, ff),
+                                      config_.activation(),
+                                      hooks[r]->activation, capture);
+                const float* urow = up.row_data(r);
+                for (std::size_t i = 0; i < ff; ++i) {
+                    grow[i] *= urow[i];
+                }
             }
-        }
-        f = linear_batched(gate, w.w_down);
+        });
+        f = gemm(gate, w.w_down);
     } else {
-        support::MatrixF hidden = linear_batched(x_norm, w.w_up);
-        for (std::size_t r = 0; r < batch; ++r) {
-            apply_activation_span(
-                std::span<float>(hidden.row_data(r), ff),
-                config_.activation(), hooks[r]->activation, capture);
-        }
-        f = linear_batched(hidden, w.w_down);
+        support::MatrixF hidden = gemm(x_norm, w.w_up);
+        for_row_ranges([&](std::size_t begin, std::size_t end) {
+            for (std::size_t r = begin; r < end; ++r) {
+                apply_activation_span(
+                    std::span<float>(hidden.row_data(r), ff),
+                    config_.activation(), hooks[r]->activation,
+                    capture);
+            }
+        });
+        f = gemm(hidden, w.w_down);
     }
     for (std::size_t i = 0; i < out.size(); ++i) {
         out.data()[i] += f.data()[i];

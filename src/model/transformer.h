@@ -25,6 +25,10 @@
 #include "support/matrix.h"
 
 namespace mugi {
+namespace support {
+class ThreadPool;
+}  // namespace support
+
 namespace model {
 
 /** Which nonlinear implementations a forward pass should use. */
@@ -146,11 +150,22 @@ class TransformerModel {
      * sessions only: a session stepped twice in one batch must go
      * through the sequential path so its second token sees the
      * first.
+     *
+     * With a non-null @p pool the layer's stages fan out across its
+     * workers -- per-projection row-range tasks for the batched GEMMs,
+     * per-row-range tasks for RoPE + attention and the FFN activation
+     * -- joining at each stage boundary.  Every task writes a disjoint
+     * row range and runs the identical per-cell float-op sequence, so
+     * the pooled result is bit-identical to pool == nullptr (pinned by
+     * tests/concurrency/pooled_step_test.cc).  When a profiling
+     * capture is installed the layer runs serially regardless (the
+     * capture stream is ordered by batch row).
      */
     support::MatrixF decode_layer_batch(
         std::size_t layer_idx, const support::MatrixF& x,
         std::span<quant::KvCache* const> caches,
-        std::span<const NonlinearHooks* const> hooks) const;
+        std::span<const NonlinearHooks* const> hooks,
+        support::ThreadPool* pool = nullptr) const;
 
     const std::vector<float>& final_norm_gain() const
     {
@@ -181,7 +196,11 @@ class TransformerModel {
      * @p hooks.softmax_exp, and accumulate the weighted values into
      * @p out_row (zero-initialized, [d_model]).  Shared by
      * decode_layer and decode_layer_batch so both paths execute the
-     * identical float-op sequence.
+     * identical float-op sequence.  KV reads are batched: each kv
+     * head's resident sequence is gathered into contiguous
+     * [positions, head_dim] scratch once (KvCache::read_keys /
+     * read_values) and reused by every query head of its GQA group,
+     * instead of decoding position-at-a-time per head.
      */
     void attend_one(const float* q_row, const float* k_row,
                     const float* v_row, quant::KvCache& cache,

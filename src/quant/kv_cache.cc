@@ -267,13 +267,8 @@ KvCache::append(const support::MatrixF& k_heads,
 }
 
 void
-KvCache::read_key(std::size_t head, units::Positions pos_in,
-                  float* out) const
+KvCache::decode_vector(const std::byte* src, float* out) const
 {
-    const std::size_t pos = pos_in.value();
-    assert(head < num_heads_ && pos < length_);
-    const std::byte* src =
-        position_data(pos) + head * vector_bytes();
     if (precision_ == KvPrecision::kFloat) {
         std::memcpy(out, src, head_dim_ * sizeof(float));
         return;
@@ -292,28 +287,65 @@ KvCache::read_key(std::size_t head, units::Positions pos_in,
 }
 
 void
+KvCache::read_key(std::size_t head, units::Positions pos_in,
+                  float* out) const
+{
+    const std::size_t pos = pos_in.value();
+    assert(head < num_heads_ && pos < length_);
+    decode_vector(position_data(pos) + head * vector_bytes(), out);
+}
+
+void
 KvCache::read_value(std::size_t head, units::Positions pos_in,
                     float* out) const
 {
     const std::size_t pos = pos_in.value();
     assert(head < num_heads_ && pos < length_);
-    const std::byte* src =
-        position_data(pos) + (num_heads_ + head) * vector_bytes();
-    if (precision_ == KvPrecision::kFloat) {
-        std::memcpy(out, src, head_dim_ * sizeof(float));
-        return;
+    decode_vector(
+        position_data(pos) + (num_heads_ + head) * vector_bytes(), out);
+}
+
+void
+KvCache::read_range(std::size_t vector_offset, std::size_t begin,
+                    std::size_t end, float* out) const
+{
+    // One block-table lookup per *block*, not per position: decode a
+    // whole run of resident positions from the block's storage before
+    // advancing to the next block.
+    std::size_t pos = begin;
+    while (pos < end) {
+        const std::size_t in_block = pos % block_tokens_;
+        const std::size_t run =
+            std::min(end - pos, block_tokens_ - in_block);
+        const std::byte* base = block_data_[pos / block_tokens_] +
+                                in_block * bytes_per_position_ +
+                                vector_offset;
+        for (std::size_t i = 0; i < run; ++i) {
+            decode_vector(base + i * bytes_per_position_, out);
+            out += head_dim_;
+        }
+        pos += run;
     }
-    const float scale = load_bf16(src);
-    for (std::size_t d = 0; d < head_dim_; ++d) {
-        const unsigned nibble =
-            (static_cast<unsigned>(src[2 + d / 2]) >> ((d % 2) * 4)) &
-            0xF;
-        out[d] = static_cast<float>(
-                     numerics::Int4::decode(
-                         static_cast<std::uint8_t>(nibble))
-                         .value()) *
-                 scale;
-    }
+}
+
+void
+KvCache::read_keys(std::size_t head, units::Positions begin_in,
+                   units::Positions end_in, float* out) const
+{
+    const std::size_t begin = begin_in.value();
+    const std::size_t end = end_in.value();
+    assert(head < num_heads_ && begin <= end && end <= length_);
+    read_range(head * vector_bytes(), begin, end, out);
+}
+
+void
+KvCache::read_values(std::size_t head, units::Positions begin_in,
+                     units::Positions end_in, float* out) const
+{
+    const std::size_t begin = begin_in.value();
+    const std::size_t end = end_in.value();
+    assert(head < num_heads_ && begin <= end && end <= length_);
+    read_range((num_heads_ + head) * vector_bytes(), begin, end, out);
 }
 
 numerics::Int4

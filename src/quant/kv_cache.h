@@ -116,6 +116,21 @@ class KvCache {
     void read_value(std::size_t head, units::Positions pos,
                     float* out) const;
 
+    /**
+     * Batched gather: dequantize K vectors of @p head for every
+     * position in [@p begin, @p end) into @p out, laid out as
+     * [end - begin, head_dim] row-major.  Walks the block table once
+     * per block instead of once per position, so attention can decode
+     * a whole resident sequence into contiguous scratch in one call.
+     * Bit-identical to end-begin read_key() calls (same per-vector
+     * decode arithmetic, pinned by tests/quant/kv_cache_test).
+     */
+    void read_keys(std::size_t head, units::Positions begin,
+                   units::Positions end, float* out) const;
+    /** Batched gather of V vectors; see read_keys(). */
+    void read_values(std::size_t head, units::Positions begin,
+                     units::Positions end, float* out) const;
+
     /** Raw INT4 key codes (valid only with kInt4 precision). */
     numerics::Int4 key_code(std::size_t head, units::Positions pos,
                             std::size_t d) const;
@@ -198,6 +213,12 @@ class KvCache {
     };
 
     QuantVector quantize_vector(const float* data) const;
+
+    /** Dequantize one stored K/V vector at @p src into @p out. */
+    void decode_vector(const std::byte* src, float* out) const;
+    /** Blockwise gather body shared by read_keys/read_values. */
+    void read_range(std::size_t vector_offset, std::size_t begin,
+                    std::size_t end, float* out) const;
 
     /** Writable storage of position @p pos (block-table lookup). */
     std::byte* position_data(std::size_t pos);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <unordered_map>
 
 #include "model/ops.h"
@@ -150,7 +151,8 @@ Engine::create_session(const SessionOptions& options) const
 }
 
 support::MatrixF
-Engine::final_norm_logits(const support::MatrixF& x) const
+Engine::final_norm_logits(const support::MatrixF& x,
+                          support::ThreadPool* pool) const
 {
     const model::ModelConfig& config = *model_config_;
     support::MatrixF x_norm;
@@ -161,8 +163,25 @@ Engine::final_norm_logits(const support::MatrixF& x) const
         model::layernorm(x, model_->final_norm_gain(), bias, x_norm);
     }
     // linear and linear_batched are bit-identical; the batched form
-    // streams the LM head once for the whole stack.
-    return model::linear_batched(x_norm, model_->lm_head());
+    // streams the LM head once for the whole stack.  Pooled, the
+    // stack's rows split into disjoint ranges with the identical
+    // per-cell accumulation (linear_batched_range), so the bytes
+    // match the serial GEMM.
+    const support::MatrixF& lm_head = model_->lm_head();
+    support::MatrixF logits(x_norm.rows(), lm_head.cols(), 0.0f);
+    if (pool != nullptr && x_norm.rows() > 1) {
+        const auto ranges =
+            support::split_ranges(x_norm.rows(), pool->num_threads());
+        pool->parallel_for(ranges.size(), [&](std::size_t t) {
+            model::linear_batched_range(x_norm, lm_head,
+                                        ranges[t].first,
+                                        ranges[t].second, logits);
+        });
+    } else {
+        model::linear_batched_range(x_norm, lm_head, 0, x_norm.rows(),
+                                    logits);
+    }
+    return logits;
 }
 
 std::vector<float>
@@ -181,7 +200,8 @@ Engine::decode_token(Session& session, int token) const
 }
 
 void
-Engine::step_decode_fused(const StepPlan& plan, StepResult& result) const
+Engine::step_decode_fused(const StepPlan& plan, StepResult& result,
+                          support::ThreadPool* pool) const
 {
     assert(model_);
     const model::ModelConfig& config = *model_config_;
@@ -202,9 +222,9 @@ Engine::step_decode_fused(const StepPlan& plan, StepResult& result) const
             caches[i] = &session.caches_[l];
             hooks[i] = &session.hooks_for(l);
         }
-        x = model_->decode_layer_batch(l, x, caches, hooks);
+        x = model_->decode_layer_batch(l, x, caches, hooks, pool);
     }
-    const support::MatrixF logits = final_norm_logits(x);
+    const support::MatrixF logits = final_norm_logits(x, pool);
 
     for (std::size_t i = 0; i < batch; ++i) {
         Session& session = *plan.decode_sessions[i];
@@ -278,6 +298,20 @@ Engine::step(const StepPlan& plan) const
     result.report = evaluate(workload);
     result.outputs.reserve(D);
     const bool functional_decode = !plan.decode_tokens.empty();
+
+    // Pooled execution: hold the shared worker pool for the whole
+    // functional region and meter its busy/task counters around it.
+    // The pool only decides *when* disjoint-output tasks run, never
+    // what they compute, so every pooled path below is bit-identical
+    // to plan.threads == 0.
+    std::shared_ptr<support::ThreadPool> pool;
+    if (plan.threads > 0 && model_ != nullptr) {
+        pool = worker_pool(plan.threads);
+    }
+    const auto wall_start = std::chrono::steady_clock::now();
+    const std::uint64_t busy_start = pool ? pool->busy_ns() : 0;
+    const std::uint64_t tasks_start = pool ? pool->tasks_completed() : 0;
+
     // Fused batched decode: one projection GEMM per layer over the
     // stacked batch, bit-identical to per-session stepping.  A
     // duplicated session is a data dependency (its second token must
@@ -286,7 +320,7 @@ Engine::step(const StepPlan& plan) const
     // agree exactly there, so the paths are indistinguishable).
     if (functional_decode && plan.fused_decode && !duplicate_sessions &&
         D > 1) {
-        step_decode_fused(plan, result);
+        step_decode_fused(plan, result, pool.get());
         result.gemm +=
             projection_charge(*model_config_, design_, D, true);
     } else {
@@ -312,13 +346,41 @@ Engine::step(const StepPlan& plan) const
                 projection_charge(*model_config_, design_, D, false);
         }
     }
-    result.prefill_outputs.reserve(plan.prefills.size());
-    for (const StepPlan::PrefillEntry& entry : plan.prefills) {
+    const std::size_t P = plan.prefills.size();
+    result.prefill_outputs.reserve(P);
+    // Per-chunk prefill tasks: each chunk streams its own session's
+    // tokens, so chunks over pairwise-distinct sessions that also
+    // don't appear among the decode entries are independent and fan
+    // out across the pool (outputs and charges are still assembled in
+    // plan order below, and each chunk runs the identical serial
+    // token loop -- bit-identical to the serial plan walk).
+    bool parallel_prefill = pool != nullptr && P > 1;
+    if (parallel_prefill) {
+        std::unordered_map<const Session*, std::size_t> prefill_seen;
+        for (const StepPlan::PrefillEntry& entry : plan.prefills) {
+            parallel_prefill &= !entry.tokens.empty();
+            parallel_prefill &= prefill_seen[entry.session]++ == 0;
+            parallel_prefill &=
+                occurrences.find(entry.session) == occurrences.end();
+        }
+    }
+    std::vector<std::vector<float>> chunk_logits(P);
+    if (parallel_prefill) {
+        pool->parallel_for(P, [&](std::size_t i) {
+            const StepPlan::PrefillEntry& entry = plan.prefills[i];
+            chunk_logits[i] =
+                prefill_chunk(*entry.session, entry.tokens);
+        });
+    }
+    for (std::size_t i = 0; i < P; ++i) {
+        const StepPlan::PrefillEntry& entry = plan.prefills[i];
         Session& session = *entry.session;
         StepResult::SessionOutput out;
         out.session_id = session.id();
         if (!entry.tokens.empty()) {
-            out.logits = prefill_chunk(session, entry.tokens);
+            out.logits = parallel_prefill
+                             ? std::move(chunk_logits[i])
+                             : prefill_chunk(session, entry.tokens);
             out.next_token = static_cast<int>(std::distance(
                 out.logits.begin(),
                 std::max_element(out.logits.begin(),
@@ -333,7 +395,36 @@ Engine::step(const StepPlan& plan) const
         out.position = units::Positions(session.position_);
         result.prefill_outputs.push_back(std::move(out));
     }
+
+    if (pool) {
+        const double wall_s =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
+        const double busy_s =
+            static_cast<double>(pool->busy_ns() - busy_start) * 1e-9;
+        result.workers.threads = pool->num_threads();
+        result.workers.tasks = pool->tasks_completed() - tasks_start;
+        if (wall_s > 0.0) {
+            result.workers.busy_fraction = std::min(
+                1.0, busy_s / (static_cast<double>(
+                                   pool->num_threads()) *
+                               wall_s));
+        }
+        result.workers.idle_fraction =
+            1.0 - result.workers.busy_fraction;
+    }
     return result;
+}
+
+std::shared_ptr<support::ThreadPool>
+Engine::worker_pool(std::size_t threads) const
+{
+    support::MutexLock lock(pool_mutex_);
+    if (!pool_ || pool_->num_threads() != threads) {
+        pool_ = std::make_shared<support::ThreadPool>(threads);
+    }
+    return pool_;
 }
 
 StepResult

@@ -24,10 +24,14 @@
  *
  * Thread-safety: every member function is const and safe to call
  * concurrently, provided no Session appears in two concurrent step()
- * batches (sessions are single-request streams).  The engine's only
- * mutable state is the relaxed-atomic session-id counter and the
- * internally-synchronized KernelRegistry; everything else is
- * immutable after construction.
+ * batches (sessions are single-request streams).  The engine's
+ * mutable state is the relaxed-atomic session-id counter, the
+ * internally-synchronized KernelRegistry, and the lazily-built
+ * worker pool behind pool_mutex_ (a support::ThreadPool shared
+ * across steps; step() holds a shared_ptr for its duration, so a
+ * concurrent step that swaps the pool for a different thread count
+ * never destroys one in use); everything else is immutable after
+ * construction.
  * tests/concurrency/engine_step_stress_test.cc drives N threads of
  * step() over disjoint sessions through one engine under TSan, and
  * the registry/pool lock discipline is capability-checked by
@@ -49,6 +53,9 @@
 #include "serve/session.h"
 #include "sim/event_sim.h"
 #include "sim/performance_model.h"
+#include "support/mutex.h"
+#include "support/thread_annotations.h"
+#include "support/thread_pool.h"
 
 namespace mugi {
 namespace serve {
@@ -95,6 +102,25 @@ struct StepResult {
      * sequential charge.  Zero for analytic-only steps.
      */
     vlp::GemmStats gemm;
+
+    /** Worker-pool utilization of one pooled step. */
+    struct WorkerStats {
+        /** Worker threads the step ran on (0 = serial step). */
+        std::size_t threads = 0;
+        /** Pool tasks the step executed. */
+        std::uint64_t tasks = 0;
+        /**
+         * Fraction of the workers' capacity (threads x wall time of
+         * the step) spent executing tasks; the remainder is
+         * idle_fraction -- joins at stage barriers, queue waits, and
+         * the step's serial stages.  Approximate when concurrent
+         * steps share the pool.
+         */
+        double busy_fraction = 0.0;
+        double idle_fraction = 0.0;
+    };
+    /** Zeroed unless the step ran with StepPlan::threads > 0. */
+    WorkerStats workers;
 };
 
 /**
@@ -143,6 +169,18 @@ struct StepPlan {
      * as does a batch of one (nothing to fuse; identical charge).
      */
     bool fused_decode = true;
+
+    /**
+     * Worker threads to fan the step's functional work across
+     * (0 = serial, the pinned fallback).  Pooled execution partitions
+     * fused decode into per-projection row-range tasks and prefill
+     * into per-chunk tasks, joining at the existing layer barriers;
+     * every partition writes disjoint outputs and runs the identical
+     * float-op sequence, so results are bit-identical to threads == 0
+     * (pinned by tests/concurrency/pooled_step_test.cc).  Analytic
+     * engines ignore this field.
+     */
+    std::size_t threads = 0;
 
     bool
     empty() const
@@ -293,14 +331,27 @@ class Engine {
   private:
     std::vector<float> decode_token(Session& session, int token) const;
     /** Fused batched decode of @p plan's distinct decode sessions. */
-    void step_decode_fused(const StepPlan& plan,
-                           StepResult& result) const;
-    support::MatrixF final_norm_logits(const support::MatrixF& x) const;
+    void step_decode_fused(const StepPlan& plan, StepResult& result,
+                           support::ThreadPool* pool) const;
+    support::MatrixF final_norm_logits(const support::MatrixF& x,
+                                       support::ThreadPool* pool =
+                                           nullptr) const;
+    /**
+     * The shared worker pool sized to @p threads, built lazily and
+     * rebuilt when a plan asks for a different size.  Callers hold
+     * the returned shared_ptr for the duration of their step, so a
+     * rebuild never destroys a pool that still has work in flight.
+     */
+    std::shared_ptr<support::ThreadPool>
+    worker_pool(std::size_t threads) const;
 
     sim::DesignConfig design_;
     std::optional<model::ModelConfig> model_config_;
     std::shared_ptr<const model::TransformerModel> model_;
     KernelRegistry registry_;
+    mutable support::Mutex pool_mutex_;
+    mutable std::shared_ptr<support::ThreadPool> pool_
+        MUGI_GUARDED_BY(pool_mutex_);
     /**
      * Session-id source; the engine's only mutable state.  Bumped
      * with a relaxed fetch_add: uniqueness needs only RMW atomicity,

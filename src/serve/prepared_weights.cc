@@ -48,8 +48,8 @@ run_prepared_gemm(const PreparedWeights& weights,
         const std::size_t end =
             std::min(begin + group_size, q.cols());
         std::fill(partial.data().begin(), partial.data().end(), 0.0f);
-        vlp::vlp_gemm_subscribed(subs, activations, begin, end,
-                                 partial);
+        vlp::vlp_gemm_subscribed_packed(subs, activations, begin, end,
+                                        partial);
         for (std::size_t r = 0; r < rows; ++r) {
             const float scale = q.scales.at(r, g);
             const float* prow = partial.row_data(r);

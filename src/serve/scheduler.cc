@@ -704,7 +704,12 @@ Scheduler::step()
         }
     }
 
+    plan.threads = config_.step_threads;
     const StepResult result = engine_.step(plan);
+    if (result.workers.threads > 0) {
+        ++pooled_steps_;
+        sum_worker_busy_ += result.workers.busy_fraction;
+    }
     horizon_.add(result.report.perf);
     now_s_ = idle_s_ + horizon_.elapsed_s();
     decode_tokens_ += units::Tokens(plan.decode_sessions.size());
@@ -939,6 +944,12 @@ Scheduler::stats() const
     if (tpot_count_ > 0) {
         s.mean_tpot_s =
             sum_tpot_s_ / static_cast<double>(tpot_count_);
+    }
+    s.pooled_steps = pooled_steps_;
+    if (pooled_steps_ > 0) {
+        s.mean_worker_busy =
+            sum_worker_busy_ / static_cast<double>(pooled_steps_);
+        s.mean_worker_idle = 1.0 - s.mean_worker_busy;
     }
     return s;
 }

@@ -158,6 +158,14 @@ struct SchedulerConfig {
      * bench/prefix_cache.cc measures against).
      */
     bool prefix_caching = true;
+
+    /**
+     * Worker threads every mixed step fans its functional work
+     * across (StepPlan::threads); 0 = serial.  Pooled steps are
+     * bit-identical to serial ones, so this knob changes wall-clock
+     * only -- never tokens, numerics, or the modeled clock.
+     */
+    std::size_t step_threads = 0;
 };
 
 /** Serving-horizon report: accumulator totals + latency stats. */
@@ -213,6 +221,17 @@ struct ServerStats {
     /** Prompt tokens whose prefill was skipped by prefix sharing. */
     units::Tokens saved_prefill_tokens{0};
     std::size_t target_batch = 0;
+
+    /** Steps that ran on the worker pool (step_threads > 0). */
+    std::size_t pooled_steps = 0;
+    /**
+     * Mean per-step worker busy/idle fractions over pooled steps
+     * (StepResult::WorkerStats) -- how much of the pool's capacity
+     * the step partitioning actually kept fed.  Zero when every step
+     * ran serially.
+     */
+    double mean_worker_busy = 0.0;
+    double mean_worker_idle = 0.0;
 
     // Over finished requests, on the modeled clock.  TTFT aggregates
     // are over requests that emitted >= 1 token and TPOT over those
@@ -485,6 +504,9 @@ class Scheduler {
     double sum_ttft_s_ = 0.0;
     double max_ttft_s_ = 0.0;
     double sum_tpot_s_ = 0.0;
+    /** Pooled-step worker-utilization sums (stats() divides). */
+    std::size_t pooled_steps_ = 0;
+    double sum_worker_busy_ = 0.0;
     /** Finished requests that emitted >= 1 token (TTFT divisor). */
     std::size_t ttft_count_ = 0;
     /** Finished requests that emitted >= 2 tokens (TPOT divisor). */

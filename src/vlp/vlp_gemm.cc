@@ -39,7 +39,7 @@ sweep_gemm(const Int4Matrix& temporal, const support::MatrixF& values,
     result.out = support::MatrixF(r_total, c_total, 0.0f);
 
     const SubscriptionLists subs(temporal);
-    vlp_gemm_subscribed(subs, values, 0, k_total, result.out);
+    vlp_gemm_subscribed_packed(subs, values, 0, k_total, result.out);
 
     const std::uint64_t tiles = tile_count(r_total, array_rows) *
                                 tile_count(c_total, array_cols);
@@ -53,7 +53,8 @@ sweep_gemm(const Int4Matrix& temporal, const support::MatrixF& values,
 }  // namespace
 
 SubscriptionLists::SubscriptionLists(const Int4Matrix& weights)
-    : rows_(weights.rows()), cols_(weights.cols())
+    : rows_(weights.rows()), cols_(weights.cols()),
+      tiles_((rows_ + kTileRows - 1) / kTileRows)
 {
     entries_.resize(rows_ * cols_);
     offsets_.assign(cols_ * (static_cast<std::size_t>(kBuckets) + 1),
@@ -77,6 +78,31 @@ SubscriptionLists::SubscriptionLists(const Int4Matrix& weights)
             const numerics::Int4 w = weights.at(r, k);
             entries_[counts[w.magnitude]++] =
                 (static_cast<std::uint32_t>(r) << 4) | w.encode();
+        }
+    }
+
+    // Packed form: re-bucket each column's non-zero entries by row
+    // tile, keeping the cycle-major order within a tile (a stable
+    // single pass over the column).  Entries become tile-local u16:
+    // 12 bits of local row + the sign-magnitude nibble.
+    packed_begin_.assign(cols_ * tiles_ + 1, 0);
+    packed_.reserve(entries_.size());
+    std::vector<std::vector<std::uint16_t>> per_tile(tiles_);
+    for (std::size_t k = 0; k < cols_; ++k) {
+        const std::size_t zero_rows = bucket(k, 0).size();
+        const std::span<const std::uint32_t> col = column(k);
+        for (std::size_t e = zero_rows; e < col.size(); ++e) {
+            const std::uint32_t entry = col[e];
+            const std::size_t row = entry >> 4;
+            per_tile[row / kTileRows].push_back(
+                static_cast<std::uint16_t>(((row % kTileRows) << 4) |
+                                           (entry & 0xFu)));
+        }
+        for (std::size_t tile = 0; tile < tiles_; ++tile) {
+            packed_.insert(packed_.end(), per_tile[tile].begin(),
+                           per_tile[tile].end());
+            packed_begin_[k * tiles_ + tile + 1] = packed_.size();
+            per_tile[tile].clear();
         }
     }
 }
@@ -133,6 +159,58 @@ vlp_gemm_subscribed(const SubscriptionLists& subs,
             float* orow = out.row_data(entry >> 4);
             for (std::size_t c = 0; c < c_total; ++c) {
                 orow[c] += av[c];
+            }
+        }
+    }
+}
+
+void
+vlp_gemm_subscribed_packed(const SubscriptionLists& subs,
+                           const support::MatrixF& values,
+                           std::size_t k_begin, std::size_t k_end,
+                           support::MatrixF& out)
+{
+    assert(k_end <= subs.cols() && k_begin <= k_end);
+    assert(k_end <= values.rows());
+    assert(out.rows() == subs.rows() && out.cols() == values.cols());
+    const std::size_t c_total = values.cols();
+    if (c_total == 0 || subs.rows() == 0) {
+        return;
+    }
+
+    // Identical accumulator-state construction as the u32 executor;
+    // only the subscription walk differs (tile-local u16 entries,
+    // zero bucket already dropped at build time).  Rows accumulate
+    // disjoint output cells, so the tile-major visit order matches
+    // the cycle-major walk bit for bit.
+    support::MatrixF accs(2 * kSweep, c_total, 0.0f);
+    const float* state[2 * kSweep];
+    for (std::uint32_t m = 0; m < kSweep; ++m) {
+        state[m] = accs.row_data(m);
+        state[kSweep + m] = accs.row_data(kSweep + m);
+    }
+    const std::size_t tiles = subs.tile_count();
+    for (std::size_t k = k_begin; k < k_end; ++k) {
+        const float* act = values.row_data(k);
+        for (std::uint32_t m = 1; m < kSweep; ++m) {
+            const float* prev = accs.row_data(m - 1);
+            float* cur = accs.row_data(m);
+            float* neg = accs.row_data(kSweep + m);
+            for (std::size_t c = 0; c < c_total; ++c) {
+                cur[c] = prev[c] + act[c];
+                neg[c] = -cur[c];
+            }
+        }
+        for (std::size_t tile = 0; tile < tiles; ++tile) {
+            const std::size_t base_row =
+                tile * SubscriptionLists::kTileRows;
+            for (const std::uint16_t entry :
+                 subs.packed_tile(k, tile)) {
+                const float* av = state[entry & 0xFu];
+                float* orow = out.row_data(base_row + (entry >> 4));
+                for (std::size_t c = 0; c < c_total; ++c) {
+                    orow[c] += av[c];
+                }
             }
         }
     }

@@ -90,9 +90,27 @@ struct VlpGemmResult {
  * The schedule is immutable and independent of the activations, so
  * serving-path holders (serve::PreparedWeights) build it once at load
  * time and reuse it for every GEMM against the same codes.
+ *
+ * Alongside the u32 entries, the schedule carries a *packed* form:
+ * rows are split into tiles of kTileRows and each (k, tile) stores
+ * tile-local u16 entries -- (local_row << 4) | nibble, local_row <
+ * 2^12 -- with the magnitude-0 bucket omitted outright (its
+ * subscriptions add a signed zero to cells that are never -0.0f, so
+ * they cannot change bits; see vlp_gemm.cc).  Half-width entries and
+ * the dropped zero bucket shrink the inner loop's working set, and
+ * the fixed 16-bit stride is what a SIMD gather wants.  The packed
+ * executor (vlp_gemm_subscribed_packed) is bit-identical to the u32
+ * one, pinned across the ragged-shape matrix by
+ * tests/vlp/vlp_gemm_test.cc.
  */
 class SubscriptionLists {
   public:
+    /**
+     * Rows per packed tile: local row indices must fit the 12 bits a
+     * u16 entry has left of its sign-magnitude nibble.
+     */
+    static constexpr std::size_t kTileRows = 1u << 12;
+
     SubscriptionLists() = default;
 
     /** Build the per-k magnitude buckets of @p weights. */
@@ -100,6 +118,9 @@ class SubscriptionLists {
 
     std::size_t rows() const { return rows_; }
     std::size_t cols() const { return cols_; }
+
+    /** Row tiles the packed form splits [0, rows) into. */
+    std::size_t tile_count() const { return tiles_; }
 
     /** Row index of a packed entry. */
     static std::uint32_t
@@ -143,12 +164,26 @@ class SubscriptionLists {
         return {entries_.data() + k * rows_, rows_};
     }
 
+    /**
+     * Column @p k's packed entries whose rows fall in tile @p tile,
+     * cycle-major, each (local_row << 4) | nibble with local_row
+     * relative to tile * kTileRows.  Magnitude-0 rows are omitted.
+     */
+    std::span<const std::uint16_t>
+    packed_tile(std::size_t k, std::size_t tile) const
+    {
+        const std::size_t base = k * tiles_ + tile;
+        return {packed_.data() + packed_begin_[base],
+                packed_begin_[base + 1] - packed_begin_[base]};
+    }
+
   private:
     static constexpr std::uint32_t kBuckets =
         1u << numerics::kInt4MagnitudeBits;
 
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
+    std::size_t tiles_ = 0;
     /**
      * rows_ entries per k, bucketed by magnitude (cycle-major, the
      * order the temporal sweep fires them): (row << 4) | nibble.
@@ -156,6 +191,10 @@ class SubscriptionLists {
     std::vector<std::uint32_t> entries_;
     /** Per k: kBuckets + 1 bucket boundaries into entries_. */
     std::vector<std::size_t> offsets_;
+    /** Tile-local u16 entries, (k, tile)-major, zero bucket dropped. */
+    std::vector<std::uint16_t> packed_;
+    /** cols_ * tiles_ + 1 boundaries into packed_. */
+    std::vector<std::size_t> packed_begin_;
 };
 
 /**
@@ -176,6 +215,21 @@ void vlp_gemm_subscribed(const SubscriptionLists& subs,
                          const support::MatrixF& values,
                          std::size_t k_begin, std::size_t k_end,
                          support::MatrixF& out);
+
+/**
+ * Same contract as vlp_gemm_subscribed, executed over the tile-local
+ * u16 packed schedule: per k the accumulator states build once, then
+ * each row tile's half-width entries stream through the inner loop
+ * (smaller working set, SIMD-friendly fixed stride, zero bucket
+ * pre-dropped).  Rows accumulate disjoint output cells, so the
+ * tile-major visit order is bit-identical to the cycle-major u32 walk
+ * -- the shipped executor of sweep kernels and PreparedWeights; the
+ * u32 form stays exported for the A/B benchmarks and tests.
+ */
+void vlp_gemm_subscribed_packed(const SubscriptionLists& subs,
+                                const support::MatrixF& values,
+                                std::size_t k_begin, std::size_t k_end,
+                                support::MatrixF& out);
 
 /**
  * Mugi-mapped GEMM: out[n][b] = sum_k weights[n][k] * activations[k][b].

@@ -255,6 +255,69 @@ TEST(KvCache, PagedReadsAreByteIdenticalAcrossBlockSizes)
     }
 }
 
+TEST(KvCache, BatchedRangeReadsAreByteIdenticalToPerPositionReads)
+{
+    // read_keys/read_values (the fused-decode gather) must decode
+    // exactly the bytes read_key/read_value produce, for both
+    // precisions, across block-boundary-straddling ranges and block
+    // sizes -- including an empty range and the full context.
+    const std::size_t heads = 3, hd = 7, T = 23;
+    std::mt19937 rng(811);
+    std::vector<support::MatrixF> ks, vs;
+    for (std::size_t t = 0; t < T; ++t) {
+        ks.push_back(random_heads(heads, hd, rng));
+        vs.push_back(random_heads(heads, hd, rng));
+    }
+    for (const KvPrecision precision :
+         {KvPrecision::kFloat, KvPrecision::kInt4}) {
+        for (const std::size_t block_tokens : {1u, 5u, 64u}) {
+            BlockPool pool(units::Bytes(0),
+                           units::Tokens(block_tokens));
+            KvCache cache(heads, hd, precision, &pool);
+            for (std::size_t t = 0; t < T; ++t) {
+                cache.append(ks[t], vs[t]);
+            }
+            const struct {
+                std::size_t begin, end;
+            } ranges[] = {{0, T}, {0, 1}, {4, 7}, {3, 21},
+                          {22, 23}, {6, 6}};
+            std::vector<float> want(hd);
+            for (const auto& range : ranges) {
+                const std::size_t count = range.end - range.begin;
+                std::vector<float> keys(count * hd, -1.0f);
+                std::vector<float> values(count * hd, -1.0f);
+                for (std::size_t h = 0; h < heads; ++h) {
+                    cache.read_keys(h, units::Positions(range.begin),
+                                    units::Positions(range.end),
+                                    keys.data());
+                    cache.read_values(h,
+                                      units::Positions(range.begin),
+                                      units::Positions(range.end),
+                                      values.data());
+                    for (std::size_t i = 0; i < count; ++i) {
+                        cache.read_key(
+                            h, units::Positions(range.begin + i),
+                            want.data());
+                        for (std::size_t d = 0; d < hd; ++d) {
+                            EXPECT_EQ(keys[i * hd + d], want[d])
+                                << "key h=" << h << " pos "
+                                << range.begin + i;
+                        }
+                        cache.read_value(
+                            h, units::Positions(range.begin + i),
+                            want.data());
+                        for (std::size_t d = 0; d < hd; ++d) {
+                            EXPECT_EQ(values[i * hd + d], want[d])
+                                << "value h=" << h << " pos "
+                                << range.begin + i;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 TEST(KvCache, MoveLeavesTheSourceDrainedAndInert)
 {
     std::mt19937 rng(601);

@@ -226,6 +226,76 @@ TEST(SubscriptionLists, EveryRowAppearsOncePerColumnAtItsMagnitude)
     }
 }
 
+TEST(SubscriptionLists, PackedTilesCoverExactlyTheNonzeroEntries)
+{
+    // Every nonzero-magnitude (row, k) entry appears in exactly one
+    // packed tile with the right local index and sign-magnitude
+    // nibble; the zero bucket is dropped at build time.
+    std::mt19937 rng(441);
+    const Int4Matrix w = random_int4(19, 7, rng);
+    const SubscriptionLists subs(w);
+    ASSERT_EQ(subs.tile_count(), 1u);  // 19 rows < one 4096-row tile.
+    for (std::size_t k = 0; k < w.cols(); ++k) {
+        std::vector<int> seen(w.rows(), 0);
+        for (std::size_t tile = 0; tile < subs.tile_count(); ++tile) {
+            for (const std::uint16_t entry : subs.packed_tile(k, tile)) {
+                const std::size_t row =
+                    tile * SubscriptionLists::kTileRows +
+                    (entry >> 4);
+                ASSERT_LT(row, w.rows());
+                EXPECT_EQ(entry & 0x7u, w.at(row, k).magnitude);
+                EXPECT_EQ((entry & 0x8u) != 0, w.at(row, k).sign);
+                EXPECT_NE(w.at(row, k).magnitude, 0u);
+                ++seen[row];
+            }
+        }
+        for (std::size_t row = 0; row < w.rows(); ++row) {
+            EXPECT_EQ(seen[row], w.at(row, k).magnitude != 0 ? 1 : 0)
+                << "row " << row << " column " << k;
+        }
+    }
+}
+
+TEST(VlpGemmSubscribedPacked, BitIdenticalToU32AcrossRaggedShapes)
+{
+    // The tile-local u16 executor must reproduce the u32 cycle-major
+    // walk bit for bit across the same ragged-shape matrix the sweep
+    // kernel is pinned on, plus a multi-tile shape (> 4096 rows) that
+    // exercises the tile-major visit order.
+    std::mt19937 rng(451);
+    const struct {
+        std::size_t n, k, b;
+    } cases[] = {
+        {24, 12, 8},  {17, 3, 9},  {1, 1, 1},    {1, 16, 8},
+        {64, 16, 1},  {64, 16, 0}, {5, 5, 5},    {256, 32, 24},
+        {33, 0, 7},   {4100, 6, 3},  // spans two row tiles
+    };
+    for (const auto& c : cases) {
+        const Int4Matrix w = random_int4(c.n, c.k, rng);
+        const support::MatrixF x = random_bf16(c.k, c.b, rng);
+        const SubscriptionLists subs(w);
+        support::MatrixF u32_out(c.n, c.b, 0.0f);
+        support::MatrixF packed_out(c.n, c.b, 0.0f);
+        vlp_gemm_subscribed(subs, x, 0, c.k, u32_out);
+        vlp_gemm_subscribed_packed(subs, x, 0, c.k, packed_out);
+        EXPECT_TRUE(packed_out == u32_out)
+            << c.n << "x" << c.k << "x" << c.b;
+    }
+}
+
+TEST(VlpGemmSubscribedPacked, PartialKRangesComposeToTheFullGemm)
+{
+    std::mt19937 rng(461);
+    const Int4Matrix w = random_int4(21, 13, rng);
+    const support::MatrixF x = random_bf16(13, 5, rng);
+    const SubscriptionLists subs(w);
+    support::MatrixF split(21, 5, 0.0f);
+    vlp_gemm_subscribed_packed(subs, x, 0, 6, split);
+    vlp_gemm_subscribed_packed(subs, x, 6, 13, split);
+    const VlpGemmResult whole = vlp_gemm_mugi(w, x, 64, 8);
+    EXPECT_TRUE(split == whole.out);
+}
+
 TEST(VlpGemmSubscribed, PartialKRangesComposeToTheFullGemm)
 {
     // Running [0, k0) then [k0, K) over the same output accumulates
