@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Closed-loop serving load generator over the push-based
+ * serve::Server: sweep arrival rates into tail-latency curves, and
+ * (--check) gate the HTTP front-end against the in-process scheduler.
+ *
+ * Rate sweep (always): N analytic Llama-2 70B requests arrive as a
+ * Poisson process (seeded, deterministic) at each offered load --
+ * fractions of the engine's estimated decode capacity -- through a
+ * serve::Server.  Latencies are on the *modeled* clock (the same
+ * clock ServerStats reports), so the curves are reproducible across
+ * machines: what moves them is scheduling, not host noise.  Output:
+ * a p50/p95/p99 TTFT/TPOT table across >= 3 rates, written to
+ * BENCH_serve.json for CI.
+ *
+ * --check additionally runs the end-to-end smoke gate:
+ *  1. a *functional* eval-scale engine behind server::Frontend on an
+ *     ephemeral loopback port; concurrent HTTP clients stream
+ *     /v1/generate token deltas;
+ *  2. the same request set through a plain single-threaded Scheduler
+ *     in process;
+ *  3. PASS iff every request's HTTP token stream is bit-identical to
+ *     the in-process stream, DELETE semantics hold, and the server's
+ *     pool reports zero KV bytes in use after drain (no leaked
+ *     blocks).  Exit status reflects the gate.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "model/accuracy.h"
+#include "model/transformer.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+#include "server/frontend.h"
+#include "server/http.h"
+#include "server/json.h"
+
+using namespace mugi;
+
+namespace {
+
+struct RatePoint {
+    double offered_load = 0.0;  ///< Fraction of estimated capacity.
+    double rate_req_s = 0.0;    ///< Modeled arrivals per second.
+    serve::ServerStats stats;
+};
+
+/**
+ * One sweep point: @p n requests with exponential inter-arrivals at
+ * @p rate_req_s on the modeled clock, run through a threaded Server.
+ */
+serve::ServerStats
+run_rate(const serve::Engine& engine, double rate_req_s, int n)
+{
+    serve::ServerConfig config;
+    config.scheduler.kv_budget_bytes = units::Bytes(1ull << 30);
+    config.scheduler.prefill_chunk_tokens = units::Tokens(256);
+    serve::Server server(engine, config);
+
+    // Seeded arrivals: the sweep is deterministic run to run.
+    std::mt19937_64 rng(42);
+    std::exponential_distribution<double> gap(rate_req_s);
+    double arrival_s = 0.0;
+    std::vector<serve::RequestHandle> handles;
+    handles.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        arrival_s += gap(rng);
+        serve::Request request;
+        request.analytic_prompt_tokens =
+            units::Tokens(256 + 256 * (i % 7));
+        request.max_new_tokens = units::Tokens(16 + 4 * (i % 9));
+        request.arrival_time_s = arrival_s;
+        handles.push_back(server.submit(std::move(request)));
+    }
+    for (serve::RequestHandle& handle : handles) {
+        handle.wait();
+    }
+    server.shutdown(serve::ShutdownMode::kDrain);
+    return server.stats();
+}
+
+/** The sweep: offered loads across the knee, >= 3 rates. */
+std::vector<RatePoint>
+run_sweep(const serve::Engine& engine,
+          const model::ModelConfig& model, int n)
+{
+    // Capacity estimate: modeled service time of the mean request --
+    // its prefill plus its share of a continuous decode batch.
+    // Prefill dominates at these prompt lengths; ignoring it would
+    // put every sweep point past saturation.
+    const double prefill_s =
+        engine.evaluate_prefill(model, 1, 1024).perf.runtime_s;
+    const double step_s =
+        engine.evaluate_decode(model, 8, 1024).perf.runtime_s;
+    const double mean_gen = 32.0;
+    const double service_s = prefill_s + mean_gen * step_s / 8.0;
+    const double capacity_req_s = 1.0 / service_s;
+
+    std::vector<RatePoint> points;
+    for (const double load : {0.25, 0.5, 1.0, 2.0}) {
+        RatePoint point;
+        point.offered_load = load;
+        point.rate_req_s = load * capacity_req_s;
+        point.stats = run_rate(engine, point.rate_req_s, n);
+        points.push_back(point);
+    }
+    return points;
+}
+
+// ---- --check: HTTP front-end vs in-process scheduler -------------
+
+struct CheckRequest {
+    std::vector<int> prompt;
+    std::size_t max_new_tokens = 0;
+};
+
+/** The functional smoke trace both paths run. */
+std::vector<CheckRequest>
+check_trace(const model::ModelConfig& config)
+{
+    std::vector<CheckRequest> trace;
+    for (int i = 0; i < 6; ++i) {
+        CheckRequest r;
+        r.prompt = model::synthetic_tokens(
+            12 + 5 * (i % 3), config.vocab,
+            static_cast<std::uint32_t>(1300 + i));
+        r.max_new_tokens = 8 + static_cast<std::size_t>(i);
+        trace.push_back(std::move(r));
+    }
+    return trace;
+}
+
+/** Tokens streamed back for one request over HTTP; nullopt on any
+ *  protocol failure. */
+std::optional<std::vector<int>>
+http_generate(std::uint16_t port, const CheckRequest& request)
+{
+    std::ostringstream body;
+    body << "{\"prompt\":[";
+    for (std::size_t i = 0; i < request.prompt.size(); ++i) {
+        if (i > 0) {
+            body << ',';
+        }
+        body << request.prompt[i];
+    }
+    body << "],\"max_new_tokens\":" << request.max_new_tokens << "}";
+
+    server::Client client;
+    if (!client.connect(port)) {
+        return std::nullopt;
+    }
+    const std::optional<server::HttpResponse> response =
+        client.request("POST", "/v1/generate", body.str());
+    if (!response || response->status != 200) {
+        return std::nullopt;
+    }
+    // NDJSON: {"id"...}, per-token {"index","token"}, final
+    // {"done":true,...}.
+    std::vector<int> tokens;
+    bool done = false;
+    std::istringstream lines(response->body);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        const std::optional<server::json::Value> value =
+            server::json::parse(line);
+        if (!value) {
+            return std::nullopt;
+        }
+        if (value->bool_or("done", false)) {
+            done = true;
+        } else if (value->find("token") != nullptr) {
+            tokens.push_back(
+                static_cast<int>(value->number_or("token", -1.0)));
+        }
+    }
+    if (!done) {
+        return std::nullopt;  // Stream never finished.
+    }
+    return tokens;
+}
+
+/** The --check gate; returns true on PASS. */
+bool
+run_check()
+{
+    bench::print_title(
+        "serve_load --check: HTTP vs in-process bit-identity");
+    const model::ModelConfig config =
+        model::llama2_7b().scaled_for_eval(4, 128, 512);
+    auto transformer =
+        std::make_shared<model::TransformerModel>(config, 11);
+    const serve::Engine engine(sim::make_mugi(256), transformer);
+    const std::vector<CheckRequest> trace = check_trace(config);
+
+    // Reference: the single-threaded in-process scheduler.
+    serve::SchedulerConfig sched_config;
+    sched_config.prefill_chunk_tokens = units::Tokens(16);
+    serve::Scheduler reference(engine, sched_config);
+    std::vector<std::uint64_t> ids;
+    for (const CheckRequest& r : trace) {
+        serve::Request request;
+        request.prompt = r.prompt;
+        request.max_new_tokens = units::Tokens(r.max_new_tokens);
+        ids.push_back(reference.submit(request));
+    }
+    std::vector<std::vector<int>> expected(trace.size());
+    for (const serve::FinishedRequest& f : reference.run()) {
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            if (ids[i] == f.id) {
+                expected[i] = f.tokens;
+            }
+        }
+    }
+
+    // Device under test: the threaded server behind HTTP.
+    serve::ServerConfig server_config;
+    server_config.scheduler = sched_config;
+    serve::Server server(engine, server_config);
+    server::Frontend frontend(server);
+    if (!frontend.bind(0)) {
+        std::printf("FAIL: cannot bind a loopback port\n");
+        return false;
+    }
+    std::thread accept_thread([&frontend] { frontend.run(); });
+
+    std::vector<std::optional<std::vector<int>>> streamed(
+        trace.size());
+    {
+        // Concurrent clients: submission order races, token streams
+        // must not care.
+        std::vector<std::thread> clients;
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            clients.emplace_back([&, i] {
+                streamed[i] =
+                    http_generate(frontend.port(), trace[i]);
+            });
+        }
+        for (std::thread& t : clients) {
+            t.join();
+        }
+    }
+
+    // DELETE on an unknown id must 404 (cancel routing sanity).
+    bool delete_404 = false;
+    {
+        server::Client client;
+        if (client.connect(frontend.port())) {
+            const auto response = client.request(
+                "DELETE", "/v1/generate/not-a-request");
+            delete_404 = response && response->status == 404;
+        }
+    }
+
+    frontend.stop();
+    accept_thread.join();
+    const serve::ServerStats stats = server.stats();
+
+    bool pass = true;
+    std::size_t checked_tokens = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (!streamed[i]) {
+            std::printf("FAIL: request %zu: HTTP stream failed\n", i);
+            pass = false;
+            continue;
+        }
+        if (*streamed[i] != expected[i]) {
+            std::printf(
+                "FAIL: request %zu: %zu streamed tokens != %zu "
+                "reference tokens\n",
+                i, streamed[i]->size(), expected[i].size());
+            pass = false;
+        }
+        checked_tokens += expected[i].size();
+    }
+    if (!delete_404) {
+        std::printf("FAIL: DELETE of an unknown id did not 404\n");
+        pass = false;
+    }
+    if (stats.kv_bytes_in_use != units::Bytes(0)) {
+        std::printf("FAIL: %zu KV bytes still in use after drain\n",
+                    stats.kv_bytes_in_use.value());
+        pass = false;
+    }
+    if (stats.finished != trace.size()) {
+        std::printf("FAIL: server finished %zu of %zu requests\n",
+                    stats.finished, trace.size());
+        pass = false;
+    }
+    std::printf(
+        "%s: %zu requests over HTTP, %zu tokens bit-identical to "
+        "in-process, kv_bytes_in_use=%zu\n",
+        pass ? "PASS" : "FAIL", trace.size(), checked_tokens,
+        stats.kv_bytes_in_use.value());
+    return pass;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool check = false;
+    int n = 48;
+    const char* json_path = "BENCH_serve.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check") == 0) {
+            check = true;
+        } else if (std::strcmp(argv[i], "--requests") == 0 &&
+                   i + 1 < argc) {
+            n = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--json") == 0 &&
+                   i + 1 < argc) {
+            json_path = argv[++i];
+        }
+    }
+
+    bench::print_title(
+        "serve_load: arrival-rate sweep (modeled clock)");
+    const model::ModelConfig model = model::llama2_70b();
+    const serve::Engine engine(sim::make_mugi(256), model);
+    const std::vector<RatePoint> points =
+        run_sweep(engine, model, n);
+
+    bench::print_header("load (x capacity)",
+                        {"req/s", "p50ttft", "p99ttft", "p50tpot",
+                         "p99tpot", "preempt"});
+    bench::Json series = bench::Json::array();
+    bool leak_free = true;
+    for (const RatePoint& point : points) {
+        const serve::ServerStats& s = point.stats;
+        std::ostringstream label;
+        label.precision(2);
+        label << std::fixed << point.offered_load << "x";
+        bench::print_row(label.str(),
+                         {point.rate_req_s, s.p50_ttft_s,
+                          s.p99_ttft_s, s.p50_tpot_s, s.p99_tpot_s,
+                          static_cast<double>(s.preemptions)},
+                         "%9.3g");
+        leak_free =
+            leak_free && s.kv_bytes_in_use == units::Bytes(0);
+        series.push(
+            bench::Json::object()
+                .set("offered_load", point.offered_load)
+                .set("rate_req_s", point.rate_req_s)
+                .set("requests", s.finished)
+                .set("p50_ttft_s", s.p50_ttft_s)
+                .set("p95_ttft_s", s.p95_ttft_s)
+                .set("p99_ttft_s", s.p99_ttft_s)
+                .set("mean_ttft_s", s.mean_ttft_s)
+                .set("p50_tpot_s", s.p50_tpot_s)
+                .set("p95_tpot_s", s.p95_tpot_s)
+                .set("p99_tpot_s", s.p99_tpot_s)
+                .set("mean_tpot_s", s.mean_tpot_s)
+                .set("mean_queue_s", s.mean_queue_s)
+                .set("preemptions", s.preemptions)
+                .set("kv_bytes_in_use", s.kv_bytes_in_use.value()));
+    }
+    if (!leak_free) {
+        std::printf(
+            "FAIL: a sweep point left KV bytes in use after drain\n");
+    }
+
+    bool check_pass = true;
+    if (check) {
+        check_pass = run_check();
+    }
+
+    bench::Json out = bench::Json::object();
+    out.set("bench", "serve_load")
+        .set("model", model.name)
+        .set("requests_per_rate", n)
+        .set("rates", std::move(series))
+        .set("leak_free", leak_free)
+        .set("check_run", check)
+        .set("check_pass", check_pass);
+    out.write_file(json_path);
+    std::printf("\nwrote %s\n", json_path);
+    return leak_free && check_pass ? 0 : 1;
+}

@@ -30,12 +30,37 @@
 #include "model/accuracy.h"
 #include "model/transformer.h"
 #include "serve/engine.h"
+#include "serve/scheduler.h"
 
 using namespace mugi;
 
 namespace {
 
 constexpr int kDecodeSteps = 8;
+
+/**
+ * Serving-trace latency percentiles: a 12-request functional trace
+ * through serve::Scheduler, reported as the p50/p95/p99 TTFT/TPOT
+ * the scheduler aggregates (the same numbers /metrics exports).
+ */
+serve::ServerStats
+serving_trace_stats(const serve::Engine& engine,
+                    const model::ModelConfig& config)
+{
+    serve::SchedulerConfig sched_config;
+    sched_config.prefill_chunk_tokens = units::Tokens(32);
+    serve::Scheduler scheduler(engine, sched_config);
+    for (int i = 0; i < 12; ++i) {
+        serve::Request request;
+        request.prompt = model::synthetic_tokens(
+            24 + 8 * (i % 4), config.vocab,
+            static_cast<std::uint32_t>(500 + i));
+        request.max_new_tokens = units::Tokens(6 + i % 5);
+        scheduler.submit(std::move(request));
+    }
+    scheduler.run();
+    return scheduler.stats();
+}
 
 struct ThreadResult {
     std::size_t threads = 0;  ///< 0 = serial.
@@ -271,6 +296,17 @@ main(int argc, char** argv)
             mixed_step_identical(engine, config, threads);
     }
 
+    const serve::ServerStats serving =
+        serving_trace_stats(engine, config);
+    bench::print_subtitle("Serving-trace latency (modeled clock)");
+    bench::print_header("percentile", {"ttft_s", "tpot_s"});
+    bench::print_row("p50", {serving.p50_ttft_s, serving.p50_tpot_s},
+                     "%9.3f");
+    bench::print_row("p95", {serving.p95_ttft_s, serving.p95_tpot_s},
+                     "%9.3f");
+    bench::print_row("p99", {serving.p99_ttft_s, serving.p99_tpot_s},
+                     "%9.3f");
+
     std::printf("\npooled tokens bit-identical: %s\n",
                 tokens_all_identical ? "yes" : "NO");
     std::printf("mixed prefill+decode bit-identical: %s\n",
@@ -307,7 +343,16 @@ main(int argc, char** argv)
                      : pooled_competitive ? std::string("pass")
                                           : std::string("fail"))
                 .set("rows", std::move(rows))
-                .set("mixed_step_identical", mixed_identical);
+                .set("mixed_step_identical", mixed_identical)
+                .set("serving",
+                     bench::Json::object()
+                         .set("requests", serving.finished)
+                         .set("p50_ttft_s", serving.p50_ttft_s)
+                         .set("p95_ttft_s", serving.p95_ttft_s)
+                         .set("p99_ttft_s", serving.p99_ttft_s)
+                         .set("p50_tpot_s", serving.p50_tpot_s)
+                         .set("p95_tpot_s", serving.p95_tpot_s)
+                         .set("p99_tpot_s", serving.p99_tpot_s));
         if (!doc.write_file(json_path)) {
             std::fprintf(stderr, "failed to write %s\n",
                          json_path.c_str());

@@ -6,9 +6,10 @@
  * configurations.  Energy efficiency follows the paper's metric:
  * throughput / energy-per-token.
  *
- * --threads N appends a functional footer: wall-clock tokens/s of an
- * eval-scale batch-8 decode with Engine::step serial vs fanned across
- * an N-worker pool (the table itself is analytic and unaffected).
+ * --threads N|auto appends a functional footer: wall-clock tokens/s
+ * of an eval-scale batch-8 decode with Engine::step serial vs fanned
+ * across an N-worker pool ("auto" sizes the pool from the hardware;
+ * the table itself is analytic and unaffected).
  */
 
 #include <cstdio>
@@ -22,6 +23,7 @@
 #include "model/transformer.h"
 #include "model/workload.h"
 #include "serve/engine.h"
+#include "serve/scheduler.h"
 
 using namespace mugi;
 
@@ -81,7 +83,8 @@ main(int argc, char** argv)
     std::size_t threads = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-            threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+            threads = serve::resolve_step_threads(
+                serve::threads_flag(argv[++i]));
         }
     }
     bench::print_title(

@@ -25,7 +25,7 @@
  *    analytic trace), so arrivals that find it resident skip those
  *    prefill chunks and share one refcounted KV reservation.
  *
- * Build & run:  ./build/examples/serving [--threads N]
+ * Build & run:  ./build/examples/serving [--threads N|auto]
  *
  * --threads N additionally runs a small *functional* trace (real
  * tokens through the eval-scale transformer) with every mixed step
@@ -103,8 +103,9 @@ main(int argc, char** argv)
     std::size_t threads = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-            threads = static_cast<std::size_t>(
-                std::atoi(argv[++i]));
+            // "auto" sizes the pool from the hardware.
+            threads = serve::resolve_step_threads(
+                serve::threads_flag(argv[++i]));
         }
     }
 
@@ -178,6 +179,12 @@ main(int argc, char** argv)
         "mean TPOT %.3f s\n",
         stats.mean_queue_s, stats.mean_ttft_s, stats.max_ttft_s,
         stats.mean_tpot_s);
+    // Tail latency: the serving number a mean hides.
+    std::printf(
+        "  TTFT p50/p95/p99 %.2f/%.2f/%.2f s, TPOT p50/p95/p99 "
+        "%.3f/%.3f/%.3f s\n",
+        stats.p50_ttft_s, stats.p95_ttft_s, stats.p99_ttft_s,
+        stats.p50_tpot_s, stats.p95_tpot_s, stats.p99_tpot_s);
     std::printf("  peak KV %.1f MiB of %.0f MiB budget (%.0f%% pool "
                 "utilization, %zu preemption%s)\n",
                 static_cast<double>(stats.peak_kv_bytes.value()) /

@@ -34,6 +34,16 @@ namespace serve {
 enum class FinishReason {
     kMaxTokens,  ///< Generated max_new_tokens.
     kStopToken,  ///< Emitted the request's stop token.
+    /**
+     * Retired by Scheduler::cancel (a caller's DELETE / disconnect).
+     * Tokens already emitted stand; the KV blocks are released on the
+     * spot, exactly as a natural finish releases them.
+     */
+    kCancelled,
+    /** Request::deadline_s passed before generation completed. */
+    kDeadline,
+    /** Retired by a server shutdown that did not drain. */
+    kShutdown,
 };
 
 const char* finish_reason_name(FinishReason reason);
@@ -80,6 +90,17 @@ struct Request {
      * survive longer.
      */
     int priority = 0;
+
+    /**
+     * Absolute modeled-clock deadline; 0 = none.  A request still
+     * queued or generating when the scheduler's clock reaches this
+     * is retired with FinishReason::kDeadline -- tokens already
+     * emitted stand, and its KV blocks are released exactly as on a
+     * natural finish.  Deadlines are checked at the end of every
+     * scheduling iteration, so a deadline passing mid-iteration
+     * still delivers that iteration's token.
+     */
+    double deadline_s = 0.0;
 
     /**
      * Analytic prefix caching: requests carrying the same nonzero

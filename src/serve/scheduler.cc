@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
+#include <thread>
 
 #include "quant/kv_cache.h"
 #include "support/audit.h"
@@ -24,6 +28,21 @@ fnv1a64(std::uint64_t h, std::uint64_t value)
 
 constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
 
+/**
+ * Exact nearest-rank percentile over an ascending-sorted sample set
+ * (rank = ceil(p/100 * N), 1-based); 0 when there are no samples.
+ */
+double
+nearest_rank(const std::vector<double>& sorted, double p)
+{
+    if (sorted.empty()) {
+        return 0.0;
+    }
+    const auto rank = static_cast<std::size_t>(std::ceil(
+        p / 100.0 * static_cast<double>(sorted.size())));
+    return sorted[std::max<std::size_t>(rank, 1) - 1];
+}
+
 }  // namespace
 
 const char*
@@ -34,8 +53,38 @@ finish_reason_name(FinishReason reason)
         return "max_tokens";
       case FinishReason::kStopToken:
         return "stop_token";
+      case FinishReason::kCancelled:
+        return "cancelled";
+      case FinishReason::kDeadline:
+        return "deadline";
+      case FinishReason::kShutdown:
+        return "shutdown";
     }
     return "?";
+}
+
+std::size_t
+resolve_step_threads(std::size_t requested)
+{
+    if (requested != SchedulerConfig::kAutoThreads) {
+        return requested;
+    }
+    const unsigned hc = std::thread::hardware_concurrency();
+    if (hc <= 1) {
+        return 0;  // Single-core or unknown: stay serial.
+    }
+    // Leave one core for the thread driving the loop.
+    return std::min<std::size_t>(hc - 1,
+                                 SchedulerConfig::kMaxAutoThreads);
+}
+
+std::size_t
+threads_flag(const char* text)
+{
+    if (std::strcmp(text, "auto") == 0) {
+        return SchedulerConfig::kAutoThreads;
+    }
+    return static_cast<std::size_t>(std::strtoull(text, nullptr, 10));
 }
 
 Scheduler::Scheduler(const Engine& engine,
@@ -53,17 +102,27 @@ Scheduler::Scheduler(const Engine& engine,
                                       *engine.model_config(),
                                       config_.policy_context);
     }
+    config_.step_threads = resolve_step_threads(config.step_threads);
 }
 
 std::uint64_t
 Scheduler::submit(Request request)
+{
+    // Auto ids continue the submission count, which keeps them at
+    // 1..N for in-process callers (serve::Server always chooses its
+    // own ids through submit_with_id instead).
+    return submit_with_id(std::move(request), submitted_ + 1);
+}
+
+std::uint64_t
+Scheduler::submit_with_id(Request request, std::uint64_t id)
 {
     assert((!functional_ || !request.prompt.empty()) &&
            "functional requests need a non-empty prompt");
     assert(request.session.initial_context == units::Tokens(0) &&
            "context is built by the scheduler's chunked prefill");
     request.session.initial_context = units::Tokens(0);
-    const std::uint64_t id = ++submitted_;
+    ++submitted_;
     const double arrival =
         std::max(request.arrival_time_s, now_s_);
     if (functional_ && request.prompt.empty()) {
@@ -81,8 +140,7 @@ Scheduler::submit(Request request)
         // milestone; ttft_s() reports 0 and the stats() TTFT
         // aggregates exclude the request.
         f.finished_s = arrival;
-        ++finished_count_;
-        finished_.push_back(std::move(f));
+        record_finished(std::move(f));
         return id;
     }
     QueuedRequest queued;
@@ -635,22 +693,155 @@ Scheduler::finish(ActiveRequest& req, FinishReason reason)
     f.admitted_s = req.admitted_s;
     f.first_token_s = req.first_token_s;
     f.finished_s = now_s_;
+    record_finished(std::move(f));
+    req.done = true;
+}
+
+void
+Scheduler::record_finished(FinishedRequest f)
+{
     sum_queue_s_ += f.queue_s();
     // TTFT is defined over requests that emitted a first token and
     // TPOT over those with an inter-token gap; anything else would
-    // dilute the means with structural zeros.
+    // dilute the means (and percentiles) with structural zeros.
+    // Cancelled / expired requests that did emit tokens count -- their
+    // latencies were real serving latencies.
     if (f.generated > units::Tokens(0)) {
         sum_ttft_s_ += f.ttft_s();
         max_ttft_s_ = std::max(max_ttft_s_, f.ttft_s());
+        ttft_samples_.push_back(f.ttft_s());
         ++ttft_count_;
     }
     if (f.generated > units::Tokens(1)) {
         sum_tpot_s_ += f.tpot_s();
+        tpot_samples_.push_back(f.tpot_s());
         ++tpot_count_;
+    }
+    switch (f.reason) {
+      case FinishReason::kCancelled:
+      case FinishReason::kShutdown:
+        ++cancelled_;
+        break;
+      case FinishReason::kDeadline:
+        ++expired_;
+        break;
+      default:
+        break;
     }
     ++finished_count_;
     finished_.push_back(std::move(f));
-    req.done = true;
+}
+
+void
+Scheduler::retire_active(std::size_t index, FinishReason reason)
+{
+    ActiveRequest& req = active_[index];
+    finish(req, reason);
+    deregister_prefix_owner(req);
+    if (!functional_) {
+        release_analytic_prefix_refs(req);
+        pool_.unreserve(req.analytic_reserved_bytes);
+    }
+    // Erasing destroys the session, whose caches drop their block
+    // references -- the same release order the end-of-step retire
+    // path uses, so shared prefix blocks survive while another
+    // resident holds them.
+    active_.erase(active_.begin() +
+                  static_cast<std::ptrdiff_t>(index));
+}
+
+void
+Scheduler::finish_queued(QueuedRequest&& queued, FinishReason reason)
+{
+    FinishedRequest f;
+    f.id = queued.id;
+    f.reason = reason;
+    f.tokens = std::move(queued.resume_tokens);
+    f.prompt_tokens = queued.request.prompt_tokens();
+    f.generated = queued.resume_generated;
+    f.preemptions = queued.preempt_count;
+    f.arrival_s = queued.arrival_s;
+    // Clamp the milestones so a request cancelled before its modeled
+    // arrival (or before admission) reports zero queue wait rather
+    // than a negative one.  A preempted request keeps its original
+    // admission stamp -- it really was admitted back then.
+    const double retired_s = std::max(now_s_, queued.arrival_s);
+    f.admitted_s = queued.resumed ? queued.original_admitted_s
+                                  : retired_s;
+    f.first_token_s = queued.first_token_s;
+    f.finished_s = retired_s;
+    record_finished(std::move(f));
+}
+
+bool
+Scheduler::cancel(std::uint64_t id)
+{
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+        if (active_[i].id == id) {
+            retire_active(i, FinishReason::kCancelled);
+#if MUGI_AUDIT_INVARIANTS
+            support::audit_or_abort("Scheduler::cancel",
+                                    check_invariants());
+#endif
+            return true;
+        }
+    }
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->id == id) {
+            finish_queued(std::move(*it),
+                          FinishReason::kCancelled);
+            queue_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::size_t
+Scheduler::cancel_all(FinishReason reason)
+{
+    std::size_t retired = 0;
+    // Back to front: each retire erases, and earlier indexes stay
+    // valid.  Order within finished_ still reads naturally enough --
+    // callers key on ids, not positions.
+    while (!active_.empty()) {
+        retire_active(active_.size() - 1, reason);
+        ++retired;
+    }
+    while (!queue_.empty()) {
+        finish_queued(std::move(queue_.front()), reason);
+        queue_.pop_front();
+        ++retired;
+    }
+#if MUGI_AUDIT_INVARIANTS
+    if (retired > 0) {
+        support::audit_or_abort("Scheduler::cancel_all",
+                                check_invariants());
+    }
+#endif
+    return retired;
+}
+
+void
+Scheduler::expire_deadlines()
+{
+    for (auto it = queue_.begin(); it != queue_.end();) {
+        if (it->request.deadline_s > 0.0 &&
+            it->request.deadline_s <= now_s_) {
+            finish_queued(std::move(*it), FinishReason::kDeadline);
+            it = queue_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    // Back to front so retire_active's erase keeps indexes valid.
+    for (std::size_t i = active_.size(); i-- > 0;) {
+        const ActiveRequest& a = active_[i];
+        if (!a.done && a.request.deadline_s > 0.0 &&
+            a.request.deadline_s <= now_s_) {
+            retire_active(i, FinishReason::kDeadline);
+        }
+    }
 }
 
 bool
@@ -666,6 +857,9 @@ Scheduler::step()
         idle_s_ += queue_.front().arrival_s - now_s_;
         now_s_ = queue_.front().arrival_s;
     }
+    // A queued request whose deadline already passed must never be
+    // admitted (and must not block FIFO admission behind it).
+    expire_deadlines();
     admit_arrivals();
     if (active_.empty()) {
         return !queue_.empty();
@@ -750,6 +944,11 @@ Scheduler::step()
     for (ActiveRequest& a : active_) {
         sync_analytic_reservation(a);
     }
+    // Deadlines are checked after the clock advance and emissions:
+    // a deadline passing mid-iteration still delivers this
+    // iteration's token, then the request retires with its KV blocks
+    // released exactly as on a natural finish.
+    expire_deadlines();
     for (ActiveRequest& a : active_) {
         if (!a.done) {
             continue;
@@ -915,6 +1114,7 @@ Scheduler::stats() const
     ServerStats s;
     s.horizon = horizon_.total();
     s.steps = horizon_.steps();
+    s.now_s = now_s_;
     s.submitted = submitted_;
     s.finished = finished_count_;
     s.active = active_.size();
@@ -923,9 +1123,12 @@ Scheduler::stats() const
     s.prefill_tokens = prefill_tokens_;
     s.generated_tokens = generated_tokens_;
     s.kv_budget_bytes = config_.kv_budget_bytes;
+    s.kv_bytes_in_use = pool_.bytes_in_use();
     s.peak_kv_bytes = pool_.peak_bytes_in_use();
     s.peak_pool_utilization = pool_.peak_utilization();
     s.preemptions = preemptions_;
+    s.cancelled = cancelled_;
+    s.expired = expired_;
     s.prefix_hits = prefix_hits_;
     s.shared_blocks = shared_blocks_;
     s.saved_prefill_tokens = saved_prefill_tokens_;
@@ -944,6 +1147,21 @@ Scheduler::stats() const
     if (tpot_count_ > 0) {
         s.mean_tpot_s =
             sum_tpot_s_ / static_cast<double>(tpot_count_);
+    }
+    {
+        // Exact nearest-rank percentiles over the same per-request
+        // samples the means use (sorted on demand: stats() is a
+        // report call, not a per-step one).
+        std::vector<double> ttft = ttft_samples_;
+        std::sort(ttft.begin(), ttft.end());
+        s.p50_ttft_s = nearest_rank(ttft, 50.0);
+        s.p95_ttft_s = nearest_rank(ttft, 95.0);
+        s.p99_ttft_s = nearest_rank(ttft, 99.0);
+        std::vector<double> tpot = tpot_samples_;
+        std::sort(tpot.begin(), tpot.end());
+        s.p50_tpot_s = nearest_rank(tpot, 50.0);
+        s.p95_tpot_s = nearest_rank(tpot, 95.0);
+        s.p99_tpot_s = nearest_rank(tpot, 99.0);
     }
     s.pooled_steps = pooled_steps_;
     if (pooled_steps_ > 0) {

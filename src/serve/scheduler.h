@@ -73,10 +73,12 @@
  * raw .value() unwraps, which tools/mugi_check.py rule R4 enforces.
  *
  * Thread-safety: externally serialized -- the scheduler is a
- * single-threaded control loop (submit/step/run from one thread at a
- * time).  A threaded server runs the loop on its own thread and
- * feeds it through a synchronized queue; the engine it drives and
- * the block pool it owns are the internally-synchronized pieces.
+ * single-threaded control loop (submit/cancel/step/run from one
+ * thread at a time).  serve::Server is the push-based front: it owns
+ * the one thread that calls these members and feeds it submissions /
+ * cancellations through a support::Channel, so callers never touch
+ * the scheduler directly; the engine it drives and the block pool it
+ * owns are the internally-synchronized pieces.
  * Every step ends with an invariant audit under
  * MUGI_AUDIT_INVARIANTS (support/audit.h): check_invariants()
  * recomputes reservation and prefix-refcount accounting from scratch
@@ -164,9 +166,33 @@ struct SchedulerConfig {
      * across (StepPlan::threads); 0 = serial.  Pooled steps are
      * bit-identical to serial ones, so this knob changes wall-clock
      * only -- never tokens, numerics, or the modeled clock.
+     * kAutoThreads resolves at Scheduler construction to
+     * hardware_concurrency() - 1 (one core left for the loop
+     * thread), clamped to kMaxAutoThreads, and to 0 (serial) on a
+     * single-core box.
      */
     std::size_t step_threads = 0;
+
+    /** step_threads sentinel: size the pool from the hardware. */
+    static constexpr std::size_t kAutoThreads =
+        static_cast<std::size_t>(-1);
+    /** Upper clamp of the kAutoThreads resolution. */
+    static constexpr std::size_t kMaxAutoThreads = 16;
 };
+
+/**
+ * Resolve a step_threads request: kAutoThreads becomes
+ * hardware_concurrency() - 1 clamped to [0, kMaxAutoThreads] (0 --
+ * serial -- when the hardware reports <= 1 or unknown); any other
+ * value passes through unchanged.
+ */
+std::size_t resolve_step_threads(std::size_t requested);
+
+/**
+ * Parse a --threads flag value: "auto" (case-sensitive) yields
+ * SchedulerConfig::kAutoThreads, anything else its integer value.
+ */
+std::size_t threads_flag(const char* text);
 
 /** Serving-horizon report: accumulator totals + latency stats. */
 struct ServerStats {
@@ -177,6 +203,8 @@ struct ServerStats {
      */
     sim::PerfReport horizon;
     std::size_t steps = 0;
+    /** Modeled clock when the snapshot was taken (Scheduler::now_s). */
+    double now_s = 0.0;
 
     std::size_t submitted = 0;
     std::size_t finished = 0;
@@ -202,6 +230,12 @@ struct ServerStats {
 
     units::Bytes kv_budget_bytes{0};
     /**
+     * Exact block-pool footprint right now (allocated blocks plus
+     * analytic reservations).  Zero once every request retired --
+     * the "no leaked blocks" number bench/serve_load --check gates.
+     */
+    units::Bytes kv_bytes_in_use{0};
+    /**
      * Largest exact block-pool footprint observed (allocated blocks
      * plus analytic reservations).
      */
@@ -210,6 +244,10 @@ struct ServerStats {
     double peak_pool_utilization = 0.0;
     /** Requests evicted under KV pressure and re-queued. */
     std::size_t preemptions = 0;
+    /** Requests retired by cancel / non-draining shutdown. */
+    std::size_t cancelled = 0;
+    /** Requests retired because their deadline passed. */
+    std::size_t expired = 0;
     /** Admissions whose prompt mapped onto resident prefix blocks. */
     std::size_t prefix_hits = 0;
     /**
@@ -243,6 +281,20 @@ struct ServerStats {
     double mean_ttft_s = 0.0;
     double max_ttft_s = 0.0;
     double mean_tpot_s = 0.0;
+
+    // Latency *percentiles* over the same per-request samples the
+    // means are computed from (exact nearest-rank over every
+    // finished request, not a reservoir -- serving horizons here are
+    // at most tens of thousands of requests).  Tail latency is the
+    // serving number that matters: a mean TTFT hides the p99 queue
+    // spike an arrival burst causes.  Surfaced in /metrics,
+    // examples/serving and bench/serve_load's rate sweep.
+    double p50_ttft_s = 0.0;
+    double p95_ttft_s = 0.0;
+    double p99_ttft_s = 0.0;
+    double p50_tpot_s = 0.0;
+    double p95_tpot_s = 0.0;
+    double p99_tpot_s = 0.0;
 };
 
 /** Request-lifecycle scheduler over one Engine. */
@@ -257,6 +309,36 @@ class Scheduler {
 
     /** Enqueue a request; returns the id FinishedRequest reports. */
     std::uint64_t submit(Request request);
+
+    /**
+     * Enqueue a request under a caller-chosen id (must be unique for
+     * the scheduler's lifetime; serve::Server assigns ids on the
+     * submitting thread so a handle exists before the loop thread
+     * ever sees the request).  submit() is this with the next
+     * sequential id.
+     */
+    std::uint64_t submit_with_id(Request request, std::uint64_t id);
+
+    /**
+     * Retire request @p id wherever it is in the lifecycle -- still
+     * queued, mid-prefill, or decoding -- with
+     * FinishReason::kCancelled.  Its KV blocks / reservations are
+     * released immediately, exactly as a natural finish releases
+     * them (shared prefix blocks survive while another resident
+     * holds them), and the retirement is audited under
+     * MUGI_AUDIT_INVARIANTS.  Tokens already emitted stand in the
+     * FinishedRequest.  Returns false when the id is unknown or
+     * already finished.  Like every other member, callable only from
+     * the thread driving the scheduler.
+     */
+    bool cancel(std::uint64_t id);
+
+    /**
+     * Retire every queued and active request with @p reason (the
+     * non-draining server shutdown path).  Returns how many were
+     * retired.
+     */
+    std::size_t cancel_all(FinishReason reason = FinishReason::kShutdown);
 
     /**
      * One scheduling iteration: admit, preempt if the pool would run
@@ -451,6 +533,19 @@ class Scheduler {
     void preempt_for_pressure();
     /** Evict active_[index]: free its blocks, re-queue at the front. */
     void preempt(std::size_t index);
+    /**
+     * Retire active_[index] with @p reason right now: finish it,
+     * drop its prefix-index entries and analytic reservations, and
+     * erase it (its session's destructor releases the KV blocks) --
+     * the cancel/deadline twin of the end-of-step retire path.
+     */
+    void retire_active(std::size_t index, FinishReason reason);
+    /** Retire a (still-)queued request with @p reason. */
+    void finish_queued(QueuedRequest&& queued, FinishReason reason);
+    /** Retire queued+active requests whose deadline_s passed. */
+    void expire_deadlines();
+    /** Fold @p f into the latency aggregates and the finished list. */
+    void record_finished(FinishedRequest f);
     /** Grow the pool reservation mirroring an analytic cache. */
     void sync_analytic_reservation(ActiveRequest& req);
     void admit_arrivals();
@@ -496,6 +591,8 @@ class Scheduler {
     units::Tokens prefill_tokens_{0};
     units::Tokens generated_tokens_{0};
     std::size_t preemptions_ = 0;
+    std::size_t cancelled_ = 0;
+    std::size_t expired_ = 0;
     std::size_t prefix_hits_ = 0;
     units::Blocks shared_blocks_{0};
     units::Tokens saved_prefill_tokens_{0};
@@ -511,6 +608,10 @@ class Scheduler {
     std::size_t ttft_count_ = 0;
     /** Finished requests that emitted >= 2 tokens (TPOT divisor). */
     std::size_t tpot_count_ = 0;
+    /** Per-request latency samples behind the stats() percentiles
+     *  (same inclusion rules as the ttft/tpot counts above). */
+    std::vector<double> ttft_samples_;
+    std::vector<double> tpot_samples_;
 };
 
 }  // namespace serve

@@ -1,0 +1,366 @@
+#include "server/frontend.h"
+
+#include <cstdio>
+#include <random>
+#include <utility>
+
+#include "server/json.h"
+
+namespace mugi {
+namespace server {
+namespace {
+
+/** splitmix64: the uuid mixer (id -> two well-mixed 64-bit halves). */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+seed_from_entropy()
+{
+    std::random_device entropy;
+    return (static_cast<std::uint64_t>(entropy()) << 32) ^
+           entropy();
+}
+
+/** The final NDJSON line / non-streamed summary fields. */
+json::ObjectWriter
+finish_fields(const serve::FinishedRequest& f)
+{
+    json::ObjectWriter w;
+    w.field_bool("done", true)
+        .field("reason", serve::finish_reason_name(f.reason))
+        .field_int("generated",
+                   static_cast<long long>(f.generated.value()))
+        .field_int("prompt_tokens",
+                   static_cast<long long>(f.prompt_tokens.value()))
+        .field_int("preemptions",
+                   static_cast<long long>(f.preemptions))
+        .field("queue_s", f.queue_s())
+        .field("ttft_s", f.ttft_s())
+        .field("tpot_s", f.tpot_s());
+    return w;
+}
+
+}  // namespace
+
+Frontend::Frontend(serve::Server& server)
+    : server_(server), uuid_seed_(seed_from_entropy())
+{
+}
+
+bool
+Frontend::bind(std::uint16_t port)
+{
+    return listener_.bind_and_listen(port);
+}
+
+void
+Frontend::run()
+{
+    for (;;) {
+        const int fd = listener_.accept_fd(100);
+        {
+            support::MutexLock lock(mu_);
+            if (stopping_) {
+                if (fd >= 0) {
+                    Connection refused(fd);  // Close it.
+                }
+                return;
+            }
+            if (fd >= 0) {
+                workers_.emplace_back(&Frontend::handle, this, fd);
+            }
+        }
+    }
+}
+
+void
+Frontend::stop()
+{
+    {
+        support::MutexLock lock(mu_);
+        if (stopping_) {
+            return;
+        }
+        stopping_ = true;
+    }
+    listener_.close();
+    // Drain: in-flight requests complete, every stream ends, every
+    // connection worker unblocks.
+    server_.shutdown(serve::ShutdownMode::kDrain);
+    std::vector<std::thread> workers;
+    {
+        support::MutexLock lock(mu_);
+        workers.swap(workers_);
+    }
+    for (std::thread& worker : workers) {
+        worker.join();
+    }
+}
+
+void
+Frontend::handle(int fd)
+{
+    Connection connection(fd);
+    HttpRequest request;
+    if (!connection.read_request(&request)) {
+        connection.write_response(
+            400, "application/json",
+            "{\"error\":\"malformed request\"}");
+        return;
+    }
+    const std::string cancel_prefix = "/v1/generate/";
+    if (request.method == "POST" &&
+        request.target == "/v1/generate") {
+        handle_generate(connection, request);
+    } else if (request.method == "DELETE" &&
+               request.target.rfind(cancel_prefix, 0) == 0) {
+        handle_cancel(connection,
+                      request.target.substr(cancel_prefix.size()));
+    } else if (request.method == "GET" &&
+               request.target == "/metrics") {
+        handle_metrics(connection);
+    } else if (request.method == "GET" &&
+               request.target == "/healthz") {
+        handle_health(connection);
+    } else {
+        connection.write_response(404, "application/json",
+                                  "{\"error\":\"no such route\"}");
+    }
+}
+
+void
+Frontend::handle_generate(Connection& connection,
+                          const HttpRequest& http_request)
+{
+    const std::optional<json::Value> body =
+        json::parse(http_request.body.empty() ? "{}"
+                                              : http_request.body);
+    if (!body || !body->is_object()) {
+        connection.write_response(400, "application/json",
+                                  "{\"error\":\"invalid JSON\"}");
+        return;
+    }
+
+    serve::Request request;
+    if (const json::Value* prompt = body->find("prompt")) {
+        if (!prompt->is_array()) {
+            connection.write_response(
+                400, "application/json",
+                "{\"error\":\"prompt must be a token array\"}");
+            return;
+        }
+        request.prompt.reserve(prompt->array.size());
+        for (const json::Value& token : prompt->array) {
+            request.prompt.push_back(static_cast<int>(token.number));
+        }
+    }
+    request.analytic_prompt_tokens =
+        units::Tokens(static_cast<std::size_t>(
+            body->number_or("prompt_tokens", 0.0)));
+    request.max_new_tokens = units::Tokens(static_cast<std::size_t>(
+        body->number_or("max_new_tokens", 16.0)));
+    if (const json::Value* stop = body->find("stop_token")) {
+        if (stop->is_number()) {
+            request.stop_token = static_cast<int>(stop->number);
+        }
+    }
+    request.priority =
+        static_cast<int>(body->number_or("priority", 0.0));
+    request.prefix_group = static_cast<std::uint64_t>(
+        body->number_or("prefix_group", 0.0));
+    request.prefix_tokens =
+        units::Tokens(static_cast<std::size_t>(
+            body->number_or("prefix_tokens", 0.0)));
+    request.arrival_time_s = body->number_or("arrival_time_s", 0.0);
+    request.deadline_s = body->number_or("deadline_s", 0.0);
+    const double timeout_s = body->number_or("timeout_s", 0.0);
+    if (timeout_s > 0.0) {
+        // Relative deadline against the modeled clock's snapshot.
+        request.deadline_s = server_.stats().now_s + timeout_s;
+    }
+    const bool stream = body->bool_or("stream", true);
+
+    if (server_.engine().has_model() && request.prompt.empty()) {
+        connection.write_response(
+            400, "application/json",
+            "{\"error\":\"functional engine needs a prompt\"}");
+        return;
+    }
+    if (!server_.accepting()) {
+        connection.write_response(503, "application/json",
+                                  "{\"error\":\"draining\"}");
+        return;
+    }
+
+    serve::RequestHandle handle = server_.submit(std::move(request));
+    const std::string uuid = uuid_for(handle.id());
+    {
+        support::MutexLock lock(mu_);
+        uuids_.emplace(uuid, handle.id());
+    }
+
+    if (stream) {
+        bool client_gone = !connection.begin_chunked(
+            200, "application/x-ndjson");
+        if (!client_gone) {
+            json::ObjectWriter head;
+            head.field("id", uuid);
+            client_gone =
+                !connection.write_chunk(head.str() + "\n");
+        }
+        while (std::optional<serve::TokenDelta> delta =
+                   handle.next()) {
+            if (client_gone) {
+                continue;  // Drain so wait() below is immediate.
+            }
+            json::ObjectWriter line;
+            line.field_int("index",
+                           static_cast<long long>(delta->index))
+                .field_int("token", delta->token);
+            if (!connection.write_chunk(line.str() + "\n")) {
+                // Client disconnected mid-stream: cancel so its KV
+                // blocks free now instead of at max_new_tokens.
+                client_gone = true;
+                handle.cancel();
+            }
+        }
+        const serve::FinishedRequest finished = handle.wait();
+        if (!client_gone) {
+            connection.write_chunk(finish_fields(finished).str() +
+                                   "\n");
+            connection.end_chunked();
+        }
+    } else {
+        std::string tokens = "[";
+        bool first = true;
+        while (std::optional<serve::TokenDelta> delta =
+                   handle.next()) {
+            if (!first) {
+                tokens += ',';
+            }
+            first = false;
+            char buf[16];
+            std::snprintf(buf, sizeof(buf), "%d", delta->token);
+            tokens += buf;
+        }
+        tokens += ']';
+        const serve::FinishedRequest finished = handle.wait();
+        json::ObjectWriter response = finish_fields(finished);
+        response.field("id", uuid).field_raw("tokens", tokens);
+        connection.write_response(200, "application/json",
+                                  response.str());
+    }
+    {
+        support::MutexLock lock(mu_);
+        uuids_.erase(uuid);
+    }
+}
+
+void
+Frontend::handle_cancel(Connection& connection,
+                        const std::string& uuid)
+{
+    std::uint64_t id = 0;
+    bool known = false;
+    {
+        support::MutexLock lock(mu_);
+        const auto it = uuids_.find(uuid);
+        if (it != uuids_.end()) {
+            id = it->second;
+            known = true;
+        }
+    }
+    if (known && server_.cancel(id)) {
+        connection.write_response(202, "application/json",
+                                  "{\"cancelled\":true}");
+    } else {
+        connection.write_response(
+            404, "application/json",
+            "{\"error\":\"unknown or finished request\"}");
+    }
+}
+
+void
+Frontend::handle_metrics(Connection& connection)
+{
+    const serve::ServerStats stats = server_.stats();
+    char buffer[2048];
+    const int n = std::snprintf(
+        buffer, sizeof(buffer),
+        "# TYPE mugi_requests_submitted counter\n"
+        "mugi_requests_submitted %zu\n"
+        "# TYPE mugi_requests_finished counter\n"
+        "mugi_requests_finished %zu\n"
+        "# TYPE mugi_requests_cancelled counter\n"
+        "mugi_requests_cancelled %zu\n"
+        "# TYPE mugi_requests_expired counter\n"
+        "mugi_requests_expired %zu\n"
+        "# TYPE mugi_requests_active gauge\n"
+        "mugi_requests_active %zu\n"
+        "# TYPE mugi_requests_queued gauge\n"
+        "mugi_requests_queued %zu\n"
+        "# TYPE mugi_preemptions counter\n"
+        "mugi_preemptions %zu\n"
+        "# TYPE mugi_kv_bytes_in_use gauge\n"
+        "mugi_kv_bytes_in_use %zu\n"
+        "# TYPE mugi_kv_peak_bytes gauge\n"
+        "mugi_kv_peak_bytes %zu\n"
+        "# TYPE mugi_generated_tokens counter\n"
+        "mugi_generated_tokens %zu\n"
+        "# TYPE mugi_ttft_seconds summary\n"
+        "mugi_ttft_seconds{quantile=\"0.5\"} %.9g\n"
+        "mugi_ttft_seconds{quantile=\"0.95\"} %.9g\n"
+        "mugi_ttft_seconds{quantile=\"0.99\"} %.9g\n"
+        "# TYPE mugi_tpot_seconds summary\n"
+        "mugi_tpot_seconds{quantile=\"0.5\"} %.9g\n"
+        "mugi_tpot_seconds{quantile=\"0.95\"} %.9g\n"
+        "mugi_tpot_seconds{quantile=\"0.99\"} %.9g\n",
+        stats.submitted, stats.finished, stats.cancelled,
+        stats.expired, stats.active, stats.queued,
+        stats.preemptions, stats.kv_bytes_in_use.value(),
+        stats.peak_kv_bytes.value(), stats.generated_tokens.value(),
+        stats.p50_ttft_s, stats.p95_ttft_s, stats.p99_ttft_s,
+        stats.p50_tpot_s, stats.p95_tpot_s, stats.p99_tpot_s);
+    connection.write_response(
+        200, "text/plain; version=0.0.4",
+        std::string(buffer, static_cast<std::size_t>(n)));
+}
+
+void
+Frontend::handle_health(Connection& connection)
+{
+    if (server_.accepting()) {
+        connection.write_response(200, "application/json",
+                                  "{\"status\":\"ok\"}");
+    } else {
+        connection.write_response(503, "application/json",
+                                  "{\"status\":\"draining\"}");
+    }
+}
+
+std::string
+Frontend::uuid_for(std::uint64_t id) const
+{
+    const std::uint64_t hi = mix64(uuid_seed_ ^ id);
+    const std::uint64_t lo = mix64(hi ^ ~id);
+    char buffer[40];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "%08x-%04x-%04x-%04x-%012llx",
+        static_cast<unsigned>(hi >> 32),
+        static_cast<unsigned>((hi >> 16) & 0xFFFF),
+        static_cast<unsigned>(hi & 0xFFFF),
+        static_cast<unsigned>(lo >> 48),
+        static_cast<unsigned long long>(lo & 0xFFFFFFFFFFFFULL));
+    return buffer;
+}
+
+}  // namespace server
+}  // namespace mugi

@@ -1,0 +1,115 @@
+#ifndef MUGI_SERVER_FRONTEND_H_
+#define MUGI_SERVER_FRONTEND_H_
+
+/**
+ * @file
+ * The HTTP front-end over serve::Server: routes, request UUIDs, the
+ * streaming protocol, and graceful drain.
+ *
+ * Routes (all loopback, HTTP/1.1, Connection: close):
+ *
+ *  - POST /v1/generate -- submit one request.  JSON body fields
+ *    (all optional unless the engine is functional, which requires
+ *    "prompt"):
+ *      prompt            array of token ints (functional engines)
+ *      prompt_tokens     analytic prompt length
+ *      max_new_tokens    generation cap (default 16)
+ *      stop_token        early-stop token id
+ *      priority          preemption priority
+ *      prefix_group / prefix_tokens   analytic shared-prefix decl.
+ *      arrival_time_s    modeled-clock arrival (trace replay)
+ *      deadline_s        absolute modeled-clock deadline
+ *      timeout_s         relative deadline: modeled now + timeout
+ *      stream            default true
+ *    Streaming response: chunked NDJSON -- one {"id": "<uuid>"}
+ *    line, one {"index": i, "token": t} line per delta, and a final
+ *    {"done": true, "reason": ..., latency milestones} line.
+ *    stream=false returns one JSON object with the token array.
+ *  - DELETE /v1/generate/<uuid> -- cancel; 202 when the cancel was
+ *    enqueued, 404 when the uuid is unknown or already retired.
+ *  - GET /metrics -- ServerStats in Prometheus text format,
+ *    including the p50/p95/p99 TTFT/TPOT gauges.
+ *  - GET /healthz -- 200 "ok" while accepting, 503 once draining.
+ *
+ * Shutdown: stop() (the SIGINT/SIGTERM path) closes the listener,
+ * drains the serve::Server (in-flight requests complete and their
+ * streams end normally), then joins every connection thread.
+ *
+ * Thread-safety: internally synchronized.  One accept loop (run())
+ * hands each connection to its own worker thread; workers share the
+ * serve::Server (itself internally synchronized) and the
+ * MUGI_GUARDED_BY uuid table below.  stop() may be called from any
+ * thread, concurrently with run().
+ */
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/server.h"
+#include "server/http.h"
+#include "support/mutex.h"
+#include "support/thread_annotations.h"
+
+namespace mugi {
+namespace server {
+
+class Frontend {
+  public:
+    /** @p server must outlive the frontend. */
+    explicit Frontend(serve::Server& server);
+
+    Frontend(const Frontend&) = delete;
+    Frontend& operator=(const Frontend&) = delete;
+
+    /** Bind 127.0.0.1:@p port (0 = ephemeral); false on failure. */
+    bool bind(std::uint16_t port);
+    /** The bound port (after bind). */
+    std::uint16_t port() const { return listener_.port(); }
+
+    /**
+     * Accept loop: serve until stop().  Call from the thread that
+     * owns the frontend's lifetime (main, or a test's helper
+     * thread).
+     */
+    void run();
+
+    /**
+     * Graceful drain: stop accepting, let serve::Server finish
+     * in-flight work, join every connection thread.  Idempotent;
+     * callable from any thread (a signal-flag watcher, a test).
+     */
+    void stop();
+
+  private:
+    void handle(int fd);
+    void handle_generate(Connection& connection,
+                         const HttpRequest& request);
+    void handle_cancel(Connection& connection,
+                       const std::string& uuid);
+    void handle_metrics(Connection& connection);
+    void handle_health(Connection& connection);
+
+    /** Canonical 8-4-4-4-12 UUID for @p id (seeded per process). */
+    std::string uuid_for(std::uint64_t id) const;
+
+    serve::Server& server_;
+    Listener listener_;
+
+    mutable support::Mutex mu_;
+    /** Live uuid -> serve::Server request id (DELETE routing). */
+    std::unordered_map<std::string, std::uint64_t> uuids_
+        MUGI_GUARDED_BY(mu_);
+    std::vector<std::thread> workers_ MUGI_GUARDED_BY(mu_);
+    bool stopping_ MUGI_GUARDED_BY(mu_) = false;
+
+    /** Per-process UUID seed (std::random_device at construction). */
+    const std::uint64_t uuid_seed_;
+};
+
+}  // namespace server
+}  // namespace mugi
+
+#endif  // MUGI_SERVER_FRONTEND_H_

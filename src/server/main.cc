@@ -1,0 +1,136 @@
+/**
+ * @file
+ * mugi_server: the HTTP serving binary.
+ *
+ * Wires an Engine (analytic Llama-2 70B on the Mugi design by
+ * default; --functional swaps in the eval-scale transformer with
+ * real tokens) into serve::Server's threaded loop and serves the
+ * front-end routes on 127.0.0.1.
+ *
+ *   ./build/mugi_server [--port N] [--threads N|auto]
+ *                       [--kv-budget-mb N] [--functional]
+ *
+ * SIGINT/SIGTERM drain gracefully: the listener closes, in-flight
+ * requests run to completion, streams end normally, then the
+ * process exits with a final stats line.
+ *
+ * Thread-safety note (contract for this translation unit): main owns
+ * the Frontend and Server; the signal handler only stores one
+ * lock-free atomic flag that the main thread polls.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include "model/accuracy.h"
+#include "model/transformer.h"
+#include "serve/server.h"
+#include "server/frontend.h"
+
+using namespace mugi;
+
+namespace {
+
+std::atomic<int> g_signal{0};
+
+void
+on_signal(int sig)
+{
+    g_signal.store(sig);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::uint16_t port = 8080;
+    std::size_t threads = 0;
+    std::size_t kv_budget_mb = 1024;
+    bool functional = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+            port = static_cast<std::uint16_t>(
+                std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            threads = serve::threads_flag(argv[++i]);
+        } else if (std::strcmp(argv[i], "--kv-budget-mb") == 0 &&
+                   i + 1 < argc) {
+            kv_budget_mb = static_cast<std::size_t>(
+                std::atoll(argv[++i]));
+        } else if (std::strcmp(argv[i], "--functional") == 0) {
+            functional = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--port N] [--threads N|auto] "
+                         "[--kv-budget-mb N] [--functional]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    // The engine: analytic Llama-2 70B serving by default, or the
+    // eval-scale functional transformer (real tokens) on demand.
+    std::unique_ptr<serve::Engine> engine;
+    if (functional) {
+        const model::ModelConfig config =
+            model::llama2_7b().scaled_for_eval(4, 128, 512);
+        auto transformer =
+            std::make_shared<model::TransformerModel>(config, 11);
+        engine = std::make_unique<serve::Engine>(sim::make_mugi(256),
+                                                 transformer);
+    } else {
+        engine = std::make_unique<serve::Engine>(
+            sim::make_mugi(256), model::llama2_70b());
+    }
+
+    serve::ServerConfig config;
+    config.scheduler.kv_budget_bytes =
+        units::Bytes(kv_budget_mb << 20);
+    config.scheduler.prefill_chunk_tokens =
+        units::Tokens(functional ? 16 : 256);
+    config.scheduler.step_threads = threads;
+    serve::Server server(*engine, config);
+    server::Frontend frontend(server);
+    if (!frontend.bind(port)) {
+        std::fprintf(stderr, "mugi_server: cannot bind port %u\n",
+                     port);
+        return 1;
+    }
+
+    struct sigaction action {};
+    action.sa_handler = on_signal;
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+
+    std::printf("mugi_server: %s engine on 127.0.0.1:%u "
+                "(POST /v1/generate, DELETE /v1/generate/<id>, "
+                "/metrics, /healthz)\n",
+                functional ? "functional" : "analytic",
+                frontend.port());
+    std::fflush(stdout);
+
+    std::thread accept_thread([&frontend] { frontend.run(); });
+    while (g_signal.load() == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::printf("mugi_server: signal %d, draining\n",
+                g_signal.load());
+    std::fflush(stdout);
+    frontend.stop();
+    accept_thread.join();
+
+    const serve::ServerStats stats = server.stats();
+    std::printf("mugi_server: served %zu requests (%zu cancelled, "
+                "%zu expired), %zu tokens, kv in use %zu bytes\n",
+                stats.finished, stats.cancelled, stats.expired,
+                stats.generated_tokens.value(),
+                stats.kv_bytes_in_use.value());
+    return 0;
+}

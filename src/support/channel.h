@@ -1,0 +1,186 @@
+#ifndef MUGI_SUPPORT_CHANNEL_H_
+#define MUGI_SUPPORT_CHANNEL_H_
+
+/**
+ * @file
+ * Bounded MPSC/MPMC channel with close semantics -- the cross-thread
+ * seam of the push-based serving core.
+ *
+ * A Channel<T> is a bounded FIFO handoff queue: any number of
+ * producers push() while consumers pop(), and close() transitions the
+ * channel into its terminal state.  The contract mirrors Go channels
+ * and ScaleLLM's request queues:
+ *
+ *  - push() blocks while the channel is full and returns false once
+ *    the channel is closed (the value is NOT enqueued; a closed
+ *    channel accepts nothing);
+ *  - pop() blocks while the channel is empty and still open; after
+ *    close(), every value already enqueued is still delivered in FIFO
+ *    order, and only then does pop() return nullopt -- close drains,
+ *    it never drops;
+ *  - try_push() / try_pop() are the non-blocking forms (full/closed
+ *    and empty respectively);
+ *  - close() is idempotent and wakes every blocked producer and
+ *    consumer.
+ *
+ * serve::Server runs one Channel<Command> as its MPSC submission
+ * queue (any caller thread -> the scheduler loop thread) and one
+ * Channel<TokenDelta> per request as its SPSC streaming path (loop
+ * thread -> the caller or HTTP connection draining the stream).
+ *
+ * Thread-safety: internally synchronized.  Every member may be called
+ * from any thread concurrently; all mutable state is guarded by the
+ * capability-annotated support::Mutex (MUGI_GUARDED_BY enforced under
+ * -Wthread-safety), and tests/concurrency/channel_test.cc races
+ * producers against consumers under TSan.  The destructor must not
+ * race other member calls (external serialization of lifetime, as
+ * usual).
+ */
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "support/mutex.h"
+#include "support/thread_annotations.h"
+
+namespace mugi {
+namespace support {
+
+/** Bounded multi-producer channel (see file comment for contract). */
+template <typename T>
+class Channel {
+  public:
+    /** @p capacity items may be queued before push() blocks (>= 1). */
+    explicit Channel(std::size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    Channel(const Channel&) = delete;
+    Channel& operator=(const Channel&) = delete;
+
+    /**
+     * Enqueue @p value, blocking while the channel is full.  Returns
+     * false (value dropped) iff the channel was closed before space
+     * became available.
+     */
+    bool
+    push(T value)
+    {
+        mu_.lock();
+        while (items_.size() >= capacity_ && !closed_) {
+            not_full_.wait(mu_);
+        }
+        if (closed_) {
+            mu_.unlock();
+            return false;
+        }
+        items_.push_back(std::move(value));
+        mu_.unlock();
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /** Enqueue without blocking; false when full or closed. */
+    bool
+    try_push(T value)
+    {
+        {
+            MutexLock lock(mu_);
+            if (closed_ || items_.size() >= capacity_) {
+                return false;
+            }
+            items_.push_back(std::move(value));
+        }
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue the oldest value, blocking while the channel is empty
+     * and open.  nullopt means closed AND fully drained -- the
+     * terminal state; values enqueued before close() still arrive.
+     */
+    std::optional<T>
+    pop()
+    {
+        mu_.lock();
+        while (items_.empty() && !closed_) {
+            not_empty_.wait(mu_);
+        }
+        if (items_.empty()) {
+            mu_.unlock();
+            return std::nullopt;  // Closed and drained.
+        }
+        T value = std::move(items_.front());
+        items_.pop_front();
+        mu_.unlock();
+        not_full_.notify_one();
+        return value;
+    }
+
+    /** Dequeue without blocking; nullopt when nothing is queued. */
+    std::optional<T>
+    try_pop()
+    {
+        std::optional<T> value;
+        {
+            MutexLock lock(mu_);
+            if (items_.empty()) {
+                return std::nullopt;
+            }
+            value.emplace(std::move(items_.front()));
+            items_.pop_front();
+        }
+        not_full_.notify_one();
+        return value;
+    }
+
+    /**
+     * Close the channel: producers are refused from here on, queued
+     * values still drain, every blocked push/pop wakes.  Idempotent.
+     */
+    void
+    close()
+    {
+        {
+            MutexLock lock(mu_);
+            closed_ = true;
+        }
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    bool
+    closed() const
+    {
+        MutexLock lock(mu_);
+        return closed_;
+    }
+
+    /** Queued (pushed, not yet popped) items right now. */
+    std::size_t
+    size() const
+    {
+        MutexLock lock(mu_);
+        return items_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    mutable Mutex mu_;
+    std::condition_variable_any not_empty_;
+    std::condition_variable_any not_full_;
+    std::deque<T> items_ MUGI_GUARDED_BY(mu_);
+    bool closed_ MUGI_GUARDED_BY(mu_) = false;
+    const std::size_t capacity_;
+};
+
+}  // namespace support
+}  // namespace mugi
+
+#endif  // MUGI_SUPPORT_CHANNEL_H_

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Multithreaded stress over support::Channel -- the MPSC seam the
+ * push-based serve::Server hangs off.  Run under TSan in CI (the
+ * gcc-tsan matrix entry); the single-threaded tests pin the close /
+ * drain / bounded-blocking contract the server's shutdown path
+ * depends on.
+ */
+
+#include "support/channel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mugi {
+namespace support {
+namespace {
+
+/** Spawn @p n threads over @p body(thread index) and join them. */
+void
+run_threads(std::size_t n, const std::function<void(std::size_t)>& body)
+{
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (std::size_t t = 0; t < n; ++t) {
+        threads.emplace_back(body, t);
+    }
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+}
+
+TEST(Channel, FifoSingleThread)
+{
+    Channel<int> ch(4);
+    EXPECT_TRUE(ch.push(1));
+    EXPECT_TRUE(ch.push(2));
+    EXPECT_TRUE(ch.push(3));
+    EXPECT_EQ(ch.size(), 3u);
+    EXPECT_EQ(ch.pop(), 1);
+    EXPECT_EQ(ch.pop(), 2);
+    EXPECT_EQ(ch.pop(), 3);
+    EXPECT_EQ(ch.try_pop(), std::nullopt);
+}
+
+TEST(Channel, TryPushRespectsCapacity)
+{
+    Channel<int> ch(2);
+    EXPECT_TRUE(ch.try_push(1));
+    EXPECT_TRUE(ch.try_push(2));
+    EXPECT_FALSE(ch.try_push(3));  // Full.
+    EXPECT_EQ(ch.pop(), 1);
+    EXPECT_TRUE(ch.try_push(3));  // Space again.
+}
+
+TEST(Channel, CloseDrainsQueuedValuesThenReportsClosed)
+{
+    Channel<int> ch(8);
+    EXPECT_TRUE(ch.push(10));
+    EXPECT_TRUE(ch.push(11));
+    ch.close();
+    // Close refuses new values but never drops queued ones.
+    EXPECT_FALSE(ch.push(12));
+    EXPECT_FALSE(ch.try_push(12));
+    EXPECT_EQ(ch.pop(), 10);
+    EXPECT_EQ(ch.pop(), 11);
+    EXPECT_EQ(ch.pop(), std::nullopt);
+    EXPECT_EQ(ch.pop(), std::nullopt);  // Terminal state is sticky.
+    EXPECT_TRUE(ch.closed());
+}
+
+TEST(Channel, CloseWakesBlockedConsumer)
+{
+    Channel<int> ch(1);
+    std::thread consumer([&ch] {
+        // Blocks: the channel is empty and open.
+        EXPECT_EQ(ch.pop(), std::nullopt);
+    });
+    ch.close();
+    consumer.join();
+}
+
+TEST(Channel, CloseWakesBlockedProducer)
+{
+    Channel<int> ch(1);
+    ASSERT_TRUE(ch.push(1));  // Fill to capacity.
+    std::thread producer([&ch] {
+        // Blocks on the full channel until close refuses it.
+        EXPECT_FALSE(ch.push(2));
+    });
+    ch.close();
+    producer.join();
+    EXPECT_EQ(ch.pop(), 1);  // The queued value still drains.
+    EXPECT_EQ(ch.pop(), std::nullopt);
+}
+
+TEST(Channel, BoundedPushBlocksUntilPopMakesSpace)
+{
+    Channel<int> ch(1);
+    ASSERT_TRUE(ch.push(1));
+    std::atomic<bool> second_pushed{false};
+    std::thread producer([&] {
+        ASSERT_TRUE(ch.push(2));  // Blocks until the pop below.
+        second_pushed.store(true);
+    });
+    EXPECT_EQ(ch.pop(), 1);
+    EXPECT_EQ(ch.pop(), 2);  // Blocks until the producer lands it.
+    producer.join();
+    EXPECT_TRUE(second_pushed.load());
+}
+
+TEST(ChannelStress, MpscDeliversEveryValueExactlyOnce)
+{
+    // Small capacity so producers genuinely block (the bounded path
+    // races against pop's not_full_ wakeups, not just the lock).
+    Channel<int> ch(4);
+    constexpr std::size_t kProducers = 4;
+    constexpr int kPerProducer = 500;
+
+    std::vector<int> seen;
+    std::thread consumer([&] {
+        while (auto v = ch.pop()) {
+            seen.push_back(*v);
+        }
+    });
+    run_threads(kProducers, [&](std::size_t t) {
+        for (int i = 0; i < kPerProducer; ++i) {
+            ASSERT_TRUE(ch.push(
+                static_cast<int>(t) * kPerProducer + i));
+        }
+    });
+    ch.close();
+    consumer.join();
+
+    // Exactly-once delivery: every (producer, i) value arrives once.
+    ASSERT_EQ(seen.size(), kProducers * kPerProducer);
+    std::vector<int> sorted = seen;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        EXPECT_EQ(sorted[i], static_cast<int>(i));
+    }
+    // Per-producer FIFO: each producer's values arrive in its
+    // submission order even when interleaved with the others'.
+    std::vector<int> last(kProducers, -1);
+    for (const int v : seen) {
+        const std::size_t producer =
+            static_cast<std::size_t>(v) / kPerProducer;
+        EXPECT_LT(last[producer], v % kPerProducer);
+        last[producer] = v % kPerProducer;
+    }
+}
+
+TEST(ChannelStress, ConcurrentCloseDuringTrafficNeverDropsAccepted)
+{
+    // Producers race close(): pushes may be refused, but any push
+    // that returned true must be delivered before pop() goes null.
+    Channel<int> ch(8);
+    constexpr std::size_t kProducers = 4;
+    constexpr int kPerProducer = 300;
+    std::atomic<std::size_t> accepted{0};
+
+    std::atomic<std::size_t> consumed{0};
+    std::thread consumer([&] {
+        while (ch.pop()) {
+            consumed.fetch_add(1);
+        }
+    });
+    std::thread closer([&ch] { ch.close(); });
+    run_threads(kProducers, [&](std::size_t) {
+        for (int i = 0; i < kPerProducer; ++i) {
+            if (ch.try_push(i)) {
+                accepted.fetch_add(1);
+            }
+        }
+    });
+    closer.join();
+    consumer.join();
+    EXPECT_EQ(consumed.load(), accepted.load());
+}
+
+}  // namespace
+}  // namespace support
+}  // namespace mugi

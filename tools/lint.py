@@ -9,9 +9,9 @@ Checks, each motivated by a concurrency-correctness contract:
    ``std::rand`` is allowed to be non-thread-safe besides.  Tests
    derive churn from loop counters instead.
 
-2. Every public header under ``src/serve/``, ``src/quant/`` and
-   ``src/support/`` must carry an explicit ``Thread-safety:``
-   contract block, so the capability annotations
+2. Every public header under ``src/serve/``, ``src/server/``,
+   ``src/quant/`` and ``src/support/`` must carry an explicit
+   ``Thread-safety:`` contract block, so the capability annotations
    (support/thread_annotations.h) are always paired with prose
    stating *which* of the three repo contracts the class follows:
    immutable, internally synchronized, or externally serialized.
@@ -38,7 +38,7 @@ BANNED_CALLS = [
     (re.compile(r"(?<![\w:_])time\s*\("), "time( is banned in src/"),
 ]
 
-THREAD_SAFETY_DIRS = ("serve", "quant", "support")
+THREAD_SAFETY_DIRS = ("serve", "server", "quant", "support")
 THREAD_SAFETY_RE = re.compile(r"Thread-safety\s*:")
 
 

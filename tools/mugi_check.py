@@ -26,9 +26,12 @@ R3  mixed-unit-arithmetic: one expression must not arithmetically
 
 R4  admission-unwrap: the admission/reservation functions in
     ``src/serve/scheduler.cc`` (the accounting the paper's KV budget
-    hangs off) must stay ``.value()``-free end to end; they speak
-    units types only, via the named helpers.  Index-math functions
-    (prefix keys, token emission) are exempt.
+    hangs off), the Scheduler retire paths (cancel / shutdown /
+    deadline expiry, which release those same reservations), and the
+    Server submission/cancellation paths in ``src/serve/server.cc``
+    must stay ``.value()``-free end to end; they speak units types
+    only, via the named helpers.  Index-math functions (prefix keys,
+    token emission) are exempt.
 
 Two engines:
 
@@ -95,7 +98,35 @@ ADMISSION_FUNCTIONS = {
     "sync_analytic_reservation",
 }
 
+#: Scheduler retire paths: everything that hands reserved blocks back
+#: to the pool (cancellation, shutdown, deadline expiry).  The release
+#: accounting must stay as unit-typed as the admission accounting.
+RETIRE_FUNCTIONS = {
+    "cancel",
+    "cancel_all",
+    "retire_active",
+    "finish_queued",
+    "expire_deadlines",
+}
+
 SCHEDULER_CC = SRC / "serve" / "scheduler.cc"
+SERVER_CC = SRC / "serve" / "server.cc"
+
+#: R4 audit map: file -> (class, methods that must stay
+#: .value()-free).  serve::Server sits between callers and the
+#: Scheduler, so its submission/cancellation paths carry the same
+#: quantities (delta-channel capacity from max_new_tokens, deadline
+#: plumbing) and follow the same contract.
+R4_AUDITED = {
+    SCHEDULER_CC: (
+        "Scheduler",
+        ADMISSION_FUNCTIONS | RETIRE_FUNCTIONS,
+    ),
+    SERVER_CC: (
+        "Server",
+        {"submit", "cancel", "apply", "finish_unsubmitted"},
+    ),
+}
 
 
 class Finding:
@@ -251,15 +282,16 @@ def textual_r3(path: Path, text: str) -> list[Finding]:
     return findings
 
 
-def textual_r4(text: str) -> list[Finding]:
-    """Scan admission-function bodies in scheduler.cc for .value()."""
+def textual_r4(path: Path, text: str, cls: str,
+               audited: set[str]) -> list[Finding]:
+    """Scan audited ``cls`` method bodies in ``path`` for .value()."""
     findings = []
     lines = text.splitlines()
-    func_re = re.compile(r"Scheduler::(?P<name>\w+)\s*\(")
+    func_re = re.compile(rf"{cls}::(?P<name>\w+)\s*\(")
     i = 0
     while i < len(lines):
         m = func_re.search(lines[i])
-        if not m or m.group("name") not in ADMISSION_FUNCTIONS:
+        if not m or m.group("name") not in audited:
             i += 1
             continue
         # Find the opening brace of the definition, then walk the
@@ -282,12 +314,13 @@ def textual_r4(text: str) -> list[Finding]:
             if opened and ".value(" in lines[j]:
                 findings.append(
                     Finding(
-                        SCHEDULER_CC,
+                        path,
                         j + 1,
                         "R4",
-                        f".value() inside admission function "
-                        f"'{m.group('name')}'; admission accounting "
-                        "must stay unit-typed (use units:: helpers)",
+                        f".value() inside audited function "
+                        f"'{cls}::{m.group('name')}'; admission and "
+                        "request-lifecycle accounting must stay "
+                        "unit-typed (use units:: helpers)",
                     )
                 )
             if opened and depth == 0:
@@ -306,9 +339,13 @@ def run_textual() -> list[Finding]:
         text = strip_comments(path.read_text(encoding="utf-8"))
         findings += textual_r2(path, text)
         findings += textual_r3(path, text)
-    findings += textual_r4(
-        strip_comments(SCHEDULER_CC.read_text(encoding="utf-8"))
-    )
+    for path, (cls, audited) in R4_AUDITED.items():
+        findings += textual_r4(
+            path,
+            strip_comments(path.read_text(encoding="utf-8")),
+            cls,
+            audited,
+        )
     return findings
 
 
@@ -496,7 +533,8 @@ def ast_r3(cindex, tu, path: Path) -> list[Finding]:
     return findings
 
 
-def ast_r4(cindex, tu) -> list[Finding]:
+def ast_r4(cindex, tu, path: Path, cls: str,
+           audited: set[str]) -> list[Finding]:
     findings = []
     ck = cindex.CursorKind
 
@@ -506,24 +544,30 @@ def ast_r4(cindex, tu) -> list[Finding]:
         for child in node.get_children():
             has_value_call(child, out)
 
+    def in_class(node) -> bool:
+        parent = node.semantic_parent
+        return parent is not None and parent.spelling == cls
+
     def visit(node):
         if (
             node.kind == ck.CXX_METHOD
-            and node.spelling in ADMISSION_FUNCTIONS
+            and node.spelling in audited
             and node.is_definition()
-            and _in_file(node, SCHEDULER_CC)
+            and in_class(node)
+            and _in_file(node, path)
         ):
             lines: list[int] = []
             has_value_call(node, lines)
             for line in lines:
                 findings.append(
                     Finding(
-                        SCHEDULER_CC,
+                        path,
                         line,
                         "R4",
-                        ".value() inside admission function "
-                        f"'{node.spelling}'; admission accounting "
-                        "must stay unit-typed (use units:: helpers)",
+                        ".value() inside audited function "
+                        f"'{cls}::{node.spelling}'; admission and "
+                        "request-lifecycle accounting must stay "
+                        "unit-typed (use units:: helpers)",
                     )
                 )
         for child in node.get_children():
@@ -546,8 +590,9 @@ def run_ast(cindex) -> list[Finding]:
         tu = index.parse(str(path), CLANG_ARGS)
         findings += ast_r2(cindex, tu, path)
         findings += ast_r3(cindex, tu, path)
-        if path == SCHEDULER_CC:
-            findings += ast_r4(cindex, tu)
+        if path in R4_AUDITED:
+            cls, audited = R4_AUDITED[path]
+            findings += ast_r4(cindex, tu, path, cls, audited)
     return findings
 
 
