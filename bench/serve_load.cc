@@ -13,7 +13,13 @@
  * a p50/p95/p99 TTFT/TPOT table across >= 3 rates, written to
  * BENCH_serve.json for CI.
  *
- * --check additionally runs the end-to-end smoke gate:
+ * The overload gate (always): the same bounded admission queue at 1x
+ * and 2x offered load.  2x must shed (requests_shed > 0) and the p99
+ * TTFT of the requests it did admit must stay within 2x of the 1x
+ * value -- the bounded queue converts unbounded queueing delay into
+ * rejection.
+ *
+ * --check additionally runs the end-to-end smoke gates:
  *  1. a *functional* eval-scale engine behind server::Frontend on an
  *     ephemeral loopback port; concurrent HTTP clients stream
  *     /v1/generate token deltas;
@@ -22,7 +28,10 @@
  *  3. PASS iff every request's HTTP token stream is bit-identical to
  *     the in-process stream, DELETE semantics hold, and the server's
  *     pool reports zero KV bytes in use after drain (no leaked
- *     blocks).  Exit status reflects the gate.
+ *     blocks);
+ *  4. the 429 gate: one batch slot + one queue slot + two concurrent
+ *     clients -- exactly one is shed with 429 + Retry-After, the
+ *     other completes.  Exit status reflects every gate.
  */
 
 #include <algorithm>
@@ -56,13 +65,18 @@ struct RatePoint {
 /**
  * One sweep point: @p n requests with exponential inter-arrivals at
  * @p rate_req_s on the modeled clock, run through a threaded Server.
+ * @p max_queued bounds the admission queue (0 = unbounded, the
+ * plain sweep; the overload gate passes a bound so excess arrivals
+ * shed instead of queueing without limit).
  */
 serve::ServerStats
-run_rate(const serve::Engine& engine, double rate_req_s, int n)
+run_rate(const serve::Engine& engine, double rate_req_s, int n,
+         std::size_t max_queued = 0)
 {
     serve::ServerConfig config;
     config.scheduler.kv_budget_bytes = units::Bytes(1ull << 30);
     config.scheduler.prefill_chunk_tokens = units::Tokens(256);
+    config.scheduler.max_queued_requests = max_queued;
     serve::Server server(engine, config);
 
     // Seeded arrivals: the sweep is deterministic run to run.
@@ -87,32 +101,92 @@ run_rate(const serve::Engine& engine, double rate_req_s, int n)
     return server.stats();
 }
 
-/** The sweep: offered loads across the knee, >= 3 rates. */
-std::vector<RatePoint>
-run_sweep(const serve::Engine& engine,
-          const model::ModelConfig& model, int n)
+/**
+ * Capacity estimate: modeled service time of the mean request -- its
+ * prefill plus its share of a continuous decode batch.  Prefill
+ * dominates at these prompt lengths; ignoring it would put every
+ * sweep point past saturation.
+ */
+double
+capacity_req_s(const serve::Engine& engine,
+               const model::ModelConfig& model)
 {
-    // Capacity estimate: modeled service time of the mean request --
-    // its prefill plus its share of a continuous decode batch.
-    // Prefill dominates at these prompt lengths; ignoring it would
-    // put every sweep point past saturation.
     const double prefill_s =
         engine.evaluate_prefill(model, 1, 1024).perf.runtime_s;
     const double step_s =
         engine.evaluate_decode(model, 8, 1024).perf.runtime_s;
     const double mean_gen = 32.0;
     const double service_s = prefill_s + mean_gen * step_s / 8.0;
-    const double capacity_req_s = 1.0 / service_s;
+    return 1.0 / service_s;
+}
 
+/** The sweep: offered loads across the knee, >= 3 rates. */
+std::vector<RatePoint>
+run_sweep(const serve::Engine& engine,
+          const model::ModelConfig& model, int n)
+{
+    const double capacity = capacity_req_s(engine, model);
     std::vector<RatePoint> points;
     for (const double load : {0.25, 0.5, 1.0, 2.0}) {
         RatePoint point;
         point.offered_load = load;
-        point.rate_req_s = load * capacity_req_s;
+        point.rate_req_s = load * capacity;
         point.stats = run_rate(engine, point.rate_req_s, n);
         points.push_back(point);
     }
     return points;
+}
+
+/**
+ * Overload-protection gate: the same bounded admission queue at 1x
+ * and 2x offered load.  At 2x the server must shed (the queue bound
+ * is doing its job) and the p99 TTFT of *admitted* requests -- shed
+ * requests never emit a token, so the percentiles exclude them --
+ * must stay within 2x of the 1x value: shedding converts unbounded
+ * queueing delay into bounded rejection.
+ */
+struct OverloadGate {
+    double p99_ttft_1x_s = 0.0;
+    double p99_ttft_2x_s = 0.0;
+    std::size_t shed_2x = 0;
+    bool pass = false;
+};
+
+OverloadGate
+run_overload_gate(const serve::Engine& engine,
+                  const model::ModelConfig& model, int n)
+{
+    bench::print_subtitle(
+        "overload gate: bounded queue at 1x vs 2x capacity");
+    const double capacity = capacity_req_s(engine, model);
+    constexpr std::size_t kMaxQueued = 8;
+    const serve::ServerStats base =
+        run_rate(engine, capacity, n, kMaxQueued);
+    const serve::ServerStats overload =
+        run_rate(engine, 2.0 * capacity, n, kMaxQueued);
+
+    OverloadGate gate;
+    gate.p99_ttft_1x_s = base.p99_ttft_s;
+    gate.p99_ttft_2x_s = overload.p99_ttft_s;
+    gate.shed_2x = overload.requests_shed;
+    const bool tail_bounded =
+        overload.p99_ttft_s <= 2.0 * base.p99_ttft_s;
+    gate.pass = gate.shed_2x > 0 && tail_bounded;
+    if (gate.shed_2x == 0) {
+        std::printf(
+            "FAIL: 2x offered load shed nothing (queue bound %zu)\n",
+            kMaxQueued);
+    }
+    if (!tail_bounded) {
+        std::printf("FAIL: admitted p99 TTFT %.2f s at 2x exceeds "
+                    "2x the 1x value %.2f s\n",
+                    overload.p99_ttft_s, base.p99_ttft_s);
+    }
+    std::printf("%s: p99 TTFT %.2f s (1x) -> %.2f s (2x, %zu of %d "
+                "shed)\n",
+                gate.pass ? "PASS" : "FAIL", gate.p99_ttft_1x_s,
+                gate.p99_ttft_2x_s, gate.shed_2x, n);
+    return gate;
 }
 
 // ---- --check: HTTP front-end vs in-process scheduler -------------
@@ -188,6 +262,127 @@ http_generate(std::uint16_t port, const CheckRequest& request)
         return std::nullopt;  // Stream never finished.
     }
     return tokens;
+}
+
+/**
+ * 429-over-HTTP gate: one batch slot, one queue slot, an in-process
+ * blocker pinning the batch, and two concurrent HTTP clients.
+ * Exactly one client must be shed with 429 + Retry-After; the other
+ * must complete 200 once the blocker is cancelled.
+ */
+bool
+run_http_429_check(const serve::Engine& engine,
+                   const model::ModelConfig& config)
+{
+    bench::print_subtitle("429 gate: bounded queue over HTTP");
+    serve::ServerConfig server_config;
+    server_config.scheduler.prefill_chunk_tokens = units::Tokens(16);
+    server_config.scheduler.max_batch = 1;
+    server_config.scheduler.max_queued_requests = 1;
+    serve::Server server(engine, server_config);
+    server::Frontend frontend(server);
+    if (!frontend.bind(0)) {
+        std::printf("FAIL: cannot bind a loopback port\n");
+        return false;
+    }
+    std::thread accept_thread([&frontend] { frontend.run(); });
+
+    // The blocker owns the single batch slot; its first delta is the
+    // admission barrier the clients race behind.
+    serve::Request blocker;
+    blocker.prompt = model::synthetic_tokens(12, config.vocab, 4100);
+    blocker.max_new_tokens = units::Tokens(512);
+    serve::RequestHandle handle = server.submit(std::move(blocker));
+    bool pass = handle.next().has_value();
+    if (!pass) {
+        std::printf("FAIL: blocker produced no first token\n");
+    }
+
+    int statuses[2] = {-1, -1};
+    bool retry_after[2] = {false, false};
+    {
+        std::vector<std::thread> clients;
+        for (int i = 0; i < 2; ++i) {
+            clients.emplace_back([&, i] {
+                server::Client client;
+                if (!client.connect(frontend.port())) {
+                    return;
+                }
+                std::ostringstream body;
+                body << "{\"prompt\":[";
+                const std::vector<int> prompt =
+                    model::synthetic_tokens(
+                        8, config.vocab,
+                        static_cast<std::uint32_t>(4200 + i));
+                for (std::size_t t = 0; t < prompt.size(); ++t) {
+                    if (t > 0) {
+                        body << ',';
+                    }
+                    body << prompt[t];
+                }
+                body << "],\"max_new_tokens\":4}";
+                const std::optional<server::HttpResponse> response =
+                    client.request("POST", "/v1/generate",
+                                   body.str());
+                if (response) {
+                    statuses[i] = response->status;
+                    retry_after[i] =
+                        response->headers.count("retry-after") > 0;
+                }
+            });
+        }
+        // The survivor stays queued behind the blocker; release it
+        // once the shed is visible in stats (bounded wait -- if the
+        // shed never happens the status counts fail the gate below).
+        const bench::Timer timer;
+        while (server.stats().requests_shed == 0 &&
+               timer.seconds() < 30.0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        }
+        handle.cancel();
+        handle.wait();
+        for (std::thread& t : clients) {
+            t.join();
+        }
+    }
+    frontend.stop();
+    accept_thread.join();
+    const serve::ServerStats stats = server.stats();
+
+    int ok = 0;
+    int shed = 0;
+    bool shed_has_retry_after = true;
+    for (int i = 0; i < 2; ++i) {
+        if (statuses[i] == 200) {
+            ++ok;
+        } else if (statuses[i] == 429) {
+            ++shed;
+            shed_has_retry_after =
+                shed_has_retry_after && retry_after[i];
+        }
+    }
+    if (ok != 1 || shed != 1) {
+        std::printf("FAIL: expected one 200 and one 429, got %d and "
+                    "%d (statuses %d, %d)\n",
+                    ok, shed, statuses[0], statuses[1]);
+        pass = false;
+    }
+    if (!shed_has_retry_after) {
+        std::printf("FAIL: the 429 carried no Retry-After header\n");
+        pass = false;
+    }
+    if (stats.kv_bytes_in_use != units::Bytes(0)) {
+        std::printf("FAIL: %zu KV bytes still in use after drain\n",
+                    stats.kv_bytes_in_use.value());
+        pass = false;
+    }
+    std::printf("%s: one admitted (200), %zu shed over HTTP (429%s), "
+                "kv_bytes_in_use=%zu\n",
+                pass ? "PASS" : "FAIL", stats.requests_shed,
+                shed_has_retry_after ? " + Retry-After" : "",
+                stats.kv_bytes_in_use.value());
+    return pass;
 }
 
 /** The --check gate; returns true on PASS. */
@@ -302,7 +497,7 @@ run_check()
         "in-process, kv_bytes_in_use=%zu\n",
         pass ? "PASS" : "FAIL", trace.size(), checked_tokens,
         stats.kv_bytes_in_use.value());
-    return pass;
+    return run_http_429_check(engine, config) && pass;
 }
 
 }  // namespace
@@ -371,6 +566,8 @@ main(int argc, char** argv)
             "FAIL: a sweep point left KV bytes in use after drain\n");
     }
 
+    const OverloadGate gate = run_overload_gate(engine, model, n);
+
     bool check_pass = true;
     if (check) {
         check_pass = run_check();
@@ -382,9 +579,15 @@ main(int argc, char** argv)
         .set("requests_per_rate", n)
         .set("rates", std::move(series))
         .set("leak_free", leak_free)
+        .set("overload_gate",
+             bench::Json::object()
+                 .set("p99_ttft_1x_s", gate.p99_ttft_1x_s)
+                 .set("p99_ttft_2x_s", gate.p99_ttft_2x_s)
+                 .set("shed_2x", gate.shed_2x)
+                 .set("pass", gate.pass))
         .set("check_run", check)
         .set("check_pass", check_pass);
     out.write_file(json_path);
     std::printf("\nwrote %s\n", json_path);
-    return leak_free && check_pass ? 0 : 1;
+    return leak_free && gate.pass && check_pass ? 0 : 1;
 }

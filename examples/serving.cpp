@@ -200,6 +200,10 @@ main(int argc, char** argv)
                 stats.shared_blocks.value(),
                 stats.shared_blocks == units::Blocks(1) ? "" : "s",
                 stats.saved_prefill_tokens.value());
+    std::printf("  overload: %zu shed, %zu admission timeouts, "
+                "%zu slow-client cancels, %zu faults injected\n",
+                stats.requests_shed, stats.admission_timeouts,
+                stats.slow_client_cancels, stats.faults_injected);
 
     // Contrast with serving the same trace one request at a time:
     // every request would pay its own WOQ weight stream per token.

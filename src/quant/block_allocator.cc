@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "support/audit.h"
+#include "support/fault.h"
 
 namespace mugi {
 namespace quant {
@@ -134,6 +135,9 @@ BlockPool::try_allocate(units::Bytes bytes)
 {
     // Check and commit under one lock: two concurrent try_allocate
     // calls must not both pass the capacity check.
+    if (MUGI_FAULT_POINT("block_pool.allocate")) {
+        return kInvalidBlock;  // Simulated pool exhaustion.
+    }
     support::MutexLock lock(mutex_);
     if (!fits_locked(bytes.value())) {
         return kInvalidBlock;
@@ -164,6 +168,11 @@ BlockPool::ref_count(BlockId id) const
 void
 BlockPool::release(BlockId id)
 {
+    // Chaos-bench negative gate only: dropping a release corrupts the
+    // refcount accounting, which the leak/invariant gates MUST catch.
+    if (MUGI_FAULT_POINT("block_pool.leak_release")) {
+        return;
+    }
     support::MutexLock lock(mutex_);
     assert(id.value() < slots_.size() && slots_[id.value()].in_use);
     Slot& slot = slots_[id.value()];
@@ -216,6 +225,9 @@ BlockPool::reserve(units::Bytes bytes)
 bool
 BlockPool::try_reserve(units::Bytes bytes)
 {
+    if (MUGI_FAULT_POINT("block_pool.allocate")) {
+        return false;  // Simulated pool exhaustion.
+    }
     support::MutexLock lock(mutex_);
     if (!fits_locked(bytes.value())) {
         return false;

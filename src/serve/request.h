@@ -44,6 +44,21 @@ enum class FinishReason {
     kDeadline,
     /** Retired by a server shutdown that did not drain. */
     kShutdown,
+    /**
+     * Load-shed before admission: the bounded admission queue
+     * (SchedulerConfig::max_queued_requests) was over its limit and
+     * the shed policy picked this request, or the server's command
+     * channel refused it.  Never emitted tokens; never held KV.
+     */
+    kShed,
+    /**
+     * Waited in the admission queue longer than its admission
+     * timeout (Request::admission_timeout_s, falling back to
+     * SchedulerConfig::admission_timeout_s).  Distinct from
+     * kDeadline: admission timeouts bound *queue wait only* and can
+     * never fire once the request is admitted.
+     */
+    kAdmissionTimeout,
 };
 
 const char* finish_reason_name(FinishReason reason);
@@ -101,6 +116,19 @@ struct Request {
      * still delivers that iteration's token.
      */
     double deadline_s = 0.0;
+
+    /**
+     * Maximum modeled-clock *queue wait* before the scheduler gives
+     * up on admitting this request and retires it with
+     * FinishReason::kAdmissionTimeout; 0 = use
+     * SchedulerConfig::admission_timeout_s (whose 0 means no limit).
+     * Unlike deadline_s (an absolute completion bound that keeps
+     * ticking after admission), an admission timeout only covers the
+     * arrival -> admission window: once admitted the request runs to
+     * its natural finish.  Requests re-queued by preemption were
+     * already admitted and are exempt.
+     */
+    double admission_timeout_s = 0.0;
 
     /**
      * Analytic prefix caching: requests carrying the same nonzero

@@ -10,6 +10,7 @@
 
 #include "quant/kv_cache.h"
 #include "support/audit.h"
+#include "support/fault.h"
 
 namespace mugi {
 namespace serve {
@@ -59,6 +60,10 @@ finish_reason_name(FinishReason reason)
         return "deadline";
       case FinishReason::kShutdown:
         return "shutdown";
+      case FinishReason::kShed:
+        return "shed";
+      case FinishReason::kAdmissionTimeout:
+        return "admission_timeout";
     }
     return "?";
 }
@@ -577,6 +582,14 @@ Scheduler::admit_arrivals()
         if (head.arrival_s > now_s_) {
             break;  // Not arrived yet on the modeled clock.
         }
+        // Chaos seam: a fired "block_pool.allocate" defers this
+        // iteration's admissions, exactly as a transiently exhausted
+        // pool would.  Deferral delays work but never changes which
+        // tokens come out, so the chaos bench's bit-identity gate
+        // still holds over it.
+        if (MUGI_FAULT_POINT("block_pool.allocate")) {
+            break;
+        }
         // Prefix-cache lookup first: a hit shrinks the admission
         // charge to the unshared tail.
         const PrefixMatch match = find_prefix_match(head);
@@ -725,6 +738,12 @@ Scheduler::record_finished(FinishedRequest f)
       case FinishReason::kDeadline:
         ++expired_;
         break;
+      case FinishReason::kShed:
+        ++requests_shed_;
+        break;
+      case FinishReason::kAdmissionTimeout:
+        ++admission_timeouts_;
+        break;
       default:
         break;
     }
@@ -844,6 +863,66 @@ Scheduler::expire_deadlines()
     }
 }
 
+void
+Scheduler::expire_admission_timeouts()
+{
+    for (auto it = queue_.begin(); it != queue_.end();) {
+        // Preempted requests were already admitted once: their
+        // re-queue wait is preemption pressure, not admission load.
+        const double timeout =
+            it->request.admission_timeout_s > 0.0
+                ? it->request.admission_timeout_s
+                : config_.admission_timeout_s;
+        if (!it->resumed && timeout > 0.0 &&
+            it->arrival_s <= now_s_ &&
+            now_s_ - it->arrival_s >= timeout) {
+            finish_queued(std::move(*it),
+                          FinishReason::kAdmissionTimeout);
+            it = queue_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Scheduler::shed_for_capacity()
+{
+    if (config_.max_queued_requests == 0) {
+        return;
+    }
+    // Candidates: arrived and never admitted.  Future trace arrivals
+    // are not yet load; preempted re-queues must survive to keep the
+    // bit-identity contract (their emitted tokens already stand).
+    while (true) {
+        std::vector<std::size_t> candidates;
+        for (std::size_t i = 0; i < queue_.size(); ++i) {
+            if (!queue_[i].resumed && queue_[i].arrival_s <= now_s_) {
+                candidates.push_back(i);
+            }
+        }
+        if (candidates.size() <= config_.max_queued_requests) {
+            return;
+        }
+        // kRejectNewest: the last candidate in queue order (latest
+        // arrival under FIFO submission).  kRejectLowestPriority:
+        // minimum priority, ties broken toward the newest -- the
+        // admission-side mirror of preemption's victim choice.
+        std::size_t victim = candidates.back();
+        if (config_.shed_policy == ShedPolicy::kRejectLowestPriority) {
+            for (const std::size_t i : candidates) {
+                if (queue_[i].request.priority <=
+                    queue_[victim].request.priority) {
+                    victim = i;
+                }
+            }
+        }
+        finish_queued(std::move(queue_[victim]), FinishReason::kShed);
+        queue_.erase(queue_.begin() +
+                     static_cast<std::ptrdiff_t>(victim));
+    }
+}
+
 bool
 Scheduler::step()
 {
@@ -860,6 +939,12 @@ Scheduler::step()
     // A queued request whose deadline already passed must never be
     // admitted (and must not block FIFO admission behind it).
     expire_deadlines();
+    // Overload protection runs before admission so a shed request is
+    // never charged against the pool: timeouts first (a timed-out
+    // request is not load the bounded queue should shed someone else
+    // for), then the capacity bound.
+    expire_admission_timeouts();
+    shed_for_capacity();
     admit_arrivals();
     if (active_.empty()) {
         return !queue_.empty();
@@ -1129,6 +1214,8 @@ Scheduler::stats() const
     s.preemptions = preemptions_;
     s.cancelled = cancelled_;
     s.expired = expired_;
+    s.requests_shed = requests_shed_;
+    s.admission_timeouts = admission_timeouts_;
     s.prefix_hits = prefix_hits_;
     s.shared_blocks = shared_blocks_;
     s.saved_prefill_tokens = saved_prefill_tokens_;

@@ -118,6 +118,23 @@ enum class AdmissionMode {
     kFullProjection,
 };
 
+/**
+ * Which queued request the bounded admission queue sheds when it is
+ * over SchedulerConfig::max_queued_requests.  Only *arrived*,
+ * never-admitted requests are candidates: future trace arrivals are
+ * not yet load, and preempted requests re-queued for re-prefill were
+ * already admitted once (shedding them would throw away emitted
+ * tokens and break the bit-identity contract).
+ */
+enum class ShedPolicy {
+    /** Shed the most recently arrived candidate (LIFO kill: the
+     *  oldest waiters keep their place, no starvation reordering). */
+    kRejectNewest,
+    /** Shed the lowest-priority candidate (ties: newest first) --
+     *  the admission-side mirror of preemption's victim choice. */
+    kRejectLowestPriority,
+};
+
 /** Scheduler knobs fixed at construction. */
 struct SchedulerConfig {
     /**
@@ -160,6 +177,27 @@ struct SchedulerConfig {
      * bench/prefix_cache.cc measures against).
      */
     bool prefix_caching = true;
+
+    /**
+     * Bounded admission queue: when more than this many *arrived*,
+     * never-admitted requests are waiting, the shed policy retires
+     * the excess with FinishReason::kShed instead of letting the
+     * queue grow without bound; 0 = unbounded (the pre-overload
+     * behaviour).  Checked every scheduling iteration, before
+     * admission, on the modeled clock.
+     */
+    std::size_t max_queued_requests = 0;
+    /** Which candidate to shed when the queue is over its bound. */
+    ShedPolicy shed_policy = ShedPolicy::kRejectNewest;
+    /**
+     * Default maximum queue wait (modeled seconds) before a request
+     * still awaiting admission is retired with
+     * FinishReason::kAdmissionTimeout; 0 = no limit.
+     * Request::admission_timeout_s overrides per request.  Distinct
+     * from deadlines: this bounds only the arrival -> admission
+     * window and never fires once the request is admitted.
+     */
+    double admission_timeout_s = 0.0;
 
     /**
      * Worker threads every mixed step fans its functional work
@@ -248,6 +286,26 @@ struct ServerStats {
     std::size_t cancelled = 0;
     /** Requests retired because their deadline passed. */
     std::size_t expired = 0;
+    /**
+     * Requests load-shed before admission (bounded-queue policy in
+     * the scheduler, plus -- in Server::stats() -- submissions the
+     * server itself refused at the command channel).
+     */
+    std::size_t requests_shed = 0;
+    /** Requests whose admission timeout expired while queued. */
+    std::size_t admission_timeouts = 0;
+    /**
+     * Requests cancelled because their client could not keep up with
+     * the token stream (HTTP write timeout / vanished connection).
+     * Counted by the server front-end; always 0 at scheduler level.
+     */
+    std::size_t slow_client_cancels = 0;
+    /**
+     * Fires of the process-wide FaultInjector since it was armed
+     * (support/fault.h); 0 when disarmed or compiled out.  Snapshot
+     * taken by Server::stats(); always 0 at scheduler level.
+     */
+    std::size_t faults_injected = 0;
     /** Admissions whose prompt mapped onto resident prefix blocks. */
     std::size_t prefix_hits = 0;
     /**
@@ -544,6 +602,15 @@ class Scheduler {
     void finish_queued(QueuedRequest&& queued, FinishReason reason);
     /** Retire queued+active requests whose deadline_s passed. */
     void expire_deadlines();
+    /**
+     * Bounded-queue sweep: while more than max_queued_requests
+     * arrived, never-admitted requests wait, retire the shed
+     * policy's pick with FinishReason::kShed.  No-op when
+     * max_queued_requests == 0.
+     */
+    void shed_for_capacity();
+    /** Retire queued requests whose admission timeout expired. */
+    void expire_admission_timeouts();
     /** Fold @p f into the latency aggregates and the finished list. */
     void record_finished(FinishedRequest f);
     /** Grow the pool reservation mirroring an analytic cache. */
@@ -593,6 +660,8 @@ class Scheduler {
     std::size_t preemptions_ = 0;
     std::size_t cancelled_ = 0;
     std::size_t expired_ = 0;
+    std::size_t requests_shed_ = 0;
+    std::size_t admission_timeouts_ = 0;
     std::size_t prefix_hits_ = 0;
     units::Blocks shared_blocks_{0};
     units::Tokens saved_prefill_tokens_{0};

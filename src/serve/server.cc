@@ -1,7 +1,10 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
+
+#include "support/fault.h"
 
 namespace mugi {
 namespace serve {
@@ -122,6 +125,15 @@ Server::submit(Request request)
         }
     }
     if (accepted) {
+        // Chaos seam: a fired "channel.push" is a command channel
+        // that refused the submission -- the request is shed before
+        // the scheduler ever sees it, the overload twin of the
+        // shutdown race below.  Its handle still resolves.
+        if (MUGI_FAULT_POINT("channel.push")) {
+            server_sheds_.fetch_add(1);
+            finish_unsubmitted(id, state, FinishReason::kShed);
+            return RequestHandle(this, std::move(state));
+        }
         Command command;
         command.kind = Command::Kind::kSubmit;
         command.id = id;
@@ -185,11 +197,47 @@ Server::accepting() const
     return accepting_;
 }
 
+bool
+Server::ready() const
+{
+    support::MutexLock lock(mu_);
+    return accepting_ && commands_.size() < commands_.capacity();
+}
+
+void
+Server::record_slow_client_cancel()
+{
+    slow_client_cancels_.fetch_add(1);
+}
+
+std::string
+Server::check_invariants() const
+{
+    {
+        support::MutexLock lock(mu_);
+        if (!joined_) {
+            return "Server::check_invariants called before shutdown "
+                   "(the scheduler is loop-thread-only state while "
+                   "the loop runs)";
+        }
+    }
+    // The loop thread has exited and joined: its writes are visible
+    // and nothing else touches the scheduler.
+    return scheduler_.check_invariants();
+}
+
 ServerStats
 Server::stats() const
 {
     support::MutexLock lock(mu_);
-    return stats_snapshot_;
+    ServerStats s = stats_snapshot_;
+    // Server-side counters the scheduler never sees: submissions the
+    // command channel refused, front-end slow-client cancels, and the
+    // process-wide fault-injection fire count.
+    s.requests_shed += server_sheds_.load();
+    s.slow_client_cancels = slow_client_cancels_.load();
+    s.faults_injected = support::FaultInjector::instance().fires();
+    return s;
 }
 
 void
@@ -219,6 +267,13 @@ Server::loop()
         }
         if (abort_.load()) {
             break;
+        }
+        // Chaos seam: a fired "loop.step_delay" stalls the loop
+        // thread in *wall-clock* time only.  The scheduler's modeled
+        // clock is untouched, so delays change when tokens are
+        // delivered, never which tokens come out.
+        if (MUGI_FAULT_POINT("loop.step_delay")) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
         }
         scheduler_.step();
         // Publish BEFORE delivering: the moment a handle's wait()

@@ -61,6 +61,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -183,6 +184,33 @@ class Server {
     /** True until shutdown() begins refusing submissions. */
     bool accepting() const;
 
+    /**
+     * Readiness (vs. the liveness accepting() reports): true while
+     * the server is accepting AND the command channel has room --
+     * i.e. the loop thread is keeping up.  The HTTP front-end's
+     * /healthz maps false onto 503 so load balancers stop routing to
+     * a draining or saturated server before submits start blocking.
+     */
+    bool ready() const;
+
+    /**
+     * Count one slow-client cancellation (HTTP write timeout or a
+     * vanished connection forced a cancel); surfaced as
+     * ServerStats::slow_client_cancels.  Called by the front-end
+     * from any connection thread.
+     */
+    void record_slow_client_cancel();
+
+    /**
+     * Recompute the scheduler's cross-structure accounting from
+     * scratch (Scheduler::check_invariants) and return the first
+     * violation, empty when consistent.  Only callable after
+     * shutdown() returned -- the scheduler is loop-thread-only state
+     * while the loop runs -- and returns a diagnostic (not a crash)
+     * when called too early.  The chaos bench's end-of-run gate.
+     */
+    [[nodiscard]] std::string check_invariants() const;
+
     /** The engine the loop thread drives (e.g. has_model()). */
     const Engine& engine() const { return engine_; }
 
@@ -234,6 +262,11 @@ class Server {
 
     std::atomic<std::uint64_t> next_id_{1};
     std::atomic<bool> abort_{false};
+    /** Submissions the server itself shed (fault-injected channel
+     *  refusal); merged into ServerStats::requests_shed. */
+    std::atomic<std::size_t> server_sheds_{0};
+    /** Slow-client cancellations reported by the front-end. */
+    std::atomic<std::size_t> slow_client_cancels_{0};
 
     std::thread loop_thread_;
 };

@@ -1,5 +1,6 @@
 #include "server/frontend.h"
 
+#include <cmath>
 #include <cstdio>
 #include <random>
 #include <utility>
@@ -26,6 +27,44 @@ seed_from_entropy()
     std::random_device entropy;
     return (static_cast<std::uint64_t>(entropy()) << 32) ^
            entropy();
+}
+
+/**
+ * Range-checked narrowing from a parsed JSON double.  json.cc's
+ * strtod maps overflowing literals ("1e999") to +/-inf and accepts
+ * any finite double, so every cast the API narrows through must
+ * reject non-finite and out-of-range values here -- casting inf or a
+ * negative to an unsigned integral is undefined behaviour.
+ */
+bool
+to_count(double value, std::size_t* out)
+{
+    if (!std::isfinite(value) || value < 0.0 || value > 1e15) {
+        return false;
+    }
+    *out = static_cast<std::size_t>(value);
+    return true;
+}
+
+bool
+to_int(double value, int* out)
+{
+    if (!std::isfinite(value) || value < -2147483648.0 ||
+        value > 2147483647.0) {
+        return false;
+    }
+    *out = static_cast<int>(value);
+    return true;
+}
+
+bool
+to_u64(double value, std::uint64_t* out)
+{
+    if (!std::isfinite(value) || value < 0.0 || value > 1e18) {
+        return false;
+    }
+    *out = static_cast<std::uint64_t>(value);
+    return true;
 }
 
 /** The final NDJSON line / non-streamed summary fields. */
@@ -108,6 +147,7 @@ void
 Frontend::handle(int fd)
 {
     Connection connection(fd);
+    connection.set_write_timeout(write_timeout_s_);
     HttpRequest request;
     if (!connection.read_request(&request)) {
         connection.write_response(
@@ -115,20 +155,38 @@ Frontend::handle(int fd)
             "{\"error\":\"malformed request\"}");
         return;
     }
+    // Route on target first so a known route hit with the wrong
+    // method gets 405, not a misleading 404.
     const std::string cancel_prefix = "/v1/generate/";
-    if (request.method == "POST" &&
-        request.target == "/v1/generate") {
-        handle_generate(connection, request);
-    } else if (request.method == "DELETE" &&
-               request.target.rfind(cancel_prefix, 0) == 0) {
-        handle_cancel(connection,
-                      request.target.substr(cancel_prefix.size()));
-    } else if (request.method == "GET" &&
-               request.target == "/metrics") {
-        handle_metrics(connection);
-    } else if (request.method == "GET" &&
+    if (request.target == "/v1/generate") {
+        if (request.method == "POST") {
+            handle_generate(connection, request);
+        } else {
+            connection.write_response(
+                405, "application/json",
+                "{\"error\":\"method not allowed\"}");
+        }
+    } else if (request.target.rfind(cancel_prefix, 0) == 0) {
+        if (request.method == "DELETE") {
+            handle_cancel(
+                connection,
+                request.target.substr(cancel_prefix.size()));
+        } else {
+            connection.write_response(
+                405, "application/json",
+                "{\"error\":\"method not allowed\"}");
+        }
+    } else if (request.target == "/metrics" ||
                request.target == "/healthz") {
-        handle_health(connection);
+        if (request.method != "GET") {
+            connection.write_response(
+                405, "application/json",
+                "{\"error\":\"method not allowed\"}");
+        } else if (request.target == "/metrics") {
+            handle_metrics(connection);
+        } else {
+            handle_health(connection);
+        }
     } else {
         connection.write_response(404, "application/json",
                                   "{\"error\":\"no such route\"}");
@@ -148,6 +206,11 @@ Frontend::handle_generate(Connection& connection,
         return;
     }
 
+    const auto reject_numbers = [&connection] {
+        connection.write_response(
+            400, "application/json",
+            "{\"error\":\"non-finite or out-of-range number\"}");
+    };
     serve::Request request;
     if (const json::Value* prompt = body->find("prompt")) {
         if (!prompt->is_array()) {
@@ -158,29 +221,55 @@ Frontend::handle_generate(Connection& connection,
         }
         request.prompt.reserve(prompt->array.size());
         for (const json::Value& token : prompt->array) {
-            request.prompt.push_back(static_cast<int>(token.number));
+            int token_id = 0;
+            if (!token.is_number() ||
+                !to_int(token.number, &token_id)) {
+                reject_numbers();
+                return;
+            }
+            request.prompt.push_back(token_id);
         }
     }
-    request.analytic_prompt_tokens =
-        units::Tokens(static_cast<std::size_t>(
-            body->number_or("prompt_tokens", 0.0)));
-    request.max_new_tokens = units::Tokens(static_cast<std::size_t>(
-        body->number_or("max_new_tokens", 16.0)));
+    std::size_t analytic_prompt = 0;
+    std::size_t max_new = 0;
+    std::size_t prefix_tokens = 0;
+    std::uint64_t prefix_group = 0;
+    int priority = 0;
+    if (!to_count(body->number_or("prompt_tokens", 0.0),
+                  &analytic_prompt) ||
+        !to_count(body->number_or("max_new_tokens", 16.0),
+                  &max_new) ||
+        !to_count(body->number_or("prefix_tokens", 0.0),
+                  &prefix_tokens) ||
+        !to_u64(body->number_or("prefix_group", 0.0),
+                &prefix_group) ||
+        !to_int(body->number_or("priority", 0.0), &priority)) {
+        reject_numbers();
+        return;
+    }
+    request.analytic_prompt_tokens = units::Tokens(analytic_prompt);
+    request.max_new_tokens = units::Tokens(max_new);
     if (const json::Value* stop = body->find("stop_token")) {
-        if (stop->is_number()) {
-            request.stop_token = static_cast<int>(stop->number);
+        int stop_id = 0;
+        if (stop->is_number() && to_int(stop->number, &stop_id)) {
+            request.stop_token = stop_id;
         }
     }
-    request.priority =
-        static_cast<int>(body->number_or("priority", 0.0));
-    request.prefix_group = static_cast<std::uint64_t>(
-        body->number_or("prefix_group", 0.0));
-    request.prefix_tokens =
-        units::Tokens(static_cast<std::size_t>(
-            body->number_or("prefix_tokens", 0.0)));
+    request.priority = priority;
+    request.prefix_group = prefix_group;
+    request.prefix_tokens = units::Tokens(prefix_tokens);
     request.arrival_time_s = body->number_or("arrival_time_s", 0.0);
     request.deadline_s = body->number_or("deadline_s", 0.0);
+    request.admission_timeout_s =
+        body->number_or("admission_timeout_s", 0.0);
     const double timeout_s = body->number_or("timeout_s", 0.0);
+    if (!std::isfinite(request.arrival_time_s) ||
+        !std::isfinite(request.deadline_s) ||
+        !std::isfinite(request.admission_timeout_s) ||
+        !std::isfinite(timeout_s)) {
+        reject_numbers();
+        return;
+    }
     if (timeout_s > 0.0) {
         // Relative deadline against the modeled clock's snapshot.
         request.deadline_s = server_.stats().now_s + timeout_s;
@@ -206,6 +295,27 @@ Frontend::handle_generate(Connection& connection,
         uuids_.emplace(uuid, handle.id());
     }
 
+    // Block on the first stream event before writing anything: a
+    // request the scheduler sheds (or admission-times-out) closes
+    // its stream with zero deltas, and the client should see 429 +
+    // Retry-After -- not an empty 200 stream.
+    std::optional<serve::TokenDelta> first_delta = handle.next();
+    if (!first_delta) {
+        // End-of-stream with zero deltas: the retirement is already
+        // on its way (wait(), not poll() -- the delta channel closes
+        // an instant before the FinishedRequest is published).
+        const serve::FinishedRequest early = handle.wait();
+        if (early.reason == serve::FinishReason::kShed ||
+            early.reason == serve::FinishReason::kAdmissionTimeout) {
+            {
+                support::MutexLock lock(mu_);
+                uuids_.erase(uuid);
+            }
+            respond_overloaded(connection, early);
+            return;
+        }
+    }
+
     if (stream) {
         bool client_gone = !connection.begin_chunked(
             200, "application/x-ndjson");
@@ -215,8 +325,15 @@ Frontend::handle_generate(Connection& connection,
             client_gone =
                 !connection.write_chunk(head.str() + "\n");
         }
-        while (std::optional<serve::TokenDelta> delta =
-                   handle.next()) {
+        if (client_gone && first_delta) {
+            // The client vanished before the stream even started:
+            // free its KV blocks now, don't generate into the void.
+            handle.cancel();
+            server_.record_slow_client_cancel();
+        }
+        for (std::optional<serve::TokenDelta> delta =
+                 std::move(first_delta);
+             delta; delta = handle.next()) {
             if (client_gone) {
                 continue;  // Drain so wait() below is immediate.
             }
@@ -225,10 +342,12 @@ Frontend::handle_generate(Connection& connection,
                            static_cast<long long>(delta->index))
                 .field_int("token", delta->token);
             if (!connection.write_chunk(line.str() + "\n")) {
-                // Client disconnected mid-stream: cancel so its KV
-                // blocks free now instead of at max_new_tokens.
+                // Client disconnected or stalled past the write
+                // timeout mid-stream: cancel so its KV blocks free
+                // now instead of at max_new_tokens.
                 client_gone = true;
                 handle.cancel();
+                server_.record_slow_client_cancel();
             }
         }
         const serve::FinishedRequest finished = handle.wait();
@@ -240,8 +359,9 @@ Frontend::handle_generate(Connection& connection,
     } else {
         std::string tokens = "[";
         bool first = true;
-        while (std::optional<serve::TokenDelta> delta =
-                   handle.next()) {
+        for (std::optional<serve::TokenDelta> delta =
+                 std::move(first_delta);
+             delta; delta = handle.next()) {
             if (!first) {
                 tokens += ',';
             }
@@ -261,6 +381,38 @@ Frontend::handle_generate(Connection& connection,
         support::MutexLock lock(mu_);
         uuids_.erase(uuid);
     }
+}
+
+void
+Frontend::respond_overloaded(Connection& connection,
+                             const serve::FinishedRequest& finished)
+{
+    // Retry-After from the live backlog: every waiting-or-running
+    // request costs roughly (nominal generation length x TPOT) of
+    // loop time, so that product over the backlog approximates when
+    // capacity frees up.  Clamped to [1, 60]s -- a bounded hint, not
+    // a promise.
+    const serve::ServerStats stats = server_.stats();
+    double tpot = stats.p50_tpot_s > 0.0 ? stats.p50_tpot_s
+                                         : stats.mean_tpot_s;
+    if (tpot <= 0.0) {
+        tpot = 0.05;  // No samples yet: a generic decode cadence.
+    }
+    const double backlog =
+        static_cast<double>(stats.queued + stats.active);
+    constexpr double kNominalTokens = 16.0;
+    const double eta_s = backlog * tpot * kNominalTokens;
+    const int retry_after = static_cast<int>(
+        std::min(60.0, std::max(1.0, std::ceil(eta_s))));
+    char header_value[16];
+    std::snprintf(header_value, sizeof(header_value), "%d",
+                  retry_after);
+    json::ObjectWriter body;
+    body.field("error", "overloaded")
+        .field("reason", serve::finish_reason_name(finished.reason))
+        .field_int("retry_after_s", retry_after);
+    connection.write_response(429, "application/json", body.str(),
+                              {{"Retry-After", header_value}});
 }
 
 void
@@ -291,7 +443,7 @@ void
 Frontend::handle_metrics(Connection& connection)
 {
     const serve::ServerStats stats = server_.stats();
-    char buffer[2048];
+    char buffer[3072];
     const int n = std::snprintf(
         buffer, sizeof(buffer),
         "# TYPE mugi_requests_submitted counter\n"
@@ -302,6 +454,14 @@ Frontend::handle_metrics(Connection& connection)
         "mugi_requests_cancelled %zu\n"
         "# TYPE mugi_requests_expired counter\n"
         "mugi_requests_expired %zu\n"
+        "# TYPE mugi_requests_shed counter\n"
+        "mugi_requests_shed %zu\n"
+        "# TYPE mugi_admission_timeouts counter\n"
+        "mugi_admission_timeouts %zu\n"
+        "# TYPE mugi_slow_client_cancels counter\n"
+        "mugi_slow_client_cancels %zu\n"
+        "# TYPE mugi_faults_injected counter\n"
+        "mugi_faults_injected %zu\n"
         "# TYPE mugi_requests_active gauge\n"
         "mugi_requests_active %zu\n"
         "# TYPE mugi_requests_queued gauge\n"
@@ -323,7 +483,9 @@ Frontend::handle_metrics(Connection& connection)
         "mugi_tpot_seconds{quantile=\"0.95\"} %.9g\n"
         "mugi_tpot_seconds{quantile=\"0.99\"} %.9g\n",
         stats.submitted, stats.finished, stats.cancelled,
-        stats.expired, stats.active, stats.queued,
+        stats.expired, stats.requests_shed,
+        stats.admission_timeouts, stats.slow_client_cancels,
+        stats.faults_injected, stats.active, stats.queued,
         stats.preemptions, stats.kv_bytes_in_use.value(),
         stats.peak_kv_bytes.value(), stats.generated_tokens.value(),
         stats.p50_ttft_s, stats.p95_ttft_s, stats.p99_ttft_s,
@@ -336,12 +498,20 @@ Frontend::handle_metrics(Connection& connection)
 void
 Frontend::handle_health(Connection& connection)
 {
-    if (server_.accepting()) {
-        connection.write_response(200, "application/json",
-                                  "{\"status\":\"ok\"}");
-    } else {
+    // Liveness vs readiness: responding at all is liveness; 200 means
+    // "route traffic here".  Draining (shutdown began) and saturation
+    // (the loop thread is behind and the command channel is full) are
+    // both not-ready -- a load balancer should back off before
+    // submits start blocking.
+    if (!server_.accepting()) {
         connection.write_response(503, "application/json",
                                   "{\"status\":\"draining\"}");
+    } else if (!server_.ready()) {
+        connection.write_response(503, "application/json",
+                                  "{\"status\":\"saturated\"}");
+    } else {
+        connection.write_response(200, "application/json",
+                                  "{\"status\":\"ok\"}");
     }
 }
 

@@ -28,8 +28,25 @@
  *  - DELETE /v1/generate/<uuid> -- cancel; 202 when the cancel was
  *    enqueued, 404 when the uuid is unknown or already retired.
  *  - GET /metrics -- ServerStats in Prometheus text format,
- *    including the p50/p95/p99 TTFT/TPOT gauges.
- *  - GET /healthz -- 200 "ok" while accepting, 503 once draining.
+ *    including the p50/p95/p99 TTFT/TPOT gauges and the overload
+ *    counters (requests_shed, admission_timeouts,
+ *    slow_client_cancels, faults_injected).
+ *  - GET /healthz -- liveness vs readiness: 200 "ok" while accepting
+ *    AND the command channel has room; 503 "draining" once
+ *    shutdown()/stop() began; 503 "saturated" while the loop thread
+ *    is not keeping up (command channel full) -- the signal a load
+ *    balancer needs to stop routing here before submits block.
+ *
+ * Overload: a request the scheduler sheds (bounded admission queue)
+ * or admission-times-out before any token is produced gets HTTP 429
+ * with a Retry-After header derived from the current backlog and
+ * TPOT: ceil((queued + active) x p50 TPOT x nominal tokens), clamped
+ * to [1, 60] seconds.  A known route hit with the wrong method gets
+ * 405; malformed JSON and non-finite / out-of-range numeric fields
+ * get 400 before anything is submitted.  A client that stops
+ * draining its stream for longer than the write timeout (or
+ * vanishes) has its request cancelled -- KV blocks release
+ * immediately -- and is counted in slow_client_cancels.
  *
  * Shutdown: stop() (the SIGINT/SIGTERM path) closes the listener,
  * drains the serve::Server (in-flight requests complete and their
@@ -83,10 +100,23 @@ class Frontend {
      */
     void stop();
 
+    /**
+     * Slow-client write timeout applied to every accepted
+     * connection (SO_SNDTIMEO); 0 disables.  Configuration: set
+     * before run(), not concurrently with it.
+     */
+    void set_write_timeout_s(double seconds)
+    {
+        write_timeout_s_ = seconds;
+    }
+
   private:
     void handle(int fd);
     void handle_generate(Connection& connection,
                          const HttpRequest& request);
+    /** 429 + Retry-After for a shed / admission-timed-out request. */
+    void respond_overloaded(Connection& connection,
+                            const serve::FinishedRequest& finished);
     void handle_cancel(Connection& connection,
                        const std::string& uuid);
     void handle_metrics(Connection& connection);
@@ -107,6 +137,9 @@ class Frontend {
 
     /** Per-process UUID seed (std::random_device at construction). */
     const std::uint64_t uuid_seed_;
+
+    /** See set_write_timeout_s (configuration: set before run()). */
+    double write_timeout_s_ = 10.0;
 };
 
 }  // namespace server

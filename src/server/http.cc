@@ -1,6 +1,8 @@
 #include "server/http.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 
@@ -10,6 +12,8 @@
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include "support/fault.h"
 
 namespace mugi {
 namespace server {
@@ -24,8 +28,22 @@ status_text(int status)
       case 400: return "Bad Request";
       case 404: return "Not Found";
       case 405: return "Method Not Allowed";
+      case 429: return "Too Many Requests";
       case 503: return "Service Unavailable";
       default: return "Status";
+    }
+}
+
+/** ::read with EINTR retried; otherwise read()'s contract. */
+ssize_t
+read_some(int fd, char* buffer, std::size_t size)
+{
+    for (;;) {
+        const ssize_t n = ::read(fd, buffer, size);
+        if (n < 0 && errno == EINTR) {
+            continue;  // Interrupted by a signal: not an error.
+        }
+        return n;
     }
 }
 
@@ -55,7 +73,7 @@ read_until(int fd, std::string& buffer, const char* delimiter,
             return std::string::npos;
         }
         char chunk[4096];
-        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        const ssize_t n = read_some(fd, chunk, sizeof(chunk));
         if (n <= 0) {
             return std::string::npos;
         }
@@ -69,7 +87,7 @@ read_exactly(int fd, std::string& buffer, std::size_t size)
 {
     while (buffer.size() < size) {
         char chunk[4096];
-        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        const ssize_t n = read_some(fd, chunk, sizeof(chunk));
         if (n <= 0) {
             return false;
         }
@@ -159,13 +177,47 @@ Connection::read_request(HttpRequest* out, std::size_t max_body_bytes)
 }
 
 bool
+Connection::set_write_timeout(double seconds)
+{
+    if (seconds < 0.0) {
+        return false;
+    }
+    timeval tv{};
+    tv.tv_sec = static_cast<long>(seconds);
+    tv.tv_usec = static_cast<long>(
+        (seconds - std::floor(seconds)) * 1e6);
+    return ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv,
+                        sizeof(tv)) == 0;
+}
+
+bool
 Connection::write_all(const char* data, std::size_t size)
 {
+    // Chaos seam: a fired "http.write" is the peer vanishing
+    // mid-write (EPIPE/ECONNRESET); callers must treat it exactly
+    // like the real thing -- for a mid-stream chunk that means
+    // cancelling the request so its KV blocks release.
+    if (MUGI_FAULT_POINT("http.write")) {
+        return false;
+    }
     std::size_t written = 0;
     while (written < size) {
-        const ssize_t n = ::send(fd_, data + written, size - written,
+        std::size_t attempt = size - written;
+        // Chaos seam: a fired "http.write.short" caps this send at
+        // one byte, forcing the short-write resume path that a full
+        // socket buffer exercises in production.
+        if (attempt > 1 && MUGI_FAULT_POINT("http.write.short")) {
+            attempt = 1;
+        }
+        const ssize_t n = ::send(fd_, data + written, attempt,
                                  MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR) {
+            continue;  // Interrupted by a signal: retry the send.
+        }
         if (n <= 0) {
+            // EPIPE/ECONNRESET (peer gone), or EAGAIN/EWOULDBLOCK
+            // from an expired SO_SNDTIMEO (peer stalled): either way
+            // this connection is not worth blocking a thread for.
             return false;
         }
         written += static_cast<std::size_t>(n);
@@ -177,15 +229,32 @@ bool
 Connection::write_response(int status, const std::string& content_type,
                            const std::string& body)
 {
+    return write_response(status, content_type, body, {});
+}
+
+bool
+Connection::write_response(
+    int status, const std::string& content_type,
+    const std::string& body,
+    const std::map<std::string, std::string>& extra_headers)
+{
     char head[256];
     const int n = std::snprintf(
         head, sizeof(head),
         "HTTP/1.1 %d %s\r\nContent-Type: %s\r\n"
-        "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+        "Content-Length: %zu\r\nConnection: close\r\n",
         status, status_text(status), content_type.c_str(),
         body.size());
-    return write_all(head, static_cast<std::size_t>(n)) &&
-           write_all(body.data(), body.size());
+    std::string message(head, static_cast<std::size_t>(n));
+    for (const auto& header : extra_headers) {
+        message += header.first;
+        message += ": ";
+        message += header.second;
+        message += "\r\n";
+    }
+    message += "\r\n";
+    message += body;
+    return write_all(message.data(), message.size());
 }
 
 bool
@@ -324,6 +393,9 @@ Client::request(const std::string& method, const std::string& target,
     while (written < out.size()) {
         const ssize_t w = ::send(fd_, out.data() + written,
                                  out.size() - written, MSG_NOSIGNAL);
+        if (w < 0 && errno == EINTR) {
+            continue;
+        }
         if (w <= 0) {
             return std::nullopt;
         }
@@ -334,7 +406,7 @@ Client::request(const std::string& method, const std::string& target,
     std::string buffer;
     for (;;) {
         char chunk[4096];
-        const ssize_t r = ::read(fd_, chunk, sizeof(chunk));
+        const ssize_t r = read_some(fd_, chunk, sizeof(chunk));
         if (r < 0) {
             return std::nullopt;
         }

@@ -21,6 +21,16 @@
  * with: Client::connect to loopback, request/response with chunked
  * decoding, so both ends of the smoke test share one implementation.
  *
+ * Unhappy-path hardening: every read/send retries EINTR, sends use
+ * MSG_NOSIGNAL (and mugi_server additionally ignores SIGPIPE
+ * process-wide) so a vanished client surfaces as a failed write --
+ * never a signal death -- short writes are resumed, and EAGAIN from
+ * an expired SO_SNDTIMEO (set_write_timeout) fails the write so a
+ * stalled client cannot wedge its connection thread.  write paths
+ * carry the "http.write" / "http.write.short" fault sites
+ * (support/fault.h) so the chaos bench can inject exactly these
+ * failures deterministically.
+ *
  * Thread-safety: externally serialized per object -- each
  * Connection/Client has exactly one owning thread (the front-end
  * hands each accepted connection to one worker); Listener::accept_fd may
@@ -69,9 +79,24 @@ class Connection {
     bool read_request(HttpRequest* out,
                       std::size_t max_body_bytes = 1 << 20);
 
+    /**
+     * Bound every blocking send on this connection (SO_SNDTIMEO): a
+     * client that stops draining its socket for longer than
+     * @p seconds fails the write instead of wedging the connection
+     * thread forever.  0 disables the bound.  The front-end maps a
+     * failed mid-stream write onto cancelling the request, so a slow
+     * client releases its KV blocks instead of holding them.
+     */
+    bool set_write_timeout(double seconds);
+
     /** Write a complete fixed-length response. */
     bool write_response(int status, const std::string& content_type,
                         const std::string& body);
+    /** write_response with extra headers (e.g. Retry-After). */
+    bool write_response(
+        int status, const std::string& content_type,
+        const std::string& body,
+        const std::map<std::string, std::string>& extra_headers);
 
     /** Start a chunked streaming response. */
     bool begin_chunked(int status, const std::string& content_type);

@@ -8,7 +8,8 @@
  * front-end routes on 127.0.0.1.
  *
  *   ./build/mugi_server [--port N] [--threads N|auto]
- *                       [--kv-budget-mb N] [--functional]
+ *                       [--kv-budget-mb N] [--max-queued N]
+ *                       [--admission-timeout-s X] [--functional]
  *
  * SIGINT/SIGTERM drain gracefully: the listener closes, in-flight
  * requests run to completion, streams end normally, then the
@@ -52,6 +53,8 @@ main(int argc, char** argv)
     std::uint16_t port = 8080;
     std::size_t threads = 0;
     std::size_t kv_budget_mb = 1024;
+    std::size_t max_queued = 0;
+    double admission_timeout_s = 0.0;
     bool functional = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
@@ -64,16 +67,32 @@ main(int argc, char** argv)
                    i + 1 < argc) {
             kv_budget_mb = static_cast<std::size_t>(
                 std::atoll(argv[++i]));
+        } else if (std::strcmp(argv[i], "--max-queued") == 0 &&
+                   i + 1 < argc) {
+            max_queued = static_cast<std::size_t>(
+                std::atoll(argv[++i]));
+        } else if (std::strcmp(argv[i], "--admission-timeout-s") ==
+                       0 &&
+                   i + 1 < argc) {
+            admission_timeout_s = std::atof(argv[++i]);
         } else if (std::strcmp(argv[i], "--functional") == 0) {
             functional = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--port N] [--threads N|auto] "
-                         "[--kv-budget-mb N] [--functional]\n",
+                         "[--kv-budget-mb N] [--max-queued N] "
+                         "[--admission-timeout-s X] [--functional]\n",
                          argv[0]);
             return 2;
         }
     }
+
+    // A stalled or vanished client must surface as a failed write on
+    // its own connection thread, never as a process-killing SIGPIPE
+    // (sends also pass MSG_NOSIGNAL; this covers any other fd).
+    struct sigaction ignore_pipe {};
+    ignore_pipe.sa_handler = SIG_IGN;
+    sigaction(SIGPIPE, &ignore_pipe, nullptr);
 
     // The engine: analytic Llama-2 70B serving by default, or the
     // eval-scale functional transformer (real tokens) on demand.
@@ -96,6 +115,8 @@ main(int argc, char** argv)
     config.scheduler.prefill_chunk_tokens =
         units::Tokens(functional ? 16 : 256);
     config.scheduler.step_threads = threads;
+    config.scheduler.max_queued_requests = max_queued;
+    config.scheduler.admission_timeout_s = admission_timeout_s;
     serve::Server server(*engine, config);
     server::Frontend frontend(server);
     if (!frontend.bind(port)) {
@@ -128,8 +149,12 @@ main(int argc, char** argv)
 
     const serve::ServerStats stats = server.stats();
     std::printf("mugi_server: served %zu requests (%zu cancelled, "
-                "%zu expired), %zu tokens, kv in use %zu bytes\n",
+                "%zu expired, %zu shed, %zu admission timeouts, "
+                "%zu slow-client cancels), %zu tokens, "
+                "kv in use %zu bytes\n",
                 stats.finished, stats.cancelled, stats.expired,
+                stats.requests_shed, stats.admission_timeouts,
+                stats.slow_client_cancels,
                 stats.generated_tokens.value(),
                 stats.kv_bytes_in_use.value());
     return 0;

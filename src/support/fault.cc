@@ -1,0 +1,130 @@
+#include "support/fault.h"
+
+namespace mugi {
+namespace support {
+
+namespace {
+
+/** FNV-1a over the site name: stable site identity across runs. */
+std::uint64_t
+fnv1a(const char* s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (; *s != '\0'; ++s) {
+        h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(*s));
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** splitmix64 finalizer: uniform bits from (seed, site, counter). */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector&
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::arm(const FaultPlan& plan)
+{
+    MutexLock lock(mu_);
+    seed_ = plan.seed;
+    sites_.clear();
+    for (const FaultSiteConfig& config : plan.sites) {
+        SiteState state;
+        state.rate = config.rate < 0.0 ? 0.0
+                   : config.rate > 1.0 ? 1.0
+                                       : config.rate;
+        state.max_fires = config.max_fires;
+        state.site_hash = fnv1a(config.site.c_str());
+        sites_[config.site] = state;
+    }
+    armed_.store(true, std::memory_order_relaxed);
+}
+
+void
+FaultInjector::disarm()
+{
+    MutexLock lock(mu_);
+    armed_.store(false, std::memory_order_relaxed);
+    seed_ = 0;
+    sites_.clear();
+}
+
+bool
+FaultInjector::should_fire(const char* site)
+{
+    if (!armed_.load(std::memory_order_relaxed)) {
+        return false;  // Disarmed fast path: one relaxed load.
+    }
+    MutexLock lock(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) {
+        return false;  // Site not named by the plan.
+    }
+    SiteState& state = it->second;
+    // Two mixes, not one: seed ^ site ^ counter alone is commutative,
+    // so nearby (seed, counter) pairs collide and adjacent seeds see
+    // permutations of the same draws.  Hashing (seed, site) into a
+    // stream base first makes every seed an independent sequence.
+    const std::uint64_t draw =
+        mix64(mix64(seed_ ^ state.site_hash) +
+              static_cast<std::uint64_t>(state.evaluations));
+    ++state.evaluations;
+    if (state.max_fires != 0 && state.fired >= state.max_fires) {
+        return false;
+    }
+    // Map the top 53 bits to [0, 1): enough resolution for any rate.
+    const double unit =
+        static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);
+    if (unit >= state.rate) {
+        return false;
+    }
+    ++state.fired;
+    return true;
+}
+
+std::size_t
+FaultInjector::fires() const
+{
+    MutexLock lock(mu_);
+    std::size_t total = 0;
+    for (const auto& entry : sites_) {
+        total += entry.second.fired;
+    }
+    return total;
+}
+
+std::size_t
+FaultInjector::fires(const std::string& site) const
+{
+    MutexLock lock(mu_);
+    auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.fired;
+}
+
+std::size_t
+FaultInjector::evaluations() const
+{
+    MutexLock lock(mu_);
+    std::size_t total = 0;
+    for (const auto& entry : sites_) {
+        total += entry.second.evaluations;
+    }
+    return total;
+}
+
+}  // namespace support
+}  // namespace mugi

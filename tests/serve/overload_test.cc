@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Overload-protection contract: the bounded admission queue sheds
+ * by policy (newest, or lowest priority with ties toward newest),
+ * admission timeouts bound the arrival -> admission window on the
+ * modeled clock, and the threaded serve::Server resolves every
+ * handle -- shed or served -- leaving zero KV bytes and clean
+ * invariants.  The channel.push fault site is exercised end to end:
+ * an injected submission failure surfaces as FinishReason::kShed on
+ * a handle that still resolves.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/accuracy.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+#include "support/fault.h"
+
+namespace mugi {
+namespace serve {
+namespace {
+
+/** Analytic request: @p prompt tokens, @p gen generated tokens. */
+Request
+analytic_request(std::size_t prompt, std::size_t gen)
+{
+    Request request;
+    request.analytic_prompt_tokens = units::Tokens(prompt);
+    request.max_new_tokens = units::Tokens(gen);
+    return request;
+}
+
+/**
+ * analytic_request() arriving an instant after t=0, so the blocker
+ * (arrival 0) is admitted before the capacity sweep ever sees these
+ * -- the shed/timeout candidates are exactly the late arrivals.
+ */
+Request
+late_request(std::size_t prompt, std::size_t gen)
+{
+    Request request = analytic_request(prompt, gen);
+    request.arrival_time_s = 1e-12;
+    return request;
+}
+
+/** One-slot-batch scheduler: queued work stays queued while the
+ *  blocker decodes, so shed/timeout sweeps see stable candidates. */
+SchedulerConfig
+one_slot_config()
+{
+    SchedulerConfig config;
+    config.max_batch = 1;
+    config.prefill_chunk_tokens = units::Tokens(256);
+    return config;
+}
+
+TEST(SchedulerOverload, BoundedQueueShedsTheNewestArrival)
+{
+    const model::ModelConfig model = model::llama2_70b();
+    const Engine engine(sim::make_mugi(256), model);
+    SchedulerConfig config = one_slot_config();
+    config.max_queued_requests = 2;
+    Scheduler scheduler(engine, config);
+
+    // A long blocker owns the single batch slot; three more arrive
+    // behind it -- one over the bound, so exactly one must shed.
+    scheduler.submit(analytic_request(256, 40));
+    std::vector<std::uint64_t> queued_ids;
+    for (int i = 0; i < 3; ++i) {
+        queued_ids.push_back(
+            scheduler.submit(late_request(128, 4)));
+    }
+    const std::vector<FinishedRequest> finished = scheduler.run();
+
+    ASSERT_EQ(finished.size(), 4u);
+    std::vector<std::uint64_t> shed_ids;
+    for (const FinishedRequest& f : finished) {
+        if (f.reason == FinishReason::kShed) {
+            shed_ids.push_back(f.id);
+            EXPECT_EQ(f.generated, units::Tokens(0));
+        }
+    }
+    // kRejectNewest: the victim is the last submission, not an
+    // earlier arrival that was already waiting.
+    ASSERT_EQ(shed_ids.size(), 1u);
+    EXPECT_EQ(shed_ids[0], queued_ids.back());
+    const ServerStats stats = scheduler.stats();
+    EXPECT_EQ(stats.requests_shed, 1u);
+    EXPECT_EQ(stats.kv_bytes_in_use, units::Bytes(0));
+    EXPECT_EQ(scheduler.check_invariants(), "");
+}
+
+TEST(SchedulerOverload, RejectLowestPriorityPicksTheMinPriority)
+{
+    const model::ModelConfig model = model::llama2_70b();
+    const Engine engine(sim::make_mugi(256), model);
+    SchedulerConfig config = one_slot_config();
+    config.max_queued_requests = 2;
+    config.shed_policy = ShedPolicy::kRejectLowestPriority;
+    Scheduler scheduler(engine, config);
+
+    scheduler.submit(analytic_request(256, 40));  // Blocker.
+    Request first = late_request(128, 4);
+    first.priority = 5;
+    scheduler.submit(std::move(first));
+    Request victim = late_request(128, 4);
+    victim.priority = -3;
+    const std::uint64_t victim_id =
+        scheduler.submit(std::move(victim));
+    Request last = late_request(128, 4);
+    last.priority = 0;  // Newest, but NOT the lowest priority.
+    scheduler.submit(std::move(last));
+
+    const std::vector<FinishedRequest> finished = scheduler.run();
+    ASSERT_EQ(finished.size(), 4u);
+    for (const FinishedRequest& f : finished) {
+        if (f.reason == FinishReason::kShed) {
+            EXPECT_EQ(f.id, victim_id);
+        } else {
+            EXPECT_NE(f.id, victim_id);
+        }
+    }
+    EXPECT_EQ(scheduler.stats().requests_shed, 1u);
+}
+
+TEST(SchedulerOverload, RejectLowestPriorityBreaksTiesTowardNewest)
+{
+    const model::ModelConfig model = model::llama2_70b();
+    const Engine engine(sim::make_mugi(256), model);
+    SchedulerConfig config = one_slot_config();
+    config.max_queued_requests = 2;
+    config.shed_policy = ShedPolicy::kRejectLowestPriority;
+    Scheduler scheduler(engine, config);
+
+    scheduler.submit(analytic_request(256, 40));  // Blocker.
+    Request older = late_request(128, 4);
+    older.priority = -3;
+    const std::uint64_t older_id =
+        scheduler.submit(std::move(older));
+    scheduler.submit(late_request(128, 4));  // priority 0.
+    Request newer = late_request(128, 4);
+    newer.priority = -3;  // Same minimum, arrived later.
+    const std::uint64_t newer_id =
+        scheduler.submit(std::move(newer));
+
+    for (const FinishedRequest& f : scheduler.run()) {
+        if (f.reason == FinishReason::kShed) {
+            EXPECT_EQ(f.id, newer_id);
+            EXPECT_NE(f.id, older_id);
+        }
+    }
+    EXPECT_EQ(scheduler.stats().requests_shed, 1u);
+}
+
+TEST(SchedulerOverload, AdmissionTimeoutRetiresStaleQueuers)
+{
+    const model::ModelConfig model = model::llama2_70b();
+    const Engine engine(sim::make_mugi(256), model);
+    SchedulerConfig config = one_slot_config();
+    // The blocker's modeled decode takes far longer than this, so
+    // the queued request exceeds its admission window mid-decode.
+    config.admission_timeout_s = 1.0;
+    Scheduler scheduler(engine, config);
+
+    const std::uint64_t blocker_id =
+        scheduler.submit(analytic_request(256, 40));
+    const std::uint64_t waiter_id =
+        scheduler.submit(late_request(128, 4));
+
+    for (const FinishedRequest& f : scheduler.run()) {
+        if (f.id == waiter_id) {
+            EXPECT_EQ(f.reason, FinishReason::kAdmissionTimeout);
+            EXPECT_EQ(f.generated, units::Tokens(0));
+        } else {
+            EXPECT_EQ(f.id, blocker_id);
+            EXPECT_EQ(f.reason, FinishReason::kMaxTokens);
+        }
+    }
+    const ServerStats stats = scheduler.stats();
+    EXPECT_EQ(stats.admission_timeouts, 1u);
+    EXPECT_EQ(stats.requests_shed, 0u);
+    EXPECT_EQ(stats.kv_bytes_in_use, units::Bytes(0));
+}
+
+TEST(SchedulerOverload, RequestTimeoutOverridesTheConfigDefault)
+{
+    const model::ModelConfig model = model::llama2_70b();
+    const Engine engine(sim::make_mugi(256), model);
+    SchedulerConfig config = one_slot_config();
+    config.admission_timeout_s = 0.0;  // No default limit.
+    Scheduler scheduler(engine, config);
+
+    scheduler.submit(analytic_request(256, 40));  // Blocker.
+    Request impatient = late_request(128, 4);
+    impatient.admission_timeout_s = 1.0;
+    const std::uint64_t impatient_id =
+        scheduler.submit(std::move(impatient));
+    const std::uint64_t patient_id =
+        scheduler.submit(late_request(128, 4));
+
+    for (const FinishedRequest& f : scheduler.run()) {
+        if (f.id == impatient_id) {
+            EXPECT_EQ(f.reason, FinishReason::kAdmissionTimeout);
+        } else if (f.id == patient_id) {
+            // No per-request limit and no config default: it waits
+            // out the blocker and completes.
+            EXPECT_EQ(f.reason, FinishReason::kMaxTokens);
+        }
+    }
+    EXPECT_EQ(scheduler.stats().admission_timeouts, 1u);
+}
+
+TEST(ServerOverload, BoundedQueueResolvesEveryHandle)
+{
+    const model::ModelConfig model = model::llama2_70b();
+    const Engine engine(sim::make_mugi(256), model);
+    ServerConfig config;
+    config.scheduler = one_slot_config();
+    config.scheduler.max_queued_requests = 1;
+    Server server(engine, config);
+
+    std::vector<RequestHandle> handles;
+    handles.push_back(server.submit(analytic_request(256, 40)));
+    for (int i = 0; i < 4; ++i) {
+        handles.push_back(server.submit(analytic_request(128, 4)));
+    }
+
+    std::size_t served = 0;
+    std::size_t shed = 0;
+    for (RequestHandle& handle : handles) {
+        const FinishedRequest f = handle.wait();
+        if (f.reason == FinishReason::kShed) {
+            ++shed;
+        } else {
+            EXPECT_EQ(f.reason, FinishReason::kMaxTokens);
+            ++served;
+        }
+    }
+    server.shutdown(ShutdownMode::kDrain);
+
+    EXPECT_EQ(served + shed, 5u);
+    EXPECT_GE(shed, 1u);  // One queue slot cannot hold four waiters.
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.requests_shed, shed);
+    EXPECT_EQ(stats.kv_bytes_in_use, units::Bytes(0));
+    // Post-shutdown the loop thread is joined: the deep audit runs.
+    EXPECT_EQ(server.check_invariants(), "");
+}
+
+TEST(ServerOverload, ChannelPushFaultShedsTheSubmission)
+{
+    const model::ModelConfig model = model::llama2_70b();
+    const Engine engine(sim::make_mugi(256), model);
+    Server server(engine, ServerConfig{});
+
+    {
+        support::FaultPlan plan;
+        plan.seed = 41;
+        plan.sites = {{"channel.push", 1.0, 1}};
+        support::ScopedFaultPlan armed(plan);
+
+        RequestHandle handle =
+            server.submit(analytic_request(64, 4));
+        const FinishedRequest f = handle.wait();
+        EXPECT_EQ(f.reason, FinishReason::kShed);
+        EXPECT_EQ(f.generated, units::Tokens(0));
+        const ServerStats stats = server.stats();
+        EXPECT_GE(stats.requests_shed, 1u);
+        EXPECT_GE(stats.faults_injected, 1u);
+    }
+
+    // Disarmed: the next submission serves normally.
+    RequestHandle handle = server.submit(analytic_request(64, 4));
+    EXPECT_EQ(handle.wait().reason, FinishReason::kMaxTokens);
+    server.shutdown(ShutdownMode::kDrain);
+    EXPECT_EQ(server.stats().kv_bytes_in_use, units::Bytes(0));
+    EXPECT_EQ(server.check_invariants(), "");
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace mugi

@@ -13,10 +13,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdlib>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -27,6 +29,7 @@
 #include "server/frontend.h"
 #include "server/http.h"
 #include "server/json.h"
+#include "support/fault.h"
 
 namespace mugi {
 namespace server {
@@ -393,6 +396,16 @@ class RawStream {
                    static_cast<ssize_t>(data.size());
     }
 
+    /** Half-close: no more request bytes will ever arrive -- how a
+     *  truncated body surfaces to the server as EOF. */
+    void
+    shutdown_write()
+    {
+        if (fd_ >= 0) {
+            ::shutdown(fd_, SHUT_WR);
+        }
+    }
+
     /** Read until @p marker appears; everything read so far. */
     std::string
     read_until(const std::string& marker)
@@ -478,6 +491,152 @@ TEST_F(FrontendTest, DeleteCancelsAMidFlightStream)
     ASSERT_TRUE(gone.has_value());
     EXPECT_EQ(gone->status, 404);
     EXPECT_EQ(server_->stats().cancelled, 1u);
+}
+
+// ---- Malformed input: clean 4xx, nothing submitted. ----
+
+TEST_F(FrontendTest, OversizedHeadersAreRejected)
+{
+    // A header block past the 64 KiB read limit: the parser must
+    // refuse it bounded-memory, not buffer it forever.
+    RawStream stream(frontend_->port());
+    ASSERT_TRUE(stream.ok());
+    std::ostringstream request;
+    request << "POST /v1/generate HTTP/1.1\r\nHost: localhost\r\n"
+            << "X-Padding: " << std::string(80 * 1024, 'x')
+            << "\r\n\r\n";
+    ASSERT_TRUE(stream.send(request.str()));
+    // The refusal may race the kernel's reset of a connection with
+    // unread bytes: a 400 or an immediate close both count -- what
+    // must not happen is buffering forever or answering 200.
+    const std::string response = stream.read_to_eof();
+    EXPECT_TRUE(response.empty() ||
+                response.find(" 400 ") != std::string::npos)
+        << response.substr(0, 128);
+}
+
+TEST_F(FrontendTest, TruncatedBodyIsRejected)
+{
+    // Content-Length promises 400 bytes; the client half-closes
+    // after 10.  The EOF must surface as a 400, not a hang.
+    RawStream stream(frontend_->port());
+    ASSERT_TRUE(stream.ok());
+    ASSERT_TRUE(
+        stream.send("POST /v1/generate HTTP/1.1\r\n"
+                    "Host: localhost\r\nContent-Length: 400\r\n"
+                    "Connection: close\r\n\r\n{\"prompt\""));
+    stream.shutdown_write();
+    const std::string response = stream.read_to_eof();
+    EXPECT_NE(response.find(" 400 "), std::string::npos)
+        << response.substr(0, 128);
+}
+
+TEST_F(FrontendTest, GarbageRequestLineIsRejected)
+{
+    RawStream stream(frontend_->port());
+    ASSERT_TRUE(stream.ok());
+    ASSERT_TRUE(stream.send("\x80\xff\x01not-a-request-line\r\n\r\n"));
+    stream.shutdown_write();
+    const std::string response = stream.read_to_eof();
+    EXPECT_NE(response.find(" 400 "), std::string::npos)
+        << response.substr(0, 128);
+}
+
+TEST_F(FrontendTest, OverflowingNumbersAreRejected)
+{
+    // json.cc's strtod maps 1e999 to inf; every narrowing cast in
+    // the API must range-check instead of invoking UB.
+    for (const char* body :
+         {"{\"prompt\":[1,2],\"max_new_tokens\":1e999}",
+          "{\"prompt\":[1e999],\"max_new_tokens\":4}",
+          "{\"prompt\":[1,2],\"max_new_tokens\":-3}",
+          "{\"prompt\":[1,2],\"priority\":1e12}",
+          "{\"prompt\":[1,2],\"deadline_s\":1e999}",
+          "{\"prompt\":[1,2],\"admission_timeout_s\":1e999}"}) {
+        const std::optional<HttpResponse> response =
+            roundtrip("POST", "/v1/generate", body);
+        ASSERT_TRUE(response.has_value()) << body;
+        EXPECT_EQ(response->status, 400) << body;
+    }
+}
+
+TEST_F(FrontendTest, InvalidUtf8BodyIsRejected)
+{
+    const std::optional<HttpResponse> response = roundtrip(
+        "POST", "/v1/generate", "{\"prompt\":[\xc3\x28\xff]}");
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, 400);
+}
+
+TEST_F(FrontendTest, WrongMethodOnKnownRoutesIs405)
+{
+    for (const auto& [method, target] :
+         std::vector<std::pair<std::string, std::string>>{
+             {"GET", "/v1/generate"},
+             {"DELETE", "/metrics"},
+             {"POST", "/healthz"},
+             {"GET", "/v1/generate/some-uuid"}}) {
+        const std::optional<HttpResponse> response =
+            roundtrip(method, target);
+        ASSERT_TRUE(response.has_value()) << method << " " << target;
+        EXPECT_EQ(response->status, 405) << method << " " << target;
+    }
+}
+
+// ---- Overload and fault surfaces over HTTP. ----
+
+TEST_F(FrontendTest, InjectedSubmissionFaultYields429WithRetryAfter)
+{
+    support::FaultPlan plan;
+    plan.seed = 77;
+    plan.sites = {{"channel.push", 1.0, 1}};
+    support::ScopedFaultPlan armed(plan);
+
+    const std::optional<HttpResponse> response = roundtrip(
+        "POST", "/v1/generate",
+        prompt_json(8, 21, ",\"max_new_tokens\":3"));
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, 429);
+    ASSERT_EQ(response->headers.count("retry-after"), 1u);
+    const int retry_after =
+        std::atoi(response->headers.at("retry-after").c_str());
+    EXPECT_GE(retry_after, 1);
+    EXPECT_LE(retry_after, 60);
+    EXPECT_NE(response->body.find("\"error\":\"overloaded\""),
+              std::string::npos);
+    EXPECT_EQ(server_->stats().requests_shed, 1u);
+    EXPECT_GE(server_->stats().faults_injected, 1u);
+
+    // The fault cap is spent: the next submission serves normally.
+    const std::optional<HttpResponse> ok = roundtrip(
+        "POST", "/v1/generate",
+        prompt_json(8, 21, ",\"max_new_tokens\":3,\"stream\":false"));
+    ASSERT_TRUE(ok.has_value());
+    EXPECT_EQ(ok->status, 200);
+}
+
+TEST_F(FrontendTest, MetricsExposeTheOverloadCounters)
+{
+    const std::optional<HttpResponse> metrics =
+        roundtrip("GET", "/metrics");
+    ASSERT_TRUE(metrics.has_value());
+    EXPECT_EQ(metrics->status, 200);
+    for (const char* counter :
+         {"mugi_requests_shed", "mugi_admission_timeouts",
+          "mugi_slow_client_cancels", "mugi_faults_injected"}) {
+        EXPECT_NE(metrics->body.find(counter), std::string::npos)
+            << counter;
+    }
+}
+
+TEST_F(FrontendTest, HealthzReportsDrainingOnceShutdownBegins)
+{
+    server_->shutdown(serve::ShutdownMode::kDrain);
+    const std::optional<HttpResponse> health =
+        roundtrip("GET", "/healthz");
+    ASSERT_TRUE(health.has_value());
+    EXPECT_EQ(health->status, 503);
+    EXPECT_NE(health->body.find("draining"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Contract of the deterministic fault injector: inert until armed,
+ * seeded schedules reproduce exactly, per-site rate/cap accounting
+ * holds, and a wired production seam (BlockPool's try_allocate /
+ * try_reserve) actually fails when its site fires -- then recovers
+ * the moment the plan is disarmed.
+ */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "quant/block_allocator.h"
+#include "support/fault.h"
+
+namespace mugi {
+namespace support {
+namespace {
+
+/** The firing pattern of @p site over @p n fresh evaluations. */
+std::vector<bool>
+pattern(const char* site, int n)
+{
+    std::vector<bool> fired;
+    for (int i = 0; i < n; ++i) {
+        fired.push_back(FaultInjector::instance().should_fire(site));
+    }
+    return fired;
+}
+
+TEST(FaultInjector, DisarmedIsInert)
+{
+    FaultInjector& injector = FaultInjector::instance();
+    ASSERT_FALSE(injector.armed());
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(injector.should_fire("block_pool.allocate"));
+    }
+    // Disarmed evaluations are not even counted.
+    EXPECT_EQ(injector.evaluations(), 0u);
+    EXPECT_EQ(injector.fires(), 0u);
+}
+
+TEST(FaultInjector, RateOneFiresEveryTimeUpToTheCap)
+{
+    FaultPlan plan;
+    plan.seed = 17;
+    plan.sites = {{"test.always", 1.0, 3}};
+    ScopedFaultPlan armed(plan);
+
+    const std::vector<bool> fired = pattern("test.always", 6);
+    EXPECT_EQ(fired,
+              (std::vector<bool>{true, true, true, false, false,
+                                 false}));
+    EXPECT_EQ(FaultInjector::instance().fires("test.always"), 3u);
+    EXPECT_EQ(FaultInjector::instance().evaluations(), 6u);
+}
+
+TEST(FaultInjector, SameSeedReproducesTheExactSchedule)
+{
+    FaultPlan plan;
+    plan.seed = 2024;
+    plan.sites = {{"test.flaky", 0.3, 0}};
+
+    FaultInjector::instance().arm(plan);
+    const std::vector<bool> first = pattern("test.flaky", 100);
+    // Re-arming resets the per-site counters: the schedule replays.
+    FaultInjector::instance().arm(plan);
+    const std::vector<bool> second = pattern("test.flaky", 100);
+    FaultInjector::instance().disarm();
+
+    EXPECT_EQ(first, second);
+    // A 0.3 rate over 100 draws fires some but not all of the time.
+    const std::size_t fires = static_cast<std::size_t>(
+        std::count(first.begin(), first.end(), true));
+    EXPECT_GT(fires, 0u);
+    EXPECT_LT(fires, 100u);
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge)
+{
+    FaultPlan a;
+    a.seed = 1;
+    a.sites = {{"test.flaky", 0.5, 0}};
+    FaultPlan b = a;
+    b.seed = 2;
+
+    FaultInjector::instance().arm(a);
+    const std::vector<bool> first = pattern("test.flaky", 64);
+    FaultInjector::instance().arm(b);
+    const std::vector<bool> second = pattern("test.flaky", 64);
+    FaultInjector::instance().disarm();
+    EXPECT_NE(first, second);
+}
+
+TEST(FaultInjector, SitesKeepIndependentCounters)
+{
+    FaultPlan plan;
+    plan.seed = 5;
+    plan.sites = {{"test.a", 1.0, 2}, {"test.b", 1.0, 5}};
+    ScopedFaultPlan armed(plan);
+
+    FaultInjector& injector = FaultInjector::instance();
+    for (int i = 0; i < 4; ++i) {
+        injector.should_fire("test.a");
+        injector.should_fire("test.b");
+    }
+    EXPECT_EQ(injector.fires("test.a"), 2u);  // Capped.
+    EXPECT_EQ(injector.fires("test.b"), 4u);
+    EXPECT_EQ(injector.fires(), 6u);
+    EXPECT_EQ(injector.evaluations(), 8u);
+    // A site the plan never named counts nothing.
+    EXPECT_FALSE(injector.should_fire("test.unlisted"));
+    EXPECT_EQ(injector.evaluations(), 8u);
+}
+
+TEST(FaultInjector, DisarmResetsEverything)
+{
+    {
+        FaultPlan plan;
+        plan.seed = 9;
+        plan.sites = {{"test.once", 1.0, 1}};
+        ScopedFaultPlan armed(plan);
+        EXPECT_TRUE(
+            FaultInjector::instance().should_fire("test.once"));
+    }
+    FaultInjector& injector = FaultInjector::instance();
+    EXPECT_FALSE(injector.armed());
+    EXPECT_EQ(injector.fires(), 0u);
+    EXPECT_EQ(injector.evaluations(), 0u);
+    EXPECT_FALSE(injector.should_fire("test.once"));
+}
+
+TEST(FaultInjector, BlockPoolAllocationSeamFailsAndRecovers)
+{
+    quant::BlockPool pool(units::Bytes(1 << 20));
+    {
+        FaultPlan plan;
+        plan.seed = 3;
+        plan.sites = {{"block_pool.allocate", 1.0, 2}};
+        ScopedFaultPlan armed(plan);
+
+        // Both enforcement paths refuse while the site fires...
+        EXPECT_EQ(pool.try_allocate(units::Bytes(256)),
+                  quant::kInvalidBlock);
+        EXPECT_FALSE(pool.try_reserve(units::Bytes(256)));
+        EXPECT_EQ(pool.bytes_in_use(), units::Bytes(0));
+
+        // ...and succeed again once the cap is exhausted.
+        const quant::BlockId id =
+            pool.try_allocate(units::Bytes(256));
+        ASSERT_NE(id, quant::kInvalidBlock);
+        pool.release(id);
+    }
+    // Disarmed: the seam is gone entirely.
+    const quant::BlockId id = pool.try_allocate(units::Bytes(256));
+    ASSERT_NE(id, quant::kInvalidBlock);
+    pool.release(id);
+    EXPECT_EQ(pool.bytes_in_use(), units::Bytes(0));
+    EXPECT_EQ(pool.check_invariants(), "");
+}
+
+}  // namespace
+}  // namespace support
+}  // namespace mugi

@@ -16,6 +16,12 @@ Checks, each motivated by a concurrency-correctness contract:
    stating *which* of the three repo contracts the class follows:
    immutable, internally synchronized, or externally serialized.
 
+3. Every ``MUGI_FAULT_POINT("site")`` literal in ``src/`` must be
+   documented in DESIGN.md's fault-site table (the site name in
+   backticks).  An undocumented site is chaos coverage nobody can
+   reason about -- the chaos gates assert invariants per site, so
+   the contract each site simulates has to be written down.
+
 Exit status 0 when clean; 1 with one ``file:line: message`` per
 violation otherwise.
 """
@@ -40,6 +46,8 @@ BANNED_CALLS = [
 
 THREAD_SAFETY_DIRS = ("serve", "server", "quant", "support")
 THREAD_SAFETY_RE = re.compile(r"Thread-safety\s*:")
+
+FAULT_POINT_RE = re.compile(r'MUGI_FAULT_POINT\(\s*"([^"]+)"\s*\)')
 
 
 def check_banned_calls(path: Path) -> list[str]:
@@ -66,6 +74,32 @@ def check_thread_safety_contract(path: Path) -> list[str]:
     ]
 
 
+def check_fault_sites_documented() -> list[str]:
+    """Every MUGI_FAULT_POINT site literal appears in DESIGN.md."""
+    design_path = REPO / "DESIGN.md"
+    design = (
+        design_path.read_text(encoding="utf-8")
+        if design_path.exists()
+        else ""
+    )
+    problems = []
+    for path in sorted(SRC.rglob("*")):
+        if path.suffix not in {".h", ".cc"}:
+            continue
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            for site in FAULT_POINT_RE.findall(line):
+                if f"`{site}`" not in design:
+                    rel = path.relative_to(REPO)
+                    problems.append(
+                        f"{rel}:{lineno}: fault site \"{site}\" is "
+                        "not documented in DESIGN.md's fault-site "
+                        "table (add it in backticks)"
+                    )
+    return problems
+
+
 def main() -> int:
     problems: list[str] = []
 
@@ -77,6 +111,8 @@ def main() -> int:
     for subdir in THREAD_SAFETY_DIRS:
         for header in sorted((SRC / subdir).glob("*.h")):
             problems += check_thread_safety_contract(header)
+
+    problems += check_fault_sites_documented()
 
     if problems:
         print(f"tools/lint.py: {len(problems)} problem(s):")

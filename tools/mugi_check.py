@@ -13,10 +13,12 @@ R1  raw-unit-param: public headers under ``src/serve/`` and
     that is exactly the signature units.h exists to replace.
 
 R2  try-result-unused: a call to any ``try_*`` function whose result
-    is discarded is a lost admission/allocation failure.  (The
-    headers also carry ``[[nodiscard]]``; this rule catches the
-    ``(void)``-free discard styles the compiler warning misses when
-    a caller builds with warnings off.)
+    is discarded is a lost admission/allocation failure -- under
+    fault injection (PR 10) ``try_allocate``/``try_reserve`` fail on
+    purpose, so a dropped result silently swallows an injected
+    fault.  (The headers also carry ``[[nodiscard]]``; this rule
+    catches the ``(void)``-free discard styles the compiler warning
+    misses when a caller builds with warnings off.)
 
 R3  mixed-unit-arithmetic: one expression must not arithmetically
     combine two ``.value()`` unwraps of *different* units.  Unit
@@ -27,10 +29,11 @@ R3  mixed-unit-arithmetic: one expression must not arithmetically
 R4  admission-unwrap: the admission/reservation functions in
     ``src/serve/scheduler.cc`` (the accounting the paper's KV budget
     hangs off), the Scheduler retire paths (cancel / shutdown /
-    deadline expiry, which release those same reservations), and the
-    Server submission/cancellation paths in ``src/serve/server.cc``
-    must stay ``.value()``-free end to end; they speak units types
-    only, via the named helpers.  Index-math functions (prefix keys,
+    deadline expiry, plus PR 10's overload sweeps: capacity shedding
+    and admission timeouts, which retire requests that never held
+    blocks), and the Server submission/cancellation paths in
+    ``src/serve/server.cc`` must stay ``.value()``-free end to end;
+    they speak units types only, via the named helpers.  Index-math functions (prefix keys,
     token emission) are exempt.
 
 Two engines:
@@ -99,14 +102,18 @@ ADMISSION_FUNCTIONS = {
 }
 
 #: Scheduler retire paths: everything that hands reserved blocks back
-#: to the pool (cancellation, shutdown, deadline expiry).  The release
-#: accounting must stay as unit-typed as the admission accounting.
+#: to the pool (cancellation, shutdown, deadline expiry) or retires a
+#: request before admission (capacity shedding, admission timeouts --
+#: PR 10's overload sweeps).  The release accounting must stay as
+#: unit-typed as the admission accounting.
 RETIRE_FUNCTIONS = {
     "cancel",
     "cancel_all",
     "retire_active",
     "finish_queued",
     "expire_deadlines",
+    "expire_admission_timeouts",
+    "shed_for_capacity",
 }
 
 SCHEDULER_CC = SRC / "serve" / "scheduler.cc"
